@@ -1,0 +1,77 @@
+// Ablation / Fig 8 scenarios: the Batching subcomponent in the two
+// deployments the paper motivates — a server receiving N-sample queries at a
+// fixed frequency, and a multi-stream system with Poisson single-sample
+// arrivals. Sweeps the batching knob and shows an interior optimum.
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+#include "sim/batching_sim.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 8 scenarios: batching",
+                "server (fixed-frequency N-sample queries) & Poisson streams",
+                "tuned batch beats both no-batching and max-batching");
+
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel edge(device_i7_7567u());
+  const InferenceLatencyFn latency = [&](std::int64_t batch) {
+    return edge
+        .inference_cost(arch, {.batch_size = batch, .cores = 4})
+        .value()
+        .latency_s;
+  };
+
+  std::printf("(a) server scenario: 64-sample queries every 2.5 s\n");
+  TextTable server_table({"split batch", "mean response [s]",
+                          "p95 [s]", "engine util [%]"});
+  std::map<std::int64_t, double> server_response;
+  for (std::int64_t split : {1, 4, 16, 64}) {
+    ServerScenarioConfig config;
+    config.samples_per_query = 64;
+    config.query_period_s = 2.5;
+    config.split_batch = split;
+    config.horizon_s = 120;
+    QueueingStats stats = simulate_server_scenario(config, latency).value();
+    server_response[split] = stats.mean_response_s;
+    server_table.add_row({std::to_string(split),
+                          bench::fmt(stats.mean_response_s, 3),
+                          bench::fmt(stats.p95_response_s, 3),
+                          bench::fmt(100 * stats.utilization, 1)});
+  }
+  std::printf("%s", server_table.render().c_str());
+
+  std::printf("\n(b) multi-stream: Poisson arrivals at 150 samples/s\n");
+  TextTable stream_table({"max batch", "mean response [s]", "p95 [s]",
+                          "mean batch", "util [%]"});
+  std::map<std::int64_t, double> stream_response;
+  for (std::int64_t max_batch : {1, 4, 16, 64}) {
+    MultiStreamScenarioConfig config;
+    config.arrival_rate_per_s = 150.0;  // above batch-1 service capacity
+    config.max_batch = max_batch;
+    config.max_wait_s = 0.05;
+    config.horizon_s = 120;
+    QueueingStats stats =
+        simulate_multistream_scenario(config, latency).value();
+    stream_response[max_batch] = stats.mean_response_s;
+    stream_table.add_row({std::to_string(max_batch),
+                          bench::fmt(stats.mean_response_s, 3),
+                          bench::fmt(stats.p95_response_s, 3),
+                          bench::fmt(stats.mean_batch_size, 1),
+                          bench::fmt(100 * stats.utilization, 1)});
+  }
+  std::printf("%s", stream_table.render().c_str());
+
+  bench::shape_check(
+      "server: splitting into batches beats single-sample service",
+      server_response[16] < server_response[1]);
+  bench::shape_check(
+      "multi-stream: aggregation beats single-sample service",
+      stream_response[16] < stream_response[1]);
+  bench::shape_check(
+      "multi-stream: a moderate batch beats the largest one",
+      stream_response[16] <= stream_response[64] * 1.25);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the historical-results cache (§3.4). With the cache on, each
+// architecture's inference configuration is tuned once and reused; off, the
+// Inference Tuning Server re-tunes every trial. The paper claims the cache
+// "avoids retuning architectures and parameters twice, with the cost of a
+// small storage overhead".
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: historical cache", "cache on vs off (§3.4)",
+                "cache removes repeated inference-tuning time and energy");
+
+  struct Row {
+    double runtime_m, energy_kj, inference_s;
+    std::size_t hits, misses;
+  };
+  std::map<bool, Row> rows;
+  for (bool use_cache : {true, false}) {
+    EdgeTuneOptions options =
+        bench::bench_options(WorkloadKind::kImageClassification);
+    options.inference.use_cache = use_cache;
+    Result<TuningReport> result = EdgeTune(options).run();
+    if (!result.ok()) return 1;
+    double inference_s = 0;
+    for (const TrialLog& t : result.value().trials) {
+      inference_s += t.inference_tuning_s;
+    }
+    rows[use_cache] = {result.value().tuning_runtime_s / 60.0,
+                       result.value().tuning_energy_j / 1000.0, inference_s,
+                       result.value().cache_hits,
+                       result.value().cache_misses};
+  }
+
+  TextTable table({"cache", "tuning [m]", "energy [kJ]",
+                   "inference-server time [s]", "hits", "misses"});
+  for (bool use_cache : {true, false}) {
+    const Row& r = rows[use_cache];
+    table.add_row({use_cache ? "on" : "off", bench::fmt(r.runtime_m, 2),
+                   bench::fmt(r.energy_kj, 1), bench::fmt(r.inference_s, 1),
+                   std::to_string(r.hits), std::to_string(r.misses)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("cache cuts total inference-server time",
+                     rows[true].inference_s < rows[false].inference_s);
+  bench::shape_check("cache does not increase tuning energy",
+                     rows[true].energy_kj <= rows[false].energy_kj * 1.001);
+  bench::shape_check("cache-on run observed hits", rows[true].hits > 0);
+  return 0;
+}

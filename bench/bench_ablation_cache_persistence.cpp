@@ -1,0 +1,56 @@
+// Ablation: cross-job cache persistence (§3.4). The historical database is
+// file-backed: a SECOND tuning job over the same workload starts with every
+// architecture's inference configuration already known — all hits, zero
+// inference-server time.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: persistent historical database (§3.4)",
+                "second tuning job reuses the first job's inference results",
+                "run 2: all cache hits, zero inference-server time");
+
+  const std::string cache_path = "/tmp/edgetune_bench_cache.json";
+  std::remove(cache_path.c_str());
+
+  struct Run {
+    std::size_t hits, misses;
+    double inference_s;
+  };
+  Run runs[2];
+  for (int i = 0; i < 2; ++i) {
+    EdgeTuneOptions options =
+        bench::bench_options(WorkloadKind::kImageClassification);
+    options.inference.cache_path = cache_path;
+    Result<TuningReport> result = EdgeTune(options).run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+      return 1;
+    }
+    double inference_s = 0;
+    for (const TrialLog& t : result.value().trials) {
+      inference_s += t.inference_tuning_s;
+    }
+    runs[i] = {result.value().cache_hits, result.value().cache_misses,
+               inference_s};
+  }
+  std::remove(cache_path.c_str());
+
+  TextTable table({"run", "cache hits", "cache misses",
+                   "inference-server time [s]"});
+  for (int i = 0; i < 2; ++i) {
+    table.add_row({std::to_string(i + 1), std::to_string(runs[i].hits),
+                   std::to_string(runs[i].misses),
+                   bench::fmt(runs[i].inference_s, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("first run pays misses", runs[0].misses > 0);
+  bench::shape_check("second run re-tunes nothing", runs[1].misses == 0);
+  bench::shape_check("second run's inference-server time is zero",
+                     runs[1].inference_s == 0.0);
+  return 0;
+}

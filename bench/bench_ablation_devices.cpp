@@ -1,0 +1,54 @@
+// Ablation: cross-device deployment recommendations (§1: "the tuned model
+// might be deployed across different edge devices and having these
+// configurations suggested can assist users"). One tuning job, one winning
+// architecture, one recommendation per edge platform.
+#include "bench/bench_util.hpp"
+#include "tuning/model_server.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: multi-device recommendations",
+                "one winner, per-device deployment configs",
+                "faster devices get higher-throughput deployments");
+
+  EdgeTuneOptions options =
+      bench::bench_options(WorkloadKind::kImageClassification);
+  options.edge_device = device_rpi3b();
+  options.extra_edge_devices = {device_armv7(), device_i7_7567u()};
+  Result<TuningReport> result = EdgeTune(options).run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  const TuningReport& report = result.value();
+
+  TextTable table({"device", "recommended config", "thpt [samples/s]",
+                   "energy [J/sample]"});
+  auto add = [&](const std::string& device,
+                 const InferenceRecommendation& rec) {
+    table.add_row({device, config_to_string(rec.config),
+                   bench::fmt(rec.throughput_sps, 1),
+                   bench::fmt(rec.energy_per_sample_j, 4)});
+  };
+  add(options.edge_device.name, report.inference);
+  for (const auto& [device, rec] : report.per_device) add(device, rec);
+  std::printf("winning model: %s\n\n%s",
+              config_to_string(report.best_config).c_str(),
+              table.render().c_str());
+
+  const auto& i7 = report.per_device.at("i7");
+  const auto& armv7 = report.per_device.at("armv7");
+  bench::shape_check("i7 deployment outruns both ARM boards",
+                     i7.throughput_sps > armv7.throughput_sps &&
+                         i7.throughput_sps > report.inference.throughput_sps);
+  bench::shape_check("every device got a multi-sample recommendation",
+                     report.inference.config.count("inf_batch") != 0 &&
+                         i7.config.count("inf_batch") != 0 &&
+                         armv7.config.count("inf_batch") != 0);
+  bench::shape_check(
+      "per-device configs differ (deployment is device-specific)",
+      !(i7.config == report.inference.config) ||
+          !(armv7.config == report.inference.config));
+  return 0;
+}

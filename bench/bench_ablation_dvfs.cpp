@@ -1,0 +1,59 @@
+// Ablation: DVFS frequency levels — the third inference system parameter
+// the Inference Tuning Server tunes (§3.4: "number of cores, memory,
+// frequency"). Sweeps each edge device's frequency ladder at a fixed
+// batch/core configuration.
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: DVFS levels",
+                "inference throughput & energy across frequency steps",
+                "higher f: more thpt, more power; J/sample has a sweet spot");
+
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+
+  bool thpt_monotone = true;
+  int devices_with_interior_or_low_optimum = 0;
+  for (const DeviceProfile& device : all_edge_devices()) {
+    CostModel model(device);
+    std::printf("\n%s — batch 8, %d cores\n", device.name.c_str(),
+                device.max_cores);
+    TextTable table({"freq [GHz]", "thpt [samples/s]", "power [W]",
+                     "energy [J/sample]"});
+    double prev_thpt = 0;
+    double best_energy = 1e18;
+    std::size_t best_energy_idx = 0;
+    for (std::size_t i = 0; i < device.freq_levels_ghz.size(); ++i) {
+      const double freq = device.freq_levels_ghz[i];
+      CostEstimate est =
+          model
+              .inference_cost(arch, {.batch_size = 8,
+                                     .cores = device.max_cores,
+                                     .freq_ghz = freq})
+              .value();
+      if (est.throughput_sps < prev_thpt) thpt_monotone = false;
+      prev_thpt = est.throughput_sps;
+      const double energy = est.energy_per_sample_j(8);
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_energy_idx = i;
+      }
+      table.add_row({bench::fmt(freq, 2), bench::fmt(est.throughput_sps, 2),
+                     bench::fmt(est.power_w, 2), bench::fmt(energy, 4)});
+    }
+    if (best_energy_idx + 1 < device.freq_levels_ghz.size()) {
+      ++devices_with_interior_or_low_optimum;
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  bench::shape_check("throughput is monotone in frequency", thpt_monotone);
+  bench::shape_check(
+      "on >= 2 devices the energy-optimal frequency is below the maximum",
+      devices_with_interior_or_low_optimum >= 2);
+  return 0;
+}

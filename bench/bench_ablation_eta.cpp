@@ -1,0 +1,53 @@
+// Ablation: the successive-halving reduction factor eta (§2.2/§4.3). Larger
+// eta discards configurations more aggressively: fewer total trials and
+// cheaper tuning, at the risk of dropping late-blooming configurations.
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: reduction factor eta",
+                "multi-budget + BOHB with eta in {2, 3, 4} (IC)",
+                "fewer trials at similar cost; aggressive eta risks quality");
+
+  struct Row {
+    std::size_t trials;
+    double runtime_m, energy_kj, best_acc;
+  };
+  std::map<int, Row> rows;
+  for (int eta : {2, 3, 4}) {
+    EdgeTuneOptions options =
+        bench::bench_options(WorkloadKind::kImageClassification);
+    options.hyperband.eta = eta;
+    Result<TuningReport> result = EdgeTune(options).run();
+    if (!result.ok()) return 1;
+    rows[eta] = {result.value().trials.size(),
+                 result.value().tuning_runtime_s / 60.0,
+                 result.value().tuning_energy_j / 1000.0,
+                 result.value().best_accuracy};
+  }
+
+  TextTable table(
+      {"eta", "trials", "tuning [m]", "energy [kJ]", "best acc [%]"});
+  for (int eta : {2, 3, 4}) {
+    const Row& r = rows[eta];
+    table.add_row({std::to_string(eta), std::to_string(r.trials),
+                   bench::fmt(r.runtime_m, 2), bench::fmt(r.energy_kj, 1),
+                   bench::fmt(100 * r.best_acc, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("eta=4 runs fewer trials than eta=2",
+                     rows[4].trials < rows[2].trials);
+  // Larger eta promotes straight to bigger rungs: fewer trials, each
+  // heavier. Totals stay in the same range rather than shrinking.
+  bench::shape_check("eta=4 total cost within 40% of eta=2",
+                     rows[4].runtime_m <= rows[2].runtime_m * 1.4);
+  bench::shape_check("moderate eta (2, 3) trains usable models (acc > 40%)",
+                     rows[2].best_acc > 0.4 && rows[3].best_acc > 0.4);
+  // The documented risk: the most aggressive eta can discard late bloomers
+  // and lose final quality — it must never *win* on accuracy.
+  bench::shape_check("eta=4 accuracy does not exceed eta=2's",
+                     rows[4].best_acc <= rows[2].best_acc + 1e-9);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: onefold vs hierarchical tuning (§4.1, Fig 9). The paper: "We
+// implement a prototype for each strategy, and compared the results to
+// support our assumption" — hierarchical tuning treats hyper- and system
+// parameters independently and misses their interaction; onefold explores
+// the joint space.
+#include "bench/bench_util.hpp"
+#include "tuning/baselines.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: onefold vs hierarchical (§4.1 / Fig 9)",
+                "joint space vs tier-1 hyper + tier-2 system tuning",
+                "onefold's final objective is never worse; costs comparable");
+
+  struct Row {
+    double onefold_obj, hier_obj;
+    double onefold_runtime_m, hier_runtime_m;
+    double onefold_thpt, hier_thpt;
+  };
+  std::map<std::string, Row> rows;
+  int onefold_wins = 0;
+
+  for (WorkloadKind workload :
+       {WorkloadKind::kImageClassification, WorkloadKind::kSpeech,
+        WorkloadKind::kNlp}) {
+    EdgeTuneOptions options = bench::bench_options(workload, 19);
+    Result<TuningReport> onefold = EdgeTune(options).run();
+    Result<TuningReport> hier = run_hierarchical(options);
+    if (!onefold.ok() || !hier.ok()) {
+      std::fprintf(stderr, "run failed for %s\n",
+                   workload_kind_name(workload));
+      return 1;
+    }
+    rows[workload_kind_name(workload)] = {
+        onefold.value().best_objective,   hier.value().best_objective,
+        onefold.value().tuning_runtime_s / 60.0,
+        hier.value().tuning_runtime_s / 60.0,
+        onefold.value().inference.throughput_sps,
+        hier.value().inference.throughput_sps};
+    if (onefold.value().best_objective <=
+        hier.value().best_objective * 1.05) {
+      ++onefold_wins;
+    }
+  }
+
+  TextTable table({"workload", "onefold obj", "hier obj", "onefold [m]",
+                   "hier [m]", "onefold thpt", "hier thpt"});
+  for (const auto& [workload, r] : rows) {
+    table.add_row({workload, bench::fmt(r.onefold_obj, 3),
+                   bench::fmt(r.hier_obj, 3),
+                   bench::fmt(r.onefold_runtime_m, 2),
+                   bench::fmt(r.hier_runtime_m, 2),
+                   bench::fmt(r.onefold_thpt, 1),
+                   bench::fmt(r.hier_thpt, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check(
+      "onefold's final objective <= hierarchical's (within 5%) on >= 2/3",
+      onefold_wins >= 2);
+  bench::shape_check("hierarchical pays a second tuning tier",
+                     rows.at("IC").hier_runtime_m >
+                         rows.at("IC").onefold_runtime_m * 0.5);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: pipelined vs stalled inference tuning (Fig 6). EdgeTune overlaps
+// the Inference Tuning Server with training trials, charging only the excess
+// beyond each trial's duration. A serial design would pay the full
+// inference-tuning time on the critical path.
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Ablation: async pipelining (Fig 6)",
+                "pipelined (EdgeTune) vs hypothetical serial execution",
+                "pipelining hides most inference-tuning time inside trials");
+
+  TextTable table({"workload", "trials [m]", "inference tuning [m]",
+                   "pipelined total [m]", "serial total [m]", "hidden %"});
+  bool all_hidden_positive = true;
+  double total_pipelined = 0, total_serial = 0;
+  for (WorkloadKind workload : bench::workloads()) {
+    EdgeTuneOptions options = bench::bench_options(workload);
+    Result<TuningReport> result = EdgeTune(options).run();
+    if (!result.ok()) return 1;
+    double trial_s = 0, inference_s = 0, pipelined_s = 0;
+    for (const TrialLog& t : result.value().trials) {
+      trial_s += t.duration_s;
+      inference_s += t.inference_tuning_s;
+      pipelined_s += t.duration_s + t.inference_stall_s;
+    }
+    const double serial_s = trial_s + inference_s;
+    const double hidden =
+        inference_s > 0
+            ? 100.0 * (serial_s - pipelined_s) / inference_s
+            : 0.0;
+    if (hidden < 0) all_hidden_positive = false;
+    total_pipelined += pipelined_s;
+    total_serial += serial_s;
+    table.add_row({workload_kind_name(workload), bench::fmt(trial_s / 60, 2),
+                   bench::fmt(inference_s / 60, 2),
+                   bench::fmt(pipelined_s / 60, 2),
+                   bench::fmt(serial_s / 60, 2), bench::fmt(hidden, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("pipelined total <= serial total on every workload",
+                     all_hidden_positive);
+  bench::shape_check("pipelining saves time overall",
+                     total_pipelined < total_serial);
+  return 0;
+}

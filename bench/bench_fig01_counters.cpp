@@ -1,0 +1,49 @@
+// Fig 1: performance-counter events during the forward phase of training vs
+// inference (AlexNet-class CNN on the image workload). The paper's point:
+// CPU-bound events match across phases, memory-bound events do not — so the
+// training forward pass is a poor predictor of inference behaviour and a
+// dedicated inference emulation is warranted (§2.1).
+#include "bench/bench_util.hpp"
+#include "device/perf_counters.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 1",
+                "perf counters: train-forward vs inference (AlexNet, armv7)",
+                "cpu.* rates match; cache/LLC/L1 rates diverge");
+
+  Rng rng(1);
+  ArchSpec arch = build_alexnet({.num_classes = 10}, rng).value().arch;
+  const DeviceProfile device = device_armv7();
+
+  auto train = collect_perf_counters(arch, device,
+                                     ExecutionPhase::kTrainForward, 32);
+  auto inf =
+      collect_perf_counters(arch, device, ExecutionPhase::kInference, 32);
+
+  TextTable table({"event", "train-forward [ev/s]", "inference [ev/s]",
+                   "train bin", "inference bin", "consistent?"});
+  int divergent_memory = 0, consistent_cpu = 0;
+  for (const std::string& event : perf_counter_events()) {
+    const double t = train.at(event);
+    const double i = inf.at(event);
+    const bool same_bin = perf_rate_bin(t) == perf_rate_bin(i);
+    table.add_row({event, human_count(t), human_count(i), perf_rate_bin(t),
+                   perf_rate_bin(i), same_bin ? "yes" : "NO"});
+    const bool is_cpu_event = starts_with(event, "cpu.") ||
+                              starts_with(event, "bus.") ||
+                              event == "context.switches";
+    const double ratio = t / i;
+    if (is_cpu_event && ratio > 0.8 && ratio < 1.25) ++consistent_cpu;
+    if (!is_cpu_event && (ratio > 1.5 || ratio < 0.67)) ++divergent_memory;
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("CPU-bound events consistent across phases",
+                     consistent_cpu >= 4);
+  bench::shape_check("several memory-bound events diverge (>1.5x)",
+                     divergent_memory >= 6);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 2: model hyperparameter (ResNet layers 18/34/50) vs training
+// runtime+energy (a) and inference throughput+energy (b).
+// Paper shape: training cost grows with depth; inference throughput is
+// inversely proportional to layers while energy/image is proportional.
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 2", "ResNet depth vs training & inference cost",
+                "thpt falls with layers; energy/img and train cost rise");
+
+  CostModel server(device_titan_server());
+  CostModel edge(device_rpi3b());
+  const std::int64_t train_samples =
+      workload_info(WorkloadKind::kImageClassification).train_samples;
+
+  TextTable table({"layers", "train runtime [m]", "train energy [kJ]",
+                   "inf thpt [imgs/s]", "inf energy [J/img]"});
+  std::vector<double> runtimes, energies, thpts, inf_energies;
+  for (int depth : {18, 34, 50}) {
+    Rng rng(1);
+    ArchSpec arch = build_resnet({.depth = depth}, rng).value().arch;
+    // Training: 10 epochs at the paper-typical batch 128 on 1 GPU.
+    CostEstimate epoch =
+        server
+            .train_epoch_cost(arch, {.batch_size = 128, .num_gpus = 1},
+                              train_samples)
+            .value();
+    const double runtime_m = epoch.latency_s * 10 / 60.0;
+    const double energy_kj = epoch.energy_j * 10 / 1000.0;
+    // Inference: single image on the edge device, all cores.
+    CostEstimate inf =
+        edge.inference_cost(arch, {.batch_size = 1, .cores = 4}).value();
+    runtimes.push_back(runtime_m);
+    energies.push_back(energy_kj);
+    thpts.push_back(inf.throughput_sps);
+    inf_energies.push_back(inf.energy_per_sample_j(1));
+    table.add_row({std::to_string(depth), bench::fmt(runtime_m, 1),
+                   bench::fmt(energy_kj, 1), bench::fmt(inf.throughput_sps, 2),
+                   bench::fmt(inf.energy_per_sample_j(1), 3)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::shape_check("training runtime grows with layers",
+                     runtimes[0] < runtimes[1] && runtimes[1] < runtimes[2]);
+  bench::shape_check("training energy grows with layers",
+                     energies[0] < energies[1] && energies[1] < energies[2]);
+  bench::shape_check("inference throughput inversely proportional to layers",
+                     thpts[0] > thpts[1] && thpts[1] > thpts[2]);
+  bench::shape_check(
+      "inference energy per image proportional to layers",
+      inf_energies[0] < inf_energies[1] && inf_energies[1] < inf_energies[2]);
+  return 0;
+}

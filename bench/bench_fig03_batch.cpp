@@ -1,0 +1,68 @@
+// Fig 3: (a) training batch size {256, 512, 1024} vs training runtime and
+// energy; (b) inference batch size {1, 10, 100} vs throughput and energy.
+// Paper shapes: batch 1024 costs clearly more than 256/512, which have
+// similar runtimes but different energies; inference throughput/energy
+// improve from 1 -> 10 and saturate/decay at 100.
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 3", "training & inference batch size effects",
+                "multi-sample inference wins until saturation (~10 > 1, 100)");
+
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel server(device_titan_server());
+  CostModel edge(device_armv7());  // 4 GB board: the full 1..100 sweep fits
+  const std::int64_t train_samples =
+      workload_info(WorkloadKind::kImageClassification).train_samples;
+
+  std::printf("(a) training batch size — 10 epochs, 1 GPU\n");
+  TextTable train_table(
+      {"train batch", "runtime [m]", "energy [kJ]"});
+  std::vector<double> train_times, train_energies;
+  for (std::int64_t batch : {256, 512, 1024}) {
+    CostEstimate epoch =
+        server
+            .train_epoch_cost(arch, {.batch_size = batch, .num_gpus = 1},
+                              train_samples)
+            .value();
+    train_times.push_back(epoch.latency_s * 10 / 60.0);
+    train_energies.push_back(epoch.energy_j * 10 / 1000.0);
+    train_table.add_row({std::to_string(batch),
+                         bench::fmt(train_times.back(), 1),
+                         bench::fmt(train_energies.back(), 1)});
+  }
+  std::printf("%s", train_table.render().c_str());
+
+  std::printf("\n(b) inference batch size — armv7 edge device, 4 cores\n");
+  TextTable inf_table({"inf batch", "thpt [imgs/s]", "energy [J/img]"});
+  std::vector<double> thpts, inf_energies;
+  for (std::int64_t batch : {1, 10, 100}) {
+    CostEstimate est =
+        edge.inference_cost(arch, {.batch_size = batch, .cores = 4}).value();
+    thpts.push_back(est.throughput_sps);
+    inf_energies.push_back(est.energy_per_sample_j(batch));
+    inf_table.add_row({std::to_string(batch), bench::fmt(thpts.back(), 2),
+                       bench::fmt(inf_energies.back(), 3)});
+  }
+  std::printf("%s", inf_table.render().c_str());
+
+  bench::shape_check(
+      "batch 256 and 512 similar runtime (within 35%)",
+      std::abs(train_times[0] - train_times[1]) <
+          0.35 * std::max(train_times[0], train_times[1]));
+  bench::shape_check("batch 1024 is the most expensive in energy",
+                     train_energies[2] > train_energies[0] &&
+                         train_energies[2] > train_energies[1]);
+  bench::shape_check("multi-inference (10) beats single (1) in throughput",
+                     thpts[1] > thpts[0]);
+  bench::shape_check("too-large batch (100) saturates/decays",
+                     thpts[2] < thpts[1]);
+  bench::shape_check("multi-inference (10) lowers energy per image",
+                     inf_energies[1] < inf_energies[0]);
+  return 0;
+}

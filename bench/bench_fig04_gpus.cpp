@@ -1,0 +1,54 @@
+// Fig 4: number of GPUs {1, 4, 8} vs training runtime and energy, for batch
+// 32 (a) and batch 1024 (b). Paper shapes: small batches get NO faster (up
+// to 120% slower) with more GPUs; large batches speed up sublinearly while
+// energy still grows.
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 4", "multi-GPU training scaling (ResNet18)",
+                "batch 32: no speedup, worse energy; batch 1024: sublinear");
+
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel server(device_titan_server());
+  const std::int64_t train_samples =
+      workload_info(WorkloadKind::kImageClassification).train_samples;
+
+  std::map<std::int64_t, std::vector<double>> times, energies;
+  for (std::int64_t batch : {32, 1024}) {
+    std::printf("(%s) training batch = %lld — 10 epochs\n",
+                batch == 32 ? "a" : "b", static_cast<long long>(batch));
+    TextTable table({"GPUs", "runtime [m]", "energy [kJ]"});
+    for (int gpus : {1, 4, 8}) {
+      CostEstimate epoch =
+          server
+              .train_epoch_cost(arch, {.batch_size = batch, .num_gpus = gpus},
+                                train_samples)
+              .value();
+      times[batch].push_back(epoch.latency_s * 10 / 60.0);
+      energies[batch].push_back(epoch.energy_j * 10 / 1000.0);
+      table.add_row({std::to_string(gpus),
+                     bench::fmt(times[batch].back(), 1),
+                     bench::fmt(energies[batch].back(), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  bench::shape_check("batch 32: more GPUs do not improve runtime",
+                     times[32][1] >= times[32][0] * 0.98 &&
+                         times[32][2] >= times[32][0] * 0.98);
+  bench::shape_check("batch 32: more GPUs increase energy",
+                     energies[32][2] > energies[32][0]);
+  bench::shape_check("batch 1024: runtime improves with GPUs",
+                     times[1024][2] < times[1024][0]);
+  bench::shape_check(
+      "batch 1024: speedup is sublinear (8 GPUs < 8x)",
+      times[1024][0] / times[1024][2] < 8.0);
+  bench::shape_check("batch 1024: energy grows despite lower runtime",
+                     energies[1024][2] > energies[1024][0]);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig 5: number of CPU cores {1, 2, 4} vs inference throughput and energy
+// for batch 1 (a) and batch 10 (b). Paper shapes: single-image inference
+// gains no throughput from cores but burns more energy; multi-image scales
+// with cores but sublinearly, with energy growing faster than throughput.
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 5", "CPU cores vs inference performance (ResNet18)",
+                "batch 1: flat thpt, rising energy; batch 10: sublinear");
+
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel edge(device_rpi3b());
+
+  std::map<std::int64_t, std::vector<double>> thpts, energies;
+  for (std::int64_t batch : {1, 10}) {
+    std::printf("(%s) inference batch = %lld\n", batch == 1 ? "a" : "b",
+                static_cast<long long>(batch));
+    TextTable table({"cores", "thpt [imgs/s]", "energy [J/img]"});
+    for (int cores : {1, 2, 4}) {
+      CostEstimate est =
+          edge.inference_cost(arch, {.batch_size = batch, .cores = cores})
+              .value();
+      thpts[batch].push_back(est.throughput_sps);
+      energies[batch].push_back(est.energy_per_sample_j(batch));
+      table.add_row({std::to_string(cores),
+                     bench::fmt(thpts[batch].back(), 2),
+                     bench::fmt(energies[batch].back(), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  bench::shape_check("batch 1: 4 cores < 2x the 1-core throughput",
+                     thpts[1][2] < 2.0 * thpts[1][0]);
+  bench::shape_check("batch 1: energy rises with cores",
+                     energies[1][2] > energies[1][0]);
+  bench::shape_check("batch 10: throughput grows with cores",
+                     thpts[10][2] > thpts[10][0]);
+  bench::shape_check("batch 10: scaling is sublinear (< 4x at 4 cores)",
+                     thpts[10][2] < 4.0 * thpts[10][0]);
+  // Footnote 1 of the paper: "the most energy-saving solution requires 2 CPU
+  // cores, which is however not the one with highest throughput" — the sweet
+  // spot differs per objective.
+  const std::size_t best_energy_cores =
+      std::min_element(energies[1].begin(), energies[1].end()) -
+      energies[1].begin();
+  const std::size_t best_thpt_cores =
+      std::max_element(thpts[1].begin(), thpts[1].end()) - thpts[1].begin();
+  bench::shape_check(
+      "batch 1: energy-optimal core count != throughput-optimal one",
+      best_energy_cores != best_thpt_cores);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig 13: the three budget approaches across the four workloads — tuning
+// duration (a), tuning energy (b), inference throughput (c), inference
+// energy (d). Paper shape: multi-budget consistently shortest/most frugal
+// tuning (≈50% savings on OD) while the recommended inference configs are
+// comparable across budgets (all converge to near-optimal deployments).
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 13", "budget approaches across workloads",
+                "multi-budget cheapest tuning; inference results comparable");
+
+  struct Cell {
+    double runtime_m, energy_kj, thpt, inf_energy;
+  };
+  std::map<std::string, std::map<std::string, Cell>> grid;
+  const std::vector<std::string> budgets = {"epochs", "dataset",
+                                            "multi-budget"};
+
+  for (WorkloadKind workload : bench::workloads()) {
+    for (const std::string& budget : budgets) {
+      EdgeTuneOptions options = bench::bench_options(workload);
+      options.budget_policy = budget;
+      options.target_accuracy = 0.70;
+      Result<TuningReport> result = EdgeTune(options).run();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n",
+                     workload_kind_name(workload), budget.c_str(),
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      const TuningReport& r = result.value();
+      grid[workload_kind_name(workload)][budget] = {
+          r.tuning_runtime_s / 60.0, r.tuning_energy_j / 1000.0,
+          r.inference.throughput_sps, r.inference.energy_per_sample_j};
+    }
+  }
+
+  const char* panels[4] = {"(a) tuning duration [m]", "(b) tuning energy [kJ]",
+                           "(c) inference throughput [samples/s]",
+                           "(d) inference energy [J/sample]"};
+  for (int panel = 0; panel < 4; ++panel) {
+    std::printf("\n%s\n", panels[panel]);
+    TextTable table({"workload", "epochs", "dataset", "multi-budget"});
+    for (WorkloadKind workload : bench::workloads()) {
+      const char* id = workload_kind_name(workload);
+      std::vector<std::string> row = {id};
+      for (const std::string& budget : budgets) {
+        const Cell& c = grid[id][budget];
+        const double v = panel == 0   ? c.runtime_m
+                         : panel == 1 ? c.energy_kj
+                         : panel == 2 ? c.thpt
+                                      : c.inf_energy;
+        row.push_back(bench::fmt(v, panel == 3 ? 3 : 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  int multi_wins_runtime = 0, multi_wins_energy = 0, comparable_inference = 0;
+  for (WorkloadKind workload : bench::workloads()) {
+    const auto& row = grid[workload_kind_name(workload)];
+    const Cell& multi = row.at("multi-budget");
+    if (multi.runtime_m <= row.at("epochs").runtime_m * 1.02) {
+      ++multi_wins_runtime;
+    }
+    if (multi.energy_kj <= row.at("epochs").energy_kj * 1.02) {
+      ++multi_wins_energy;
+    }
+    // Inference recommendations land within 2x of the best budget's
+    // throughput ("very similar ... different possible optimal solutions").
+    double best_thpt = 0;
+    for (const auto& [name, cell] : row) best_thpt = std::max(best_thpt, cell.thpt);
+    if (multi.thpt > 0.5 * best_thpt) ++comparable_inference;
+  }
+  bench::shape_check("multi-budget tuning no slower than epochs (all 4)",
+                     multi_wins_runtime == 4);
+  bench::shape_check("multi-budget tuning energy <= epochs (all 4)",
+                     multi_wins_energy == 4);
+  bench::shape_check("inference results comparable across budgets",
+                     comparable_inference == 4);
+  const auto& od = grid["OD"];
+  bench::shape_check(
+      "OD: multi-budget saves substantially vs epochs (>=30%)",
+      od.at("multi-budget").runtime_m < 0.7 * od.at("epochs").runtime_m);
+  return 0;
+}

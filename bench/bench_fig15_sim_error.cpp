@@ -1,0 +1,81 @@
+// Fig 15: percent error of the Inference Tuning Server's emulated throughput
+// and energy against measurements on the "physical" edge device. The
+// physical device is a perturbed twin of the nominal profile (DESIGN.md §2)
+// plus per-measurement noise — exactly what separates a datasheet-calibrated
+// emulator from silicon. Paper shape: errors mostly below ~20% with a tail
+// of outliers (their whiskers reach ~140%).
+#include "bench/bench_util.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 15", "emulation error vs physical edge devices",
+                "median percent error <= ~20% for throughput and energy");
+
+  Rng rng(2024);
+  std::vector<double> thpt_errors, energy_errors;
+
+  for (const DeviceProfile& nominal : all_edge_devices()) {
+    CostModel emulator(nominal);
+    // The physical twin: same device, parameters off by calibration error.
+    CostModel physical(
+        perturb_profile(nominal, stable_hash64(nominal.name) ^ 77, 0.35));
+    for (int depth : {18, 34, 50}) {
+      Rng model_rng(depth);
+      ArchSpec arch =
+          build_resnet({.depth = depth}, model_rng).value().arch;
+      for (int trial = 0; trial < 12; ++trial) {
+        InferenceConfig config;
+        config.batch_size = rng.uniform_int(1, 64);
+        config.cores = static_cast<int>(rng.uniform_int(1, nominal.max_cores));
+        config.freq_ghz = nominal.freq_levels_ghz[rng.bounded(
+            nominal.freq_levels_ghz.size())];
+        Result<CostEstimate> est_result =
+            emulator.inference_cost(arch, config);
+        Result<CostEstimate> truth_result =
+            physical.inference_cost(arch, config);
+        if (!est_result.ok() || !truth_result.ok()) {
+          continue;  // undeployable configuration (exceeds device RAM)
+        }
+        CostEstimate est = est_result.value();
+        CostEstimate truth = truth_result.value();
+        // Per-measurement noise on the physical reading (power meter, OS
+        // jitter): ~8%.
+        const double noise_t = 1.0 + rng.gaussian(0.0, 0.08);
+        const double noise_e = 1.0 + rng.gaussian(0.0, 0.08);
+        const double emp_thpt = truth.throughput_sps * noise_t;
+        const double emp_energy =
+            truth.energy_per_sample_j(config.batch_size) * noise_e;
+        thpt_errors.push_back(
+            100.0 * std::abs(emp_thpt - est.throughput_sps) / emp_thpt);
+        energy_errors.push_back(
+            100.0 *
+            std::abs(emp_energy - est.energy_per_sample_j(config.batch_size)) /
+            emp_energy);
+      }
+    }
+  }
+
+  BoxStats thpt = box_stats(thpt_errors);
+  BoxStats energy = box_stats(energy_errors);
+  TextTable table({"metric", "min", "q1", "median", "q3", "max", "mean"});
+  table.add_row({"throughput PE [%]", bench::fmt(thpt.min, 1),
+                 bench::fmt(thpt.q1, 1), bench::fmt(thpt.median, 1),
+                 bench::fmt(thpt.q3, 1), bench::fmt(thpt.max, 1),
+                 bench::fmt(thpt.mean, 1)});
+  table.add_row({"energy PE [%]", bench::fmt(energy.min, 1),
+                 bench::fmt(energy.q1, 1), bench::fmt(energy.median, 1),
+                 bench::fmt(energy.q3, 1), bench::fmt(energy.max, 1),
+                 bench::fmt(energy.mean, 1)});
+  std::printf("%s", table.render().c_str());
+  std::printf("samples: %zu configurations across %zu devices x 3 depths\n",
+              thpt_errors.size(), all_edge_devices().size());
+
+  bench::shape_check("median throughput error <= 20%", thpt.median <= 20.0);
+  bench::shape_check("median energy error <= 20%", energy.median <= 20.0);
+  bench::shape_check("q3 (bulk of the box) <= 35%",
+                     thpt.q3 <= 35.0 && energy.q3 <= 35.0);
+  return 0;
+}

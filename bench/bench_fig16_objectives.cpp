@@ -1,0 +1,79 @@
+// Fig 16: runtime-based vs energy-based objective functions across the four
+// workloads — tuning duration, tuning energy, inference throughput,
+// inference energy. Paper shape: the runtime objective tunes slightly faster
+// but burns more energy; its recommended deployments have both higher
+// throughput AND higher energy than the energy objective's (differences
+// bounded, since runtime and energy are strongly correlated, §5.4).
+#include "bench/bench_util.hpp"
+
+using namespace edgetune;
+
+int main() {
+  bench::header("Fig 16", "objective functions: runtime vs energy",
+                "each objective pulls its own metric; gaps stay moderate");
+
+  struct Row {
+    double runtime_m, energy_kj, thpt, inf_energy;
+  };
+  std::map<std::string, std::map<std::string, Row>> grid;
+
+  for (WorkloadKind workload : bench::workloads()) {
+    for (MetricOfInterest metric :
+         {MetricOfInterest::kRuntime, MetricOfInterest::kEnergy}) {
+      EdgeTuneOptions options = bench::bench_options(workload);
+      options.tuning_metric = metric;
+      options.inference.objective = metric;  // both servers share the focus
+      Result<TuningReport> result = EdgeTune(options).run();
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      const TuningReport& r = result.value();
+      grid[workload_kind_name(workload)][metric_name(metric)] = {
+          r.tuning_runtime_s / 60.0, r.tuning_energy_j / 1000.0,
+          r.inference.throughput_sps, r.inference.energy_per_sample_j};
+    }
+  }
+
+  const char* panels[4] = {"(a) tuning duration [m]", "(b) tuning energy [kJ]",
+                           "(c) inference throughput [samples/s]",
+                           "(d) inference energy [J/sample]"};
+  for (int panel = 0; panel < 4; ++panel) {
+    std::printf("\n%s\n", panels[panel]);
+    TextTable table({"workload", "obj1:runtime", "obj2:energy"});
+    for (WorkloadKind workload : bench::workloads()) {
+      const auto& row = grid[workload_kind_name(workload)];
+      auto value = [&](const char* obj) {
+        const Row& r = row.at(obj);
+        return panel == 0   ? r.runtime_m
+               : panel == 1 ? r.energy_kj
+               : panel == 2 ? r.thpt
+                            : r.inf_energy;
+      };
+      table.add_row({workload_kind_name(workload),
+                     bench::fmt(value("runtime"), panel == 3 ? 3 : 1),
+                     bench::fmt(value("energy"), panel == 3 ? 3 : 1)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  int energy_obj_saves_energy = 0, thpt_higher_for_runtime_obj = 0;
+  for (WorkloadKind workload : bench::workloads()) {
+    const auto& row = grid[workload_kind_name(workload)];
+    if (row.at("energy").inf_energy <=
+        row.at("runtime").inf_energy * 1.001) {
+      ++energy_obj_saves_energy;
+    }
+    if (row.at("runtime").thpt >= row.at("energy").thpt * 0.999) {
+      ++thpt_higher_for_runtime_obj;
+    }
+  }
+  bench::shape_check(
+      "energy objective's deployment never burns more J/sample (4/4)",
+      energy_obj_saves_energy == 4);
+  bench::shape_check(
+      "runtime objective's deployment throughput >= energy's (>=3/4)",
+      thpt_higher_for_runtime_obj >= 3);
+  return 0;
+}

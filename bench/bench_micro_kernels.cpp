@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) for the hot substrate kernels: GEMM,
+// convolution lowering, proxy-model forward/backward, cost-model queries,
+// JSON round-trip, RNG. These are regression guards for the wall-clock cost
+// of tuning runs (the experiment harnesses execute thousands of these).
+#include <benchmark/benchmark.h>
+
+#include "common/json.hpp"
+#include "data/synthetic.hpp"
+#include "device/cost_model.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(2);
+  Tensor input = Tensor::randn({8, 16, 16, 16}, rng);
+  Conv2dGeometry geo{16, 16, 16, 3, 1, 1};
+  for (auto _ : state) {
+    Tensor cols = im2col(input, geo);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ResNetProxyForward(benchmark::State& state) {
+  Rng rng(3);
+  BuiltModel model =
+      build_resnet({.depth = static_cast<int>(state.range(0))}, rng).value();
+  Tensor x = Tensor::randn({16, 3, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor out = model.net->forward(x, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ResNetProxyForward)->Arg(18)->Arg(50);
+
+void BM_ResNetProxyTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  BuiltModel model = build_resnet({.depth = 18}, rng).value();
+  SgdOptimizer opt(model.net->params(), {.learning_rate = 0.05});
+  Tensor x = Tensor::randn({16, 3, 8, 8}, rng);
+  std::vector<std::int64_t> labels(16);
+  for (int i = 0; i < 16; ++i) labels[static_cast<std::size_t>(i)] = i % 10;
+  for (auto _ : state) {
+    Tensor logits = model.net->forward(x, true);
+    LossResult loss = softmax_cross_entropy(logits, labels);
+    model.net->backward(loss.grad);
+    opt.step();
+    benchmark::DoNotOptimize(loss.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ResNetProxyTrainStep);
+
+void BM_CostModelInference(benchmark::State& state) {
+  Rng rng(5);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel model(device_rpi3b());
+  for (auto _ : state) {
+    auto est = model.inference_cost(arch, {.batch_size = 10, .cores = 4});
+    benchmark::DoNotOptimize(est.value().latency_s);
+  }
+}
+BENCHMARK(BM_CostModelInference);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  JsonObject obj;
+  for (int i = 0; i < 32; ++i) {
+    obj.emplace("key_" + std::to_string(i),
+                JsonArray{Json(i), Json(i * 0.5), Json("value")});
+  }
+  const std::string text = Json(obj).dump();
+  for (auto _ : state) {
+    auto parsed = Json::parse(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.gaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_SyntheticImages(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ds = make_workload_data(WorkloadKind::kImageClassification, 256, 1);
+    benchmark::DoNotOptimize(ds->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SyntheticImages);
+
+}  // namespace
+}  // namespace edgetune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared helpers for the experiment harnesses. Each bench binary regenerates
+// one table or figure of the paper (DESIGN.md §4) and prints:
+//   1. the experiment header (paper location + expected shape),
+//   2. the measured rows/series as an aligned table,
+//   3. a SHAPE-CHECK section that tests the paper's qualitative claim
+//      against the measured numbers and prints ok/VIOLATION.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune::bench {
+
+inline void header(const std::string& id, const std::string& what,
+                   const std::string& expected_shape) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("expected shape: %s\n", expected_shape.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void shape_check(const std::string& claim, bool holds) {
+  std::printf("[shape-check] %-58s %s\n", claim.c_str(),
+              holds ? "ok" : "VIOLATION");
+}
+
+inline std::string fmt(double v, int decimals = 2) {
+  return format_double(v, decimals);
+}
+
+/// Canonical workload list in the paper's Table 1 order.
+inline const std::vector<WorkloadKind>& workloads() {
+  static const std::vector<WorkloadKind> kAll = {
+      WorkloadKind::kImageClassification, WorkloadKind::kSpeech,
+      WorkloadKind::kNlp, WorkloadKind::kDetection};
+  return kAll;
+}
+
+/// Tuning options sized so a full multi-workload sweep finishes in minutes
+/// of wall time while exercising the real pipeline (see DESIGN.md §5,
+/// "Virtual time": all reported runtimes/energies are simulated).
+inline EdgeTuneOptions bench_options(WorkloadKind workload,
+                                     std::uint64_t seed = 7) {
+  EdgeTuneOptions options;
+  options.workload = workload;
+  options.search_algorithm = "bohb";
+  options.budget_policy = "multi-budget";
+  options.hyperband = {1, 8, 2, 2};
+  options.runner.proxy_samples = 500;
+  options.inference.algorithm = "grid";
+  options.edge_device = device_rpi3b();
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace edgetune::bench

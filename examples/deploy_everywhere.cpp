@@ -1,0 +1,82 @@
+// End-to-end product walkthrough: tune once, deploy everywhere.
+//   1. Run an inference-aware tuning job for the speech workload.
+//   2. Get deployment recommendations for ALL THREE edge devices (§1: "the
+//      tuned model might be deployed across different edge devices").
+//   3. Inspect the Pareto front of the trial log (accuracy vs cost).
+//   4. Finalize: retrain the winner at full budget and checkpoint it.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "nn/serialize.hpp"
+#include "tuning/finalize.hpp"
+#include "tuning/pareto.hpp"
+
+using namespace edgetune;
+
+int main() {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kSpeech;
+  options.hyperband = {1, 8, 2, 2};
+  options.runner.proxy_samples = 500;
+  options.inference.algorithm = "grid";
+  options.edge_device = device_rpi3b();
+  options.extra_edge_devices = {device_armv7(), device_i7_7567u()};
+  options.seed = 23;
+
+  std::printf("== tuning SR (M5 / SynthAudio) ==\n");
+  Result<TuningReport> result = EdgeTune(options).run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  const TuningReport& report = result.value();
+  std::printf("winner: %s (best acc %.1f%%)\n",
+              config_to_string(report.best_config).c_str(),
+              100 * report.best_accuracy);
+
+  std::printf("\n== deployment recommendations ==\n");
+  auto print_rec = [](const std::string& device,
+                      const InferenceRecommendation& rec) {
+    std::printf("%-7s %-46s %8.1f samples/s  %.4f J/sample\n", device.c_str(),
+                config_to_string(rec.config).c_str(), rec.throughput_sps,
+                rec.energy_per_sample_j);
+  };
+  print_rec(options.edge_device.name, report.inference);
+  for (const auto& [device, rec] : report.per_device) print_rec(device, rec);
+
+  std::printf("\n== Pareto front (accuracy vs training cost) ==\n");
+  for (const TrialLog& t : pareto_front(report.trials)) {
+    std::printf("trial %2d: acc %5.1f%%  %6.1f s  %8.0f J  %s\n", t.id,
+                100 * t.accuracy, t.duration_s, t.energy_j,
+                config_to_string(t.config).c_str());
+  }
+
+  std::printf("\n== finalize: retrain winner & checkpoint ==\n");
+  FinalizeOptions finalize;
+  finalize.epochs = 8;
+  finalize.checkpoint_path = "/tmp/edgetune_winner.etw";
+  Result<FinalizedModel> final_model =
+      finalize_best_model(options, report, finalize);
+  if (!final_model.ok()) {
+    std::fprintf(stderr, "%s\n", final_model.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("final accuracy  : %.1f %%\n",
+              100 * final_model.value().accuracy);
+  std::printf("final train cost: %.1f min (sim), %.1f kJ\n",
+              final_model.value().train_time_s / 60.0,
+              final_model.value().train_energy_j / 1000.0);
+  std::printf("checkpoint      : %s\n",
+              final_model.value().checkpoint_path.c_str());
+
+  // Prove the checkpoint loads back into a fresh model of the same config.
+  Rng rng(999);
+  Result<BuiltModel> fresh = build_workload_model(
+      options.workload, report.best_config.at("model_hparam"), rng);
+  if (fresh.ok()) {
+    Status loaded = load_weights(*fresh.value().net,
+                                 final_model.value().checkpoint_path);
+    std::printf("reload check    : %s\n", loaded.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Edge-deployment scenario walkthrough (the paper's Fig 8 use cases):
+//   1. Tune the inference configuration of a trained ResNet for a Raspberry
+//      Pi class device with the Inference Tuning Server.
+//   2. Drive the two multi-sample deployment scenarios — a fixed-frequency
+//      server and a Poisson multi-stream — through the queueing simulator,
+//      comparing the naive single-sample deployment against the recommended
+//      batched one.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "models/models.hpp"
+#include "sim/batching_sim.hpp"
+#include "tuning/inference_server.hpp"
+
+using namespace edgetune;
+
+int main() {
+  // The trained model to deploy: ResNet-34 for the image workload.
+  Rng rng(11);
+  Result<BuiltModel> built = build_resnet({.depth = 34}, rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().to_string().c_str());
+    return 1;
+  }
+  const ArchSpec arch = built.value().arch;
+
+  // 1. Inference tuning on the emulated edge device.
+  InferenceServerOptions options;
+  options.algorithm = "grid";
+  options.objective = MetricOfInterest::kRuntime;
+  InferenceTuningServer server(device_rpi3b(), options);
+  Result<InferenceRecommendation> tuned = server.tune(arch);
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "%s\n", tuned.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("== inference recommendation for %s on rpi3b ==\n",
+              arch.id.c_str());
+  std::printf("config     : %s\n",
+              config_to_string(tuned.value().config).c_str());
+  std::printf("throughput : %.1f imgs/s (vs %.1f single-sample/1-core)\n",
+              tuned.value().throughput_sps,
+              server.evaluate(arch, {.batch_size = 1, .cores = 1})
+                  .value()
+                  .throughput_sps);
+
+  const auto tuned_batch = static_cast<std::int64_t>(
+      tuned.value().config.at("inf_batch"));
+  const int tuned_cores = static_cast<int>(tuned.value().config.at("cores"));
+  const InferenceLatencyFn tuned_latency = [&](std::int64_t batch) {
+    return server
+        .evaluate(arch, {.batch_size = batch,
+                         .cores = tuned_cores,
+                         .freq_ghz = tuned.value().config.at("freq_ghz")})
+        .value()
+        .latency_s;
+  };
+  const InferenceLatencyFn naive_latency = [&](std::int64_t batch) {
+    return server.evaluate(arch, {.batch_size = batch, .cores = 1})
+        .value()
+        .latency_s;
+  };
+
+  // 2a. Server scenario: queries of 32 samples arriving every 4 s.
+  std::printf("\n== server scenario: 32-sample queries every 4 s ==\n");
+  for (const char* label : {"naive (split=1, 1 core)", "tuned"}) {
+    ServerScenarioConfig config;
+    config.samples_per_query = 32;
+    config.query_period_s = 4.0;
+    config.horizon_s = 240;
+    const bool tuned_run = label[0] == 't';
+    config.split_batch = tuned_run ? tuned_batch : 1;
+    Result<QueueingStats> stats = simulate_server_scenario(
+        config, tuned_run ? tuned_latency : naive_latency);
+    if (!stats.ok()) return 1;
+    std::printf("%-24s mean response %.2f s, p95 %.2f s, util %.0f%%\n",
+                label, stats.value().mean_response_s,
+                stats.value().p95_response_s,
+                100 * stats.value().utilization);
+  }
+
+  // 2b. Multi-stream scenario: Poisson singles at 6 samples/s.
+  std::printf("\n== multi-stream scenario: Poisson arrivals at 6/s ==\n");
+  for (const char* label : {"naive (no batching, 1 core)", "tuned"}) {
+    MultiStreamScenarioConfig config;
+    config.arrival_rate_per_s = 6.0;
+    config.horizon_s = 240;
+    config.max_wait_s = 0.5;
+    const bool tuned_run = label[0] == 't';
+    config.max_batch = tuned_run ? tuned_batch : 1;
+    Result<QueueingStats> stats = simulate_multistream_scenario(
+        config, tuned_run ? tuned_latency : naive_latency);
+    if (!stats.ok()) return 1;
+    std::printf("%-28s mean response %.2f s, mean batch %.1f, util %.0f%%\n",
+                label, stats.value().mean_response_s,
+                stats.value().mean_batch_size,
+                100 * stats.value().utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Trains one model configuration end-to-end (no tuning) and prints the
+// per-epoch learning curve plus the simulated full-scale cost of each epoch.
+// Useful to inspect the proxy-training dynamics every tuning experiment
+// builds on.
+//
+// Usage: train_single [workload] [model_hparam] [epochs] [data_fraction]
+//   workload: IC | SR | NLP | OD (default IC)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "budget/budget.hpp"
+#include "data/synthetic.hpp"
+#include "device/cost_model.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+using namespace edgetune;
+
+namespace {
+
+WorkloadKind parse_workload(const char* text) {
+  if (std::strcmp(text, "SR") == 0) return WorkloadKind::kSpeech;
+  if (std::strcmp(text, "NLP") == 0) return WorkloadKind::kNlp;
+  if (std::strcmp(text, "OD") == 0) return WorkloadKind::kDetection;
+  return WorkloadKind::kImageClassification;
+}
+
+double default_hparam(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return 18;
+    case WorkloadKind::kSpeech:
+      return 64;
+    case WorkloadKind::kNlp:
+      return 2;
+    case WorkloadKind::kDetection:
+      return 0.3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const WorkloadKind workload =
+      argc > 1 ? parse_workload(argv[1]) : WorkloadKind::kImageClassification;
+  const double hparam =
+      argc > 2 ? std::atof(argv[2]) : default_hparam(workload);
+  const int epochs = argc > 3 ? std::atoi(argv[3]) : 10;
+  const double fraction = argc > 4 ? std::atof(argv[4]) : 1.0;
+
+  Rng rng(42);
+  Result<BuiltModel> built = build_workload_model(workload, hparam, rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().to_string().c_str());
+    return 1;
+  }
+  BuiltModel model = std::move(built).value();
+
+  auto dataset = make_workload_data(workload, 1600, 42);
+  Rng split_rng(43);
+  auto [train, val] = DatasetView::all(*dataset).split(0.8, split_rng);
+  DatasetView budget_train = train.fraction(fraction);
+
+  SgdOptimizer optimizer(model.net->params(),
+                         {.learning_rate = 0.05, .momentum = 0.9});
+  BatchIterator iter(budget_train, 16, rng);
+
+  CostModel server(device_titan_server());
+  TrainConfig train_config{.batch_size = 128, .num_gpus = 1};
+  const auto full_samples = static_cast<std::int64_t>(
+      fraction *
+      static_cast<double>(workload_info(workload).train_samples));
+  auto epoch_cost = server.train_epoch_cost(model.arch, train_config,
+                                            full_samples);
+
+  std::printf("model %s | %lld proxy train samples (%.0f%%), %lld val\n",
+              model.name.c_str(),
+              static_cast<long long>(budget_train.size()), fraction * 100,
+              static_cast<long long>(val.size()));
+  std::printf("full-scale: %.2f GFLOP/sample, %.2f M params\n",
+              model.arch.flops_per_sample / 1e9, model.arch.params / 1e6);
+
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    iter.begin_epoch();
+    double loss_sum = 0;
+    int steps = 0;
+    for (Batch b = iter.next(); b.size() > 0; b = iter.next()) {
+      Tensor logits = model.net->forward(b.inputs, true);
+      LossResult loss = softmax_cross_entropy(logits, b.labels);
+      model.net->backward(loss.grad);
+      optimizer.step();
+      loss_sum += loss.loss;
+      ++steps;
+    }
+    double correct = 0;
+    std::int64_t total = 0;
+    for (std::int64_t pos = 0; pos < val.size(); pos += 64) {
+      Batch b = val.batch(pos, 64);
+      if (b.size() == 0) break;
+      Tensor logits = model.net->forward(b.inputs, false);
+      correct += accuracy(logits, b.labels) * static_cast<double>(b.size());
+      total += b.size();
+    }
+    std::printf(
+        "epoch %2d | train loss %.3f | val acc %5.1f%% | sim %6.1f s, %7.0f J\n",
+        epoch, loss_sum / steps, 100.0 * correct / static_cast<double>(total),
+        epoch_cost.ok() ? epoch_cost.value().latency_s * epoch : 0.0,
+        epoch_cost.ok() ? epoch_cost.value().energy_j * epoch : 0.0);
+  }
+  return 0;
+}

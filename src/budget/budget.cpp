@@ -1,0 +1,29 @@
+#include "budget/budget.hpp"
+
+namespace edgetune {
+
+Result<std::unique_ptr<BudgetPolicy>> make_budget_policy(
+    const std::string& name) {
+  // Defaults mirror the paper's running example (§4.3): minimum 1 epoch,
+  // cap 10 epochs, minimum 10% of the dataset.
+  if (name == "epochs") {
+    return std::unique_ptr<BudgetPolicy>(std::make_unique<EpochBudget>(1, 10));
+  }
+  if (name == "dataset") {
+    return std::unique_ptr<BudgetPolicy>(
+        std::make_unique<DatasetBudget>(0.1));
+  }
+  if (name == "multi-budget") {
+    return std::unique_ptr<BudgetPolicy>(
+        std::make_unique<MultiBudget>(1, 10, 0.1));
+  }
+  if (name == "time") {
+    // 30 simulated seconds per budget unit, epoch ceiling shared with the
+    // other policies.
+    return std::unique_ptr<BudgetPolicy>(
+        std::make_unique<TimeBudget>(30.0, 10));
+  }
+  return Status::not_found("unknown budget policy: " + name);
+}
+
+}  // namespace edgetune

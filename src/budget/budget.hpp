@@ -1,0 +1,134 @@
+// Trial budget policies (§2.2, §4.3). A policy maps a successive-halving
+// resource level ("iteration", in budget units) to concrete trial resources:
+// how many epochs to run and what fraction of the training data to use.
+//
+//   EpochBudget   — epochs grow with the iteration, full dataset each time.
+//   DatasetBudget — one epoch, dataset fraction grows with the iteration.
+//   MultiBudget   — the paper's contribution (Alg. 2): BOTH grow
+//                   simultaneously and proportionally, with independent caps.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// Concrete resources for one training trial.
+struct TrialBudget {
+  int epochs = 1;
+  double data_fraction = 1.0;
+  /// When > 0, caps the trial's *simulated* training duration: the trial
+  /// runner stops after the last whole epoch that fits (at least one epoch
+  /// always runs). This is the paper's third budget dimension (§2.2:
+  /// budgets are "defined in terms of (1) number of epochs, (2) portion of
+  /// training dataset, and (3) duration").
+  double time_cap_s = 0;
+
+  /// Total work relative to (1 epoch x full dataset).
+  [[nodiscard]] double work_units() const noexcept {
+    return static_cast<double>(epochs) * data_fraction;
+  }
+};
+
+class BudgetPolicy {
+ public:
+  virtual ~BudgetPolicy() = default;
+
+  /// Resources for resource level `iteration` (>= 1, fractional allowed —
+  /// HyperBand rungs produce fractional levels).
+  [[nodiscard]] virtual TrialBudget at(double iteration) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// epochs = min(min_epochs * iteration, max_epochs); full dataset.
+class EpochBudget : public BudgetPolicy {
+ public:
+  EpochBudget(int min_epochs, int max_epochs)
+      : min_epochs_(min_epochs), max_epochs_(max_epochs) {}
+
+  [[nodiscard]] TrialBudget at(double iteration) const override {
+    TrialBudget b;
+    b.epochs = static_cast<int>(std::min<double>(
+        max_epochs_, std::max(1.0, min_epochs_ * iteration)));
+    b.data_fraction = 1.0;
+    return b;
+  }
+  [[nodiscard]] std::string name() const override { return "epochs"; }
+
+ private:
+  int min_epochs_, max_epochs_;
+};
+
+/// One epoch; data fraction = min(1, min_fraction * iteration).
+class DatasetBudget : public BudgetPolicy {
+ public:
+  explicit DatasetBudget(double min_fraction)
+      : min_fraction_(min_fraction) {}
+
+  [[nodiscard]] TrialBudget at(double iteration) const override {
+    TrialBudget b;
+    b.epochs = 1;
+    b.data_fraction =
+        std::clamp(min_fraction_ * iteration, min_fraction_, 1.0);
+    return b;
+  }
+  [[nodiscard]] std::string name() const override { return "dataset"; }
+
+ private:
+  double min_fraction_;
+};
+
+/// Alg. 2: both dimensions grow with the iteration; each saturates at its own
+/// cap and the other keeps growing.
+class MultiBudget : public BudgetPolicy {
+ public:
+  MultiBudget(int min_epochs, int max_epochs, double min_fraction)
+      : min_epochs_(min_epochs),
+        max_epochs_(max_epochs),
+        min_fraction_(min_fraction) {}
+
+  [[nodiscard]] TrialBudget at(double iteration) const override {
+    TrialBudget b;
+    b.epochs = static_cast<int>(std::min<double>(
+        max_epochs_, std::max(1.0, min_epochs_ * iteration)));
+    b.data_fraction =
+        std::clamp(min_fraction_ * iteration, min_fraction_, 1.0);
+    return b;
+  }
+  [[nodiscard]] std::string name() const override { return "multi-budget"; }
+
+ private:
+  int min_epochs_, max_epochs_;
+  double min_fraction_;
+};
+
+/// Duration budget: time cap grows with the iteration (full dataset; the
+/// trial runner fits as many epochs as the cap allows, up to max_epochs).
+class TimeBudget : public BudgetPolicy {
+ public:
+  TimeBudget(double min_seconds, int max_epochs)
+      : min_seconds_(min_seconds), max_epochs_(max_epochs) {}
+
+  [[nodiscard]] TrialBudget at(double iteration) const override {
+    TrialBudget b;
+    b.epochs = max_epochs_;
+    b.data_fraction = 1.0;
+    b.time_cap_s = std::max(min_seconds_, min_seconds_ * iteration);
+    return b;
+  }
+  [[nodiscard]] std::string name() const override { return "time"; }
+
+ private:
+  double min_seconds_;
+  int max_epochs_;
+};
+
+/// Factory by name: "epochs", "dataset", "multi-budget", "time".
+Result<std::unique_ptr<BudgetPolicy>> make_budget_policy(
+    const std::string& name);
+
+}  // namespace edgetune

@@ -1,0 +1,84 @@
+#include "common/flags.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace edgetune {
+
+FlagParser& FlagParser::define(std::string name, std::string default_value,
+                               std::string help) {
+  order_.push_back(name);
+  flags_[std::move(name)] =
+      Flag{default_value, std::move(default_value), std::move(help)};
+  return *this;
+}
+
+Status FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::invalid_argument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      // `--flag value` unless the next token is another flag or absent;
+      // bare booleans become "true".
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return Status::ok();
+}
+
+const std::string& FlagParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && "flag not defined");
+  return it->second.value;
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  const std::string& v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string FlagParser::help() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += "  --" + name;
+    out.append(name.size() < 18 ? 18 - name.size() : 1, ' ');
+    out += flag.help + " (default: " + flag.default_value + ")\n";
+  }
+  return out;
+}
+
+}  // namespace edgetune

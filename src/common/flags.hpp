@@ -1,0 +1,45 @@
+// Tiny declarative command-line flag parser for the CLI tools.
+// Supports --name=value, --name value, and bare --flag booleans.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+class FlagParser {
+ public:
+  /// Declares a flag with a default; returns *this for chaining.
+  FlagParser& define(std::string name, std::string default_value,
+                     std::string help);
+
+  /// Parses argv. Unknown flags or missing values are errors. Positional
+  /// arguments are collected in order.
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Formatted flag reference for --help output.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // declaration order for help()
+  std::vector<std::string> positional_;
+};
+
+}  // namespace edgetune

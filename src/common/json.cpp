@@ -1,0 +1,351 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace edgetune {
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; degrade gracefully.
+    return;
+  }
+  // Integers print without a fraction for readability and stable round-trips.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    ET_ASSIGN_OR_RETURN(Json value, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return Status::invalid_argument("json parse error at offset " +
+                                    std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        ET_ASSIGN_OR_RETURN(std::string s, parse_string());
+        return Json(std::move(s));
+      }
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        return error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        return error("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Json> parse_object() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key");
+      }
+      ET_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      skip_ws();
+      ET_ASSIGN_OR_RETURN(Json value, parse_value());
+      obj.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(obj));
+      return error("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> parse_array() {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    for (;;) {
+      skip_ws();
+      ET_ASSIGN_OR_RETURN(Json value, parse_value());
+      arr.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(arr));
+      return error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("short \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return error("bad \\u escape");
+            }
+          }
+          if (value < 0x80) {
+            out += static_cast<char>(value);
+          } else if (value < 0x800) {
+            out += static_cast<char>(0xC0 | (value >> 6));
+            out += static_cast<char>(0x80 | (value & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (value >> 12));
+            out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (value & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("unknown escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Result<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) return error("invalid number");
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += as_bool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      dump_number(as_number(), out);
+      break;
+    case Type::kString:
+      escape_string(as_string(), out);
+      break;
+    case Type::kArray: {
+      const auto& arr = as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : arr) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        escape_string(key, out);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  dump_to(out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+Result<Json> Json::parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace edgetune

@@ -1,0 +1,120 @@
+// Minimal JSON value + parser + serializer. Used for the persistent
+// historical-results database (paper §3.4) and for machine-readable bench
+// reports. Supports the full JSON grammar except \u escapes beyond ASCII.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  template <typename I>
+    requires(std::is_integral_v<I> && !std::is_same_v<I, bool>)
+  Json(I i) : value_(static_cast<double>(i)) {}      // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}        // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}       // NOLINT
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type() == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::kObject;
+  }
+
+  // Typed accessors; assert on wrong type in debug builds.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return std::get<JsonArray>(value_);
+  }
+  [[nodiscard]] JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return std::get<JsonObject>(value_);
+  }
+  [[nodiscard]] JsonObject& as_object() {
+    return std::get<JsonObject>(value_);
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto& obj = as_object();
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience getters with fallbacks for optional fields.
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback) const {
+    const Json* j = find(key);
+    return (j != nullptr && j->is_number()) ? j->as_number() : fallback;
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const {
+    const Json* j = find(key);
+    return (j != nullptr && j->is_string()) ? j->as_string()
+                                            : std::move(fallback);
+  }
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const Json* j = find(key);
+    return (j != nullptr && j->is_bool()) ? j->as_bool() : fallback;
+  }
+
+  /// Compact serialization (stable key order: std::map).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+  static Result<Json> parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace edgetune

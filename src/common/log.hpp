@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe, globally configurable, zero cost for
+// disabled levels beyond one atomic load.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edgetune {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so tests/benches stay quiet).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ET_LOG(level)                                        \
+  if (static_cast<int>(::edgetune::LogLevel::level) <        \
+      static_cast<int>(::edgetune::log_level())) {           \
+  } else                                                     \
+    ::edgetune::detail::LogLine(::edgetune::LogLevel::level)
+
+#define ET_LOG_DEBUG ET_LOG(kDebug)
+#define ET_LOG_INFO ET_LOG(kInfo)
+#define ET_LOG_WARN ET_LOG(kWarn)
+#define ET_LOG_ERROR ET_LOG(kError)
+
+}  // namespace edgetune

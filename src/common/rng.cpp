@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+#include <string>
+
+namespace edgetune {
+
+std::uint64_t stable_hash64(const void* data, std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace edgetune

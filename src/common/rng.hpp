@@ -1,0 +1,147 @@
+// Deterministic, seedable RNG used everywhere in the library.
+//
+// We deliberately avoid std::mt19937 + std::*_distribution because their
+// outputs differ across standard-library implementations; reproducibility of
+// tuning runs (and therefore of every benchmark table) requires bit-stable
+// streams. SplitMix64 seeds Xoshiro256**, the generator recommended by its
+// authors for seeding.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string>
+#include <vector>
+
+namespace edgetune {
+
+/// SplitMix64: tiny stateless-ish generator; used for seeding and for
+/// hash-mixing of configuration keys.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG with helper distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d1ce4e5b9ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    gauss_cached_ = false;
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform in [0, n). Debiased via rejection.
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    if (n <= 1) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box-Muller (cached pair for speed).
+  double gaussian() noexcept {
+    if (gauss_cached_) {
+      gauss_cached_ = false;
+      return gauss_cache_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    gauss_cache_ = r * std::sin(theta);
+    gauss_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda); used for Poisson arrivals.
+  double exponential(double lambda) noexcept {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// true with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = bounded(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh generator with a stream derived from this one; lets components
+  /// derive independent substreams from one master seed.
+  Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double gauss_cache_ = 0.0;
+  bool gauss_cached_ = false;
+};
+
+/// Stable 64-bit hash of a byte string (FNV-1a); used to key the historical
+/// cache on architecture descriptions.
+std::uint64_t stable_hash64(const void* data, std::size_t len) noexcept;
+
+inline std::uint64_t stable_hash64(const std::string& s) noexcept {
+  return stable_hash64(s.data(), s.size());
+}
+
+}  // namespace edgetune

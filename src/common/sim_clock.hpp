@@ -1,0 +1,33 @@
+// SimClock: virtual time. All device runtimes and energies in this repo are
+// *simulated* seconds/Joules produced by the cost model (DESIGN.md §5), so
+// minutes of paper-scale tuning execute in milliseconds of wall time.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace edgetune {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time, in seconds since construction/reset.
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  /// Advances time by `dt` seconds (dt >= 0).
+  void advance(double dt) noexcept {
+    assert(dt >= 0.0);
+    now_s_ += std::max(0.0, dt);
+  }
+
+  /// Jumps to an absolute time not before `now()`.
+  void advance_to(double t) noexcept { now_s_ = std::max(now_s_, t); }
+
+  void reset() noexcept { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,141 @@
+// Status / Result<T>: exception-free error propagation across library
+// boundaries (Core Guidelines E.25-adjacent: library usable when callers
+// compile with -fno-exceptions).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace edgetune {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnavailable,
+  kCancelled,
+  kDeadlineExceeded,
+  kAlreadyExists,
+  kIo,
+};
+
+/// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status already_exists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status io(std::string msg) {
+    return {StatusCode::kIo, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  /// "OK" or "CODE_NAME: message".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error Status. `value()` asserts on error in debug builds;
+/// callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result(Status) requires an error status");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` on error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate errors: `ET_RETURN_IF_ERROR(expr_returning_status);`
+#define ET_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::edgetune::Status et_status_ = (expr);       \
+    if (!et_status_.is_ok()) return et_status_;   \
+  } while (false)
+
+// `ET_ASSIGN_OR_RETURN(auto v, expr_returning_result);`
+#define ET_CONCAT_INNER(a, b) a##b
+#define ET_CONCAT(a, b) ET_CONCAT_INNER(a, b)
+#define ET_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  decl = std::move(tmp).value()
+#define ET_ASSIGN_OR_RETURN(decl, expr) \
+  ET_ASSIGN_OR_RETURN_IMPL(ET_CONCAT(et_result_, __LINE__), decl, expr)
+
+}  // namespace edgetune

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the few places where real elapsed time matters
+// (pipelining/overlap assertions in the async tuning tests).
+#pragma once
+
+#include <chrono>
+
+namespace edgetune {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,21 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgetune {
+
+std::vector<std::string> split(const std::string& text, char delim);
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+std::string trim(const std::string& text);
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// printf-style double formatting with a fixed number of decimals.
+std::string format_double(double value, int decimals);
+
+/// "1.2 K", "3.4 M", "5.6 G" style human-readable magnitudes.
+std::string human_count(double value);
+
+}  // namespace edgetune

@@ -1,0 +1,35 @@
+// ASCII table printer: every bench binary reports the paper's rows/series
+// through this, so EXPERIMENTS.md and bench_output.txt stay consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgetune {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column alignment and +---+ borders.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Descriptive statistics used by box-plot style reports (Fig 15).
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+
+/// Computes box statistics; returns zeros on empty input.
+BoxStats box_stats(std::vector<double> samples);
+
+}  // namespace edgetune

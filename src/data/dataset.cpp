@@ -1,0 +1,84 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace edgetune {
+
+Batch Dataset::make_batch(const std::vector<std::int64_t>& indices) const {
+  Batch batch;
+  if (indices.empty()) return batch;
+  const std::int64_t per_sample = shape_numel(sample_shape_);
+  Shape batch_shape;
+  batch_shape.push_back(static_cast<std::int64_t>(indices.size()));
+  for (std::int64_t d : sample_shape_) batch_shape.push_back(d);
+  batch.inputs = Tensor(std::move(batch_shape));
+  batch.labels.reserve(indices.size());
+  float* dst = batch.inputs.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Tensor& s = sample(indices[i]);
+    assert(s.numel() == per_sample);
+    std::copy(s.data(), s.data() + per_sample,
+              dst + static_cast<std::int64_t>(i) * per_sample);
+    batch.labels.push_back(label(indices[i]));
+  }
+  return batch;
+}
+
+DatasetView DatasetView::all(const Dataset& dataset) {
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(dataset.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  return {&dataset, std::move(indices)};
+}
+
+DatasetView DatasetView::fraction(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  auto count = static_cast<std::int64_t>(
+      fraction * static_cast<double>(indices_.size()) + 0.5);
+  count = std::clamp<std::int64_t>(count, 1, size());
+  return {base_, std::vector<std::int64_t>(
+                     indices_.begin(), indices_.begin() + count)};
+}
+
+std::pair<DatasetView, DatasetView> DatasetView::split(double first_fraction,
+                                                       Rng& rng) const {
+  std::vector<std::int64_t> shuffled_idx = indices_;
+  rng.shuffle(shuffled_idx);
+  const auto cut = static_cast<std::int64_t>(
+      first_fraction * static_cast<double>(shuffled_idx.size()));
+  DatasetView first{base_, std::vector<std::int64_t>(
+                               shuffled_idx.begin(), shuffled_idx.begin() + cut)};
+  DatasetView second{base_, std::vector<std::int64_t>(
+                                shuffled_idx.begin() + cut, shuffled_idx.end())};
+  return {std::move(first), std::move(second)};
+}
+
+DatasetView DatasetView::shuffled(Rng& rng) const {
+  std::vector<std::int64_t> idx = indices_;
+  rng.shuffle(idx);
+  return {base_, std::move(idx)};
+}
+
+Batch DatasetView::batch(std::int64_t begin, std::int64_t count) const {
+  const std::int64_t end = std::min(begin + count, size());
+  if (begin >= end) return Batch{};
+  std::vector<std::int64_t> idx(indices_.begin() + begin,
+                                indices_.begin() + end);
+  return base_->make_batch(idx);
+}
+
+void BatchIterator::begin_epoch() {
+  epoch_view_ = view_.shuffled(rng_);
+  cursor_ = 0;
+}
+
+Batch BatchIterator::next() {
+  if (!epoch_view_.valid()) begin_epoch();
+  if (cursor_ >= epoch_view_.size()) return Batch{};
+  Batch b = epoch_view_.batch(cursor_, batch_size_);
+  cursor_ += batch_size_;
+  return b;
+}
+
+}  // namespace edgetune

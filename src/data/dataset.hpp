@@ -1,0 +1,122 @@
+// Dataset abstractions: in-memory sample store, index views for train/val
+// splits and budget-driven dataset fractions (paper §2.2), batch iteration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+
+/// A mini-batch: stacked inputs [B, ...sample_shape] plus integer labels.
+struct Batch {
+  Tensor inputs;
+  std::vector<std::int64_t> labels;
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(labels.size());
+  }
+};
+
+/// Immutable in-memory dataset of (sample, label) pairs.
+class Dataset {
+ public:
+  Dataset(Shape sample_shape, std::int64_t num_classes)
+      : sample_shape_(std::move(sample_shape)), num_classes_(num_classes) {}
+
+  void reserve(std::int64_t n) {
+    samples_.reserve(static_cast<std::size_t>(n));
+    labels_.reserve(static_cast<std::size_t>(n));
+  }
+
+  void add(Tensor sample, std::int64_t label) {
+    samples_.push_back(std::move(sample));
+    labels_.push_back(label);
+  }
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  [[nodiscard]] const Shape& sample_shape() const noexcept {
+    return sample_shape_;
+  }
+  [[nodiscard]] std::int64_t num_classes() const noexcept {
+    return num_classes_;
+  }
+  [[nodiscard]] const Tensor& sample(std::int64_t i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::int64_t label(std::int64_t i) const {
+    return labels_[static_cast<std::size_t>(i)];
+  }
+
+  /// Stacks the given indices into a contiguous batch.
+  [[nodiscard]] Batch make_batch(const std::vector<std::int64_t>& indices) const;
+
+ private:
+  Shape sample_shape_;
+  std::int64_t num_classes_;
+  std::vector<Tensor> samples_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// A subset of a dataset by index list; cheap to copy, never owns samples.
+class DatasetView {
+ public:
+  DatasetView() = default;
+  DatasetView(const Dataset* base, std::vector<std::int64_t> indices)
+      : base_(base), indices_(std::move(indices)) {}
+
+  /// Full view over a dataset.
+  static DatasetView all(const Dataset& dataset);
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+  [[nodiscard]] const Dataset& base() const noexcept { return *base_; }
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+
+  /// First `fraction` of this view (deterministic prefix; callers shuffle
+  /// once up-front so prefixes are unbiased). fraction clamped to (0, 1].
+  [[nodiscard]] DatasetView fraction(double fraction) const;
+
+  /// Random (seeded) split into two disjoint views (e.g. 80/20 train/val).
+  [[nodiscard]] std::pair<DatasetView, DatasetView> split(
+      double first_fraction, Rng& rng) const;
+
+  /// Shuffled copy of this view.
+  [[nodiscard]] DatasetView shuffled(Rng& rng) const;
+
+  [[nodiscard]] Batch batch(std::int64_t begin, std::int64_t count) const;
+
+ private:
+  const Dataset* base_ = nullptr;
+  std::vector<std::int64_t> indices_;
+};
+
+/// Iterates a view in mini-batches, reshuffling each epoch.
+class BatchIterator {
+ public:
+  BatchIterator(DatasetView view, std::int64_t batch_size, Rng& rng)
+      : view_(std::move(view)), batch_size_(batch_size), rng_(rng.split()) {}
+
+  /// Starts a new epoch (reshuffles).
+  void begin_epoch();
+
+  /// Next batch, or an empty batch at the end of the epoch.
+  [[nodiscard]] Batch next();
+
+  [[nodiscard]] std::int64_t batches_per_epoch() const noexcept {
+    return (view_.size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  DatasetView view_;
+  std::int64_t batch_size_;
+  Rng rng_;
+  std::int64_t cursor_ = 0;
+  DatasetView epoch_view_;
+};
+
+}  // namespace edgetune

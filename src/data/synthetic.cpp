@@ -1,0 +1,227 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace edgetune {
+
+namespace {
+
+/// Smooth 2-d random field: sum of a few low-frequency sin/cos terms whose
+/// coefficients come from `rng`. Values roughly in [-1, 1].
+Tensor smooth_field(std::int64_t channels, std::int64_t h, std::int64_t w,
+                    Rng& rng) {
+  Tensor t({channels, h, w});
+  struct Term {
+    double fx, fy, phase, amp;
+  };
+  for (std::int64_t c = 0; c < channels; ++c) {
+    Term terms[3];
+    for (auto& term : terms) {
+      term.fx = rng.uniform_int(1, 3);
+      term.fy = rng.uniform_int(1, 3);
+      term.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      term.amp = rng.uniform(0.4, 1.0);
+    }
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        double v = 0.0;
+        for (const auto& term : terms) {
+          v += term.amp *
+               std::sin(2.0 * std::numbers::pi *
+                            (term.fx * static_cast<double>(x) /
+                                 static_cast<double>(w) +
+                             term.fy * static_cast<double>(y) /
+                                 static_cast<double>(h)) +
+                        term.phase);
+        }
+        t[(c * h + y) * w + x] = static_cast<float>(v / 3.0);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::unique_ptr<Dataset> make_synth_images(const SyntheticConfig& config) {
+  const std::int64_t ch = 3, h = 8, w = 8;
+  auto dataset = std::make_unique<Dataset>(Shape{ch, h, w},
+                                           config.num_classes);
+  dataset->reserve(config.num_samples);
+  Rng master(config.seed);
+  Rng template_rng = master.split();
+  std::vector<Tensor> templates;
+  templates.reserve(static_cast<std::size_t>(config.num_classes));
+  for (std::int64_t c = 0; c < config.num_classes; ++c) {
+    templates.push_back(smooth_field(ch, h, w, template_rng));
+  }
+  Rng sample_rng = master.split();
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const std::int64_t label = sample_rng.uniform_int(0, config.num_classes - 1);
+    Tensor sample = templates[static_cast<std::size_t>(label)];
+    for (auto& v : sample.vec()) {
+      v += static_cast<float>(sample_rng.gaussian(0.0, config.noise));
+    }
+    dataset->add(std::move(sample), label);
+  }
+  return dataset;
+}
+
+std::unique_ptr<Dataset> make_synth_audio(const SyntheticConfig& config) {
+  const std::int64_t len = 256;
+  auto dataset =
+      std::make_unique<Dataset>(Shape{1, len}, config.num_classes);
+  dataset->reserve(config.num_samples);
+  Rng sample_rng(config.seed);
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const std::int64_t label = sample_rng.uniform_int(0, config.num_classes - 1);
+    // Class-specific fundamental frequency, interleaved so neighbouring
+    // classes are not adjacent in frequency (makes the task non-trivial).
+    const double freq = 4.0 + 2.5 * static_cast<double>(
+                                  (label * 7) % config.num_classes);
+    const double phase = sample_rng.uniform(0.0, 2.0 * std::numbers::pi);
+    Tensor sample({1, len});
+    for (std::int64_t t = 0; t < len; ++t) {
+      const double x = 2.0 * std::numbers::pi * freq *
+                       static_cast<double>(t) / static_cast<double>(len);
+      double v = std::sin(x + phase) + 0.4 * std::sin(2.0 * x + phase);
+      v += sample_rng.gaussian(0.0, config.noise);
+      sample[t] = static_cast<float>(v);
+    }
+    dataset->add(std::move(sample), label);
+  }
+  return dataset;
+}
+
+std::unique_ptr<Dataset> make_synth_text(const SyntheticConfig& config) {
+  const std::int64_t len = 32;
+  const std::int64_t vocab = 200;  // matches the proxy TextRNN embedding
+  auto dataset = std::make_unique<Dataset>(Shape{len}, config.num_classes);
+  dataset->reserve(config.num_samples);
+  Rng sample_rng(config.seed);
+  // Each class owns a band of topic tokens; bands overlap by half so classes
+  // share vocabulary and separation requires sequence statistics.
+  const std::int64_t band = 24;
+  const std::int64_t band_stride = 12;
+  // Topic-word probability: higher noise -> fewer topic words per sequence.
+  const double topic_p = std::clamp(0.6 / std::max(0.25, config.noise), 0.1, 0.9);
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const std::int64_t label = sample_rng.uniform_int(0, config.num_classes - 1);
+    const std::int64_t band_start = (label * band_stride) % (vocab - band);
+    Tensor sample({len});
+    for (std::int64_t t = 0; t < len; ++t) {
+      std::int64_t token;
+      if (sample_rng.bernoulli(topic_p)) {
+        token = band_start + sample_rng.uniform_int(0, band - 1);
+      } else {
+        token = sample_rng.uniform_int(0, vocab - 1);
+      }
+      sample[t] = static_cast<float>(token);
+    }
+    dataset->add(std::move(sample), label);
+  }
+  return dataset;
+}
+
+std::unique_ptr<Dataset> make_synth_detection(const SyntheticConfig& config) {
+  const std::int64_t ch = 3, h = 16, w = 16, patch = 6;
+  auto dataset =
+      std::make_unique<Dataset>(Shape{ch, h, w}, config.num_classes);
+  dataset->reserve(config.num_samples);
+  Rng master(config.seed);
+  Rng template_rng = master.split();
+  std::vector<Tensor> templates;
+  templates.reserve(static_cast<std::size_t>(config.num_classes));
+  for (std::int64_t c = 0; c < config.num_classes; ++c) {
+    templates.push_back(smooth_field(ch, patch, patch, template_rng));
+  }
+  Rng sample_rng = master.split();
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const std::int64_t label = sample_rng.uniform_int(0, config.num_classes - 1);
+    Tensor sample({ch, h, w});
+    // Cluttered background.
+    for (auto& v : sample.vec()) {
+      v = static_cast<float>(sample_rng.gaussian(0.0, 0.5 * config.noise));
+    }
+    // Object patch at a random position, amplitude 1.5 above clutter.
+    const std::int64_t oy = sample_rng.uniform_int(0, h - patch);
+    const std::int64_t ox = sample_rng.uniform_int(0, w - patch);
+    const Tensor& tmpl = templates[static_cast<std::size_t>(label)];
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t y = 0; y < patch; ++y) {
+        for (std::int64_t x = 0; x < patch; ++x) {
+          sample[(c * h + oy + y) * w + ox + x] +=
+              1.5f * tmpl[(c * patch + y) * patch + x];
+        }
+      }
+    }
+    dataset->add(std::move(sample), label);
+  }
+  return dataset;
+}
+
+const WorkloadDataInfo& workload_info(WorkloadKind kind) noexcept {
+  static const WorkloadDataInfo kInfos[] = {
+      {"IC", "Image Classification", "ResNet", "CIFAR10", "163 MB",
+       "SynthImages 3x8x8", 50000, 10000},
+      {"SR", "Speech Recognition", "M5", "Speech Commands", "8.17 GiB",
+       "SynthAudio 1x256", 85511, 4890},
+      {"NLP", "Natural Language Processing", "RNN", "AG News", "60.10 MB",
+       "SynthText len-32", 120000, 7600},
+      {"OD", "Object Detection", "YOLO", "COCO", "19 GB",
+       "SynthDetection 3x16x16", 164000, 41000},
+  };
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return kInfos[0];
+    case WorkloadKind::kSpeech:
+      return kInfos[1];
+    case WorkloadKind::kNlp:
+      return kInfos[2];
+    case WorkloadKind::kDetection:
+      return kInfos[3];
+  }
+  return kInfos[0];
+}
+
+std::int64_t workload_num_classes(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return 10;
+    case WorkloadKind::kSpeech:
+      return 10;
+    case WorkloadKind::kNlp:
+      return 4;
+    case WorkloadKind::kDetection:
+      return 8;
+  }
+  return 0;
+}
+
+std::unique_ptr<Dataset> make_workload_data(WorkloadKind kind,
+                                            std::int64_t num_samples,
+                                            std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_samples = num_samples;
+  config.num_classes = workload_num_classes(kind);
+  config.seed = seed;
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      config.noise = 0.9;
+      return make_synth_images(config);
+    case WorkloadKind::kSpeech:
+      config.noise = 1.5;
+      return make_synth_audio(config);
+    case WorkloadKind::kNlp:
+      config.noise = 2.2;
+      return make_synth_text(config);
+    case WorkloadKind::kDetection:
+      config.noise = 1.0;
+      return make_synth_detection(config);
+  }
+  return nullptr;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,67 @@
+// Synthetic stand-ins for the paper's datasets (Table 1). Each generator is
+// deterministic in (seed), class-conditional, and calibrated so that learning
+// curves need both data volume and epochs — the property the multi-budget
+// experiments (Fig 12/13) measure.
+//
+// Substitution record (DESIGN.md §2):
+//   CIFAR-10         -> SynthImages     3x8x8 class-template images + noise
+//   SpeechCommands   -> SynthAudio      1x256 class-frequency waveforms
+//   AG News          -> SynthText       32-token topic-unigram sequences
+//   COCO             -> SynthDetection  3x16x16 object-patch-on-clutter
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "models/models.hpp"
+
+namespace edgetune {
+
+struct SyntheticConfig {
+  std::int64_t num_samples = 2000;
+  std::int64_t num_classes = 10;
+  double noise = 1.0;      // additive noise stddev relative to signal
+  std::uint64_t seed = 42;
+};
+
+/// 3x8x8 images: class-specific low-frequency template + per-sample jitter.
+std::unique_ptr<Dataset> make_synth_images(const SyntheticConfig& config);
+
+/// 1x256 waveforms: class-specific base frequency with harmonics + noise.
+std::unique_ptr<Dataset> make_synth_audio(const SyntheticConfig& config);
+
+/// 32-token id sequences drawn from class-specific unigram mixtures
+/// (vocab 200, topic words shared across classes to make the task non-trivial).
+std::unique_ptr<Dataset> make_synth_text(const SyntheticConfig& config);
+
+/// 3x16x16 cluttered scenes with one class-template object patch at a random
+/// position; label is the object class.
+std::unique_ptr<Dataset> make_synth_detection(const SyntheticConfig& config);
+
+/// Table-1 style record: the paper's workload roster and our synthetic
+/// stand-ins. `train_samples`/`test_samples` are the PAPER's counts — the
+/// device cost model prices full-scale epochs against these.
+struct WorkloadDataInfo {
+  const char* id;
+  const char* type;
+  const char* model;
+  const char* paper_dataset;
+  const char* datasize;
+  const char* synthetic;
+  std::int64_t train_samples;
+  std::int64_t test_samples;
+};
+
+/// Paper Table 1 row for a workload.
+const WorkloadDataInfo& workload_info(WorkloadKind kind) noexcept;
+
+/// Builds the synthetic dataset matching a workload's proxy model input.
+/// `num_classes` must match the model built by build_workload_model.
+std::unique_ptr<Dataset> make_workload_data(WorkloadKind kind,
+                                            std::int64_t num_samples,
+                                            std::uint64_t seed);
+
+/// Default class counts per workload (kept in sync with models.cpp).
+std::int64_t workload_num_classes(WorkloadKind kind) noexcept;
+
+}  // namespace edgetune

@@ -1,0 +1,74 @@
+#include "data/trainer.hpp"
+
+namespace edgetune {
+
+Trainer::Trainer(Layer& model, TrainerOptions options, Rng& rng)
+    : model_(model), options_(options), rng_(rng.split()) {}
+
+double Trainer::evaluate(Layer& model, const DatasetView& view) {
+  double correct = 0;
+  std::int64_t total = 0;
+  for (std::int64_t pos = 0; pos < view.size(); pos += 64) {
+    Batch batch = view.batch(pos, 64);
+    if (batch.size() == 0) break;
+    Tensor logits = model.forward(batch.inputs, /*training=*/false);
+    correct += accuracy(logits, batch.labels) *
+               static_cast<double>(batch.size());
+    total += batch.size();
+  }
+  return total > 0 ? correct / static_cast<double>(total) : 0.0;
+}
+
+Result<TrainingHistory> Trainer::fit(const DatasetView& train,
+                                     const DatasetView& val) {
+  if (!train.valid() || train.size() == 0) {
+    return Status::invalid_argument("empty training view");
+  }
+  if (options_.epochs < 1 || options_.batch_size < 1) {
+    return Status::invalid_argument("epochs and batch_size must be >= 1");
+  }
+
+  SgdOptimizer optimizer(model_.params(), options_.sgd);
+  BatchIterator iter(train, options_.batch_size, rng_);
+  TrainingHistory history;
+  int since_best = 0;
+
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    iter.begin_epoch();
+    double loss_sum = 0;
+    int steps = 0;
+    for (Batch batch = iter.next(); batch.size() > 0; batch = iter.next()) {
+      Tensor logits = model_.forward(batch.inputs, /*training=*/true);
+      LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      model_.backward(loss.grad);
+      optimizer.step();
+      loss_sum += loss.loss;
+      ++steps;
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_loss = steps > 0 ? loss_sum / steps : 0.0;
+    record.val_accuracy = val.valid() ? evaluate(model_, val) : 0.0;
+    history.epochs.push_back(record);
+
+    if (record.val_accuracy > history.best_accuracy) {
+      history.best_accuracy = record.val_accuracy;
+      history.best_epoch = epoch;
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    if (options_.patience > 0 && since_best >= options_.patience) {
+      history.stopped_early = true;
+      break;
+    }
+    if (options_.lr_decay_every > 0 && epoch % options_.lr_decay_every == 0) {
+      optimizer.set_learning_rate(optimizer.options().learning_rate *
+                                  options_.lr_decay);
+    }
+  }
+  return history;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,61 @@
+// Trainer: the one train-eval loop used by the trial runner, finalization,
+// and the examples. Runs SGD over a DatasetView, evaluates on a validation
+// view each epoch, and supports step-decay learning rates and
+// patience-based early stopping.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace edgetune {
+
+struct TrainerOptions {
+  std::int64_t batch_size = 16;
+  int epochs = 10;
+  SgdOptions sgd;
+  /// Multiply the learning rate by `lr_decay` every `lr_decay_every` epochs
+  /// (0 disables).
+  double lr_decay = 1.0;
+  int lr_decay_every = 0;
+  /// Stop when validation accuracy has not improved for `patience` epochs
+  /// (0 disables early stopping).
+  int patience = 0;
+};
+
+struct EpochRecord {
+  int epoch = 0;           // 1-based
+  double train_loss = 0;   // mean over steps
+  double val_accuracy = 0;
+};
+
+struct TrainingHistory {
+  std::vector<EpochRecord> epochs;
+  double best_accuracy = 0;
+  int best_epoch = 0;      // 1-based; 0 if never evaluated
+  bool stopped_early = false;
+
+  [[nodiscard]] int epochs_run() const noexcept {
+    return static_cast<int>(epochs.size());
+  }
+};
+
+class Trainer {
+ public:
+  Trainer(Layer& model, TrainerOptions options, Rng& rng);
+
+  /// Trains on `train`, evaluating on `val` after every epoch.
+  [[nodiscard]] Result<TrainingHistory> fit(const DatasetView& train,
+                                            const DatasetView& val);
+
+  /// Validation accuracy of `model` on `view` (no parameter updates).
+  static double evaluate(Layer& model, const DatasetView& view);
+
+ private:
+  Layer& model_;
+  TrainerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace edgetune

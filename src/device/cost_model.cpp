@@ -1,0 +1,316 @@
+#include "device/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace edgetune {
+
+namespace {
+
+/// Amdahl speedup for n cores with serial fraction s.
+double amdahl(double n, double s) { return 1.0 / (s + (1.0 - s) / n); }
+
+/// Small batches expose little intra-op parallelism: the effective serial
+/// fraction grows as the batch shrinks (single-image inference barely
+/// benefits from extra cores — the paper's Fig 5a observation).
+double effective_serial(double base, double batch) {
+  return std::min(0.9, base + 0.35 / batch);
+}
+
+}  // namespace
+
+Result<double> CostModel::resolve_freq(double requested) const {
+  if (requested <= 0.0) return profile_.base_freq_ghz;
+  for (double level : profile_.freq_levels_ghz) {
+    if (std::abs(level - requested) < 1e-9) return requested;
+  }
+  return Status::invalid_argument(
+      "frequency " + std::to_string(requested) + " GHz is not a DVFS level of " +
+      profile_.name);
+}
+
+Result<CostEstimate> CostModel::inference_cost(
+    const ArchSpec& arch, const InferenceConfig& config) const {
+  if (config.batch_size < 1) {
+    return Status::invalid_argument("inference batch_size must be >= 1");
+  }
+  if (config.cores < 1 || config.cores > profile_.max_cores) {
+    return Status::invalid_argument(
+        "cores must be in [1, " + std::to_string(profile_.max_cores) +
+        "] for " + profile_.name);
+  }
+  ET_ASSIGN_OR_RETURN(double freq, resolve_freq(config.freq_ghz));
+
+  const double b = static_cast<double>(config.batch_size);
+  // Deployability: weights + live activations for the batch must fit the
+  // device RAM (with ~25% headroom for the runtime itself).
+  const double resident_bytes =
+      arch.param_bytes() + arch.activation_elems * 4.0 * b * 2.0;
+  if (resident_bytes > 0.75 * profile_.ram_bytes) {
+    return Status::failed_precondition(
+        arch.id + " with batch " + std::to_string(config.batch_size) +
+        " needs " + std::to_string(resident_bytes / 1e6) + " MB, exceeding " +
+        profile_.name + "'s deployable RAM");
+  }
+  const double flops = arch.flops_per_sample * b;
+  const double peak_flops =
+      amdahl(config.cores, effective_serial(profile_.serial_fraction, b)) *
+      profile_.flops_per_cycle_per_core * freq * 1e9;
+  const double compute_time = flops / peak_flops;
+
+  // Memory traffic: weights read once per batch (layer-wise execution reuses
+  // them across the batch); activations read+written per sample. When the
+  // per-layer working set outgrows the cache, activation traffic spills to
+  // DRAM repeatedly.
+  const double weight_bytes = arch.weight_reads * 4.0;
+  const double act_bytes = arch.activation_elems * 4.0 * b * 2.0;
+  const double layers = std::max<double>(1.0, static_cast<double>(arch.layers.size()));
+  const double working_set =
+      (arch.activation_elems * 4.0 * b) / layers + weight_bytes / layers;
+  const double spill = std::min(
+      30.0,
+      1.0 + 0.5 * std::max(0.0, working_set / profile_.cache_bytes - 1.0));
+  const double mem_time =
+      (weight_bytes + act_bytes * spill) / (profile_.mem_bandwidth_gbs * 1e9);
+
+  const double launches = std::max(layers, arch.kernel_launches);
+  const double overhead = profile_.dispatch_overhead_s +
+                          profile_.per_layer_overhead_s * launches;
+  const double roofline = std::max(compute_time, mem_time);
+  const double latency = overhead + roofline;
+
+  // Power: active cores burn a floor share even when stalled on memory.
+  const double compute_util = roofline > 0 ? compute_time / roofline : 0.0;
+  const double mem_util = roofline > 0 ? mem_time / roofline : 0.0;
+  const double freq_ratio = freq / profile_.base_freq_ghz;
+  const double core_power = static_cast<double>(config.cores) *
+                            profile_.core_power_w * freq_ratio * freq_ratio *
+                            (0.4 + 0.6 * std::min(1.0, compute_util));
+  const double busy_frac = roofline / latency;
+  const double power = profile_.idle_power_w +
+                       busy_frac * (core_power + profile_.mem_power_w *
+                                                     std::min(1.0, mem_util));
+
+  CostEstimate est;
+  est.latency_s = latency;
+  est.power_w = power;
+  est.energy_j = power * latency;
+  est.throughput_sps = b / latency;
+  est.peak_memory_bytes = resident_bytes;
+  return est;
+}
+
+Result<CostEstimate> CostModel::train_step_cost(
+    const ArchSpec& arch, const TrainConfig& config) const {
+  if (config.batch_size < 1) {
+    return Status::invalid_argument("train batch_size must be >= 1");
+  }
+  // Forward + backward ~= 3x forward FLOPs (standard approximation).
+  const double b = static_cast<double>(config.batch_size);
+  const double flops = 3.0 * arch.flops_per_sample * b;
+  const double layers = std::max<double>(1.0, static_cast<double>(arch.layers.size()));
+
+  if (config.num_gpus == 0) {
+    // CPU training: same roofline as inference, tripled compute and the
+    // training working set additionally holds gradients + optimizer state.
+    const int cores = config.cores == 0 ? profile_.max_cores : config.cores;
+    if (cores < 1 || cores > profile_.max_cores) {
+      return Status::invalid_argument("cores out of range for " +
+                                      profile_.name);
+    }
+    ET_ASSIGN_OR_RETURN(double freq, resolve_freq(config.freq_ghz));
+    const double peak = amdahl(cores, profile_.serial_fraction) *
+                        profile_.flops_per_cycle_per_core * freq * 1e9;
+    const double compute_time = flops / peak;
+    const double weight_bytes = arch.weight_reads * 4.0 * 3.0;  // w, dw, vel
+    const double act_bytes = arch.activation_elems * 4.0 * b * 4.0;
+    const double working_set = (arch.activation_elems * 4.0 * b * 2.0) / layers +
+                               weight_bytes / layers;
+    const double spill = std::min(
+        3.0, 1.0 + 0.6 * std::max(0.0, working_set / profile_.cache_bytes - 1.0));
+    const double mem_time =
+        (weight_bytes + act_bytes * spill) / (profile_.mem_bandwidth_gbs * 1e9);
+    const double roofline = std::max(compute_time, mem_time);
+    const double launches = std::max(layers, arch.kernel_launches);
+    const double latency = profile_.dispatch_overhead_s +
+                           profile_.per_layer_overhead_s * launches * 2.0 +
+                           roofline;
+    const double compute_util = roofline > 0 ? compute_time / roofline : 0.0;
+    const double freq_ratio = freq / profile_.base_freq_ghz;
+    const double core_power = cores * profile_.core_power_w * freq_ratio *
+                              freq_ratio *
+                              (0.4 + 0.6 * std::min(1.0, compute_util));
+    const double power =
+        profile_.idle_power_w + (roofline / latency) *
+                                    (core_power + profile_.mem_power_w);
+    CostEstimate est;
+    est.latency_s = latency;
+    est.power_w = power;
+    est.energy_j = power * latency;
+    est.throughput_sps = b / latency;
+    est.peak_memory_bytes =
+        arch.param_bytes() * 3.0 + arch.activation_elems * 4.0 * b;
+    return est;
+  }
+
+  // GPU training.
+  if (!profile_.has_gpu()) {
+    return Status::failed_precondition(profile_.name + " has no GPUs");
+  }
+  if (config.num_gpus < 1 || config.num_gpus > profile_.num_gpus) {
+    return Status::invalid_argument(
+        "num_gpus must be in [1, " + std::to_string(profile_.num_gpus) + "]");
+  }
+  const double g = static_cast<double>(config.num_gpus);
+  const double per_gpu_batch = b / g;
+  // An undersaturated GPU delivers a fraction of peak: throughput scales with
+  // per-GPU batch up to the saturation batch.
+  const double util =
+      std::min(1.0, per_gpu_batch / profile_.gpu_saturation_batch);
+  const double effective = util * (0.55 + 0.45 * util);  // launch-bound tail
+  const double peak = profile_.gpu_tflops * 1e12 * std::max(effective, 1e-3);
+  const double compute_time = (flops / g) / peak;
+
+  // GPU memory traffic per device: weights + grads + activations slice.
+  // Very large per-GPU batches overflow the GPU's L2, turning activation
+  // reuse into repeated HBM round-trips (the Fig 3a / Fig 4b effect).
+  const double layers_gpu = std::max<double>(1.0, static_cast<double>(arch.layers.size()));
+  const double gpu_working_set =
+      arch.activation_elems * 4.0 * per_gpu_batch / layers_gpu;
+  const double gpu_spill = std::min(
+      8.0,
+      1.0 + 0.08 * std::max(0.0, gpu_working_set / profile_.gpu_cache_bytes -
+                                     1.0));
+  const double mem_bytes =
+      arch.weight_reads * 4.0 * 3.0 +
+      arch.activation_elems * 4.0 * per_gpu_batch * 4.0 * gpu_spill;
+  const double mem_time = mem_bytes / (profile_.gpu_mem_bandwidth_gbs * 1e9);
+
+  // Gradient all-reduce (ring): 2*(g-1)/g * params each way, plus per-step
+  // link setup / straggler latency that grows with the ring size.
+  const double sync_time =
+      config.num_gpus == 1
+          ? 0.0
+          : 2.0 * (g - 1.0) / g * arch.param_bytes() /
+                    (profile_.interconnect_gbs * 1e9) +
+                3.0e-3 * (g - 1.0);
+  const double launch = profile_.gpu_launch_overhead_s *
+                        std::max(layers, arch.kernel_launches) * 3.0;
+  const double roofline = std::max(compute_time, mem_time);
+  const double latency = roofline + sync_time + launch;
+
+  // Allocated GPUs stay hot for the whole step (memory clocks, fans, HBM):
+  // a large fraction of dynamic power burns even while syncing/launching.
+  const double busy = roofline / latency;
+  const double gpu_power =
+      g * (profile_.gpu_idle_power_w +
+           (profile_.gpu_power_w - profile_.gpu_idle_power_w) *
+               (0.7 + 0.3 * busy * util));
+  const double power = profile_.idle_power_w + 0.3 * profile_.max_cores *
+                                                   profile_.core_power_w +
+                       gpu_power;
+  CostEstimate est;
+  est.latency_s = latency;
+  est.power_w = power;
+  est.energy_j = power * latency;
+  est.throughput_sps = b / latency;
+  est.peak_memory_bytes =
+      arch.param_bytes() * 3.0 + arch.activation_elems * 4.0 * per_gpu_batch;
+  return est;
+}
+
+Result<CostEstimate> CostModel::train_epoch_cost(
+    const ArchSpec& arch, const TrainConfig& config,
+    std::int64_t dataset_size) const {
+  if (dataset_size < 1) {
+    return Status::invalid_argument("dataset_size must be >= 1");
+  }
+  ET_ASSIGN_OR_RETURN(CostEstimate step, train_step_cost(arch, config));
+  const double steps = std::ceil(static_cast<double>(dataset_size) /
+                                 static_cast<double>(config.batch_size));
+  CostEstimate epoch;
+  epoch.latency_s = step.latency_s * steps;
+  epoch.energy_j = step.energy_j * steps;
+  epoch.power_w = step.power_w;
+  epoch.throughput_sps = step.throughput_sps;
+  epoch.peak_memory_bytes = step.peak_memory_bytes;
+  return epoch;
+}
+
+Result<std::vector<CostModel::LayerCost>> CostModel::profile_inference(
+    const ArchSpec& arch, const InferenceConfig& config) const {
+  ET_ASSIGN_OR_RETURN(CostEstimate total, inference_cost(arch, config));
+  const double b = static_cast<double>(config.batch_size);
+
+  // Distribute the roofline portion of the latency over layers by each
+  // layer's own demand (compute time vs memory time, whichever binds it);
+  // the fixed dispatch overhead is split per kernel launch.
+  std::vector<LayerCost> costs;
+  costs.reserve(arch.layers.size());
+  double demand_sum = 0;
+  ET_ASSIGN_OR_RETURN(double freq, resolve_freq(config.freq_ghz));
+  const double peak_flops =
+      amdahl(config.cores, effective_serial(profile_.serial_fraction, b)) *
+      profile_.flops_per_cycle_per_core * freq * 1e9;
+  for (const LayerInfo& layer : arch.layers) {
+    LayerCost cost;
+    cost.kind = layer.kind;
+    cost.flops = layer.flops_forward * b;
+    cost.bytes =
+        layer.weight_reads * 4.0 + layer.activation_elems * 4.0 * b * 2.0;
+    const double compute_t = cost.flops / peak_flops;
+    const double mem_t = cost.bytes / (profile_.mem_bandwidth_gbs * 1e9);
+    cost.compute_bound = compute_t >= mem_t;
+    cost.latency_s = std::max(compute_t, mem_t);  // provisional demand
+    demand_sum += cost.latency_s;
+    costs.push_back(std::move(cost));
+  }
+
+  const double layers =
+      std::max<double>(1.0, static_cast<double>(arch.layers.size()));
+  const double launches = std::max(layers, arch.kernel_launches);
+  const double overhead =
+      profile_.dispatch_overhead_s + profile_.per_layer_overhead_s * launches;
+  const double roofline = total.latency_s - overhead;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const double share = demand_sum > 0 ? costs[i].latency_s / demand_sum : 0;
+    const double launch_share =
+        arch.kernel_launches > 0
+            ? arch.layers[i].kernel_launches / launches
+            : 1.0 / layers;
+    costs[i].latency_s =
+        share * roofline +
+        launch_share * profile_.per_layer_overhead_s * launches +
+        profile_.dispatch_overhead_s / layers;
+  }
+  return costs;
+}
+
+DeviceProfile perturb_profile(const DeviceProfile& profile, std::uint64_t seed,
+                              double sigma) {
+  Rng rng(seed ^ stable_hash64(profile.name));
+  DeviceProfile p = profile;
+  auto jitter = [&](double v) {
+    return v * std::exp(rng.gaussian(0.0, sigma));
+  };
+  p.flops_per_cycle_per_core = jitter(p.flops_per_cycle_per_core);
+  p.mem_bandwidth_gbs = jitter(p.mem_bandwidth_gbs);
+  p.cache_bytes = jitter(p.cache_bytes);
+  p.idle_power_w = jitter(p.idle_power_w);
+  p.core_power_w = jitter(p.core_power_w);
+  p.mem_power_w = jitter(p.mem_power_w);
+  p.dispatch_overhead_s = jitter(p.dispatch_overhead_s);
+  p.per_layer_overhead_s = jitter(p.per_layer_overhead_s);
+  p.serial_fraction = std::clamp(jitter(p.serial_fraction), 0.01, 0.5);
+  if (p.has_gpu()) {
+    p.gpu_tflops = jitter(p.gpu_tflops);
+    p.gpu_mem_bandwidth_gbs = jitter(p.gpu_mem_bandwidth_gbs);
+    p.gpu_power_w = jitter(p.gpu_power_w);
+    p.interconnect_gbs = jitter(p.interconnect_gbs);
+  }
+  return p;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,93 @@
+// Analytical device cost model: a roofline-style emulator that prices a
+// full-scale ArchSpec on a DeviceProfile. This is the "simulate the edge
+// devices in the tuning server" option the paper adopts (§2.1), made
+// explicit. It reproduces the qualitative behaviours the paper measures:
+//   - inference batch size: weight-traffic amortization -> throughput rises,
+//     then cache spill -> saturation and decay (Fig 3b);
+//   - CPU cores: roofline memory ceiling -> sublinear throughput, energy
+//     rising with core count (Fig 5);
+//   - multi-GPU training: undersaturated GPUs + all-reduce sync -> small
+//     batches get *slower* with more GPUs, energy grows regardless (Fig 4).
+#pragma once
+
+#include "device/profile.hpp"
+#include "models/arch.hpp"
+
+namespace edgetune {
+
+/// Inference-side system parameters (what the Inference Tuning Server tunes).
+struct InferenceConfig {
+  std::int64_t batch_size = 1;
+  int cores = 1;
+  double freq_ghz = 0.0;  // 0 => device base frequency
+};
+
+/// Training-side system parameters.
+struct TrainConfig {
+  std::int64_t batch_size = 128;
+  int num_gpus = 0;  // 0 => CPU training
+  int cores = 0;     // 0 => all device cores
+  double freq_ghz = 0.0;
+};
+
+struct CostEstimate {
+  double latency_s = 0;        // one batch (inference) or one step (training)
+  double energy_j = 0;         // for the same unit
+  double power_w = 0;          // average power during the unit
+  double throughput_sps = 0;   // samples per second
+  double peak_memory_bytes = 0;  // resident weights + live activations
+  [[nodiscard]] double energy_per_sample_j(std::int64_t batch) const {
+    return batch > 0 ? energy_j / static_cast<double>(batch) : 0.0;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  [[nodiscard]] const DeviceProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Cost of one inference call on `batch_size` samples. Invalid configs
+  /// (cores out of range, bad batch) are errors, not clamps.
+  [[nodiscard]] Result<CostEstimate> inference_cost(
+      const ArchSpec& arch, const InferenceConfig& config) const;
+
+  /// Cost of one training step (forward + backward) on one mini-batch.
+  [[nodiscard]] Result<CostEstimate> train_step_cost(
+      const ArchSpec& arch, const TrainConfig& config) const;
+
+  /// Cost of one epoch over `dataset_size` samples.
+  [[nodiscard]] Result<CostEstimate> train_epoch_cost(
+      const ArchSpec& arch, const TrainConfig& config,
+      std::int64_t dataset_size) const;
+
+  /// Per-layer inference latency attribution: the whole-model roofline time
+  /// distributed over layers in proportion to each layer's own roofline
+  /// demand, with per-layer dispatch overhead added. Sums to
+  /// inference_cost().latency_s (tested).
+  struct LayerCost {
+    std::string kind;
+    double latency_s = 0;
+    double flops = 0;
+    double bytes = 0;
+    bool compute_bound = false;
+  };
+  [[nodiscard]] Result<std::vector<LayerCost>> profile_inference(
+      const ArchSpec& arch, const InferenceConfig& config) const;
+
+ private:
+  [[nodiscard]] Result<double> resolve_freq(double requested) const;
+
+  DeviceProfile profile_;
+};
+
+/// Multiplicatively perturbs the performance-relevant parameters of a
+/// profile (lognormal, `sigma` relative spread). Used to build the
+/// "physical" ground-truth twin the emulation-error study (Fig 15) measures
+/// against: the emulator prices the *nominal* profile, reality is the twin.
+DeviceProfile perturb_profile(const DeviceProfile& profile,
+                              std::uint64_t seed, double sigma);
+
+}  // namespace edgetune

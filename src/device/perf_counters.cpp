@@ -1,0 +1,100 @@
+#include "device/perf_counters.hpp"
+
+#include <cmath>
+
+namespace edgetune {
+
+const char* execution_phase_name(ExecutionPhase phase) noexcept {
+  switch (phase) {
+    case ExecutionPhase::kTrainForward:
+      return "train-forward";
+    case ExecutionPhase::kInference:
+      return "inference";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& perf_counter_events() {
+  static const std::vector<std::string> events = {
+      "L1.dcache.load.misses", "L1.dcache.loads", "L1.dcache.stores",
+      "L1.icache.load.misses", "LLC.load.misses", "LLC.loads",
+      "LLC.store.misses", "LLC.stores", "br_inst_retired.all_branches",
+      "br_inst_retired.far_branch", "branch.instructions",
+      "branch.load.misses", "branch.loads", "branch.misses", "branches",
+      "bus.cycles", "cache.misses", "cache.references", "context.switches",
+      "cpu.clock", "cpu.cycles", "cpu.migrations"};
+  return events;
+}
+
+std::map<std::string, double> collect_perf_counters(
+    const ArchSpec& arch, const DeviceProfile& device, ExecutionPhase phase,
+    std::int64_t batch_size) {
+  const double b = static_cast<double>(batch_size);
+  const double flops = arch.flops_per_sample * b;
+  // Execution time on one core at base frequency (counter rates are per
+  // second of that execution).
+  const double peak =
+      device.flops_per_cycle_per_core * device.base_freq_ghz * 1e9;
+  const double weight_bytes = arch.weight_reads * 4.0;
+  const double act_bytes = arch.activation_elems * 4.0 * b * 2.0;
+
+  // The training forward phase touches a much larger resident set: weights
+  // are writable (kept hot for the update), every activation is retained for
+  // backward, gradients buffers are allocated. This inflates *memory* events
+  // only (the paper's Fig 1 observation).
+  const bool training = phase == ExecutionPhase::kTrainForward;
+  const double mem_pressure = training ? 3.2 : 1.0;
+  const double store_pressure = training ? 4.0 : 1.0;
+
+  const double bytes = weight_bytes + act_bytes * mem_pressure;
+  const double compute_time = flops / peak;
+  const double mem_time = bytes / (device.mem_bandwidth_gbs * 1e9);
+  const double time = std::max(compute_time, mem_time) +
+                      device.dispatch_overhead_s;
+
+  const double instructions = flops * 1.15;
+  const double lines = bytes / 64.0;
+
+  std::map<std::string, double> rates;
+  auto put = [&](const std::string& name, double count) {
+    rates[name] = count / time;
+  };
+
+  // CPU-bound events: phase-independent per unit work.
+  put("cpu.cycles", time * device.base_freq_ghz * 1e9);
+  put("cpu.clock", time * device.base_freq_ghz * 1e9);
+  put("bus.cycles", time * device.base_freq_ghz * 1e9 / 8.0);
+  put("branches", instructions * 0.08);
+  put("branch.instructions", instructions * 0.08);
+  put("br_inst_retired.all_branches", instructions * 0.08);
+  put("br_inst_retired.far_branch", instructions * 1e-6);
+  put("context.switches", time * 120.0);
+  put("cpu.migrations", time * 4.0);
+
+  // Memory-bound events: scale with resident-set pressure.
+  put("L1.dcache.loads", instructions * 0.35);
+  put("L1.dcache.stores", instructions * 0.12 * store_pressure);
+  put("L1.dcache.load.misses", lines * 0.9);
+  put("L1.icache.load.misses", time * 2e4);
+  put("LLC.loads", lines * 0.5);
+  put("LLC.load.misses", lines * (training ? 0.30 : 0.06));
+  put("LLC.stores", lines * 0.2 * store_pressure);
+  put("LLC.store.misses", lines * (training ? 0.12 : 0.02));
+  put("cache.references", lines);
+  put("cache.misses", lines * (training ? 0.35 : 0.08));
+  put("branch.loads", instructions * 0.08);
+  put("branch.load.misses",
+      instructions * 0.08 * (training ? 0.02 : 0.005));
+  put("branch.misses", instructions * 0.08 * (training ? 0.02 : 0.006));
+  return rates;
+}
+
+std::string perf_rate_bin(double events_per_second) {
+  if (events_per_second > 1e8) return ">1e8";
+  if (events_per_second > 1e6) return "1e8-1e6";
+  if (events_per_second > 1e4) return "1e6-1e4";
+  if (events_per_second > 1e2) return "1e4-1e2";
+  return "<1e2";
+}
+
+}  // namespace edgetune

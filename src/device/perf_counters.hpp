@@ -1,0 +1,34 @@
+// Hardware performance-counter emulation (paper Fig 1). Reproduces the
+// paper's observation: CPU-bound events (cpu.*, instructions, branches) are
+// consistent between the forward phase of training and inference, while
+// memory-bound events (cache.*, L1/LLC.*, branch-misses) diverge because
+// training keeps weights + gradients + stored activations live.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/profile.hpp"
+#include "models/arch.hpp"
+
+namespace edgetune {
+
+enum class ExecutionPhase { kTrainForward, kInference };
+
+const char* execution_phase_name(ExecutionPhase phase) noexcept;
+
+/// Event names in the order the paper's Figure 1 lists them.
+const std::vector<std::string>& perf_counter_events();
+
+/// Emulated counter readings, in events per second of device time.
+std::map<std::string, double> collect_perf_counters(const ArchSpec& arch,
+                                                    const DeviceProfile& device,
+                                                    ExecutionPhase phase,
+                                                    std::int64_t batch_size);
+
+/// Bins a rate into the paper's legend buckets:
+/// ">1e8", "1e8-1e6", "1e6-1e4", "1e4-1e2", "<1e2".
+std::string perf_rate_bin(double events_per_second);
+
+}  // namespace edgetune

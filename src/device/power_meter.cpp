@@ -1,0 +1,26 @@
+#include "device/power_meter.hpp"
+
+namespace edgetune {
+
+void PowerMeter::record(SimClock& clock, const std::string& label,
+                        double duration_s, double power_w) {
+  clock.advance(duration_s);
+  add_energy(label, duration_s * power_w);
+}
+
+void PowerMeter::add_energy(const std::string& label, double energy_j) {
+  by_label_[label] += energy_j;
+  total_j_ += energy_j;
+}
+
+double PowerMeter::energy_j(const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? 0.0 : it->second;
+}
+
+void PowerMeter::reset() {
+  by_label_.clear();
+  total_j_ = 0.0;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,35 @@
+// RAPL-style energy accounting (the paper uses PyRAPL, §5.1). The meter
+// integrates (power x simulated time) segments and reports per-label and
+// total energy.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/sim_clock.hpp"
+
+namespace edgetune {
+
+class PowerMeter {
+ public:
+  /// Records `duration_s` of simulated time at `power_w`, advancing `clock`.
+  void record(SimClock& clock, const std::string& label, double duration_s,
+              double power_w);
+
+  /// Records energy directly (duration already applied to a clock elsewhere).
+  void add_energy(const std::string& label, double energy_j);
+
+  [[nodiscard]] double total_energy_j() const noexcept { return total_j_; }
+  [[nodiscard]] double energy_j(const std::string& label) const;
+  [[nodiscard]] const std::map<std::string, double>& by_label() const noexcept {
+    return by_label_;
+  }
+
+  void reset();
+
+ private:
+  std::map<std::string, double> by_label_;
+  double total_j_ = 0.0;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,101 @@
+#include "device/profile.hpp"
+
+namespace edgetune {
+
+DeviceProfile device_armv7() {
+  DeviceProfile p;
+  p.name = "armv7";
+  p.max_cores = 4;
+  p.base_freq_ghz = 1.2;
+  p.freq_levels_ghz = {0.6, 0.9, 1.2};
+  p.flops_per_cycle_per_core = 4;  // NEON, 2-wide FMA
+  p.mem_bandwidth_gbs = 3.2;
+  p.ram_bytes = 4.0 * 1024 * 1024 * 1024;  // 4 GB board
+  p.cache_bytes = 512.0 * 1024;
+  p.serial_fraction = 0.08;
+  p.idle_power_w = 1.2;
+  p.core_power_w = 0.9;
+  p.mem_power_w = 0.6;
+  p.dispatch_overhead_s = 4e-4;
+  p.per_layer_overhead_s = 3e-5;
+  return p;
+}
+
+DeviceProfile device_rpi3b() {
+  DeviceProfile p;
+  p.name = "rpi3b";
+  p.max_cores = 4;
+  p.base_freq_ghz = 1.4;
+  p.freq_levels_ghz = {0.6, 1.0, 1.4};
+  p.flops_per_cycle_per_core = 4;
+  p.mem_bandwidth_gbs = 2.5;  // LPDDR2, shared with GPU
+  p.ram_bytes = 1.0 * 1024 * 1024 * 1024;  // 1 GB, the tight one
+  p.cache_bytes = 512.0 * 1024;
+  p.serial_fraction = 0.08;
+  p.idle_power_w = 1.9;
+  p.core_power_w = 1.1;
+  p.mem_power_w = 0.7;
+  p.dispatch_overhead_s = 4e-4;
+  p.per_layer_overhead_s = 3e-5;
+  return p;
+}
+
+DeviceProfile device_i7_7567u() {
+  DeviceProfile p;
+  p.name = "i7";
+  p.max_cores = 4;  // 2 physical, 4 logical; the paper sweeps 1/2/4
+  p.base_freq_ghz = 3.5;
+  p.freq_levels_ghz = {1.2, 2.4, 3.5, 4.0};
+  p.flops_per_cycle_per_core = 16;  // AVX2 FMA
+  p.mem_bandwidth_gbs = 34.0;
+  p.ram_bytes = 16.0 * 1024 * 1024 * 1024;
+  p.cache_bytes = 4.0 * 1024 * 1024;
+  p.serial_fraction = 0.05;
+  p.idle_power_w = 5.0;
+  p.core_power_w = 6.0;
+  p.mem_power_w = 2.0;
+  p.dispatch_overhead_s = 8e-5;
+  p.per_layer_overhead_s = 6e-6;
+  return p;
+}
+
+DeviceProfile device_titan_server() {
+  DeviceProfile p;
+  p.name = "titan";
+  p.max_cores = 16;
+  p.base_freq_ghz = 3.0;
+  p.freq_levels_ghz = {1.5, 2.2, 3.0};
+  p.flops_per_cycle_per_core = 16;
+  p.mem_bandwidth_gbs = 80.0;
+  p.ram_bytes = 256.0 * 1024 * 1024 * 1024;
+  p.cache_bytes = 16.0 * 1024 * 1024;
+  p.serial_fraction = 0.04;
+  p.idle_power_w = 60.0;
+  p.core_power_w = 8.0;
+  p.mem_power_w = 6.0;
+  p.dispatch_overhead_s = 5e-5;
+  p.per_layer_overhead_s = 4e-6;
+  p.num_gpus = 8;
+  p.gpu_tflops = 16.3;  // Titan RTX fp32 peak
+  p.gpu_mem_bandwidth_gbs = 672.0;
+  p.gpu_power_w = 280.0;
+  p.gpu_idle_power_w = 15.0;
+  p.interconnect_gbs = 12.0;  // PCIe gen3 x16 effective
+  p.gpu_launch_overhead_s = 5e-6;
+  p.gpu_saturation_batch = 64.0;
+  return p;
+}
+
+Result<DeviceProfile> device_by_name(const std::string& name) {
+  if (name == "armv7") return device_armv7();
+  if (name == "rpi3b") return device_rpi3b();
+  if (name == "i7") return device_i7_7567u();
+  if (name == "titan") return device_titan_server();
+  return Status::not_found("unknown device profile: " + name);
+}
+
+std::vector<DeviceProfile> all_edge_devices() {
+  return {device_armv7(), device_rpi3b(), device_i7_7567u()};
+}
+
+}  // namespace edgetune

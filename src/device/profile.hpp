@@ -1,0 +1,65 @@
+// Device profiles for the edge-device emulator. The paper's testbed (§2.1,
+// §5.1): an ARMv7 board, a Raspberry Pi 3 B+, an Intel i7-7567U, and a Titan
+// RTX training server. Parameters are public datasheet/roofline numbers; the
+// emulator only needs them to be *relatively* plausible, since all results
+// are reported as shapes/ratios (DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+struct DeviceProfile {
+  std::string name;
+
+  // CPU side.
+  int max_cores = 4;
+  double base_freq_ghz = 1.4;
+  std::vector<double> freq_levels_ghz;  // DVFS states, ascending
+  double flops_per_cycle_per_core = 8;  // SIMD MACs*2
+  double mem_bandwidth_gbs = 4.0;       // DRAM
+  double ram_bytes = 1.0 * 1024 * 1024 * 1024;  // deployable memory
+  double cache_bytes = 512.0 * 1024;    // last-level cache (single level)
+  double serial_fraction = 0.06;        // Amdahl: non-parallelizable share
+
+  // Power model: P = idle + sum over active cores of
+  //   core_power_w * (freq/base)^2 * utilization  + mem_power_w * mem_util.
+  double idle_power_w = 1.5;
+  double core_power_w = 1.0;  // per core at base frequency, full load
+  double mem_power_w = 0.8;
+
+  // Per-inference-call fixed overhead (framework dispatch, graph setup).
+  double dispatch_overhead_s = 2e-4;
+  double per_layer_overhead_s = 1.5e-5;
+
+  // GPU side (training servers only; 0 GPUs on edge devices).
+  int num_gpus = 0;
+  double gpu_tflops = 0.0;          // per GPU, dense fp32
+  double gpu_cache_bytes = 6.0 * 1024 * 1024;  // L2; big batches spill it
+  double gpu_mem_bandwidth_gbs = 0.0;
+  double gpu_power_w = 0.0;         // per GPU at load
+  double gpu_idle_power_w = 0.0;
+  double interconnect_gbs = 0.0;    // NVLink/PCIe for gradient all-reduce
+  double gpu_launch_overhead_s = 5e-6;  // per kernel launch
+  /// Per-GPU mini-batch at which a GPU reaches full utilization.
+  double gpu_saturation_batch = 64.0;
+
+  [[nodiscard]] bool has_gpu() const noexcept { return num_gpus > 0; }
+};
+
+/// The paper's three edge platforms + the tuning server.
+DeviceProfile device_armv7();        // ARMv7 rev 4, 4 cores, 4 GB
+DeviceProfile device_rpi3b();        // Raspberry Pi 3 B+, 4 cores, 1 GB
+DeviceProfile device_i7_7567u();     // Intel i7-7567U, 16 GB
+DeviceProfile device_titan_server(); // Titan RTX x8 training server
+
+/// Lookup by name ("armv7", "rpi3b", "i7", "titan"); error when unknown.
+Result<DeviceProfile> device_by_name(const std::string& name);
+
+/// All built-in edge profiles (excludes the training server).
+std::vector<DeviceProfile> all_edge_devices();
+
+}  // namespace edgetune

@@ -1,0 +1,141 @@
+#include "device/profile_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace edgetune {
+
+Json profile_to_json(const DeviceProfile& p) {
+  JsonObject obj;
+  obj.emplace("name", p.name);
+  obj.emplace("max_cores", p.max_cores);
+  obj.emplace("base_freq_ghz", p.base_freq_ghz);
+  JsonArray freqs;
+  for (double f : p.freq_levels_ghz) freqs.push_back(Json(f));
+  obj.emplace("freq_levels_ghz", std::move(freqs));
+  obj.emplace("flops_per_cycle_per_core", p.flops_per_cycle_per_core);
+  obj.emplace("mem_bandwidth_gbs", p.mem_bandwidth_gbs);
+  obj.emplace("ram_bytes", p.ram_bytes);
+  obj.emplace("cache_bytes", p.cache_bytes);
+  obj.emplace("serial_fraction", p.serial_fraction);
+  obj.emplace("idle_power_w", p.idle_power_w);
+  obj.emplace("core_power_w", p.core_power_w);
+  obj.emplace("mem_power_w", p.mem_power_w);
+  obj.emplace("dispatch_overhead_s", p.dispatch_overhead_s);
+  obj.emplace("per_layer_overhead_s", p.per_layer_overhead_s);
+  obj.emplace("num_gpus", p.num_gpus);
+  obj.emplace("gpu_tflops", p.gpu_tflops);
+  obj.emplace("gpu_cache_bytes", p.gpu_cache_bytes);
+  obj.emplace("gpu_mem_bandwidth_gbs", p.gpu_mem_bandwidth_gbs);
+  obj.emplace("gpu_power_w", p.gpu_power_w);
+  obj.emplace("gpu_idle_power_w", p.gpu_idle_power_w);
+  obj.emplace("interconnect_gbs", p.interconnect_gbs);
+  obj.emplace("gpu_launch_overhead_s", p.gpu_launch_overhead_s);
+  obj.emplace("gpu_saturation_batch", p.gpu_saturation_batch);
+  return Json(std::move(obj));
+}
+
+Result<DeviceProfile> profile_from_json(const Json& json) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("device profile JSON must be an object");
+  }
+  DeviceProfile p;
+  std::map<std::string, std::function<Status(const Json&)>> fields;
+  auto number_field = [](double& target) {
+    return [&target](const Json& v) {
+      if (!v.is_number()) return Status::invalid_argument("expected number");
+      target = v.as_number();
+      return Status::ok();
+    };
+  };
+  auto int_field = [](int& target) {
+    return [&target](const Json& v) {
+      if (!v.is_number()) return Status::invalid_argument("expected number");
+      target = static_cast<int>(v.as_number());
+      return Status::ok();
+    };
+  };
+  fields.emplace("name", [&p](const Json& v) {
+    if (!v.is_string()) return Status::invalid_argument("expected string");
+    p.name = v.as_string();
+    return Status::ok();
+  });
+  fields.emplace("freq_levels_ghz", [&p](const Json& v) {
+    if (!v.is_array()) return Status::invalid_argument("expected array");
+    p.freq_levels_ghz.clear();
+    for (const Json& f : v.as_array()) {
+      if (!f.is_number()) return Status::invalid_argument("expected number");
+      p.freq_levels_ghz.push_back(f.as_number());
+    }
+    return Status::ok();
+  });
+  fields.emplace("max_cores", int_field(p.max_cores));
+  fields.emplace("num_gpus", int_field(p.num_gpus));
+  fields.emplace("base_freq_ghz", number_field(p.base_freq_ghz));
+  fields.emplace("flops_per_cycle_per_core",
+                 number_field(p.flops_per_cycle_per_core));
+  fields.emplace("mem_bandwidth_gbs", number_field(p.mem_bandwidth_gbs));
+  fields.emplace("ram_bytes", number_field(p.ram_bytes));
+  fields.emplace("cache_bytes", number_field(p.cache_bytes));
+  fields.emplace("serial_fraction", number_field(p.serial_fraction));
+  fields.emplace("idle_power_w", number_field(p.idle_power_w));
+  fields.emplace("core_power_w", number_field(p.core_power_w));
+  fields.emplace("mem_power_w", number_field(p.mem_power_w));
+  fields.emplace("dispatch_overhead_s", number_field(p.dispatch_overhead_s));
+  fields.emplace("per_layer_overhead_s",
+                 number_field(p.per_layer_overhead_s));
+  fields.emplace("gpu_tflops", number_field(p.gpu_tflops));
+  fields.emplace("gpu_cache_bytes", number_field(p.gpu_cache_bytes));
+  fields.emplace("gpu_mem_bandwidth_gbs",
+                 number_field(p.gpu_mem_bandwidth_gbs));
+  fields.emplace("gpu_power_w", number_field(p.gpu_power_w));
+  fields.emplace("gpu_idle_power_w", number_field(p.gpu_idle_power_w));
+  fields.emplace("interconnect_gbs", number_field(p.interconnect_gbs));
+  fields.emplace("gpu_launch_overhead_s",
+                 number_field(p.gpu_launch_overhead_s));
+  fields.emplace("gpu_saturation_batch",
+                 number_field(p.gpu_saturation_batch));
+
+  for (const auto& [key, value] : json.as_object()) {
+    auto it = fields.find(key);
+    if (it == fields.end()) {
+      return Status::invalid_argument("unknown device profile key: " + key);
+    }
+    Status status = it->second(value);
+    if (!status.is_ok()) {
+      return Status::invalid_argument("field " + key + ": " +
+                                      status.message());
+    }
+  }
+  if (p.name.empty()) {
+    return Status::invalid_argument("device profile requires a name");
+  }
+  if (p.max_cores < 1 || p.base_freq_ghz <= 0 || p.mem_bandwidth_gbs <= 0) {
+    return Status::out_of_range(
+        "device profile has non-positive core/frequency/bandwidth values");
+  }
+  if (p.freq_levels_ghz.empty()) {
+    p.freq_levels_ghz = {p.base_freq_ghz};
+  }
+  return p;
+}
+
+Result<DeviceProfile> load_device_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::not_found("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ET_ASSIGN_OR_RETURN(Json json, Json::parse(buffer.str()));
+  return profile_from_json(json);
+}
+
+Status save_device_profile(const DeviceProfile& profile,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::io("cannot open " + path + " for writing");
+  out << profile_to_json(profile).dump_pretty() << '\n';
+  return out.good() ? Status::ok() : Status::io("short write to " + path);
+}
+
+}  // namespace edgetune

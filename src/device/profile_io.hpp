@@ -1,0 +1,25 @@
+// JSON (de)serialization of DeviceProfile: lets users describe their own
+// edge devices in a config file and feed them to the tuning server
+// (edgetune --device-file my_board.json).
+#pragma once
+
+#include "common/json.hpp"
+#include "device/profile.hpp"
+
+namespace edgetune {
+
+Json profile_to_json(const DeviceProfile& profile);
+
+/// Builds a profile from JSON. Unknown keys are errors (they are almost
+/// always typos in a hand-written device file); missing keys keep the
+/// documented defaults. "name" is required.
+Result<DeviceProfile> profile_from_json(const Json& json);
+
+/// Reads a device profile from a JSON file.
+Result<DeviceProfile> load_device_profile(const std::string& path);
+
+/// Writes a profile to a JSON file (pretty-printed).
+Status save_device_profile(const DeviceProfile& profile,
+                           const std::string& path);
+
+}  // namespace edgetune

@@ -1,0 +1,169 @@
+#include "models/arch.hpp"
+
+namespace edgetune {
+
+LayerInfo info_conv2d(const Shape& input, std::int64_t out_channels,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t padding, bool bias) {
+  const std::int64_t batch = input.at(0), in_c = input.at(1), h = input.at(2),
+                     w = input.at(3);
+  const std::int64_t oh = (h + 2 * padding - kernel) / stride + 1;
+  const std::int64_t ow = (w + 2 * padding - kernel) / stride + 1;
+  LayerInfo info;
+  info.kind = "conv2d";
+  info.output_shape = {batch, out_channels, oh, ow};
+  const double patch = static_cast<double>(in_c * kernel * kernel);
+  info.flops_forward = 2.0 * static_cast<double>(batch * oh * ow) * patch *
+                       static_cast<double>(out_channels);
+  info.param_count = patch * static_cast<double>(out_channels) +
+                     (bias ? static_cast<double>(out_channels) : 0.0);
+  info.activation_elems =
+      static_cast<double>(batch * out_channels * oh * ow);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+LayerInfo info_conv1d(const Shape& input, std::int64_t out_channels,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t padding, bool bias) {
+  const std::int64_t batch = input.at(0), in_c = input.at(1),
+                     len = input.at(2);
+  const std::int64_t ol = (len + 2 * padding - kernel) / stride + 1;
+  LayerInfo info;
+  info.kind = "conv1d";
+  info.output_shape = {batch, out_channels, ol};
+  const double patch = static_cast<double>(in_c * kernel);
+  info.flops_forward = 2.0 * static_cast<double>(batch * ol) * patch *
+                       static_cast<double>(out_channels);
+  info.param_count = patch * static_cast<double>(out_channels) +
+                     (bias ? static_cast<double>(out_channels) : 0.0);
+  info.activation_elems = static_cast<double>(batch * out_channels * ol);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+LayerInfo info_linear(const Shape& input, std::int64_t out_features) {
+  const std::int64_t batch = input.at(0), in = input.at(1);
+  LayerInfo info;
+  info.kind = "linear";
+  info.output_shape = {batch, out_features};
+  info.flops_forward = 2.0 * static_cast<double>(batch * in * out_features);
+  info.param_count = static_cast<double>(in * out_features + out_features);
+  info.activation_elems = static_cast<double>(batch * out_features);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+LayerInfo info_batchnorm(const Shape& input) {
+  LayerInfo info;
+  info.kind = "batchnorm";
+  info.output_shape = input;
+  info.flops_forward = 4.0 * static_cast<double>(shape_numel(input));
+  info.param_count = static_cast<double>(2 * input.at(1));
+  info.activation_elems = static_cast<double>(shape_numel(input));
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+LayerInfo info_relu(const Shape& input) {
+  LayerInfo info;
+  info.kind = "relu";
+  info.output_shape = input;
+  info.flops_forward = static_cast<double>(shape_numel(input));
+  info.activation_elems = static_cast<double>(shape_numel(input));
+  return info;
+}
+
+LayerInfo info_maxpool2d(const Shape& input, std::int64_t kernel,
+                         std::int64_t stride) {
+  const std::int64_t oh = (input.at(2) - kernel) / stride + 1;
+  const std::int64_t ow = (input.at(3) - kernel) / stride + 1;
+  LayerInfo info;
+  info.kind = "maxpool2d";
+  info.output_shape = {input.at(0), input.at(1), oh, ow};
+  info.flops_forward = static_cast<double>(shape_numel(info.output_shape)) *
+                       static_cast<double>(kernel * kernel);
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+LayerInfo info_maxpool1d(const Shape& input, std::int64_t kernel,
+                         std::int64_t stride) {
+  const std::int64_t ol = (input.at(2) - kernel) / stride + 1;
+  LayerInfo info;
+  info.kind = "maxpool1d";
+  info.output_shape = {input.at(0), input.at(1), ol};
+  info.flops_forward = static_cast<double>(shape_numel(info.output_shape)) *
+                       static_cast<double>(kernel);
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+LayerInfo info_gap(const Shape& input) {
+  LayerInfo info;
+  info.kind = "gap";
+  info.output_shape = {input.at(0), input.at(1)};
+  info.flops_forward = static_cast<double>(shape_numel(input));
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+LayerInfo info_gap1d(const Shape& input) {
+  LayerInfo info;
+  info.kind = "gap1d";
+  info.output_shape = {input.at(0), input.at(1)};
+  info.flops_forward = static_cast<double>(shape_numel(input));
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+LayerInfo info_flatten(const Shape& input) {
+  LayerInfo info;
+  info.kind = "flatten";
+  info.output_shape = {input.at(0), shape_numel(input) / input.at(0)};
+  return info;
+}
+
+LayerInfo info_dropout(const Shape& input) {
+  LayerInfo info;
+  info.kind = "dropout";
+  info.output_shape = input;
+  info.flops_forward = static_cast<double>(shape_numel(input));
+  info.activation_elems = static_cast<double>(shape_numel(input));
+  return info;
+}
+
+LayerInfo info_embedding(const Shape& input, std::int64_t vocab,
+                         std::int64_t embed) {
+  const std::int64_t batch = input.at(0), len = input.at(1);
+  LayerInfo info;
+  info.kind = "embedding";
+  info.output_shape = {batch, len, embed};
+  info.flops_forward = static_cast<double>(batch * len * embed);
+  info.param_count = static_cast<double>(vocab * embed);
+  info.activation_elems = static_cast<double>(batch * len * embed);
+  info.weight_reads = static_cast<double>(batch * len * embed);
+  return info;
+}
+
+LayerInfo info_rnn(const Shape& input, std::int64_t hidden,
+                   std::int64_t stride) {
+  const std::int64_t batch = input.at(0), len = input.at(1),
+                     embed = input.at(2);
+  const std::int64_t s = stride < 1 ? 1 : stride;
+  const std::int64_t steps = (len + s - 1) / s;
+  LayerInfo info;
+  info.kind = "rnn";
+  info.output_shape = {batch, hidden};
+  info.flops_forward = 2.0 * static_cast<double>(batch * steps) *
+                       (static_cast<double>(embed * hidden) +
+                        static_cast<double>(hidden * hidden));
+  info.param_count =
+      static_cast<double>(embed * hidden + hidden * hidden + hidden);
+  info.activation_elems = static_cast<double>(batch * steps * hidden);
+  info.weight_reads = info.param_count * static_cast<double>(steps);
+  info.kernel_launches = 2.0 * static_cast<double>(steps);
+  return info;
+}
+
+}  // namespace edgetune

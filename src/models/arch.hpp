@@ -1,0 +1,71 @@
+// Analytic architecture descriptions. A full-scale ResNet-50 would need
+// hundreds of MB of weights to *instantiate*; the device cost model only
+// needs per-layer FLOPs/bytes, so builders emit an ArchSpec analytically
+// (no allocation) alongside the small executable proxy network.
+//
+// The info_* formulas intentionally mirror Layer::describe() implementations
+// in src/nn; tests/models_test.cpp asserts they agree on proxy-scale nets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+LayerInfo info_conv2d(const Shape& input, std::int64_t out_channels,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t padding, bool bias);
+LayerInfo info_conv1d(const Shape& input, std::int64_t out_channels,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t padding, bool bias);
+LayerInfo info_linear(const Shape& input, std::int64_t out_features);
+LayerInfo info_batchnorm(const Shape& input);
+LayerInfo info_relu(const Shape& input);
+LayerInfo info_maxpool2d(const Shape& input, std::int64_t kernel,
+                         std::int64_t stride);
+LayerInfo info_maxpool1d(const Shape& input, std::int64_t kernel,
+                         std::int64_t stride);
+LayerInfo info_gap(const Shape& input);     // [N,C,H,W] -> [N,C]
+LayerInfo info_gap1d(const Shape& input);   // [N,C,L]   -> [N,C]
+LayerInfo info_flatten(const Shape& input);
+LayerInfo info_dropout(const Shape& input);
+LayerInfo info_embedding(const Shape& input, std::int64_t vocab,
+                         std::int64_t embed);
+LayerInfo info_rnn(const Shape& input, std::int64_t hidden,
+                   std::int64_t stride);
+
+/// Full-scale architecture description: the unit the Inference Tuning Server
+/// keys its historical cache on and the device cost model consumes.
+struct ArchSpec {
+  std::string id;           // stable identity, e.g. "resnet18"
+  Shape sample_shape;       // one sample, no batch dim, e.g. {3, 32, 32}
+  std::int64_t num_classes = 0;
+  std::vector<LayerInfo> layers;  // computed at batch == 1
+
+  // Batch-1 totals, accumulated by finalize().
+  double flops_per_sample = 0;      // forward
+  double params = 0;                // trainable scalars
+  double activation_elems = 0;      // forward activations written
+  double weight_reads = 0;          // parameter elements read per forward
+  double kernel_launches = 0;       // total dispatches per forward
+
+  void add(LayerInfo info) {
+    flops_per_sample += info.flops_forward;
+    params += info.param_count;
+    activation_elems += info.activation_elems;
+    weight_reads += info.weight_reads;
+    kernel_launches += info.kernel_launches;
+    layers.push_back(std::move(info));
+  }
+
+  [[nodiscard]] const Shape& output_shape() const {
+    return layers.back().output_shape;
+  }
+
+  /// Bytes of parameters (float32).
+  [[nodiscard]] double param_bytes() const { return params * 4.0; }
+};
+
+}  // namespace edgetune

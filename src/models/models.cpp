@@ -1,0 +1,427 @@
+#include "models/models.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/rnn.hpp"
+
+namespace edgetune {
+
+namespace {
+
+/// Appends the analytic info of one basic residual block to `arch`,
+/// mirroring ResidualBlock::describe.
+Shape arch_add_resblock(ArchSpec& arch, const Shape& input,
+                        std::int64_t in_c, std::int64_t out_c,
+                        std::int64_t stride) {
+  LayerInfo total;
+  total.kind = "resblock";
+  LayerInfo i1 = info_conv2d(input, out_c, 3, stride, 1, /*bias=*/false);
+  LayerInfo i2 = info_batchnorm(i1.output_shape);
+  LayerInfo i3 = info_relu(i2.output_shape);
+  LayerInfo i4 = info_conv2d(i3.output_shape, out_c, 3, 1, 1, /*bias=*/false);
+  LayerInfo i5 = info_batchnorm(i4.output_shape);
+  for (const auto& info : {i1, i2, i3, i4, i5}) {
+    total.flops_forward += info.flops_forward;
+    total.param_count += info.param_count;
+    total.activation_elems += info.activation_elems;
+    total.weight_reads += info.weight_reads;
+  }
+  if (stride != 1 || in_c != out_c) {
+    LayerInfo p1 = info_conv2d(input, out_c, 1, stride, 0, /*bias=*/false);
+    LayerInfo p2 = info_batchnorm(p1.output_shape);
+    for (const auto& info : {p1, p2}) {
+      total.flops_forward += info.flops_forward;
+      total.param_count += info.param_count;
+      total.activation_elems += info.activation_elems;
+      total.weight_reads += info.weight_reads;
+    }
+  }
+  total.flops_forward += 2.0 * static_cast<double>(shape_numel(i5.output_shape));
+  total.output_shape = i5.output_shape;
+  arch.add(total);
+  return arch.layers.back().output_shape;
+}
+
+/// Appends the analytic info of one bottleneck block (1x1, 3x3, 1x1 with
+/// 4x expansion), mirroring BottleneckBlock::describe.
+Shape arch_add_bottleneck(ArchSpec& arch, const Shape& input,
+                          std::int64_t in_c, std::int64_t mid_c,
+                          std::int64_t stride) {
+  LayerInfo total;
+  total.kind = "bottleneck";
+  LayerInfo i1 = info_conv2d(input, mid_c, 1, 1, 0, /*bias=*/false);
+  LayerInfo i2 = info_batchnorm(i1.output_shape);
+  LayerInfo i3 = info_relu(i2.output_shape);
+  LayerInfo i4 = info_conv2d(i3.output_shape, mid_c, 3, stride, 1, false);
+  LayerInfo i5 = info_batchnorm(i4.output_shape);
+  LayerInfo i6 = info_relu(i5.output_shape);
+  LayerInfo i7 = info_conv2d(i6.output_shape, 4 * mid_c, 1, 1, 0, false);
+  LayerInfo i8 = info_batchnorm(i7.output_shape);
+  for (const auto& info : {i1, i2, i3, i4, i5, i6, i7, i8}) {
+    total.flops_forward += info.flops_forward;
+    total.param_count += info.param_count;
+    total.activation_elems += info.activation_elems;
+    total.weight_reads += info.weight_reads;
+  }
+  if (stride != 1 || in_c != 4 * mid_c) {
+    LayerInfo p1 = info_conv2d(input, 4 * mid_c, 1, stride, 0, false);
+    LayerInfo p2 = info_batchnorm(p1.output_shape);
+    for (const auto& info : {p1, p2}) {
+      total.flops_forward += info.flops_forward;
+      total.param_count += info.param_count;
+      total.activation_elems += info.activation_elems;
+      total.weight_reads += info.weight_reads;
+    }
+  }
+  total.flops_forward += 2.0 * static_cast<double>(shape_numel(i8.output_shape));
+  total.output_shape = i8.output_shape;
+  arch.add(total);
+  return arch.layers.back().output_shape;
+}
+
+/// Standard ResNet stage layouts: 18/34 use basic blocks, 50 bottlenecks.
+std::array<int, 4> resnet_blocks(int depth) {
+  switch (depth) {
+    case 18:
+      return {2, 2, 2, 2};
+    case 34:
+      return {3, 4, 6, 3};
+    case 50:
+      return {3, 4, 6, 3};  // bottleneck blocks: 3*sum+2 = 50 layers
+    default:
+      return {0, 0, 0, 0};
+  }
+}
+
+}  // namespace
+
+Result<BuiltModel> build_resnet(const ResNetConfig& config, Rng& rng) {
+  const auto blocks = resnet_blocks(config.depth);
+  if (blocks[0] == 0) {
+    return Status::invalid_argument("resnet depth must be 18, 34, or 50, got " +
+                                    std::to_string(config.depth));
+  }
+
+  BuiltModel built;
+  built.name = "resnet" + std::to_string(config.depth);
+  built.num_classes = config.num_classes;
+
+  // --- Executable proxy: 3x8x8 inputs, base width 8, same block layout. ---
+  const bool bottleneck = config.depth >= 50;
+  const std::int64_t pw = bottleneck ? 4 : 8;  // proxy base width
+  built.proxy_sample_shape = {3, 8, 8};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(3, pw, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(pw);
+  net->emplace<ReLU>();
+  std::int64_t in_c = pw;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = pw << stage;
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const std::int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+      if (bottleneck) {
+        net->emplace<BottleneckBlock>(in_c, width, stride, rng);
+        in_c = 4 * width;
+      } else {
+        net->emplace<ResidualBlock>(in_c, width, stride, rng);
+        in_c = width;
+      }
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_c, config.num_classes, rng);
+  built.net = std::move(net);
+
+  // --- Full-scale arch: CIFAR-10 3x32x32, base width 64. ---
+  ArchSpec arch;
+  arch.id = built.name;
+  arch.sample_shape = {3, 32, 32};
+  arch.num_classes = config.num_classes;
+  const std::int64_t fw = 64;
+  Shape shape = {1, 3, 32, 32};
+  arch.add(info_conv2d(shape, fw, 3, 1, 1, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  std::int64_t fin_c = fw;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = fw << stage;
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const std::int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+      if (bottleneck) {
+        shape = arch_add_bottleneck(arch, shape, fin_c, width, stride);
+        fin_c = 4 * width;
+      } else {
+        shape = arch_add_resblock(arch, shape, fin_c, width, stride);
+        fin_c = width;
+      }
+    }
+  }
+  arch.add(info_gap(shape));
+  arch.add(info_linear(arch.output_shape(), config.num_classes));
+  built.arch = std::move(arch);
+  return built;
+}
+
+Result<BuiltModel> build_alexnet(const AlexNetConfig& config, Rng& rng) {
+  if (config.num_classes < 2) {
+    return Status::invalid_argument("alexnet needs >= 2 classes");
+  }
+  BuiltModel built;
+  built.name = "alexnet";
+  built.num_classes = config.num_classes;
+
+  // --- Proxy: 3x8x8, narrow conv stack + small dense head. ---
+  built.proxy_sample_shape = {3, 8, 8};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(3, 12, 3, 1, 1, rng, true);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);  // 4x4
+  net->emplace<Conv2D>(12, 24, 3, 1, 1, rng, true);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);  // 2x2
+  net->emplace<Flatten>();
+  net->emplace<Linear>(24 * 2 * 2, 48, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(48, config.num_classes, rng);
+  built.net = std::move(net);
+
+  // --- Full-scale arch: AlexNet adapted to CIFAR-10 (3x32x32). ---
+  ArchSpec arch;
+  arch.id = built.name;
+  arch.sample_shape = {3, 32, 32};
+  arch.num_classes = config.num_classes;
+  Shape shape = {1, 3, 32, 32};
+  arch.add(info_conv2d(shape, 64, 5, 1, 2, true));
+  shape = arch.output_shape();
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool2d(shape, 2, 2));
+  shape = arch.output_shape();  // 16x16
+  arch.add(info_conv2d(shape, 192, 5, 1, 2, true));
+  shape = arch.output_shape();
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool2d(shape, 2, 2));
+  shape = arch.output_shape();  // 8x8
+  arch.add(info_conv2d(shape, 384, 3, 1, 1, true));
+  shape = arch.output_shape();
+  arch.add(info_relu(shape));
+  arch.add(info_conv2d(shape, 256, 3, 1, 1, true));
+  shape = arch.output_shape();
+  arch.add(info_relu(shape));
+  arch.add(info_conv2d(shape, 256, 3, 1, 1, true));
+  shape = arch.output_shape();
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool2d(shape, 2, 2));
+  shape = arch.output_shape();  // 4x4
+  arch.add(info_flatten(shape));
+  arch.add(info_linear(arch.output_shape(), 4096));
+  arch.add(info_relu(arch.output_shape()));
+  arch.add(info_linear(arch.output_shape(), 4096));
+  arch.add(info_relu(arch.output_shape()));
+  arch.add(info_linear(arch.output_shape(), config.num_classes));
+  built.arch = std::move(arch);
+  return built;
+}
+
+Result<BuiltModel> build_m5(const M5Config& config, Rng& rng) {
+  if (config.embed_dim != 32 && config.embed_dim != 64 &&
+      config.embed_dim != 128) {
+    return Status::invalid_argument("m5 embed_dim must be 32/64/128, got " +
+                                    std::to_string(config.embed_dim));
+  }
+
+  BuiltModel built;
+  built.name = "m5_e" + std::to_string(config.embed_dim);
+  built.num_classes = config.num_classes;
+
+  // --- Proxy: 1x256 waveform, channels = embed/8. ---
+  const std::int64_t pe = std::max<std::int64_t>(4, config.embed_dim / 8);
+  built.proxy_sample_shape = {1, 256};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv1D>(1, pe, 8, 2, 3, rng, false);   // -> [pe, 127]
+  net->emplace<BatchNorm>(pe);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool1D>(4, 4);                      // -> [pe, 31]
+  net->emplace<Conv1D>(pe, pe, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(pe);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool1D>(4, 4);                      // -> [pe, 7]
+  net->emplace<Conv1D>(pe, 2 * pe, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(2 * pe);
+  net->emplace<ReLU>();
+  net->emplace<GlobalAvgPool1D>();
+  net->emplace<Linear>(2 * pe, config.num_classes, rng);
+  built.net = std::move(net);
+
+  // --- Full-scale arch: 1x8000 waveform (SpeechCommands @ 8 kHz). ---
+  ArchSpec arch;
+  arch.id = built.name;
+  arch.sample_shape = {1, 8000};
+  arch.num_classes = config.num_classes;
+  const std::int64_t fe = config.embed_dim;
+  Shape shape = {1, 1, 8000};
+  arch.add(info_conv1d(shape, fe, 80, 4, 38, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool1d(shape, 4, 4));
+  shape = arch.output_shape();
+  arch.add(info_conv1d(shape, fe, 3, 1, 1, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool1d(shape, 4, 4));
+  shape = arch.output_shape();
+  arch.add(info_conv1d(shape, 2 * fe, 3, 1, 1, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  arch.add(info_maxpool1d(shape, 4, 4));
+  shape = arch.output_shape();
+  arch.add(info_conv1d(shape, 2 * fe, 3, 1, 1, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  arch.add(info_gap1d(shape));
+  arch.add(info_linear(arch.output_shape(), config.num_classes));
+  built.arch = std::move(arch);
+  return built;
+}
+
+Result<BuiltModel> build_text_rnn(const TextRnnConfig& config, Rng& rng) {
+  if (config.stride < 1 || config.stride > 32) {
+    return Status::invalid_argument("text_rnn stride must be in [1,32], got " +
+                                    std::to_string(config.stride));
+  }
+
+  BuiltModel built;
+  built.name = "textrnn_s" + std::to_string(config.stride);
+  built.num_classes = config.num_classes;
+
+  // --- Proxy: vocab 200, sequence length 32, embed/hidden 16. ---
+  built.proxy_sample_shape = {32};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Embedding>(200, 16, rng);
+  net->emplace<RNN>(16, 16, config.stride, rng);
+  net->emplace<Linear>(16, config.num_classes, rng);
+  built.net = std::move(net);
+
+  // --- Full-scale arch: vocab 30k, length 64, embed/hidden 128 (AG News). ---
+  ArchSpec arch;
+  arch.id = built.name;
+  arch.sample_shape = {64};
+  arch.num_classes = config.num_classes;
+  Shape shape = {1, 64};
+  arch.add(info_embedding(shape, 30000, 128));
+  arch.add(info_rnn(arch.output_shape(), 128, config.stride));
+  arch.add(info_linear(arch.output_shape(), config.num_classes));
+  built.arch = std::move(arch);
+  return built;
+}
+
+Result<BuiltModel> build_tiny_yolo(const YoloConfig& config, Rng& rng) {
+  if (config.dropout < 0.0 || config.dropout >= 1.0) {
+    return Status::invalid_argument("yolo dropout must be in [0,1)");
+  }
+
+  BuiltModel built;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "yolo_d%.2f", config.dropout);
+  built.name = buf;
+  built.num_classes = config.num_classes;
+
+  // --- Proxy: 3x16x16 inputs, narrow conv pyramid, classification head.
+  // (Detection is reduced to dominant-object classification at proxy scale;
+  // the full-scale arch below prices the real YOLO-style conv pyramid.)
+  built.proxy_sample_shape = {3, 16, 16};
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(3, 8, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(8);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);  // 8x8
+  net->emplace<Conv2D>(8, 16, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(16);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);  // 4x4
+  net->emplace<Conv2D>(16, 32, 3, 1, 1, rng, false);
+  net->emplace<BatchNorm>(32);
+  net->emplace<LeakyReLU>();  // YOLO-family activation
+  net->emplace<Dropout>(config.dropout, rng);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(32, config.num_classes, rng);
+  built.net = std::move(net);
+
+  // --- Full-scale arch: tiny-YOLO-ish pyramid on 3x416x416, 5 anchors. ---
+  ArchSpec arch;
+  arch.id = built.name;
+  arch.sample_shape = {3, 416, 416};
+  arch.num_classes = config.num_classes;
+  Shape shape = {1, 3, 416, 416};
+  std::int64_t channels = 16;
+  for (int level = 0; level < 5; ++level) {
+    arch.add(info_conv2d(shape, channels, 3, 1, 1, false));
+    shape = arch.output_shape();
+    arch.add(info_batchnorm(shape));
+    arch.add(info_relu(shape));
+    arch.add(info_maxpool2d(shape, 2, 2));
+    shape = arch.output_shape();
+    channels *= 2;
+  }
+  arch.add(info_conv2d(shape, 512, 3, 1, 1, false));
+  shape = arch.output_shape();
+  arch.add(info_batchnorm(shape));
+  arch.add(info_relu(shape));
+  arch.add(info_dropout(shape));
+  // Detection head: 5 anchors x (5 box terms + classes).
+  const std::int64_t head =
+      5 * (5 + config.num_classes);
+  arch.add(info_conv2d(shape, head, 1, 1, 0, true));
+  built.arch = std::move(arch);
+  return built;
+}
+
+const char* workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return "IC";
+    case WorkloadKind::kSpeech:
+      return "SR";
+    case WorkloadKind::kNlp:
+      return "NLP";
+    case WorkloadKind::kDetection:
+      return "OD";
+  }
+  return "??";
+}
+
+Result<BuiltModel> build_workload_model(WorkloadKind kind, double model_hparam,
+                                        Rng& rng) {
+  // Class counts mirror workload_num_classes() in src/data/synthetic.cpp
+  // (proxy-scale counts; Table 1 documents the paper's originals).
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return build_resnet(
+          {.depth = static_cast<int>(model_hparam), .num_classes = 10}, rng);
+    case WorkloadKind::kSpeech:
+      return build_m5({.embed_dim = static_cast<std::int64_t>(model_hparam),
+                       .num_classes = 10},
+                      rng);
+    case WorkloadKind::kNlp:
+      return build_text_rnn(
+          {.stride = static_cast<std::int64_t>(model_hparam),
+           .num_classes = 4},
+          rng);
+    case WorkloadKind::kDetection:
+      return build_tiny_yolo({.dropout = model_hparam, .num_classes = 8},
+                             rng);
+  }
+  return Status::invalid_argument("unknown workload kind");
+}
+
+}  // namespace edgetune

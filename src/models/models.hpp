@@ -1,0 +1,72 @@
+// The four evaluation models (paper Table 1 / §5.1), each exposing exactly
+// the model hyperparameter the paper tunes:
+//   ResNet   — number of layers in {18, 34, 50}          (image class.)
+//   M5       — embedded dimension in {32, 64, 128}       (speech)
+//   TextRNN  — stride in [1, 32]                         (NLP)
+//   TinyYOLO — dropout rate in [0.1, 0.5]                (object detection)
+//
+// Each builder returns BOTH an executable proxy-scale network (really
+// trainable on this machine) and the full-scale analytic ArchSpec the device
+// emulator prices (DESIGN.md §2, "Virtual time").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "models/arch.hpp"
+#include "nn/sequential.hpp"
+
+namespace edgetune {
+
+struct BuiltModel {
+  std::string name;                      // e.g. "resnet18"
+  std::unique_ptr<Sequential> net;       // proxy-scale, trainable
+  Shape proxy_sample_shape;              // one proxy sample, no batch dim
+  std::int64_t num_classes = 0;
+  ArchSpec arch;                         // full-scale analytic spec
+};
+
+struct ResNetConfig {
+  int depth = 18;  // one of 18, 34, 50
+  std::int64_t num_classes = 10;
+};
+Result<BuiltModel> build_resnet(const ResNetConfig& config, Rng& rng);
+
+/// AlexNet-on-CIFAR10 — the workload of the paper's Fig 1 perf-counter
+/// study (§2.1). Plain conv stack, large dense head (the memory profile
+/// that makes training-forward and inference counters diverge).
+struct AlexNetConfig {
+  std::int64_t num_classes = 10;
+};
+Result<BuiltModel> build_alexnet(const AlexNetConfig& config, Rng& rng);
+
+struct M5Config {
+  std::int64_t embed_dim = 64;  // one of 32, 64, 128
+  std::int64_t num_classes = 35;
+};
+Result<BuiltModel> build_m5(const M5Config& config, Rng& rng);
+
+struct TextRnnConfig {
+  std::int64_t stride = 1;  // 1..32
+  std::int64_t num_classes = 4;
+};
+Result<BuiltModel> build_text_rnn(const TextRnnConfig& config, Rng& rng);
+
+struct YoloConfig {
+  double dropout = 0.3;  // 0.1..0.5
+  std::int64_t num_classes = 20;
+};
+Result<BuiltModel> build_tiny_yolo(const YoloConfig& config, Rng& rng);
+
+/// Paper workload ids (Table 1).
+enum class WorkloadKind { kImageClassification, kSpeech, kNlp, kDetection };
+
+const char* workload_kind_name(WorkloadKind kind) noexcept;  // "IC", ...
+
+/// Builds the model for a workload from the single tunable model
+/// hyperparameter the paper assigns it (§5.1). `model_hparam` is interpreted
+/// per workload: layers, embed dim, stride, or dropout.
+Result<BuiltModel> build_workload_model(WorkloadKind kind, double model_hparam,
+                                        Rng& rng);
+
+}  // namespace edgetune

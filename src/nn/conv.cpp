@@ -1,0 +1,230 @@
+#include "nn/conv.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace edgetune {
+
+Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = Tensor::randn({out_channels, fan_in}, rng, 0.0f,
+                          std::sqrt(2.0f / static_cast<float>(fan_in)));
+  weight_grad_ = Tensor::zeros(weight_.shape());
+  if (has_bias_) {
+    bias_ = Tensor::zeros({out_channels});
+    bias_grad_ = Tensor::zeros({out_channels});
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 4 && input.dim(1) == in_channels_);
+  cached_batch_ = input.dim(0);
+  cached_geo_ = Conv2dGeometry{in_channels_, input.dim(2), input.dim(3),
+                               kernel_, stride_, padding_};
+  cached_cols_ = im2col(input, cached_geo_);  // [N*oh*ow, cin*k*k]
+  Tensor out_cols = matmul_nt(cached_cols_, weight_);  // [N*oh*ow, out_c]
+  const std::int64_t oh = cached_geo_.out_h(), ow = cached_geo_.out_w();
+  if (has_bias_) {
+    const std::int64_t rows = out_cols.dim(0);
+    float* po = out_cols.data();
+    const float* pb = bias_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        po[r * out_channels_ + c] += pb[c];
+      }
+    }
+  }
+  // [N*oh*ow, out_c] -> [N, out_c, oh, ow]
+  Tensor out({cached_batch_, out_channels_, oh, ow});
+  const float* src = out_cols.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < cached_batch_; ++n) {
+    for (std::int64_t p = 0; p < oh * ow; ++p) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        dst[(n * out_channels_ + c) * oh * ow + p] =
+            src[(n * oh * ow + p) * out_channels_ + c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::int64_t oh = cached_geo_.out_h(), ow = cached_geo_.out_w();
+  assert(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_ &&
+         grad_output.dim(2) == oh && grad_output.dim(3) == ow);
+  // [N, out_c, oh, ow] -> [N*oh*ow, out_c]
+  Tensor g_cols({cached_batch_ * oh * ow, out_channels_});
+  {
+    const float* src = grad_output.data();
+    float* dst = g_cols.data();
+    for (std::int64_t n = 0; n < cached_batch_; ++n) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        for (std::int64_t p = 0; p < oh * ow; ++p) {
+          dst[(n * oh * ow + p) * out_channels_ + c] =
+              src[(n * out_channels_ + c) * oh * ow + p];
+        }
+      }
+    }
+  }
+  // dW += g_cols^T * cached_cols
+  Tensor dw = matmul_tn(g_cols, cached_cols_);  // [out_c, cin*k*k]
+  weight_grad_.add_inplace(dw);
+  if (has_bias_) {
+    const std::int64_t rows = g_cols.dim(0);
+    const float* g = g_cols.data();
+    float* db = bias_grad_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        db[c] += g[r * out_channels_ + c];
+      }
+    }
+  }
+  // dX = col2im(g_cols * W)
+  Tensor dcols = matmul(g_cols, weight_);  // [N*oh*ow, cin*k*k]
+  return col2im(dcols, cached_batch_, cached_geo_);
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  std::vector<ParamRef> out = {{&weight_, &weight_grad_, "conv2d.weight"}};
+  if (has_bias_) out.push_back({&bias_, &bias_grad_, "conv2d.bias"});
+  return out;
+}
+
+LayerInfo Conv2D::describe(const Shape& input_shape) const {
+  const std::int64_t batch = input_shape.at(0);
+  const Conv2dGeometry geo{in_channels_, input_shape.at(2), input_shape.at(3),
+                           kernel_, stride_, padding_};
+  const std::int64_t oh = geo.out_h(), ow = geo.out_w();
+  LayerInfo info;
+  info.kind = "conv2d";
+  info.output_shape = {batch, out_channels_, oh, ow};
+  const double patch = static_cast<double>(in_channels_ * kernel_ * kernel_);
+  info.flops_forward = 2.0 * static_cast<double>(batch * oh * ow) * patch *
+                       static_cast<double>(out_channels_);
+  info.param_count =
+      patch * static_cast<double>(out_channels_) +
+      (has_bias_ ? static_cast<double>(out_channels_) : 0.0);
+  info.activation_elems = static_cast<double>(batch * out_channels_ * oh * ow);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+Conv1D::Conv1D(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  const std::int64_t fan_in = in_channels * kernel;
+  weight_ = Tensor::randn({out_channels, fan_in}, rng, 0.0f,
+                          std::sqrt(2.0f / static_cast<float>(fan_in)));
+  weight_grad_ = Tensor::zeros(weight_.shape());
+  if (has_bias_) {
+    bias_ = Tensor::zeros({out_channels});
+    bias_grad_ = Tensor::zeros({out_channels});
+  }
+}
+
+Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 3 && input.dim(1) == in_channels_);
+  cached_batch_ = input.dim(0);
+  cached_geo_ =
+      Conv1dGeometry{in_channels_, input.dim(2), kernel_, stride_, padding_};
+  cached_cols_ = im2col_1d(input, cached_geo_);  // [N*ol, cin*k]
+  Tensor out_cols = matmul_nt(cached_cols_, weight_);  // [N*ol, out_c]
+  const std::int64_t ol = cached_geo_.out_len();
+  if (has_bias_) {
+    const std::int64_t rows = out_cols.dim(0);
+    float* po = out_cols.data();
+    const float* pb = bias_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        po[r * out_channels_ + c] += pb[c];
+      }
+    }
+  }
+  Tensor out({cached_batch_, out_channels_, ol});
+  const float* src = out_cols.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < cached_batch_; ++n) {
+    for (std::int64_t p = 0; p < ol; ++p) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        dst[(n * out_channels_ + c) * ol + p] =
+            src[(n * ol + p) * out_channels_ + c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_output) {
+  const std::int64_t ol = cached_geo_.out_len();
+  assert(grad_output.rank() == 3 && grad_output.dim(1) == out_channels_ &&
+         grad_output.dim(2) == ol);
+  Tensor g_cols({cached_batch_ * ol, out_channels_});
+  {
+    const float* src = grad_output.data();
+    float* dst = g_cols.data();
+    for (std::int64_t n = 0; n < cached_batch_; ++n) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        for (std::int64_t p = 0; p < ol; ++p) {
+          dst[(n * ol + p) * out_channels_ + c] =
+              src[(n * out_channels_ + c) * ol + p];
+        }
+      }
+    }
+  }
+  Tensor dw = matmul_tn(g_cols, cached_cols_);
+  weight_grad_.add_inplace(dw);
+  if (has_bias_) {
+    const std::int64_t rows = g_cols.dim(0);
+    const float* g = g_cols.data();
+    float* db = bias_grad_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        db[c] += g[r * out_channels_ + c];
+      }
+    }
+  }
+  Tensor dcols = matmul(g_cols, weight_);
+  return col2im_1d(dcols, cached_batch_, cached_geo_);
+}
+
+std::vector<ParamRef> Conv1D::params() {
+  std::vector<ParamRef> out = {{&weight_, &weight_grad_, "conv1d.weight"}};
+  if (has_bias_) out.push_back({&bias_, &bias_grad_, "conv1d.bias"});
+  return out;
+}
+
+LayerInfo Conv1D::describe(const Shape& input_shape) const {
+  const std::int64_t batch = input_shape.at(0);
+  const Conv1dGeometry geo{in_channels_, input_shape.at(2), kernel_, stride_,
+                           padding_};
+  const std::int64_t ol = geo.out_len();
+  LayerInfo info;
+  info.kind = "conv1d";
+  info.output_shape = {batch, out_channels_, ol};
+  const double patch = static_cast<double>(in_channels_ * kernel_);
+  info.flops_forward = 2.0 * static_cast<double>(batch * ol) * patch *
+                       static_cast<double>(out_channels_);
+  info.param_count =
+      patch * static_cast<double>(out_channels_) +
+      (has_bias_ ? static_cast<double>(out_channels_) : 0.0);
+  info.activation_elems = static_cast<double>(batch * out_channels_ * ol);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,61 @@
+// Convolution layers, lowered to GEMM via im2col.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+
+/// 2-d convolution on [N, C, H, W] inputs.
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+  [[nodiscard]] std::int64_t out_channels() const noexcept {
+    return out_channels_;
+  }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Tensor weight_;  // [out_c, in_c * k * k]
+  Tensor bias_;    // [out_c]
+  Tensor weight_grad_, bias_grad_;
+  Tensor cached_cols_;  // im2col of last input
+  Conv2dGeometry cached_geo_;
+  std::int64_t cached_batch_ = 0;
+};
+
+/// 1-d convolution on [N, C, L] inputs (audio workloads, M5).
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "conv1d"; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Tensor weight_;  // [out_c, in_c * k]
+  Tensor bias_;
+  Tensor weight_grad_, bias_grad_;
+  Tensor cached_cols_;
+  Conv1dGeometry cached_geo_;
+  std::int64_t cached_batch_ = 0;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,55 @@
+// Layer abstraction for the mini deep-learning library. Explicit
+// forward/backward (no tape autograd): each layer caches what its backward
+// pass needs, mirroring how static-graph frameworks execute.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+
+/// A trainable parameter: value plus accumulated gradient, owned by a layer.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+/// Static per-layer description used by the device cost model, computed
+/// without executing the layer.
+struct LayerInfo {
+  std::string kind;          // "conv2d", "linear", ...
+  Shape output_shape;        // includes the batch dimension
+  double flops_forward = 0;  // multiply-adds*2 for one forward pass (batch incl.)
+  double param_count = 0;    // trainable scalars
+  double activation_elems = 0;  // output elements (memory traffic proxy)
+  double weight_reads = 0;      // parameter elements read per forward
+  double kernel_launches = 1;   // dispatches per forward (RNNs: per step)
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes outputs; `training` toggles dropout/batch-norm behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after the matching forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Static shape/cost propagation used by ModelStats and the cost model.
+  [[nodiscard]] virtual LayerInfo describe(const Shape& input_shape) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace edgetune

@@ -1,0 +1,229 @@
+#include "nn/layers_basic.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::randn({out_features, in_features}, rng, 0.0f,
+                            std::sqrt(2.0f / static_cast<float>(in_features)))),
+      bias_(Tensor::zeros({out_features})),
+      weight_grad_(Tensor::zeros({out_features, in_features})),
+      bias_grad_(Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 2 && input.dim(1) == in_);
+  cached_input_ = input;
+  Tensor out = matmul_nt(input, weight_);  // [N, out]
+  const std::int64_t batch = out.dim(0);
+  float* po = out.data();
+  const float* pb = bias_.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t j = 0; j < out_; ++j) po[n * out_ + j] += pb[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  // dW += g^T x ; db += sum_n g ; dx = g W
+  Tensor dw = matmul_tn(grad_output, cached_input_);  // [out, in]
+  weight_grad_.add_inplace(dw);
+  const std::int64_t batch = grad_output.dim(0);
+  const float* g = grad_output.data();
+  float* db = bias_grad_.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t j = 0; j < out_; ++j) db[j] += g[n * out_ + j];
+  }
+  return matmul(grad_output, weight_);  // [N, in]
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&weight_, &weight_grad_, "linear.weight"},
+          {&bias_, &bias_grad_, "linear.bias"}};
+}
+
+LayerInfo Linear::describe(const Shape& input_shape) const {
+  const std::int64_t batch = input_shape.at(0);
+  LayerInfo info;
+  info.kind = "linear";
+  info.output_shape = {batch, out_};
+  info.flops_forward =
+      2.0 * static_cast<double>(batch) * static_cast<double>(in_) *
+      static_cast<double>(out_);
+  info.param_count = static_cast<double>(in_ * out_ + out_);
+  info.activation_elems = static_cast<double>(batch * out_);
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (auto& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  cached_output_ = out;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const float* o = cached_output_.data();
+  float* g = grad.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (o[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad;
+}
+
+LayerInfo ReLU::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "relu";
+  info.output_shape = input_shape;
+  info.flops_forward = static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = info.flops_forward;
+  return info;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.vec()) v = v > 0.0f ? v : alpha_ * v;
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const float* x = cached_input_.data();
+  float* g = grad.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0f) g[i] *= alpha_;
+  }
+  return grad;
+}
+
+LayerInfo LeakyReLU::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "leaky_relu";
+  info.output_shape = input_shape;
+  info.flops_forward = 2.0 * static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(input_shape));
+  return info;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (auto& v : out.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const float* o = cached_output_.data();
+  float* g = grad.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] *= o[i] * (1.0f - o[i]);
+  return grad;
+}
+
+LayerInfo Sigmoid::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "sigmoid";
+  info.output_shape = input_shape;
+  info.flops_forward = 4.0 * static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(input_shape));
+  return info;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (auto& v : out.vec()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const float* o = cached_output_.data();
+  float* g = grad.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] *= 1.0f - o[i] * o[i];
+  return grad;
+}
+
+LayerInfo Tanh::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "tanh";
+  info.output_shape = input_shape;
+  info.flops_forward = 4.0 * static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(input_shape));
+  return info;
+}
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.split()) {
+  assert(rate >= 0.0 && rate < 1.0);
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float keep = static_cast<float>(1.0 - rate_);
+  const float scale = 1.0f / keep;
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  float* m = mask_.data();
+  float* o = out.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool kept = rng_.uniform() < keep;
+    m[i] = kept ? scale : 0.0f;
+    o[i] *= m[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Tensor grad = grad_output;
+  const float* m = mask_.data();
+  float* g = grad.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] *= m[i];
+  return grad;
+}
+
+LayerInfo Dropout::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "dropout";
+  info.output_shape = input_shape;
+  info.flops_forward = static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(input_shape));
+  return info;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0);
+  return input.reshaped({batch, input.numel() / batch}).value();
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_input_shape_).value();
+}
+
+LayerInfo Flatten::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "flatten";
+  const std::int64_t batch = input_shape.at(0);
+  info.output_shape = {batch, shape_numel(input_shape) / batch};
+  return info;
+}
+
+}  // namespace edgetune

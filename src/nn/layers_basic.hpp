@@ -1,0 +1,108 @@
+// Linear, activations, dropout, flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+/// Fully connected layer: y = x W^T + b, x: [N, in], W: [out, in].
+class Linear : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+  [[nodiscard]] std::int64_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::int64_t out_features() const noexcept { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  Tensor weight_, bias_;
+  Tensor weight_grad_, bias_grad_;
+  Tensor cached_input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// max(x, alpha*x) — YOLO-family networks use alpha = 0.1.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.1f) : alpha_(alpha) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+
+ private:
+  float alpha_;
+  Tensor cached_input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) during training and
+/// is the identity at inference (the YOLO model hyperparameter, §5.1).
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+/// [N, ...] -> [N, prod(...)].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace edgetune

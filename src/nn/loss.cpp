@@ -1,0 +1,72 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  assert(logits.rank() == 2);
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  assert(static_cast<std::int64_t>(labels.size()) == batch);
+
+  Tensor log_probs = log_softmax_rows(logits);
+  LossResult result;
+  result.grad = softmax_rows(logits);
+
+  double loss = 0.0;
+  float* g = result.grad.data();
+  const float* lp = log_probs.data();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t y = labels[static_cast<std::size_t>(n)];
+    assert(y >= 0 && y < classes);
+    loss -= lp[n * classes + y];
+    g[n * classes + y] -= 1.0f;
+  }
+  for (std::int64_t i = 0; i < batch * classes; ++i) g[i] *= inv_batch;
+  result.loss = loss / static_cast<double>(batch);
+  return result;
+}
+
+LossResult mse_loss(const Tensor& predictions, const Tensor& targets) {
+  assert(predictions.numel() == targets.numel());
+  const std::int64_t n = predictions.numel();
+  LossResult result;
+  result.grad = Tensor(predictions.shape());
+  const float* p = predictions.data();
+  const float* t = targets.data();
+  float* g = result.grad.data();
+  double loss = 0.0;
+  const float scale = 2.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    loss += static_cast<double>(d) * d;
+    g[i] = scale * d;
+  }
+  result.loss = loss / static_cast<double>(n);
+  return result;
+}
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  assert(logits.rank() == 2);
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  if (batch == 0) return 0.0;
+  const float* p = logits.data();
+  std::int64_t correct = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = p + n * classes;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == labels[static_cast<std::size_t>(n)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace edgetune

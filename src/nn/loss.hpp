@@ -1,0 +1,24 @@
+// Loss functions. Each returns the scalar loss and the gradient w.r.t. the
+// network output, ready to feed into Sequential::backward.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  // dL/d(logits or predictions), mean-reduced over the batch
+};
+
+/// Softmax cross-entropy. logits: [N, C]; labels: class indices, length N.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// Mean squared error against a target tensor of the same shape.
+LossResult mse_loss(const Tensor& predictions, const Tensor& targets);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace edgetune

@@ -1,0 +1,148 @@
+#include "nn/norm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace edgetune {
+
+namespace {
+/// Views input as [N, C, S] where S collapses all trailing spatial dims.
+std::int64_t spatial_size(const Shape& shape) {
+  std::int64_t s = 1;
+  for (std::size_t i = 2; i < shape.size(); ++i) s *= shape[i];
+  return s;
+}
+}  // namespace
+
+BatchNorm::BatchNorm(std::int64_t channels, double momentum, double epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::ones({channels})),
+      beta_(Tensor::zeros({channels})),
+      gamma_grad_(Tensor::zeros({channels})),
+      beta_grad_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  assert(input.rank() >= 2 && input.dim(1) == channels_);
+  cached_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t spatial = spatial_size(input.shape());
+  const std::int64_t per_channel = batch * spatial;
+
+  Tensor out(input.shape());
+  const float* src = input.data();
+  float* dst = out.data();
+
+  if (training) {
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor({channels_});
+    float* xh = cached_normalized_.data();
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double mean = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* chan = src + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) mean += chan[s];
+      }
+      mean /= static_cast<double>(per_channel);
+      double var = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* chan = src + (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const double d = chan[s] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+      cached_inv_std_[c] = inv_std;
+      running_mean_[c] = static_cast<float>(
+          (1.0 - momentum_) * running_mean_[c] + momentum_ * mean);
+      running_var_[c] = static_cast<float>(
+          (1.0 - momentum_) * running_var_[c] + momentum_ * var);
+      const float g = gamma_[c], b = beta_[c];
+      const float fmean = static_cast<float>(mean);
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const std::int64_t off = (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const float norm = (src[off + s] - fmean) * inv_std;
+          xh[off + s] = norm;
+          dst[off + s] = g * norm + b;
+        }
+      }
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[c] + static_cast<float>(epsilon_));
+      const float g = gamma_[c], b = beta_[c], m = running_mean_[c];
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const std::int64_t off = (n * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          dst[off + s] = g * (src[off + s] - m) * inv_std + b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  assert(!cached_normalized_.empty() &&
+         "backward requires a training-mode forward");
+  const std::int64_t batch = cached_shape_[0];
+  const std::int64_t spatial = spatial_size(cached_shape_);
+  const std::int64_t per_channel = batch * spatial;
+
+  Tensor grad_in(cached_shape_);
+  const float* g = grad_output.data();
+  const float* xh = cached_normalized_.data();
+  float* dx = grad_in.data();
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const std::int64_t off = (n * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        sum_g += g[off + s];
+        sum_gx += g[off + s] * xh[off + s];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_gx);
+    beta_grad_[c] += static_cast<float>(sum_g);
+
+    const float gamma = gamma_[c];
+    const float inv_std = cached_inv_std_[c];
+    const float inv_m = 1.0f / static_cast<float>(per_channel);
+    const float mean_g = static_cast<float>(sum_g) * inv_m;
+    const float mean_gx = static_cast<float>(sum_gx) * inv_m;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const std::int64_t off = (n * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        dx[off + s] = gamma * inv_std *
+                      (g[off + s] - mean_g - xh[off + s] * mean_gx);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> BatchNorm::params() {
+  return {{&gamma_, &gamma_grad_, "batchnorm.gamma"},
+          {&beta_, &beta_grad_, "batchnorm.beta"}};
+}
+
+LayerInfo BatchNorm::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "batchnorm";
+  info.output_shape = input_shape;
+  info.flops_forward = 4.0 * static_cast<double>(shape_numel(input_shape));
+  info.param_count = static_cast<double>(2 * channels_);
+  info.activation_elems = static_cast<double>(shape_numel(input_shape));
+  info.weight_reads = info.param_count;
+  return info;
+}
+
+}  // namespace edgetune

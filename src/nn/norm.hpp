@@ -1,0 +1,33 @@
+// Batch normalization over the channel axis, supporting [N, C], [N, C, L],
+// and [N, C, H, W] inputs with running statistics for inference.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::int64_t channels, double momentum = 0.1,
+                     double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "batchnorm"; }
+
+ private:
+  std::int64_t channels_;
+  double momentum_, epsilon_;
+  Tensor gamma_, beta_;
+  Tensor gamma_grad_, beta_grad_;
+  Tensor running_mean_, running_var_;
+
+  // Backward-pass caches (training mode only).
+  Tensor cached_normalized_;  // x_hat, same shape as input
+  Tensor cached_inv_std_;     // [C]
+  Shape cached_shape_;
+};
+
+}  // namespace edgetune

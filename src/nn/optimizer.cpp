@@ -1,0 +1,37 @@
+#include "nn/optimizer.hpp"
+
+namespace edgetune {
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(Tensor::zeros(p.value->shape()));
+  }
+}
+
+void SgdOptimizer::step() {
+  const auto lr = static_cast<float>(options_.learning_rate);
+  const auto mu = static_cast<float>(options_.momentum);
+  const auto wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = *params_[i].value;
+    Tensor& grad = *params_[i].grad;
+    Tensor& vel = velocity_[i];
+    float* v = vel.data();
+    float* w = value.data();
+    const float* g = grad.data();
+    const std::int64_t n = value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      v[j] = mu * v[j] + g[j] + wd * w[j];
+      w[j] -= lr * v[j];
+    }
+    grad.fill(0.0f);
+  }
+}
+
+void SgdOptimizer::zero_grad() {
+  for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+}  // namespace edgetune

@@ -1,0 +1,36 @@
+// SGD with momentum and decoupled weight decay — the paper trains with
+// mini-batch stochastic gradient descent (§2.1).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<ParamRef> params, SgdOptions options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  /// Zeroes gradients without updating (e.g. after a skipped batch).
+  void zero_grad();
+
+  [[nodiscard]] const SgdOptions& options() const noexcept { return options_; }
+  void set_learning_rate(double lr) noexcept { options_.learning_rate = lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> velocity_;
+  SgdOptions options_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,181 @@
+#include "nn/pool.hpp"
+
+#include <cassert>
+
+namespace edgetune {
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  PoolResult result = maxpool2d(input, kernel_, stride_);
+  cached_argmax_ = std::move(result.argmax);
+  return std::move(result.output);
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  return maxpool2d_backward(grad_output, cached_argmax_, cached_input_shape_);
+}
+
+LayerInfo MaxPool2D::describe(const Shape& input_shape) const {
+  const std::int64_t oh = (input_shape.at(2) - kernel_) / stride_ + 1;
+  const std::int64_t ow = (input_shape.at(3) - kernel_) / stride_ + 1;
+  LayerInfo info;
+  info.kind = "maxpool2d";
+  info.output_shape = {input_shape.at(0), input_shape.at(1), oh, ow};
+  info.flops_forward = static_cast<double>(shape_numel(info.output_shape)) *
+                       static_cast<double>(kernel_ * kernel_);
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+Tensor MaxPool1D::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  PoolResult result = maxpool1d(input, kernel_, stride_);
+  cached_argmax_ = std::move(result.argmax);
+  return std::move(result.output);
+}
+
+Tensor MaxPool1D::backward(const Tensor& grad_output) {
+  return maxpool1d_backward(grad_output, cached_argmax_, cached_input_shape_);
+}
+
+LayerInfo MaxPool1D::describe(const Shape& input_shape) const {
+  const std::int64_t ol = (input_shape.at(2) - kernel_) / stride_ + 1;
+  LayerInfo info;
+  info.kind = "maxpool1d";
+  info.output_shape = {input_shape.at(0), input_shape.at(1), ol};
+  info.flops_forward = static_cast<double>(shape_numel(info.output_shape)) *
+                       static_cast<double>(kernel_);
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 4);
+  cached_input_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0), ch = input.dim(1),
+                     h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  Tensor out({batch, ch, oh, ow});
+  const float* src = input.data();
+  float* dst = out.data();
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  std::int64_t idx = 0;
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    const float* plane = src + nc * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0;
+        for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+            acc += plane[(oy * stride_ + ky) * w + ox * stride_ + kx];
+          }
+        }
+        dst[idx++] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  Tensor grad_in(cached_input_shape_);
+  const std::int64_t batch = cached_input_shape_[0],
+                     ch = cached_input_shape_[1], h = cached_input_shape_[2],
+                     w = cached_input_shape_[3];
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* g = grad_output.data();
+  float* dst = grad_in.data();
+  std::int64_t idx = 0;
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    float* plane = dst + nc * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float v = g[idx++] * inv;
+        for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+            plane[(oy * stride_ + ky) * w + ox * stride_ + kx] += v;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+LayerInfo AvgPool2D::describe(const Shape& input_shape) const {
+  const std::int64_t oh = (input_shape.at(2) - kernel_) / stride_ + 1;
+  const std::int64_t ow = (input_shape.at(3) - kernel_) / stride_ + 1;
+  LayerInfo info;
+  info.kind = "avgpool2d";
+  info.output_shape = {input_shape.at(0), input_shape.at(1), oh, ow};
+  info.flops_forward = static_cast<double>(shape_numel(info.output_shape)) *
+                       static_cast<double>(kernel_ * kernel_);
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  return global_avg_pool(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  return global_avg_pool_backward(grad_output, cached_input_shape_);
+}
+
+LayerInfo GlobalAvgPool::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "gap";
+  info.output_shape = {input_shape.at(0), input_shape.at(1)};
+  info.flops_forward = static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+Tensor GlobalAvgPool1D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 3);
+  cached_input_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0), ch = input.dim(1),
+                     len = input.dim(2);
+  Tensor out({batch, ch});
+  const float* src = input.data();
+  float* dst = out.data();
+  const float inv = 1.0f / static_cast<float>(len);
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    float acc = 0.0f;
+    const float* chan = src + nc * len;
+    for (std::int64_t i = 0; i < len; ++i) acc += chan[i];
+    dst[nc] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool1D::backward(const Tensor& grad_output) {
+  Tensor grad_in(cached_input_shape_);
+  const std::int64_t batch = cached_input_shape_[0],
+                     ch = cached_input_shape_[1],
+                     len = cached_input_shape_[2];
+  const float inv = 1.0f / static_cast<float>(len);
+  const float* g = grad_output.data();
+  float* dst = grad_in.data();
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    const float v = g[nc] * inv;
+    float* chan = dst + nc * len;
+    for (std::int64_t i = 0; i < len; ++i) chan[i] = v;
+  }
+  return grad_in;
+}
+
+LayerInfo GlobalAvgPool1D::describe(const Shape& input_shape) const {
+  LayerInfo info;
+  info.kind = "gap1d";
+  info.output_shape = {input_shape.at(0), input_shape.at(1)};
+  info.flops_forward = static_cast<double>(shape_numel(input_shape));
+  info.activation_elems = static_cast<double>(shape_numel(info.output_shape));
+  return info;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,81 @@
+// Pooling layers wrapping the tensor-level kernels.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "maxpool2d"; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  std::vector<std::int64_t> cached_argmax_;
+  Shape cached_input_shape_;
+};
+
+class MaxPool1D : public Layer {
+ public:
+  MaxPool1D(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "maxpool1d"; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  std::vector<std::int64_t> cached_argmax_;
+  Shape cached_input_shape_;
+};
+
+/// Average pooling on [N, C, H, W] with a square window.
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "avgpool2d"; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  Shape cached_input_shape_;
+};
+
+/// [N, C, H, W] -> [N, C] by averaging each channel plane.
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "gap"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// [N, C, L] -> [N, C] by averaging over time (audio head).
+class GlobalAvgPool1D : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "gap1d"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,237 @@
+#include "nn/residual.hpp"
+
+#include <cassert>
+
+namespace edgetune {
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels,
+                             std::int64_t out_channels, std::int64_t stride,
+                             Rng& rng)
+    : conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*padding=*/1,
+             rng, /*bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1,
+             /*padding=*/1, rng, /*bias=*/false),
+      bn2_(out_channels),
+      has_projection_(stride != 1 || in_channels != out_channels) {
+  if (has_projection_) {
+    proj_ = std::make_unique<Conv2D>(in_channels, out_channels, /*kernel=*/1,
+                                     stride, /*padding=*/0, rng,
+                                     /*bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool training) {
+  Tensor main = conv1_.forward(input, training);
+  main = bn1_.forward(main, training);
+  main = relu1_.forward(main, training);
+  main = conv2_.forward(main, training);
+  main = bn2_.forward(main, training);
+
+  Tensor skip = input;
+  if (has_projection_) {
+    skip = proj_->forward(input, training);
+    skip = proj_bn_->forward(skip, training);
+  }
+  main.add_inplace(skip);
+  cached_sum_ = main;
+  // Final ReLU, inline so backward can mask on the cached sum.
+  Tensor out = main;
+  for (auto& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  // Through the final ReLU.
+  Tensor g = grad_output;
+  {
+    const float* s = cached_sum_.data();
+    float* pg = g.data();
+    const std::int64_t n = g.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (s[i] <= 0.0f) pg[i] = 0.0f;
+    }
+  }
+  // Main path.
+  Tensor g_main = bn2_.backward(g);
+  g_main = conv2_.backward(g_main);
+  g_main = relu1_.backward(g_main);
+  g_main = bn1_.backward(g_main);
+  g_main = conv1_.backward(g_main);
+  // Skip path.
+  Tensor g_skip = g;
+  if (has_projection_) {
+    g_skip = proj_bn_->backward(g_skip);
+    g_skip = proj_->backward(g_skip);
+  }
+  g_main.add_inplace(g_skip);
+  return g_main;
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> out;
+  for (Layer* l : std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_,
+                                                &bn2_}) {
+    auto p = l->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  if (has_projection_) {
+    auto p1 = proj_->params();
+    out.insert(out.end(), p1.begin(), p1.end());
+    auto p2 = proj_bn_->params();
+    out.insert(out.end(), p2.begin(), p2.end());
+  }
+  return out;
+}
+
+LayerInfo ResidualBlock::describe(const Shape& input_shape) const {
+  LayerInfo total;
+  total.kind = "resblock";
+  LayerInfo i1 = conv1_.describe(input_shape);
+  LayerInfo i2 = bn1_.describe(i1.output_shape);
+  LayerInfo i3 = relu1_.describe(i2.output_shape);
+  LayerInfo i4 = conv2_.describe(i3.output_shape);
+  LayerInfo i5 = bn2_.describe(i4.output_shape);
+  for (const auto& info : {i1, i2, i3, i4, i5}) {
+    total.flops_forward += info.flops_forward;
+    total.param_count += info.param_count;
+    total.activation_elems += info.activation_elems;
+    total.weight_reads += info.weight_reads;
+  }
+  if (has_projection_) {
+    LayerInfo p1 = proj_->describe(input_shape);
+    LayerInfo p2 = proj_bn_->describe(p1.output_shape);
+    for (const auto& info : {p1, p2}) {
+      total.flops_forward += info.flops_forward;
+      total.param_count += info.param_count;
+      total.activation_elems += info.activation_elems;
+      total.weight_reads += info.weight_reads;
+    }
+  }
+  // Elementwise add + final relu.
+  total.flops_forward += 2.0 * static_cast<double>(shape_numel(i5.output_shape));
+  total.output_shape = i5.output_shape;
+  return total;
+}
+
+BottleneckBlock::BottleneckBlock(std::int64_t in_channels,
+                                 std::int64_t mid_channels,
+                                 std::int64_t stride, Rng& rng)
+    : mid_channels_(mid_channels),
+      conv1_(in_channels, mid_channels, /*kernel=*/1, /*stride=*/1,
+             /*padding=*/0, rng, /*bias=*/false),
+      bn1_(mid_channels),
+      conv2_(mid_channels, mid_channels, /*kernel=*/3, stride, /*padding=*/1,
+             rng, /*bias=*/false),
+      bn2_(mid_channels),
+      conv3_(mid_channels, 4 * mid_channels, /*kernel=*/1, /*stride=*/1,
+             /*padding=*/0, rng, /*bias=*/false),
+      bn3_(4 * mid_channels),
+      has_projection_(stride != 1 || in_channels != 4 * mid_channels) {
+  if (has_projection_) {
+    proj_ = std::make_unique<Conv2D>(in_channels, 4 * mid_channels,
+                                     /*kernel=*/1, stride, /*padding=*/0, rng,
+                                     /*bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm>(4 * mid_channels);
+  }
+}
+
+Tensor BottleneckBlock::forward(const Tensor& input, bool training) {
+  Tensor main = conv1_.forward(input, training);
+  main = bn1_.forward(main, training);
+  main = relu1_.forward(main, training);
+  main = conv2_.forward(main, training);
+  main = bn2_.forward(main, training);
+  main = relu2_.forward(main, training);
+  main = conv3_.forward(main, training);
+  main = bn3_.forward(main, training);
+
+  Tensor skip = input;
+  if (has_projection_) {
+    skip = proj_->forward(input, training);
+    skip = proj_bn_->forward(skip, training);
+  }
+  main.add_inplace(skip);
+  cached_sum_ = main;
+  Tensor out = main;
+  for (auto& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor BottleneckBlock::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  {
+    const float* s = cached_sum_.data();
+    float* pg = g.data();
+    const std::int64_t n = g.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (s[i] <= 0.0f) pg[i] = 0.0f;
+    }
+  }
+  Tensor g_main = bn3_.backward(g);
+  g_main = conv3_.backward(g_main);
+  g_main = relu2_.backward(g_main);
+  g_main = bn2_.backward(g_main);
+  g_main = conv2_.backward(g_main);
+  g_main = relu1_.backward(g_main);
+  g_main = bn1_.backward(g_main);
+  g_main = conv1_.backward(g_main);
+  Tensor g_skip = g;
+  if (has_projection_) {
+    g_skip = proj_bn_->backward(g_skip);
+    g_skip = proj_->backward(g_skip);
+  }
+  g_main.add_inplace(g_skip);
+  return g_main;
+}
+
+std::vector<ParamRef> BottleneckBlock::params() {
+  std::vector<ParamRef> out;
+  for (Layer* l : std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_,
+                                                &bn2_, &conv3_, &bn3_}) {
+    auto p = l->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  if (has_projection_) {
+    auto p1 = proj_->params();
+    out.insert(out.end(), p1.begin(), p1.end());
+    auto p2 = proj_bn_->params();
+    out.insert(out.end(), p2.begin(), p2.end());
+  }
+  return out;
+}
+
+LayerInfo BottleneckBlock::describe(const Shape& input_shape) const {
+  LayerInfo total;
+  total.kind = "bottleneck";
+  LayerInfo i1 = conv1_.describe(input_shape);
+  LayerInfo i2 = bn1_.describe(i1.output_shape);
+  LayerInfo i3 = relu1_.describe(i2.output_shape);
+  LayerInfo i4 = conv2_.describe(i3.output_shape);
+  LayerInfo i5 = bn2_.describe(i4.output_shape);
+  LayerInfo i6 = relu2_.describe(i5.output_shape);
+  LayerInfo i7 = conv3_.describe(i6.output_shape);
+  LayerInfo i8 = bn3_.describe(i7.output_shape);
+  for (const auto& info : {i1, i2, i3, i4, i5, i6, i7, i8}) {
+    total.flops_forward += info.flops_forward;
+    total.param_count += info.param_count;
+    total.activation_elems += info.activation_elems;
+    total.weight_reads += info.weight_reads;
+  }
+  if (has_projection_) {
+    LayerInfo p1 = proj_->describe(input_shape);
+    LayerInfo p2 = proj_bn_->describe(p1.output_shape);
+    for (const auto& info : {p1, p2}) {
+      total.flops_forward += info.flops_forward;
+      total.param_count += info.param_count;
+      total.activation_elems += info.activation_elems;
+      total.weight_reads += info.weight_reads;
+    }
+  }
+  total.flops_forward += 2.0 * static_cast<double>(shape_numel(i8.output_shape));
+  total.output_shape = i8.output_shape;
+  return total;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,69 @@
+// Basic ResNet residual block: conv-bn-relu-conv-bn + (projected) skip, relu.
+#pragma once
+
+#include "nn/conv.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/norm.hpp"
+
+namespace edgetune {
+
+class ResidualBlock : public Layer {
+ public:
+  /// stride > 1 downsamples and triggers a 1x1 projection on the skip path,
+  /// as does a channel-count change.
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "resblock"; }
+
+ private:
+  Conv2D conv1_;
+  BatchNorm bn1_;
+  ReLU relu1_;
+  Conv2D conv2_;
+  BatchNorm bn2_;
+  bool has_projection_;
+  std::unique_ptr<Conv2D> proj_;
+  std::unique_ptr<BatchNorm> proj_bn_;
+  Tensor cached_sum_;  // pre-final-relu activations (for backward)
+};
+
+/// Bottleneck residual block (ResNet-50 family): 1x1 reduce, 3x3, 1x1
+/// expand (4x), with a projected skip on stride/width changes.
+class BottleneckBlock : public Layer {
+ public:
+  /// `mid_channels` is the bottleneck width; output has 4*mid channels.
+  BottleneckBlock(std::int64_t in_channels, std::int64_t mid_channels,
+                  std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "bottleneck"; }
+
+  [[nodiscard]] std::int64_t out_channels() const noexcept {
+    return 4 * mid_channels_;
+  }
+
+ private:
+  std::int64_t mid_channels_;
+  Conv2D conv1_;  // 1x1 reduce
+  BatchNorm bn1_;
+  ReLU relu1_;
+  Conv2D conv2_;  // 3x3
+  BatchNorm bn2_;
+  ReLU relu2_;
+  Conv2D conv3_;  // 1x1 expand
+  BatchNorm bn3_;
+  bool has_projection_;
+  std::unique_ptr<Conv2D> proj_;
+  std::unique_ptr<BatchNorm> proj_bn_;
+  Tensor cached_sum_;
+};
+
+}  // namespace edgetune

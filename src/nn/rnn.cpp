@@ -1,0 +1,210 @@
+#include "nn/rnn.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+
+Embedding::Embedding(std::int64_t vocab_size, std::int64_t embed_dim,
+                     Rng& rng)
+    : vocab_(vocab_size),
+      embed_(embed_dim),
+      weight_(Tensor::randn({vocab_size, embed_dim}, rng, 0.0f,
+                            1.0f / std::sqrt(static_cast<float>(embed_dim)))),
+      weight_grad_(Tensor::zeros({vocab_size, embed_dim})) {}
+
+Tensor Embedding::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 2);
+  cached_ids_ = input;
+  const std::int64_t batch = input.dim(0), len = input.dim(1);
+  Tensor out({batch, len, embed_});
+  const float* ids = input.data();
+  const float* w = weight_.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < batch * len; ++i) {
+    auto id = static_cast<std::int64_t>(ids[i]);
+    assert(id >= 0 && id < vocab_);
+    const float* row = w + id * embed_;
+    float* o = dst + i * embed_;
+    for (std::int64_t e = 0; e < embed_; ++e) o[e] = row[e];
+  }
+  return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  const std::int64_t batch = cached_ids_.dim(0), len = cached_ids_.dim(1);
+  const float* ids = cached_ids_.data();
+  const float* g = grad_output.data();
+  float* wg = weight_grad_.data();
+  for (std::int64_t i = 0; i < batch * len; ++i) {
+    const auto id = static_cast<std::int64_t>(ids[i]);
+    float* row = wg + id * embed_;
+    const float* gi = g + i * embed_;
+    for (std::int64_t e = 0; e < embed_; ++e) row[e] += gi[e];
+  }
+  // Token ids are not differentiable; gradient w.r.t. input is zero-shaped.
+  return Tensor(cached_ids_.shape());
+}
+
+std::vector<ParamRef> Embedding::params() {
+  return {{&weight_, &weight_grad_, "embedding.weight"}};
+}
+
+LayerInfo Embedding::describe(const Shape& input_shape) const {
+  const std::int64_t batch = input_shape.at(0), len = input_shape.at(1);
+  LayerInfo info;
+  info.kind = "embedding";
+  info.output_shape = {batch, len, embed_};
+  info.flops_forward = static_cast<double>(batch * len * embed_);  // gather
+  info.param_count = static_cast<double>(vocab_ * embed_);
+  info.activation_elems = static_cast<double>(batch * len * embed_);
+  info.weight_reads = static_cast<double>(batch * len * embed_);
+  return info;
+}
+
+RNN::RNN(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t stride,
+         Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      stride_(stride < 1 ? 1 : stride),
+      w_ih_(Tensor::randn({hidden_dim, input_dim}, rng, 0.0f,
+                          std::sqrt(1.0f / static_cast<float>(input_dim)))),
+      w_hh_(Tensor::randn({hidden_dim, hidden_dim}, rng, 0.0f,
+                          std::sqrt(1.0f / static_cast<float>(hidden_dim)))),
+      bias_(Tensor::zeros({hidden_dim})),
+      w_ih_grad_(Tensor::zeros({hidden_dim, input_dim})),
+      w_hh_grad_(Tensor::zeros({hidden_dim, hidden_dim})),
+      bias_grad_(Tensor::zeros({hidden_dim})) {}
+
+Tensor RNN::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 3 && input.dim(2) == input_dim_);
+  const std::int64_t batch = input.dim(0), len = input.dim(1);
+  cached_len_ = len;
+  cached_inputs_.clear();
+  cached_hiddens_.clear();
+
+  Tensor h = Tensor::zeros({batch, hidden_dim_});
+  cached_hiddens_.push_back(h);  // h_{-1}
+  const float* src = input.data();
+  for (std::int64_t t = 0; t < len; t += stride_) {
+    // Slice x_t = input[:, t, :].
+    Tensor x({batch, input_dim_});
+    float* px = x.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* row = src + (n * len + t) * input_dim_;
+      for (std::int64_t e = 0; e < input_dim_; ++e) {
+        px[n * input_dim_ + e] = row[e];
+      }
+    }
+    cached_inputs_.push_back(x);
+
+    Tensor pre = matmul_nt(x, w_ih_);           // [N, H]
+    Tensor rec = matmul_nt(h, w_hh_);           // [N, H]
+    float* pp = pre.data();
+    const float* pr = rec.data();
+    const float* pb = bias_.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t j = 0; j < hidden_dim_; ++j) {
+        const std::int64_t i = n * hidden_dim_ + j;
+        pp[i] = std::tanh(pp[i] + pr[i] + pb[j]);
+      }
+    }
+    h = std::move(pre);
+    cached_hiddens_.push_back(h);
+  }
+  // Mean-pool readout over the processed steps.
+  const auto steps = static_cast<std::int64_t>(cached_inputs_.size());
+  Tensor out = Tensor::zeros({batch, hidden_dim_});
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    out.add_inplace(cached_hiddens_[static_cast<std::size_t>(s)]);
+  }
+  out.scale_inplace(1.0f / static_cast<float>(std::max<std::int64_t>(1, steps)));
+  return out;
+}
+
+Tensor RNN::backward(const Tensor& grad_output) {
+  const std::int64_t steps =
+      static_cast<std::int64_t>(cached_inputs_.size());
+  const std::int64_t batch = grad_output.dim(0);
+  const std::int64_t len = cached_len_;
+
+  // dL/dh_t receives a share of the mean-pool gradient at every step plus
+  // the recurrent flow from step t+1.
+  Tensor mean_share = grad_output;
+  mean_share.scale_inplace(1.0f /
+                           static_cast<float>(std::max<std::int64_t>(1, steps)));
+  Tensor grad_h = mean_share;
+  Tensor grad_input({batch, len, input_dim_});
+  float* gi = grad_input.data();
+
+  for (std::int64_t s = steps - 1; s >= 0; --s) {
+    const Tensor& h_t = cached_hiddens_[static_cast<std::size_t>(s + 1)];
+    const Tensor& h_prev = cached_hiddens_[static_cast<std::size_t>(s)];
+    const Tensor& x_t = cached_inputs_[static_cast<std::size_t>(s)];
+
+    // Through tanh: dz = dh * (1 - h^2)
+    Tensor dz = grad_h;
+    {
+      float* pz = dz.data();
+      const float* ph = h_t.data();
+      const std::int64_t n = dz.numel();
+      for (std::int64_t i = 0; i < n; ++i) pz[i] *= 1.0f - ph[i] * ph[i];
+    }
+
+    w_ih_grad_.add_inplace(matmul_tn(dz, x_t));
+    w_hh_grad_.add_inplace(matmul_tn(dz, h_prev));
+    {
+      const float* pz = dz.data();
+      float* pb = bias_grad_.data();
+      for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t j = 0; j < hidden_dim_; ++j) {
+          pb[j] += pz[n * hidden_dim_ + j];
+        }
+      }
+    }
+
+    // dL/dx_t = dz * W_ih ; scatter into grad_input at t = s*stride.
+    Tensor dx = matmul(dz, w_ih_);
+    const float* pdx = dx.data();
+    const std::int64_t t = s * stride_;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      float* row = gi + (n * len + t) * input_dim_;
+      for (std::int64_t e = 0; e < input_dim_; ++e) {
+        row[e] = pdx[n * input_dim_ + e];
+      }
+    }
+
+    // dL/dh_{t-1} = dz * W_hh + its share of the mean-pool gradient.
+    grad_h = matmul(dz, w_hh_);
+    if (s > 0) grad_h.add_inplace(mean_share);
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> RNN::params() {
+  return {{&w_ih_, &w_ih_grad_, "rnn.w_ih"},
+          {&w_hh_, &w_hh_grad_, "rnn.w_hh"},
+          {&bias_, &bias_grad_, "rnn.bias"}};
+}
+
+LayerInfo RNN::describe(const Shape& input_shape) const {
+  const std::int64_t batch = input_shape.at(0), len = input_shape.at(1);
+  const std::int64_t steps = (len + stride_ - 1) / stride_;
+  LayerInfo info;
+  info.kind = "rnn";
+  info.output_shape = {batch, hidden_dim_};
+  info.flops_forward =
+      2.0 * static_cast<double>(batch * steps) *
+      (static_cast<double>(input_dim_ * hidden_dim_) +
+       static_cast<double>(hidden_dim_ * hidden_dim_));
+  info.param_count = static_cast<double>(
+      input_dim_ * hidden_dim_ + hidden_dim_ * hidden_dim_ + hidden_dim_);
+  info.activation_elems = static_cast<double>(batch * steps * hidden_dim_);
+  info.weight_reads = info.param_count * static_cast<double>(steps);
+  info.kernel_launches = 2.0 * static_cast<double>(steps);
+  return info;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,58 @@
+// Embedding and Elman RNN for the NLP workload. The RNN exposes the paper's
+// `stride` model hyperparameter (§5.1): with stride s it consumes every s-th
+// token, trading accuracy for compute.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+/// Token ids (stored as floats in a [N, L] tensor) -> dense vectors [N, L, E].
+class Embedding : public Layer {
+ public:
+  Embedding(std::int64_t vocab_size, std::int64_t embed_dim, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "embedding"; }
+
+ private:
+  std::int64_t vocab_, embed_;
+  Tensor weight_;  // [vocab, embed]
+  Tensor weight_grad_;
+  Tensor cached_ids_;  // [N, L]
+};
+
+/// Elman RNN over [N, L, E]; returns the MEAN of the hidden states [N, H]
+/// (mean-pool readout avoids the vanishing-gradient cliff of a last-state
+/// readout on long sequences). `stride` skips tokens: steps are
+/// t = 0, stride, 2*stride, ...
+class RNN : public Layer {
+ public:
+  RNN(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t stride,
+      Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override;
+  [[nodiscard]] std::string name() const override { return "rnn"; }
+
+  [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
+
+ private:
+  std::int64_t input_dim_, hidden_dim_, stride_;
+  Tensor w_ih_;  // [H, E]
+  Tensor w_hh_;  // [H, H]
+  Tensor bias_;  // [H]
+  Tensor w_ih_grad_, w_hh_grad_, bias_grad_;
+
+  // BPTT caches.
+  std::vector<Tensor> cached_inputs_;   // x_t for each processed step [N, E]
+  std::vector<Tensor> cached_hiddens_;  // h_t (post-tanh), h_{-1} first
+  std::int64_t cached_len_ = 0;         // true input sequence length
+};
+
+}  // namespace edgetune

@@ -1,0 +1,86 @@
+// Sequential container: the network type every model builder returns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, training);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  std::vector<ParamRef> params() override {
+    std::vector<ParamRef> out;
+    for (auto& layer : layers_) {
+      auto p = layer->params();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] LayerInfo describe(const Shape& input_shape) const override {
+    LayerInfo total;
+    total.kind = "sequential";
+    Shape shape = input_shape;
+    for (const auto& layer : layers_) {
+      LayerInfo info = layer->describe(shape);
+      total.flops_forward += info.flops_forward;
+      total.param_count += info.param_count;
+      total.activation_elems += info.activation_elems;
+      total.weight_reads += info.weight_reads;
+      shape = info.output_shape;
+    }
+    total.output_shape = shape;
+    return total;
+  }
+
+  /// Per-layer descriptions (used by ModelStats / the device cost model).
+  [[nodiscard]] std::vector<LayerInfo> describe_layers(
+      const Shape& input_shape) const {
+    std::vector<LayerInfo> out;
+    Shape shape = input_shape;
+    for (const auto& layer : layers_) {
+      out.push_back(layer->describe(shape));
+      shape = out.back().output_shape;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace edgetune

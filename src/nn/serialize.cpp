@@ -1,0 +1,93 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace edgetune {
+
+namespace {
+constexpr char kMagic[4] = {'E', 'T', 'W', '1'};
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+bool read_u64(std::ifstream& in, std::uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return in.good();
+}
+}  // namespace
+
+Status save_weights(Layer& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::io("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof kMagic);
+  const std::vector<ParamRef> params = model.params();
+  write_u64(out, params.size());
+  for (const ParamRef& p : params) {
+    write_u64(out, p.name.size());
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Shape& shape = p.value->shape();
+    write_u64(out, shape.size());
+    for (std::int64_t d : shape) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof d);
+    }
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(
+                  static_cast<std::size_t>(p.value->numel()) * sizeof(float)));
+  }
+  return out.good() ? Status::ok() : Status::io("short write to " + path);
+}
+
+Status load_weights(Layer& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::not_found("cannot read " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Status::invalid_argument(path + " is not an EdgeTune checkpoint");
+  }
+  std::uint64_t count = 0;
+  if (!read_u64(in, count)) return Status::io("truncated checkpoint");
+  std::vector<ParamRef> params = model.params();
+  if (count != params.size()) {
+    return Status::failed_precondition(
+        "checkpoint has " + std::to_string(count) + " parameters, model has " +
+        std::to_string(params.size()));
+  }
+  for (ParamRef& p : params) {
+    std::uint64_t name_len = 0;
+    if (!read_u64(in, name_len) || name_len > 4096) {
+      return Status::io("truncated checkpoint (name)");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != p.name) {
+      return Status::failed_precondition(
+          "checkpoint parameter '" + name + "' does not match model's '" +
+          p.name + "' (different architecture?)");
+    }
+    std::uint64_t rank = 0;
+    if (!read_u64(in, rank) || rank > 8) {
+      return Status::io("truncated checkpoint (rank)");
+    }
+    Shape shape(rank);
+    for (auto& d : shape) {
+      in.read(reinterpret_cast<char*>(&d), sizeof d);
+    }
+    if (!in.good()) return Status::io("truncated checkpoint (shape)");
+    if (shape != p.value->shape()) {
+      return Status::failed_precondition(
+          "shape mismatch for parameter '" + name + "': checkpoint " +
+          shape_to_string(shape) + " vs model " +
+          shape_to_string(p.value->shape()));
+    }
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(
+                static_cast<std::size_t>(p.value->numel()) * sizeof(float)));
+    if (!in.good()) return Status::io("truncated checkpoint (data)");
+  }
+  return Status::ok();
+}
+
+}  // namespace edgetune

@@ -1,0 +1,24 @@
+// Model checkpointing: save/load the trainable parameters of a network.
+// The tuning server's primary output is the trained winning model (§2.1);
+// this is how it is handed to deployment.
+//
+// Format (little-endian binary):
+//   magic "ETW1" | u64 param_count
+//   per parameter: u64 name_len | name bytes | u64 rank | i64 dims... |
+//                  f32 data...
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace edgetune {
+
+/// Writes every parameter of `model` to `path`.
+Status save_weights(Layer& model, const std::string& path);
+
+/// Loads parameters into `model`. The parameter sequence (names, order and
+/// shapes) must match what was saved — i.e. the same architecture.
+Status load_weights(Layer& model, const std::string& path);
+
+}  // namespace edgetune

@@ -1,0 +1,134 @@
+#include "search/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgetune {
+
+SearchResult GridSearch::optimize(const EvalFn& eval, Rng& /*rng*/) {
+  SearchResult result;
+  for (const Config& config : space_.grid(max_points_)) {
+    result.record(config, max_resource_, eval(config, max_resource_));
+  }
+  return result;
+}
+
+SearchResult RandomSearch::optimize(const EvalFn& eval, Rng& rng) {
+  SearchResult result;
+  for (int i = 0; i < num_trials_; ++i) {
+    Config config = space_.sample(rng);
+    result.record(config, max_resource_, eval(config, max_resource_));
+  }
+  return result;
+}
+
+HyperBand::HyperBand(SearchSpace space, HyperBandOptions options,
+                     std::unique_ptr<Suggestor> suggestor)
+    : space_(std::move(space)),
+      options_(options),
+      suggestor_(std::move(suggestor)) {}
+
+SearchResult HyperBand::optimize(const EvalFn& eval, Rng& rng) {
+  SearchResult result;
+  const double eta = std::max(2.0, options_.eta);
+  const double r_ratio = options_.max_resource / options_.min_resource;
+  const int s_max =
+      static_cast<int>(std::floor(std::log(r_ratio) / std::log(eta)));
+  int brackets = s_max + 1;
+  if (options_.max_brackets > 0) {
+    brackets = std::min(brackets, options_.max_brackets);
+  }
+
+  // Brackets from most aggressive (many configs, tiny budget) to least.
+  for (int bracket = 0; bracket < brackets; ++bracket) {
+    const int s = s_max - bracket;
+    // Initial configs / budget for this bracket (HyperBand's n, r).
+    const auto n0 = static_cast<int>(
+        std::ceil(static_cast<double>(s_max + 1) / (s + 1) *
+                  std::pow(eta, s)));
+    const double r0 = options_.max_resource * std::pow(eta, -s);
+
+    struct Rung {
+      Config config;
+      double objective;
+    };
+    std::vector<Rung> survivors;
+    survivors.reserve(static_cast<std::size_t>(n0));
+    for (int i = 0; i < n0; ++i) {
+      survivors.push_back({suggestor_->suggest(rng), 0.0});
+    }
+
+    for (int rung = 0; rung <= s; ++rung) {
+      const double resource =
+          std::min(options_.max_resource, r0 * std::pow(eta, rung));
+      for (auto& entry : survivors) {
+        entry.objective = eval(entry.config, resource);
+        result.record(entry.config, resource, entry.objective);
+        suggestor_->observe({entry.config, resource, entry.objective});
+      }
+      if (rung == s) break;
+      // Keep the top 1/eta.
+      std::sort(survivors.begin(), survivors.end(),
+                [](const Rung& a, const Rung& b) {
+                  return a.objective < b.objective;
+                });
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::floor(static_cast<double>(survivors.size()) / eta)));
+      survivors.resize(keep);
+    }
+  }
+  return result;
+}
+
+SearchResult TpeSearch::optimize(const EvalFn& eval, Rng& rng) {
+  SearchResult result;
+  for (int i = 0; i < num_trials_; ++i) {
+    Config config = suggestor_.suggest(rng);
+    const double objective = eval(config, max_resource_);
+    result.record(config, max_resource_, objective);
+    suggestor_.observe({config, max_resource_, objective});
+  }
+  return result;
+}
+
+std::unique_ptr<SearchAlgorithm> make_bohb(SearchSpace space,
+                                           HyperBandOptions options,
+                                           TpeOptions tpe) {
+  auto suggestor = std::make_unique<TpeSuggestor>(space, tpe);
+  return std::make_unique<HyperBand>(std::move(space), options,
+                                     std::move(suggestor));
+}
+
+std::unique_ptr<SearchAlgorithm> make_hyperband(SearchSpace space,
+                                                HyperBandOptions options) {
+  auto suggestor = std::make_unique<RandomSuggestor>(space);
+  return std::make_unique<HyperBand>(std::move(space), options,
+                                     std::move(suggestor));
+}
+
+Result<std::unique_ptr<SearchAlgorithm>> make_search_algorithm(
+    const std::string& name, SearchSpace space, HyperBandOptions options,
+    int random_trials) {
+  if (name == "grid") {
+    return std::unique_ptr<SearchAlgorithm>(
+        std::make_unique<GridSearch>(std::move(space), options.max_resource));
+  }
+  if (name == "random") {
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<RandomSearch>(
+        std::move(space), options.max_resource, random_trials));
+  }
+  if (name == "hyperband") {
+    return make_hyperband(std::move(space), options);
+  }
+  if (name == "bohb") {
+    return make_bohb(std::move(space), options);
+  }
+  if (name == "tpe") {
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<TpeSearch>(
+        std::move(space), options.max_resource, random_trials));
+  }
+  return Status::not_found("unknown search algorithm: " + name);
+}
+
+}  // namespace edgetune

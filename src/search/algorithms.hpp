@@ -1,0 +1,142 @@
+// Search algorithms (§4.2): grid search, random search, HyperBand (Li et
+// al., JMLR'17) and BOHB (= HyperBand brackets + TPE suggestions). All
+// minimize; evaluation is a callback so the tuning servers can plug in real
+// training trials with any budget policy.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "search/suggest.hpp"
+
+namespace edgetune {
+
+/// Evaluates a config at `resource` budget units; returns the objective
+/// (lower is better). `resource` is in [min_resource, max_resource].
+using EvalFn = std::function<double(const Config& config, double resource)>;
+
+struct TrialRecord {
+  int id = 0;
+  Config config;
+  double resource = 0;
+  double objective = 0;
+};
+
+struct SearchResult {
+  Config best_config;
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<TrialRecord> trials;
+
+  void record(const Config& config, double resource, double objective) {
+    trials.push_back(
+        {static_cast<int>(trials.size()), config, resource, objective});
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_config = config;
+    }
+  }
+};
+
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+  virtual SearchResult optimize(const EvalFn& eval, Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exhaustive grid at full budget.
+class GridSearch : public SearchAlgorithm {
+ public:
+  GridSearch(SearchSpace space, double max_resource,
+             int max_points_per_param = 4)
+      : space_(std::move(space)),
+        max_resource_(max_resource),
+        max_points_(max_points_per_param) {}
+
+  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "grid"; }
+
+ private:
+  SearchSpace space_;
+  double max_resource_;
+  int max_points_;
+};
+
+/// N i.i.d. samples at full budget.
+class RandomSearch : public SearchAlgorithm {
+ public:
+  RandomSearch(SearchSpace space, double max_resource, int num_trials)
+      : space_(std::move(space)),
+        max_resource_(max_resource),
+        num_trials_(num_trials) {}
+
+  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  SearchSpace space_;
+  double max_resource_;
+  int num_trials_;
+};
+
+struct HyperBandOptions {
+  double min_resource = 1;
+  double max_resource = 16;
+  double eta = 2;  // the paper's reduction factor (§2.2, §4.3)
+  int max_brackets = 0;  // 0 => all brackets (s_max+1)
+};
+
+/// HyperBand: successive-halving brackets over resource levels, configs
+/// drawn from a pluggable Suggestor (random => HyperBand, TPE => BOHB).
+class HyperBand : public SearchAlgorithm {
+ public:
+  HyperBand(SearchSpace space, HyperBandOptions options,
+            std::unique_ptr<Suggestor> suggestor);
+
+  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  [[nodiscard]] std::string name() const override {
+    return "hyperband+" + suggestor_->name();
+  }
+
+ private:
+  SearchSpace space_;
+  HyperBandOptions options_;
+  std::unique_ptr<Suggestor> suggestor_;
+};
+
+/// Sequential Bayesian optimization: N TPE-suggested trials at full budget
+/// (the HyperPower baseline's search core).
+class TpeSearch : public SearchAlgorithm {
+ public:
+  TpeSearch(SearchSpace space, double max_resource, int num_trials,
+            TpeOptions tpe = {})
+      : space_(space),
+        max_resource_(max_resource),
+        num_trials_(num_trials),
+        suggestor_(std::move(space), tpe) {}
+
+  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "tpe"; }
+
+ private:
+  SearchSpace space_;
+  double max_resource_;
+  int num_trials_;
+  TpeSuggestor suggestor_;
+};
+
+/// BOHB = HyperBand + TPE.
+std::unique_ptr<SearchAlgorithm> make_bohb(SearchSpace space,
+                                           HyperBandOptions options,
+                                           TpeOptions tpe = {});
+std::unique_ptr<SearchAlgorithm> make_hyperband(SearchSpace space,
+                                                HyperBandOptions options);
+
+/// Factory by name: "grid", "random", "hyperband", "bohb" (§3.1: the user
+/// picks the algorithm for each server independently).
+Result<std::unique_ptr<SearchAlgorithm>> make_search_algorithm(
+    const std::string& name, SearchSpace space, HyperBandOptions options,
+    int random_trials = 16);
+
+}  // namespace edgetune

@@ -1,0 +1,201 @@
+#include "search/param.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace edgetune {
+
+std::string config_to_string(const Config& config) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : config) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=" + format_double(value, 4);
+  }
+  out += "}";
+  return out;
+}
+
+std::uint64_t config_hash(const Config& config) {
+  std::string repr;
+  for (const auto& [name, value] : config) {
+    repr += name;
+    repr += '=';
+    repr += format_double(value, 9);
+    repr += ';';
+  }
+  return stable_hash64(repr);
+}
+
+ParamSpec ParamSpec::categorical(std::string name,
+                                 std::vector<double> choices) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kCategorical;
+  spec.choices = std::move(choices);
+  assert(!spec.choices.empty());
+  return spec;
+}
+
+ParamSpec ParamSpec::integer(std::string name, double lo, double hi,
+                             bool log_scale) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kInt;
+  spec.lo = lo;
+  spec.hi = hi;
+  spec.log_scale = log_scale;
+  assert(lo <= hi && (!log_scale || lo > 0));
+  return spec;
+}
+
+ParamSpec ParamSpec::real(std::string name, double lo, double hi,
+                          bool log_scale) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kFloat;
+  spec.lo = lo;
+  spec.hi = hi;
+  spec.log_scale = log_scale;
+  assert(lo <= hi && (!log_scale || lo > 0));
+  return spec;
+}
+
+double ParamSpec::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kCategorical:
+      return choices[rng.bounded(choices.size())];
+    case Kind::kInt:
+    case Kind::kFloat: {
+      double value;
+      if (log_scale) {
+        value = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+      } else {
+        value = rng.uniform(lo, hi);
+      }
+      return clip(value);
+    }
+  }
+  return lo;
+}
+
+double ParamSpec::clip(double value) const {
+  switch (kind) {
+    case Kind::kCategorical: {
+      double best = choices.front();
+      for (double c : choices) {
+        if (std::abs(c - value) < std::abs(best - value)) best = c;
+      }
+      return best;
+    }
+    case Kind::kInt:
+      return std::clamp(std::round(value), lo, hi);
+    case Kind::kFloat:
+      return std::clamp(value, lo, hi);
+  }
+  return value;
+}
+
+std::vector<double> ParamSpec::grid(int max_points) const {
+  max_points = std::max(max_points, 2);
+  std::vector<double> out;
+  switch (kind) {
+    case Kind::kCategorical:
+      return choices;
+    case Kind::kInt: {
+      const auto span = static_cast<std::int64_t>(hi - lo) + 1;
+      if (span <= max_points) {
+        for (std::int64_t i = 0; i < span; ++i) {
+          out.push_back(lo + static_cast<double>(i));
+        }
+        return out;
+      }
+      [[fallthrough]];
+    }
+    case Kind::kFloat: {
+      for (int i = 0; i < max_points; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(max_points - 1);
+        double value;
+        if (log_scale) {
+          value = std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo)));
+        } else {
+          value = lo + t * (hi - lo);
+        }
+        value = clip(value);
+        if (out.empty() || value != out.back()) out.push_back(value);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+bool ParamSpec::contains(double value) const {
+  switch (kind) {
+    case Kind::kCategorical:
+      return std::any_of(choices.begin(), choices.end(), [&](double c) {
+        return std::abs(c - value) < 1e-9;
+      });
+    case Kind::kInt:
+      return value >= lo - 1e-9 && value <= hi + 1e-9 &&
+             std::abs(value - std::round(value)) < 1e-9;
+    case Kind::kFloat:
+      return value >= lo - 1e-12 && value <= hi + 1e-12;
+  }
+  return false;
+}
+
+const ParamSpec* SearchSpace::find(const std::string& name) const {
+  for (const auto& spec : params_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+Config SearchSpace::sample(Rng& rng) const {
+  Config config;
+  for (const auto& spec : params_) {
+    config[spec.name] = spec.sample(rng);
+  }
+  return config;
+}
+
+std::vector<Config> SearchSpace::grid(int max_points_per_param) const {
+  std::vector<Config> out = {Config{}};
+  for (const auto& spec : params_) {
+    const std::vector<double> values = spec.grid(max_points_per_param);
+    std::vector<Config> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& partial : out) {
+      for (double v : values) {
+        Config extended = partial;
+        extended[spec.name] = v;
+        next.push_back(std::move(extended));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+Status SearchSpace::validate(const Config& config) const {
+  for (const auto& spec : params_) {
+    auto it = config.find(spec.name);
+    if (it == config.end()) {
+      return Status::invalid_argument("config missing parameter " + spec.name);
+    }
+    if (!spec.contains(it->second)) {
+      return Status::out_of_range("parameter " + spec.name + "=" +
+                                  format_double(it->second, 6) +
+                                  " outside its domain");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace edgetune

@@ -1,0 +1,77 @@
+// Parameter-space definitions shared by every search algorithm (§4.2).
+// All values are carried as doubles in a named Config; categorical domains
+// enumerate their numeric choices (e.g. layers in {18, 34, 50}).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// One parameter assignment set: name -> value.
+using Config = std::map<std::string, double>;
+
+std::string config_to_string(const Config& config);
+
+/// Stable identity for caching/deduplication.
+std::uint64_t config_hash(const Config& config);
+
+struct ParamSpec {
+  enum class Kind { kCategorical, kInt, kFloat };
+
+  std::string name;
+  Kind kind = Kind::kFloat;
+  std::vector<double> choices;  // kCategorical
+  double lo = 0.0, hi = 1.0;    // kInt / kFloat (inclusive)
+  bool log_scale = false;       // kInt / kFloat
+
+  static ParamSpec categorical(std::string name, std::vector<double> choices);
+  static ParamSpec integer(std::string name, double lo, double hi,
+                           bool log_scale = false);
+  static ParamSpec real(std::string name, double lo, double hi,
+                        bool log_scale = false);
+
+  /// Uniform draw from the domain.
+  [[nodiscard]] double sample(Rng& rng) const;
+  /// Snaps an arbitrary value onto the domain (round + clamp / nearest
+  /// choice).
+  [[nodiscard]] double clip(double value) const;
+  /// Evenly spaced grid of at most `max_points` domain values.
+  [[nodiscard]] std::vector<double> grid(int max_points) const;
+  /// True if `value` lies in the domain (after rounding for ints).
+  [[nodiscard]] bool contains(double value) const;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<ParamSpec> params)
+      : params_(std::move(params)) {}
+
+  SearchSpace& add(ParamSpec spec) {
+    params_.push_back(std::move(spec));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<ParamSpec>& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return params_.size(); }
+  [[nodiscard]] const ParamSpec* find(const std::string& name) const;
+
+  [[nodiscard]] Config sample(Rng& rng) const;
+  /// Cartesian product of per-parameter grids (each capped at
+  /// `max_points_per_param`).
+  [[nodiscard]] std::vector<Config> grid(int max_points_per_param) const;
+  /// Error if the config misses a parameter or has out-of-domain values.
+  [[nodiscard]] Status validate(const Config& config) const;
+
+ private:
+  std::vector<ParamSpec> params_;
+};
+
+}  // namespace edgetune

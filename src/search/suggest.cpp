@@ -1,0 +1,129 @@
+#include "search/suggest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace edgetune {
+
+void TpeSuggestor::observe(const Observation& obs) {
+  history_.push_back(obs);
+}
+
+double TpeSuggestor::sample_kde(const ParamSpec& spec,
+                                const std::vector<double>& values,
+                                Rng& rng) const {
+  if (values.empty()) return spec.sample(rng);
+  if (spec.kind == ParamSpec::Kind::kCategorical) {
+    // Categorical "KDE": smoothed empirical frequencies.
+    std::vector<double> weights(spec.choices.size(), 0.5);
+    for (double v : values) {
+      for (std::size_t i = 0; i < spec.choices.size(); ++i) {
+        if (std::abs(spec.choices[i] - v) < 1e-9) weights[i] += 1.0;
+      }
+    }
+    double total = 0;
+    for (double w : weights) total += w;
+    double draw = rng.uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw <= 0) return spec.choices[i];
+    }
+    return spec.choices.back();
+  }
+  // Continuous: pick a kernel center, add Gaussian noise at the bandwidth.
+  const double center = values[rng.bounded(values.size())];
+  const double range = spec.hi - spec.lo;
+  const double bandwidth =
+      std::max(options_.bandwidth_floor * range,
+               range / (1.0 + std::sqrt(static_cast<double>(values.size()))));
+  return spec.clip(rng.gaussian(center, bandwidth));
+}
+
+double TpeSuggestor::log_density(const ParamSpec& spec,
+                                 const std::vector<double>& values,
+                                 double x) const {
+  if (values.empty()) return 0.0;
+  if (spec.kind == ParamSpec::Kind::kCategorical) {
+    double count = 0.5;
+    double total = 0.5 * static_cast<double>(spec.choices.size());
+    for (double v : values) {
+      total += 1.0;
+      if (std::abs(v - x) < 1e-9) count += 1.0;
+    }
+    return std::log(count / total);
+  }
+  const double range = spec.hi - spec.lo;
+  const double bandwidth =
+      std::max(options_.bandwidth_floor * range,
+               range / (1.0 + std::sqrt(static_cast<double>(values.size()))));
+  double density = 0.0;
+  for (double v : values) {
+    const double z = (x - v) / bandwidth;
+    density += std::exp(-0.5 * z * z);
+  }
+  density /= static_cast<double>(values.size()) * bandwidth *
+             std::sqrt(2.0 * std::numbers::pi);
+  return std::log(std::max(density, 1e-12));
+}
+
+Config TpeSuggestor::suggest(Rng& rng) {
+  if (history_.size() < static_cast<std::size_t>(options_.min_observations)) {
+    return space_.sample(rng);
+  }
+  // Use observations from the highest budget that has enough data (BOHB's
+  // rule: model the most informative fidelity).
+  double best_resource = 0;
+  std::size_t best_count = 0;
+  for (const auto& obs : history_) {
+    std::size_t count = 0;
+    for (const auto& other : history_) {
+      if (other.resource >= obs.resource) ++count;
+    }
+    if (count >= static_cast<std::size_t>(options_.min_observations) &&
+        obs.resource > best_resource) {
+      best_resource = obs.resource;
+      best_count = count;
+    }
+  }
+  std::vector<const Observation*> pool;
+  for (const auto& obs : history_) {
+    if (best_count == 0 || obs.resource >= best_resource) {
+      pool.push_back(&obs);
+    }
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->objective < b->objective;
+            });
+  const auto n_good = std::max<std::size_t>(
+      2, static_cast<std::size_t>(options_.gamma *
+                                  static_cast<double>(pool.size())));
+
+  Config best_candidate;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < options_.candidates; ++c) {
+    Config candidate;
+    double score = 0.0;
+    for (const auto& spec : space_.params()) {
+      std::vector<double> good, bad;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        auto it = pool[i]->config.find(spec.name);
+        if (it == pool[i]->config.end()) continue;
+        (i < n_good ? good : bad).push_back(it->second);
+      }
+      const double value = sample_kde(spec, good, rng);
+      candidate[spec.name] = value;
+      score += log_density(spec, good, value) -
+               log_density(spec, bad, value);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+}  // namespace edgetune

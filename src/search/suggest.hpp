@@ -1,0 +1,71 @@
+// Config suggestion strategies. TpeSuggestor is the Bayesian-optimization
+// component of BOHB (Falkner et al., ICML'18): a Tree-structured Parzen
+// Estimator that models good/bad config densities per budget level and
+// proposes the candidate maximizing their ratio.
+#pragma once
+
+#include <vector>
+
+#include "search/param.hpp"
+
+namespace edgetune {
+
+struct Observation {
+  Config config;
+  double resource = 0;   // budget units the objective was measured at
+  double objective = 0;  // lower is better
+};
+
+class Suggestor {
+ public:
+  virtual ~Suggestor() = default;
+  virtual Config suggest(Rng& rng) = 0;
+  virtual void observe(const Observation& obs) { (void)obs; }
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform random sampling from the space.
+class RandomSuggestor : public Suggestor {
+ public:
+  explicit RandomSuggestor(SearchSpace space) : space_(std::move(space)) {}
+  Config suggest(Rng& rng) override { return space_.sample(rng); }
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  SearchSpace space_;
+};
+
+struct TpeOptions {
+  int min_observations = 8;   // fall back to random below this
+  double gamma = 0.25;        // good/bad split quantile
+  int candidates = 24;        // EI candidates sampled from l(x)
+  double bandwidth_floor = 0.08;  // KDE bandwidth as a fraction of the range
+};
+
+class TpeSuggestor : public Suggestor {
+ public:
+  TpeSuggestor(SearchSpace space, TpeOptions options = {})
+      : space_(std::move(space)), options_(options) {}
+
+  Config suggest(Rng& rng) override;
+  void observe(const Observation& obs) override;
+  [[nodiscard]] std::string name() const override { return "tpe"; }
+
+  [[nodiscard]] std::size_t num_observations() const noexcept {
+    return history_.size();
+  }
+
+ private:
+  /// Samples one value from the KDE over `values` for `spec`.
+  double sample_kde(const ParamSpec& spec, const std::vector<double>& values,
+                    Rng& rng) const;
+  /// log-density of `x` under the KDE over `values` for `spec`.
+  double log_density(const ParamSpec& spec, const std::vector<double>& values,
+                     double x) const;
+
+  SearchSpace space_;
+  TpeOptions options_;
+  std::vector<Observation> history_;
+};
+
+}  // namespace edgetune

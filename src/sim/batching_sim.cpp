@@ -1,0 +1,148 @@
+#include "sim/batching_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace edgetune {
+
+namespace {
+
+QueueingStats finalize_stats(std::vector<double>& responses,
+                             double total_samples_batched,
+                             std::int64_t engine_calls, double busy_s,
+                             double elapsed_s) {
+  QueueingStats stats;
+  stats.completed_samples = static_cast<std::int64_t>(responses.size());
+  if (responses.empty()) return stats;
+  double sum = 0;
+  for (double r : responses) sum += r;
+  stats.mean_response_s = sum / static_cast<double>(responses.size());
+  std::sort(responses.begin(), responses.end());
+  const auto p95_idx = static_cast<std::size_t>(
+      0.95 * static_cast<double>(responses.size() - 1));
+  stats.p95_response_s = responses[p95_idx];
+  stats.mean_batch_size =
+      engine_calls > 0 ? total_samples_batched / static_cast<double>(engine_calls)
+                       : 0.0;
+  stats.throughput_sps =
+      elapsed_s > 0 ? static_cast<double>(responses.size()) / elapsed_s : 0.0;
+  stats.utilization = elapsed_s > 0 ? std::min(1.0, busy_s / elapsed_s) : 0.0;
+  return stats;
+}
+
+}  // namespace
+
+Result<QueueingStats> simulate_server_scenario(
+    const ServerScenarioConfig& config, const InferenceLatencyFn& latency) {
+  if (config.samples_per_query < 1 || config.split_batch < 1) {
+    return Status::invalid_argument(
+        "samples_per_query and split_batch must be >= 1");
+  }
+  if (config.query_period_s <= 0 || config.horizon_s <= 0) {
+    return Status::invalid_argument("period and horizon must be positive");
+  }
+
+  std::vector<double> responses;
+  double engine_free = 0.0;
+  double busy = 0.0;
+  double samples_batched = 0.0;
+  std::int64_t engine_calls = 0;
+  double last_completion = 0.0;
+
+  for (double arrival = 0.0; arrival < config.horizon_s;
+       arrival += config.query_period_s) {
+    double t = std::max(arrival, engine_free);
+    std::int64_t remaining = config.samples_per_query;
+    while (remaining > 0) {
+      const std::int64_t b = std::min(remaining, config.split_batch);
+      const double lat = latency(b);
+      t += lat;
+      busy += lat;
+      samples_batched += static_cast<double>(b);
+      ++engine_calls;
+      remaining -= b;
+    }
+    engine_free = t;
+    last_completion = t;
+    // Per-sample responses: every sample of the query completes with it.
+    for (std::int64_t i = 0; i < config.samples_per_query; ++i) {
+      responses.push_back(t - arrival);
+    }
+  }
+  return finalize_stats(responses, samples_batched, engine_calls, busy,
+                        std::max(last_completion, config.horizon_s));
+}
+
+Result<QueueingStats> simulate_multistream_scenario(
+    const MultiStreamScenarioConfig& config,
+    const InferenceLatencyFn& latency) {
+  if (config.max_batch < 1) {
+    return Status::invalid_argument("max_batch must be >= 1");
+  }
+  if (config.arrival_rate_per_s <= 0 || config.horizon_s <= 0 ||
+      config.max_wait_s < 0) {
+    return Status::invalid_argument(
+        "arrival rate and horizon must be positive; max_wait >= 0");
+  }
+
+  // Pre-draw the Poisson arrival process.
+  Rng rng(config.seed);
+  std::vector<double> arrivals;
+  for (double t = rng.exponential(config.arrival_rate_per_s);
+       t < config.horizon_s; t += rng.exponential(config.arrival_rate_per_s)) {
+    arrivals.push_back(t);
+  }
+
+  std::vector<double> responses;
+  std::deque<double> pending;  // arrival times of queued samples
+  std::size_t next = 0;
+  double engine_free = 0.0;
+  double busy = 0.0;
+  double samples_batched = 0.0;
+  std::int64_t engine_calls = 0;
+  double last_completion = 0.0;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  while (next < arrivals.size() || !pending.empty()) {
+    if (pending.empty()) {
+      pending.push_back(arrivals[next++]);
+    }
+    // Time at which the aggregation window would fill to max_batch.
+    double t_full = inf;
+    if (static_cast<std::int64_t>(pending.size()) >= config.max_batch) {
+      t_full = pending.front();
+    } else {
+      const std::size_t needed =
+          static_cast<std::size_t>(config.max_batch) - pending.size();
+      if (next + needed - 1 < arrivals.size()) {
+        t_full = arrivals[next + needed - 1];
+      }
+    }
+    const double t_timeout = pending.front() + config.max_wait_s;
+    const double t_start =
+        std::max(engine_free, std::min(t_full, t_timeout));
+    // Admit everything that arrived by the start instant.
+    while (next < arrivals.size() && arrivals[next] <= t_start) {
+      pending.push_back(arrivals[next++]);
+    }
+    const auto batch = std::min<std::int64_t>(
+        static_cast<std::int64_t>(pending.size()), config.max_batch);
+    const double lat = latency(batch);
+    const double t_end = t_start + lat;
+    busy += lat;
+    samples_batched += static_cast<double>(batch);
+    ++engine_calls;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      responses.push_back(t_end - pending.front());
+      pending.pop_front();
+    }
+    engine_free = t_end;
+    last_completion = t_end;
+  }
+  return finalize_stats(responses, samples_batched, engine_calls, busy,
+                        std::max(last_completion, config.horizon_s));
+}
+
+}  // namespace edgetune

@@ -1,0 +1,55 @@
+// Queueing simulation of the two multi-sample inference scenarios of the
+// paper's Fig 8, driving an inference-latency function taken from the device
+// cost model:
+//   Server:       queries of N samples arrive at a fixed frequency; the
+//                 Batching component splits each query into sub-batches.
+//   Multi-stream: single-sample queries arrive as a Poisson process; the
+//                 Batching component aggregates them up to a batch size
+//                 (with a wait timeout) before invoking the engine.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// Latency of one inference call on `batch` samples (simulated seconds).
+using InferenceLatencyFn = std::function<double(std::int64_t batch)>;
+
+struct QueueingStats {
+  double mean_response_s = 0;   // arrival -> completion, averaged
+  double p95_response_s = 0;
+  double mean_batch_size = 0;   // average samples per engine invocation
+  double throughput_sps = 0;    // completed samples / horizon
+  double utilization = 0;       // engine busy fraction
+  std::int64_t completed_samples = 0;
+};
+
+struct ServerScenarioConfig {
+  std::int64_t samples_per_query = 64;  // N
+  double query_period_s = 0.5;          // fixed arrival frequency
+  std::int64_t split_batch = 16;        // sub-batch size to tune
+  double horizon_s = 60.0;
+};
+
+/// Fixed-frequency server scenario. Queries are split into `split_batch`
+/// sub-batches processed FIFO on one engine; a query completes when its last
+/// sub-batch finishes.
+Result<QueueingStats> simulate_server_scenario(
+    const ServerScenarioConfig& config, const InferenceLatencyFn& latency);
+
+struct MultiStreamScenarioConfig {
+  double arrival_rate_per_s = 50.0;  // Poisson lambda
+  std::int64_t max_batch = 8;        // aggregation limit to tune
+  double max_wait_s = 0.05;          // aggregation timeout
+  double horizon_s = 60.0;
+  std::uint64_t seed = 7;
+};
+
+/// Poisson multi-stream scenario with aggregate-up-to-B-or-timeout batching.
+Result<QueueingStats> simulate_multistream_scenario(
+    const MultiStreamScenarioConfig& config, const InferenceLatencyFn& latency);
+
+}  // namespace edgetune

@@ -1,0 +1,51 @@
+#include "sim/batching_tuner.hpp"
+
+namespace edgetune {
+
+Result<ServerBatchingRecommendation> recommend_server_batching(
+    ServerScenarioConfig scenario, const InferenceLatencyFn& latency) {
+  if (scenario.samples_per_query < 1) {
+    return Status::invalid_argument("samples_per_query must be >= 1");
+  }
+  ServerBatchingRecommendation rec;
+  bool first = true;
+  for (std::int64_t split = 1;; split *= 2) {
+    const std::int64_t candidate =
+        std::min(split, scenario.samples_per_query);
+    scenario.split_batch = candidate;
+    ET_ASSIGN_OR_RETURN(QueueingStats stats,
+                        simulate_server_scenario(scenario, latency));
+    if (candidate == 1) rec.single_sample_stats = stats;
+    if (first || stats.mean_response_s < rec.stats.mean_response_s) {
+      rec.split_batch = candidate;
+      rec.stats = stats;
+      first = false;
+    }
+    if (candidate == scenario.samples_per_query) break;
+  }
+  return rec;
+}
+
+Result<StreamBatchingRecommendation> recommend_stream_batching(
+    MultiStreamScenarioConfig scenario, const InferenceLatencyFn& latency,
+    std::int64_t max_candidate) {
+  if (max_candidate < 1) {
+    return Status::invalid_argument("max_candidate must be >= 1");
+  }
+  StreamBatchingRecommendation rec;
+  bool first = true;
+  for (std::int64_t batch = 1; batch <= max_candidate; batch *= 2) {
+    scenario.max_batch = batch;
+    ET_ASSIGN_OR_RETURN(QueueingStats stats,
+                        simulate_multistream_scenario(scenario, latency));
+    if (batch == 1) rec.single_sample_stats = stats;
+    if (first || stats.mean_response_s < rec.stats.mean_response_s) {
+      rec.max_batch = batch;
+      rec.stats = stats;
+      first = false;
+    }
+  }
+  return rec;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,45 @@
+// The Batching subcomponent (§3.4): given a deployment scenario and the
+// device's inference-latency profile, recommends the batching knob — how to
+// split fixed-frequency N-sample queries, or how far to aggregate Poisson
+// single-sample arrivals — by sweeping the queueing simulator.
+#pragma once
+
+#include "sim/batching_sim.hpp"
+
+namespace edgetune {
+
+struct ServerBatchingRecommendation {
+  std::int64_t split_batch = 1;
+  QueueingStats stats;                      // at the recommended split
+  QueueingStats single_sample_stats;        // split = 1 reference
+  /// mean-response improvement over single-sample service (>= 1 is better).
+  [[nodiscard]] double speedup() const noexcept {
+    return stats.mean_response_s > 0
+               ? single_sample_stats.mean_response_s / stats.mean_response_s
+               : 0.0;
+  }
+};
+
+/// Sweeps power-of-two splits 1..samples_per_query (plus the full query) and
+/// returns the split with the lowest mean response time.
+Result<ServerBatchingRecommendation> recommend_server_batching(
+    ServerScenarioConfig scenario, const InferenceLatencyFn& latency);
+
+struct StreamBatchingRecommendation {
+  std::int64_t max_batch = 1;
+  QueueingStats stats;
+  QueueingStats single_sample_stats;
+  [[nodiscard]] double speedup() const noexcept {
+    return stats.mean_response_s > 0
+               ? single_sample_stats.mean_response_s / stats.mean_response_s
+               : 0.0;
+  }
+};
+
+/// Sweeps power-of-two aggregation limits 1..max_candidate and returns the
+/// limit with the lowest mean response time.
+Result<StreamBatchingRecommendation> recommend_stream_batching(
+    MultiStreamScenarioConfig scenario, const InferenceLatencyFn& latency,
+    std::int64_t max_candidate = 64);
+
+}  // namespace edgetune

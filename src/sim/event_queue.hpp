@@ -1,0 +1,58 @@
+// Minimal discrete-event simulation core: a time-ordered queue of callbacks
+// driving a SimClock. Stable FIFO order for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+
+namespace edgetune {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `at` (>= now).
+  void schedule_at(double at, Handler fn) {
+    events_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after `delay` seconds of simulated time.
+  void schedule_in(const SimClock& clock, double delay, Handler fn) {
+    schedule_at(clock.now() + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `until` is passed. Advances the
+  /// clock to each event's timestamp before invoking it.
+  void run(SimClock& clock, double until) {
+    while (!events_.empty() && events_.top().at <= until) {
+      Event ev = events_.top();
+      events_.pop();
+      clock.advance_to(ev.at);
+      ev.fn();
+    }
+    clock.advance_to(until);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Handler fn;
+    bool operator>(const Event& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace edgetune

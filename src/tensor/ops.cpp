@@ -1,0 +1,367 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace edgetune {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams B and C rows, good cache behaviour without tiling.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeometry& geo) {
+  assert(input.rank() == 4);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t c_in = geo.in_channels, h = geo.in_h, w = geo.in_w;
+  assert(input.dim(1) == c_in && input.dim(2) == h && input.dim(3) == w);
+  const std::int64_t oh = geo.out_h(), ow = geo.out_w();
+  const std::int64_t patch = c_in * geo.kernel * geo.kernel;
+  Tensor cols({batch * oh * ow, patch});
+  const float* src = input.data();
+  float* dst = cols.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* img = src + n * c_in * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* col = dst + ((n * oh + oy) * ow + ox) * patch;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < c_in; ++c) {
+          const float* plane = img + c * h * w;
+          for (std::int64_t ky = 0; ky < geo.kernel; ++ky) {
+            const std::int64_t iy = oy * geo.stride + ky - geo.padding;
+            for (std::int64_t kx = 0; kx < geo.kernel; ++kx) {
+              const std::int64_t ix = ox * geo.stride + kx - geo.padding;
+              col[idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                               ? plane[iy * w + ix]
+                               : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::int64_t batch,
+              const Conv2dGeometry& geo) {
+  const std::int64_t c_in = geo.in_channels, h = geo.in_h, w = geo.in_w;
+  const std::int64_t oh = geo.out_h(), ow = geo.out_w();
+  const std::int64_t patch = c_in * geo.kernel * geo.kernel;
+  assert(cols.rank() == 2 && cols.dim(0) == batch * oh * ow &&
+         cols.dim(1) == patch);
+  Tensor out({batch, c_in, h, w});
+  const float* src = cols.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* img = dst + n * c_in * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* col = src + ((n * oh + oy) * ow + ox) * patch;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < c_in; ++c) {
+          float* plane = img + c * h * w;
+          for (std::int64_t ky = 0; ky < geo.kernel; ++ky) {
+            const std::int64_t iy = oy * geo.stride + ky - geo.padding;
+            for (std::int64_t kx = 0; kx < geo.kernel; ++kx) {
+              const std::int64_t ix = ox * geo.stride + kx - geo.padding;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[iy * w + ix] += col[idx];
+              }
+              ++idx;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor im2col_1d(const Tensor& input, const Conv1dGeometry& geo) {
+  assert(input.rank() == 3);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t c_in = geo.in_channels, len = geo.in_len;
+  assert(input.dim(1) == c_in && input.dim(2) == len);
+  const std::int64_t olen = geo.out_len();
+  const std::int64_t patch = c_in * geo.kernel;
+  Tensor cols({batch * olen, patch});
+  const float* src = input.data();
+  float* dst = cols.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* sig = src + n * c_in * len;
+    for (std::int64_t o = 0; o < olen; ++o) {
+      float* col = dst + (n * olen + o) * patch;
+      std::int64_t idx = 0;
+      for (std::int64_t c = 0; c < c_in; ++c) {
+        const float* chan = sig + c * len;
+        for (std::int64_t k = 0; k < geo.kernel; ++k) {
+          const std::int64_t i = o * geo.stride + k - geo.padding;
+          col[idx++] = (i >= 0 && i < len) ? chan[i] : 0.0f;
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im_1d(const Tensor& cols, std::int64_t batch,
+                 const Conv1dGeometry& geo) {
+  const std::int64_t c_in = geo.in_channels, len = geo.in_len;
+  const std::int64_t olen = geo.out_len();
+  const std::int64_t patch = c_in * geo.kernel;
+  assert(cols.rank() == 2 && cols.dim(0) == batch * olen &&
+         cols.dim(1) == patch);
+  Tensor out({batch, c_in, len});
+  const float* src = cols.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* sig = dst + n * c_in * len;
+    for (std::int64_t o = 0; o < olen; ++o) {
+      const float* col = src + (n * olen + o) * patch;
+      std::int64_t idx = 0;
+      for (std::int64_t c = 0; c < c_in; ++c) {
+        float* chan = sig + c * len;
+        for (std::int64_t k = 0; k < geo.kernel; ++k) {
+          const std::int64_t i = o * geo.stride + k - geo.padding;
+          if (i >= 0 && i < len) chan[i] += col[idx];
+          ++idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PoolResult maxpool2d(const Tensor& input, std::int64_t kernel,
+                     std::int64_t stride) {
+  assert(input.rank() == 4);
+  const std::int64_t batch = input.dim(0), ch = input.dim(1),
+                     h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  PoolResult result;
+  result.output = Tensor({batch, ch, oh, ow});
+  result.argmax.resize(
+      static_cast<std::size_t>(batch * ch * oh * ow));
+  const float* src = input.data();
+  float* dst = result.output.data();
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = src + (n * ch + c) * h * w;
+      const std::int64_t plane_off = (n * ch + c) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = oy * stride + ky;
+              const std::int64_t ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          }
+          dst[out_idx] = best;
+          result.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape) {
+  Tensor grad_in(input_shape);
+  const float* g = grad_out.data();
+  float* dst = grad_in.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dst[argmax[i]] += g[i];
+  }
+  return grad_in;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+  assert(input.rank() == 4);
+  const std::int64_t batch = input.dim(0), ch = input.dim(1),
+                     spatial = input.dim(2) * input.dim(3);
+  Tensor out({batch, ch});
+  const float* src = input.data();
+  float* dst = out.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    float acc = 0.0f;
+    const float* plane = src + nc * spatial;
+    for (std::int64_t i = 0; i < spatial; ++i) acc += plane[i];
+    dst[nc] = acc * inv;
+  }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad_out,
+                                const Shape& input_shape) {
+  Tensor grad_in(input_shape);
+  const std::int64_t batch = input_shape[0], ch = input_shape[1],
+                     spatial = input_shape[2] * input_shape[3];
+  const float inv = 1.0f / static_cast<float>(spatial);
+  const float* g = grad_out.data();
+  float* dst = grad_in.data();
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    const float v = g[nc] * inv;
+    float* plane = dst + nc * spatial;
+    for (std::int64_t i = 0; i < spatial; ++i) plane[i] = v;
+  }
+  return grad_in;
+}
+
+PoolResult maxpool1d(const Tensor& input, std::int64_t kernel,
+                     std::int64_t stride) {
+  assert(input.rank() == 3);
+  const std::int64_t batch = input.dim(0), ch = input.dim(1),
+                     len = input.dim(2);
+  const std::int64_t olen = (len - kernel) / stride + 1;
+  PoolResult result;
+  result.output = Tensor({batch, ch, olen});
+  result.argmax.resize(static_cast<std::size_t>(batch * ch * olen));
+  const float* src = input.data();
+  float* dst = result.output.data();
+  std::int64_t out_idx = 0;
+  for (std::int64_t nc = 0; nc < batch * ch; ++nc) {
+    const float* chan = src + nc * len;
+    for (std::int64_t o = 0; o < olen; ++o) {
+      float best = -std::numeric_limits<float>::infinity();
+      std::int64_t best_idx = 0;
+      for (std::int64_t k = 0; k < kernel; ++k) {
+        const std::int64_t i = o * stride + k;
+        if (chan[i] > best) {
+          best = chan[i];
+          best_idx = nc * len + i;
+        }
+      }
+      dst[out_idx] = best;
+      result.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+      ++out_idx;
+    }
+  }
+  return result;
+}
+
+Tensor maxpool1d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape) {
+  Tensor grad_in(input_shape);
+  const float* g = grad_out.data();
+  float* dst = grad_in.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dst[argmax[i]] += g[i];
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  const float* src = logits.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = src + r * cols;
+    float* o = dst + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  const float* src = logits.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = src + r * cols;
+    float* o = dst + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) denom += std::exp(in[c] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (std::int64_t c = 0; c < cols; ++c) o[c] = in[c] - log_denom;
+  }
+  return out;
+}
+
+}  // namespace edgetune

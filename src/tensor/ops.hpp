@@ -1,0 +1,88 @@
+// Dense kernels: GEMM (with transpose variants for backprop), im2col-based
+// convolutions, pooling, and row softmax. These are the computational
+// substrate the src/nn layers are built on.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+
+// --- GEMM ------------------------------------------------------------------
+// All matrices are row-major 2-d tensors. Shapes are asserted in debug
+// builds; callers guarantee conformability (internal API).
+
+/// C = A[m,k] * B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T[k,m] * B[k,n]  (A stored as [k,m])
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A[m,k] * B^T[n,k]  (B stored as [n,k])
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// --- Convolution lowering ---------------------------------------------------
+
+struct Conv2dGeometry {
+  std::int64_t in_channels = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel = 0, stride = 1, padding = 0;
+  [[nodiscard]] std::int64_t out_h() const noexcept {
+    return (in_h + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t out_w() const noexcept {
+    return (in_w + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Lowers input [N, C, H, W] to columns [N*outH*outW, C*k*k].
+Tensor im2col(const Tensor& input, const Conv2dGeometry& geo);
+/// Adjoint of im2col: accumulates columns back into [N, C, H, W].
+Tensor col2im(const Tensor& cols, std::int64_t batch,
+              const Conv2dGeometry& geo);
+
+struct Conv1dGeometry {
+  std::int64_t in_channels = 0, in_len = 0;
+  std::int64_t kernel = 0, stride = 1, padding = 0;
+  [[nodiscard]] std::int64_t out_len() const noexcept {
+    return (in_len + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Lowers input [N, C, L] to columns [N*outL, C*k].
+Tensor im2col_1d(const Tensor& input, const Conv1dGeometry& geo);
+Tensor col2im_1d(const Tensor& cols, std::int64_t batch,
+                 const Conv1dGeometry& geo);
+
+// --- Pooling -----------------------------------------------------------------
+
+struct PoolResult {
+  Tensor output;
+  /// For max pooling: flat input index of each selected maximum, used by the
+  /// backward pass. Empty for average pooling.
+  std::vector<std::int64_t> argmax;
+};
+
+/// Max pool on [N, C, H, W] with square window `kernel` and given stride.
+PoolResult maxpool2d(const Tensor& input, std::int64_t kernel,
+                     std::int64_t stride);
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape);
+
+/// Average over all spatial positions: [N, C, H, W] -> [N, C].
+Tensor global_avg_pool(const Tensor& input);
+Tensor global_avg_pool_backward(const Tensor& grad_out,
+                                const Shape& input_shape);
+
+/// Max pool on [N, C, L] (1-d, for audio models).
+PoolResult maxpool1d(const Tensor& input, std::int64_t kernel,
+                     std::int64_t stride);
+Tensor maxpool1d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape);
+
+// --- Row-wise softmax --------------------------------------------------------
+
+/// Numerically-stable softmax over the last dimension of a 2-d tensor.
+Tensor softmax_rows(const Tensor& logits);
+/// log-softmax over rows.
+Tensor log_softmax_rows(const Tensor& logits);
+
+}  // namespace edgetune

@@ -1,0 +1,134 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.hpp"
+
+namespace edgetune {
+
+std::int64_t shape_numel(const Shape& shape) noexcept {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill_value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_));
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    t.data_[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  }
+  return t;
+}
+
+Result<Tensor> Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    return Status::invalid_argument(
+        "reshape " + shape_to_string(shape_) + " -> " +
+        shape_to_string(new_shape) + ": element count mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_inplace(const Tensor& other) {
+  assert(numel() == other.numel());
+  const float* src = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
+}
+
+void Tensor::scale_inplace(float factor) noexcept {
+  for (auto& v : data_) v *= factor;
+}
+
+void Tensor::axpy_inplace(float a, const Tensor& other, float b) {
+  assert(numel() == other.numel());
+  const float* src = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = data_[i] * a + src[i] * b;
+  }
+}
+
+float Tensor::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::max() const noexcept {
+  return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const noexcept {
+  return data_.empty() ? 0.0f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::mean() const noexcept {
+  return data_.empty() ? 0.0f
+                       : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::norm() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::string Tensor::to_string(std::int64_t max_items) const {
+  std::string out = "Tensor" + shape_to_string(shape_) + " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_items);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i != 0) out += ", ";
+    out += format_double(data_[static_cast<std::size_t>(i)], 4);
+  }
+  if (numel() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace edgetune

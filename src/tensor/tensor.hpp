@@ -1,0 +1,99 @@
+// A contiguous, row-major float32 N-d tensor. Deliberately simple: the mini
+// deep-learning library (src/nn) needs dense value semantics and a handful of
+// kernels, not views/broadcasting generality.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace edgetune {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements of a shape; 1 for scalars (empty shape).
+std::int64_t shape_numel(const Shape& shape) noexcept;
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill_value);
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Factory helpers.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  /// i.i.d. N(mean, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi).
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// [0, 1, 2, ..., n-1] as a 1-d tensor.
+  static Tensor arange(std::int64_t n);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t dim(std::size_t axis) const {
+    return shape_.at(axis);
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::vector<float>& vec() noexcept { return data_; }
+  [[nodiscard]] const std::vector<float>& vec() const noexcept {
+    return data_;
+  }
+
+  float& operator[](std::int64_t i) noexcept {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const noexcept {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-d indexed access (row-major). Debug-asserted bounds.
+  float& at2(std::int64_t r, std::int64_t c) noexcept {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at2(std::int64_t r, std::int64_t c) const noexcept {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// Reshape preserving element count. Error on mismatch.
+  [[nodiscard]] Result<Tensor> reshaped(Shape new_shape) const;
+
+  /// In-place elementwise updates.
+  void fill(float value) noexcept;
+  void add_inplace(const Tensor& other);  // this += other (asserts same numel)
+  void scale_inplace(float factor) noexcept;
+  /// this = this*a + other*b (fused axpy used by optimizers).
+  void axpy_inplace(float a, const Tensor& other, float b);
+
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float max() const noexcept;
+  [[nodiscard]] float min() const noexcept;
+  [[nodiscard]] float mean() const noexcept;
+  /// L2 norm of all elements.
+  [[nodiscard]] float norm() const noexcept;
+
+  [[nodiscard]] std::string to_string(std::int64_t max_items = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,132 @@
+#include "tuning/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgetune {
+
+Result<TuningReport> run_tune_baseline(EdgeTuneOptions options) {
+  options.inference_aware = false;
+  options.tune_system_params = false;
+  options.objective_mode = ObjectiveMode::kAccuracyOnly;
+  options.power_cap_w = 0;
+  EdgeTune tuner(std::move(options));
+  ET_ASSIGN_OR_RETURN(TuningReport report, tuner.run());
+  report.system = "tune";
+  // Tune outputs no inference recommendation: deployment falls back to the
+  // default single-sample, single-core configuration.
+  Config default_inference = {{"inf_batch", 1},
+                              {"cores", 1},
+                              {"freq_ghz", 0.0}};
+  ET_ASSIGN_OR_RETURN(
+      report.inference,
+      evaluate_inference_at(tuner.options(), report.best_config,
+                            default_inference));
+  return report;
+}
+
+Result<TuningReport> run_hyperpower_baseline(EdgeTuneOptions options,
+                                             double power_cap_w) {
+  options.inference_aware = false;
+  options.tune_system_params = false;
+  options.objective_mode = ObjectiveMode::kAccuracyOnly;
+  options.search_algorithm = "tpe";
+  options.power_cap_w = power_cap_w;
+  // HyperPower evaluates candidates from short trainings; halve the budget.
+  options.hyperband.max_resource =
+      std::max(1.0, options.hyperband.max_resource / 2.0);
+  EdgeTune tuner(std::move(options));
+  ET_ASSIGN_OR_RETURN(TuningReport report, tuner.run());
+  report.system = "hyperpower";
+  return report;
+}
+
+Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
+  // Tier 1: hyperparameters only, system parameters fixed at defaults.
+  EdgeTuneOptions tier1 = options;
+  tier1.tune_system_params = false;
+  EdgeTune tuner1(tier1);
+  ET_ASSIGN_OR_RETURN(TuningReport report1, tuner1.run());
+
+  // Tier 2: system parameters only, hyperparameters pinned to tier 1's best.
+  // A grid over num_gpus is exhaustive and cheap.
+  EdgeTuneOptions tier2 = options;
+  tier2.seed = options.seed ^ 0x9e3779b9ULL;
+  EdgeTune tuner2(tier2);  // reuse runner machinery
+  TrialRunnerOptions runner_opts = tuner2.options().runner;
+  TrialRunner runner(runner_opts);
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<BudgetPolicy> policy,
+                      make_budget_policy(options.budget_policy));
+  const TrialBudget full_budget = policy->at(options.hyperband.max_resource);
+
+  TuningReport report = std::move(report1);
+  report.system = "hierarchical";
+
+  std::vector<double> gpu_options = {1, 2, 4, 8};
+  const int max_gpus = options.train_device.num_gpus;
+  double best_objective = std::numeric_limits<double>::infinity();
+  Config best_config = report.best_config;
+  for (double gpus : gpu_options) {
+    if (gpus > max_gpus) continue;
+    Config config = report.best_config;
+    config["num_gpus"] = gpus;
+    ET_ASSIGN_OR_RETURN(TrialOutcome outcome,
+                        runner.run(config, full_budget));
+    ET_ASSIGN_OR_RETURN(ArchSpec arch, runner.arch_for(config));
+    ET_ASSIGN_OR_RETURN(InferenceRecommendation rec,
+                        tuner2.inference_server().tune(arch));
+    const double objective =
+        tuning_objective(options.tuning_metric, outcome, rec,
+                         options.inference_aware);
+    report.tuning_runtime_s += outcome.train_time_s;
+    report.tuning_energy_j += outcome.train_energy_j + rec.tuning_energy_j;
+    TrialLog log;
+    log.id = static_cast<int>(report.trials.size());
+    log.config = config;
+    log.resource = options.hyperband.max_resource;
+    log.budget = full_budget;
+    log.accuracy = outcome.accuracy;
+    log.duration_s = outcome.train_time_s;
+    log.energy_j = outcome.train_energy_j;
+    log.objective = objective;
+    report.trials.push_back(std::move(log));
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_config = config;
+      report.inference = rec;
+    }
+  }
+  report.best_config = best_config;
+  report.best_objective = best_objective;
+  return report;
+}
+
+Result<InferenceRecommendation> evaluate_inference_at(
+    const EdgeTuneOptions& options, const Config& model_config,
+    const Config& inference_config) {
+  TrialRunnerOptions runner_opts = options.runner;
+  runner_opts.workload = options.workload;
+  runner_opts.train_device = options.train_device;
+  TrialRunner runner(runner_opts);
+  ET_ASSIGN_OR_RETURN(ArchSpec arch, runner.arch_for(model_config));
+
+  CostModel edge(options.edge_device);
+  InferenceConfig inf;
+  const auto get = [&](const char* key, double fallback) {
+    auto it = inference_config.find(key);
+    return it == inference_config.end() ? fallback : it->second;
+  };
+  inf.batch_size = static_cast<std::int64_t>(get("inf_batch", 1));
+  inf.cores = static_cast<int>(get("cores", 1));
+  inf.freq_ghz = get("freq_ghz", 0.0);
+  ET_ASSIGN_OR_RETURN(CostEstimate est, edge.inference_cost(arch, inf));
+
+  InferenceRecommendation rec;
+  rec.config = inference_config;
+  rec.latency_s = est.latency_s;
+  rec.throughput_sps = est.throughput_sps;
+  rec.energy_per_sample_j = est.energy_per_sample_j(inf.batch_size);
+  return rec;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,40 @@
+// Baseline systems the paper compares against (§5.1, §5.5) plus the
+// hierarchical tuning strategy (§4.1). All reuse the EdgeTune machinery with
+// the distinguishing features disabled, so comparisons isolate exactly the
+// paper's claims.
+#pragma once
+
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+/// T(une): hyperparameter-only tuning — no system parameters, no inference
+/// awareness, accuracy objective; same search algorithm as EdgeTune (§5.1).
+/// The returned report's `inference` field is the *default* deployment
+/// (batch 1, single core) since Tune emits no inference recommendation.
+Result<TuningReport> run_tune_baseline(EdgeTuneOptions options);
+
+/// HyperPower (Stamoulis et al.): Bayesian optimization over model
+/// hyperparameters with aggressive early termination — over-cap trials are
+/// killed immediately, clearly-unpromising ones partway through, and the
+/// per-trial training budget is half of EdgeTune's top rung (HyperPower
+/// scores candidates from short trainings, it does not tune budgets).
+/// No inference output; like the paper (§5.5) we evaluate its winning model
+/// at EdgeTune's recommended inference configuration for fairness, which the
+/// caller does by pairing reports.
+Result<TuningReport> run_hyperpower_baseline(EdgeTuneOptions options,
+                                             double power_cap_w);
+
+/// Hierarchical tuning (§4.1, Fig 9): first tune hyperparameters with fixed
+/// system parameters, then tune system parameters for the winning
+/// hyperparameters. Report aggregates both tiers.
+Result<TuningReport> run_hierarchical(EdgeTuneOptions options);
+
+/// Evaluates a report's winning architecture at an explicit inference
+/// configuration on the edge device (used to score baselines that emit no
+/// recommendation). Returns a recommendation-shaped record.
+Result<InferenceRecommendation> evaluate_inference_at(
+    const EdgeTuneOptions& options, const Config& model_config,
+    const Config& inference_config);
+
+}  // namespace edgetune

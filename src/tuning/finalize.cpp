@@ -1,0 +1,75 @@
+#include "tuning/finalize.hpp"
+
+#include <algorithm>
+
+#include "data/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace edgetune {
+
+Result<FinalizedModel> finalize_best_model(const EdgeTuneOptions& options,
+                                           const TuningReport& report,
+                                           const FinalizeOptions& finalize) {
+  if (report.best_config.find("model_hparam") == report.best_config.end()) {
+    return Status::invalid_argument(
+        "report has no winning configuration to finalize");
+  }
+  const auto get = [&](const char* key, double fallback) {
+    auto it = report.best_config.find(key);
+    return it == report.best_config.end() ? fallback : it->second;
+  };
+
+  Rng rng(options.seed ^ 0xf17a11ULL);
+  ET_ASSIGN_OR_RETURN(
+      BuiltModel model,
+      build_workload_model(options.workload,
+                           report.best_config.at("model_hparam"), rng));
+
+  // Full dataset at the winning batch/lr, `epochs` passes.
+  auto dataset = make_workload_data(options.workload,
+                                    options.runner.proxy_samples,
+                                    options.runner.seed != 0
+                                        ? options.runner.seed
+                                        : options.seed);
+  Rng split_rng(options.seed ^ 0x5917u);
+  auto [train, val] = DatasetView::all(*dataset).split(
+      1.0 - options.runner.validation_fraction, split_rng);
+
+  const auto train_batch =
+      static_cast<std::int64_t>(get("train_batch", 128));
+  TrainerOptions trainer_options;
+  trainer_options.batch_size =
+      std::clamp<std::int64_t>(train_batch / 16, 4, 64);
+  trainer_options.epochs = finalize.epochs;
+  trainer_options.sgd.learning_rate = get("lr", 0.05);
+  trainer_options.sgd.momentum = get("momentum", options.runner.momentum);
+  trainer_options.sgd.weight_decay = get("weight_decay", 0.0);
+  Trainer trainer(*model.net, trainer_options, rng);
+  ET_ASSIGN_OR_RETURN(TrainingHistory history, trainer.fit(train, val));
+
+  FinalizedModel out;
+  out.accuracy = history.epochs.empty()
+                     ? Trainer::evaluate(*model.net, val)
+                     : history.epochs.back().val_accuracy;
+
+  // Simulated full-scale cost of the final training.
+  CostModel server(options.train_device);
+  TrainConfig config;
+  config.batch_size = train_batch;
+  config.num_gpus = static_cast<int>(get("num_gpus", 1));
+  ET_ASSIGN_OR_RETURN(
+      CostEstimate epoch_cost,
+      server.train_epoch_cost(model.arch, config,
+                              workload_info(options.workload).train_samples));
+  out.train_time_s = epoch_cost.latency_s * finalize.epochs;
+  out.train_energy_j = epoch_cost.energy_j * finalize.epochs;
+
+  if (!finalize.checkpoint_path.empty()) {
+    ET_RETURN_IF_ERROR(save_weights(*model.net, finalize.checkpoint_path));
+    out.checkpoint_path = finalize.checkpoint_path;
+  }
+  out.model = std::move(model);
+  return out;
+}
+
+}  // namespace edgetune

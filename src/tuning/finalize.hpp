@@ -1,0 +1,31 @@
+// Finalization: after a tuning job, retrain the winning configuration at
+// full budget and hand back the trained model (the tuning server's primary
+// deliverable, §2.1: "the users receive the optimal trained model") plus
+// the simulated cost of the final training.
+#pragma once
+
+#include "budget/budget.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+struct FinalizedModel {
+  BuiltModel model;             // trained proxy network + full-scale arch
+  double accuracy = 0;          // validation accuracy after full training
+  double train_time_s = 0;      // simulated full-scale training duration
+  double train_energy_j = 0;
+  std::string checkpoint_path;  // where the weights were written ("" if not)
+};
+
+struct FinalizeOptions {
+  int epochs = 10;              // full-budget retraining length
+  std::string checkpoint_path;  // save the trained weights here (optional)
+};
+
+/// Retrains `report.best_config` from scratch under the given options and
+/// (optionally) checkpoints the weights.
+Result<FinalizedModel> finalize_best_model(const EdgeTuneOptions& options,
+                                           const TuningReport& report,
+                                           const FinalizeOptions& finalize);
+
+}  // namespace edgetune

@@ -1,0 +1,130 @@
+#include "tuning/historical_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace edgetune {
+
+namespace {
+
+Json rec_to_json(const InferenceRecommendation& rec) {
+  JsonObject config;
+  for (const auto& [name, value] : rec.config) config.emplace(name, value);
+  JsonObject obj;
+  obj.emplace("config", std::move(config));
+  obj.emplace("latency_s", rec.latency_s);
+  obj.emplace("throughput_sps", rec.throughput_sps);
+  obj.emplace("energy_per_sample_j", rec.energy_per_sample_j);
+  obj.emplace("peak_memory_bytes", rec.peak_memory_bytes);
+  obj.emplace("tuning_time_s", rec.tuning_time_s);
+  obj.emplace("tuning_energy_j", rec.tuning_energy_j);
+  return Json(std::move(obj));
+}
+
+InferenceRecommendation rec_from_json(const Json& json) {
+  InferenceRecommendation rec;
+  if (const Json* config = json.find("config");
+      config != nullptr && config->is_object()) {
+    for (const auto& [name, value] : config->as_object()) {
+      if (value.is_number()) rec.config[name] = value.as_number();
+    }
+  }
+  rec.latency_s = json.get_number("latency_s", 0);
+  rec.throughput_sps = json.get_number("throughput_sps", 0);
+  rec.energy_per_sample_j = json.get_number("energy_per_sample_j", 0);
+  rec.peak_memory_bytes = json.get_number("peak_memory_bytes", 0);
+  rec.tuning_time_s = json.get_number("tuning_time_s", 0);
+  rec.tuning_energy_j = json.get_number("tuning_energy_j", 0);
+  rec.from_cache = true;
+  return rec;
+}
+
+}  // namespace
+
+HistoricalCache::HistoricalCache(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in.good()) return;  // fresh database
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> parsed = Json::parse(buffer.str());
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    ET_LOG_WARN << "historical cache at " << path_
+                << " is unreadable; starting empty ("
+                << parsed.status().to_string() << ")";
+    return;
+  }
+  for (const auto& [key, value] : parsed.value().as_object()) {
+    entries_.emplace(key, rec_from_json(value));
+  }
+}
+
+std::string HistoricalCache::key(const std::string& arch_id,
+                                 const std::string& device,
+                                 MetricOfInterest objective) {
+  return arch_id + "|" + device + "|" + metric_name(objective);
+}
+
+std::optional<InferenceRecommendation> HistoricalCache::lookup(
+    const std::string& arch_id, const std::string& device,
+    MetricOfInterest objective) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key(arch_id, device, objective));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  InferenceRecommendation rec = it->second;
+  rec.from_cache = true;
+  return rec;
+}
+
+Status HistoricalCache::store(const std::string& arch_id,
+                              const std::string& device,
+                              MetricOfInterest objective,
+                              const InferenceRecommendation& rec) {
+  std::lock_guard lock(mutex_);
+  entries_[key(arch_id, device, objective)] = rec;
+  if (path_.empty()) return Status::ok();
+  return save_locked();
+}
+
+std::size_t HistoricalCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t HistoricalCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t HistoricalCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+Status HistoricalCache::save() const {
+  std::lock_guard lock(mutex_);
+  if (path_.empty()) return Status::ok();
+  return save_locked();
+}
+
+Status HistoricalCache::save_locked() const {
+  JsonObject root;
+  for (const auto& [key, rec] : entries_) {
+    root.emplace(key, rec_to_json(rec));
+  }
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out.good()) {
+    return Status::io("cannot write historical cache to " + path_);
+  }
+  out << Json(std::move(root)).dump_pretty() << '\n';
+  return out.good() ? Status::ok()
+                    : Status::io("short write to " + path_);
+}
+
+}  // namespace edgetune

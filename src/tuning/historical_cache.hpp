@@ -1,0 +1,55 @@
+// Persistent database of inference tuning results (§3.4): keyed by
+// (architecture id, inference objective), so an architecture is never
+// re-tuned — "with the cost of a small storage overhead". Thread-safe;
+// optionally file-backed (JSON) so results survive across tuning jobs.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "tuning/metrics.hpp"
+
+namespace edgetune {
+
+class HistoricalCache {
+ public:
+  /// In-memory only.
+  HistoricalCache() = default;
+  /// File-backed: loads `path` if it exists; save() rewrites it.
+  explicit HistoricalCache(std::string path);
+
+  /// Looks up a stored recommendation. The key is (architecture, edge
+  /// device, objective): the same architecture tuned for two devices must
+  /// not share an entry.
+  [[nodiscard]] std::optional<InferenceRecommendation> lookup(
+      const std::string& arch_id, const std::string& device,
+      MetricOfInterest objective) const;
+
+  /// Stores (overwrites) a recommendation and persists when file-backed.
+  Status store(const std::string& arch_id, const std::string& device,
+               MetricOfInterest objective,
+               const InferenceRecommendation& rec);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+  /// Persists to the backing file (no-op when in-memory).
+  Status save() const;
+
+ private:
+  static std::string key(const std::string& arch_id,
+                         const std::string& device,
+                         MetricOfInterest objective);
+  Status save_locked() const;
+
+  mutable std::mutex mutex_;
+  std::string path_;  // empty => in-memory
+  std::map<std::string, InferenceRecommendation> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace edgetune

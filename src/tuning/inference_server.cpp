@@ -1,0 +1,138 @@
+#include "tuning/inference_server.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace edgetune {
+
+namespace {
+// The Inference Tuning Server SIMULATES the edge device on the tuning
+// server (§2.1: "We settle to simulate the edge devices for inference...
+// EdgeTune quickly evaluates a large search space without adding an
+// overhead"). Evaluating one configuration therefore costs emulator CPU
+// time on the server — a small constant — not edge-device real time.
+constexpr double kEmulationSecondsPerConfig = 0.05;
+constexpr double kEmulationServerPowerW = 90.0;  // CPU-side share of the server
+}  // namespace
+
+InferenceTuningServer::InferenceTuningServer(DeviceProfile edge_device,
+                                             InferenceServerOptions options)
+    : cost_model_(std::move(edge_device)),
+      options_(std::move(options)),
+      cache_(options_.cache_path.empty()
+                 ? std::make_unique<HistoricalCache>()
+                 : std::make_unique<HistoricalCache>(options_.cache_path)),
+      pool_(static_cast<std::size_t>(std::max(1, options_.workers))),
+      rng_(options_.seed) {}
+
+SearchSpace InferenceTuningServer::search_space() const {
+  SearchSpace space;
+  space.add(ParamSpec::integer("inf_batch", 1,
+                               static_cast<double>(options_.max_batch),
+                               /*log_scale=*/true));
+  space.add(ParamSpec::integer("cores", 1,
+                               cost_model_.profile().max_cores));
+  space.add(ParamSpec::categorical("freq_ghz",
+                                   cost_model_.profile().freq_levels_ghz));
+  return space;
+}
+
+Result<CostEstimate> InferenceTuningServer::evaluate(
+    const ArchSpec& arch, const InferenceConfig& config) const {
+  return cost_model_.inference_cost(arch, config);
+}
+
+std::future<Result<InferenceRecommendation>> InferenceTuningServer::submit(
+    const ArchSpec& arch) {
+  // Copy the spec: the caller's trial may outlive/mutate its own copy.
+  return pool_.submit([this, arch] { return tune(arch); });
+}
+
+Result<InferenceRecommendation> InferenceTuningServer::tune(
+    const ArchSpec& arch) {
+  if (!options_.use_cache) return tune_uncached(arch);
+  if (auto cached = cache_->lookup(arch.id, cost_model_.profile().name,
+                                   options_.objective)) {
+    // Cache hits cost neither simulated time nor energy (§3.4).
+    InferenceRecommendation rec = *cached;
+    rec.tuning_time_s = 0;
+    rec.tuning_energy_j = 0;
+    return rec;
+  }
+  ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, tune_uncached(arch));
+  ET_RETURN_IF_ERROR(cache_->store(arch.id, cost_model_.profile().name,
+                                   options_.objective, rec));
+  return rec;
+}
+
+Result<InferenceRecommendation> InferenceTuningServer::tune_uncached(
+    const ArchSpec& arch) {
+  SearchSpace space = search_space();
+  HyperBandOptions hb;
+  hb.min_resource = 1;
+  hb.max_resource = 4;
+  hb.eta = 2;
+  ET_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchAlgorithm> algorithm,
+      make_search_algorithm(options_.algorithm, space, hb,
+                            /*random_trials=*/24));
+
+  double tuning_time_s = 0;
+  double tuning_energy_j = 0;
+  Status eval_error;  // first hard failure inside the callback, if any
+
+  const EvalFn eval = [&](const Config& config, double /*resource*/) {
+    InferenceConfig inf;
+    inf.batch_size = static_cast<std::int64_t>(config.at("inf_batch"));
+    inf.cores = static_cast<int>(config.at("cores"));
+    inf.freq_ghz = config.at("freq_ghz");
+    Result<CostEstimate> est = cost_model_.inference_cost(arch, inf);
+    if (!est.ok()) {
+      if (eval_error.is_ok()) eval_error = est.status();
+      return std::numeric_limits<double>::infinity();
+    }
+    if (options_.max_memory_bytes > 0 &&
+        est.value().peak_memory_bytes > options_.max_memory_bytes) {
+      return std::numeric_limits<double>::infinity();  // over budget
+    }
+    tuning_time_s += kEmulationSecondsPerConfig;
+    tuning_energy_j += kEmulationSecondsPerConfig * kEmulationServerPowerW;
+    return inference_objective(
+        options_.objective, 1.0 / std::max(est.value().throughput_sps, 1e-9),
+        est.value().energy_per_sample_j(inf.batch_size));
+  };
+
+  SearchResult result;
+  {
+    std::lock_guard lock(rng_mutex_);
+    Rng local = rng_.split();
+    result = algorithm->optimize(eval, local);
+  }
+  if (!std::isfinite(result.best_objective)) {
+    return eval_error.is_ok()
+               ? Status::internal("inference tuning produced no finite result")
+               : eval_error;
+  }
+
+  InferenceConfig best;
+  best.batch_size =
+      static_cast<std::int64_t>(result.best_config.at("inf_batch"));
+  best.cores = static_cast<int>(result.best_config.at("cores"));
+  best.freq_ghz = result.best_config.at("freq_ghz");
+  ET_ASSIGN_OR_RETURN(CostEstimate est,
+                      cost_model_.inference_cost(arch, best));
+
+  InferenceRecommendation rec;
+  rec.config = result.best_config;
+  rec.latency_s = est.latency_s;
+  rec.throughput_sps = est.throughput_sps;
+  rec.energy_per_sample_j = est.energy_per_sample_j(best.batch_size);
+  rec.peak_memory_bytes = est.peak_memory_bytes;
+  rec.from_cache = false;
+  rec.tuning_time_s = tuning_time_s;
+  rec.tuning_energy_j = tuning_energy_j;
+  return rec;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,78 @@
+// The Inference Tuning Server (§3.4): for every architecture the Model
+// Tuning Server proposes, asynchronously tunes the inference-side parameters
+// (inference batch size, CPU cores, DVFS frequency) on the emulated edge
+// device, minimizing the user's inference objective. Results are memoized in
+// the persistent HistoricalCache so an architecture is never re-tuned.
+//
+// Asynchrony is real: submit() enqueues work on a worker pool and returns a
+// future, so inference tuning overlaps the training trial that requested it
+// (Fig 6's pipelining).
+#pragma once
+
+#include <future>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "device/cost_model.hpp"
+#include "search/algorithms.hpp"
+#include "tuning/historical_cache.hpp"
+
+namespace edgetune {
+
+struct InferenceServerOptions {
+  MetricOfInterest objective = MetricOfInterest::kEnergy;
+  std::string algorithm = "bohb";  // "grid" is sensible for small spaces §3.1
+  std::int64_t max_batch = 100;    // paper: inference batch 1..100
+  /// Optional deployment memory budget in bytes (abstract: "runtime,
+  /// memory usage, and power consumption"); configs above it are rejected
+  /// on top of the device's hard RAM limit. 0 disables.
+  double max_memory_bytes = 0;
+  int workers = 2;
+  std::uint64_t seed = 17;
+  std::string cache_path;          // empty => in-memory cache
+  /// Ablation switch: false re-tunes every request (no historical reuse).
+  bool use_cache = true;
+};
+
+class InferenceTuningServer {
+ public:
+  InferenceTuningServer(DeviceProfile edge_device,
+                        InferenceServerOptions options);
+
+  /// Asynchronous tuning request; overlaps the caller's training trial.
+  [[nodiscard]] std::future<Result<InferenceRecommendation>> submit(
+      const ArchSpec& arch);
+
+  /// Synchronous tuning (same path, current thread).
+  [[nodiscard]] Result<InferenceRecommendation> tune(const ArchSpec& arch);
+
+  /// Evaluates one explicit inference configuration on the edge emulator.
+  [[nodiscard]] Result<CostEstimate> evaluate(const ArchSpec& arch,
+                                              const InferenceConfig& config) const;
+
+  [[nodiscard]] const HistoricalCache& cache() const noexcept {
+    return *cache_;
+  }
+  [[nodiscard]] const DeviceProfile& device() const noexcept {
+    return cost_model_.profile();
+  }
+  [[nodiscard]] const InferenceServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The inference search space: batch x cores x frequency.
+  [[nodiscard]] SearchSpace search_space() const;
+
+ private:
+  [[nodiscard]] Result<InferenceRecommendation> tune_uncached(
+      const ArchSpec& arch);
+
+  CostModel cost_model_;
+  InferenceServerOptions options_;
+  std::unique_ptr<HistoricalCache> cache_;
+  ThreadPool pool_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace edgetune

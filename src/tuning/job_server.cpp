@@ -1,0 +1,108 @@
+#include "tuning/job_server.hpp"
+
+namespace edgetune {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+TuningJobServer::TuningJobServer(int workers)
+    : pool_(static_cast<std::size_t>(std::max(1, workers))) {}
+
+TuningJobServer::~TuningJobServer() {
+  // ThreadPool's destructor drains queued tasks before joining; every
+  // submitted job therefore reaches a terminal state.
+}
+
+JobId TuningJobServer::submit(JobRequest request) {
+  JobId id;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    jobs_.emplace(id, Job{});
+  }
+  pool_.submit([this, id, request = std::move(request)]() mutable {
+    run_job(id, std::move(request));
+  });
+  return id;
+}
+
+void TuningJobServer::run_job(JobId id, JobRequest request) {
+  {
+    std::lock_guard lock(mutex_);
+    jobs_[id].state = JobState::kRunning;
+  }
+  Result<TuningReport> result = [&]() -> Result<TuningReport> {
+    switch (request.system) {
+      case JobSystem::kEdgeTune:
+        return EdgeTune(request.options).run();
+      case JobSystem::kTune:
+        return run_tune_baseline(request.options);
+      case JobSystem::kHyperPower:
+        return run_hyperpower_baseline(request.options, request.power_cap_w);
+      case JobSystem::kHierarchical:
+        return run_hierarchical(request.options);
+    }
+    return Status::invalid_argument("unknown job system");
+  }();
+  {
+    std::lock_guard lock(mutex_);
+    Job& job = jobs_[id];
+    job.state = result.ok() ? JobState::kDone : JobState::kFailed;
+    job.result = std::move(result);
+  }
+  done_cv_.notify_all();
+}
+
+Result<JobState> TuningJobServer::state(JobId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::not_found("unknown job " + std::to_string(id));
+  }
+  return it->second.state;
+}
+
+Result<TuningReport> TuningJobServer::wait(JobId id) {
+  std::unique_lock lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::not_found("unknown job " + std::to_string(id));
+  }
+  done_cv_.wait(lock, [&] {
+    const JobState s = jobs_[id].state;
+    return s == JobState::kDone || s == JobState::kFailed;
+  });
+  return jobs_[id].result;
+}
+
+std::vector<JobId> TuningJobServer::jobs() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobId> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(id);
+  return out;
+}
+
+std::size_t TuningJobServer::unfinished() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace edgetune

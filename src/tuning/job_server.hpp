@@ -1,0 +1,69 @@
+// TuningJobServer: the service face of EdgeTune. The paper positions
+// EdgeTune as a *tuning server* (like Vizier/SageMaker, §1) that users
+// submit jobs to; this component queues jobs, runs them on a worker pool,
+// and exposes state polling and blocking waits per job.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "tuning/baselines.hpp"
+
+namespace edgetune {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+const char* job_state_name(JobState state) noexcept;
+
+using JobId = std::uint64_t;
+
+/// What system a submitted job runs.
+enum class JobSystem { kEdgeTune, kTune, kHyperPower, kHierarchical };
+
+struct JobRequest {
+  EdgeTuneOptions options;
+  JobSystem system = JobSystem::kEdgeTune;
+  double power_cap_w = 800.0;  // HyperPower only
+};
+
+class TuningJobServer {
+ public:
+  explicit TuningJobServer(int workers = 1);
+  ~TuningJobServer();
+
+  TuningJobServer(const TuningJobServer&) = delete;
+  TuningJobServer& operator=(const TuningJobServer&) = delete;
+
+  /// Enqueues a job; returns immediately with its id.
+  JobId submit(JobRequest request);
+
+  /// Current state; kQueued for unknown ids is an error.
+  [[nodiscard]] Result<JobState> state(JobId id) const;
+
+  /// Blocks until the job finishes; returns its report or failure status.
+  [[nodiscard]] Result<TuningReport> wait(JobId id);
+
+  /// Ids of all jobs ever submitted, in submission order.
+  [[nodiscard]] std::vector<JobId> jobs() const;
+
+  /// Jobs not yet finished.
+  [[nodiscard]] std::size_t unfinished() const;
+
+ private:
+  struct Job {
+    JobState state = JobState::kQueued;
+    Result<TuningReport> result{Status::unavailable("not finished")};
+  };
+
+  void run_job(JobId id, JobRequest request);
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  ThreadPool pool_;
+};
+
+}  // namespace edgetune

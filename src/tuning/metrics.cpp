@@ -1,0 +1,51 @@
+#include "tuning/metrics.hpp"
+
+#include <algorithm>
+
+namespace edgetune {
+
+const char* metric_name(MetricOfInterest metric) noexcept {
+  switch (metric) {
+    case MetricOfInterest::kRuntime:
+      return "runtime";
+    case MetricOfInterest::kEnergy:
+      return "energy";
+  }
+  return "?";
+}
+
+double tuning_objective(MetricOfInterest metric, const TrialOutcome& trial,
+                        const InferenceRecommendation& inference,
+                        bool inference_aware) {
+  const double accuracy = std::max(trial.accuracy, 0.01);
+  double train_metric = 0;
+  double inf_metric = 1.0;
+  switch (metric) {
+    case MetricOfInterest::kRuntime:
+      train_metric = trial.train_time_s;
+      // Per-sample inference time keeps the ratio comparable across batch
+      // sizes.
+      if (inference_aware) {
+        inf_metric = 1.0 / std::max(inference.throughput_sps, 1e-9);
+      }
+      break;
+    case MetricOfInterest::kEnergy:
+      train_metric = trial.train_energy_j;
+      if (inference_aware) inf_metric = inference.energy_per_sample_j;
+      break;
+  }
+  return train_metric * inf_metric / accuracy;
+}
+
+double inference_objective(MetricOfInterest metric, double latency_s,
+                           double energy_per_sample_j) {
+  switch (metric) {
+    case MetricOfInterest::kRuntime:
+      return latency_s;
+    case MetricOfInterest::kEnergy:
+      return energy_per_sample_j;
+  }
+  return latency_s;
+}
+
+}  // namespace edgetune

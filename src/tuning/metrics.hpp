@@ -1,0 +1,46 @@
+// Objectives and trial outcome records (§4.4). The Model Tuning Server
+// minimizes ratio = (train_metric * inference_metric) / accuracy; the
+// Inference Tuning Server minimizes the inference metric alone.
+#pragma once
+
+#include <string>
+
+#include "search/param.hpp"
+
+namespace edgetune {
+
+enum class MetricOfInterest { kRuntime, kEnergy };
+
+const char* metric_name(MetricOfInterest metric) noexcept;
+
+/// What one training trial produced.
+struct TrialOutcome {
+  double accuracy = 0;        // proxy validation accuracy in [0, 1]
+  double train_time_s = 0;    // simulated full-scale training duration
+  double train_energy_j = 0;  // simulated training energy
+  std::string arch_id;        // architecture identity (cache key)
+};
+
+/// What the Inference Tuning Server recommends for an architecture.
+struct InferenceRecommendation {
+  Config config;                  // inf_batch, cores, freq_ghz
+  double latency_s = 0;           // per batched call
+  double throughput_sps = 0;      // samples per second
+  double energy_per_sample_j = 0;
+  double peak_memory_bytes = 0;   // resident memory of the deployment
+  bool from_cache = false;
+  double tuning_time_s = 0;       // simulated time the inference tuning took
+  double tuning_energy_j = 0;     // simulated energy of the inference tuning
+};
+
+/// Model-server ratio objective (§4.4, eqs. 1 and 2). Lower is better.
+/// Guards against degenerate accuracies by flooring at 1%.
+double tuning_objective(MetricOfInterest metric, const TrialOutcome& trial,
+                        const InferenceRecommendation& inference,
+                        bool inference_aware);
+
+/// Inference-server objective: runtime or energy of the inference phase.
+double inference_objective(MetricOfInterest metric, double latency_s,
+                           double energy_per_sample_j);
+
+}  // namespace edgetune

@@ -1,0 +1,216 @@
+#include "tuning/model_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace edgetune {
+
+EdgeTuneOptions::EdgeTuneOptions()
+    : train_device(device_titan_server()), edge_device(device_rpi3b()) {}
+
+ParamSpec workload_model_hparam_spec(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return ParamSpec::categorical("model_hparam", {18, 34, 50});
+    case WorkloadKind::kSpeech:
+      return ParamSpec::categorical("model_hparam", {32, 64, 128});
+    case WorkloadKind::kNlp:
+      return ParamSpec::integer("model_hparam", 1, 32, /*log_scale=*/true);
+    case WorkloadKind::kDetection:
+      return ParamSpec::real("model_hparam", 0.1, 0.5);
+  }
+  return ParamSpec::real("model_hparam", 0, 1);
+}
+
+EdgeTune::EdgeTune(EdgeTuneOptions options)
+    : options_([&] {
+        EdgeTuneOptions o = std::move(options);
+        o.runner.workload = o.workload;
+        o.runner.train_device = o.train_device;
+        if (o.runner.seed == TrialRunnerOptions{}.seed) {
+          o.runner.seed = o.seed;
+        }
+        return o;
+      }()),
+      runner_(options_.runner),
+      inference_server_(options_.edge_device, options_.inference) {}
+
+SearchSpace EdgeTune::model_search_space() const {
+  SearchSpace space;
+  space.add(workload_model_hparam_spec(options_.workload));
+  // Training hyperparameters (§5.1: batch 32..512 across all workloads).
+  space.add(ParamSpec::integer("train_batch", 32, 512, /*log_scale=*/true));
+  space.add(ParamSpec::real("lr", 0.01, 0.2, /*log_scale=*/true));
+  if (options_.tune_extended_hparams) {
+    space.add(ParamSpec::real("momentum", 0.0, 0.95));
+    space.add(ParamSpec::real("weight_decay", 1e-6, 1e-2, /*log_scale=*/true));
+  }
+  if (options_.tune_system_params) {
+    const int gpus = options_.train_device.num_gpus;
+    if (gpus >= 8) {
+      space.add(ParamSpec::categorical("num_gpus", {1, 2, 4, 8}));
+    } else if (gpus >= 1) {
+      space.add(ParamSpec::integer("num_gpus", 1, gpus));
+    }
+  }
+  return space;
+}
+
+Result<TuningReport> EdgeTune::run() {
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<BudgetPolicy> policy,
+                      make_budget_policy(options_.budget_policy));
+  SearchSpace space = model_search_space();
+  ET_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchAlgorithm> algorithm,
+      make_search_algorithm(options_.search_algorithm, space,
+                            options_.hyperband, options_.random_trials));
+
+  TuningReport report;
+  report.system = options_.inference_aware ? "edgetune" : "tune";
+  if (options_.power_cap_w > 0) report.system = "hyperpower";
+
+  Status eval_error;
+  bool target_reached = false;
+  const EvalFn eval = [&](const Config& config, double resource) {
+    // Target-accuracy early stop: skip remaining scheduled trials for free.
+    if (target_reached) return std::numeric_limits<double>::infinity();
+    const TrialBudget budget = policy->at(resource);
+
+    // Kick off inference tuning *before* the training trial so the two
+    // overlap (Alg. 1 lines 5-6; Fig 6).
+    std::future<Result<InferenceRecommendation>> inference_future;
+    if (options_.inference_aware) {
+      Result<ArchSpec> arch = runner_.arch_for(config);
+      if (!arch.ok()) {
+        if (eval_error.is_ok()) eval_error = arch.status();
+        return std::numeric_limits<double>::infinity();
+      }
+      inference_future = inference_server_.submit(arch.value());
+    }
+
+    Result<TrialOutcome> outcome = runner_.run(config, budget);
+    if (!outcome.ok()) {
+      if (eval_error.is_ok()) eval_error = outcome.status();
+      if (inference_future.valid()) inference_future.wait();
+      return std::numeric_limits<double>::infinity();
+    }
+    const TrialOutcome& trial = outcome.value();
+
+    InferenceRecommendation rec;
+    if (options_.inference_aware) {
+      Result<InferenceRecommendation> rec_result = inference_future.get();
+      if (!rec_result.ok()) {
+        if (eval_error.is_ok()) eval_error = rec_result.status();
+        return std::numeric_limits<double>::infinity();
+      }
+      rec = std::move(rec_result).value();
+    }
+
+    // --- Accounting (simulated time/energy). The inference server runs
+    // pipelined with the trial; only the excess beyond the trial duration
+    // stalls the model server (§3.3).
+    TrialLog log;
+    log.id = static_cast<int>(report.trials.size());
+    log.config = config;
+    log.resource = resource;
+    log.budget = budget;
+    log.accuracy = trial.accuracy;
+    log.duration_s = trial.train_time_s;
+    log.energy_j = trial.train_energy_j;
+    log.inference_cached = rec.from_cache;
+    log.inference_tuning_s = rec.tuning_time_s;
+    log.inference_stall_s =
+        std::max(0.0, rec.tuning_time_s - trial.train_time_s);
+
+    double objective;
+    bool power_capped = false;
+    if (options_.power_cap_w > 0 && trial.train_time_s > 0) {
+      const double avg_power_w = trial.train_energy_j / trial.train_time_s;
+      power_capped = avg_power_w > options_.power_cap_w;
+    }
+    // HyperPower-mode early termination (§6: "early termination of the
+    // training at the objective evaluation"): a trial whose learning curve
+    // is clearly below the incumbent is killed partway through.
+    const bool unpromising =
+        options_.power_cap_w > 0 && report.best_accuracy > 0 &&
+        trial.accuracy < 0.9 * report.best_accuracy;
+    if (power_capped) {
+      // Over-cap trials are terminated almost immediately.
+      objective = std::numeric_limits<double>::infinity();
+      log.duration_s *= 0.3;
+      log.energy_j *= 0.3;
+      log.inference_stall_s = 0;
+    } else if (unpromising) {
+      log.duration_s *= 0.4;
+      log.energy_j *= 0.4;
+      switch (options_.objective_mode) {
+        case ObjectiveMode::kRatio:
+          objective = tuning_objective(options_.tuning_metric, trial, rec,
+                                       options_.inference_aware);
+          break;
+        case ObjectiveMode::kAccuracyOnly:
+          objective = 1.0 - trial.accuracy;
+          break;
+      }
+    } else {
+      switch (options_.objective_mode) {
+        case ObjectiveMode::kRatio:
+          objective = tuning_objective(options_.tuning_metric, trial, rec,
+                                       options_.inference_aware);
+          break;
+        case ObjectiveMode::kAccuracyOnly:
+          objective = 1.0 - trial.accuracy;
+          break;
+      }
+    }
+    log.objective = objective;
+
+    report.tuning_runtime_s += log.duration_s + log.inference_stall_s;
+    report.tuning_energy_j += log.energy_j + rec.tuning_energy_j;
+    report.trials.push_back(std::move(log));
+
+    if (trial.accuracy > report.best_accuracy) {
+      report.best_accuracy = trial.accuracy;
+    }
+    if (options_.target_accuracy > 0 &&
+        trial.accuracy >= options_.target_accuracy) {
+      target_reached = true;
+    }
+    return objective;
+  };
+
+  Rng rng(options_.seed);
+  SearchResult result = algorithm->optimize(eval, rng);
+  if (!std::isfinite(result.best_objective)) {
+    return eval_error.is_ok()
+               ? Status::internal("tuning produced no finite objective")
+               : eval_error;
+  }
+  report.best_config = result.best_config;
+  report.best_objective = result.best_objective;
+
+  // Final inference recommendation for the winning architecture — EdgeTune's
+  // headline output. For the winning config this is (almost always) a cache
+  // hit; baselines pay for it here since they never tuned inference.
+  ET_ASSIGN_OR_RETURN(ArchSpec best_arch,
+                      runner_.arch_for(report.best_config));
+  ET_ASSIGN_OR_RETURN(report.inference, inference_server_.tune(best_arch));
+
+  // Cross-device recommendations for the winner (§1's multi-device story).
+  for (const DeviceProfile& device : options_.extra_edge_devices) {
+    InferenceServerOptions per_device_options = options_.inference;
+    per_device_options.cache_path.clear();  // keyed per device, but keep
+                                            // ad-hoc servers self-contained
+    InferenceTuningServer extra(device, per_device_options);
+    ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, extra.tune(best_arch));
+    report.per_device.emplace(device.name, std::move(rec));
+  }
+
+  report.cache_hits = inference_server_.cache().hits();
+  report.cache_misses = inference_server_.cache().misses();
+  return report;
+}
+
+}  // namespace edgetune

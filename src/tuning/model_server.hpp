@@ -1,0 +1,125 @@
+// The Model Tuning Server and the EdgeTune facade (§3.3, Alg. 1). Runs the
+// onefold search over model hyperparameters + training system parameters;
+// for every trial, asynchronously requests inference recommendations from
+// the Inference Tuning Server and folds them into the ratio objective.
+#pragma once
+
+#include <vector>
+
+#include "budget/budget.hpp"
+#include "tuning/inference_server.hpp"
+#include "tuning/trial_runner.hpp"
+
+namespace edgetune {
+
+/// How the model server scores a trial.
+enum class ObjectiveMode {
+  kRatio,         // EdgeTune: (train metric x inference metric) / accuracy
+  kAccuracyOnly,  // Tune baseline: maximize accuracy, ignore system cost
+};
+
+struct EdgeTuneOptions {
+  WorkloadKind workload = WorkloadKind::kImageClassification;
+
+  // Search.
+  std::string search_algorithm = "bohb";  // grid|random|hyperband|bohb|tpe
+  std::string budget_policy = "multi-budget";  // epochs|dataset|multi-budget
+  HyperBandOptions hyperband{1, 16, 2, 0};
+  int random_trials = 16;  // for random/tpe algorithms
+
+  // Objectives (§4.4).
+  ObjectiveMode objective_mode = ObjectiveMode::kRatio;
+  MetricOfInterest tuning_metric = MetricOfInterest::kRuntime;
+
+  /// Stop executing further trials once a trial reaches this validation
+  /// accuracy (0 disables). Models the paper's "tune until the target model
+  /// accuracy" runs (§2.3, Fig 12): remaining scheduled trials are skipped
+  /// at zero cost.
+  double target_accuracy = 0;
+
+  // Inference awareness (the EdgeTune contribution; off reproduces Tune).
+  bool inference_aware = true;
+  /// Include training system parameters (num_gpus) in the onefold space.
+  bool tune_system_params = true;
+  /// Additionally tune momentum and weight decay (§1 lists them among the
+  /// hyperparameters; off by default to keep the space comparable to §5.1).
+  bool tune_extended_hparams = false;
+
+  /// HyperPower-style power cap: trials whose average training power exceeds
+  /// this are terminated early (objective = inf, partial cost charged).
+  /// 0 disables the cap.
+  double power_cap_w = 0;
+
+  DeviceProfile train_device;  // defaults to the Titan server
+  DeviceProfile edge_device;   // defaults to the Raspberry Pi 3 B+
+  /// Additional edge devices to produce deployment recommendations for
+  /// (§1: "the tuned model might be deployed across different edge
+  /// devices"). Filled into TuningReport::per_device for the winning
+  /// architecture.
+  std::vector<DeviceProfile> extra_edge_devices;
+  InferenceServerOptions inference;
+  TrialRunnerOptions runner;
+
+  std::uint64_t seed = 1;
+
+  EdgeTuneOptions();
+};
+
+/// One line of the tuning log (feeds Fig 12's per-trial series).
+struct TrialLog {
+  int id = 0;
+  Config config;
+  double resource = 0;
+  TrialBudget budget;
+  double accuracy = 0;
+  double duration_s = 0;   // simulated training-trial duration
+  double energy_j = 0;     // simulated training-trial energy
+  double objective = 0;
+  bool inference_cached = false;
+  double inference_tuning_s = 0;  // inference-server time for this trial
+  double inference_stall_s = 0;   // time the model server waited (Fig 6)
+};
+
+struct TuningReport {
+  std::string system;  // "edgetune", "tune", "hyperpower", "hierarchical"
+  Config best_config;
+  double best_accuracy = 0;
+  double best_objective = std::numeric_limits<double>::infinity();
+  InferenceRecommendation inference;  // recommendation for the winning arch
+  /// Winning-architecture recommendations for extra edge devices, by name.
+  std::map<std::string, InferenceRecommendation> per_device;
+  double tuning_runtime_s = 0;  // simulated wall time of the whole job
+  double tuning_energy_j = 0;   // simulated energy of the whole job
+  std::vector<TrialLog> trials;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+class EdgeTune {
+ public:
+  explicit EdgeTune(EdgeTuneOptions options);
+
+  /// Runs the complete tuning job (Alg. 1).
+  [[nodiscard]] Result<TuningReport> run();
+
+  /// The onefold model-server search space for this workload (§5.1 ranges).
+  [[nodiscard]] SearchSpace model_search_space() const;
+
+  [[nodiscard]] const EdgeTuneOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] InferenceTuningServer& inference_server() noexcept {
+    return inference_server_;
+  }
+
+ private:
+  EdgeTuneOptions options_;
+  TrialRunner runner_;
+  InferenceTuningServer inference_server_;
+};
+
+/// Per-workload model-hyperparameter spec (§5.1): layers / embed dim /
+/// stride / dropout, exposed for reuse by benches and the hierarchical tuner.
+ParamSpec workload_model_hparam_spec(WorkloadKind kind);
+
+}  // namespace edgetune

@@ -1,0 +1,34 @@
+#include "tuning/pareto.hpp"
+
+#include <cmath>
+
+namespace edgetune {
+
+bool dominates(const TrialLog& a, const TrialLog& b) noexcept {
+  const bool no_worse = a.accuracy >= b.accuracy &&
+                        a.duration_s <= b.duration_s &&
+                        a.energy_j <= b.energy_j;
+  const bool strictly_better = a.accuracy > b.accuracy ||
+                               a.duration_s < b.duration_s ||
+                               a.energy_j < b.energy_j;
+  return no_worse && strictly_better;
+}
+
+std::vector<TrialLog> pareto_front(const std::vector<TrialLog>& trials) {
+  std::vector<TrialLog> front;
+  for (const TrialLog& candidate : trials) {
+    if (!std::isfinite(candidate.objective)) continue;
+    bool dominated = false;
+    for (const TrialLog& other : trials) {
+      if (!std::isfinite(other.objective)) continue;
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+}  // namespace edgetune

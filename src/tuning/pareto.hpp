@@ -1,0 +1,21 @@
+// Pareto-front extraction over a tuning run's trial log (§6's
+// "Multi-Objective Tuning": conflicting objectives lead to multiple Pareto
+// optimal solutions). A trial dominates another if it is no worse in all
+// tracked objectives (accuracy up, training time down, training energy
+// down) and strictly better in at least one.
+#pragma once
+
+#include <vector>
+
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+/// True if `a` dominates `b`.
+bool dominates(const TrialLog& a, const TrialLog& b) noexcept;
+
+/// Non-dominated subset of `trials`, in their original order. Trials with
+/// non-finite objectives (terminated/skipped) are excluded.
+std::vector<TrialLog> pareto_front(const std::vector<TrialLog>& trials);
+
+}  // namespace edgetune

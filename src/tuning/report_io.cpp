@@ -1,0 +1,184 @@
+#include "tuning/report_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace edgetune {
+
+namespace {
+
+Json config_to_json(const Config& config) {
+  JsonObject obj;
+  for (const auto& [name, value] : config) obj.emplace(name, value);
+  return Json(std::move(obj));
+}
+
+Config config_from_json(const Json* json) {
+  Config config;
+  if (json == nullptr || !json->is_object()) return config;
+  for (const auto& [name, value] : json->as_object()) {
+    if (value.is_number()) config[name] = value.as_number();
+  }
+  return config;
+}
+
+Json inference_to_json(const InferenceRecommendation& rec) {
+  JsonObject obj;
+  obj.emplace("config", config_to_json(rec.config));
+  obj.emplace("latency_s", rec.latency_s);
+  obj.emplace("throughput_sps", rec.throughput_sps);
+  obj.emplace("energy_per_sample_j", rec.energy_per_sample_j);
+  obj.emplace("peak_memory_bytes", rec.peak_memory_bytes);
+  obj.emplace("from_cache", rec.from_cache);
+  obj.emplace("tuning_time_s", rec.tuning_time_s);
+  obj.emplace("tuning_energy_j", rec.tuning_energy_j);
+  return Json(std::move(obj));
+}
+
+InferenceRecommendation inference_from_json(const Json* json) {
+  InferenceRecommendation rec;
+  if (json == nullptr) return rec;
+  rec.config = config_from_json(json->find("config"));
+  rec.latency_s = json->get_number("latency_s", 0);
+  rec.throughput_sps = json->get_number("throughput_sps", 0);
+  rec.energy_per_sample_j = json->get_number("energy_per_sample_j", 0);
+  rec.peak_memory_bytes = json->get_number("peak_memory_bytes", 0);
+  rec.from_cache = json->get_bool("from_cache", false);
+  rec.tuning_time_s = json->get_number("tuning_time_s", 0);
+  rec.tuning_energy_j = json->get_number("tuning_energy_j", 0);
+  return rec;
+}
+
+}  // namespace
+
+Json report_to_json(const TuningReport& report) {
+  JsonObject root;
+  root.emplace("system", report.system);
+  root.emplace("best_config", config_to_json(report.best_config));
+  root.emplace("best_accuracy", report.best_accuracy);
+  root.emplace("best_objective", report.best_objective);
+  root.emplace("inference", inference_to_json(report.inference));
+  root.emplace("tuning_runtime_s", report.tuning_runtime_s);
+  root.emplace("tuning_energy_j", report.tuning_energy_j);
+  root.emplace("cache_hits", report.cache_hits);
+  root.emplace("cache_misses", report.cache_misses);
+  if (!report.per_device.empty()) {
+    JsonObject per_device;
+    for (const auto& [device, rec] : report.per_device) {
+      per_device.emplace(device, inference_to_json(rec));
+    }
+    root.emplace("per_device", std::move(per_device));
+  }
+
+  JsonArray trials;
+  trials.reserve(report.trials.size());
+  for (const TrialLog& t : report.trials) {
+    JsonObject trial;
+    trial.emplace("id", t.id);
+    trial.emplace("config", config_to_json(t.config));
+    trial.emplace("resource", t.resource);
+    trial.emplace("epochs", t.budget.epochs);
+    trial.emplace("data_fraction", t.budget.data_fraction);
+    trial.emplace("accuracy", t.accuracy);
+    trial.emplace("duration_s", t.duration_s);
+    trial.emplace("energy_j", t.energy_j);
+    trial.emplace("objective", t.objective);
+    trial.emplace("inference_cached", t.inference_cached);
+    trial.emplace("inference_tuning_s", t.inference_tuning_s);
+    trial.emplace("inference_stall_s", t.inference_stall_s);
+    trials.push_back(Json(std::move(trial)));
+  }
+  root.emplace("trials", std::move(trials));
+  return Json(std::move(root));
+}
+
+Result<TuningReport> report_from_json(const Json& json) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("report JSON must be an object");
+  }
+  TuningReport report;
+  report.system = json.get_string("system", "");
+  report.best_config = config_from_json(json.find("best_config"));
+  report.best_accuracy = json.get_number("best_accuracy", 0);
+  report.best_objective = json.get_number(
+      "best_objective", std::numeric_limits<double>::infinity());
+  report.inference = inference_from_json(json.find("inference"));
+  report.tuning_runtime_s = json.get_number("tuning_runtime_s", 0);
+  report.tuning_energy_j = json.get_number("tuning_energy_j", 0);
+  report.cache_hits =
+      static_cast<std::size_t>(json.get_number("cache_hits", 0));
+  report.cache_misses =
+      static_cast<std::size_t>(json.get_number("cache_misses", 0));
+  if (const Json* per_device = json.find("per_device");
+      per_device != nullptr && per_device->is_object()) {
+    for (const auto& [device, rec] : per_device->as_object()) {
+      report.per_device.emplace(device, inference_from_json(&rec));
+    }
+  }
+  if (const Json* trials = json.find("trials");
+      trials != nullptr && trials->is_array()) {
+    for (const Json& t : trials->as_array()) {
+      TrialLog log;
+      log.id = static_cast<int>(t.get_number("id", 0));
+      log.config = config_from_json(t.find("config"));
+      log.resource = t.get_number("resource", 0);
+      log.budget.epochs = static_cast<int>(t.get_number("epochs", 1));
+      log.budget.data_fraction = t.get_number("data_fraction", 1.0);
+      log.accuracy = t.get_number("accuracy", 0);
+      log.duration_s = t.get_number("duration_s", 0);
+      log.energy_j = t.get_number("energy_j", 0);
+      log.objective = t.get_number("objective", 0);
+      log.inference_cached = t.get_bool("inference_cached", false);
+      log.inference_tuning_s = t.get_number("inference_tuning_s", 0);
+      log.inference_stall_s = t.get_number("inference_stall_s", 0);
+      report.trials.push_back(std::move(log));
+    }
+  }
+  return report;
+}
+
+Status save_report(const TuningReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::io("cannot open " + path + " for writing");
+  out << report_to_json(report).dump_pretty() << '\n';
+  return out.good() ? Status::ok() : Status::io("short write to " + path);
+}
+
+Result<TuningReport> load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::not_found("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ET_ASSIGN_OR_RETURN(Json json, Json::parse(buffer.str()));
+  return report_from_json(json);
+}
+
+Status save_trials_csv(const TuningReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::io("cannot open " + path + " for writing");
+  // Column set: union of config keys across trials, sorted (std::map).
+  std::map<std::string, bool> keys;
+  for (const TrialLog& t : report.trials) {
+    for (const auto& [name, value] : t.config) keys.emplace(name, true);
+  }
+  out << "id,resource,epochs,data_fraction,accuracy,duration_s,energy_j,"
+         "objective,inference_cached,inference_tuning_s,inference_stall_s";
+  for (const auto& [name, unused] : keys) out << ',' << name;
+  out << '\n';
+  for (const TrialLog& t : report.trials) {
+    out << t.id << ',' << t.resource << ',' << t.budget.epochs << ','
+        << t.budget.data_fraction << ',' << t.accuracy << ',' << t.duration_s
+        << ',' << t.energy_j << ',' << t.objective << ','
+        << (t.inference_cached ? 1 : 0) << ',' << t.inference_tuning_s << ','
+        << t.inference_stall_s;
+    for (const auto& [name, unused] : keys) {
+      out << ',';
+      auto it = t.config.find(name);
+      if (it != t.config.end()) out << it->second;
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::ok() : Status::io("short write to " + path);
+}
+
+}  // namespace edgetune

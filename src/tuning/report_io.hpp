@@ -1,0 +1,27 @@
+// Machine-readable tuning reports: serialize a TuningReport to JSON (and
+// back) so tuning jobs can be archived, diffed, and post-processed.
+#pragma once
+
+#include "common/json.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+/// Full-fidelity JSON encoding of a report (config maps, trial log,
+/// inference recommendation, totals).
+Json report_to_json(const TuningReport& report);
+
+/// Inverse of report_to_json. Tolerates missing optional fields.
+Result<TuningReport> report_from_json(const Json& json);
+
+/// Writes report JSON (pretty) to `path`.
+Status save_report(const TuningReport& report, const std::string& path);
+
+/// Reads a report back from `path`.
+Result<TuningReport> load_report(const std::string& path);
+
+/// Writes the trial log as CSV (one row per trial, config keys as columns)
+/// for spreadsheet/plotting workflows.
+Status save_trials_csv(const TuningReport& report, const std::string& path);
+
+}  // namespace edgetune

@@ -1,0 +1,120 @@
+#include "tuning/trial_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/trainer.hpp"
+
+namespace edgetune {
+
+TrialRunnerOptions::TrialRunnerOptions()
+    : train_device(device_titan_server()) {}
+
+TrialRunner::TrialRunner(TrialRunnerOptions options)
+    : options_(std::move(options)),
+      dataset_(make_workload_data(options_.workload, options_.proxy_samples,
+                                  options_.seed)),
+      server_model_(options_.train_device),
+      full_scale_train_samples_(workload_info(options_.workload).train_samples),
+      rng_(options_.seed ^ 0xe567u) {
+  Rng split_rng(options_.seed ^ 0x5917u);
+  auto [train, val] =
+      DatasetView::all(*dataset_).split(1.0 - options_.validation_fraction,
+                                        split_rng);
+  train_view_ = std::move(train);
+  val_view_ = std::move(val);
+}
+
+Result<ArchSpec> TrialRunner::arch_for(const Config& config) const {
+  auto it = config.find("model_hparam");
+  if (it == config.end()) {
+    return Status::invalid_argument("config missing model_hparam");
+  }
+  Rng rng(options_.seed);  // weights irrelevant for the spec
+  ET_ASSIGN_OR_RETURN(BuiltModel model,
+                      build_workload_model(options_.workload, it->second, rng));
+  return std::move(model.arch);
+}
+
+Result<TrialOutcome> TrialRunner::run(const Config& config,
+                                      const TrialBudget& budget) {
+  const auto get = [&](const char* key, double fallback) {
+    auto it = config.find(key);
+    return it == config.end() ? fallback : it->second;
+  };
+  const double model_hparam = get("model_hparam", 0);
+  if (config.find("model_hparam") == config.end()) {
+    return Status::invalid_argument("config missing model_hparam");
+  }
+  const auto train_batch = static_cast<std::int64_t>(get("train_batch", 128));
+  const double lr = get("lr", 0.05);
+  const int num_gpus = static_cast<int>(get("num_gpus", 1));
+  if (train_batch < 1) {
+    return Status::invalid_argument("train_batch must be >= 1");
+  }
+
+  // Deterministic per-(config, budget) model initialization.
+  Rng model_rng(options_.seed ^ config_hash(config));
+  ET_ASSIGN_OR_RETURN(
+      BuiltModel model,
+      build_workload_model(options_.workload, model_hparam, model_rng));
+
+  // Duration budgets (§2.2): fit as many whole epochs as the simulated time
+  // cap allows on the training server; at least one epoch always runs.
+  TrialBudget effective_budget = budget;
+  if (budget.time_cap_s > 0) {
+    TrainConfig probe;
+    probe.batch_size = train_batch;
+    probe.num_gpus = num_gpus;
+    const auto cap_samples = static_cast<std::int64_t>(std::max(
+        1.0, budget.data_fraction *
+                 static_cast<double>(full_scale_train_samples_)));
+    ET_ASSIGN_OR_RETURN(
+        CostEstimate probe_cost,
+        server_model_.train_epoch_cost(model.arch, probe, cap_samples));
+    const auto fitting = static_cast<int>(budget.time_cap_s /
+                                          std::max(probe_cost.latency_s, 1e-9));
+    effective_budget.epochs =
+        std::clamp(fitting, 1, budget.epochs);
+  }
+
+  // --- Real proxy training under the trial budget. ---
+  // The full-scale batch is mapped onto a proxy batch: same relative size,
+  // bounded so the proxy dataset still yields several steps per epoch.
+  TrainerOptions trainer_options;
+  trainer_options.batch_size =
+      std::clamp<std::int64_t>(train_batch / 16, 4, 64);
+  trainer_options.epochs = effective_budget.epochs;
+  trainer_options.sgd.learning_rate = lr;
+  trainer_options.sgd.momentum = get("momentum", options_.momentum);
+  trainer_options.sgd.weight_decay = get("weight_decay", 0.0);
+  DatasetView budget_view =
+      train_view_.fraction(effective_budget.data_fraction);
+  Trainer trainer(*model.net, trainer_options, model_rng);
+  // Per-epoch validation is skipped inside the trial (the tuner only needs
+  // the final number); evaluate once afterwards.
+  Result<TrainingHistory> history = trainer.fit(budget_view, DatasetView{});
+  if (!history.ok()) return history.status();
+  const double val_accuracy = Trainer::evaluate(*model.net, val_view_);
+
+  // --- Full-scale cost on the training server (simulated). ---
+  TrainConfig train_config;
+  train_config.batch_size = train_batch;
+  train_config.num_gpus = num_gpus;
+  const auto budget_samples = static_cast<std::int64_t>(std::max(
+      1.0, budget.data_fraction *
+               static_cast<double>(full_scale_train_samples_)));
+  ET_ASSIGN_OR_RETURN(
+      CostEstimate epoch_cost,
+      server_model_.train_epoch_cost(model.arch, train_config,
+                                     budget_samples));
+
+  TrialOutcome outcome;
+  outcome.accuracy = val_accuracy;
+  outcome.train_time_s = epoch_cost.latency_s * effective_budget.epochs;
+  outcome.train_energy_j = epoch_cost.energy_j * effective_budget.epochs;
+  outcome.arch_id = model.arch.id;
+  return outcome;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,65 @@
+// TrialRunner: executes one training trial (§2.1). The proxy network is
+// genuinely trained with SGD on the synthetic dataset under the trial's
+// budget (epochs x data fraction), producing a real validation accuracy;
+// the device cost model simultaneously prices the same work at full scale
+// on the training server, producing the trial's simulated runtime/energy.
+#pragma once
+
+#include <memory>
+
+#include "budget/budget.hpp"
+#include "data/synthetic.hpp"
+#include "device/cost_model.hpp"
+#include "tuning/metrics.hpp"
+
+namespace edgetune {
+
+/// Config keys the trial runner understands.
+///   model_hparam : workload-specific model hyperparameter (§5.1)
+///   train_batch  : full-scale training batch size (32..512 in the paper)
+///   lr           : SGD learning rate (proxy training)
+///   momentum     : SGD momentum (optional; defaults to options.momentum)
+///   weight_decay : decoupled L2 decay (optional; defaults to 0)
+///   num_gpus     : training-system parameter (1..8; 0 => CPU training)
+struct TrialRunnerOptions {
+  WorkloadKind workload = WorkloadKind::kImageClassification;
+  std::int64_t proxy_samples = 1600;  // synthetic dataset size
+  double validation_fraction = 0.2;   // paper: 20% held out
+  std::uint64_t seed = 42;
+  DeviceProfile train_device;         // defaults to the Titan server
+  double momentum = 0.9;
+
+  TrialRunnerOptions();
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialRunnerOptions options);
+
+  /// Runs one trial: builds the model for `config`, trains it under
+  /// `budget`, evaluates validation accuracy, prices full-scale cost.
+  [[nodiscard]] Result<TrialOutcome> run(const Config& config,
+                                         const TrialBudget& budget);
+
+  /// The full-scale ArchSpec the given config induces (what the Inference
+  /// Tuning Server receives). Cheap: no training.
+  [[nodiscard]] Result<ArchSpec> arch_for(const Config& config) const;
+
+  [[nodiscard]] const TrialRunnerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::int64_t full_scale_train_samples() const noexcept {
+    return full_scale_train_samples_;
+  }
+
+ private:
+  TrialRunnerOptions options_;
+  std::unique_ptr<Dataset> dataset_;
+  DatasetView train_view_;
+  DatasetView val_view_;
+  CostModel server_model_;
+  std::int64_t full_scale_train_samples_;
+  Rng rng_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,95 @@
+// Tests for budget policies (§2.2 example, Alg. 2 semantics).
+#include <gtest/gtest.h>
+
+#include "budget/budget.hpp"
+
+namespace edgetune {
+namespace {
+
+TEST(EpochBudgetTest, GrowsLinearlyAndCaps) {
+  EpochBudget policy(1, 10);
+  EXPECT_EQ(policy.at(1).epochs, 1);
+  EXPECT_EQ(policy.at(4).epochs, 4);
+  EXPECT_EQ(policy.at(10).epochs, 10);
+  EXPECT_EQ(policy.at(50).epochs, 10);  // capped
+  EXPECT_DOUBLE_EQ(policy.at(3).data_fraction, 1.0);  // always full data
+}
+
+TEST(EpochBudgetTest, MinEpochsScale) {
+  EpochBudget policy(2, 16);
+  EXPECT_EQ(policy.at(1).epochs, 2);
+  EXPECT_EQ(policy.at(4).epochs, 8);
+  EXPECT_EQ(policy.at(16).epochs, 16);
+}
+
+TEST(EpochBudgetTest, FractionalIterationFloorsAtOne) {
+  EpochBudget policy(1, 10);
+  EXPECT_EQ(policy.at(0.5).epochs, 1);
+}
+
+TEST(DatasetBudgetTest, GrowsFractionOnly) {
+  DatasetBudget policy(0.1);
+  EXPECT_EQ(policy.at(5).epochs, 1);
+  EXPECT_DOUBLE_EQ(policy.at(1).data_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(policy.at(5).data_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(policy.at(10).data_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(policy.at(20).data_fraction, 1.0);  // capped
+}
+
+// The paper's running example (§4.3): min epochs 2, min fraction 10% ->
+// iteration 2 gives 4 epochs on 20%, iteration 3 gives 6 on 30%; epochs cap
+// at 10 from iteration 5 while the fraction keeps growing.
+TEST(MultiBudgetTest, PaperExampleSequence) {
+  MultiBudget policy(2, 10, 0.1);
+  EXPECT_EQ(policy.at(1).epochs, 2);
+  EXPECT_DOUBLE_EQ(policy.at(1).data_fraction, 0.1);
+  EXPECT_EQ(policy.at(2).epochs, 4);
+  EXPECT_DOUBLE_EQ(policy.at(2).data_fraction, 0.2);
+  EXPECT_EQ(policy.at(3).epochs, 6);
+  EXPECT_DOUBLE_EQ(policy.at(3).data_fraction, 0.3);
+  EXPECT_EQ(policy.at(5).epochs, 10);
+  EXPECT_EQ(policy.at(7).epochs, 10);  // epochs saturated...
+  EXPECT_DOUBLE_EQ(policy.at(7).data_fraction, 0.7);  // ...fraction grows on
+  EXPECT_DOUBLE_EQ(policy.at(10).data_fraction, 1.0);
+}
+
+TEST(MultiBudgetTest, CheaperThanEpochBudgetAtLowIterations) {
+  EpochBudget epochs(1, 10);
+  MultiBudget multi(1, 10, 0.1);
+  // Work = epochs x fraction: multi-budget trials are strictly cheaper until
+  // both dimensions saturate.
+  EXPECT_LT(multi.at(1).work_units(), epochs.at(1).work_units());
+  EXPECT_LT(multi.at(5).work_units(), epochs.at(5).work_units());
+  EXPECT_DOUBLE_EQ(multi.at(10).work_units(), epochs.at(10).work_units());
+}
+
+TEST(MultiBudgetTest, MoreThoroughThanDatasetBudget) {
+  DatasetBudget dataset(0.1);
+  MultiBudget multi(1, 10, 0.1);
+  EXPECT_GT(multi.at(5).work_units(), dataset.at(5).work_units());
+}
+
+TEST(TimeBudgetTest, CapGrowsWithIteration) {
+  TimeBudget policy(30.0, 10);
+  EXPECT_DOUBLE_EQ(policy.at(1).time_cap_s, 30.0);
+  EXPECT_DOUBLE_EQ(policy.at(4).time_cap_s, 120.0);
+  EXPECT_EQ(policy.at(4).epochs, 10);  // epoch ceiling; runner fits fewer
+  EXPECT_DOUBLE_EQ(policy.at(0.5).time_cap_s, 30.0);  // floor at minimum
+}
+
+TEST(BudgetFactoryTest, NamesResolve) {
+  for (const char* name : {"epochs", "dataset", "multi-budget", "time"}) {
+    Result<std::unique_ptr<BudgetPolicy>> policy = make_budget_policy(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ(policy.value()->name(), name);
+  }
+  EXPECT_FALSE(make_budget_policy("steps").ok());
+}
+
+TEST(TrialBudgetTest, WorkUnits) {
+  TrialBudget b{4, 0.5};
+  EXPECT_DOUBLE_EQ(b.work_units(), 2.0);
+}
+
+}  // namespace
+}  // namespace edgetune

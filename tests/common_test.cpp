@@ -1,0 +1,335 @@
+// Unit tests for src/common: Status/Result, Rng, Json, strings, tables,
+// SimClock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace edgetune {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::invalid_argument("bad input");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kIo); ++c) {
+    EXPECT_STRNE(status_code_name(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::not_found("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return Status::out_of_range("not positive");
+  return x;
+}
+
+Result<int> doubled_positive(int x) {
+  ET_ASSIGN_OR_RETURN(int v, parse_positive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(doubled_positive(21).value(), 42);
+  EXPECT_EQ(doubled_positive(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+Status check_all_positive(const std::vector<int>& xs) {
+  for (int x : xs) {
+    ET_RETURN_IF_ERROR(parse_positive(x).ok()
+                           ? Status::ok()
+                           : Status::out_of_range("bad"));
+  }
+  return Status::ok();
+}
+
+TEST(ResultTest, ReturnIfErrorShortCircuits) {
+  EXPECT_TRUE(check_all_positive({1, 2, 3}).is_ok());
+  EXPECT_FALSE(check_all_positive({1, -2, 3}).is_ok());
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 7.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  const int n = 40000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(8);
+  const int n = 40000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(11);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(RngTest, StableHashIsStable) {
+  EXPECT_EQ(stable_hash64(std::string("edgetune")),
+            stable_hash64(std::string("edgetune")));
+  EXPECT_NE(stable_hash64(std::string("a")), stable_hash64(std::string("b")));
+}
+
+// --- Json ---------------------------------------------------------------------
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-1.5).dump(), "-1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectRoundTrip) {
+  JsonObject obj;
+  obj.emplace("name", "edgetune");
+  obj.emplace("trials", 32);
+  obj.emplace("nested", JsonArray{Json(1), Json(2.5), Json(false)});
+  const std::string text = Json(obj).dump();
+  Result<Json> parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().get_string("name", ""), "edgetune");
+  EXPECT_EQ(parsed.value().get_number("trials", 0), 32);
+  EXPECT_EQ(parsed.value().find("nested")->as_array().size(), 3u);
+}
+
+TEST(JsonTest, StringEscapes) {
+  const Json j(std::string("line1\nline\\2 \"quoted\"\t"));
+  Result<Json> parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "line1\nline\\2 \"quoted\"\t");
+}
+
+TEST(JsonTest, UnicodeEscapeParses) {
+  Result<Json> parsed = Json::parse("\"a\\u0041b\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "aAb");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("tru").ok());
+  EXPECT_FALSE(Json::parse("{\"a\":1} extra").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("{1: 2}").ok());
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  Result<Json> parsed = Json::parse("  { \"a\" : [ 1 , 2 ] }\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().find("a")->as_array()[1].as_int(), 2);
+}
+
+TEST(JsonTest, PrettyPrintReparses) {
+  JsonObject obj;
+  obj.emplace("xs", JsonArray{Json(1), Json(2)});
+  obj.emplace("flag", true);
+  Result<Json> parsed = Json::parse(Json(obj).dump_pretty());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().get_bool("flag", false));
+}
+
+TEST(JsonTest, NanSerializesAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(JsonTest, FallbackGetters) {
+  Result<Json> parsed = Json::parse("{\"x\": 1}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().get_number("missing", -1.0), -1.0);
+  EXPECT_EQ(parsed.value().get_string("x", "fallback"), "fallback");
+}
+
+// --- Strings ------------------------------------------------------------------
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("edgetune", "edge"));
+  EXPECT_FALSE(starts_with("edge", "edgetune"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(StringsTest, HumanCount) {
+  EXPECT_EQ(human_count(1500), "1.50 K");
+  EXPECT_EQ(human_count(2.5e9), "2.50 G");
+  EXPECT_EQ(human_count(12), "12.00");
+}
+
+// --- TextTable / BoxStats -----------------------------------------------------
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "10000"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 10000 |"), std::string::npos);
+}
+
+TEST(TableTest, HandlesShortRows) {
+  TextTable table({"a", "b"});
+  table.add_row({"only"});
+  EXPECT_NE(table.render().find("only"), std::string::npos);
+}
+
+TEST(BoxStatsTest, QuartilesOfKnownData) {
+  BoxStats stats = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(stats.min, 1);
+  EXPECT_DOUBLE_EQ(stats.median, 3);
+  EXPECT_DOUBLE_EQ(stats.max, 5);
+  EXPECT_DOUBLE_EQ(stats.mean, 3);
+  EXPECT_DOUBLE_EQ(stats.q1, 2);
+  EXPECT_DOUBLE_EQ(stats.q3, 4);
+}
+
+TEST(BoxStatsTest, EmptyInputIsZero) {
+  BoxStats stats = box_stats({});
+  EXPECT_EQ(stats.median, 0);
+}
+
+// --- SimClock -----------------------------------------------------------------
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBack) {
+  SimClock clock;
+  clock.advance_to(5.0);
+  clock.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace edgetune

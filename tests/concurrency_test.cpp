@@ -1,0 +1,151 @@
+// Tests for Channel and ThreadPool — the async substrate of the Inference
+// Tuning Server (Fig 6).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/channel.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgetune {
+namespace {
+
+TEST(ChannelTest, SendReceiveInOrder) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.send(1));
+  EXPECT_TRUE(ch.send(2));
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_EQ(ch.receive().value(), 2);
+}
+
+TEST(ChannelTest, TryReceiveEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(ChannelTest, TrySendRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  ch.receive();
+  EXPECT_TRUE(ch.try_send(3));
+}
+
+TEST(ChannelTest, CloseDrainsThenSignals) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_FALSE(ch.send(8));
+  EXPECT_EQ(ch.receive().value(), 7);
+  EXPECT_FALSE(ch.receive().has_value());
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(ChannelTest, BlockingReceiveWakesOnSend) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(99);
+  });
+  EXPECT_EQ(ch.receive().value(), 99);
+  producer.join();
+}
+
+TEST(ChannelTest, BlockingSendWakesOnReceive) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> sent{false};
+  std::thread producer([&] {
+    ch.send(2);  // blocks until the slot frees
+    sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(sent.load());
+  EXPECT_EQ(ch.receive().value(), 1);
+  producer.join();
+  EXPECT_TRUE(sent.load());
+  EXPECT_EQ(ch.receive().value(), 2);
+}
+
+TEST(ChannelTest, MpmcStress) {
+  Channel<int> ch(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 3;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ch] {
+      for (int i = 1; i <= kPerProducer; ++i) ch.send(i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = ch.receive()) sum += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+  const long expected =
+      kProducers * (kPerProducer * (kPerProducer + 1) / 2);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = ++running;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --running;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, MinimumOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,172 @@
+// Tests for datasets: generators, views, splits, fractions, batch iteration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace edgetune {
+namespace {
+
+TEST(DatasetTest, MakeBatchStacksSamples) {
+  Dataset ds({2}, 3);
+  ds.add(Tensor({2}, {1.0f, 2.0f}), 0);
+  ds.add(Tensor({2}, {3.0f, 4.0f}), 1);
+  ds.add(Tensor({2}, {5.0f, 6.0f}), 2);
+  Batch batch = ds.make_batch({2, 0});
+  ASSERT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.inputs.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.inputs[0], 5.0f);
+  EXPECT_FLOAT_EQ(batch.inputs[2], 1.0f);
+  EXPECT_EQ(batch.labels, (std::vector<std::int64_t>{2, 0}));
+}
+
+TEST(DatasetViewTest, FractionTakesPrefix) {
+  Dataset ds({1}, 2);
+  for (int i = 0; i < 10; ++i) ds.add(Tensor({1}, {float(i)}), i % 2);
+  DatasetView view = DatasetView::all(ds);
+  EXPECT_EQ(view.fraction(0.3).size(), 3);
+  EXPECT_EQ(view.fraction(1.0).size(), 10);
+  EXPECT_EQ(view.fraction(0.0).size(), 1);  // never empty
+  EXPECT_EQ(view.fraction(2.0).size(), 10);  // clamped
+}
+
+TEST(DatasetViewTest, SplitIsDisjointAndComplete) {
+  Dataset ds({1}, 2);
+  for (int i = 0; i < 100; ++i) ds.add(Tensor({1}, {float(i)}), 0);
+  Rng rng(1);
+  auto [a, b] = DatasetView::all(ds).split(0.8, rng);
+  EXPECT_EQ(a.size(), 80);
+  EXPECT_EQ(b.size(), 20);
+  std::set<float> seen;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    seen.insert(a.batch(i, 1).inputs[0]);
+  }
+  for (std::int64_t i = 0; i < b.size(); ++i) {
+    const float v = b.batch(i, 1).inputs[0];
+    EXPECT_EQ(seen.count(v), 0u) << "overlap at " << v;
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(DatasetViewTest, BatchClampsAtEnd) {
+  Dataset ds({1}, 2);
+  for (int i = 0; i < 5; ++i) ds.add(Tensor({1}, {float(i)}), 0);
+  DatasetView view = DatasetView::all(ds);
+  EXPECT_EQ(view.batch(3, 10).size(), 2);
+  EXPECT_EQ(view.batch(5, 10).size(), 0);
+}
+
+TEST(BatchIteratorTest, CoversEverySampleOncePerEpoch) {
+  Dataset ds({1}, 2);
+  for (int i = 0; i < 23; ++i) ds.add(Tensor({1}, {float(i)}), 0);
+  Rng rng(2);
+  BatchIterator iter(DatasetView::all(ds), 5, rng);
+  iter.begin_epoch();
+  std::multiset<float> seen;
+  std::int64_t total = 0;
+  for (Batch b = iter.next(); b.size() > 0; b = iter.next()) {
+    for (std::int64_t i = 0; i < b.size(); ++i) seen.insert(b.inputs[i]);
+    total += b.size();
+  }
+  EXPECT_EQ(total, 23);
+  EXPECT_EQ(seen.size(), 23u);
+  for (int i = 0; i < 23; ++i) EXPECT_EQ(seen.count(float(i)), 1u);
+}
+
+TEST(BatchIteratorTest, ReshufflesBetweenEpochs) {
+  Dataset ds({1}, 2);
+  for (int i = 0; i < 50; ++i) ds.add(Tensor({1}, {float(i)}), 0);
+  Rng rng(3);
+  BatchIterator iter(DatasetView::all(ds), 50, rng);
+  iter.begin_epoch();
+  Batch first = iter.next();
+  iter.begin_epoch();
+  Batch second = iter.next();
+  int same = 0;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    if (first.inputs[i] == second.inputs[i]) ++same;
+  }
+  EXPECT_LT(same, 25);
+}
+
+class SyntheticGeneratorTest
+    : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(SyntheticGeneratorTest, SizesShapesAndLabels) {
+  const WorkloadKind kind = GetParam();
+  auto ds = make_workload_data(kind, 200, 7);
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->size(), 200);
+  EXPECT_EQ(ds->num_classes(), workload_num_classes(kind));
+  for (std::int64_t i = 0; i < ds->size(); ++i) {
+    EXPECT_GE(ds->label(i), 0);
+    EXPECT_LT(ds->label(i), ds->num_classes());
+    EXPECT_EQ(ds->sample(i).shape(), ds->sample_shape());
+  }
+}
+
+TEST_P(SyntheticGeneratorTest, DeterministicForSeed) {
+  const WorkloadKind kind = GetParam();
+  auto a = make_workload_data(kind, 50, 11);
+  auto b = make_workload_data(kind, 50, 11);
+  for (std::int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->label(i), b->label(i));
+    ASSERT_EQ(a->sample(i).numel(), b->sample(i).numel());
+    for (std::int64_t j = 0; j < a->sample(i).numel(); ++j) {
+      EXPECT_EQ(a->sample(i)[j], b->sample(i)[j]);
+    }
+  }
+}
+
+TEST_P(SyntheticGeneratorTest, DifferentSeedsDiffer) {
+  const WorkloadKind kind = GetParam();
+  auto a = make_workload_data(kind, 50, 1);
+  auto b = make_workload_data(kind, 50, 2);
+  int identical = 0;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    if (a->sample(i)[0] == b->sample(i)[0]) ++identical;
+  }
+  EXPECT_LT(identical, 25);
+}
+
+TEST_P(SyntheticGeneratorTest, AllClassesRepresented) {
+  const WorkloadKind kind = GetParam();
+  auto ds = make_workload_data(kind, 500, 3);
+  std::set<std::int64_t> classes;
+  for (std::int64_t i = 0; i < ds->size(); ++i) classes.insert(ds->label(i));
+  EXPECT_EQ(static_cast<std::int64_t>(classes.size()), ds->num_classes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SyntheticGeneratorTest,
+    ::testing::Values(WorkloadKind::kImageClassification,
+                      WorkloadKind::kSpeech, WorkloadKind::kNlp,
+                      WorkloadKind::kDetection),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return workload_kind_name(info.param);
+    });
+
+TEST(SyntheticTextTest, TokensWithinProxyVocab) {
+  auto ds = make_workload_data(WorkloadKind::kNlp, 100, 5);
+  for (std::int64_t i = 0; i < ds->size(); ++i) {
+    const Tensor& s = ds->sample(i);
+    for (std::int64_t j = 0; j < s.numel(); ++j) {
+      EXPECT_GE(s[j], 0.0f);
+      EXPECT_LT(s[j], 200.0f);
+    }
+  }
+}
+
+TEST(WorkloadInfoTest, Table1Rows) {
+  const auto& ic = workload_info(WorkloadKind::kImageClassification);
+  EXPECT_STREQ(ic.id, "IC");
+  EXPECT_STREQ(ic.paper_dataset, "CIFAR10");
+  EXPECT_EQ(ic.train_samples, 50000);
+  const auto& od = workload_info(WorkloadKind::kDetection);
+  EXPECT_EQ(od.test_samples, 41000);
+}
+
+}  // namespace
+}  // namespace edgetune

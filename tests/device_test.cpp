@@ -1,0 +1,345 @@
+// Tests for the edge-device emulator: profiles, roofline cost model
+// behaviours the paper's motivating figures rely on, power meter, perf
+// counters, and the ground-truth perturbation.
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hpp"
+#include "device/perf_counters.hpp"
+#include "device/power_meter.hpp"
+#include "models/models.hpp"
+
+namespace edgetune {
+namespace {
+
+ArchSpec resnet18_arch() {
+  Rng rng(1);
+  return build_resnet({.depth = 18}, rng).value().arch;
+}
+
+TEST(ProfileTest, BuiltinsResolveByName) {
+  for (const char* name : {"armv7", "rpi3b", "i7", "titan"}) {
+    Result<DeviceProfile> p = device_by_name(name);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_EQ(p.value().name, name);
+    EXPECT_GT(p.value().max_cores, 0);
+    EXPECT_FALSE(p.value().freq_levels_ghz.empty());
+  }
+  EXPECT_FALSE(device_by_name("tpu").ok());
+}
+
+TEST(ProfileTest, EdgeDevicesHaveNoGpu) {
+  for (const DeviceProfile& p : all_edge_devices()) {
+    EXPECT_FALSE(p.has_gpu()) << p.name;
+  }
+  EXPECT_TRUE(device_titan_server().has_gpu());
+}
+
+TEST(CostModelTest, RejectsInvalidInferenceConfigs) {
+  CostModel model(device_rpi3b());
+  ArchSpec arch = resnet18_arch();
+  EXPECT_FALSE(model.inference_cost(arch, {.batch_size = 0}).ok());
+  EXPECT_FALSE(
+      model.inference_cost(arch, {.batch_size = 1, .cores = 9}).ok());
+  EXPECT_FALSE(model
+                   .inference_cost(
+                       arch, {.batch_size = 1, .cores = 1, .freq_ghz = 1.11})
+                   .ok());
+}
+
+TEST(CostModelTest, BaseFrequencyIsDefault) {
+  CostModel model(device_rpi3b());
+  ArchSpec arch = resnet18_arch();
+  CostEstimate a =
+      model.inference_cost(arch, {.batch_size = 1, .cores = 1}).value();
+  CostEstimate b =
+      model
+          .inference_cost(arch, {.batch_size = 1, .cores = 1, .freq_ghz = 1.4})
+          .value();
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+}
+
+TEST(CostModelTest, LowerFrequencyIsSlower) {
+  CostModel model(device_i7_7567u());
+  ArchSpec arch = resnet18_arch();
+  CostEstimate slow =
+      model
+          .inference_cost(arch,
+                          {.batch_size = 16, .cores = 4, .freq_ghz = 1.2})
+          .value();
+  CostEstimate fast =
+      model
+          .inference_cost(arch,
+                          {.batch_size = 16, .cores = 4, .freq_ghz = 3.5})
+          .value();
+  EXPECT_GT(slow.latency_s, fast.latency_s);
+}
+
+// Fig 3b: throughput rises with batch (weight amortization), then saturates
+// and decays once the working set spills the cache.
+TEST(CostModelTest, BatchThroughputRisesThenFalls) {
+  CostModel model(device_armv7());  // 4 GB: batch 100 fits
+  ArchSpec arch = resnet18_arch();
+  const double t1 =
+      model.inference_cost(arch, {.batch_size = 1, .cores = 4})
+          .value()
+          .throughput_sps;
+  const double t10 =
+      model.inference_cost(arch, {.batch_size = 10, .cores = 4})
+          .value()
+          .throughput_sps;
+  const double t100 =
+      model.inference_cost(arch, {.batch_size = 100, .cores = 4})
+          .value()
+          .throughput_sps;
+  EXPECT_GT(t10, t1);    // multi-sample helps...
+  EXPECT_LT(t100, t10);  // ...until saturation/decay (paper §2.3.3)
+}
+
+// Fig 5a: single-image inference gains nothing from more cores but burns
+// more energy.
+TEST(CostModelTest, SingleImageCoresWasteEnergy) {
+  CostModel model(device_i7_7567u());
+  ArchSpec arch = resnet18_arch();
+  CostEstimate c1 =
+      model.inference_cost(arch, {.batch_size = 1, .cores = 1}).value();
+  CostEstimate c4 =
+      model.inference_cost(arch, {.batch_size = 1, .cores = 4}).value();
+  EXPECT_LT(c4.throughput_sps / c1.throughput_sps, 2.0);  // far from 4x
+  EXPECT_GT(c4.energy_per_sample_j(1), c1.energy_per_sample_j(1) * 0.9);
+}
+
+// Fig 5b: multi-image inference scales sublinearly with cores.
+TEST(CostModelTest, CoreScalingIsSublinear) {
+  CostModel model(device_rpi3b());
+  ArchSpec arch = resnet18_arch();
+  const double t1 = model.inference_cost(arch, {.batch_size = 10, .cores = 1})
+                        .value()
+                        .throughput_sps;
+  const double t4 = model.inference_cost(arch, {.batch_size = 10, .cores = 4})
+                        .value()
+                        .throughput_sps;
+  EXPECT_GT(t4, t1);
+  EXPECT_LT(t4, 4.0 * t1);
+}
+
+TEST(CostModelTest, TrainStepRejectsBadGpuCount) {
+  CostModel model(device_titan_server());
+  ArchSpec arch = resnet18_arch();
+  EXPECT_FALSE(
+      model.train_step_cost(arch, {.batch_size = 64, .num_gpus = 9}).ok());
+  CostModel edge(device_rpi3b());
+  EXPECT_FALSE(
+      edge.train_step_cost(arch, {.batch_size = 64, .num_gpus = 1}).ok());
+}
+
+// Fig 4a: small batches get no faster (or slower) with more GPUs.
+TEST(CostModelTest, SmallBatchMultiGpuDoesNotHelp) {
+  CostModel model(device_titan_server());
+  ArchSpec arch = resnet18_arch();
+  const double t1 =
+      model.train_step_cost(arch, {.batch_size = 32, .num_gpus = 1})
+          .value()
+          .latency_s;
+  const double t8 =
+      model.train_step_cost(arch, {.batch_size = 32, .num_gpus = 8})
+          .value()
+          .latency_s;
+  EXPECT_GE(t8, t1 * 0.95);  // no speedup; typically a slowdown
+}
+
+// Fig 4b: large batches speed up sublinearly while energy increases.
+TEST(CostModelTest, LargeBatchMultiGpuSublinearAndCostsEnergy) {
+  CostModel model(device_titan_server());
+  ArchSpec arch = resnet18_arch();
+  CostEstimate g1 =
+      model.train_step_cost(arch, {.batch_size = 1024, .num_gpus = 1})
+          .value();
+  CostEstimate g8 =
+      model.train_step_cost(arch, {.batch_size = 1024, .num_gpus = 8})
+          .value();
+  EXPECT_LT(g8.latency_s, g1.latency_s);                 // faster...
+  EXPECT_GT(g8.latency_s, g1.latency_s / 8.0);           // ...sublinearly
+  EXPECT_GT(g8.energy_j, g1.energy_j * 0.9);             // energy not saved
+}
+
+TEST(CostModelTest, CpuTrainingWorksOnServer) {
+  CostModel model(device_titan_server());
+  ArchSpec arch = resnet18_arch();
+  Result<CostEstimate> est =
+      model.train_step_cost(arch, {.batch_size = 64, .num_gpus = 0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est.value().latency_s, 0);
+}
+
+TEST(CostModelTest, EpochCostScalesWithDatasetSize) {
+  CostModel model(device_titan_server());
+  ArchSpec arch = resnet18_arch();
+  TrainConfig config{.batch_size = 128, .num_gpus = 1};
+  const double half =
+      model.train_epoch_cost(arch, config, 25000).value().latency_s;
+  const double full =
+      model.train_epoch_cost(arch, config, 50000).value().latency_s;
+  EXPECT_NEAR(full / half, 2.0, 0.05);
+  EXPECT_FALSE(model.train_epoch_cost(arch, config, 0).ok());
+}
+
+TEST(CostModelTest, BiggerModelCostsMore) {
+  CostModel model(device_rpi3b());
+  Rng rng(2);
+  ArchSpec small = build_resnet({.depth = 18}, rng).value().arch;
+  ArchSpec big = build_resnet({.depth = 50}, rng).value().arch;
+  InferenceConfig config{.batch_size = 8, .cores = 4};
+  EXPECT_GT(model.inference_cost(big, config).value().latency_s,
+            model.inference_cost(small, config).value().latency_s);
+}
+
+TEST(CostModelTest, EstimatesArePositiveAndConsistent) {
+  CostModel model(device_armv7());
+  ArchSpec arch = resnet18_arch();
+  CostEstimate est =
+      model.inference_cost(arch, {.batch_size = 4, .cores = 2}).value();
+  EXPECT_GT(est.latency_s, 0);
+  EXPECT_GT(est.power_w, 0);
+  EXPECT_NEAR(est.energy_j, est.power_w * est.latency_s, 1e-9);
+  EXPECT_NEAR(est.throughput_sps, 4.0 / est.latency_s, 1e-6);
+  EXPECT_NEAR(est.energy_per_sample_j(4), est.energy_j / 4.0, 1e-12);
+}
+
+TEST(CostModelTest, RamFeasibilityEnforced) {
+  // A 1 GB Raspberry Pi cannot hold ResNet18 activations for batch 100.
+  CostModel rpi(device_rpi3b());
+  ArchSpec arch = resnet18_arch();
+  Result<CostEstimate> too_big =
+      rpi.inference_cost(arch, {.batch_size = 100, .cores = 4});
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kFailedPrecondition);
+  // The same configuration fits a 4 GB board.
+  CostModel arm(device_armv7());
+  EXPECT_TRUE(arm.inference_cost(arch, {.batch_size = 100, .cores = 4}).ok());
+}
+
+TEST(CostModelTest, PeakMemoryTracksWeightsAndBatch) {
+  CostModel model(device_armv7());
+  ArchSpec arch = resnet18_arch();
+  const double m1 = model.inference_cost(arch, {.batch_size = 1, .cores = 1})
+                        .value()
+                        .peak_memory_bytes;
+  const double m8 = model.inference_cost(arch, {.batch_size = 8, .cores = 1})
+                        .value()
+                        .peak_memory_bytes;
+  EXPECT_GE(m1, arch.param_bytes());   // at least the weights
+  EXPECT_GT(m8, m1);                   // activations scale with batch
+  // Training holds weights + grads + optimizer state + stored activations.
+  CostModel server(device_titan_server());
+  const double train_mem =
+      server.train_step_cost(arch, {.batch_size = 8, .num_gpus = 1})
+          .value()
+          .peak_memory_bytes;
+  EXPECT_GT(train_mem, m8);
+}
+
+TEST(ProfileInferenceTest, LayerLatenciesSumToTotal) {
+  CostModel model(device_armv7());
+  ArchSpec arch = resnet18_arch();
+  InferenceConfig config{.batch_size = 4, .cores = 2};
+  auto layers = model.profile_inference(arch, config).value();
+  const double total = model.inference_cost(arch, config).value().latency_s;
+  double sum = 0;
+  for (const auto& layer : layers) {
+    EXPECT_GE(layer.latency_s, 0);
+    sum += layer.latency_s;
+  }
+  EXPECT_EQ(layers.size(), arch.layers.size());
+  EXPECT_NEAR(sum, total, 1e-9 + 1e-6 * total);
+}
+
+TEST(ProfileInferenceTest, ConvLayersDominateResNet) {
+  CostModel model(device_i7_7567u());
+  ArchSpec arch = resnet18_arch();
+  auto layers =
+      model.profile_inference(arch, {.batch_size = 8, .cores = 4}).value();
+  double conv_like = 0, total = 0;
+  for (const auto& layer : layers) {
+    total += layer.latency_s;
+    if (layer.kind == "resblock" || layer.kind == "conv2d" ||
+        layer.kind == "bottleneck") {
+      conv_like += layer.latency_s;
+    }
+  }
+  EXPECT_GT(conv_like, 0.8 * total);
+}
+
+TEST(ProfileInferenceTest, InvalidConfigPropagates) {
+  CostModel model(device_rpi3b());
+  ArchSpec arch = resnet18_arch();
+  EXPECT_FALSE(model.profile_inference(arch, {.batch_size = 0}).ok());
+}
+
+TEST(PerturbTest, DeterministicAndBounded) {
+  DeviceProfile base = device_rpi3b();
+  DeviceProfile a = perturb_profile(base, 42, 0.1);
+  DeviceProfile b = perturb_profile(base, 42, 0.1);
+  EXPECT_DOUBLE_EQ(a.mem_bandwidth_gbs, b.mem_bandwidth_gbs);
+  DeviceProfile c = perturb_profile(base, 43, 0.1);
+  EXPECT_NE(a.mem_bandwidth_gbs, c.mem_bandwidth_gbs);
+  // Small sigma keeps values near nominal.
+  EXPECT_NEAR(a.mem_bandwidth_gbs / base.mem_bandwidth_gbs, 1.0, 0.5);
+}
+
+TEST(PowerMeterTest, AccumulatesByLabel) {
+  PowerMeter meter;
+  SimClock clock;
+  meter.record(clock, "train", 2.0, 10.0);
+  meter.record(clock, "inference", 1.0, 5.0);
+  meter.record(clock, "train", 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+  EXPECT_DOUBLE_EQ(meter.energy_j("train"), 30.0);
+  EXPECT_DOUBLE_EQ(meter.energy_j("inference"), 5.0);
+  EXPECT_DOUBLE_EQ(meter.total_energy_j(), 35.0);
+  EXPECT_DOUBLE_EQ(meter.energy_j("absent"), 0.0);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.total_energy_j(), 0.0);
+}
+
+TEST(PerfCounterTest, EmitsAllPaperEvents) {
+  ArchSpec arch = resnet18_arch();
+  auto counters = collect_perf_counters(arch, device_armv7(),
+                                        ExecutionPhase::kInference, 1);
+  for (const std::string& event : perf_counter_events()) {
+    ASSERT_TRUE(counters.count(event)) << event;
+    EXPECT_GT(counters.at(event), 0) << event;
+  }
+  EXPECT_EQ(perf_counter_events().size(), 22u);
+}
+
+// The paper's Fig 1 observation: CPU-bound events consistent across phases,
+// memory-bound events inflated during the training forward phase.
+TEST(PerfCounterTest, MemoryEventsDivergeCpuEventsDoNot) {
+  ArchSpec arch = resnet18_arch();
+  const DeviceProfile device = device_armv7();
+  auto train = collect_perf_counters(arch, device,
+                                     ExecutionPhase::kTrainForward, 32);
+  auto inf =
+      collect_perf_counters(arch, device, ExecutionPhase::kInference, 32);
+
+  auto ratio = [&](const std::string& event) {
+    return train.at(event) / inf.at(event);
+  };
+  // CPU-bound: close to 1 in *rate* terms.
+  EXPECT_NEAR(ratio("cpu.cycles"), 1.0, 0.2);
+  EXPECT_NEAR(ratio("context.switches"), 1.0, 0.2);
+  // Memory-bound: clearly higher during training.
+  EXPECT_GT(ratio("cache.misses"), 1.5);
+  EXPECT_GT(ratio("LLC.load.misses"), 1.5);
+}
+
+TEST(PerfCounterTest, RateBins) {
+  EXPECT_EQ(perf_rate_bin(5e8), ">1e8");
+  EXPECT_EQ(perf_rate_bin(5e7), "1e8-1e6");
+  EXPECT_EQ(perf_rate_bin(5e5), "1e6-1e4");
+  EXPECT_EQ(perf_rate_bin(5e3), "1e4-1e2");
+  EXPECT_EQ(perf_rate_bin(50), "<1e2");
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,188 @@
+// Edge cases across modules: degenerate shapes, boundary configurations,
+// overwrite semantics — the corners regular tests skip.
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "data/synthetic.hpp"
+#include "device/cost_model.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/loss.hpp"
+#include "search/algorithms.hpp"
+#include "tuning/historical_cache.hpp"
+
+namespace edgetune {
+namespace {
+
+// --- NN degenerate shapes -------------------------------------------------------
+
+TEST(EdgeCaseTest, Conv2d1x1KernelIsChannelMix) {
+  Rng rng(1);
+  Conv2D conv(3, 5, /*kernel=*/1, /*stride=*/1, /*padding=*/0, rng, false);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor out = conv.forward(x, false);
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 4, 4}));
+}
+
+TEST(EdgeCaseTest, LinearBatchOne) {
+  Rng rng(2);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::randn({1, 4}, rng);
+  Tensor out = layer.forward(x, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 3}));
+  Tensor grad = layer.backward(Tensor::ones({1, 3}));
+  EXPECT_EQ(grad.shape(), x.shape());
+}
+
+TEST(EdgeCaseTest, SingleClassBatchLoss) {
+  Tensor logits({1, 2}, std::vector<float>{0.0f, 0.0f});
+  LossResult result = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(result.loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(result.grad[0], 0.5, 1e-6);
+  EXPECT_NEAR(result.grad[1], -0.5, 1e-6);
+}
+
+TEST(EdgeCaseTest, ConvStrideLargerThanKernel) {
+  Rng rng(3);
+  Conv2D conv(1, 2, /*kernel=*/2, /*stride=*/3, /*padding=*/0, rng, true);
+  Tensor x = Tensor::randn({1, 1, 8, 8}, rng);
+  Tensor out = conv.forward(x, false);
+  EXPECT_EQ(out.dim(2), 3);  // (8-2)/3+1
+  EXPECT_EQ(conv.describe(x.shape()).output_shape, out.shape());
+}
+
+// --- Search corners -------------------------------------------------------------
+
+TEST(EdgeCaseTest, SingleParameterSpace) {
+  SearchSpace space;
+  space.add(ParamSpec::categorical("only", {1, 2}));
+  GridSearch grid(space, 1, 4);
+  Rng rng(4);
+  SearchResult result = grid.optimize(
+      [](const Config& c, double) { return c.at("only"); }, rng);
+  EXPECT_EQ(result.trials.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.best_config.at("only"), 1);
+}
+
+TEST(EdgeCaseTest, TpeOnCategoricalOnlySpace) {
+  SearchSpace space;
+  space.add(ParamSpec::categorical("c", {10, 20, 30}));
+  TpeSearch search(space, 1, 30, {.min_observations = 5});
+  Rng rng(5);
+  // 20 is the optimum.
+  SearchResult result = search.optimize(
+      [](const Config& c, double) {
+        return std::abs(c.at("c") - 20.0);
+      },
+      rng);
+  EXPECT_DOUBLE_EQ(result.best_config.at("c"), 20);
+}
+
+TEST(EdgeCaseTest, LogIntegerGridDeduplicates) {
+  // A log-scale int grid over a tiny range collapses duplicate rounded
+  // points instead of emitting them twice.
+  ParamSpec spec = ParamSpec::integer("n", 1, 4, /*log_scale=*/true);
+  auto grid = spec.grid(8);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(EdgeCaseTest, HyperBandWithEqualMinMaxResource) {
+  SearchSpace space;
+  space.add(ParamSpec::real("x", 0, 1));
+  HyperBandOptions options{4, 4, 2, 0};  // single rung
+  auto hb = make_hyperband(space, options);
+  Rng rng(6);
+  SearchResult result = hb->optimize(
+      [](const Config& c, double r) {
+        EXPECT_DOUBLE_EQ(r, 4);  // only the max resource is ever used
+        return c.at("x");
+      },
+      rng);
+  EXPECT_FALSE(result.trials.empty());
+}
+
+// --- Device corners --------------------------------------------------------------
+
+TEST(EdgeCaseTest, EveryFrequencyLevelOfEveryDeviceWorks) {
+  Rng rng(7);
+  ArchSpec arch = build_text_rnn({.stride = 4}, rng).value().arch;
+  for (const DeviceProfile& device : all_edge_devices()) {
+    CostModel model(device);
+    for (double freq : device.freq_levels_ghz) {
+      Result<CostEstimate> est = model.inference_cost(
+          arch, {.batch_size = 2, .cores = 1, .freq_ghz = freq});
+      ASSERT_TRUE(est.ok()) << device.name << " @ " << freq;
+      EXPECT_GT(est.value().latency_s, 0);
+    }
+  }
+}
+
+TEST(EdgeCaseTest, TinyArchOnBigServer) {
+  // A nearly-empty architecture must not divide by zero anywhere.
+  ArchSpec arch;
+  arch.id = "tiny";
+  arch.sample_shape = {2};
+  arch.add(info_linear({1, 2}, 2));
+  CostModel model(device_titan_server());
+  Result<CostEstimate> inf =
+      model.inference_cost(arch, {.batch_size = 1, .cores = 1});
+  ASSERT_TRUE(inf.ok());
+  EXPECT_GT(inf.value().latency_s, 0);
+  Result<CostEstimate> train =
+      model.train_step_cost(arch, {.batch_size = 1, .num_gpus = 1});
+  ASSERT_TRUE(train.ok());
+  EXPECT_TRUE(std::isfinite(train.value().energy_j));
+}
+
+// --- Cache overwrite --------------------------------------------------------------
+
+TEST(EdgeCaseTest, CacheStoreOverwrites) {
+  HistoricalCache cache;
+  InferenceRecommendation first;
+  first.throughput_sps = 1;
+  cache.store("a", "d", MetricOfInterest::kEnergy, first);
+  InferenceRecommendation second;
+  second.throughput_sps = 2;
+  cache.store("a", "d", MetricOfInterest::kEnergy, second);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      cache.lookup("a", "d", MetricOfInterest::kEnergy)->throughput_sps, 2);
+}
+
+// --- Data corners -----------------------------------------------------------------
+
+TEST(EdgeCaseTest, FractionOfFractionComposes) {
+  auto ds = make_workload_data(WorkloadKind::kNlp, 100, 1);
+  DatasetView view = DatasetView::all(*ds);
+  DatasetView half = view.fraction(0.5);
+  DatasetView quarter = half.fraction(0.5);
+  EXPECT_EQ(half.size(), 50);
+  EXPECT_EQ(quarter.size(), 25);
+  // The quarter is a prefix of the half.
+  EXPECT_FLOAT_EQ(quarter.batch(0, 1).inputs[0], half.batch(0, 1).inputs[0]);
+}
+
+TEST(EdgeCaseTest, SingleSampleDataset) {
+  SyntheticConfig config;
+  config.num_samples = 1;
+  config.num_classes = 2;
+  auto ds = make_synth_audio(config);
+  EXPECT_EQ(ds->size(), 1);
+  Batch batch = DatasetView::all(*ds).batch(0, 8);
+  EXPECT_EQ(batch.size(), 1);
+}
+
+// --- Strings / misc ----------------------------------------------------------------
+
+TEST(EdgeCaseTest, HumanCountNegative) {
+  EXPECT_EQ(human_count(-2500), "-2.50 K");
+}
+
+TEST(EdgeCaseTest, ConfigToStringEmpty) {
+  EXPECT_EQ(config_to_string({}), "{}");
+}
+
+}  // namespace
+}  // namespace edgetune

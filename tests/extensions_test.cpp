@@ -1,0 +1,335 @@
+// Tests for the extension features: AlexNet builder, weight checkpointing,
+// Pareto front, multi-device recommendations, JSON device profiles.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "device/profile_io.hpp"
+#include "models/models.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "tuning/finalize.hpp"
+#include "tuning/model_server.hpp"
+#include "tuning/pareto.hpp"
+
+namespace edgetune {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- AlexNet -------------------------------------------------------------------
+
+TEST(AlexNetTest, BuildsAndClassifies) {
+  Rng rng(1);
+  Result<BuiltModel> built = build_alexnet({.num_classes = 10}, rng);
+  ASSERT_TRUE(built.ok());
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor out = built.value().net->forward(x, false);
+  EXPECT_EQ(out.shape(), (Shape{2, 10}));
+  EXPECT_FALSE(build_alexnet({.num_classes = 1}, rng).ok());
+}
+
+TEST(AlexNetTest, FullScaleArchIsDenseHeavy) {
+  Rng rng(2);
+  BuiltModel model = build_alexnet({.num_classes = 10}, rng).value();
+  // AlexNet's signature: the dense head dominates the parameter count.
+  double dense_params = 0;
+  for (const LayerInfo& layer : model.arch.layers) {
+    if (layer.kind == "linear") dense_params += layer.param_count;
+  }
+  EXPECT_GT(dense_params, 0.5 * model.arch.params);
+  EXPECT_GT(model.arch.params, 1e7);  // tens of millions of parameters
+}
+
+TEST(AlexNetTest, ProxyTrainsOnSynthImages) {
+  Rng rng(3);
+  BuiltModel model = build_alexnet({.num_classes = 10}, rng).value();
+  auto data = make_workload_data(WorkloadKind::kImageClassification, 400, 3);
+  SgdOptimizer opt(model.net->params(), {.learning_rate = 0.02});
+  BatchIterator iter(DatasetView::all(*data), 16, rng);
+  double first = 0, last = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    iter.begin_epoch();
+    double sum = 0;
+    int steps = 0;
+    for (Batch b = iter.next(); b.size() > 0; b = iter.next()) {
+      Tensor logits = model.net->forward(b.inputs, true);
+      LossResult loss = softmax_cross_entropy(logits, b.labels);
+      model.net->backward(loss.grad);
+      opt.step();
+      sum += loss.loss;
+      ++steps;
+    }
+    if (epoch == 0) first = sum / steps;
+    last = sum / steps;
+  }
+  EXPECT_LT(last, first);
+}
+
+// --- Weight checkpointing --------------------------------------------------------
+
+TEST(SerializeTest, RoundTripPreservesWeightsAndOutputs) {
+  const std::string path = temp_path("edgetune_ckpt_test.bin");
+  std::remove(path.c_str());
+  Rng rng(4);
+  BuiltModel model = build_resnet({.depth = 18}, rng).value();
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor before = model.net->forward(x, false);
+  ASSERT_TRUE(save_weights(*model.net, path).is_ok());
+
+  // A freshly initialized model differs; after loading it matches exactly.
+  Rng rng2(99);
+  BuiltModel fresh = build_resnet({.depth = 18}, rng2).value();
+  Tensor fresh_out = fresh.net->forward(x, false);
+  bool differs = false;
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    if (before[i] != fresh_out[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+
+  ASSERT_TRUE(load_weights(*fresh.net, path).is_ok());
+  Tensor after = fresh.net->forward(x, false);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(after[i], before[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ArchitectureMismatchIsRejected) {
+  const std::string path = temp_path("edgetune_ckpt_mismatch.bin");
+  std::remove(path.c_str());
+  Rng rng(5);
+  BuiltModel small = build_resnet({.depth = 18}, rng).value();
+  ASSERT_TRUE(save_weights(*small.net, path).is_ok());
+  BuiltModel big = build_resnet({.depth = 34}, rng).value();
+  Status status = load_weights(*big.net, path);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileIsRejected) {
+  const std::string path = temp_path("edgetune_ckpt_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("definitely not a checkpoint", f);
+    std::fclose(f);
+  }
+  Rng rng(6);
+  BuiltModel model = build_text_rnn({.stride = 1}, rng).value();
+  EXPECT_FALSE(load_weights(*model.net, path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(7);
+  BuiltModel model = build_text_rnn({.stride = 1}, rng).value();
+  EXPECT_EQ(load_weights(*model.net, "/nonexistent/ckpt.bin").code(),
+            StatusCode::kNotFound);
+}
+
+// --- Pareto front -----------------------------------------------------------------
+
+TrialLog make_trial(int id, double acc, double dur, double energy) {
+  TrialLog t;
+  t.id = id;
+  t.accuracy = acc;
+  t.duration_s = dur;
+  t.energy_j = energy;
+  t.objective = dur / acc;
+  return t;
+}
+
+TEST(ParetoTest, DominationRules) {
+  TrialLog better = make_trial(0, 0.9, 10, 100);
+  TrialLog worse = make_trial(1, 0.8, 20, 200);
+  TrialLog mixed = make_trial(2, 0.95, 30, 100);
+  EXPECT_TRUE(dominates(better, worse));
+  EXPECT_FALSE(dominates(worse, better));
+  EXPECT_FALSE(dominates(better, mixed));  // mixed is more accurate
+  EXPECT_FALSE(dominates(mixed, better));  // better is faster
+  EXPECT_FALSE(dominates(better, better));  // not strictly better
+}
+
+TEST(ParetoTest, FrontExcludesDominated) {
+  std::vector<TrialLog> trials = {
+      make_trial(0, 0.9, 10, 100),   // front
+      make_trial(1, 0.8, 20, 200),   // dominated by 0
+      make_trial(2, 0.95, 30, 100),  // front (most accurate)
+      make_trial(3, 0.5, 5, 50),     // front (cheapest)
+      make_trial(4, 0.5, 6, 60),     // dominated by 3
+  };
+  std::vector<TrialLog> front = pareto_front(trials);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].id, 0);
+  EXPECT_EQ(front[1].id, 2);
+  EXPECT_EQ(front[2].id, 3);
+}
+
+TEST(ParetoTest, InfiniteObjectivesExcluded) {
+  std::vector<TrialLog> trials = {make_trial(0, 0.9, 10, 100)};
+  trials.push_back(make_trial(1, 0.99, 1, 1));
+  trials[1].objective = std::numeric_limits<double>::infinity();
+  std::vector<TrialLog> front = pareto_front(trials);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].id, 0);
+}
+
+TEST(ParetoTest, RealTuningRunHasNonTrivialFront) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 300;
+  options.inference.algorithm = "grid";
+  options.seed = 5;
+  TuningReport report = EdgeTune(options).run().value();
+  std::vector<TrialLog> front = pareto_front(report.trials);
+  EXPECT_GE(front.size(), 1u);
+  EXPECT_LE(front.size(), report.trials.size());
+  // No front member dominates another.
+  for (const TrialLog& a : front) {
+    for (const TrialLog& b : front) {
+      EXPECT_FALSE(dominates(a, b) && a.id != b.id);
+    }
+  }
+}
+
+// --- Multi-device recommendations --------------------------------------------------
+
+TEST(MultiDeviceTest, ExtraDevicesGetRecommendations) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 300;
+  options.inference.algorithm = "grid";
+  options.edge_device = device_rpi3b();
+  options.extra_edge_devices = {device_armv7(), device_i7_7567u()};
+  options.seed = 6;
+  TuningReport report = EdgeTune(options).run().value();
+  ASSERT_EQ(report.per_device.size(), 2u);
+  ASSERT_TRUE(report.per_device.count("armv7"));
+  ASSERT_TRUE(report.per_device.count("i7"));
+  // The i7 is the much faster device; its recommended deployment must beat
+  // the ARM board's.
+  EXPECT_GT(report.per_device.at("i7").throughput_sps,
+            report.per_device.at("armv7").throughput_sps);
+  for (const auto& [name, rec] : report.per_device) {
+    EXPECT_GT(rec.throughput_sps, 0) << name;
+  }
+}
+
+// --- Finalization ---------------------------------------------------------------------
+
+TEST(FinalizeTest, RetrainsAndCheckpointsWinner) {
+  const std::string path = temp_path("edgetune_final_ckpt.etw");
+  std::remove(path.c_str());
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 400;
+  options.inference.algorithm = "grid";
+  options.seed = 9;
+  TuningReport report = EdgeTune(options).run().value();
+
+  FinalizeOptions finalize;
+  finalize.epochs = 6;
+  finalize.checkpoint_path = path;
+  Result<FinalizedModel> final_model =
+      finalize_best_model(options, report, finalize);
+  ASSERT_TRUE(final_model.ok()) << final_model.status().to_string();
+  EXPECT_GT(final_model.value().accuracy, 0.3);  // above 4-class chance
+  EXPECT_GT(final_model.value().train_time_s, 0);
+  EXPECT_EQ(final_model.value().checkpoint_path, path);
+
+  // The checkpoint loads into a fresh same-architecture model.
+  Rng rng(123);
+  BuiltModel fresh =
+      build_workload_model(options.workload,
+                           report.best_config.at("model_hparam"), rng)
+          .value();
+  EXPECT_TRUE(load_weights(*fresh.net, path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(FinalizeTest, EmptyReportIsError) {
+  EdgeTuneOptions options;
+  TuningReport report;  // no best_config
+  EXPECT_FALSE(finalize_best_model(options, report, {}).ok());
+}
+
+// --- Device profile JSON -------------------------------------------------------------
+
+TEST(ProfileIoTest, RoundTrip) {
+  DeviceProfile original = device_titan_server();
+  Result<DeviceProfile> restored =
+      profile_from_json(profile_to_json(original));
+  ASSERT_TRUE(restored.ok());
+  const DeviceProfile& p = restored.value();
+  EXPECT_EQ(p.name, original.name);
+  EXPECT_EQ(p.max_cores, original.max_cores);
+  EXPECT_DOUBLE_EQ(p.mem_bandwidth_gbs, original.mem_bandwidth_gbs);
+  EXPECT_EQ(p.freq_levels_ghz, original.freq_levels_ghz);
+  EXPECT_EQ(p.num_gpus, original.num_gpus);
+  EXPECT_DOUBLE_EQ(p.gpu_tflops, original.gpu_tflops);
+}
+
+TEST(ProfileIoTest, UnknownKeyIsError) {
+  Result<Json> json =
+      Json::parse("{\"name\": \"x\", \"mem_bandwith_gbs\": 4}");  // typo
+  ASSERT_TRUE(json.ok());
+  Result<DeviceProfile> profile = profile_from_json(json.value());
+  ASSERT_FALSE(profile.ok());
+  EXPECT_NE(profile.status().message().find("mem_bandwith_gbs"),
+            std::string::npos);
+}
+
+TEST(ProfileIoTest, MissingNameIsError) {
+  Result<Json> json = Json::parse("{\"max_cores\": 4}");
+  ASSERT_TRUE(json.ok());
+  EXPECT_FALSE(profile_from_json(json.value()).ok());
+}
+
+TEST(ProfileIoTest, DefaultsFillMissingFields) {
+  Result<Json> json = Json::parse("{\"name\": \"custom\", \"max_cores\": 2}");
+  ASSERT_TRUE(json.ok());
+  Result<DeviceProfile> profile = profile_from_json(json.value());
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().max_cores, 2);
+  EXPECT_GT(profile.value().mem_bandwidth_gbs, 0);  // documented default
+  EXPECT_FALSE(profile.value().freq_levels_ghz.empty());
+}
+
+TEST(ProfileIoTest, FileRoundTripAndUseInCostModel) {
+  const std::string path = temp_path("edgetune_device_test.json");
+  std::remove(path.c_str());
+  DeviceProfile original = device_armv7();
+  original.name = "my_board";
+  ASSERT_TRUE(save_device_profile(original, path).is_ok());
+  Result<DeviceProfile> loaded = load_device_profile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().name, "my_board");
+  // The loaded profile drives the cost model identically to the original.
+  Rng rng(8);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  CostModel a(original), b(loaded.value());
+  EXPECT_DOUBLE_EQ(
+      a.inference_cost(arch, {.batch_size = 4, .cores = 2}).value().latency_s,
+      b.inference_cost(arch, {.batch_size = 4, .cores = 2})
+          .value()
+          .latency_s);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, NonPositiveValuesRejected) {
+  Result<Json> json =
+      Json::parse("{\"name\": \"bad\", \"mem_bandwidth_gbs\": -1}");
+  ASSERT_TRUE(json.ok());
+  EXPECT_FALSE(profile_from_json(json.value()).ok());
+}
+
+}  // namespace
+}  // namespace edgetune

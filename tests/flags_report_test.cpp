@@ -1,0 +1,178 @@
+// Tests for the CLI flag parser and the JSON report round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/flags.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+namespace {
+
+TEST(FlagParserTest, DefaultsApplyWhenUnset) {
+  FlagParser flags;
+  flags.define("workload", "IC", "w");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv).is_ok());
+  EXPECT_EQ(flags.get("workload"), "IC");
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags;
+  flags.define("seed", "1", "s");
+  const char* argv[] = {"prog", "--seed=42"};
+  ASSERT_TRUE(flags.parse(2, argv).is_ok());
+  EXPECT_EQ(flags.get_int("seed"), 42);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags;
+  flags.define("metric", "runtime", "m");
+  const char* argv[] = {"prog", "--metric", "energy"};
+  ASSERT_TRUE(flags.parse(3, argv).is_ok());
+  EXPECT_EQ(flags.get("metric"), "energy");
+}
+
+TEST(FlagParserTest, BareBooleanIsTrue) {
+  FlagParser flags;
+  flags.define("verbose", "false", "v");
+  flags.define("level", "1", "l");
+  const char* argv[] = {"prog", "--verbose", "--level=3"};
+  ASSERT_TRUE(flags.parse(3, argv).is_ok());
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_int("level"), 3);
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser flags;
+  flags.define("known", "1", "k");
+  const char* argv[] = {"prog", "--unknown=2"};
+  EXPECT_FALSE(flags.parse(2, argv).is_ok());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags;
+  flags.define("x", "0", "x");
+  const char* argv[] = {"prog", "first", "--x=1", "second"};
+  ASSERT_TRUE(flags.parse(4, argv).is_ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, DoubleParsing) {
+  FlagParser flags;
+  flags.define("cap", "0.5", "c");
+  const char* argv[] = {"prog", "--cap", "12.5"};
+  ASSERT_TRUE(flags.parse(3, argv).is_ok());
+  EXPECT_DOUBLE_EQ(flags.get_double("cap"), 12.5);
+}
+
+TEST(FlagParserTest, HelpListsFlags) {
+  FlagParser flags;
+  flags.define("alpha", "1", "the alpha knob");
+  const std::string help = flags.help();
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("the alpha knob"), std::string::npos);
+}
+
+TuningReport sample_report() {
+  TuningReport report;
+  report.system = "edgetune";
+  report.best_config = {{"model_hparam", 18}, {"train_batch", 128}};
+  report.best_accuracy = 0.82;
+  report.best_objective = 3.25;
+  report.inference.config = {{"inf_batch", 16}, {"cores", 4}};
+  report.inference.throughput_sps = 12.5;
+  report.inference.energy_per_sample_j = 0.4;
+  report.inference.from_cache = true;
+  report.tuning_runtime_s = 615.0;
+  report.tuning_energy_j = 9001.0;
+  report.cache_hits = 7;
+  report.cache_misses = 3;
+  TrialLog trial;
+  trial.id = 0;
+  trial.config = report.best_config;
+  trial.resource = 4;
+  trial.budget = {4, 0.4};
+  trial.accuracy = 0.8;
+  trial.duration_s = 120;
+  trial.energy_j = 4000;
+  trial.objective = 3.25;
+  trial.inference_cached = false;
+  trial.inference_tuning_s = 2.4;
+  trial.inference_stall_s = 0;
+  report.trials.push_back(trial);
+  return report;
+}
+
+TEST(ReportIoTest, PerDeviceRecommendationsRoundTrip) {
+  TuningReport report = sample_report();
+  InferenceRecommendation arm;
+  arm.config = {{"inf_batch", 4}};
+  arm.throughput_sps = 3.5;
+  arm.peak_memory_bytes = 123456;
+  report.per_device.emplace("armv7", arm);
+  Result<TuningReport> restored = report_from_json(report_to_json(report));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().per_device.size(), 1u);
+  const auto& rec = restored.value().per_device.at("armv7");
+  EXPECT_DOUBLE_EQ(rec.throughput_sps, 3.5);
+  EXPECT_DOUBLE_EQ(rec.peak_memory_bytes, 123456);
+  EXPECT_DOUBLE_EQ(rec.config.at("inf_batch"), 4);
+}
+
+TEST(ReportIoTest, JsonRoundTripPreservesEverything) {
+  TuningReport original = sample_report();
+  Result<TuningReport> restored =
+      report_from_json(report_to_json(original));
+  ASSERT_TRUE(restored.ok());
+  const TuningReport& r = restored.value();
+  EXPECT_EQ(r.system, original.system);
+  EXPECT_EQ(r.best_config, original.best_config);
+  EXPECT_DOUBLE_EQ(r.best_accuracy, original.best_accuracy);
+  EXPECT_DOUBLE_EQ(r.best_objective, original.best_objective);
+  EXPECT_EQ(r.inference.config, original.inference.config);
+  EXPECT_DOUBLE_EQ(r.inference.throughput_sps,
+                   original.inference.throughput_sps);
+  EXPECT_EQ(r.cache_hits, original.cache_hits);
+  ASSERT_EQ(r.trials.size(), 1u);
+  EXPECT_EQ(r.trials[0].budget.epochs, 4);
+  EXPECT_DOUBLE_EQ(r.trials[0].budget.data_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(r.trials[0].inference_tuning_s, 2.4);
+}
+
+TEST(ReportIoTest, SaveAndLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_report_test.json")
+          .string();
+  std::remove(path.c_str());
+  TuningReport original = sample_report();
+  ASSERT_TRUE(save_report(original, path).is_ok());
+  Result<TuningReport> loaded = load_report(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().best_config, original.best_config);
+  std::remove(path.c_str());
+}
+
+TEST(ReportIoTest, LoadMissingFileIsNotFound) {
+  Result<TuningReport> loaded = load_report("/nonexistent/report.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReportIoTest, FromJsonToleratesMissingFields) {
+  Result<Json> json = Json::parse("{\"system\": \"tune\"}");
+  ASSERT_TRUE(json.ok());
+  Result<TuningReport> report = report_from_json(json.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().system, "tune");
+  EXPECT_TRUE(report.value().trials.empty());
+}
+
+TEST(ReportIoTest, NonObjectJsonIsError) {
+  EXPECT_FALSE(report_from_json(Json(JsonArray{})).ok());
+}
+
+}  // namespace
+}  // namespace edgetune

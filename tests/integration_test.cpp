@@ -1,0 +1,230 @@
+// End-to-end integration tests: complete EdgeTune jobs, baselines,
+// hierarchical tuning, report invariants, reproducibility, pipelining.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/stopwatch.hpp"
+#include "tuning/baselines.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+namespace {
+
+/// Small-but-real options: NLP is the fastest proxy workload.
+EdgeTuneOptions small_options(std::uint64_t seed = 3) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};  // one bracket: 4@1, 2@2, 1@4
+  options.runner.proxy_samples = 300;
+  options.inference.algorithm = "grid";
+  options.seed = seed;
+  return options;
+}
+
+TEST(EdgeTuneTest, SearchSpaceMatchesWorkloadAndFlags) {
+  EdgeTuneOptions options = small_options();
+  EdgeTune tuner(options);
+  SearchSpace space = tuner.model_search_space();
+  EXPECT_NE(space.find("model_hparam"), nullptr);
+  EXPECT_NE(space.find("train_batch"), nullptr);
+  EXPECT_NE(space.find("lr"), nullptr);
+  EXPECT_NE(space.find("num_gpus"), nullptr);
+
+  options.tune_system_params = false;
+  EdgeTune plain(options);
+  EXPECT_EQ(plain.model_search_space().find("num_gpus"), nullptr);
+}
+
+TEST(EdgeTuneTest, EndToEndRunProducesConsistentReport) {
+  EdgeTune tuner(small_options());
+  Result<TuningReport> result = tuner.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const TuningReport& report = result.value();
+
+  EXPECT_EQ(report.system, "edgetune");
+  EXPECT_FALSE(report.trials.empty());
+  EXPECT_TRUE(std::isfinite(report.best_objective));
+  EXPECT_GT(report.best_accuracy, 0.25);  // above chance on 4 classes
+  EXPECT_GT(report.inference.throughput_sps, 0);
+
+  // Report invariant: totals equal the sum over the trial log.
+  double runtime = 0, energy = 0;
+  for (const TrialLog& t : report.trials) {
+    runtime += t.duration_s + t.inference_stall_s;
+    energy += t.energy_j;
+    EXPECT_GE(t.accuracy, 0);
+    EXPECT_LE(t.accuracy, 1);
+    EXPECT_GT(t.duration_s, 0);
+  }
+  EXPECT_NEAR(report.tuning_runtime_s, runtime, 1e-6);
+  EXPECT_GE(report.tuning_energy_j, energy);  // + inference tuning energy
+}
+
+TEST(EdgeTuneTest, ReproducibleForSeed) {
+  Result<TuningReport> a = EdgeTune(small_options(11)).run();
+  Result<TuningReport> b = EdgeTune(small_options(11)).run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().best_config, b.value().best_config);
+  EXPECT_DOUBLE_EQ(a.value().tuning_runtime_s, b.value().tuning_runtime_s);
+  ASSERT_EQ(a.value().trials.size(), b.value().trials.size());
+  for (std::size_t i = 0; i < a.value().trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().trials[i].accuracy,
+                     b.value().trials[i].accuracy);
+  }
+}
+
+TEST(EdgeTuneTest, CacheAvoidsRetuningRepeatedArchitectures) {
+  EdgeTune tuner(small_options());
+  TuningReport report = tuner.run().value();
+  // The NLP space has 32 strides but more trials than distinct archs tried
+  // at multiple rungs: survivors re-use their architecture's entry.
+  EXPECT_GT(report.cache_hits + report.cache_misses, 0u);
+  EXPECT_EQ(report.cache_misses, tuner.inference_server().cache().size());
+}
+
+TEST(EdgeTuneTest, BudgetPoliciesAllRun) {
+  for (const char* policy : {"epochs", "dataset", "multi-budget", "time"}) {
+    EdgeTuneOptions options = small_options();
+    options.budget_policy = policy;
+    Result<TuningReport> report = EdgeTune(options).run();
+    ASSERT_TRUE(report.ok()) << policy;
+  }
+}
+
+TEST(EdgeTuneTest, EnergyMetricRuns) {
+  EdgeTuneOptions options = small_options();
+  options.tuning_metric = MetricOfInterest::kEnergy;
+  options.inference.objective = MetricOfInterest::kRuntime;
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_TRUE(report.ok());
+}
+
+TEST(EdgeTuneTest, UnknownAlgorithmOrBudgetFails) {
+  EdgeTuneOptions options = small_options();
+  options.search_algorithm = "simulated-annealing";
+  EXPECT_FALSE(EdgeTune(options).run().ok());
+  options = small_options();
+  options.budget_policy = "steps";
+  EXPECT_FALSE(EdgeTune(options).run().ok());
+}
+
+TEST(TuneBaselineTest, NoInferenceAwarenessDefaultDeployment) {
+  Result<TuningReport> result = run_tune_baseline(small_options());
+  ASSERT_TRUE(result.ok());
+  const TuningReport& report = result.value();
+  EXPECT_EQ(report.system, "tune");
+  EXPECT_DOUBLE_EQ(report.inference.config.at("inf_batch"), 1);
+  EXPECT_DOUBLE_EQ(report.inference.config.at("cores"), 1);
+  for (const TrialLog& t : report.trials) {
+    EXPECT_DOUBLE_EQ(t.inference_stall_s, 0);
+  }
+}
+
+TEST(TuneBaselineTest, EdgeTuneRecommendationBeatsDefaultDeployment) {
+  // The core paper claim in miniature: the inference-aware system's
+  // recommended deployment dominates the baseline's default deployment.
+  EdgeTuneOptions options = small_options(21);
+  TuningReport edgetune = EdgeTune(options).run().value();
+  TuningReport tune = run_tune_baseline(options).value();
+  EXPECT_GT(edgetune.inference.throughput_sps,
+            tune.inference.throughput_sps);
+  EXPECT_LT(edgetune.inference.energy_per_sample_j,
+            tune.inference.energy_per_sample_j);
+}
+
+TEST(HyperPowerTest, PowerCapTerminatesTrialsEarly) {
+  EdgeTuneOptions options = small_options(31);
+  options.random_trials = 8;
+  // Calibrate the cap from an uncapped run: the median trial power. Trials
+  // above it must then be terminated (objective = inf).
+  TuningReport probe =
+      run_hyperpower_baseline(options, 1e12).value();
+  std::vector<double> powers;
+  for (const TrialLog& t : probe.trials) {
+    powers.push_back(t.energy_j / t.duration_s);
+  }
+  std::sort(powers.begin(), powers.end());
+  ASSERT_GT(powers.back(), powers.front());  // some spread to cap on
+  const double cap = 0.5 * (powers.front() + powers.back());
+
+  Result<TuningReport> result = run_hyperpower_baseline(options, cap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().system, "hyperpower");
+  bool saw_capped = false;
+  for (const TrialLog& t : result.value().trials) {
+    if (!std::isfinite(t.objective)) saw_capped = true;
+  }
+  EXPECT_TRUE(saw_capped);
+}
+
+TEST(HyperPowerTest, GenerousCapBehavesLikePlainBo) {
+  EdgeTuneOptions options = small_options(32);
+  options.random_trials = 6;
+  Result<TuningReport> result = run_hyperpower_baseline(options, 1e9);
+  ASSERT_TRUE(result.ok());
+  for (const TrialLog& t : result.value().trials) {
+    EXPECT_TRUE(std::isfinite(t.objective));
+  }
+}
+
+TEST(HierarchicalTest, TwoTiersProduceSystemParams) {
+  EdgeTuneOptions options = small_options(41);
+  Result<TuningReport> result = run_hierarchical(options);
+  ASSERT_TRUE(result.ok());
+  const TuningReport& report = result.value();
+  EXPECT_EQ(report.system, "hierarchical");
+  EXPECT_TRUE(report.best_config.count("num_gpus"));
+  EXPECT_TRUE(std::isfinite(report.best_objective));
+}
+
+TEST(HierarchicalTest, OnefoldExploresJointSpaceHierarchicalDoesNot) {
+  // Structural check of Fig 9: the onefold run varies num_gpus across
+  // trials; the hierarchical tier-1 trials never do.
+  EdgeTuneOptions options = small_options(51);
+  TuningReport onefold = EdgeTune(options).run().value();
+  bool varied = false;
+  double first = onefold.trials.front().config.count("num_gpus")
+                     ? onefold.trials.front().config.at("num_gpus")
+                     : -1;
+  for (const TrialLog& t : onefold.trials) {
+    if (t.config.count("num_gpus") && t.config.at("num_gpus") != first) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(PipeliningTest, InferenceTuningOverlapsTraining) {
+  // Wall-clock check of Fig 6: submitting to the inference server returns
+  // immediately; the result is consumed after "training" work.
+  InferenceServerOptions inf_options;
+  inf_options.algorithm = "grid";
+  InferenceTuningServer server(device_rpi3b(), inf_options);
+  Rng rng(1);
+  ArchSpec arch = build_text_rnn({.stride = 7, .num_classes = 4}, rng)
+                      .value()
+                      .arch;
+  Stopwatch watch;
+  auto future = server.submit(arch);
+  const double submit_ms = watch.elapsed_ms();
+  ASSERT_TRUE(future.get().ok());
+  EXPECT_LT(submit_ms, 50.0);  // submit did not block on the grid search
+}
+
+TEST(EvaluateInferenceAtTest, HonorsExplicitConfig) {
+  EdgeTuneOptions options = small_options();
+  Config model_config = {{"model_hparam", 2}, {"train_batch", 64},
+                         {"lr", 0.05}};
+  Config inf_config = {{"inf_batch", 4}, {"cores", 2}, {"freq_ghz", 0.0}};
+  Result<InferenceRecommendation> rec =
+      evaluate_inference_at(options, model_config, inf_config);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.value().throughput_sps, 0);
+  EXPECT_DOUBLE_EQ(rec.value().config.at("inf_batch"), 4);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,201 @@
+// Tests for the TuningJobServer + new-layer gradchecks + CSV export +
+// extended hyperparameter space.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/layers_basic.hpp"
+#include "nn/pool.hpp"
+#include "tuning/job_server.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+namespace {
+
+JobRequest small_job(std::uint64_t seed = 77) {
+  JobRequest request;
+  request.options.workload = WorkloadKind::kNlp;
+  request.options.hyperband = {1, 4, 2, 1};
+  request.options.runner.proxy_samples = 240;
+  request.options.inference.algorithm = "grid";
+  request.options.seed = seed;
+  return request;
+}
+
+TEST(JobServerTest, SubmitWaitReturnsReport) {
+  TuningJobServer server(1);
+  JobId id = server.submit(small_job());
+  Result<TuningReport> report = server.wait(id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().system, "edgetune");
+  EXPECT_EQ(server.state(id).value(), JobState::kDone);
+  EXPECT_EQ(server.unfinished(), 0u);
+}
+
+TEST(JobServerTest, MultipleJobsAllComplete) {
+  TuningJobServer server(2);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(server.submit(small_job(100 + i)));
+  }
+  EXPECT_EQ(server.jobs().size(), 4u);
+  for (JobId id : ids) {
+    EXPECT_TRUE(server.wait(id).ok());
+  }
+}
+
+TEST(JobServerTest, FailedJobReportsStatus) {
+  TuningJobServer server(1);
+  JobRequest bad = small_job();
+  bad.options.search_algorithm = "quantum";
+  JobId id = server.submit(bad);
+  Result<TuningReport> report = server.wait(id);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(server.state(id).value(), JobState::kFailed);
+}
+
+TEST(JobServerTest, BaselineSystemsRun) {
+  TuningJobServer server(1);
+  JobRequest tune = small_job(7);
+  tune.system = JobSystem::kTune;
+  JobRequest hp = small_job(8);
+  hp.system = JobSystem::kHyperPower;
+  hp.options.random_trials = 4;
+  const JobId tune_id = server.submit(tune);
+  const JobId hp_id = server.submit(hp);
+  ASSERT_TRUE(server.wait(tune_id).ok());
+  EXPECT_EQ(server.wait(tune_id).value().system, "tune");
+  ASSERT_TRUE(server.wait(hp_id).ok());
+  EXPECT_EQ(server.wait(hp_id).value().system, "hyperpower");
+}
+
+TEST(JobServerTest, UnknownIdIsNotFound) {
+  TuningJobServer server(1);
+  EXPECT_EQ(server.state(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.wait(42).status().code(), StatusCode::kNotFound);
+}
+
+// --- New layers ------------------------------------------------------------------
+
+TEST(NewLayersTest, LeakyReluForwardAndSlope) {
+  LeakyReLU layer(0.1f);
+  Tensor x({4}, std::vector<float>{-2, -0.5f, 0.5f, 2});
+  Tensor out = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(out[0], -0.2f);
+  EXPECT_FLOAT_EQ(out[2], 0.5f);
+  Tensor grad = layer.backward(Tensor::ones({4}));
+  EXPECT_FLOAT_EQ(grad[0], 0.1f);
+  EXPECT_FLOAT_EQ(grad[3], 1.0f);
+}
+
+TEST(NewLayersTest, SigmoidRangeAndGrad) {
+  Sigmoid layer;
+  Rng rng(1);
+  Tensor x = Tensor::randn({64}, rng, 0, 3);
+  Tensor out = layer.forward(x, true);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GT(out[i], 0.0f);
+    EXPECT_LT(out[i], 1.0f);
+  }
+  // Numeric grad check on a few elements.
+  Tensor w = Tensor::ones(x.shape());
+  layer.forward(x, true);
+  Tensor grad = layer.backward(w);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric =
+        (layer.forward(xp, true).sum() - layer.forward(xm, true).sum()) /
+        (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 2e-2);
+  }
+}
+
+TEST(NewLayersTest, AvgPool2dForwardBackward) {
+  AvgPool2D layer(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor out = layer.forward(x, true);
+  ASSERT_EQ(out.numel(), 1);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  Tensor grad = layer.backward(Tensor({1, 1, 1, 1}, {4.0f}));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad[i], 1.0f);
+}
+
+TEST(NewLayersTest, AvgPool2dDescribeMatchesForward) {
+  AvgPool2D layer(2, 2);
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor out = layer.forward(x, false);
+  EXPECT_EQ(layer.describe({2, 3, 6, 6}).output_shape, out.shape());
+}
+
+// --- CSV export -------------------------------------------------------------------
+
+TEST(CsvExportTest, TrialLogRoundsTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_trials.csv")
+          .string();
+  std::remove(path.c_str());
+  TuningReport report;
+  TrialLog t;
+  t.id = 0;
+  t.config = {{"lr", 0.05}, {"model_hparam", 18}};
+  t.resource = 2;
+  t.budget = {2, 0.2};
+  t.accuracy = 0.5;
+  t.duration_s = 12;
+  t.energy_j = 340;
+  t.objective = 24;
+  report.trials.push_back(t);
+  t.id = 1;
+  t.config = {{"lr", 0.01}, {"model_hparam", 34}, {"num_gpus", 4}};
+  report.trials.push_back(t);
+  ASSERT_TRUE(save_trials_csv(report, path).is_ok());
+
+  std::ifstream in(path);
+  std::string header, row0, row1;
+  std::getline(in, header);
+  std::getline(in, row0);
+  std::getline(in, row1);
+  EXPECT_NE(header.find("accuracy"), std::string::npos);
+  EXPECT_NE(header.find("lr"), std::string::npos);
+  EXPECT_NE(header.find("num_gpus"), std::string::npos);  // union of keys
+  EXPECT_EQ(row0.back(), ',');  // trial 0 lacks num_gpus -> empty last cell
+  EXPECT_NE(row1.find("34"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- Extended hyperparameter space ---------------------------------------------------
+
+TEST(ExtendedHparamsTest, SpaceGainsMomentumAndWeightDecay) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.tune_extended_hparams = true;
+  EdgeTune tuner(options);
+  SearchSpace space = tuner.model_search_space();
+  EXPECT_NE(space.find("momentum"), nullptr);
+  EXPECT_NE(space.find("weight_decay"), nullptr);
+
+  options.tune_extended_hparams = false;
+  EdgeTune plain(options);
+  EXPECT_EQ(plain.model_search_space().find("momentum"), nullptr);
+}
+
+TEST(ExtendedHparamsTest, TrialRunnerHonorsThem) {
+  TrialRunnerOptions runner_options;
+  runner_options.workload = WorkloadKind::kNlp;
+  runner_options.proxy_samples = 240;
+  runner_options.seed = 5;
+  TrialRunner runner(runner_options);
+  Config config = {{"model_hparam", 2}, {"train_batch", 64}, {"lr", 0.05},
+                   {"momentum", 0.0},  {"weight_decay", 0.005}};
+  Result<TrialOutcome> outcome = runner.run(config, {3, 1.0});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome.value().accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,114 @@
+// Property test: randomly generated JSON values must survive
+// dump -> parse -> dump round trips bit-identically, across many seeds.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace edgetune {
+namespace {
+
+/// Generates a random JSON value of bounded depth.
+Json random_json(Rng& rng, int depth) {
+  const int kind = depth <= 0 ? static_cast<int>(rng.bounded(4))
+                              : static_cast<int>(rng.bounded(6));
+  switch (kind) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.bernoulli(0.5));
+    case 2: {
+      // Mix integers, negatives, and fractions.
+      switch (rng.bounded(3)) {
+        case 0:
+          return Json(rng.uniform_int(-1000000, 1000000));
+        case 1:
+          return Json(rng.uniform(-1e6, 1e6));
+        default:
+          return Json(rng.uniform(-1.0, 1.0) * 1e-6);
+      }
+    }
+    case 3: {
+      // Strings with escapes, control chars, and UTF-8 bytes.
+      static const char* pool =
+          "abcXYZ 0123\"\\\n\t\r{}[],:!@#$%";
+      std::string s;
+      const auto len = rng.bounded(24);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s += pool[rng.bounded(26)];
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      JsonArray arr;
+      const auto len = rng.bounded(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        arr.push_back(random_json(rng, depth - 1));
+      }
+      return Json(std::move(arr));
+    }
+    default: {
+      JsonObject obj;
+      const auto len = rng.bounded(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        obj.emplace("key_" + std::to_string(rng.bounded(100)),
+                    random_json(rng, depth - 1));
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzzTest, DumpParseDumpIsStable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 50; ++i) {
+    Json original = random_json(rng, 4);
+    const std::string first = original.dump();
+    Result<Json> parsed = Json::parse(first);
+    ASSERT_TRUE(parsed.ok()) << first << " :: "
+                             << parsed.status().to_string();
+    EXPECT_EQ(parsed.value().dump(), first);
+    // Pretty output parses back to the same value too.
+    Result<Json> pretty = Json::parse(original.dump_pretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty.value().dump(), first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest, ::testing::Range(0, 8));
+
+TEST(JsonFuzzTest, MutatedInputsNeverCrash) {
+  // Parse random mutations of a valid document: outcomes may be ok or
+  // error, but must never crash or hang.
+  Rng rng(4242);
+  const std::string base =
+      R"({"a": [1, 2.5, null], "b": {"c": "text", "d": true}})";
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = base;
+    const auto edits = 1 + rng.bounded(4);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      const auto pos = rng.bounded(mutated.size());
+      switch (rng.bounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.bounded(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.bounded(95)));
+      }
+    }
+    Result<Json> parsed = Json::parse(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must round-trip.
+      Result<Json> again = Json::parse(parsed.value().dump());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,464 @@
+// Tests for the NN library. The heart is a finite-difference gradient check
+// applied to every layer: backward() must agree with numerical dL/dx and
+// dL/dtheta for a random scalar loss L = sum(w ⊙ forward(x)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/loss.hpp"
+#include "nn/norm.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/rnn.hpp"
+#include "nn/sequential.hpp"
+
+namespace edgetune {
+namespace {
+
+/// Scalar loss L(x) = sum(w ⊙ layer(x)) with fixed random weights w;
+/// returns analytic grads and compares against central differences.
+void gradient_check(Layer& layer, const Shape& input_shape,
+                    std::uint64_t seed, float eps = 5e-3f,
+                    float tol = 4e-2f, bool check_params = true) {
+  Rng rng(seed);
+  Tensor x = Tensor::randn(input_shape, rng, 0.0f, 1.0f);
+
+  Tensor out0 = layer.forward(x, /*training=*/true);
+  Tensor w = Tensor::randn(out0.shape(), rng, 0.0f, 1.0f);
+
+  auto loss_of = [&](const Tensor& input) {
+    Tensor out = layer.forward(input, true);
+    double acc = 0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) acc += out[i] * w[i];
+    return acc;
+  };
+
+  // Analytic gradients. Forward once more so caches match, zero param grads
+  // first (they accumulate).
+  for (auto& p : layer.params()) p.grad->fill(0.0f);
+  Tensor out = layer.forward(x, true);
+  (void)out;
+  Tensor grad_in = layer.backward(w);
+
+  // dL/dx via central differences (spot-check a subset for big tensors).
+  const std::int64_t n = x.numel();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / 24);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (loss_of(xp) - loss_of(xm)) / (2.0 * eps);
+    const double analytic = grad_in[i];
+    const double scale = std::max({1.0, std::abs(numeric), std::abs(analytic)});
+    EXPECT_NEAR(analytic, numeric, tol * scale)
+        << layer.name() << " dL/dx[" << i << "]";
+  }
+
+  if (!check_params) return;
+  // dL/dtheta. Re-run forward/backward to refresh param grads cleanly.
+  for (auto& p : layer.params()) p.grad->fill(0.0f);
+  layer.forward(x, true);
+  layer.backward(w);
+  for (auto& p : layer.params()) {
+    Tensor& theta = *p.value;
+    const std::int64_t m = theta.numel();
+    const std::int64_t pstride = std::max<std::int64_t>(1, m / 12);
+    for (std::int64_t i = 0; i < m; i += pstride) {
+      const float saved = theta[i];
+      theta[i] = saved + eps;
+      const double lp = loss_of(x);
+      theta[i] = saved - eps;
+      const double lm = loss_of(x);
+      theta[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = (*p.grad)[i];
+      const double scale =
+          std::max({1.0, std::abs(numeric), std::abs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tol * scale)
+          << layer.name() << " dL/d" << p.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  Linear layer(6, 4, rng);
+  gradient_check(layer, {3, 6}, 100);
+}
+
+TEST(GradCheck, Conv2D) {
+  Rng rng(2);
+  Conv2D layer(2, 3, 3, 1, 1, rng, /*bias=*/true);
+  gradient_check(layer, {2, 2, 5, 5}, 101);
+}
+
+TEST(GradCheck, Conv2DStridedNoBias) {
+  Rng rng(3);
+  Conv2D layer(1, 2, 3, 2, 1, rng, /*bias=*/false);
+  gradient_check(layer, {1, 1, 7, 7}, 102);
+}
+
+TEST(GradCheck, Conv1D) {
+  Rng rng(4);
+  Conv1D layer(2, 3, 4, 2, 1, rng, /*bias=*/true);
+  gradient_check(layer, {2, 2, 9}, 103);
+}
+
+TEST(GradCheck, BatchNorm) {
+  BatchNorm layer(3);
+  gradient_check(layer, {4, 3, 3, 3}, 104, 5e-3f, 6e-2f);
+}
+
+TEST(GradCheck, BatchNorm1dShape) {
+  BatchNorm layer(4);
+  gradient_check(layer, {6, 4}, 105, 5e-3f, 6e-2f);
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU layer;
+  gradient_check(layer, {3, 8}, 106);
+}
+
+TEST(GradCheck, LeakyReluLayer) {
+  LeakyReLU layer(0.1f);
+  gradient_check(layer, {3, 8}, 120);
+}
+
+TEST(GradCheck, SigmoidLayer) {
+  Sigmoid layer;
+  gradient_check(layer, {3, 8}, 121);
+}
+
+TEST(GradCheck, AvgPool2D) {
+  AvgPool2D layer(2, 2);
+  gradient_check(layer, {2, 2, 4, 4}, 122);
+}
+
+TEST(GradCheck, AvgPool2DStrided) {
+  AvgPool2D layer(3, 2);
+  gradient_check(layer, {1, 2, 7, 7}, 123);
+}
+
+TEST(GradCheck, TanhLayer) {
+  Tanh layer;
+  gradient_check(layer, {3, 8}, 107);
+}
+
+TEST(GradCheck, MaxPool2D) {
+  MaxPool2D layer(2, 2);
+  gradient_check(layer, {2, 2, 4, 4}, 108);
+}
+
+TEST(GradCheck, MaxPool1D) {
+  MaxPool1D layer(2, 2);
+  gradient_check(layer, {2, 2, 8}, 109);
+}
+
+TEST(GradCheck, GlobalAvgPool2d) {
+  GlobalAvgPool layer;
+  gradient_check(layer, {2, 3, 4, 4}, 110);
+}
+
+TEST(GradCheck, GlobalAvgPool1d) {
+  GlobalAvgPool1D layer;
+  gradient_check(layer, {2, 3, 6}, 111);
+}
+
+TEST(GradCheck, Flatten) {
+  Flatten layer;
+  gradient_check(layer, {2, 3, 2, 2}, 112);
+}
+
+TEST(GradCheck, RnnStride1) {
+  Rng rng(5);
+  RNN layer(4, 5, 1, rng);
+  gradient_check(layer, {2, 6, 4}, 113, 5e-3f, 6e-2f);
+}
+
+TEST(GradCheck, RnnStride3) {
+  Rng rng(6);
+  RNN layer(4, 5, 3, rng);
+  gradient_check(layer, {2, 7, 4}, 114, 5e-3f, 6e-2f);
+}
+
+TEST(GradCheck, ResidualBlockIdentitySkip) {
+  Rng rng(7);
+  ResidualBlock layer(4, 4, 1, rng);
+  // Smaller eps: the block's final ReLU has kinks at 0 and the summed skip
+  // path makes crossings more likely than in a plain layer.
+  gradient_check(layer, {2, 4, 4, 4}, 115, 1e-3f, 8e-2f);
+}
+
+TEST(GradCheck, ResidualBlockProjectedSkip) {
+  Rng rng(8);
+  ResidualBlock layer(3, 6, 2, rng);
+  gradient_check(layer, {2, 3, 6, 6}, 116, 5e-3f, 8e-2f);
+}
+
+TEST(GradCheck, BottleneckBlockIdentitySkip) {
+  Rng rng(21);
+  BottleneckBlock layer(16, 4, 1, rng);  // in == 4*mid: identity skip
+  gradient_check(layer, {2, 16, 4, 4}, 118, 3e-4f, 8e-2f);
+}
+
+TEST(GradCheck, BottleneckBlockProjectedSkip) {
+  Rng rng(22);
+  BottleneckBlock layer(8, 4, 2, rng);
+  gradient_check(layer, {2, 8, 6, 6}, 119, 3e-4f, 8e-2f);
+}
+
+TEST(GradCheck, SequentialComposition) {
+  Rng rng(9);
+  Sequential net;
+  net.emplace<Linear>(5, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(8, 3, rng);
+  gradient_check(net, {4, 5}, 117);
+}
+
+// --- Embedding (integer inputs: param grads only) -----------------------------
+
+TEST(EmbeddingTest, GathersRowsAndAccumulatesGrads) {
+  Rng rng(10);
+  Embedding layer(6, 3, rng);
+  Tensor ids({2, 2}, std::vector<float>{0, 5, 5, 2});
+  Tensor out = layer.forward(ids, true);
+  ASSERT_EQ(out.shape(), (Shape{2, 2, 3}));
+
+  Tensor grad = Tensor::ones(out.shape());
+  layer.backward(grad);
+  auto params = layer.params();
+  ASSERT_EQ(params.size(), 1u);
+  const Tensor& wg = *params[0].grad;
+  // Row 5 used twice -> grad 2 in each column; row 1 never -> 0.
+  EXPECT_FLOAT_EQ(wg.at2(5, 0), 2.0f);
+  EXPECT_FLOAT_EQ(wg.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(wg.at2(1, 0), 0.0f);
+}
+
+// --- Dropout -------------------------------------------------------------------
+
+TEST(DropoutTest, IdentityAtInference) {
+  Rng rng(11);
+  Dropout layer(0.5, rng);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  Tensor out = layer.forward(x, /*training=*/false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(out[i], x[i]);
+}
+
+TEST(DropoutTest, TrainingZerosAndRescales) {
+  Rng rng(12);
+  Dropout layer(0.5, rng);
+  Tensor x = Tensor::ones({10000});
+  Tensor out = layer.forward(x, true);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  // Expectation preserved.
+  EXPECT_NEAR(out.mean(), 1.0f, 0.05f);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(13);
+  Dropout layer(0.3, rng);
+  Tensor x = Tensor::ones({1000});
+  Tensor out = layer.forward(x, true);
+  Tensor grad = layer.backward(Tensor::ones({1000}));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(grad[i], out[i]);  // same mask and scale
+  }
+}
+
+// --- BatchNorm statistics ------------------------------------------------------
+
+TEST(BatchNormTest, NormalizesTrainingBatch) {
+  BatchNorm layer(2);
+  Rng rng(14);
+  Tensor x = Tensor::randn({64, 2}, rng, 5.0f, 3.0f);
+  Tensor out = layer.forward(x, true);
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    for (std::int64_t n = 0; n < 64; ++n) mean += out.at2(n, c);
+    mean /= 64;
+    for (std::int64_t n = 0; n < 64; ++n) {
+      const double d = out.at2(n, c) - mean;
+      var += d * d;
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm layer(1);
+  Rng rng(15);
+  // Train on many batches from N(4, 2^2) so running stats converge.
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::randn({32, 1}, rng, 4.0f, 2.0f);
+    layer.forward(x, true);
+  }
+  Tensor probe({1, 1}, std::vector<float>{4.0f});
+  Tensor out = layer.forward(probe, false);
+  EXPECT_NEAR(out[0], 0.0f, 0.15f);  // the mean maps near zero
+}
+
+// --- Losses ---------------------------------------------------------------------
+
+TEST(LossTest, CrossEntropyKnownValue) {
+  // Uniform logits over 4 classes -> loss = ln(4).
+  Tensor logits = Tensor::zeros({2, 4});
+  LossResult result = softmax_cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-5);
+}
+
+TEST(LossTest, CrossEntropyGradientNumeric) {
+  Rng rng(16);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<std::int64_t> labels = {0, 4, 2};
+  LossResult result = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); i += 2) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const double numeric =
+        (softmax_cross_entropy(lp, labels).loss -
+         softmax_cross_entropy(lm, labels).loss) /
+        (2 * eps);
+    EXPECT_NEAR(result.grad[i], numeric, 2e-3);
+  }
+}
+
+TEST(LossTest, CrossEntropyDecreasesWithConfidence) {
+  Tensor weak({1, 2}, std::vector<float>{0.1f, 0.0f});
+  Tensor strong({1, 2}, std::vector<float>{5.0f, 0.0f});
+  EXPECT_LT(softmax_cross_entropy(strong, {0}).loss,
+            softmax_cross_entropy(weak, {0}).loss);
+}
+
+TEST(LossTest, MseKnownValueAndGrad) {
+  Tensor pred({2}, std::vector<float>{1.0f, 3.0f});
+  Tensor target({2}, std::vector<float>{0.0f, 1.0f});
+  LossResult result = mse_loss(pred, target);
+  EXPECT_NEAR(result.loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(result.grad[0], 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(result.grad[1], 2.0 * 2.0 / 2.0, 1e-6);
+}
+
+TEST(LossTest, AccuracyCountsArgmaxMatches) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1,  //
+                                           0, 5,  //
+                                           1, 0});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+}
+
+// --- Optimizer -------------------------------------------------------------------
+
+TEST(SgdTest, PlainStepMath) {
+  Tensor w({1}, std::vector<float>{1.0f});
+  Tensor g({1}, std::vector<float>{0.5f});
+  std::vector<ParamRef> params = {{&w, &g, "w"}};
+  SgdOptimizer opt(params, {.learning_rate = 0.1, .momentum = 0.0,
+                            .weight_decay = 0.0});
+  opt.step();
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);  // grads cleared
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Tensor w({1}, std::vector<float>{0.0f});
+  Tensor g({1}, std::vector<float>{1.0f});
+  std::vector<ParamRef> params = {{&w, &g, "w"}};
+  SgdOptimizer opt(params, {.learning_rate = 1.0, .momentum = 0.5,
+                            .weight_decay = 0.0});
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(w[0], -1.0f, 1e-6f);
+  g[0] = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(w[0], -2.5f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w({1}, std::vector<float>{10.0f});
+  Tensor g({1}, std::vector<float>{0.0f});
+  std::vector<ParamRef> params = {{&w, &g, "w"}};
+  SgdOptimizer opt(params, {.learning_rate = 0.1, .momentum = 0.0,
+                            .weight_decay = 0.1});
+  opt.step();
+  EXPECT_LT(w[0], 10.0f);
+}
+
+TEST(TrainingTest, TinyNetFitsLinearlySeparableData) {
+  Rng rng(17);
+  Sequential net;
+  net.emplace<Linear>(2, 16, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(16, 2, rng);
+  SgdOptimizer opt(net.params(), {.learning_rate = 0.1, .momentum = 0.9});
+
+  // Class = sign of x0 + x1.
+  Tensor inputs({64, 2});
+  std::vector<std::int64_t> labels(64);
+  for (int i = 0; i < 64; ++i) {
+    const auto x0 = static_cast<float>(rng.uniform(-1, 1));
+    const auto x1 = static_cast<float>(rng.uniform(-1, 1));
+    inputs[i * 2] = x0;
+    inputs[i * 2 + 1] = x1;
+    labels[static_cast<std::size_t>(i)] = (x0 + x1 > 0) ? 1 : 0;
+  }
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 150; ++step) {
+    Tensor logits = net.forward(inputs, true);
+    LossResult loss = softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad);
+    opt.step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2);
+  Tensor logits = net.forward(inputs, false);
+  EXPECT_GT(accuracy(logits, labels), 0.95);
+}
+
+// --- describe() consistency -----------------------------------------------------
+
+TEST(DescribeTest, OutputShapesMatchForward) {
+  Rng rng(18);
+  Sequential net;
+  net.emplace<Conv2D>(3, 4, 3, 1, 1, rng, false);
+  net.emplace<BatchNorm>(4);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2D>(2, 2);
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(4, 10, rng);
+
+  const Shape input_shape = {2, 3, 8, 8};
+  Rng xr(19);
+  Tensor x = Tensor::randn(input_shape, xr);
+  Tensor out = net.forward(x, false);
+  LayerInfo info = net.describe(input_shape);
+  EXPECT_EQ(info.output_shape, out.shape());
+  EXPECT_GT(info.flops_forward, 0);
+  EXPECT_GT(info.param_count, 0);
+}
+
+TEST(DescribeTest, FlopsScaleWithBatch) {
+  Rng rng(20);
+  Linear layer(8, 8, rng);
+  const double f1 = layer.describe({1, 8}).flops_forward;
+  const double f4 = layer.describe({4, 8}).flops_forward;
+  EXPECT_DOUBLE_EQ(f4, 4 * f1);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,226 @@
+// Property-based sweeps (parameterized gtest): invariants that must hold
+// across the whole configuration space, not just hand-picked points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/synthetic.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+#include "sim/batching_sim.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetune {
+namespace {
+
+// --- Cost-model invariants across (device x depth x cores x batch) ------------
+
+using CostSweepParam = std::tuple<const char*, int, int, std::int64_t>;
+
+class CostModelSweep : public ::testing::TestWithParam<CostSweepParam> {};
+
+TEST_P(CostModelSweep, EstimatesInternallyConsistent) {
+  const auto& [device_name, depth, cores, batch] = GetParam();
+  CostModel model(device_by_name(device_name).value());
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = depth}, rng).value().arch;
+  Result<CostEstimate> result =
+      model.inference_cost(arch, {.batch_size = batch, .cores = cores});
+  if (!result.ok()) {
+    // Only RAM infeasibility may reject an in-domain configuration.
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    return;
+  }
+  const CostEstimate& est = result.value();
+  EXPECT_GT(est.latency_s, 0);
+  EXPECT_GT(est.power_w, 0);
+  EXPECT_NEAR(est.energy_j, est.power_w * est.latency_s,
+              1e-9 * est.energy_j + 1e-12);
+  EXPECT_NEAR(est.throughput_sps * est.latency_s, static_cast<double>(batch),
+              1e-6 * static_cast<double>(batch));
+  // Physical floor: power never below idle.
+  EXPECT_GE(est.power_w, model.profile().idle_power_w * 0.999);
+}
+
+TEST_P(CostModelSweep, MoreCoresNeverSlower) {
+  const auto& [device_name, depth, cores, batch] = GetParam();
+  if (cores <= 1) return;
+  CostModel model(device_by_name(device_name).value());
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = depth}, rng).value().arch;
+  Result<CostEstimate> more =
+      model.inference_cost(arch, {.batch_size = batch, .cores = cores});
+  Result<CostEstimate> fewer =
+      model.inference_cost(arch, {.batch_size = batch, .cores = cores - 1});
+  if (!more.ok() || !fewer.ok()) return;
+  EXPECT_LE(more.value().latency_s, fewer.value().latency_s * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesDepthsCoresBatches, CostModelSweep,
+    ::testing::Combine(::testing::Values("armv7", "rpi3b", "i7"),
+                       ::testing::Values(18, 50),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values<std::int64_t>(1, 8, 64)),
+    [](const ::testing::TestParamInfo<CostSweepParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) + "_b" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// --- Training-cost invariants across GPU counts --------------------------------
+
+class GpuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuSweep, BatchingNeverHurtsTrainingThroughput) {
+  // Step *time* is non-monotone in batch when GPUs are undersaturated
+  // (Fig 4a); throughput in samples/s, however, must not degrade when the
+  // batch grows in the pre-spill regime.
+  const int gpus = GetParam();
+  CostModel model(device_titan_server());
+  Rng rng(1);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  const CostEstimate small =
+      model.train_step_cost(arch, {.batch_size = 64, .num_gpus = gpus})
+          .value();
+  const CostEstimate large =
+      model.train_step_cost(arch, {.batch_size = 512, .num_gpus = gpus})
+          .value();
+  EXPECT_GE(large.throughput_sps, small.throughput_sps * 0.999);
+  EXPECT_GT(small.latency_s, 0);
+  EXPECT_GT(large.latency_s, 0);
+}
+
+TEST_P(GpuSweep, EnergyIsPositiveAndFinite) {
+  const int gpus = GetParam();
+  CostModel model(device_titan_server());
+  Rng rng(1);
+  ArchSpec arch = build_m5({.embed_dim = 64}, rng).value().arch;
+  CostEstimate est =
+      model.train_step_cost(arch, {.batch_size = 128, .num_gpus = gpus})
+          .value();
+  EXPECT_GT(est.energy_j, 0);
+  EXPECT_TRUE(std::isfinite(est.energy_j));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, GpuSweep, ::testing::Values(1, 2, 4, 8));
+
+// --- Model-family invariants ----------------------------------------------------
+
+class WorkloadSweep : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadSweep, ForwardBackwardShapesAgree) {
+  const WorkloadKind kind = GetParam();
+  Rng rng(3);
+  const double hparam = kind == WorkloadKind::kImageClassification ? 18
+                        : kind == WorkloadKind::kSpeech            ? 32
+                        : kind == WorkloadKind::kNlp               ? 3
+                                                                   : 0.2;
+  BuiltModel model = build_workload_model(kind, hparam, rng).value();
+  auto data = make_workload_data(kind, 8, 3);
+  Batch batch = DatasetView::all(*data).batch(0, 4);
+  Tensor out = model.net->forward(batch.inputs, true);
+  EXPECT_EQ(out.dim(0), 4);
+  EXPECT_EQ(out.dim(1), model.num_classes);
+  Tensor grad = model.net->backward(Tensor::ones(out.shape()));
+  EXPECT_EQ(grad.shape(), batch.inputs.shape());
+}
+
+TEST_P(WorkloadSweep, DescribeMatchesForwardShape) {
+  const WorkloadKind kind = GetParam();
+  Rng rng(4);
+  const double hparam = kind == WorkloadKind::kImageClassification ? 34
+                        : kind == WorkloadKind::kSpeech            ? 64
+                        : kind == WorkloadKind::kNlp               ? 5
+                                                                   : 0.4;
+  BuiltModel model = build_workload_model(kind, hparam, rng).value();
+  Shape input = {2};
+  for (auto d : model.proxy_sample_shape) input.push_back(d);
+  auto data = make_workload_data(kind, 4, 4);
+  Batch batch = DatasetView::all(*data).batch(0, 2);
+  Tensor out = model.net->forward(batch.inputs, false);
+  EXPECT_EQ(model.net->describe(input).output_shape, out.shape());
+}
+
+TEST_P(WorkloadSweep, ArchSpecIsPositive) {
+  const WorkloadKind kind = GetParam();
+  Rng rng(5);
+  const double hparam = kind == WorkloadKind::kImageClassification ? 50
+                        : kind == WorkloadKind::kSpeech            ? 128
+                        : kind == WorkloadKind::kNlp               ? 16
+                                                                   : 0.5;
+  BuiltModel model = build_workload_model(kind, hparam, rng).value();
+  EXPECT_GT(model.arch.flops_per_sample, 0);
+  EXPECT_GT(model.arch.params, 0);
+  EXPECT_GT(model.arch.activation_elems, 0);
+  EXPECT_GE(model.arch.kernel_launches,
+            static_cast<double>(model.arch.layers.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweep,
+    ::testing::Values(WorkloadKind::kImageClassification,
+                      WorkloadKind::kSpeech, WorkloadKind::kNlp,
+                      WorkloadKind::kDetection),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return workload_kind_name(info.param);
+    });
+
+// --- GEMM adjoint property across shapes ---------------------------------------
+
+using GemmShape = std::tuple<int, int, int>;
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, TransposeVariantsAgree) {
+  const auto& [m, k, n] = GetParam();
+  Rng rng(stable_hash64(std::to_string(m) + "x" + std::to_string(k)));
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = matmul(a, b);
+  Tensor a_t({k, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) a_t.at2(j, i) = a.at2(i, j);
+  }
+  Tensor b_t({n, k});
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) b_t.at2(j, i) = b.at2(i, j);
+  }
+  Tensor via_tn = matmul_tn(a_t, b);
+  Tensor via_nt = matmul_nt(a, b_t);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(via_tn[i], c[i], 1e-3f);
+    EXPECT_NEAR(via_nt[i], c[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmSweep,
+                         ::testing::Values(GemmShape{1, 1, 1},
+                                           GemmShape{1, 7, 3},
+                                           GemmShape{5, 1, 5},
+                                           GemmShape{8, 16, 4},
+                                           GemmShape{17, 5, 13}));
+
+// --- Queueing: Little's law sanity ----------------------------------------------
+
+TEST(QueueingPropertyTest, LittlesLawHolsApproximately) {
+  // L = lambda * W for a stable system: mean concurrency equals arrival rate
+  // times mean response. Estimate L from utilization + queue behaviour by
+  // checking the throughput-response product stays near the arrival volume.
+  MultiStreamScenarioConfig config;
+  config.arrival_rate_per_s = 30.0;
+  config.max_batch = 8;
+  config.max_wait_s = 0.05;
+  config.horizon_s = 200;
+  auto latency = [](std::int64_t b) {
+    return 0.01 + 0.004 * static_cast<double>(b);
+  };
+  QueueingStats stats =
+      simulate_multistream_scenario(config, latency).value();
+  // Stable: throughput ~ arrival rate.
+  EXPECT_NEAR(stats.throughput_sps, 30.0, 3.0);
+  EXPECT_LT(stats.mean_response_s, 1.0);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,244 @@
+// Tests for parameter spaces and search algorithms (grid, random,
+// HyperBand, BOHB, sequential TPE).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "search/algorithms.hpp"
+
+namespace edgetune {
+namespace {
+
+SearchSpace quadratic_space() {
+  SearchSpace space;
+  space.add(ParamSpec::real("x", -2, 2));
+  space.add(ParamSpec::real("y", -2, 2));
+  return space;
+}
+
+/// Smooth objective with minimum at (1, -0.5).
+double quadratic(const Config& config, double /*resource*/) {
+  const double x = config.at("x"), y = config.at("y");
+  return (x - 1) * (x - 1) + (y + 0.5) * (y + 0.5);
+}
+
+TEST(ParamSpecTest, CategoricalSampleAndClip) {
+  ParamSpec spec = ParamSpec::categorical("layers", {18, 34, 50});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(spec.contains(spec.sample(rng)));
+  }
+  EXPECT_DOUBLE_EQ(spec.clip(30), 34);
+  EXPECT_DOUBLE_EQ(spec.clip(100), 50);
+  EXPECT_FALSE(spec.contains(20));
+}
+
+TEST(ParamSpecTest, IntegerSampleRoundsAndBounds) {
+  ParamSpec spec = ParamSpec::integer("cores", 1, 4);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double v = spec.sample(rng);
+    EXPECT_TRUE(spec.contains(v)) << v;
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+  EXPECT_DOUBLE_EQ(spec.clip(2.4), 2);
+  EXPECT_DOUBLE_EQ(spec.clip(9), 4);
+}
+
+TEST(ParamSpecTest, LogScaleSamplesSpreadAcrossDecades) {
+  ParamSpec spec = ParamSpec::real("lr", 1e-4, 1.0, /*log_scale=*/true);
+  Rng rng(3);
+  int low = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (spec.sample(rng) < 1e-2) ++low;  // half the log-range
+  }
+  EXPECT_NEAR(low / 1000.0, 0.5, 0.07);
+}
+
+TEST(ParamSpecTest, GridShapes) {
+  EXPECT_EQ(ParamSpec::categorical("c", {1, 2, 3}).grid(10).size(), 3u);
+  EXPECT_EQ(ParamSpec::integer("i", 1, 3).grid(10).size(), 3u);
+  EXPECT_EQ(ParamSpec::integer("i", 1, 100).grid(5).size(), 5u);
+  auto grid = ParamSpec::real("r", 0, 1).grid(5);
+  EXPECT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1);
+}
+
+TEST(SearchSpaceTest, SampleValidates) {
+  SearchSpace space = quadratic_space();
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(space.validate(space.sample(rng)).is_ok());
+  }
+}
+
+TEST(SearchSpaceTest, ValidateCatchesMissingAndOutOfRange) {
+  SearchSpace space = quadratic_space();
+  EXPECT_EQ(space.validate({{"x", 0.0}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.validate({{"x", 0.0}, {"y", 5.0}}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SearchSpaceTest, GridIsCartesianProduct) {
+  SearchSpace space;
+  space.add(ParamSpec::categorical("a", {1, 2}));
+  space.add(ParamSpec::categorical("b", {10, 20, 30}));
+  EXPECT_EQ(space.grid(5).size(), 6u);
+}
+
+TEST(SearchSpaceTest, FindByName) {
+  SearchSpace space = quadratic_space();
+  EXPECT_NE(space.find("x"), nullptr);
+  EXPECT_EQ(space.find("z"), nullptr);
+}
+
+TEST(ConfigTest, HashStableAndDiscriminating) {
+  Config a = {{"x", 1.0}, {"y", 2.0}};
+  Config b = {{"y", 2.0}, {"x", 1.0}};  // same content, insertion order moot
+  Config c = {{"x", 1.0}, {"y", 2.1}};
+  EXPECT_EQ(config_hash(a), config_hash(b));
+  EXPECT_NE(config_hash(a), config_hash(c));
+  EXPECT_NE(config_to_string(a).find("x=1.0000"), std::string::npos);
+}
+
+TEST(GridSearchTest, FindsGridOptimum) {
+  GridSearch search(quadratic_space(), /*max_resource=*/1, 5);
+  Rng rng(5);
+  SearchResult result = search.optimize(quadratic, rng);
+  EXPECT_EQ(result.trials.size(), 25u);
+  EXPECT_NEAR(result.best_config.at("x"), 1.0, 1e-9);   // on-grid point
+  EXPECT_NEAR(result.best_config.at("y"), -1.0, 1e-9);  // closest grid value
+}
+
+TEST(RandomSearchTest, ImprovesWithMoreTrials) {
+  Rng rng(6);
+  SearchResult small =
+      RandomSearch(quadratic_space(), 1, 4).optimize(quadratic, rng);
+  Rng rng2(6);
+  SearchResult large =
+      RandomSearch(quadratic_space(), 1, 128).optimize(quadratic, rng2);
+  EXPECT_LE(large.best_objective, small.best_objective);
+  EXPECT_LT(large.best_objective, 0.2);
+}
+
+TEST(HyperBandTest, RungResourceAllocation) {
+  // min 1, max 16, eta 2 -> bracket 0 runs rungs at 1,2,4,8,16 with
+  // 16,8,4,2,1 survivors (the paper's §2.2 example).
+  HyperBandOptions options{1, 16, 2, 1};  // first bracket only
+  auto hb = make_hyperband(quadratic_space(), options);
+  std::map<double, int> evals_per_resource;
+  const EvalFn eval = [&](const Config& config, double resource) {
+    ++evals_per_resource[resource];
+    return quadratic(config, resource);
+  };
+  Rng rng(7);
+  hb->optimize(eval, rng);
+  EXPECT_EQ(evals_per_resource[1], 16);
+  EXPECT_EQ(evals_per_resource[2], 8);
+  EXPECT_EQ(evals_per_resource[4], 4);
+  EXPECT_EQ(evals_per_resource[8], 2);
+  EXPECT_EQ(evals_per_resource[16], 1);
+}
+
+TEST(HyperBandTest, SurvivorsAreTheBest) {
+  // With a resource-independent objective, the config evaluated at max
+  // resource must be the bracket's best-at-any-rung.
+  HyperBandOptions options{1, 4, 2, 1};
+  auto hb = make_hyperband(quadratic_space(), options);
+  double best_seen = std::numeric_limits<double>::infinity();
+  double final_value = -1;
+  const EvalFn eval = [&](const Config& config, double resource) {
+    const double v = quadratic(config, resource);
+    best_seen = std::min(best_seen, v);
+    if (resource == 4) final_value = v;
+    return v;
+  };
+  Rng rng(8);
+  hb->optimize(eval, rng);
+  EXPECT_DOUBLE_EQ(final_value, best_seen);
+}
+
+TEST(BohbTest, BeatsRandomOnStructuredObjective) {
+  // Same evaluation count; BOHB's TPE should find a lower optimum on a
+  // smooth objective. Compare best-of across matched budgets.
+  HyperBandOptions options{1, 8, 2, 0};
+  Rng rng_b(9);
+  auto bohb = make_bohb(quadratic_space(), options);
+  SearchResult bohb_result = bohb->optimize(quadratic, rng_b);
+
+  Rng rng_r(9);
+  RandomSearch random(quadratic_space(), 8,
+                      static_cast<int>(bohb_result.trials.size()));
+  SearchResult random_result = random.optimize(quadratic, rng_r);
+
+  EXPECT_LE(bohb_result.best_objective,
+            random_result.best_objective * 1.5 + 0.05);
+  EXPECT_LT(bohb_result.best_objective, 0.6);
+}
+
+TEST(TpeSearchTest, ConvergesOnQuadratic) {
+  TpeSearch search(quadratic_space(), 1, 48);
+  Rng rng(10);
+  SearchResult result = search.optimize(quadratic, rng);
+  EXPECT_LT(result.best_objective, 0.15);
+  EXPECT_EQ(result.trials.size(), 48u);
+}
+
+TEST(TpeSuggestorTest, SuggestionsStayInDomain) {
+  SearchSpace space;
+  space.add(ParamSpec::categorical("c", {1, 2, 3}));
+  space.add(ParamSpec::integer("i", 1, 8, true));
+  space.add(ParamSpec::real("r", -1, 1));
+  TpeSuggestor suggestor(space);
+  Rng rng(11);
+  // Feed observations, then sample.
+  for (int i = 0; i < 30; ++i) {
+    Config config = space.sample(rng);
+    suggestor.observe({config, 1.0, rng.uniform()});
+  }
+  for (int i = 0; i < 30; ++i) {
+    Config config = suggestor.suggest(rng);
+    EXPECT_TRUE(space.validate(config).is_ok())
+        << config_to_string(config);
+  }
+}
+
+TEST(SearchFactoryTest, KnownAndUnknownNames) {
+  HyperBandOptions options{1, 4, 2, 0};
+  for (const char* name : {"grid", "random", "hyperband", "bohb", "tpe"}) {
+    Result<std::unique_ptr<SearchAlgorithm>> algo =
+        make_search_algorithm(name, quadratic_space(), options);
+    ASSERT_TRUE(algo.ok()) << name;
+  }
+  EXPECT_FALSE(
+      make_search_algorithm("annealing", quadratic_space(), options).ok());
+}
+
+TEST(SearchResultTest, RecordsBestAndIds) {
+  SearchResult result;
+  result.record({{"x", 1.0}}, 1, 5.0);
+  result.record({{"x", 2.0}}, 1, 3.0);
+  result.record({{"x", 3.0}}, 1, 4.0);
+  EXPECT_DOUBLE_EQ(result.best_objective, 3.0);
+  EXPECT_DOUBLE_EQ(result.best_config.at("x"), 2.0);
+  EXPECT_EQ(result.trials[2].id, 2);
+}
+
+TEST(SearchDeterminismTest, SameSeedSameTrajectory) {
+  HyperBandOptions options{1, 8, 2, 0};
+  Rng rng1(12), rng2(12);
+  SearchResult a = make_bohb(quadratic_space(), options)
+                       ->optimize(quadratic, rng1);
+  SearchResult b = make_bohb(quadratic_space(), options)
+                       ->optimize(quadratic, rng2);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].config, b.trials[i].config);
+  }
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,275 @@
+// Tests for the discrete-event core and the Fig 8 batching scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/batching_sim.hpp"
+#include "sim/batching_tuner.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edgetune {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  SimClock clock;
+  std::vector<int> order;
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.run(clock, 10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(EventQueueTest, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run(clock, 2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, StopsAtHorizon) {
+  EventQueue queue;
+  SimClock clock;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });
+  queue.run(clock, 2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  SimClock clock;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    ++chain;
+    if (chain < 4) queue.schedule_in(clock, 1.0, tick);
+  };
+  queue.schedule_at(0.0, tick);
+  queue.run(clock, 10.0);
+  EXPECT_EQ(chain, 4);
+}
+
+// --- Server scenario (fixed-frequency N-sample queries) ------------------------
+
+TEST(ServerScenarioTest, RejectsInvalidConfigs) {
+  auto latency = [](std::int64_t) { return 0.01; };
+  ServerScenarioConfig bad;
+  bad.split_batch = 0;
+  EXPECT_FALSE(simulate_server_scenario(bad, latency).ok());
+  bad = {};
+  bad.query_period_s = 0;
+  EXPECT_FALSE(simulate_server_scenario(bad, latency).ok());
+}
+
+TEST(ServerScenarioTest, UnderloadedResponseEqualsServiceTime) {
+  // One query per second, each of 8 samples, served in 4-sample batches of
+  // 0.05 s each -> response = 2 * 0.05 = 0.1 s, no queueing.
+  ServerScenarioConfig config;
+  config.samples_per_query = 8;
+  config.query_period_s = 1.0;
+  config.split_batch = 4;
+  config.horizon_s = 20.0;
+  auto latency = [](std::int64_t) { return 0.05; };
+  QueueingStats stats = simulate_server_scenario(config, latency).value();
+  EXPECT_NEAR(stats.mean_response_s, 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 4.0);
+  EXPECT_EQ(stats.completed_samples, 8 * 20);
+}
+
+TEST(ServerScenarioTest, OverloadGrowsQueue) {
+  ServerScenarioConfig config;
+  config.samples_per_query = 8;
+  config.query_period_s = 0.05;  // arrivals faster than service
+  config.split_batch = 8;
+  config.horizon_s = 10.0;
+  auto latency = [](std::int64_t) { return 0.2; };
+  QueueingStats stats = simulate_server_scenario(config, latency).value();
+  EXPECT_GT(stats.mean_response_s, 1.0);  // queueing delay dominates
+  EXPECT_NEAR(stats.utilization, 1.0, 0.05);
+}
+
+TEST(ServerScenarioTest, BatchSplitTradesOff) {
+  // With a sublinear latency function, splitting into bigger sub-batches is
+  // more efficient (fewer per-call overheads).
+  auto latency = [](std::int64_t b) {
+    return 0.02 + 0.002 * static_cast<double>(b);
+  };
+  ServerScenarioConfig config;
+  config.samples_per_query = 64;
+  config.query_period_s = 0.8;
+  config.horizon_s = 30.0;
+  config.split_batch = 1;
+  const double r1 =
+      simulate_server_scenario(config, latency).value().mean_response_s;
+  config.split_batch = 32;
+  const double r32 =
+      simulate_server_scenario(config, latency).value().mean_response_s;
+  EXPECT_LT(r32, r1);
+}
+
+// --- Multi-stream scenario (Poisson arrivals) ----------------------------------
+
+TEST(MultiStreamTest, RejectsInvalidConfigs) {
+  auto latency = [](std::int64_t) { return 0.01; };
+  MultiStreamScenarioConfig bad;
+  bad.max_batch = 0;
+  EXPECT_FALSE(simulate_multistream_scenario(bad, latency).ok());
+  bad = {};
+  bad.arrival_rate_per_s = -1;
+  EXPECT_FALSE(simulate_multistream_scenario(bad, latency).ok());
+}
+
+TEST(MultiStreamTest, ArrivalVolumeMatchesRate) {
+  MultiStreamScenarioConfig config;
+  config.arrival_rate_per_s = 100.0;
+  config.horizon_s = 60.0;
+  config.max_batch = 4;
+  config.max_wait_s = 0.01;
+  auto latency = [](std::int64_t) { return 0.001; };
+  QueueingStats stats =
+      simulate_multistream_scenario(config, latency).value();
+  EXPECT_NEAR(static_cast<double>(stats.completed_samples), 6000.0, 400.0);
+}
+
+TEST(MultiStreamTest, DeterministicForSeed) {
+  MultiStreamScenarioConfig config;
+  config.seed = 99;
+  auto latency = [](std::int64_t b) {
+    return 0.01 + 0.001 * static_cast<double>(b);
+  };
+  QueueingStats a = simulate_multistream_scenario(config, latency).value();
+  QueueingStats b = simulate_multistream_scenario(config, latency).value();
+  EXPECT_DOUBLE_EQ(a.mean_response_s, b.mean_response_s);
+  EXPECT_EQ(a.completed_samples, b.completed_samples);
+}
+
+// The paper's §3.4 claim: under load, aggregating single-sample queries into
+// batches improves mean response time when the engine has sublinear batch
+// latency.
+TEST(MultiStreamTest, BatchingImprovesMeanResponseUnderLoad) {
+  auto latency = [](std::int64_t b) {
+    return 0.02 + 0.002 * static_cast<double>(b);  // strongly sublinear
+  };
+  MultiStreamScenarioConfig config;
+  config.arrival_rate_per_s = 80.0;  // overload for batch=1 (service 0.022s)
+  config.horizon_s = 30.0;
+  config.max_wait_s = 0.05;
+  config.max_batch = 1;
+  const double single =
+      simulate_multistream_scenario(config, latency).value().mean_response_s;
+  config.max_batch = 16;
+  const double batched =
+      simulate_multistream_scenario(config, latency).value().mean_response_s;
+  EXPECT_LT(batched, single * 0.5);
+}
+
+TEST(MultiStreamTest, ResponsesIncludeWaitTime) {
+  // A tiny arrival rate with a long timeout: samples wait ~max_wait before
+  // the (solo) batch fires.
+  MultiStreamScenarioConfig config;
+  config.arrival_rate_per_s = 1.0;
+  config.max_batch = 8;
+  config.max_wait_s = 0.5;
+  config.horizon_s = 120.0;
+  auto latency = [](std::int64_t) { return 0.01; };
+  QueueingStats stats =
+      simulate_multistream_scenario(config, latency).value();
+  EXPECT_GT(stats.mean_response_s, 0.4);
+  EXPECT_LT(stats.mean_batch_size, 2.0);
+}
+
+TEST(MultiStreamTest, UtilizationBounded) {
+  MultiStreamScenarioConfig config;
+  config.arrival_rate_per_s = 500.0;
+  config.max_batch = 4;
+  config.horizon_s = 10.0;
+  auto latency = [](std::int64_t) { return 0.05; };
+  QueueingStats stats =
+      simulate_multistream_scenario(config, latency).value();
+  EXPECT_LE(stats.utilization, 1.0);
+  EXPECT_GT(stats.utilization, 0.9);
+}
+
+// --- Batching recommender --------------------------------------------------------
+
+TEST(BatchingTunerTest, ServerRecommendationBeatsSingleSample) {
+  // Sublinear engine: splitting into bigger sub-batches amortizes overhead.
+  auto latency = [](std::int64_t b) {
+    return 0.02 + 0.002 * static_cast<double>(b);
+  };
+  ServerScenarioConfig scenario;
+  scenario.samples_per_query = 64;
+  scenario.query_period_s = 0.8;
+  scenario.horizon_s = 30;
+  Result<ServerBatchingRecommendation> rec =
+      recommend_server_batching(scenario, latency);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.value().split_batch, 1);
+  EXPECT_GE(rec.value().speedup(), 1.0);
+  EXPECT_LE(rec.value().stats.mean_response_s,
+            rec.value().single_sample_stats.mean_response_s);
+}
+
+TEST(BatchingTunerTest, ServerLinearEngineKeepsSmallBatches) {
+  // Perfectly linear engine with no per-call overhead: splitting gains
+  // nothing, and the recommendation must not be worse than split=1.
+  auto latency = [](std::int64_t b) { return 0.001 * static_cast<double>(b); };
+  ServerScenarioConfig scenario;
+  scenario.samples_per_query = 32;
+  scenario.query_period_s = 1.0;
+  scenario.horizon_s = 20;
+  Result<ServerBatchingRecommendation> rec =
+      recommend_server_batching(scenario, latency);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec.value().stats.mean_response_s,
+            rec.value().single_sample_stats.mean_response_s + 1e-12);
+}
+
+TEST(BatchingTunerTest, StreamRecommendationUnderLoad) {
+  auto latency = [](std::int64_t b) {
+    return 0.02 + 0.002 * static_cast<double>(b);
+  };
+  MultiStreamScenarioConfig scenario;
+  scenario.arrival_rate_per_s = 80.0;  // overload for batch-1 service
+  scenario.max_wait_s = 0.05;
+  scenario.horizon_s = 30;
+  Result<StreamBatchingRecommendation> rec =
+      recommend_stream_batching(scenario, latency);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.value().max_batch, 1);
+  EXPECT_GT(rec.value().speedup(), 2.0);
+}
+
+TEST(BatchingTunerTest, StreamLightLoadPrefersNoAggregation) {
+  auto latency = [](std::int64_t b) {
+    return 0.005 + 0.001 * static_cast<double>(b);
+  };
+  MultiStreamScenarioConfig scenario;
+  scenario.arrival_rate_per_s = 5.0;  // far below capacity
+  scenario.max_wait_s = 0.2;
+  scenario.horizon_s = 60;
+  Result<StreamBatchingRecommendation> rec =
+      recommend_stream_batching(scenario, latency);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().max_batch, 1);  // waiting only adds latency
+}
+
+TEST(BatchingTunerTest, InvalidInputsRejected) {
+  auto latency = [](std::int64_t) { return 0.01; };
+  ServerScenarioConfig bad_server;
+  bad_server.samples_per_query = 0;
+  EXPECT_FALSE(recommend_server_batching(bad_server, latency).ok());
+  MultiStreamScenarioConfig stream;
+  EXPECT_FALSE(recommend_stream_batching(stream, latency, 0).ok());
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,265 @@
+// Tests for the tensor substrate: shapes, GEMM (vs naive reference),
+// im2col/col2im adjointness, pooling, softmax invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += a.at2(i, kk) * b.at2(kk, j);
+      }
+      c.at2(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+TEST(TensorTest, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(shape_to_string(t.shape()), "[2, 3, 4]");
+}
+
+TEST(TensorTest, ScalarShapeHasOneElement) {
+  EXPECT_EQ(shape_numel({}), 1);
+}
+
+TEST(TensorTest, FactoryFills) {
+  EXPECT_FLOAT_EQ(Tensor::ones({3}).sum(), 3.0f);
+  EXPECT_FLOAT_EQ(Tensor::zeros({3}).sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::full({2, 2}, 2.5f).sum(), 10.0f);
+  Tensor ar = Tensor::arange(4);
+  EXPECT_FLOAT_EQ(ar[3], 3.0f);
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(3);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::arange(6);
+  Result<Tensor> r = t.reshaped({2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.value().at2(1, 2), 5.0f);
+}
+
+TEST(TensorTest, ReshapeRejectsMismatch) {
+  Tensor t = Tensor::arange(6);
+  EXPECT_FALSE(t.reshaped({4, 2}).ok());
+}
+
+TEST(TensorTest, InplaceOps) {
+  Tensor a = Tensor::ones({4});
+  Tensor b = Tensor::full({4}, 2.0f);
+  a.add_inplace(b);
+  EXPECT_FLOAT_EQ(a.sum(), 12.0f);
+  a.scale_inplace(0.5f);
+  EXPECT_FLOAT_EQ(a.sum(), 6.0f);
+  a.axpy_inplace(2.0f, b, -1.0f);  // a = 2a - b = 3-2=1 each
+  EXPECT_FLOAT_EQ(a.sum(), 4.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, std::vector<float>{-1, 2, 0.5f, -3});
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_NEAR(t.norm(), std::sqrt(1 + 4 + 0.25 + 9), 1e-5);
+}
+
+TEST(MatmulTest, MatchesNaive) {
+  Rng rng(11);
+  Tensor a = Tensor::randn({7, 5}, rng);
+  Tensor b = Tensor::randn({5, 9}, rng);
+  expect_close(matmul(a, b), naive_matmul(a, b));
+}
+
+TEST(MatmulTest, TransposedVariantsConsistent) {
+  Rng rng(12);
+  Tensor a = Tensor::randn({6, 4}, rng);   // [m,k]
+  Tensor b = Tensor::randn({4, 5}, rng);   // [k,n]
+  Tensor c = matmul(a, b);
+
+  // matmul_tn(a^T stored as [k,m], b) should equal c.
+  Tensor a_t({4, 6});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t k = 0; k < 4; ++k) a_t.at2(k, i) = a.at2(i, k);
+  }
+  expect_close(matmul_tn(a_t, b), c);
+
+  // matmul_nt(a, b^T stored as [n,k]) should equal c.
+  Tensor b_t({5, 4});
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t j = 0; j < 5; ++j) b_t.at2(j, k) = b.at2(k, j);
+  }
+  expect_close(matmul_nt(a, b_t), c);
+}
+
+TEST(MatmulTest, IdentityIsNeutral) {
+  Rng rng(13);
+  Tensor a = Tensor::randn({3, 3}, rng);
+  Tensor eye = Tensor::zeros({3, 3});
+  for (int i = 0; i < 3; ++i) eye.at2(i, i) = 1.0f;
+  expect_close(matmul(a, eye), a);
+}
+
+TEST(Im2ColTest, KnownSmallCase) {
+  // 1x1x3x3 input, kernel 2, stride 1, no padding -> 4 patches of 4.
+  Tensor input({1, 1, 3, 3},
+               std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Conv2dGeometry geo{1, 3, 3, 2, 1, 0};
+  Tensor cols = im2col(input, geo);
+  ASSERT_EQ(cols.dim(0), 4);
+  ASSERT_EQ(cols.dim(1), 4);
+  const float expected0[] = {1, 2, 4, 5};
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(cols.at2(0, i), expected0[i]);
+  const float expected3[] = {5, 6, 8, 9};
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(cols.at2(3, i), expected3[i]);
+}
+
+TEST(Im2ColTest, PaddingZeroFills) {
+  Tensor input({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Conv2dGeometry geo{1, 2, 2, 3, 1, 1};
+  Tensor cols = im2col(input, geo);
+  ASSERT_EQ(cols.dim(0), 4);  // 2x2 output positions
+  // First patch (centered at -1,-1 .. 1,1): corners are zero padding.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at2(0, 4), 1.0f);  // center hits input(0,0)
+}
+
+// Adjointness: <im2col(x), y> == <x, col2im(y)> for all x, y — the property
+// conv backward relies on.
+TEST(Im2ColTest, Col2ImIsAdjoint) {
+  Rng rng(21);
+  Conv2dGeometry geo{2, 5, 5, 3, 2, 1};
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  Tensor cols = im2col(x, geo);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols[i] * y[i];
+  Tensor back = col2im(y, 2, geo);
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Im2Col1dTest, Adjoint) {
+  Rng rng(22);
+  Conv1dGeometry geo{3, 9, 4, 2, 1};
+  Tensor x = Tensor::randn({2, 3, 9}, rng);
+  Tensor cols = im2col_1d(x, geo);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols[i] * y[i];
+  Tensor back = col2im_1d(y, 2, geo);
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(PoolTest, MaxPool2dPicksMaxima) {
+  Tensor input({1, 1, 4, 4},
+               std::vector<float>{1, 2, 5, 6,    //
+                                  3, 4, 7, 8,    //
+                                  -1, -2, 0, 1,  //
+                                  -3, 9, 2, 3});
+  PoolResult result = maxpool2d(input, 2, 2);
+  ASSERT_EQ(result.output.numel(), 4);
+  EXPECT_FLOAT_EQ(result.output[0], 4);
+  EXPECT_FLOAT_EQ(result.output[1], 8);
+  EXPECT_FLOAT_EQ(result.output[2], 9);
+  EXPECT_FLOAT_EQ(result.output[3], 3);
+}
+
+TEST(PoolTest, MaxPool2dBackwardRoutesToArgmax) {
+  Tensor input({1, 1, 2, 2}, std::vector<float>{1, 5, 2, 3});
+  PoolResult result = maxpool2d(input, 2, 2);
+  Tensor grad_out({1, 1, 1, 1}, std::vector<float>{10});
+  Tensor grad_in =
+      maxpool2d_backward(grad_out, result.argmax, input.shape());
+  EXPECT_FLOAT_EQ(grad_in[0], 0);
+  EXPECT_FLOAT_EQ(grad_in[1], 10);  // position of the 5
+}
+
+TEST(PoolTest, GlobalAvgPool) {
+  Tensor input({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor out = global_avg_pool(input);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 25.0f);
+  Tensor grad = global_avg_pool_backward(Tensor({1, 2}, {4.0f, 8.0f}),
+                                         input.shape());
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad[4], 2.0f);
+}
+
+TEST(PoolTest, MaxPool1d) {
+  Tensor input({1, 1, 6}, std::vector<float>{1, 3, 2, 7, 0, 5});
+  PoolResult result = maxpool1d(input, 2, 2);
+  EXPECT_FLOAT_EQ(result.output[0], 3);
+  EXPECT_FLOAT_EQ(result.output[1], 7);
+  EXPECT_FLOAT_EQ(result.output[2], 5);
+  Tensor grad_in = maxpool1d_backward(
+      Tensor({1, 1, 3}, {1.0f, 2.0f, 3.0f}), result.argmax, input.shape());
+  EXPECT_FLOAT_EQ(grad_in[1], 1);
+  EXPECT_FLOAT_EQ(grad_in[3], 2);
+  EXPECT_FLOAT_EQ(grad_in[5], 3);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(31);
+  Tensor logits = Tensor::randn({5, 7}, rng, 0.0f, 3.0f);
+  Tensor probs = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(probs.at2(r, c), 0.0f);
+      sum += probs.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Tensor logits({1, 3}, std::vector<float>{1000, 1001, 1002});
+  Tensor probs = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(probs[0]));
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(32);
+  Tensor logits = Tensor::randn({3, 4}, rng);
+  Tensor p = softmax_rows(logits);
+  Tensor lp = log_softmax_rows(logits);
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-4f);
+  }
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{11, 12, 13});
+  expect_close(softmax_rows(a), softmax_rows(b), 1e-6f);
+}
+
+}  // namespace
+}  // namespace edgetune

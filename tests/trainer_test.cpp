@@ -1,0 +1,112 @@
+// Tests for the Trainer loop: history, early stopping, LR decay.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "data/trainer.hpp"
+#include "models/models.hpp"
+
+namespace edgetune {
+namespace {
+
+struct Fixture {
+  BuiltModel model;
+  std::unique_ptr<Dataset> dataset;
+  DatasetView train, val;
+  Rng rng{7};
+
+  Fixture() {
+    Rng build_rng(1);
+    model = build_text_rnn({.stride = 1, .num_classes = 4}, build_rng)
+                .value();
+    dataset = make_workload_data(WorkloadKind::kNlp, 500, 3);
+    Rng split_rng(2);
+    auto [t, v] = DatasetView::all(*dataset).split(0.8, split_rng);
+    train = std::move(t);
+    val = std::move(v);
+  }
+};
+
+TEST(TrainerTest, FitRecordsHistoryAndImproves) {
+  Fixture f;
+  TrainerOptions options;
+  options.epochs = 6;
+  options.sgd.learning_rate = 0.05;
+  Trainer trainer(*f.model.net, options, f.rng);
+  Result<TrainingHistory> history = trainer.fit(f.train, f.val);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().epochs_run(), 6);
+  EXPECT_GT(history.value().best_accuracy, 0.4);
+  EXPECT_GE(history.value().best_epoch, 1);
+  // Loss decreases over training.
+  EXPECT_LT(history.value().epochs.back().train_loss,
+            history.value().epochs.front().train_loss);
+  // Epochs are numbered 1..N.
+  EXPECT_EQ(history.value().epochs.front().epoch, 1);
+  EXPECT_EQ(history.value().epochs.back().epoch, 6);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  Fixture f;
+  TrainerOptions options;
+  options.epochs = 40;
+  options.sgd.learning_rate = 0.1;
+  options.patience = 3;
+  Trainer trainer(*f.model.net, options, f.rng);
+  Result<TrainingHistory> history = trainer.fit(f.train, f.val);
+  ASSERT_TRUE(history.ok());
+  // The easy task converges early; patience must kick in well before 40.
+  EXPECT_TRUE(history.value().stopped_early);
+  EXPECT_LT(history.value().epochs_run(), 40);
+  EXPECT_GE(history.value().epochs_run(),
+            history.value().best_epoch);
+}
+
+TEST(TrainerTest, LrDecayDoesNotBreakTraining) {
+  Fixture f;
+  TrainerOptions options;
+  options.epochs = 6;
+  options.sgd.learning_rate = 0.1;
+  options.lr_decay = 0.5;
+  options.lr_decay_every = 2;
+  Trainer trainer(*f.model.net, options, f.rng);
+  Result<TrainingHistory> history = trainer.fit(f.train, f.val);
+  ASSERT_TRUE(history.ok());
+  EXPECT_GT(history.value().best_accuracy, 0.4);
+}
+
+TEST(TrainerTest, EmptyTrainViewIsError) {
+  Fixture f;
+  TrainerOptions options;
+  Trainer trainer(*f.model.net, options, f.rng);
+  EXPECT_FALSE(trainer.fit(DatasetView{}, f.val).ok());
+}
+
+TEST(TrainerTest, InvalidOptionsAreErrors) {
+  Fixture f;
+  TrainerOptions options;
+  options.epochs = 0;
+  Trainer trainer(*f.model.net, options, f.rng);
+  EXPECT_FALSE(trainer.fit(f.train, f.val).ok());
+}
+
+TEST(TrainerTest, SkippedValidationYieldsZeroAccuracies) {
+  Fixture f;
+  TrainerOptions options;
+  options.epochs = 2;
+  Trainer trainer(*f.model.net, options, f.rng);
+  Result<TrainingHistory> history = trainer.fit(f.train, DatasetView{});
+  ASSERT_TRUE(history.ok());
+  for (const EpochRecord& e : history.value().epochs) {
+    EXPECT_DOUBLE_EQ(e.val_accuracy, 0.0);
+  }
+}
+
+TEST(TrainerTest, EvaluateMatchesManualAccuracy) {
+  Fixture f;
+  const double acc = Trainer::evaluate(*f.model.net, f.val);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,341 @@
+// Tests for the tuning core: objectives, historical cache, inference tuning
+// server (incl. async pipelining), trial runner.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/stopwatch.hpp"
+#include "tuning/baselines.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+namespace {
+
+ArchSpec nlp_arch(std::int64_t stride = 2) {
+  Rng rng(1);
+  return build_text_rnn({.stride = stride, .num_classes = 4}, rng)
+      .value()
+      .arch;
+}
+
+// --- Objectives ----------------------------------------------------------------
+
+TEST(ObjectiveTest, RuntimeRatio) {
+  TrialOutcome trial;
+  trial.accuracy = 0.8;
+  trial.train_time_s = 100;
+  InferenceRecommendation rec;
+  rec.throughput_sps = 50;  // per-sample time 0.02
+  EXPECT_NEAR(tuning_objective(MetricOfInterest::kRuntime, trial, rec, true),
+              100 * 0.02 / 0.8, 1e-9);
+}
+
+TEST(ObjectiveTest, EnergyRatio) {
+  TrialOutcome trial;
+  trial.accuracy = 0.5;
+  trial.train_energy_j = 1000;
+  InferenceRecommendation rec;
+  rec.energy_per_sample_j = 0.2;
+  EXPECT_NEAR(tuning_objective(MetricOfInterest::kEnergy, trial, rec, true),
+              1000 * 0.2 / 0.5, 1e-9);
+}
+
+TEST(ObjectiveTest, NonAwareDropsInferenceTerm) {
+  TrialOutcome trial;
+  trial.accuracy = 0.8;
+  trial.train_time_s = 100;
+  InferenceRecommendation rec;
+  rec.throughput_sps = 50;
+  EXPECT_NEAR(
+      tuning_objective(MetricOfInterest::kRuntime, trial, rec, false),
+      100 / 0.8, 1e-9);
+}
+
+TEST(ObjectiveTest, AccuracyFloorPreventsDivideByZero) {
+  TrialOutcome trial;
+  trial.accuracy = 0.0;
+  trial.train_time_s = 10;
+  InferenceRecommendation rec;
+  const double obj =
+      tuning_objective(MetricOfInterest::kRuntime, trial, rec, false);
+  EXPECT_TRUE(std::isfinite(obj));
+}
+
+TEST(ObjectiveTest, BetterTrialsScoreLower) {
+  TrialOutcome fast{.accuracy = 0.8, .train_time_s = 50,
+                    .train_energy_j = 100, .arch_id = "a"};
+  TrialOutcome slow{.accuracy = 0.8, .train_time_s = 200,
+                    .train_energy_j = 100, .arch_id = "a"};
+  InferenceRecommendation rec;
+  rec.throughput_sps = 10;
+  EXPECT_LT(tuning_objective(MetricOfInterest::kRuntime, fast, rec, true),
+            tuning_objective(MetricOfInterest::kRuntime, slow, rec, true));
+}
+
+TEST(ObjectiveTest, InferenceObjectiveSelectsMetric) {
+  EXPECT_DOUBLE_EQ(
+      inference_objective(MetricOfInterest::kRuntime, 0.5, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(inference_objective(MetricOfInterest::kEnergy, 0.5, 2.0),
+                   2.0);
+}
+
+// --- HistoricalCache -------------------------------------------------------------
+
+TEST(CacheTest, StoreAndLookup) {
+  HistoricalCache cache;
+  InferenceRecommendation rec;
+  rec.config = {{"inf_batch", 8.0}};
+  rec.throughput_sps = 42;
+  ASSERT_TRUE(cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec).is_ok());
+  auto hit = cache.lookup("arch1", "rpi3b", MetricOfInterest::kEnergy);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_DOUBLE_EQ(hit->throughput_sps, 42);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheTest, DeviceIsPartOfTheKey) {
+  HistoricalCache cache;
+  InferenceRecommendation rec;
+  cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec);
+  EXPECT_FALSE(
+      cache.lookup("arch1", "armv7", MetricOfInterest::kEnergy).has_value());
+  EXPECT_TRUE(
+      cache.lookup("arch1", "rpi3b", MetricOfInterest::kEnergy).has_value());
+}
+
+TEST(CacheTest, ObjectiveIsPartOfTheKey) {
+  HistoricalCache cache;
+  InferenceRecommendation rec;
+  cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec);
+  EXPECT_FALSE(cache.lookup("arch1", "rpi3b", MetricOfInterest::kRuntime).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheTest, PersistsAcrossInstances) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_cache_test.json")
+          .string();
+  std::remove(path.c_str());
+  {
+    HistoricalCache cache(path);
+    InferenceRecommendation rec;
+    rec.config = {{"inf_batch", 16.0}, {"cores", 2.0}};
+    rec.energy_per_sample_j = 0.125;
+    ASSERT_TRUE(
+        cache.store("resnet18", "rpi3b", MetricOfInterest::kEnergy, rec).is_ok());
+  }
+  {
+    HistoricalCache cache(path);
+    auto hit = cache.lookup("resnet18", "rpi3b", MetricOfInterest::kEnergy);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->energy_per_sample_j, 0.125);
+    EXPECT_DOUBLE_EQ(hit->config.at("inf_batch"), 16.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheTest, CorruptFileStartsEmpty) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_corrupt.json")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not json at all {", f);
+    std::fclose(f);
+  }
+  HistoricalCache cache(path);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+// --- InferenceTuningServer --------------------------------------------------------
+
+TEST(InferenceServerTest, TunesAndRespectsDomain) {
+  InferenceServerOptions options;
+  options.algorithm = "grid";
+  options.objective = MetricOfInterest::kEnergy;
+  InferenceTuningServer server(device_rpi3b(), options);
+  Result<InferenceRecommendation> rec = server.tune(nlp_arch());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.value().throughput_sps, 0);
+  EXPECT_FALSE(rec.value().from_cache);
+  EXPECT_GT(rec.value().tuning_time_s, 0);
+  EXPECT_TRUE(server.search_space().validate(rec.value().config).is_ok());
+}
+
+TEST(InferenceServerTest, SecondTuneHitsCacheAtZeroCost) {
+  InferenceServerOptions options;
+  options.algorithm = "grid";
+  InferenceTuningServer server(device_rpi3b(), options);
+  InferenceRecommendation first = server.tune(nlp_arch()).value();
+  InferenceRecommendation second = server.tune(nlp_arch()).value();
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_DOUBLE_EQ(second.tuning_time_s, 0);
+  EXPECT_DOUBLE_EQ(second.tuning_energy_j, 0);
+  EXPECT_EQ(second.config, first.config);
+}
+
+TEST(InferenceServerTest, GridBeatsOrMatchesDefaultConfig) {
+  InferenceServerOptions options;
+  options.algorithm = "grid";
+  options.objective = MetricOfInterest::kEnergy;
+  InferenceTuningServer server(device_rpi3b(), options);
+  ArchSpec arch = nlp_arch();
+  InferenceRecommendation rec = server.tune(arch).value();
+  CostEstimate default_est =
+      server.evaluate(arch, {.batch_size = 1, .cores = 1}).value();
+  EXPECT_LE(rec.energy_per_sample_j, default_est.energy_per_sample_j(1));
+}
+
+TEST(InferenceServerTest, BohbAlgorithmAlsoWorks) {
+  InferenceServerOptions options;
+  options.algorithm = "bohb";
+  InferenceTuningServer server(device_i7_7567u(), options);
+  Result<InferenceRecommendation> rec = server.tune(nlp_arch(3));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.value().throughput_sps, 0);
+}
+
+TEST(InferenceServerTest, MemoryBudgetConstrainsRecommendation) {
+  Rng rng(9);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  InferenceServerOptions unconstrained;
+  unconstrained.algorithm = "grid";
+  unconstrained.objective = MetricOfInterest::kRuntime;
+  InferenceTuningServer free_server(device_armv7(), unconstrained);
+  InferenceRecommendation free_rec = free_server.tune(arch).value();
+  EXPECT_GT(free_rec.peak_memory_bytes, 0);
+
+  // Budget below the unconstrained pick's footprint forces a leaner config.
+  InferenceServerOptions constrained = unconstrained;
+  constrained.max_memory_bytes = free_rec.peak_memory_bytes * 0.9;
+  InferenceTuningServer tight_server(device_armv7(), constrained);
+  InferenceRecommendation tight_rec = tight_server.tune(arch).value();
+  EXPECT_LE(tight_rec.peak_memory_bytes, constrained.max_memory_bytes);
+  EXPECT_LE(tight_rec.throughput_sps, free_rec.throughput_sps * 1.001);
+}
+
+TEST(InferenceServerTest, SubmitIsAsynchronous) {
+  InferenceServerOptions options;
+  options.algorithm = "grid";
+  options.workers = 2;
+  InferenceTuningServer server(device_rpi3b(), options);
+  auto f1 = server.submit(nlp_arch(2));
+  auto f2 = server.submit(nlp_arch(5));
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+  // Distinct architectures produced distinct cache entries.
+  EXPECT_EQ(server.cache().size(), 2u);
+}
+
+TEST(InferenceServerTest, DistinctObjectivesCanDiffer) {
+  ArchSpec arch = nlp_arch();
+  InferenceServerOptions runtime_opts;
+  runtime_opts.algorithm = "grid";
+  runtime_opts.objective = MetricOfInterest::kRuntime;
+  InferenceTuningServer runtime_server(device_rpi3b(), runtime_opts);
+  InferenceRecommendation fast = runtime_server.tune(arch).value();
+
+  InferenceServerOptions energy_opts;
+  energy_opts.algorithm = "grid";
+  energy_opts.objective = MetricOfInterest::kEnergy;
+  InferenceTuningServer energy_server(device_rpi3b(), energy_opts);
+  InferenceRecommendation frugal = energy_server.tune(arch).value();
+
+  // The runtime-optimal config cannot be slower than the energy-optimal one,
+  // and the energy-optimal cannot burn more J/sample than the runtime one.
+  EXPECT_GE(fast.throughput_sps, frugal.throughput_sps * 0.999);
+  EXPECT_LE(frugal.energy_per_sample_j, fast.energy_per_sample_j * 1.001);
+}
+
+// --- TrialRunner -------------------------------------------------------------------
+
+TrialRunnerOptions small_runner(WorkloadKind kind) {
+  TrialRunnerOptions options;
+  options.workload = kind;
+  options.proxy_samples = 300;
+  options.seed = 5;
+  return options;
+}
+
+TEST(TrialRunnerTest, RunsAndReportsSaneOutcome) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  Config config = {{"model_hparam", 2}, {"train_batch", 128}, {"lr", 0.05},
+                   {"num_gpus", 1}};
+  Result<TrialOutcome> outcome = runner.run(config, {2, 0.5});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome.value().accuracy, 0.0);
+  EXPECT_LE(outcome.value().accuracy, 1.0);
+  EXPECT_GT(outcome.value().train_time_s, 0);
+  EXPECT_GT(outcome.value().train_energy_j, 0);
+  EXPECT_EQ(outcome.value().arch_id, "textrnn_s2");
+}
+
+TEST(TrialRunnerTest, MissingModelHparamIsAnError) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  EXPECT_FALSE(runner.run({{"train_batch", 64}}, {1, 0.5}).ok());
+  EXPECT_FALSE(runner.arch_for({{"train_batch", 64}}).ok());
+}
+
+TEST(TrialRunnerTest, BudgetScalesSimulatedCost) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  Config config = {{"model_hparam", 2}, {"train_batch", 128}, {"lr", 0.05}};
+  const double t_small =
+      runner.run(config, {1, 0.2}).value().train_time_s;
+  const double t_large =
+      runner.run(config, {4, 0.8}).value().train_time_s;
+  // 4 epochs on 4x the data ~ 16x the work.
+  EXPECT_NEAR(t_large / t_small, 16.0, 2.0);
+}
+
+TEST(TrialRunnerTest, MoreBudgetImprovesAccuracy) {
+  TrialRunnerOptions options = small_runner(WorkloadKind::kNlp);
+  options.proxy_samples = 800;  // enough data for the noisy NLP task
+  TrialRunner runner(options);
+  Config config = {{"model_hparam", 1}, {"train_batch", 64}, {"lr", 0.05}};
+  const double acc_small = runner.run(config, {1, 0.2}).value().accuracy;
+  const double acc_large = runner.run(config, {8, 1.0}).value().accuracy;
+  EXPECT_GT(acc_large, acc_small);
+  EXPECT_GT(acc_large, 0.5);
+}
+
+TEST(TrialRunnerTest, ArchForMatchesRunOutcome) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  Config config = {{"model_hparam", 4}, {"train_batch", 64}, {"lr", 0.05}};
+  ArchSpec arch = runner.arch_for(config).value();
+  TrialOutcome outcome = runner.run(config, {1, 0.3}).value();
+  EXPECT_EQ(arch.id, outcome.arch_id);
+}
+
+TEST(TrialRunnerTest, TimeCapLimitsEpochs) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  Config config = {{"model_hparam", 2}, {"train_batch", 128}, {"lr", 0.05}};
+  // Uncapped: 8 epochs of simulated time.
+  TrialBudget full{8, 1.0};
+  const double t_full = runner.run(config, full).value().train_time_s;
+  // Cap at roughly a quarter of that: at most ~2 epochs run.
+  TrialBudget capped{8, 1.0, t_full / 4.0};
+  const double t_capped = runner.run(config, capped).value().train_time_s;
+  EXPECT_LE(t_capped, t_full / 3.0);
+  EXPECT_GT(t_capped, 0);
+  // A cap smaller than one epoch still runs one epoch.
+  TrialBudget tiny{8, 1.0, 1e-9};
+  EXPECT_NEAR(runner.run(config, tiny).value().train_time_s, t_full / 8.0,
+              t_full / 80.0);
+}
+
+TEST(TrialRunnerTest, GpuCountChangesSimulatedTimeNotAccuracy) {
+  TrialRunner runner(small_runner(WorkloadKind::kNlp));
+  Config base = {{"model_hparam", 2}, {"train_batch", 512}, {"lr", 0.05},
+                 {"num_gpus", 1}};
+  Config multi = base;
+  multi["num_gpus"] = 8;
+  TrialOutcome a = runner.run(base, {2, 0.5}).value();
+  TrialOutcome b = runner.run(multi, {2, 0.5}).value();
+  EXPECT_NE(a.train_time_s, b.train_time_s);
+}
+
+}  // namespace
+}  // namespace edgetune

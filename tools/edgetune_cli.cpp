@@ -1,0 +1,195 @@
+// edgetune — the tuning server's command-line front end.
+//
+// Runs a complete inference-aware tuning job and prints (and optionally
+// saves) the report: the winning model configuration, the edge-deployment
+// recommendation, and the tuning cost.
+//
+// Examples:
+//   edgetune --workload IC
+//   edgetune --workload OD --budget epochs --metric energy --seed 3
+//   edgetune --workload SR --system tune            # baseline comparison
+//   edgetune --workload NLP --edge-device i7 --report out.json
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "tuning/baselines.hpp"
+#include "device/profile_io.hpp"
+#include "tuning/finalize.hpp"
+#include "tuning/pareto.hpp"
+#include "tuning/report_io.hpp"
+
+using namespace edgetune;
+
+namespace {
+
+Result<WorkloadKind> parse_workload(const std::string& text) {
+  if (text == "IC") return WorkloadKind::kImageClassification;
+  if (text == "SR") return WorkloadKind::kSpeech;
+  if (text == "NLP") return WorkloadKind::kNlp;
+  if (text == "OD") return WorkloadKind::kDetection;
+  return Status::invalid_argument("workload must be IC, SR, NLP, or OD");
+}
+
+void print_report(const TuningReport& report, const EdgeTuneOptions& options) {
+  std::printf("system               : %s\n", report.system.c_str());
+  std::printf("trials run           : %zu\n", report.trials.size());
+  std::printf("best model config    : %s\n",
+              config_to_string(report.best_config).c_str());
+  std::printf("best accuracy        : %.1f %%\n", report.best_accuracy * 100);
+  std::printf("tuning runtime (sim) : %.2f min\n",
+              report.tuning_runtime_s / 60.0);
+  std::printf("tuning energy (sim)  : %.2f kJ\n",
+              report.tuning_energy_j / 1000.0);
+  std::printf("inference cache      : %zu hits / %zu misses\n",
+              report.cache_hits, report.cache_misses);
+  std::printf("-- deployment recommendation (%s) --\n",
+              options.edge_device.name.c_str());
+  std::printf("config               : %s\n",
+              config_to_string(report.inference.config).c_str());
+  std::printf("throughput           : %.2f samples/s\n",
+              report.inference.throughput_sps);
+  std::printf("energy per sample    : %.4f J\n",
+              report.inference.energy_per_sample_j);
+  if (report.inference.peak_memory_bytes > 0) {
+    std::printf("peak memory          : %.1f MB\n",
+                report.inference.peak_memory_bytes / 1e6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.define("workload", "IC", "workload: IC, SR, NLP, OD")
+      .define("system", "edgetune",
+              "edgetune | tune | hyperpower | hierarchical")
+      .define("algorithm", "bohb", "search: grid, random, hyperband, bohb, tpe")
+      .define("budget", "multi-budget", "budget: epochs, dataset, multi-budget")
+      .define("metric", "runtime", "tuning metric: runtime or energy")
+      .define("inference-metric", "energy",
+              "inference objective: runtime or energy")
+      .define("edge-device", "rpi3b", "armv7, rpi3b, or i7")
+      .define("device-file", "", "JSON device profile (overrides edge-device)")
+      .define("max-resource", "8", "HyperBand max budget units")
+      .define("eta", "2", "successive-halving reduction factor")
+      .define("proxy-samples", "500", "synthetic proxy dataset size")
+      .define("target-accuracy", "0", "stop once reached (0 = off)")
+      .define("power-cap", "800", "HyperPower power cap [W]")
+      .define("cache-file", "", "persistent historical cache path")
+      .define("report", "", "write the full JSON report here")
+      .define("extra-devices", "",
+              "comma-separated extra edge devices to recommend for")
+      .define("save-model", "",
+              "retrain the winner at full budget and checkpoint here")
+      .define("pareto", "false", "print the Pareto front of the trial log")
+      .define("seed", "7", "master seed")
+      .define("help", "false", "print this help");
+
+  if (Status status = flags.parse(argc, argv); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    std::printf("edgetune — inference-aware multi-parameter tuning\n\n%s",
+                flags.help().c_str());
+    return 0;
+  }
+
+  Result<WorkloadKind> workload = parse_workload(flags.get("workload"));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 2;
+  }
+  Result<DeviceProfile> edge =
+      flags.get("device-file").empty()
+          ? device_by_name(flags.get("edge-device"))
+          : load_device_profile(flags.get("device-file"));
+  if (!edge.ok()) {
+    std::fprintf(stderr, "%s\n", edge.status().to_string().c_str());
+    return 2;
+  }
+
+  EdgeTuneOptions options;
+  options.workload = workload.value();
+  options.search_algorithm = flags.get("algorithm");
+  options.budget_policy = flags.get("budget");
+  options.tuning_metric = flags.get("metric") == "energy"
+                              ? MetricOfInterest::kEnergy
+                              : MetricOfInterest::kRuntime;
+  options.inference.objective = flags.get("inference-metric") == "runtime"
+                                    ? MetricOfInterest::kRuntime
+                                    : MetricOfInterest::kEnergy;
+  options.inference.algorithm = "grid";
+  options.inference.cache_path = flags.get("cache-file");
+  options.edge_device = edge.value();
+  options.hyperband.max_resource = flags.get_double("max-resource");
+  options.hyperband.eta = flags.get_double("eta");
+  options.hyperband.max_brackets = 2;
+  options.runner.proxy_samples = flags.get_int("proxy-samples");
+  options.target_accuracy = flags.get_double("target-accuracy");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (const std::string& extras = flags.get("extra-devices");
+      !extras.empty()) {
+    for (const std::string& name : split(extras, ',')) {
+      Result<DeviceProfile> device = device_by_name(trim(name));
+      if (!device.ok()) {
+        std::fprintf(stderr, "%s\n", device.status().to_string().c_str());
+        return 2;
+      }
+      options.extra_edge_devices.push_back(std::move(device).value());
+    }
+  }
+
+  const std::string system = flags.get("system");
+  Result<TuningReport> report = [&]() -> Result<TuningReport> {
+    if (system == "edgetune") return EdgeTune(options).run();
+    if (system == "tune") return run_tune_baseline(options);
+    if (system == "hyperpower") {
+      return run_hyperpower_baseline(options, flags.get_double("power-cap"));
+    }
+    if (system == "hierarchical") return run_hierarchical(options);
+    return Status::invalid_argument("unknown --system " + system);
+  }();
+  if (!report.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+
+  print_report(report.value(), options);
+  for (const auto& [device, rec] : report.value().per_device) {
+    std::printf("-- %s --  %s  %.2f samples/s, %.4f J/sample\n",
+                device.c_str(), config_to_string(rec.config).c_str(),
+                rec.throughput_sps, rec.energy_per_sample_j);
+  }
+  if (flags.get_bool("pareto")) {
+    std::printf("-- Pareto front (accuracy / duration / energy) --\n");
+    for (const TrialLog& t : pareto_front(report.value().trials)) {
+      std::printf("trial %2d: %5.1f%% %8.1fs %10.0fJ  %s\n", t.id,
+                  100 * t.accuracy, t.duration_s, t.energy_j,
+                  config_to_string(t.config).c_str());
+    }
+  }
+  if (const std::string& ckpt = flags.get("save-model"); !ckpt.empty()) {
+    FinalizeOptions finalize;
+    finalize.checkpoint_path = ckpt;
+    Result<FinalizedModel> final_model =
+        finalize_best_model(options, report.value(), finalize);
+    if (!final_model.ok()) {
+      std::fprintf(stderr, "finalize failed: %s\n",
+                   final_model.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("trained model saved to %s (final accuracy %.1f%%)\n",
+                ckpt.c_str(), 100 * final_model.value().accuracy);
+  }
+  if (const std::string& path = flags.get("report"); !path.empty()) {
+    if (Status status = save_report(report.value(), path); !status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// edgetune_profile — per-layer inference latency breakdown of a model on an
+// emulated edge device (an nn-Meter-style view of the cost model).
+//
+// Usage: edgetune_profile [--model resnet18] [--edge-device rpi3b]
+//                         [--batch 1] [--cores 4]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "device/cost_model.hpp"
+#include "device/profile_io.hpp"
+#include "models/models.hpp"
+
+using namespace edgetune;
+
+namespace {
+
+Result<BuiltModel> build_by_name(const std::string& name, Rng& rng) {
+  if (name == "resnet18") return build_resnet({.depth = 18}, rng);
+  if (name == "resnet34") return build_resnet({.depth = 34}, rng);
+  if (name == "resnet50") return build_resnet({.depth = 50}, rng);
+  if (name == "alexnet") return build_alexnet({}, rng);
+  if (name == "m5") return build_m5({}, rng);
+  if (name == "textrnn") return build_text_rnn({}, rng);
+  if (name == "yolo") return build_tiny_yolo({}, rng);
+  return Status::not_found(
+      "unknown model '" + name +
+      "' (resnet18/34/50, alexnet, m5, textrnn, yolo)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.define("model", "resnet18", "model to profile")
+      .define("edge-device", "rpi3b", "armv7, rpi3b, i7, titan")
+      .define("device-file", "", "JSON device profile")
+      .define("batch", "1", "inference batch size")
+      .define("cores", "4", "CPU cores")
+      .define("help", "false", "print this help");
+  if (Status status = flags.parse(argc, argv); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    std::printf("edgetune_profile — per-layer latency breakdown\n\n%s",
+                flags.help().c_str());
+    return 0;
+  }
+
+  Rng rng(1);
+  Result<BuiltModel> model = build_by_name(flags.get("model"), rng);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().to_string().c_str());
+    return 2;
+  }
+  Result<DeviceProfile> device =
+      flags.get("device-file").empty()
+          ? device_by_name(flags.get("edge-device"))
+          : load_device_profile(flags.get("device-file"));
+  if (!device.ok()) {
+    std::fprintf(stderr, "%s\n", device.status().to_string().c_str());
+    return 2;
+  }
+
+  CostModel cost(device.value());
+  InferenceConfig config;
+  config.batch_size = flags.get_int("batch");
+  config.cores = static_cast<int>(flags.get_int("cores"));
+  Result<std::vector<CostModel::LayerCost>> layers =
+      cost.profile_inference(model.value().arch, config);
+  if (!layers.ok()) {
+    std::fprintf(stderr, "%s\n", layers.status().to_string().c_str());
+    return 1;
+  }
+  CostEstimate total =
+      cost.inference_cost(model.value().arch, config).value();
+
+  std::printf("%s on %s — batch %lld, %d cores\n",
+              model.value().arch.id.c_str(), device.value().name.c_str(),
+              static_cast<long long>(config.batch_size), config.cores);
+  std::printf("total: %.2f ms/call, %.1f samples/s, %.3f J/sample\n\n",
+              total.latency_s * 1e3, total.throughput_sps,
+              total.energy_per_sample_j(config.batch_size));
+
+  TextTable table({"#", "layer", "latency [ms]", "share", "GFLOP", "MB",
+                   "bound"});
+  for (std::size_t i = 0; i < layers.value().size(); ++i) {
+    const auto& layer = layers.value()[i];
+    table.add_row({std::to_string(i), layer.kind,
+                   format_double(layer.latency_s * 1e3, 3),
+                   format_double(100 * layer.latency_s / total.latency_s, 1) +
+                       "%",
+                   format_double(layer.flops / 1e9, 3),
+                   format_double(layer.bytes / 1e6, 2),
+                   layer.compute_bound ? "compute" : "memory"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,129 @@
+// edgetune_simulate — deployment-scenario planner (paper Fig 8). Given a
+// model, an edge device, and an arrival pattern, sweeps the Batching knob
+// through the queueing simulator and recommends the configuration with the
+// lowest mean response time.
+//
+// Usage:
+//   edgetune_simulate --scenario stream --rate 40 --model resnet18
+//   edgetune_simulate --scenario server --query-samples 64 --period 2.5
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "device/cost_model.hpp"
+#include "device/profile_io.hpp"
+#include "models/models.hpp"
+#include "sim/batching_tuner.hpp"
+
+using namespace edgetune;
+
+namespace {
+
+Result<BuiltModel> build_by_name(const std::string& name, Rng& rng) {
+  if (name == "resnet18") return build_resnet({.depth = 18}, rng);
+  if (name == "resnet34") return build_resnet({.depth = 34}, rng);
+  if (name == "resnet50") return build_resnet({.depth = 50}, rng);
+  if (name == "alexnet") return build_alexnet({}, rng);
+  if (name == "m5") return build_m5({}, rng);
+  if (name == "textrnn") return build_text_rnn({}, rng);
+  if (name == "yolo") return build_tiny_yolo({}, rng);
+  return Status::not_found("unknown model '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.define("scenario", "stream", "stream (Poisson) or server (fixed freq)")
+      .define("model", "resnet18", "model to deploy")
+      .define("edge-device", "i7", "armv7, rpi3b, i7")
+      .define("device-file", "", "JSON device profile")
+      .define("cores", "4", "CPU cores for the engine")
+      .define("rate", "20", "stream: Poisson arrivals per second")
+      .define("max-wait", "0.1", "stream: aggregation timeout [s]")
+      .define("query-samples", "64", "server: samples per query")
+      .define("period", "2.0", "server: seconds between queries")
+      .define("horizon", "120", "simulated seconds")
+      .define("help", "false", "print this help");
+  if (Status status = flags.parse(argc, argv); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    std::printf("edgetune_simulate — Fig 8 deployment planner\n\n%s",
+                flags.help().c_str());
+    return 0;
+  }
+
+  Rng rng(1);
+  Result<BuiltModel> model = build_by_name(flags.get("model"), rng);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().to_string().c_str());
+    return 2;
+  }
+  Result<DeviceProfile> device =
+      flags.get("device-file").empty()
+          ? device_by_name(flags.get("edge-device"))
+          : load_device_profile(flags.get("device-file"));
+  if (!device.ok()) {
+    std::fprintf(stderr, "%s\n", device.status().to_string().c_str());
+    return 2;
+  }
+
+  CostModel cost(device.value());
+  const int cores = static_cast<int>(flags.get_int("cores"));
+  const InferenceLatencyFn latency = [&](std::int64_t batch) -> double {
+    Result<CostEstimate> est = cost.inference_cost(
+        model.value().arch, {.batch_size = batch, .cores = cores});
+    // Infeasible (RAM) batches are priced prohibitively so the sweep avoids
+    // them instead of crashing.
+    return est.ok() ? est.value().latency_s : 1e9;
+  };
+
+  std::printf("%s on %s, %d cores — scenario: %s\n",
+              model.value().arch.id.c_str(), device.value().name.c_str(),
+              cores, flags.get("scenario").c_str());
+
+  if (flags.get("scenario") == "server") {
+    ServerScenarioConfig scenario;
+    scenario.samples_per_query = flags.get_int("query-samples");
+    scenario.query_period_s = flags.get_double("period");
+    scenario.horizon_s = flags.get_double("horizon");
+    Result<ServerBatchingRecommendation> rec =
+        recommend_server_batching(scenario, latency);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "%s\n", rec.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("recommended split batch : %lld\n",
+                static_cast<long long>(rec.value().split_batch));
+    std::printf("mean response           : %.3f s (vs %.3f single-sample)\n",
+                rec.value().stats.mean_response_s,
+                rec.value().single_sample_stats.mean_response_s);
+    std::printf("p95 response            : %.3f s\n",
+                rec.value().stats.p95_response_s);
+    std::printf("engine utilization      : %.0f %%\n",
+                100 * rec.value().stats.utilization);
+  } else {
+    MultiStreamScenarioConfig scenario;
+    scenario.arrival_rate_per_s = flags.get_double("rate");
+    scenario.max_wait_s = flags.get_double("max-wait");
+    scenario.horizon_s = flags.get_double("horizon");
+    Result<StreamBatchingRecommendation> rec =
+        recommend_stream_batching(scenario, latency);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "%s\n", rec.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("recommended max batch   : %lld\n",
+                static_cast<long long>(rec.value().max_batch));
+    std::printf("mean response           : %.3f s (vs %.3f unbatched)\n",
+                rec.value().stats.mean_response_s,
+                rec.value().single_sample_stats.mean_response_s);
+    std::printf("mean aggregated batch   : %.1f samples\n",
+                rec.value().stats.mean_batch_size);
+    std::printf("engine utilization      : %.0f %%\n",
+                100 * rec.value().stats.utilization);
+  }
+  return 0;
+}
