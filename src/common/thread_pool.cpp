@@ -12,7 +12,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;

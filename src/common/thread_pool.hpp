@@ -42,6 +42,12 @@ class ThreadPool {
   /// Blocks until every queued task has finished.
   void wait_idle();
 
+  /// Drains queued tasks and joins the workers. After shutdown, submit()
+  /// refuses new work: the returned future surfaces a broken promise
+  /// (std::future_error) instead of hanging forever. Idempotent; also called
+  /// by the destructor. Not safe to call concurrently with itself.
+  void shutdown();
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
   [[nodiscard]] std::size_t pending() const;
 

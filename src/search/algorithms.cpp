@@ -2,22 +2,97 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+
+#include "common/thread_pool.hpp"
 
 namespace edgetune {
 
-SearchResult GridSearch::optimize(const EvalFn& eval, Rng& /*rng*/) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Objective for request `i`, tolerating short evaluator replies.
+double objective_at(const std::vector<double>& objectives, std::size_t i) {
+  return i < objectives.size() ? objectives[i] : kInf;
+}
+
+}  // namespace
+
+BatchEvalFn serial_batch_eval(EvalFn eval) {
+  return serial_batch_eval(TrialEvalFn([eval = std::move(eval)](
+                                           const EvalRequest& request) {
+    return eval(request.config, request.resource);
+  }));
+}
+
+BatchEvalFn serial_batch_eval(TrialEvalFn eval) {
+  return [eval = std::move(eval)](const std::vector<EvalRequest>& batch) {
+    std::vector<double> objectives;
+    objectives.reserve(batch.size());
+    for (const EvalRequest& request : batch) {
+      objectives.push_back(eval(request));
+    }
+    return objectives;
+  };
+}
+
+BatchEvalFn parallel_batch_eval(EvalFn eval, ThreadPool& pool) {
+  return parallel_batch_eval(
+      TrialEvalFn([eval = std::move(eval)](const EvalRequest& request) {
+        return eval(request.config, request.resource);
+      }),
+      pool);
+}
+
+BatchEvalFn parallel_batch_eval(TrialEvalFn eval, ThreadPool& pool) {
+  return [eval = std::move(eval),
+          &pool](const std::vector<EvalRequest>& batch) {
+    std::vector<std::future<double>> pending;
+    pending.reserve(batch.size());
+    for (const EvalRequest& request : batch) {
+      pending.push_back(pool.submit([&eval, &request] {
+        return eval(request);
+      }));
+    }
+    std::vector<double> objectives;
+    objectives.reserve(batch.size());
+    for (std::future<double>& f : pending) {
+      objectives.push_back(f.get());
+    }
+    return objectives;
+  };
+}
+
+SearchResult SearchAlgorithm::optimize(const EvalFn& eval, Rng& rng) {
+  return optimize_batch(serial_batch_eval(eval), rng);
+}
+
+SearchResult GridSearch::optimize_batch(const BatchEvalFn& eval,
+                                        Rng& /*rng*/) {
   SearchResult result;
-  for (const Config& config : space_.grid(max_points_)) {
-    result.record(config, max_resource_, eval(config, max_resource_));
+  std::vector<EvalRequest> batch;
+  for (Config& config : space_.grid(max_points_)) {
+    batch.push_back(
+        {static_cast<int>(batch.size()), std::move(config), max_resource_});
+  }
+  const std::vector<double> objectives = eval(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    result.record(batch[i].config, max_resource_, objective_at(objectives, i));
   }
   return result;
 }
 
-SearchResult RandomSearch::optimize(const EvalFn& eval, Rng& rng) {
+SearchResult RandomSearch::optimize_batch(const BatchEvalFn& eval, Rng& rng) {
   SearchResult result;
+  std::vector<EvalRequest> batch;
+  batch.reserve(static_cast<std::size_t>(num_trials_));
   for (int i = 0; i < num_trials_; ++i) {
-    Config config = space_.sample(rng);
-    result.record(config, max_resource_, eval(config, max_resource_));
+    batch.push_back({i, space_.sample(rng), max_resource_});
+  }
+  const std::vector<double> objectives = eval(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    result.record(batch[i].config, max_resource_, objective_at(objectives, i));
   }
   return result;
 }
@@ -28,7 +103,7 @@ HyperBand::HyperBand(SearchSpace space, HyperBandOptions options,
       options_(options),
       suggestor_(std::move(suggestor)) {}
 
-SearchResult HyperBand::optimize(const EvalFn& eval, Rng& rng) {
+SearchResult HyperBand::optimize_batch(const BatchEvalFn& eval, Rng& rng) {
   SearchResult result;
   const double eta = std::max(2.0, options_.eta);
   const double r_ratio = options_.max_resource / options_.min_resource;
@@ -38,6 +113,7 @@ SearchResult HyperBand::optimize(const EvalFn& eval, Rng& rng) {
   if (options_.max_brackets > 0) {
     brackets = std::min(brackets, options_.max_brackets);
   }
+  int next_trial = 0;  // global submission index across all brackets
 
   // Brackets from most aggressive (many configs, tiny budget) to least.
   for (int bracket = 0; bracket < brackets; ++bracket) {
@@ -61,10 +137,22 @@ SearchResult HyperBand::optimize(const EvalFn& eval, Rng& rng) {
     for (int rung = 0; rung <= s; ++rung) {
       const double resource =
           std::min(options_.max_resource, r0 * std::pow(eta, rung));
-      for (auto& entry : survivors) {
-        entry.objective = eval(entry.config, resource);
-        result.record(entry.config, resource, entry.objective);
-        suggestor_->observe({entry.config, resource, entry.objective});
+      // The whole rung is one batch: its members are independent, so the
+      // evaluator may run them concurrently.
+      std::vector<EvalRequest> batch;
+      batch.reserve(survivors.size());
+      for (const Rung& entry : survivors) {
+        batch.push_back({next_trial++, entry.config, resource});
+      }
+      const std::vector<double> objectives = eval(batch);
+      // Record + feed the suggestor in submission order, exactly as the
+      // serial loop did: no suggest() happens mid-rung, so deferring the
+      // observe() calls to rung end leaves the suggestor state identical.
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        survivors[i].objective = objective_at(objectives, i);
+        result.record(survivors[i].config, resource, survivors[i].objective);
+        suggestor_->observe(
+            {survivors[i].config, resource, survivors[i].objective});
       }
       if (rung == s) break;
       // Keep the top 1/eta.
@@ -81,11 +169,15 @@ SearchResult HyperBand::optimize(const EvalFn& eval, Rng& rng) {
   return result;
 }
 
-SearchResult TpeSearch::optimize(const EvalFn& eval, Rng& rng) {
+SearchResult TpeSearch::optimize_batch(const BatchEvalFn& eval, Rng& rng) {
   SearchResult result;
   for (int i = 0; i < num_trials_; ++i) {
     Config config = suggestor_.suggest(rng);
-    const double objective = eval(config, max_resource_);
+    // Every suggestion depends on the previous observation: batches stay
+    // size one, keeping TPE strictly sequential by construction.
+    const std::vector<double> objectives =
+        eval({EvalRequest{i, config, max_resource_}});
+    const double objective = objective_at(objectives, 0);
     result.record(config, max_resource_, objective);
     suggestor_.observe({config, max_resource_, objective});
   }

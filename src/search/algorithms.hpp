@@ -12,9 +12,44 @@
 
 namespace edgetune {
 
+class ThreadPool;
+
 /// Evaluates a config at `resource` budget units; returns the objective
 /// (lower is better). `resource` is in [min_resource, max_resource].
 using EvalFn = std::function<double(const Config& config, double resource)>;
+
+/// One evaluation request inside a batch. `trial_index` is the trial's
+/// global submission index across the whole search, so evaluators can derive
+/// per-trial deterministic state (RNG streams, log slots) that does not
+/// depend on completion order.
+struct EvalRequest {
+  int trial_index = 0;
+  Config config;
+  double resource = 0;
+};
+
+/// Evaluates a request; must be thread-safe when handed to the parallel
+/// adapter below.
+using TrialEvalFn = std::function<double(const EvalRequest& request)>;
+
+/// Evaluates a whole batch — one HyperBand rung, or a random/grid search's
+/// full candidate set — and returns the objectives in request order.
+/// Implementations may evaluate requests concurrently; requests within one
+/// batch must not depend on each other's results.
+using BatchEvalFn =
+    std::function<std::vector<double>(const std::vector<EvalRequest>& batch)>;
+
+/// Serial adapter: evaluates requests one at a time, in submission order.
+/// This is what `SearchAlgorithm::optimize(EvalFn)` wraps, so legacy callers
+/// keep byte-identical behavior.
+BatchEvalFn serial_batch_eval(EvalFn eval);
+BatchEvalFn serial_batch_eval(TrialEvalFn eval);
+
+/// Parallel adapter: dispatches every request of a batch onto `pool` and
+/// joins. `eval` must be thread-safe and deterministic per request for
+/// parallel runs to reproduce serial results.
+BatchEvalFn parallel_batch_eval(EvalFn eval, ThreadPool& pool);
+BatchEvalFn parallel_batch_eval(TrialEvalFn eval, ThreadPool& pool);
 
 struct TrialRecord {
   int id = 0;
@@ -41,11 +76,16 @@ struct SearchResult {
 class SearchAlgorithm {
  public:
   virtual ~SearchAlgorithm() = default;
-  virtual SearchResult optimize(const EvalFn& eval, Rng& rng) = 0;
+  /// Serial entry point: wraps `eval` in the serial batch adapter. Evaluation
+  /// order and results are identical to `optimize_batch` with that adapter.
+  virtual SearchResult optimize(const EvalFn& eval, Rng& rng);
+  /// Batched entry point: the algorithm hands independent trial sets (whole
+  /// rungs / candidate sets) to `eval`, which may run them concurrently.
+  virtual SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Exhaustive grid at full budget.
+/// Exhaustive grid at full budget; the whole grid is one batch.
 class GridSearch : public SearchAlgorithm {
  public:
   GridSearch(SearchSpace space, double max_resource,
@@ -54,7 +94,7 @@ class GridSearch : public SearchAlgorithm {
         max_resource_(max_resource),
         max_points_(max_points_per_param) {}
 
-  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "grid"; }
 
  private:
@@ -63,7 +103,7 @@ class GridSearch : public SearchAlgorithm {
   int max_points_;
 };
 
-/// N i.i.d. samples at full budget.
+/// N i.i.d. samples at full budget; the whole candidate set is one batch.
 class RandomSearch : public SearchAlgorithm {
  public:
   RandomSearch(SearchSpace space, double max_resource, int num_trials)
@@ -71,7 +111,7 @@ class RandomSearch : public SearchAlgorithm {
         max_resource_(max_resource),
         num_trials_(num_trials) {}
 
-  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
@@ -89,12 +129,14 @@ struct HyperBandOptions {
 
 /// HyperBand: successive-halving brackets over resource levels, configs
 /// drawn from a pluggable Suggestor (random => HyperBand, TPE => BOHB).
+/// Every rung is one batch: its survivors are evaluated concurrently when
+/// the evaluator supports it.
 class HyperBand : public SearchAlgorithm {
  public:
   HyperBand(SearchSpace space, HyperBandOptions options,
             std::unique_ptr<Suggestor> suggestor);
 
-  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) override;
   [[nodiscard]] std::string name() const override {
     return "hyperband+" + suggestor_->name();
   }
@@ -106,7 +148,9 @@ class HyperBand : public SearchAlgorithm {
 };
 
 /// Sequential Bayesian optimization: N TPE-suggested trials at full budget
-/// (the HyperPower baseline's search core).
+/// (the HyperPower baseline's search core). Inherently sequential — every
+/// suggestion depends on all previous observations — so batches are always
+/// size one and a parallel evaluator gains nothing here.
 class TpeSearch : public SearchAlgorithm {
  public:
   TpeSearch(SearchSpace space, double max_resource, int num_trials,
@@ -116,7 +160,7 @@ class TpeSearch : public SearchAlgorithm {
         num_trials_(num_trials),
         suggestor_(std::move(space), tpe) {}
 
-  SearchResult optimize(const EvalFn& eval, Rng& rng) override;
+  SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "tpe"; }
 
  private:

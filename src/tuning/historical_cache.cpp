@@ -1,5 +1,7 @@
 #include "tuning/historical_cache.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -44,7 +46,8 @@ InferenceRecommendation rec_from_json(const Json& json) {
 
 }  // namespace
 
-HistoricalCache::HistoricalCache(std::string path) : path_(std::move(path)) {
+HistoricalCache::HistoricalCache(std::string path, std::size_t flush_every)
+    : path_(std::move(path)), flush_every_(std::max<std::size_t>(1, flush_every)) {
   std::ifstream in(path_);
   if (!in.good()) return;  // fresh database
   std::ostringstream buffer;
@@ -82,6 +85,15 @@ std::optional<InferenceRecommendation> HistoricalCache::lookup(
   return rec;
 }
 
+HistoricalCache::~HistoricalCache() {
+  std::lock_guard lock(mutex_);
+  if (path_.empty() || dirty_ == 0) return;
+  if (Status status = save_locked(); !status.is_ok()) {
+    ET_LOG_WARN << "final historical-cache flush failed: "
+                << status.to_string();
+  }
+}
+
 Status HistoricalCache::store(const std::string& arch_id,
                               const std::string& device,
                               MetricOfInterest objective,
@@ -89,6 +101,10 @@ Status HistoricalCache::store(const std::string& arch_id,
   std::lock_guard lock(mutex_);
   entries_[key(arch_id, device, objective)] = rec;
   if (path_.empty()) return Status::ok();
+  // Batched persistence: rewriting the whole database on every insert cost
+  // O(n²) I/O across a run. Dirty entries are safe in memory until the next
+  // periodic flush (or the final one in the destructor).
+  if (++dirty_ < flush_every_) return Status::ok();
   return save_locked();
 }
 
@@ -109,7 +125,7 @@ std::size_t HistoricalCache::misses() const {
 
 Status HistoricalCache::save() const {
   std::lock_guard lock(mutex_);
-  if (path_.empty()) return Status::ok();
+  if (path_.empty() || dirty_ == 0) return Status::ok();
   return save_locked();
 }
 
@@ -118,13 +134,25 @@ Status HistoricalCache::save_locked() const {
   for (const auto& [key, rec] : entries_) {
     root.emplace(key, rec_to_json(rec));
   }
-  std::ofstream out(path_, std::ios::trunc);
-  if (!out.good()) {
-    return Status::io("cannot write historical cache to " + path_);
+  // Write-to-temp + rename: truncating the database in place meant a crash
+  // mid-write destroyed every previously persisted result.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return Status::io("cannot write historical cache to " + tmp);
+    }
+    out << Json(std::move(root)).dump_pretty() << '\n';
+    if (!out.good()) {
+      return Status::io("short write to " + tmp);
+    }
   }
-  out << Json(std::move(root)).dump_pretty() << '\n';
-  return out.good() ? Status::ok()
-                    : Status::io("short write to " + path_);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::io("cannot rename " + tmp + " to " + path_);
+  }
+  dirty_ = 0;
+  return Status::ok();
 }
 
 }  // namespace edgetune

@@ -17,8 +17,17 @@ class HistoricalCache {
  public:
   /// In-memory only.
   HistoricalCache() = default;
-  /// File-backed: loads `path` if it exists; save() rewrites it.
-  explicit HistoricalCache(std::string path);
+  /// File-backed: loads `path` if it exists. Writes are batched — the file
+  /// is rewritten after every `flush_every` stores and on destruction, not
+  /// on every insert (store() used to cost O(n) I/O each, O(n²) per run) —
+  /// and each rewrite goes through a temp file + rename, so a crash
+  /// mid-write leaves the previous database intact instead of a truncated
+  /// one.
+  explicit HistoricalCache(std::string path, std::size_t flush_every = 16);
+  ~HistoricalCache();
+
+  HistoricalCache(const HistoricalCache&) = delete;
+  HistoricalCache& operator=(const HistoricalCache&) = delete;
 
   /// Looks up a stored recommendation. The key is (architecture, edge
   /// device, objective): the same architecture tuned for two devices must
@@ -36,7 +45,8 @@ class HistoricalCache {
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
 
-  /// Persists to the backing file (no-op when in-memory).
+  /// Flushes pending writes to the backing file (no-op when in-memory or
+  /// when nothing changed since the last flush).
   Status save() const;
 
  private:
@@ -47,6 +57,8 @@ class HistoricalCache {
 
   mutable std::mutex mutex_;
   std::string path_;  // empty => in-memory
+  std::size_t flush_every_ = 16;
+  mutable std::size_t dirty_ = 0;  // stores since the last flush
   std::map<std::string, InferenceRecommendation> entries_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;

@@ -23,8 +23,7 @@ InferenceTuningServer::InferenceTuningServer(DeviceProfile edge_device,
       cache_(options_.cache_path.empty()
                  ? std::make_unique<HistoricalCache>()
                  : std::make_unique<HistoricalCache>(options_.cache_path)),
-      pool_(static_cast<std::size_t>(std::max(1, options_.workers))),
-      rng_(options_.seed) {}
+      pool_(static_cast<std::size_t>(std::max(1, options_.workers))) {}
 
 SearchSpace InferenceTuningServer::search_space() const {
   SearchSpace space;
@@ -103,12 +102,19 @@ Result<InferenceRecommendation> InferenceTuningServer::tune_uncached(
         est.value().energy_per_sample_j(inf.batch_size));
   };
 
-  SearchResult result;
-  {
-    std::lock_guard lock(rng_mutex_);
-    Rng local = rng_.split();
-    result = algorithm->optimize(eval, local);
+  // Per-architecture deterministic stream derived from (seed, arch id):
+  // concurrent submit()s neither contend on shared RNG state nor make the
+  // result depend on arrival order. (A shared Rng guarded by a mutex held
+  // across the whole optimize() call used to serialize every pipelined
+  // tuning request — Fig 6's overlap existed only on paper.)
+  Rng local(options_.seed ^ stable_hash64(arch.id));
+  const int active = active_tunes_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int peak = peak_tunes_.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !peak_tunes_.compare_exchange_weak(peak, active)) {
   }
+  SearchResult result = algorithm->optimize(eval, local);
+  active_tunes_.fetch_sub(1, std::memory_order_acq_rel);
   if (!std::isfinite(result.best_objective)) {
     return eval_error.is_ok()
                ? Status::internal("inference tuning produced no finite result")

@@ -9,6 +9,7 @@
 // (Fig 6's pipelining).
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 
@@ -63,6 +64,13 @@ class InferenceTuningServer {
   /// The inference search space: batch x cores x frequency.
   [[nodiscard]] SearchSpace search_space() const;
 
+  /// Peak number of uncached tuning searches that ran concurrently since
+  /// construction — observability for sizing `workers` (and the test hook
+  /// proving pipelined submissions really overlap).
+  [[nodiscard]] int peak_concurrent_tunes() const noexcept {
+    return peak_tunes_.load(std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] Result<InferenceRecommendation> tune_uncached(
       const ArchSpec& arch);
@@ -71,8 +79,8 @@ class InferenceTuningServer {
   InferenceServerOptions options_;
   std::unique_ptr<HistoricalCache> cache_;
   ThreadPool pool_;
-  std::mutex rng_mutex_;
-  Rng rng_;
+  std::atomic<int> active_tunes_{0};
+  std::atomic<int> peak_tunes_{0};
 };
 
 }  // namespace edgetune

@@ -16,8 +16,9 @@ const char* job_state_name(JobState state) noexcept {
   return "?";
 }
 
-TuningJobServer::TuningJobServer(int workers)
-    : pool_(static_cast<std::size_t>(std::max(1, workers))) {}
+TuningJobServer::TuningJobServer(int workers, int trial_workers_per_job)
+    : trial_workers_per_job_(trial_workers_per_job),
+      pool_(static_cast<std::size_t>(std::max(1, workers))) {}
 
 TuningJobServer::~TuningJobServer() {
   // ThreadPool's destructor drains queued tasks before joining; every
@@ -41,6 +42,9 @@ void TuningJobServer::run_job(JobId id, JobRequest request) {
   {
     std::lock_guard lock(mutex_);
     jobs_[id].state = JobState::kRunning;
+  }
+  if (trial_workers_per_job_ > 0 && request.options.trial_workers <= 1) {
+    request.options.trial_workers = trial_workers_per_job_;
   }
   Result<TuningReport> result = [&]() -> Result<TuningReport> {
     switch (request.system) {

@@ -30,7 +30,10 @@ struct JobRequest {
 
 class TuningJobServer {
  public:
-  explicit TuningJobServer(int workers = 1);
+  /// `workers` jobs run concurrently; `trial_workers_per_job` > 0 gives
+  /// every job that did not ask for parallel trials itself (options.
+  /// trial_workers <= 1) that many concurrent trial evaluations per rung.
+  explicit TuningJobServer(int workers = 1, int trial_workers_per_job = 0);
   ~TuningJobServer();
 
   TuningJobServer(const TuningJobServer&) = delete;
@@ -63,6 +66,7 @@ class TuningJobServer {
   std::condition_variable done_cv_;
   std::map<JobId, Job> jobs_;
   JobId next_id_ = 1;
+  int trial_workers_per_job_ = 0;
   ThreadPool pool_;
 };
 

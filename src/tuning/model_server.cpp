@@ -1,9 +1,12 @@
 #include "tuning/model_server.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace edgetune {
 
@@ -71,11 +74,41 @@ Result<TuningReport> EdgeTune::run() {
   report.system = options_.inference_aware ? "edgetune" : "tune";
   if (options_.power_cap_w > 0) report.system = "hyperpower";
 
+  // --- Parallel trial-execution engine. Trials within one batch (a
+  // HyperBand rung, or a grid/random candidate set) are independent and run
+  // concurrently on a shared pool. Everything a trial touches is either
+  // per-trial local, immutable (runner_), internally synchronized
+  // (inference_server_), or one of the atomics below; the report itself is
+  // only mutated at batch commit, on the search thread.
+  const int workers = std::max(1, options_.trial_workers);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+
+  std::mutex error_mutex;
   Status eval_error;
-  bool target_reached = false;
-  const EvalFn eval = [&](const Config& config, double resource) {
+  const auto note_error = [&](const Status& status) {
+    std::lock_guard lock(error_mutex);
+    if (eval_error.is_ok()) eval_error = status;
+  };
+  std::atomic<bool> target_reached{false};
+  std::atomic<double> best_accuracy{0.0};  // incumbent; killed trials excluded
+
+  // What one evaluation produced, staged until batch commit.
+  struct TrialEval {
+    double objective = std::numeric_limits<double>::infinity();
+    bool logged = false;  // skipped / failed trials leave no log entry
+    TrialLog log;
+    double inference_energy_j = 0;
+    double wall_s = 0;  // this trial's simulated span (duration + stall)
+  };
+
+  const auto eval_one = [&](const Config& config,
+                            double resource) -> TrialEval {
+    TrialEval out;
     // Target-accuracy early stop: skip remaining scheduled trials for free.
-    if (target_reached) return std::numeric_limits<double>::infinity();
+    // Checked per trial, so a serial run still skips the rest of a rung;
+    // parallel trials already in flight run to completion.
+    if (target_reached.load(std::memory_order_acquire)) return out;
     const TrialBudget budget = policy->at(resource);
 
     // Kick off inference tuning *before* the training trial so the two
@@ -84,17 +117,17 @@ Result<TuningReport> EdgeTune::run() {
     if (options_.inference_aware) {
       Result<ArchSpec> arch = runner_.arch_for(config);
       if (!arch.ok()) {
-        if (eval_error.is_ok()) eval_error = arch.status();
-        return std::numeric_limits<double>::infinity();
+        note_error(arch.status());
+        return out;
       }
       inference_future = inference_server_.submit(arch.value());
     }
 
     Result<TrialOutcome> outcome = runner_.run(config, budget);
     if (!outcome.ok()) {
-      if (eval_error.is_ok()) eval_error = outcome.status();
+      note_error(outcome.status());
       if (inference_future.valid()) inference_future.wait();
-      return std::numeric_limits<double>::infinity();
+      return out;
     }
     const TrialOutcome& trial = outcome.value();
 
@@ -102,8 +135,8 @@ Result<TuningReport> EdgeTune::run() {
     if (options_.inference_aware) {
       Result<InferenceRecommendation> rec_result = inference_future.get();
       if (!rec_result.ok()) {
-        if (eval_error.is_ok()) eval_error = rec_result.status();
-        return std::numeric_limits<double>::infinity();
+        note_error(rec_result.status());
+        return out;
       }
       rec = std::move(rec_result).value();
     }
@@ -111,8 +144,7 @@ Result<TuningReport> EdgeTune::run() {
     // --- Accounting (simulated time/energy). The inference server runs
     // pipelined with the trial; only the excess beyond the trial duration
     // stalls the model server (§3.3).
-    TrialLog log;
-    log.id = static_cast<int>(report.trials.size());
+    TrialLog& log = out.log;
     log.config = config;
     log.resource = resource;
     log.budget = budget;
@@ -124,7 +156,6 @@ Result<TuningReport> EdgeTune::run() {
     log.inference_stall_s =
         std::max(0.0, rec.tuning_time_s - trial.train_time_s);
 
-    double objective;
     bool power_capped = false;
     if (options_.power_cap_w > 0 && trial.train_time_s > 0) {
       const double avg_power_w = trial.train_energy_j / trial.train_time_s;
@@ -133,9 +164,20 @@ Result<TuningReport> EdgeTune::run() {
     // HyperPower-mode early termination (§6: "early termination of the
     // training at the objective evaluation"): a trial whose learning curve
     // is clearly below the incumbent is killed partway through.
-    const bool unpromising =
-        options_.power_cap_w > 0 && report.best_accuracy > 0 &&
-        trial.accuracy < 0.9 * report.best_accuracy;
+    const double incumbent = best_accuracy.load(std::memory_order_acquire);
+    const bool unpromising = options_.power_cap_w > 0 && incumbent > 0 &&
+                             trial.accuracy < 0.9 * incumbent;
+
+    double objective = std::numeric_limits<double>::infinity();
+    switch (options_.objective_mode) {
+      case ObjectiveMode::kRatio:
+        objective = tuning_objective(options_.tuning_metric, trial, rec,
+                                     options_.inference_aware);
+        break;
+      case ObjectiveMode::kAccuracyOnly:
+        objective = 1.0 - trial.accuracy;
+        break;
+    }
     if (power_capped) {
       // Over-cap trials are terminated almost immediately.
       objective = std::numeric_limits<double>::infinity();
@@ -145,44 +187,71 @@ Result<TuningReport> EdgeTune::run() {
     } else if (unpromising) {
       log.duration_s *= 0.4;
       log.energy_j *= 0.4;
-      switch (options_.objective_mode) {
-        case ObjectiveMode::kRatio:
-          objective = tuning_objective(options_.tuning_metric, trial, rec,
-                                       options_.inference_aware);
-          break;
-        case ObjectiveMode::kAccuracyOnly:
-          objective = 1.0 - trial.accuracy;
-          break;
-      }
-    } else {
-      switch (options_.objective_mode) {
-        case ObjectiveMode::kRatio:
-          objective = tuning_objective(options_.tuning_metric, trial, rec,
-                                       options_.inference_aware);
-          break;
-        case ObjectiveMode::kAccuracyOnly:
-          objective = 1.0 - trial.accuracy;
-          break;
-      }
     }
     log.objective = objective;
+    out.objective = objective;
+    out.logged = true;
+    out.inference_energy_j = rec.tuning_energy_j;
+    out.wall_s = log.duration_s + log.inference_stall_s;
 
-    report.tuning_runtime_s += log.duration_s + log.inference_stall_s;
-    report.tuning_energy_j += log.energy_j + rec.tuning_energy_j;
-    report.trials.push_back(std::move(log));
+    if (!power_capped) {
+      // A power-capped trial was killed at ~30% progress: its accuracy is
+      // hypothetical, so it must neither become the incumbent nor trigger
+      // the target-accuracy early stop.
+      double seen = best_accuracy.load(std::memory_order_relaxed);
+      while (trial.accuracy > seen &&
+             !best_accuracy.compare_exchange_weak(seen, trial.accuracy)) {
+      }
+      if (options_.target_accuracy > 0 &&
+          trial.accuracy >= options_.target_accuracy) {
+        target_reached.store(true, std::memory_order_release);
+      }
+    }
+    return out;
+  };
 
-    if (trial.accuracy > report.best_accuracy) {
-      report.best_accuracy = trial.accuracy;
+  const BatchEvalFn batch_eval =
+      [&](const std::vector<EvalRequest>& batch) -> std::vector<double> {
+    std::vector<TrialEval> evals(batch.size());
+    if (pool && batch.size() > 1) {
+      std::vector<std::future<void>> pending;
+      pending.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        pending.push_back(pool->submit([&, i] {
+          evals[i] = eval_one(batch[i].config, batch[i].resource);
+        }));
+      }
+      for (std::future<void>& f : pending) f.get();
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        evals[i] = eval_one(batch[i].config, batch[i].resource);
+      }
     }
-    if (options_.target_accuracy > 0 &&
-        trial.accuracy >= options_.target_accuracy) {
-      target_reached = true;
+
+    // Commit in submission order, single-threaded: the trial log is append-
+    // ordered no matter which worker finished first, and the batch's wall
+    // clock is the makespan of FIFO list scheduling over `workers` — the
+    // max over concurrent trials, not their sum (with 1 worker this reduces
+    // to the plain serial sum).
+    std::vector<double> worker_load(static_cast<std::size_t>(workers), 0.0);
+    std::vector<double> objectives;
+    objectives.reserve(batch.size());
+    for (TrialEval& eval : evals) {
+      objectives.push_back(eval.objective);
+      if (!eval.logged) continue;
+      eval.log.id = static_cast<int>(report.trials.size());
+      *std::min_element(worker_load.begin(), worker_load.end()) += eval.wall_s;
+      report.tuning_energy_j += eval.log.energy_j + eval.inference_energy_j;
+      report.trials.push_back(std::move(eval.log));
     }
-    return objective;
+    report.tuning_runtime_s +=
+        *std::max_element(worker_load.begin(), worker_load.end());
+    return objectives;
   };
 
   Rng rng(options_.seed);
-  SearchResult result = algorithm->optimize(eval, rng);
+  SearchResult result = algorithm->optimize_batch(batch_eval, rng);
+  report.best_accuracy = best_accuracy.load();
   if (!std::isfinite(result.best_objective)) {
     return eval_error.is_ok()
                ? Status::internal("tuning produced no finite objective")

@@ -27,6 +27,15 @@ struct EdgeTuneOptions {
   HyperBandOptions hyperband{1, 16, 2, 0};
   int random_trials = 16;  // for random/tpe algorithms
 
+  /// Concurrent trial evaluations per rung / candidate set (1 = serial).
+  /// Trials of one HyperBand rung (or a grid/random search's whole candidate
+  /// set) run on a shared worker pool; same-seed parallel and serial runs
+  /// report the identical best config and objective. Simulated wall-clock is
+  /// accounted as the makespan of the rung over this many workers (with 1
+  /// worker that reduces to the plain sum). TPE stays sequential regardless:
+  /// each suggestion depends on the previous observation.
+  int trial_workers = 1;
+
   // Objectives (§4.4).
   ObjectiveMode objective_mode = ObjectiveMode::kRatio;
   MetricOfInterest tuning_metric = MetricOfInterest::kRuntime;

@@ -15,8 +15,8 @@ TrialRunner::TrialRunner(TrialRunnerOptions options)
       dataset_(make_workload_data(options_.workload, options_.proxy_samples,
                                   options_.seed)),
       server_model_(options_.train_device),
-      full_scale_train_samples_(workload_info(options_.workload).train_samples),
-      rng_(options_.seed ^ 0xe567u) {
+      full_scale_train_samples_(
+          workload_info(options_.workload).train_samples) {
   Rng split_rng(options_.seed ^ 0x5917u);
   auto [train, val] =
       DatasetView::all(*dataset_).split(1.0 - options_.validation_fraction,
@@ -37,7 +37,7 @@ Result<ArchSpec> TrialRunner::arch_for(const Config& config) const {
 }
 
 Result<TrialOutcome> TrialRunner::run(const Config& config,
-                                      const TrialBudget& budget) {
+                                      const TrialBudget& budget) const {
   const auto get = [&](const char* key, double fallback) {
     auto it = config.find(key);
     return it == config.end() ? fallback : it->second;

@@ -38,8 +38,12 @@ class TrialRunner {
 
   /// Runs one trial: builds the model for `config`, trains it under
   /// `budget`, evaluates validation accuracy, prices full-scale cost.
+  /// Const and therefore safe to call from concurrent trial workers: all
+  /// trial state (model, trainer, RNG derived from (seed, config)) is local
+  /// to the call, and the shared dataset/cost-model members are immutable
+  /// after construction.
   [[nodiscard]] Result<TrialOutcome> run(const Config& config,
-                                         const TrialBudget& budget);
+                                         const TrialBudget& budget) const;
 
   /// The full-scale ArchSpec the given config induces (what the Inference
   /// Tuning Server receives). Cheap: no training.
@@ -59,7 +63,6 @@ class TrialRunner {
   DatasetView val_view_;
   CostModel server_model_;
   std::int64_t full_scale_train_samples_;
-  Rng rng_;
 };
 
 }  // namespace edgetune

@@ -1,12 +1,16 @@
-// Tests for Channel and ThreadPool — the async substrate of the Inference
-// Tuning Server (Fig 6).
+// Tests for Channel, ThreadPool, and the parallel trial-execution engine —
+// the async substrate of the tuning servers (Fig 6).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "common/channel.hpp"
 #include "common/thread_pool.hpp"
+#include "models/models.hpp"
+#include "tuning/job_server.hpp"
+#include "tuning/model_server.hpp"
 
 namespace edgetune {
 namespace {
@@ -145,6 +149,149 @@ TEST(ThreadPoolTest, MinimumOneWorker) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownBreaksPromise) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+  pool.shutdown();
+  // Refused work must surface as a broken promise, not hang forever.
+  auto f = pool.submit([] { return 2; });
+  EXPECT_THROW(f.get(), std::future_error);
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- Parallel trial-execution engine ---------------------------------------
+
+/// Deterministic, thread-safe objective: a pure function of (config,
+/// resource) with some arithmetic so evaluation is not instantaneous.
+double synthetic_objective(const Config& config, double resource) {
+  const double x = config.at("x");
+  const double n = config.at("n");
+  double acc = (x - 0.3) * (x - 0.3) + std::abs(n - 20.0) / 64.0;
+  for (int i = 0; i < 200; ++i) acc = std::sqrt(acc * acc + 1e-9);
+  return acc / resource;
+}
+
+SearchSpace synthetic_space() {
+  SearchSpace space;
+  space.add(ParamSpec::real("x", 0, 1));
+  space.add(ParamSpec::integer("n", 1, 64, /*log_scale=*/true));
+  return space;
+}
+
+TEST(ParallelSearchTest, ParallelRungsMatchSerialForSameSeed) {
+  ThreadPool pool(4);
+  const HyperBandOptions hb{1, 16, 2, 0};
+  for (const bool bohb : {false, true}) {
+    auto make = [&] {
+      return bohb ? make_bohb(synthetic_space(), hb)
+                  : make_hyperband(synthetic_space(), hb);
+    };
+    Rng rng_serial(99);
+    Rng rng_parallel(99);
+    SearchResult serial = make()->optimize(synthetic_objective, rng_serial);
+    SearchResult parallel = make()->optimize_batch(
+        parallel_batch_eval(EvalFn(synthetic_objective), pool), rng_parallel);
+
+    EXPECT_EQ(serial.best_config, parallel.best_config) << "bohb=" << bohb;
+    EXPECT_DOUBLE_EQ(serial.best_objective, parallel.best_objective);
+    ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+    for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+      EXPECT_EQ(serial.trials[i].config, parallel.trials[i].config);
+      EXPECT_DOUBLE_EQ(serial.trials[i].resource, parallel.trials[i].resource);
+      EXPECT_DOUBLE_EQ(serial.trials[i].objective,
+                       parallel.trials[i].objective);
+    }
+  }
+}
+
+EdgeTuneOptions small_tuning_options(int trial_workers) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 240;
+  options.inference.algorithm = "grid";
+  options.seed = 5;
+  options.trial_workers = trial_workers;
+  return options;
+}
+
+TEST(ParallelSearchTest, EdgeTuneParallelTrialsMatchSerial) {
+  Result<TuningReport> serial = EdgeTune(small_tuning_options(1)).run();
+  Result<TuningReport> parallel = EdgeTune(small_tuning_options(4)).run();
+  ASSERT_TRUE(serial.ok()) << serial.status().to_string();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().to_string();
+
+  EXPECT_EQ(serial.value().best_config, parallel.value().best_config);
+  EXPECT_DOUBLE_EQ(serial.value().best_objective,
+                   parallel.value().best_objective);
+  EXPECT_DOUBLE_EQ(serial.value().best_accuracy,
+                   parallel.value().best_accuracy);
+  // Same trials in the same submission order; only the simulated wall clock
+  // differs (makespan over 4 workers vs. the serial sum).
+  ASSERT_EQ(serial.value().trials.size(), parallel.value().trials.size());
+  for (std::size_t i = 0; i < serial.value().trials.size(); ++i) {
+    EXPECT_EQ(serial.value().trials[i].config,
+              parallel.value().trials[i].config);
+    EXPECT_DOUBLE_EQ(serial.value().trials[i].accuracy,
+                     parallel.value().trials[i].accuracy);
+    EXPECT_DOUBLE_EQ(serial.value().trials[i].objective,
+                     parallel.value().trials[i].objective);
+  }
+  EXPECT_LE(parallel.value().tuning_runtime_s,
+            serial.value().tuning_runtime_s + 1e-9);
+}
+
+TEST(ParallelSearchTest, ConcurrentInferenceSubmitsOverlap) {
+  InferenceServerOptions options;
+  options.workers = 4;
+  InferenceTuningServer server(device_rpi3b(), options);
+
+  // Four threads hammer submit() with distinct architectures. With the old
+  // rng mutex held across the whole optimize() call these all serialized;
+  // now at least two uncached searches must be in flight at once.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&server, &failures, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      std::vector<std::future<Result<InferenceRecommendation>>> futures;
+      for (int k = 0; k < 8; ++k) {
+        const std::int64_t stride = 1 + t * 8 + k;  // distinct across threads
+        Result<BuiltModel> model =
+            build_text_rnn({.stride = stride, .num_classes = 4}, rng);
+        if (!model.ok()) {
+          ++failures;
+          continue;
+        }
+        futures.push_back(server.submit(model.value().arch));
+      }
+      for (auto& f : futures) {
+        if (!f.get().ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.peak_concurrent_tunes(), 2);
+}
+
+TEST(ParallelSearchTest, JobServerAppliesTrialWorkersPerJob) {
+  TuningJobServer serial_server(1);
+  TuningJobServer parallel_server(1, /*trial_workers_per_job=*/4);
+  JobRequest request;
+  request.options = small_tuning_options(1);
+  const JobId serial_id = serial_server.submit(request);
+  const JobId parallel_id = parallel_server.submit(request);
+  Result<TuningReport> serial = serial_server.wait(serial_id);
+  Result<TuningReport> parallel = parallel_server.wait(parallel_id);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial.value().best_config, parallel.value().best_config);
+  EXPECT_DOUBLE_EQ(serial.value().best_objective,
+                   parallel.value().best_objective);
 }
 
 }  // namespace

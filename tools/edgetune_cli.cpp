@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
       .define("device-file", "", "JSON device profile (overrides edge-device)")
       .define("max-resource", "8", "HyperBand max budget units")
       .define("eta", "2", "successive-halving reduction factor")
+      .define("trial-workers", "1",
+              "concurrent trial evaluations per rung (1 = serial)")
+      .define("inference-workers", "2",
+              "inference tuning server worker threads")
       .define("proxy-samples", "500", "synthetic proxy dataset size")
       .define("target-accuracy", "0", "stop once reached (0 = off)")
       .define("power-cap", "800", "HyperPower power cap [W]")
@@ -126,6 +130,9 @@ int main(int argc, char** argv) {
   options.hyperband.max_resource = flags.get_double("max-resource");
   options.hyperband.eta = flags.get_double("eta");
   options.hyperband.max_brackets = 2;
+  options.trial_workers = static_cast<int>(flags.get_int("trial-workers"));
+  options.inference.workers =
+      static_cast<int>(flags.get_int("inference-workers"));
   options.runner.proxy_samples = flags.get_int("proxy-samples");
   options.target_accuracy = flags.get_double("target-accuracy");
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
