@@ -7,12 +7,47 @@
 #include "common/json.hpp"
 #include "data/synthetic.hpp"
 #include "device/cost_model.hpp"
+#include "nn/conv.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace edgetune {
 namespace {
+
+// The pre-substrate ikj matmul (with its zero-skip branch), kept verbatim as
+// the baseline the tiled/packed kernel is measured against.
+Tensor matmul_naive_ikj(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void BM_MatmulNaiveIkj(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_naive_ikj(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNaiveIkj)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);
@@ -25,7 +60,60 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulThreads4(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  set_intra_op_threads(4);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_intra_op_threads(1);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulThreads4)->Arg(128)->Arg(256);
+
+// GEMM shapes as conv lowering actually produces them ([rows = N*oh*ow,
+// k = in_c*kh*kw] x [out_c, k]^T): the substrate's real working set.
+// Args: rows, out_c, patch.
+void BM_ConvLoweredGemm(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t out_c = state.range(1);
+  const std::int64_t patch = state.range(2);
+  Rng rng(2);
+  Tensor cols = Tensor::randn({rows, patch}, rng);
+  Tensor w = Tensor::randn({out_c, patch}, rng);
+  Tensor out({rows, out_c});
+  for (auto _ : state) {
+    gemm(GemmLayout::kNT, rows, out_c, patch, cols.data(), w.data(),
+         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * out_c * patch);
+}
+BENCHMARK(BM_ConvLoweredGemm)
+    ->Args({1024, 16, 27})    // stem: 16 filters over 3x3x3 patches
+    ->Args({256, 32, 144})    // mid block, stride 2
+    ->Args({1024, 64, 576})   // deep block: 64 filters over 3x3x64
+    ->Args({512, 10, 256});   // classifier-style tall-skinny
+
+void BM_Conv2dForwardFused(benchmark::State& state) {
+  Rng rng(3);
+  Conv2D conv(16, 32, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  conv.forward(x, false);  // warm the workspace arena
+  for (auto _ : state) {
+    Tensor out = conv.forward(x, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (8 * 16 * 16) * 32 *
+                          (16 * 3 * 3));
+}
+BENCHMARK(BM_Conv2dForwardFused);
 
 void BM_Im2Col(benchmark::State& state) {
   Rng rng(2);

@@ -3,7 +3,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+
 namespace edgetune {
+
+namespace {
+
+// Workspace arena slots shared by Conv2D/Conv1D.
+constexpr std::size_t kColsSlot = 0;    // im2col of last forward
+constexpr std::size_t kGemmSlot = 1;    // forward GEMM accumulation scratch
+constexpr std::size_t kGColsSlot = 2;   // grad_output in [rows, out_c] layout
+constexpr std::size_t kDwSlot = 3;      // weight-gradient GEMM output
+constexpr std::size_t kDcolsSlot = 4;   // input-gradient columns
+
+}  // namespace
 
 Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t padding,
@@ -29,31 +42,20 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   cached_batch_ = input.dim(0);
   cached_geo_ = Conv2dGeometry{in_channels_, input.dim(2), input.dim(3),
                                kernel_, stride_, padding_};
-  cached_cols_ = im2col(input, cached_geo_);  // [N*oh*ow, cin*k*k]
-  Tensor out_cols = matmul_nt(cached_cols_, weight_);  // [N*oh*ow, out_c]
   const std::int64_t oh = cached_geo_.out_h(), ow = cached_geo_.out_w();
-  if (has_bias_) {
-    const std::int64_t rows = out_cols.dim(0);
-    float* po = out_cols.data();
-    const float* pb = bias_.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        po[r * out_channels_ + c] += pb[c];
-      }
-    }
-  }
-  // [N*oh*ow, out_c] -> [N, out_c, oh, ow]
+  const std::int64_t rows = cached_batch_ * oh * ow;
+  const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  float* cols = ws_.get(kColsSlot, rows * patch);
+  im2col_into(input, cached_geo_, cols);
+  // Single GEMM with the bias add and the [rows, out_c] -> [N, out_c, oh, ow]
+  // transpose fused into the store epilogue.
   Tensor out({cached_batch_, out_channels_, oh, ow});
-  const float* src = out_cols.data();
-  float* dst = out.data();
-  for (std::int64_t n = 0; n < cached_batch_; ++n) {
-    for (std::int64_t p = 0; p < oh * ow; ++p) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        dst[(n * out_channels_ + c) * oh * ow + p] =
-            src[(n * oh * ow + p) * out_channels_ + c];
-      }
-    }
-  }
+  GemmEpilogue epi;
+  epi.bias = has_bias_ ? bias_.data() : nullptr;
+  epi.out = out.data();
+  epi.scatter_spatial = oh * ow;
+  gemm(GemmLayout::kNT, rows, out_channels_, patch, cols, weight_.data(),
+       ws_.get(kGemmSlot, rows * out_channels_), /*accumulate=*/false, &epi);
   return out;
 }
 
@@ -61,35 +63,41 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::int64_t oh = cached_geo_.out_h(), ow = cached_geo_.out_w();
   assert(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_ &&
          grad_output.dim(2) == oh && grad_output.dim(3) == ow);
+  const std::int64_t rows = cached_batch_ * oh * ow;
+  const std::int64_t patch = in_channels_ * kernel_ * kernel_;
   // [N, out_c, oh, ow] -> [N*oh*ow, out_c]
-  Tensor g_cols({cached_batch_ * oh * ow, out_channels_});
+  float* g_cols = ws_.get(kGColsSlot, rows * out_channels_);
   {
     const float* src = grad_output.data();
-    float* dst = g_cols.data();
     for (std::int64_t n = 0; n < cached_batch_; ++n) {
       for (std::int64_t c = 0; c < out_channels_; ++c) {
         for (std::int64_t p = 0; p < oh * ow; ++p) {
-          dst[(n * oh * ow + p) * out_channels_ + c] =
+          g_cols[(n * oh * ow + p) * out_channels_ + c] =
               src[(n * out_channels_ + c) * oh * ow + p];
         }
       }
     }
   }
-  // dW += g_cols^T * cached_cols
-  Tensor dw = matmul_tn(g_cols, cached_cols_);  // [out_c, cin*k*k]
-  weight_grad_.add_inplace(dw);
+  // dW += g_cols^T * cached cols. The GEMM writes a fresh dW into scratch and
+  // a separate loop accumulates, preserving the historical add_inplace
+  // float-operation order.
+  const float* cols = ws_.get(kColsSlot, rows * patch);
+  float* dw = ws_.get(kDwSlot, out_channels_ * patch);
+  gemm(GemmLayout::kTN, out_channels_, patch, rows, g_cols, cols, dw);
+  float* wg = weight_grad_.data();
+  for (std::int64_t i = 0; i < out_channels_ * patch; ++i) wg[i] += dw[i];
   if (has_bias_) {
-    const std::int64_t rows = g_cols.dim(0);
-    const float* g = g_cols.data();
     float* db = bias_grad_.data();
     for (std::int64_t r = 0; r < rows; ++r) {
       for (std::int64_t c = 0; c < out_channels_; ++c) {
-        db[c] += g[r * out_channels_ + c];
+        db[c] += g_cols[r * out_channels_ + c];
       }
     }
   }
   // dX = col2im(g_cols * W)
-  Tensor dcols = matmul(g_cols, weight_);  // [N*oh*ow, cin*k*k]
+  float* dcols = ws_.get(kDcolsSlot, rows * patch);
+  gemm(GemmLayout::kNN, rows, patch, out_channels_, g_cols, weight_.data(),
+       dcols);
   return col2im(dcols, cached_batch_, cached_geo_);
 }
 
@@ -142,30 +150,18 @@ Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
   cached_batch_ = input.dim(0);
   cached_geo_ =
       Conv1dGeometry{in_channels_, input.dim(2), kernel_, stride_, padding_};
-  cached_cols_ = im2col_1d(input, cached_geo_);  // [N*ol, cin*k]
-  Tensor out_cols = matmul_nt(cached_cols_, weight_);  // [N*ol, out_c]
   const std::int64_t ol = cached_geo_.out_len();
-  if (has_bias_) {
-    const std::int64_t rows = out_cols.dim(0);
-    float* po = out_cols.data();
-    const float* pb = bias_.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        po[r * out_channels_ + c] += pb[c];
-      }
-    }
-  }
+  const std::int64_t rows = cached_batch_ * ol;
+  const std::int64_t patch = in_channels_ * kernel_;
+  float* cols = ws_.get(kColsSlot, rows * patch);
+  im2col_1d_into(input, cached_geo_, cols);
   Tensor out({cached_batch_, out_channels_, ol});
-  const float* src = out_cols.data();
-  float* dst = out.data();
-  for (std::int64_t n = 0; n < cached_batch_; ++n) {
-    for (std::int64_t p = 0; p < ol; ++p) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        dst[(n * out_channels_ + c) * ol + p] =
-            src[(n * ol + p) * out_channels_ + c];
-      }
-    }
-  }
+  GemmEpilogue epi;
+  epi.bias = has_bias_ ? bias_.data() : nullptr;
+  epi.out = out.data();
+  epi.scatter_spatial = ol;
+  gemm(GemmLayout::kNT, rows, out_channels_, patch, cols, weight_.data(),
+       ws_.get(kGemmSlot, rows * out_channels_), /*accumulate=*/false, &epi);
   return out;
 }
 
@@ -173,32 +169,36 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
   const std::int64_t ol = cached_geo_.out_len();
   assert(grad_output.rank() == 3 && grad_output.dim(1) == out_channels_ &&
          grad_output.dim(2) == ol);
-  Tensor g_cols({cached_batch_ * ol, out_channels_});
+  const std::int64_t rows = cached_batch_ * ol;
+  const std::int64_t patch = in_channels_ * kernel_;
+  float* g_cols = ws_.get(kGColsSlot, rows * out_channels_);
   {
     const float* src = grad_output.data();
-    float* dst = g_cols.data();
     for (std::int64_t n = 0; n < cached_batch_; ++n) {
       for (std::int64_t c = 0; c < out_channels_; ++c) {
         for (std::int64_t p = 0; p < ol; ++p) {
-          dst[(n * ol + p) * out_channels_ + c] =
+          g_cols[(n * ol + p) * out_channels_ + c] =
               src[(n * out_channels_ + c) * ol + p];
         }
       }
     }
   }
-  Tensor dw = matmul_tn(g_cols, cached_cols_);
-  weight_grad_.add_inplace(dw);
+  const float* cols = ws_.get(kColsSlot, rows * patch);
+  float* dw = ws_.get(kDwSlot, out_channels_ * patch);
+  gemm(GemmLayout::kTN, out_channels_, patch, rows, g_cols, cols, dw);
+  float* wg = weight_grad_.data();
+  for (std::int64_t i = 0; i < out_channels_ * patch; ++i) wg[i] += dw[i];
   if (has_bias_) {
-    const std::int64_t rows = g_cols.dim(0);
-    const float* g = g_cols.data();
     float* db = bias_grad_.data();
     for (std::int64_t r = 0; r < rows; ++r) {
       for (std::int64_t c = 0; c < out_channels_; ++c) {
-        db[c] += g[r * out_channels_ + c];
+        db[c] += g_cols[r * out_channels_ + c];
       }
     }
   }
-  Tensor dcols = matmul(g_cols, weight_);
+  float* dcols = ws_.get(kDcolsSlot, rows * patch);
+  gemm(GemmLayout::kNN, rows, patch, out_channels_, g_cols, weight_.data(),
+       dcols);
   return col2im_1d(dcols, cached_batch_, cached_geo_);
 }
 

@@ -1,8 +1,12 @@
-// Convolution layers, lowered to GEMM via im2col.
+// Convolution layers, lowered to GEMM via im2col. Bias add and the
+// [rows, out_c] -> [N, out_c, spatial] transpose are fused into the GEMM
+// epilogue; im2col columns, gradient columns and GEMM scratch live in a
+// per-layer workspace arena so steady-state steps do not heap-allocate.
 #pragma once
 
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace edgetune {
 
@@ -29,7 +33,7 @@ class Conv2D : public Layer {
   Tensor weight_;  // [out_c, in_c * k * k]
   Tensor bias_;    // [out_c]
   Tensor weight_grad_, bias_grad_;
-  Tensor cached_cols_;  // im2col of last input
+  Workspace ws_;  // im2col columns of last forward + backward scratch
   Conv2dGeometry cached_geo_;
   std::int64_t cached_batch_ = 0;
 };
@@ -53,7 +57,7 @@ class Conv1D : public Layer {
   Tensor weight_;  // [out_c, in_c * k]
   Tensor bias_;
   Tensor weight_grad_, bias_grad_;
-  Tensor cached_cols_;
+  Workspace ws_;
   Conv1dGeometry cached_geo_;
   std::int64_t cached_batch_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace edgetune {
@@ -19,21 +20,27 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 Tensor Linear::forward(const Tensor& input, bool /*training*/) {
   assert(input.rank() == 2 && input.dim(1) == in_);
   cached_input_ = input;
-  Tensor out = matmul_nt(input, weight_);  // [N, out]
-  const std::int64_t batch = out.dim(0);
-  float* po = out.data();
-  const float* pb = bias_.data();
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t j = 0; j < out_; ++j) po[n * out_ + j] += pb[j];
-  }
+  const std::int64_t batch = input.dim(0);
+  // Bias add fused into the GEMM store epilogue.
+  Tensor out({batch, out_});
+  GemmEpilogue epi;
+  epi.bias = bias_.data();
+  gemm(GemmLayout::kNT, batch, out_, in_, input.data(), weight_.data(),
+       out.data(), /*accumulate=*/false, &epi);
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
   // dW += g^T x ; db += sum_n g ; dx = g W
-  Tensor dw = matmul_tn(grad_output, cached_input_);  // [out, in]
-  weight_grad_.add_inplace(dw);
   const std::int64_t batch = grad_output.dim(0);
+  // dW lands in reusable scratch, then a separate loop accumulates into the
+  // gradient — preserving the historical add_inplace float-operation order
+  // with no per-step allocation.
+  float* dw = ws_.get(0, out_ * in_);
+  gemm(GemmLayout::kTN, out_, in_, batch, grad_output.data(),
+       cached_input_.data(), dw);
+  float* wg = weight_grad_.data();
+  for (std::int64_t i = 0; i < out_ * in_; ++i) wg[i] += dw[i];
   const float* g = grad_output.data();
   float* db = bias_grad_.data();
   for (std::int64_t n = 0; n < batch; ++n) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "tensor/workspace.hpp"
 
 namespace edgetune {
 
@@ -24,6 +25,7 @@ class Linear : public Layer {
   Tensor weight_, bias_;
   Tensor weight_grad_, bias_grad_;
   Tensor cached_input_;
+  Workspace ws_;  // weight-gradient GEMM scratch
 };
 
 class ReLU : public Layer {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace edgetune {
@@ -82,15 +83,27 @@ Tensor RNN::forward(const Tensor& input, bool /*training*/) {
   assert(input.rank() == 3 && input.dim(2) == input_dim_);
   const std::int64_t batch = input.dim(0), len = input.dim(1);
   cached_len_ = len;
-  cached_inputs_.clear();
-  cached_hiddens_.clear();
+  const std::int64_t steps = (len + stride_ - 1) / stride_;
 
-  Tensor h = Tensor::zeros({batch, hidden_dim_});
-  cached_hiddens_.push_back(h);  // h_{-1}
+  // Reuse the BPTT cache tensors in place when shapes are unchanged.
+  const Shape x_shape{batch, input_dim_};
+  const Shape h_shape{batch, hidden_dim_};
+  cached_inputs_.resize(static_cast<std::size_t>(steps));
+  for (Tensor& x : cached_inputs_) {
+    if (x.shape() != x_shape) x = Tensor(x_shape);
+  }
+  cached_hiddens_.resize(static_cast<std::size_t>(steps) + 1);
+  for (Tensor& h : cached_hiddens_) {
+    if (h.shape() != h_shape) h = Tensor(h_shape);
+  }
+  cached_hiddens_[0].fill(0.0f);  // h_{-1}
+
   const float* src = input.data();
-  for (std::int64_t t = 0; t < len; t += stride_) {
+  const float* pb = bias_.data();
+  for (std::int64_t s = 0; s < steps; ++s) {
+    const std::int64_t t = s * stride_;
     // Slice x_t = input[:, t, :].
-    Tensor x({batch, input_dim_});
+    Tensor& x = cached_inputs_[static_cast<std::size_t>(s)];
     float* px = x.data();
     for (std::int64_t n = 0; n < batch; ++n) {
       const float* row = src + (n * len + t) * input_dim_;
@@ -98,24 +111,24 @@ Tensor RNN::forward(const Tensor& input, bool /*training*/) {
         px[n * input_dim_ + e] = row[e];
       }
     }
-    cached_inputs_.push_back(x);
 
-    Tensor pre = matmul_nt(x, w_ih_);           // [N, H]
-    Tensor rec = matmul_nt(h, w_hh_);           // [N, H]
-    float* pp = pre.data();
-    const float* pr = rec.data();
-    const float* pb = bias_.data();
+    const Tensor& h_prev = cached_hiddens_[static_cast<std::size_t>(s)];
+    Tensor& h_next = cached_hiddens_[static_cast<std::size_t>(s) + 1];
+    // pre = x W_ih^T lands in h_next; rec = h_prev W_hh^T in scratch.
+    gemm(GemmLayout::kNT, batch, hidden_dim_, input_dim_, x.data(),
+         w_ih_.data(), h_next.data());
+    float* rec = ws_.get(0, batch * hidden_dim_);
+    gemm(GemmLayout::kNT, batch, hidden_dim_, hidden_dim_, h_prev.data(),
+         w_hh_.data(), rec);
+    float* pp = h_next.data();
     for (std::int64_t n = 0; n < batch; ++n) {
       for (std::int64_t j = 0; j < hidden_dim_; ++j) {
         const std::int64_t i = n * hidden_dim_ + j;
-        pp[i] = std::tanh(pp[i] + pr[i] + pb[j]);
+        pp[i] = std::tanh(pp[i] + rec[i] + pb[j]);
       }
     }
-    h = std::move(pre);
-    cached_hiddens_.push_back(h);
   }
   // Mean-pool readout over the processed steps.
-  const auto steps = static_cast<std::int64_t>(cached_inputs_.size());
   Tensor out = Tensor::zeros({batch, hidden_dim_});
   for (std::int64_t s = 1; s <= steps; ++s) {
     out.add_inplace(cached_hiddens_[static_cast<std::size_t>(s)]);
@@ -129,13 +142,23 @@ Tensor RNN::backward(const Tensor& grad_output) {
       static_cast<std::int64_t>(cached_inputs_.size());
   const std::int64_t batch = grad_output.dim(0);
   const std::int64_t len = cached_len_;
+  const std::int64_t hb = batch * hidden_dim_;
 
   // dL/dh_t receives a share of the mean-pool gradient at every step plus
-  // the recurrent flow from step t+1.
-  Tensor mean_share = grad_output;
-  mean_share.scale_inplace(1.0f /
-                           static_cast<float>(std::max<std::int64_t>(1, steps)));
-  Tensor grad_h = mean_share;
+  // the recurrent flow from step t+1. All step-local buffers live in the
+  // workspace arena (slot 0 is the forward-pass scratch).
+  float* mean_share = ws_.get(1, hb);
+  {
+    const float* g = grad_output.data();
+    const float inv =
+        1.0f / static_cast<float>(std::max<std::int64_t>(1, steps));
+    for (std::int64_t i = 0; i < hb; ++i) mean_share[i] = g[i] * inv;
+  }
+  float* grad_h = ws_.get(2, hb);
+  for (std::int64_t i = 0; i < hb; ++i) grad_h[i] = mean_share[i];
+  float* dz = ws_.get(3, hb);
+  float* dw = ws_.get(4, hidden_dim_ * std::max(input_dim_, hidden_dim_));
+  float* dx = ws_.get(5, batch * input_dim_);
   Tensor grad_input({batch, len, input_dim_});
   float* gi = grad_input.data();
 
@@ -145,40 +168,56 @@ Tensor RNN::backward(const Tensor& grad_output) {
     const Tensor& x_t = cached_inputs_[static_cast<std::size_t>(s)];
 
     // Through tanh: dz = dh * (1 - h^2)
-    Tensor dz = grad_h;
     {
-      float* pz = dz.data();
       const float* ph = h_t.data();
-      const std::int64_t n = dz.numel();
-      for (std::int64_t i = 0; i < n; ++i) pz[i] *= 1.0f - ph[i] * ph[i];
+      for (std::int64_t i = 0; i < hb; ++i) {
+        dz[i] = grad_h[i] * (1.0f - ph[i] * ph[i]);
+      }
     }
 
-    w_ih_grad_.add_inplace(matmul_tn(dz, x_t));
-    w_hh_grad_.add_inplace(matmul_tn(dz, h_prev));
+    // Weight gradients land in scratch, then separate loops accumulate —
+    // the historical add_inplace float-operation order.
+    gemm(GemmLayout::kTN, hidden_dim_, input_dim_, batch, dz, x_t.data(), dw);
     {
-      const float* pz = dz.data();
+      float* wg = w_ih_grad_.data();
+      for (std::int64_t i = 0; i < hidden_dim_ * input_dim_; ++i) {
+        wg[i] += dw[i];
+      }
+    }
+    gemm(GemmLayout::kTN, hidden_dim_, hidden_dim_, batch, dz, h_prev.data(),
+         dw);
+    {
+      float* wg = w_hh_grad_.data();
+      for (std::int64_t i = 0; i < hidden_dim_ * hidden_dim_; ++i) {
+        wg[i] += dw[i];
+      }
+    }
+    {
       float* pb = bias_grad_.data();
       for (std::int64_t n = 0; n < batch; ++n) {
         for (std::int64_t j = 0; j < hidden_dim_; ++j) {
-          pb[j] += pz[n * hidden_dim_ + j];
+          pb[j] += dz[n * hidden_dim_ + j];
         }
       }
     }
 
     // dL/dx_t = dz * W_ih ; scatter into grad_input at t = s*stride.
-    Tensor dx = matmul(dz, w_ih_);
-    const float* pdx = dx.data();
+    gemm(GemmLayout::kNN, batch, input_dim_, hidden_dim_, dz, w_ih_.data(),
+         dx);
     const std::int64_t t = s * stride_;
     for (std::int64_t n = 0; n < batch; ++n) {
       float* row = gi + (n * len + t) * input_dim_;
       for (std::int64_t e = 0; e < input_dim_; ++e) {
-        row[e] = pdx[n * input_dim_ + e];
+        row[e] = dx[n * input_dim_ + e];
       }
     }
 
     // dL/dh_{t-1} = dz * W_hh + its share of the mean-pool gradient.
-    grad_h = matmul(dz, w_hh_);
-    if (s > 0) grad_h.add_inplace(mean_share);
+    gemm(GemmLayout::kNN, batch, hidden_dim_, hidden_dim_, dz, w_hh_.data(),
+         grad_h);
+    if (s > 0) {
+      for (std::int64_t i = 0; i < hb; ++i) grad_h[i] += mean_share[i];
+    }
   }
   return grad_input;
 }

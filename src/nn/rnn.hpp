@@ -4,6 +4,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "tensor/workspace.hpp"
 
 namespace edgetune {
 
@@ -49,10 +50,12 @@ class RNN : public Layer {
   Tensor bias_;  // [H]
   Tensor w_ih_grad_, w_hh_grad_, bias_grad_;
 
-  // BPTT caches.
+  // BPTT caches. The vectors (and the tensors inside them) are reused across
+  // steps with unchanged shapes, so steady-state training does not allocate.
   std::vector<Tensor> cached_inputs_;   // x_t for each processed step [N, E]
   std::vector<Tensor> cached_hiddens_;  // h_t (post-tanh), h_{-1} first
   std::int64_t cached_len_ = 0;         // true input sequence length
+  Workspace ws_;                        // recurrent-GEMM and BPTT scratch
 };
 
 }  // namespace edgetune

@@ -1,0 +1,330 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace edgetune {
+
+namespace detail {
+// Defined in gemm_unfused.cpp, compiled with -ffp-contract=off: rounds each
+// product to float before adding, except for the last `fused_tail` (= k % 4
+// on the final k-block) depth steps, which use fused multiply-adds — the
+// exact order the historical matmul_nt reduction compiled to.
+void micro_kernel_unfused(std::int64_t kc, std::int64_t fused_tail,
+                          const float* __restrict__ pa,
+                          const float* __restrict__ pb,
+                          float* __restrict__ acc);
+}  // namespace detail
+
+namespace {
+
+// Cache blocking (floats): a KC x NR B-sliver (~16 KB) lives in L1 across a
+// whole row block, an MC x KC A-block (~64 KB) in L2, an NC-wide B panel in
+// L3. The MR x NR microtile holds 8 vector accumulators of 16 lanes.
+constexpr std::int64_t kMR = 8;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kMC = 64;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 1024;
+
+// Below this many FLOPs (2mnk) the fork/join overhead of the intra-op pool
+// outweighs the kernel; run inline.
+constexpr double kParallelMinFlops = 2e6;
+
+std::mutex g_pool_mutex;
+int g_intra_op_threads = 1;
+std::shared_ptr<ThreadPool> g_intra_op_pool;
+
+std::shared_ptr<ThreadPool> acquire_pool() {
+  std::lock_guard lock(g_pool_mutex);
+  if (g_intra_op_threads <= 1) return nullptr;
+  if (!g_intra_op_pool) {
+    g_intra_op_pool =
+        std::make_shared<ThreadPool>(static_cast<std::size_t>(g_intra_op_threads));
+  }
+  return g_intra_op_pool;
+}
+
+// Packing scratch. thread_local so pool workers reuse their buffers across
+// GEMM calls — zero steady-state heap traffic.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
+/// Packs an mc x kc block of op(A) starting at logical row i0, depth pc into
+/// MR-row slivers laid out [kk*MR + r], zero-padding partial slivers.
+void pack_a(GemmLayout layout, const float* a, std::int64_t m, std::int64_t k,
+            std::int64_t i0, std::int64_t pc, std::int64_t mc,
+            std::int64_t kc, float* buf) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ir);
+    float* dst = buf + (ir / kMR) * (kc * kMR);
+    if (layout == GemmLayout::kTN) {
+      // A stored [k, m]: a kk-slice of op(A) rows is contiguous in storage.
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = a + (pc + kk) * m + i0 + ir;
+        float* d = dst + kk * kMR;
+        for (std::int64_t r = 0; r < mr; ++r) d[r] = src[r];
+        for (std::int64_t r = mr; r < kMR; ++r) d[r] = 0.0f;
+      }
+    } else {  // kNN / kNT: A stored [m, k]
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const float* src = a + (i0 + ir + r) * k + pc;
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = src[kk];
+      }
+      for (std::int64_t r = mr; r < kMR; ++r) {
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs a kc x nc panel of op(B) starting at depth pc, logical column jc
+/// into NR-column slivers laid out [kk*NR + j], zero-padding partial slivers.
+void pack_b(GemmLayout layout, const float* b, std::int64_t k, std::int64_t n,
+            std::int64_t pc, std::int64_t jc, std::int64_t kc,
+            std::int64_t nc, float* buf) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jr);
+    float* dst = buf + (jr / kNR) * (kc * kNR);
+    if (layout == GemmLayout::kNT) {
+      // B stored [n, k]: column j of op(B) is storage row jc+jr+j.
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float* src = b + (jc + jr + j) * k + pc;
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kNR + j] = src[kk];
+      }
+      for (std::int64_t j = nr; j < kNR; ++j) {
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kNR + j] = 0.0f;
+      }
+    } else {  // kNN / kTN: B stored [k, n]
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = b + (pc + kk) * n + jc + jr;
+        float* d = dst + kk * kNR;
+        for (std::int64_t j = 0; j < nr; ++j) d[j] = src[j];
+        for (std::int64_t j = nr; j < kNR; ++j) d[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// One NR-wide vector per accumulator row. Written with GNU vector types
+// rather than a scalar triple loop: left to itself GCC vectorizes the scalar
+// form across the ROW dimension and spends the inner loop shuffling the
+// transposed accumulator tile (vpermt2ps-bound, ~4x slower than the naive
+// ikj loop). The explicit row vectors pin the layout: 8 resident vector
+// accumulators, one broadcast-FMA per row per depth step, no shuffles.
+// Element-wise the operation order is unchanged — still one fused
+// multiply-add per product in ascending-k order, so results stay bitwise
+// identical to the scalar formulation.
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
+                                   aligned(alignof(float))));
+
+/// acc[MR][NR] += A-sliver . B-sliver over kc depth steps. One fused
+/// multiply-add per product in ascending-k order — the determinism contract
+/// for kNN/kTN. The kNT layout routes through micro_kernel_unfused instead.
+void micro_kernel(std::int64_t kc, const float* __restrict__ pa,
+                  const float* __restrict__ pb, float* __restrict__ acc) {
+  VecNR c0 = *reinterpret_cast<const VecNR*>(acc + 0 * kNR);
+  VecNR c1 = *reinterpret_cast<const VecNR*>(acc + 1 * kNR);
+  VecNR c2 = *reinterpret_cast<const VecNR*>(acc + 2 * kNR);
+  VecNR c3 = *reinterpret_cast<const VecNR*>(acc + 3 * kNR);
+  VecNR c4 = *reinterpret_cast<const VecNR*>(acc + 4 * kNR);
+  VecNR c5 = *reinterpret_cast<const VecNR*>(acc + 5 * kNR);
+  VecNR c6 = *reinterpret_cast<const VecNR*>(acc + 6 * kNR);
+  VecNR c7 = *reinterpret_cast<const VecNR*>(acc + 7 * kNR);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = pa + kk * kMR;
+    const VecNR bv = *reinterpret_cast<const VecNR*>(pb + kk * kNR);
+    c0 += a[0] * bv;
+    c1 += a[1] * bv;
+    c2 += a[2] * bv;
+    c3 += a[3] * bv;
+    c4 += a[4] * bv;
+    c5 += a[5] * bv;
+    c6 += a[6] * bv;
+    c7 += a[7] * bv;
+  }
+  *reinterpret_cast<VecNR*>(acc + 0 * kNR) = c0;
+  *reinterpret_cast<VecNR*>(acc + 1 * kNR) = c1;
+  *reinterpret_cast<VecNR*>(acc + 2 * kNR) = c2;
+  *reinterpret_cast<VecNR*>(acc + 3 * kNR) = c3;
+  *reinterpret_cast<VecNR*>(acc + 4 * kNR) = c4;
+  *reinterpret_cast<VecNR*>(acc + 5 * kNR) = c5;
+  *reinterpret_cast<VecNR*>(acc + 6 * kNR) = c6;
+  *reinterpret_cast<VecNR*>(acc + 7 * kNR) = c7;
+}
+
+void load_tile(float* acc, const float* c, std::int64_t n, std::int64_t i0,
+               std::int64_t j0, std::int64_t mr, std::int64_t nr,
+               bool from_zero) {
+  if (from_zero) {
+    std::fill(acc, acc + kMR * kNR, 0.0f);
+    return;
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* src = c + (i0 + r) * n + j0;
+    float* row = acc + r * kNR;
+    for (std::int64_t j = 0; j < nr; ++j) row[j] = src[j];
+    for (std::int64_t j = nr; j < kNR; ++j) row[j] = 0.0f;
+  }
+  for (std::int64_t r = mr; r < kMR; ++r) {
+    std::fill(acc + r * kNR, acc + (r + 1) * kNR, 0.0f);
+  }
+}
+
+void store_tile(const float* acc, float* c, std::int64_t n, std::int64_t i0,
+                std::int64_t j0, std::int64_t mr, std::int64_t nr,
+                const GemmEpilogue* epi) {
+  if (epi == nullptr) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* dst = c + (i0 + r) * n + j0;
+      const float* row = acc + r * kNR;
+      for (std::int64_t j = 0; j < nr; ++j) dst[j] = row[j];
+    }
+    return;
+  }
+  const float* bias = epi->bias;
+  if (epi->scatter_spatial > 0) {
+    const std::int64_t spatial = epi->scatter_spatial;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const std::int64_t rg = i0 + r;
+      const std::int64_t batch = rg / spatial;
+      const std::int64_t p = rg - batch * spatial;
+      float* base = epi->out + batch * n * spatial + p;
+      const float* row = acc + r * kNR;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        base[(j0 + j) * spatial] = bias ? row[j] + bias[j0 + j] : row[j];
+      }
+    }
+  } else {
+    float* out = epi->out ? epi->out : c;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* dst = out + (i0 + r) * n + j0;
+      const float* row = acc + r * kNR;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        dst[j] = bias ? row[j] + bias[j0 + j] : row[j];
+      }
+    }
+  }
+}
+
+struct PanelContext {
+  GemmLayout layout = GemmLayout::kNN;
+  const float* a = nullptr;
+  float* c = nullptr;
+  std::int64_t m = 0, n = 0, k = 0;
+  std::int64_t jc = 0, nc = 0, pc = 0, kc = 0;
+  bool from_zero = false;  // first k-block and not accumulating
+  bool last = false;       // final k-block: epilogue applies here
+  const GemmEpilogue* epi = nullptr;
+  const float* packb = nullptr;
+};
+
+/// Computes the (ic, mc) row block of C against the shared packed B panel.
+/// Row blocks are disjoint in C, so tasks need no synchronization.
+void process_row_block(const PanelContext& ctx, std::int64_t ic,
+                       std::int64_t mc) {
+  const std::int64_t slivers = (mc + kMR - 1) / kMR;
+  tl_pack_a.resize(static_cast<std::size_t>(slivers * ctx.kc * kMR));
+  float* packa = tl_pack_a.data();
+  pack_a(ctx.layout, ctx.a, ctx.m, ctx.k, ic, ctx.pc, mc, ctx.kc, packa);
+  const GemmEpilogue* epi = ctx.last ? ctx.epi : nullptr;
+  const bool unfused = ctx.layout == GemmLayout::kNT;
+  // Historical kNT semantics fuse the last k % 4 depth steps (see
+  // gemm_unfused.cpp). kKC is a multiple of 4, so the tail can only fall in
+  // the final k-block.
+  static_assert(kKC % 4 == 0);
+  const std::int64_t fused_tail = (unfused && ctx.last) ? ctx.kc % 4 : 0;
+  alignas(64) float acc[kMR * kNR];
+  for (std::int64_t jr = 0; jr < ctx.nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, ctx.nc - jr);
+    const float* bs = ctx.packb + (jr / kNR) * (ctx.kc * kNR);
+    for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+      const std::int64_t mr = std::min(kMR, mc - ir);
+      load_tile(acc, ctx.c, ctx.n, ic + ir, ctx.jc + jr, mr, nr,
+                ctx.from_zero);
+      const float* as = packa + (ir / kMR) * (ctx.kc * kMR);
+      if (unfused) {
+        detail::micro_kernel_unfused(ctx.kc, fused_tail, as, bs, acc);
+      } else {
+        micro_kernel(ctx.kc, as, bs, acc);
+      }
+      store_tile(acc, ctx.c, ctx.n, ic + ir, ctx.jc + jr, mr, nr, epi);
+    }
+  }
+}
+
+}  // namespace
+
+int intra_op_threads() noexcept {
+  std::lock_guard lock(g_pool_mutex);
+  return g_intra_op_threads;
+}
+
+void set_intra_op_threads(int n) {
+  std::lock_guard lock(g_pool_mutex);
+  g_intra_op_threads = std::max(1, n);
+  // Drop the old pool; in-flight GEMMs keep it alive via their shared_ptr
+  // and it is torn down when the last of them finishes.
+  g_intra_op_pool.reset();
+}
+
+void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate,
+          const GemmEpilogue* epilogue) {
+  assert(m > 0 && n > 0 && k > 0);
+  std::shared_ptr<ThreadPool> pool;
+  if (m > kMC && 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                         static_cast<double>(k) >=
+                     kParallelMinFlops) {
+    pool = acquire_pool();
+  }
+
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      const std::int64_t b_slivers = (nc + kNR - 1) / kNR;
+      tl_pack_b.resize(static_cast<std::size_t>(b_slivers * kc * kNR));
+      pack_b(layout, b, k, n, pc, jc, kc, nc, tl_pack_b.data());
+
+      PanelContext ctx;
+      ctx.layout = layout;
+      ctx.a = a;
+      ctx.c = c;
+      ctx.m = m;
+      ctx.n = n;
+      ctx.k = k;
+      ctx.jc = jc;
+      ctx.nc = nc;
+      ctx.pc = pc;
+      ctx.kc = kc;
+      ctx.from_zero = (pc == 0) && !accumulate;
+      ctx.last = (pc + kc == k);
+      ctx.epi = epilogue;
+      ctx.packb = tl_pack_b.data();
+
+      if (pool) {
+        std::vector<std::future<void>> pending;
+        pending.reserve(static_cast<std::size_t>((m + kMC - 1) / kMC));
+        for (std::int64_t ic = 0; ic < m; ic += kMC) {
+          const std::int64_t mc = std::min(kMC, m - ic);
+          pending.push_back(
+              pool->submit([&ctx, ic, mc] { process_row_block(ctx, ic, mc); }));
+        }
+        for (std::future<void>& f : pending) f.get();
+      } else {
+        for (std::int64_t ic = 0; ic < m; ic += kMC) {
+          process_row_block(ctx, ic, std::min(kMC, m - ic));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace edgetune

@@ -1,0 +1,64 @@
+// Blocked GEMM core: the single compute kernel behind matmul/matmul_tn/
+// matmul_nt and the im2col convolutions. Cache-tiled (MC/KC/NC) with a
+// register-blocked MR x NR microkernel, packed A/B panels, an optional fused
+// epilogue (bias add + NCHW scatter), and intra-op parallelism over row
+// blocks of C.
+//
+// Determinism contract: every output element is accumulated in ascending-k
+// order, exactly like the naive reference loops it replaced — kNN/kTN with
+// one fused multiply-add per product, kNT with each product rounded to float
+// before the add except the final k % 4 depth steps, which contract to fused
+// multiply-adds (the exact form the old scalar-reduction matmul_nt compiled
+// to: vectorized rounded body, contracted scalar epilogue; see
+// gemm_unfused.cpp). Parallelism partitions C by rows (no split-K
+// reduction), so results are bitwise identical at any `intra_op_threads`
+// setting.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace edgetune {
+
+// --- Intra-op threading knob -------------------------------------------------
+// Process-wide worker count for a single GEMM (1 = fully inline, the
+// default; keeps same-seed determinism tooling and TSan baselines quiet).
+// Interacts with `EdgeTuneOptions::trial_workers`: total oversubscription is
+// trial_workers x intra_op_threads, see README "Kernel substrate".
+
+/// Current intra-op worker count (>= 1).
+[[nodiscard]] int intra_op_threads() noexcept;
+/// Sets the intra-op worker count (clamped to >= 1). Takes effect at the
+/// next large-enough GEMM; safe to call while other threads run GEMMs.
+void set_intra_op_threads(int n);
+
+// --- Core --------------------------------------------------------------------
+
+/// Operand storage for C = op(A) . op(B), all row-major:
+///   kNN: A is [m,k], B is [k,n]
+///   kTN: A is [k,m] (used transposed), B is [k,n]
+///   kNT: A is [m,k], B is [n,k] (used transposed)
+enum class GemmLayout { kNN, kTN, kNT };
+
+/// Fused output transform, applied exactly once per element on the final
+/// k-block pass (so bias is added after the full dot product, matching a
+/// separate post-pass bitwise).
+struct GemmEpilogue {
+  /// If non-null: length-n vector added to every output row.
+  const float* bias = nullptr;
+  /// Final destination. If null, the epilogue writes into `c`.
+  float* out = nullptr;
+  /// If > 0, rows are interpreted as r = b*spatial + p and element (r, j) is
+  /// written to out[(b*n + j)*spatial + p] — the [rows, n] -> [batch, n,
+  /// spatial] transpose the conv layers need, fused into the GEMM store.
+  std::int64_t scatter_spatial = 0;
+};
+
+/// C = op(A) . op(B) (+ C when `accumulate`), optionally routed through an
+/// epilogue. `c` must hold m*n floats; when k exceeds one cache block it is
+/// used as the accumulation scratch even if the epilogue redirects the final
+/// store. With accumulate=false its initial contents are ignored.
+void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate = false,
+          const GemmEpilogue* epilogue = nullptr);
+
+}  // namespace edgetune

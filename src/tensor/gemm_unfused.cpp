@@ -1,0 +1,78 @@
+// Unfused-product microkernel for the kNT layout. This translation unit is
+// compiled with -ffp-contract=off (see CMakeLists.txt): each product is
+// rounded to float before the ascending-k add, matching what the historical
+// matmul_nt reduction loop compiled to. One wrinkle, established by diffing
+// against the old binary bit-for-bit: the compiler vectorized that loop with
+// 8-wide and 4-wide groups of rounded products but left the final k%4
+// elements to a scalar epilogue, which -ffp-contract=fast contracted into
+// fused multiply-adds. So the historical semantics are "rounded products for
+// the first k - k%4 steps, fused FMAs for the last k%4" — the caller passes
+// that tail count in via `fused_tail`. The kNN/kTN microkernel in gemm.cpp
+// uses one fused multiply-add per product throughout; see the contract note
+// in gemm.hpp.
+#include <cmath>
+#include <cstdint>
+
+namespace edgetune {
+namespace detail {
+
+constexpr std::int64_t kMR = 8;
+constexpr std::int64_t kNR = 16;
+
+// Same explicit row-vector layout as gemm.cpp's micro_kernel (see the note
+// there: the scalar triple loop vectorizes badly). With contraction off,
+// each `c += a * bv` lowers to a separate vector multiply and add — the
+// rounding the historical matmul_nt performed on its vectorized body.
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
+                                   aligned(alignof(float))));
+
+void micro_kernel_unfused(std::int64_t kc, std::int64_t fused_tail,
+                          const float* __restrict__ pa,
+                          const float* __restrict__ pb,
+                          float* __restrict__ acc) {
+  const std::int64_t body = kc - fused_tail;
+  VecNR c0 = *reinterpret_cast<const VecNR*>(acc + 0 * kNR);
+  VecNR c1 = *reinterpret_cast<const VecNR*>(acc + 1 * kNR);
+  VecNR c2 = *reinterpret_cast<const VecNR*>(acc + 2 * kNR);
+  VecNR c3 = *reinterpret_cast<const VecNR*>(acc + 3 * kNR);
+  VecNR c4 = *reinterpret_cast<const VecNR*>(acc + 4 * kNR);
+  VecNR c5 = *reinterpret_cast<const VecNR*>(acc + 5 * kNR);
+  VecNR c6 = *reinterpret_cast<const VecNR*>(acc + 6 * kNR);
+  VecNR c7 = *reinterpret_cast<const VecNR*>(acc + 7 * kNR);
+  for (std::int64_t kk = 0; kk < body; ++kk) {
+    const float* a = pa + kk * kMR;
+    const VecNR bv = *reinterpret_cast<const VecNR*>(pb + kk * kNR);
+    c0 += a[0] * bv;
+    c1 += a[1] * bv;
+    c2 += a[2] * bv;
+    c3 += a[3] * bv;
+    c4 += a[4] * bv;
+    c5 += a[5] * bv;
+    c6 += a[6] * bv;
+    c7 += a[7] * bv;
+  }
+  *reinterpret_cast<VecNR*>(acc + 0 * kNR) = c0;
+  *reinterpret_cast<VecNR*>(acc + 1 * kNR) = c1;
+  *reinterpret_cast<VecNR*>(acc + 2 * kNR) = c2;
+  *reinterpret_cast<VecNR*>(acc + 3 * kNR) = c3;
+  *reinterpret_cast<VecNR*>(acc + 4 * kNR) = c4;
+  *reinterpret_cast<VecNR*>(acc + 5 * kNR) = c5;
+  *reinterpret_cast<VecNR*>(acc + 6 * kNR) = c6;
+  *reinterpret_cast<VecNR*>(acc + 7 * kNR) = c7;
+  // Fused scalar epilogue: at most 3 depth steps, still ascending-k after
+  // the body. std::fmaf keeps the contraction explicit under
+  // -ffp-contract=off.
+  for (std::int64_t kk = body; kk < kc; ++kk) {
+    const float* a = pa + kk * kMR;
+    const float* b = pb + kk * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      float* row = acc + r * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        row[j] = std::fmaf(a[r], b[j], row[j]);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace edgetune

@@ -5,25 +5,15 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/gemm.hpp"
+
 namespace edgetune {
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0));
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: streams B and C rows, good cache behaviour without tiling.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -31,19 +21,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm(GemmLayout::kTN, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -51,32 +29,28 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  gemm(GemmLayout::kNT, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
 Tensor im2col(const Tensor& input, const Conv2dGeometry& geo) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t patch = geo.in_channels * geo.kernel * geo.kernel;
+  Tensor cols({batch * geo.out_h() * geo.out_w(), patch});
+  im2col_into(input, geo, cols.data());
+  return cols;
+}
+
+void im2col_into(const Tensor& input, const Conv2dGeometry& geo,
+                 float* cols) {
   assert(input.rank() == 4);
   const std::int64_t batch = input.dim(0);
   const std::int64_t c_in = geo.in_channels, h = geo.in_h, w = geo.in_w;
   assert(input.dim(1) == c_in && input.dim(2) == h && input.dim(3) == w);
   const std::int64_t oh = geo.out_h(), ow = geo.out_w();
   const std::int64_t patch = c_in * geo.kernel * geo.kernel;
-  Tensor cols({batch * oh * ow, patch});
   const float* src = input.data();
-  float* dst = cols.data();
+  float* dst = cols;
   for (std::int64_t n = 0; n < batch; ++n) {
     const float* img = src + n * c_in * h * w;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -98,18 +72,23 @@ Tensor im2col(const Tensor& input, const Conv2dGeometry& geo) {
       }
     }
   }
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, std::int64_t batch,
               const Conv2dGeometry& geo) {
+  assert(cols.rank() == 2 &&
+         cols.dim(0) == batch * geo.out_h() * geo.out_w() &&
+         cols.dim(1) == geo.in_channels * geo.kernel * geo.kernel);
+  return col2im(cols.data(), batch, geo);
+}
+
+Tensor col2im(const float* cols, std::int64_t batch,
+              const Conv2dGeometry& geo) {
   const std::int64_t c_in = geo.in_channels, h = geo.in_h, w = geo.in_w;
   const std::int64_t oh = geo.out_h(), ow = geo.out_w();
   const std::int64_t patch = c_in * geo.kernel * geo.kernel;
-  assert(cols.rank() == 2 && cols.dim(0) == batch * oh * ow &&
-         cols.dim(1) == patch);
   Tensor out({batch, c_in, h, w});
-  const float* src = cols.data();
+  const float* src = cols;
   float* dst = out.data();
   for (std::int64_t n = 0; n < batch; ++n) {
     float* img = dst + n * c_in * h * w;
@@ -137,15 +116,22 @@ Tensor col2im(const Tensor& cols, std::int64_t batch,
 }
 
 Tensor im2col_1d(const Tensor& input, const Conv1dGeometry& geo) {
+  const std::int64_t batch = input.dim(0);
+  Tensor cols({batch * geo.out_len(), geo.in_channels * geo.kernel});
+  im2col_1d_into(input, geo, cols.data());
+  return cols;
+}
+
+void im2col_1d_into(const Tensor& input, const Conv1dGeometry& geo,
+                    float* cols) {
   assert(input.rank() == 3);
   const std::int64_t batch = input.dim(0);
   const std::int64_t c_in = geo.in_channels, len = geo.in_len;
   assert(input.dim(1) == c_in && input.dim(2) == len);
   const std::int64_t olen = geo.out_len();
   const std::int64_t patch = c_in * geo.kernel;
-  Tensor cols({batch * olen, patch});
   const float* src = input.data();
-  float* dst = cols.data();
+  float* dst = cols;
   for (std::int64_t n = 0; n < batch; ++n) {
     const float* sig = src + n * c_in * len;
     for (std::int64_t o = 0; o < olen; ++o) {
@@ -160,18 +146,22 @@ Tensor im2col_1d(const Tensor& input, const Conv1dGeometry& geo) {
       }
     }
   }
-  return cols;
 }
 
 Tensor col2im_1d(const Tensor& cols, std::int64_t batch,
                  const Conv1dGeometry& geo) {
+  assert(cols.rank() == 2 && cols.dim(0) == batch * geo.out_len() &&
+         cols.dim(1) == geo.in_channels * geo.kernel);
+  return col2im_1d(cols.data(), batch, geo);
+}
+
+Tensor col2im_1d(const float* cols, std::int64_t batch,
+                 const Conv1dGeometry& geo) {
   const std::int64_t c_in = geo.in_channels, len = geo.in_len;
   const std::int64_t olen = geo.out_len();
   const std::int64_t patch = c_in * geo.kernel;
-  assert(cols.rank() == 2 && cols.dim(0) == batch * olen &&
-         cols.dim(1) == patch);
   Tensor out({batch, c_in, len});
-  const float* src = cols.data();
+  const float* src = cols;
   float* dst = out.data();
   for (std::int64_t n = 0; n < batch; ++n) {
     float* sig = dst + n * c_in * len;

@@ -9,7 +9,10 @@ namespace edgetune {
 
 // --- GEMM ------------------------------------------------------------------
 // All matrices are row-major 2-d tensors. Shapes are asserted in debug
-// builds; callers guarantee conformability (internal API).
+// builds; callers guarantee conformability (internal API). All three are
+// thin wrappers over the blocked kernel in tensor/gemm.hpp; dense and
+// sparse-ish operands take the identical code path (no data-dependent
+// branches), and results are bitwise identical to an ascending-k naive loop.
 
 /// C = A[m,k] * B[k,n]
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -33,8 +36,13 @@ struct Conv2dGeometry {
 
 /// Lowers input [N, C, H, W] to columns [N*outH*outW, C*k*k].
 Tensor im2col(const Tensor& input, const Conv2dGeometry& geo);
+/// Same, writing into a caller-provided buffer (workspace-arena variant).
+void im2col_into(const Tensor& input, const Conv2dGeometry& geo, float* cols);
 /// Adjoint of im2col: accumulates columns back into [N, C, H, W].
 Tensor col2im(const Tensor& cols, std::int64_t batch,
+              const Conv2dGeometry& geo);
+/// Raw-pointer variant reading columns from a workspace buffer.
+Tensor col2im(const float* cols, std::int64_t batch,
               const Conv2dGeometry& geo);
 
 struct Conv1dGeometry {
@@ -47,7 +55,11 @@ struct Conv1dGeometry {
 
 /// Lowers input [N, C, L] to columns [N*outL, C*k].
 Tensor im2col_1d(const Tensor& input, const Conv1dGeometry& geo);
+void im2col_1d_into(const Tensor& input, const Conv1dGeometry& geo,
+                    float* cols);
 Tensor col2im_1d(const Tensor& cols, std::int64_t batch,
+                 const Conv1dGeometry& geo);
+Tensor col2im_1d(const float* cols, std::int64_t batch,
                  const Conv1dGeometry& geo);
 
 // --- Pooling -----------------------------------------------------------------

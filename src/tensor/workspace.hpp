@@ -1,0 +1,39 @@
+// Grow-only arena of float scratch buffers, one per named slot. Layers keep
+// one Workspace member and fetch the same slots every forward/backward step,
+// so im2col columns, gradient columns, and GEMM output scratch are reused
+// instead of heap-allocated per step (zero steady-state allocations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edgetune {
+
+class Workspace {
+ public:
+  /// Returns a buffer of at least `n` floats for `slot`. The pointer is
+  /// stable across calls as long as the slot's requested size does not grow.
+  /// Contents are NOT cleared between calls.
+  float* get(std::size_t slot, std::int64_t n) {
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    std::vector<float>& buf = slots_[slot];
+    if (buf.size() < static_cast<std::size_t>(n)) {
+      buf.resize(static_cast<std::size_t>(n));
+    }
+    return buf.data();
+  }
+
+  /// Total resident scratch, for observability.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    std::size_t total = 0;
+    for (const std::vector<float>& buf : slots_) {
+      total += buf.capacity() * sizeof(float);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+}  // namespace edgetune

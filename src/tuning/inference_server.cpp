@@ -51,22 +51,64 @@ std::future<Result<InferenceRecommendation>> InferenceTuningServer::submit(
 Result<InferenceRecommendation> InferenceTuningServer::tune(
     const ArchSpec& arch) {
   if (!options_.use_cache) return tune_uncached(arch);
-  if (auto cached = cache_->lookup(arch.id, cost_model_.profile().name,
-                                   options_.objective)) {
-    // Cache hits cost neither simulated time nor energy (§3.4).
-    InferenceRecommendation rec = *cached;
+
+  // Single-flight: if an identical search is already running, wait for it
+  // instead of burning a second worker on the same architecture. The cache
+  // lookup happens under the inflight lock so each request probes exactly
+  // once: leaders count one miss (and later one store — misses() stays equal
+  // to the entry count), joiners never touch the cache at all.
+  std::promise<Result<InferenceRecommendation>> promise;
+  std::shared_future<Result<InferenceRecommendation>> pending;
+  {
+    std::lock_guard lock(inflight_mutex_);
+    auto it = inflight_.find(arch.id);
+    if (it != inflight_.end()) {
+      pending = it->second;
+    } else {
+      // A leader stores to the cache BEFORE erasing its inflight entry, so
+      // a lookup under this lock is authoritative: either the search is
+      // still pending (found above) or its result is already visible here.
+      if (auto cached = cache_->lookup(arch.id, cost_model_.profile().name,
+                                       options_.objective)) {
+        // Cache hits cost neither simulated time nor energy (§3.4).
+        InferenceRecommendation rec = *cached;
+        rec.tuning_time_s = 0;
+        rec.tuning_energy_j = 0;
+        return rec;
+      }
+      inflight_.emplace(arch.id, promise.get_future().share());
+    }
+  }
+  if (pending.valid()) {
+    single_flight_joins_.fetch_add(1, std::memory_order_relaxed);
+    ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, pending.get());
+    // The joiner paid nothing: the one search's cost is reported by the
+    // leader (and the cache, for later requests).
+    rec.from_cache = true;
     rec.tuning_time_s = 0;
     rec.tuning_energy_j = 0;
     return rec;
   }
-  ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, tune_uncached(arch));
-  ET_RETURN_IF_ERROR(cache_->store(arch.id, cost_model_.profile().name,
-                                   options_.objective, rec));
-  return rec;
+
+  // Leader path: run the search, publish to the cache, then retire the
+  // in-flight entry and wake the joiners.
+  Result<InferenceRecommendation> result = tune_uncached(arch);
+  if (result.ok()) {
+    Status stored = cache_->store(arch.id, cost_model_.profile().name,
+                                  options_.objective, result.value());
+    if (!stored.is_ok()) result = stored;
+  }
+  {
+    std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(arch.id);
+  }
+  promise.set_value(result);
+  return result;
 }
 
 Result<InferenceRecommendation> InferenceTuningServer::tune_uncached(
     const ArchSpec& arch) {
+  uncached_runs_.fetch_add(1, std::memory_order_relaxed);
   SearchSpace space = search_space();
   HyperBandOptions hb;
   hb.min_resource = 1;

@@ -12,6 +12,9 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "common/thread_pool.hpp"
 #include "device/cost_model.hpp"
@@ -71,6 +74,17 @@ class InferenceTuningServer {
     return peak_tunes_.load(std::memory_order_relaxed);
   }
 
+  /// Number of searches that actually executed (cache misses that became the
+  /// single-flight leader, or every request when the cache is disabled).
+  [[nodiscard]] std::int64_t uncached_tune_runs() const noexcept {
+    return uncached_runs_.load(std::memory_order_relaxed);
+  }
+  /// Number of requests that joined an identical in-flight search instead of
+  /// re-running it.
+  [[nodiscard]] std::int64_t single_flight_joins() const noexcept {
+    return single_flight_joins_.load(std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] Result<InferenceRecommendation> tune_uncached(
       const ArchSpec& arch);
@@ -81,6 +95,18 @@ class InferenceTuningServer {
   ThreadPool pool_;
   std::atomic<int> active_tunes_{0};
   std::atomic<int> peak_tunes_{0};
+  std::atomic<std::int64_t> uncached_runs_{0};
+  std::atomic<std::int64_t> single_flight_joins_{0};
+
+  // Single-flight dedup: at most one search per architecture is in flight;
+  // concurrent requests for the same architecture wait on the leader's
+  // future. Leaders store to the historical cache BEFORE erasing their entry,
+  // so a request that misses both the cache and this map under the lock is
+  // guaranteed to become a leader, not re-run a finished search.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string,
+                     std::shared_future<Result<InferenceRecommendation>>>
+      inflight_;
 };
 
 }  // namespace edgetune

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "tensor/gemm.hpp"
 
 namespace edgetune {
 
@@ -38,7 +39,10 @@ EdgeTune::EdgeTune(EdgeTuneOptions options)
         return o;
       }()),
       runner_(options_.runner),
-      inference_server_(options_.edge_device, options_.inference) {}
+      inference_server_(options_.edge_device, options_.inference) {
+  // Process-wide: the kernel substrate has one pool shared by every layer.
+  set_intra_op_threads(options_.intra_op_threads);
+}
 
 SearchSpace EdgeTune::model_search_space() const {
   SearchSpace space;

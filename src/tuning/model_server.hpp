@@ -36,6 +36,13 @@ struct EdgeTuneOptions {
   /// each suggestion depends on the previous observation.
   int trial_workers = 1;
 
+  /// Threads the GEMM/conv kernel substrate may use INSIDE one operator
+  /// (see tensor/gemm.hpp). Applied process-wide in the EdgeTune
+  /// constructor. Keep trial_workers * intra_op_threads <= physical cores:
+  /// the two multiply, and oversubscription degrades both. Default 1 keeps
+  /// results bitwise identical to the serial kernels.
+  int intra_op_threads = 1;
+
   // Objectives (§4.4).
   ObjectiveMode objective_mode = ObjectiveMode::kRatio;
   MetricOfInterest tuning_metric = MetricOfInterest::kRuntime;

@@ -278,6 +278,66 @@ TEST(ParallelSearchTest, ConcurrentInferenceSubmitsOverlap) {
   EXPECT_GE(server.peak_concurrent_tunes(), 2);
 }
 
+TEST(ParallelSearchTest, SingleFlightDedupesConcurrentIdenticalSubmits) {
+  InferenceServerOptions options;
+  options.workers = 4;
+  InferenceTuningServer server(device_rpi3b(), options);
+  Rng rng(7);
+  Result<BuiltModel> model = build_text_rnn({.stride = 3, .num_classes = 4}, rng);
+  ASSERT_TRUE(model.ok());
+  const ArchSpec arch = model.value().arch;
+
+  // Eight concurrent requests for the SAME architecture: exactly one search
+  // may execute; the rest join it (or hit the cache it populates).
+  std::vector<std::future<Result<InferenceRecommendation>>> futures;
+  futures.reserve(8);
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(arch));
+  std::vector<InferenceRecommendation> recs;
+  for (auto& f : futures) {
+    Result<InferenceRecommendation> r = f.get();
+    ASSERT_TRUE(r.ok());
+    recs.push_back(r.value());
+  }
+  EXPECT_EQ(server.uncached_tune_runs(), 1);
+  // Identical recommendation for everyone, and only the leader reports the
+  // tuning bill.
+  for (const InferenceRecommendation& r : recs) {
+    EXPECT_EQ(r.config, recs.front().config);
+    if (r.from_cache) {
+      EXPECT_EQ(r.tuning_time_s, 0.0);
+      EXPECT_EQ(r.tuning_energy_j, 0.0);
+    }
+  }
+
+  // A different architecture is NOT deduped against the first.
+  Result<BuiltModel> other = build_text_rnn({.stride = 9, .num_classes = 4}, rng);
+  ASSERT_TRUE(other.ok());
+  Result<InferenceRecommendation> r2 = server.tune(other.value().arch);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(server.uncached_tune_runs(), 2);
+
+  // And a repeat of the first is now a pure cache hit.
+  Result<InferenceRecommendation> r3 = server.tune(arch);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.value().from_cache);
+  EXPECT_EQ(server.uncached_tune_runs(), 2);
+}
+
+TEST(ParallelSearchTest, SingleFlightDisabledWithCacheOff) {
+  InferenceServerOptions options;
+  options.workers = 2;
+  options.use_cache = false;  // ablation: every request re-tunes
+  InferenceTuningServer server(device_rpi3b(), options);
+  Rng rng(8);
+  Result<BuiltModel> model = build_text_rnn({.stride = 5, .num_classes = 4}, rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<std::future<Result<InferenceRecommendation>>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(model.value().arch));
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  EXPECT_EQ(server.uncached_tune_runs(), 4);
+  EXPECT_EQ(server.single_flight_joins(), 0);
+}
+
 TEST(ParallelSearchTest, JobServerAppliesTrialWorkersPerJob) {
   TuningJobServer serial_server(1);
   TuningJobServer parallel_server(1, /*trial_workers_per_job=*/4);

@@ -1,0 +1,371 @@
+// Tests for the blocked GEMM core (tensor/gemm.hpp): bitwise identity against
+// ascending-k naive references across awkward shapes, epilogue fusion
+// (bias + NCHW scatter), identical code paths for dense and sparse-ish
+// operands, parallel == serial determinism, and zero steady-state heap
+// allocations for the conv workspace arena.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/conv.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+// Global allocation counter wired into operator new, for the zero-allocation
+// steady-state test. Relaxed atomics: the counting sections run single-thread.
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace edgetune {
+namespace {
+
+Tensor random_tensor(const Shape& shape, std::mt19937& rng) {
+  Tensor t(shape);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t.data()[i] = dist(rng);
+  return t;
+}
+
+// Ascending-k naive references with the rounding behaviour of the seed
+// kernels made explicit (independent of -ffp-contract): matmul/matmul_tn
+// compiled to fused multiply-adds, matmul_nt's scalar reduction compiled to
+// separately-rounded products. Bitwise agreement with these is the
+// determinism contract of the blocked core.
+Tensor naive_nn(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a.data()[i * k + kk];
+      for (std::int64_t j = 0; j < n; ++j) {
+        float& cj = c.data()[i * n + j];
+        cj = std::fmaf(av, b.data()[kk * n + j], cj);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor naive_tn(const Tensor& a, const Tensor& b) {
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a.data()[kk * m + i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        float& cj = c.data()[i * n + j];
+        cj = std::fmaf(av, b.data()[kk * n + j], cj);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor naive_nt(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  // Historical matmul_nt order, established by bit-diffing the old binary:
+  // the vectorized body rounds each product to float before the ascending
+  // add, while the scalar epilogue (final k % 4 steps) was contracted into
+  // fused multiply-adds.
+  const std::int64_t body = k - (k % 4);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < body; ++kk) {
+        // volatile forces the product to round to float before the add,
+        // regardless of the FP contraction mode this file compiles under.
+        volatile float p = a.data()[i * k + kk] * b.data()[j * k + kk];
+        acc += p;
+      }
+      for (std::int64_t kk = body; kk < k; ++kk) {
+        acc = std::fmaf(a.data()[i * k + kk], b.data()[j * k + kk], acc);
+      }
+      c.data()[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+void expect_bitwise(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "element " << i;
+  }
+}
+
+struct GemmShape {
+  std::int64_t m, k, n;
+};
+
+// Odd, non-square, tall-skinny, sub-tile and multi-block shapes: exercise
+// partial MR/NR slivers, multiple KC blocks (k > 256), and multiple MC/NC
+// panels.
+const GemmShape kShapes[] = {{1, 1, 1},    {5, 3, 2},     {9, 17, 31},
+                             {8, 16, 16},  {64, 64, 64},  {65, 257, 33},
+                             {257, 63, 129}, {40, 1000, 3}, {3, 7, 1025},
+                             // k % 4 == 2 and k % 8 in {4..6}: exercise the
+                             // rounded 4-wide group + fused-tail split of the
+                             // kNT contract. {256, 27, 8} is the ResNet stem
+                             // conv's im2col shape.
+                             {11, 14, 10}, {33, 12, 20}, {7, 6, 3},
+                             {256, 27, 8}};
+
+TEST(GemmCoreTest, BitwiseMatchesNaiveNN) {
+  std::mt19937 rng(42);
+  for (const GemmShape& s : kShapes) {
+    Tensor a = random_tensor({s.m, s.k}, rng);
+    Tensor b = random_tensor({s.k, s.n}, rng);
+    expect_bitwise(matmul(a, b), naive_nn(a, b));
+  }
+}
+
+TEST(GemmCoreTest, BitwiseMatchesNaiveTN) {
+  std::mt19937 rng(43);
+  for (const GemmShape& s : kShapes) {
+    Tensor a = random_tensor({s.k, s.m}, rng);
+    Tensor b = random_tensor({s.k, s.n}, rng);
+    expect_bitwise(matmul_tn(a, b), naive_tn(a, b));
+  }
+}
+
+TEST(GemmCoreTest, BitwiseMatchesNaiveNT) {
+  std::mt19937 rng(44);
+  for (const GemmShape& s : kShapes) {
+    Tensor a = random_tensor({s.m, s.k}, rng);
+    Tensor b = random_tensor({s.n, s.k}, rng);
+    expect_bitwise(matmul_nt(a, b), naive_nt(a, b));
+  }
+}
+
+TEST(GemmCoreTest, AccumulateContinuesExistingC) {
+  std::mt19937 rng(45);
+  Tensor a = random_tensor({37, 129}, rng);
+  Tensor b = random_tensor({129, 45}, rng);
+  Tensor base = random_tensor({37, 45}, rng);
+
+  Tensor got = base;  // copy
+  gemm(GemmLayout::kNN, 37, 45, 129, a.data(), b.data(), got.data(),
+       /*accumulate=*/true);
+
+  Tensor want = base;
+  for (std::int64_t i = 0; i < 37; ++i) {
+    for (std::int64_t kk = 0; kk < 129; ++kk) {
+      const float av = a.data()[i * 129 + kk];
+      for (std::int64_t j = 0; j < 45; ++j) {
+        float& wj = want.data()[i * 45 + j];
+        wj = std::fmaf(av, b.data()[kk * 45 + j], wj);
+      }
+    }
+  }
+  expect_bitwise(got, want);
+}
+
+// The old kernels skipped av == 0.0f, giving sparse inputs a different code
+// path (and different branch behaviour) from dense ones. The blocked core
+// must produce bitwise-identical results whether operands are dense or
+// mostly zero — same path, no data-dependent branching.
+TEST(GemmCoreTest, SparseAndDenseInputsAgreeWithReference) {
+  std::mt19937 rng(46);
+  Tensor a = random_tensor({57, 301}, rng);
+  Tensor b = random_tensor({301, 43}, rng);
+  // Zero out ~90% of A, including whole rows and whole k-slices.
+  std::uniform_real_distribution<float> coin(0.0f, 1.0f);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (coin(rng) < 0.9f) a.data()[i] = 0.0f;
+  }
+  for (std::int64_t j = 0; j < 301; ++j) a.data()[3 * 301 + j] = 0.0f;
+  expect_bitwise(matmul(a, b), naive_nn(a, b));
+}
+
+TEST(GemmCoreTest, FusedBiasEpilogueMatchesSeparatePass) {
+  std::mt19937 rng(47);
+  const std::int64_t m = 70, k = 300, n = 19;
+  Tensor a = random_tensor({m, k}, rng);
+  Tensor b = random_tensor({n, k}, rng);
+  Tensor bias = random_tensor({n}, rng);
+
+  Tensor fused({m, n});
+  GemmEpilogue epi;
+  epi.bias = bias.data();
+  gemm(GemmLayout::kNT, m, n, k, a.data(), b.data(), fused.data(), false,
+       &epi);
+
+  Tensor want = naive_nt(a, b);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      want.data()[i * n + j] += bias.data()[j];
+    }
+  }
+  expect_bitwise(fused, want);
+}
+
+TEST(GemmCoreTest, ScatterEpilogueTransposesToNCHW) {
+  std::mt19937 rng(48);
+  const std::int64_t batch = 3, spatial = 35, ch = 11, k = 60;
+  const std::int64_t rows = batch * spatial;
+  Tensor cols = random_tensor({rows, k}, rng);
+  Tensor w = random_tensor({ch, k}, rng);
+  Tensor bias = random_tensor({ch}, rng);
+
+  Tensor scratch({rows, ch});
+  Tensor fused({batch, ch, spatial});
+  GemmEpilogue epi;
+  epi.bias = bias.data();
+  epi.out = fused.data();
+  epi.scatter_spatial = spatial;
+  gemm(GemmLayout::kNT, rows, ch, k, cols.data(), w.data(), scratch.data(),
+       false, &epi);
+
+  Tensor flat = naive_nt(cols, w);
+  Tensor want({batch, ch, spatial});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t bidx = r / spatial, p = r % spatial;
+    for (std::int64_t j = 0; j < ch; ++j) {
+      want.data()[(bidx * ch + j) * spatial + p] =
+          flat.data()[r * ch + j] + bias.data()[j];
+    }
+  }
+  expect_bitwise(fused, want);
+}
+
+// Conv2D forward via the fused epilogue must match the explicit
+// im2col -> matmul_nt -> bias -> transpose pipeline bitwise, across kernel=1,
+// padding=0 and stride>1 geometries.
+TEST(GemmCoreTest, ConvForwardMatchesExplicitPipeline) {
+  struct ConvCase {
+    std::int64_t in_c, h, w, out_c, kernel, stride, padding;
+  };
+  const ConvCase cases[] = {
+      {3, 8, 8, 5, 3, 1, 1},  {4, 7, 9, 6, 1, 1, 0},
+      {2, 11, 11, 3, 3, 2, 0}, {1, 5, 5, 8, 5, 1, 2},
+      {6, 9, 9, 4, 3, 2, 1},
+  };
+  std::mt19937 rng(49);
+  for (const ConvCase& cc : cases) {
+    Conv2dGeometry geo;
+    geo.in_channels = cc.in_c;
+    geo.in_h = cc.h;
+    geo.in_w = cc.w;
+    geo.kernel = cc.kernel;
+    geo.stride = cc.stride;
+    geo.padding = cc.padding;
+    const std::int64_t batch = 2;
+    Tensor input = random_tensor({batch, cc.in_c, cc.h, cc.w}, rng);
+    const std::int64_t patch = cc.in_c * cc.kernel * cc.kernel;
+    Tensor w = random_tensor({cc.out_c, patch}, rng);
+    Tensor bias = random_tensor({cc.out_c}, rng);
+    const std::int64_t oh = geo.out_h(), ow = geo.out_w();
+    const std::int64_t rows = batch * oh * ow;
+
+    // Explicit pipeline.
+    Tensor cols = im2col(input, geo);
+    Tensor flat = matmul_nt(cols, w);
+    Tensor want({batch, cc.out_c, oh, ow});
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t bidx = r / (oh * ow), p = r % (oh * ow);
+      for (std::int64_t j = 0; j < cc.out_c; ++j) {
+        want.data()[(bidx * cc.out_c + j) * oh * ow + p] =
+            flat.data()[r * cc.out_c + j] + bias.data()[j];
+      }
+    }
+
+    // Fused epilogue path.
+    Tensor scratch({rows, cc.out_c});
+    Tensor got({batch, cc.out_c, oh, ow});
+    GemmEpilogue epi;
+    epi.bias = bias.data();
+    epi.out = got.data();
+    epi.scatter_spatial = oh * ow;
+    gemm(GemmLayout::kNT, rows, cc.out_c, patch, cols.data(), w.data(),
+         scratch.data(), false, &epi);
+    expect_bitwise(got, want);
+  }
+}
+
+TEST(GemmCoreTest, ParallelBitwiseIdenticalToSerial) {
+  std::mt19937 rng(50);
+  Tensor a = random_tensor({317, 129}, rng);
+  Tensor b = random_tensor({129, 253}, rng);
+  ASSERT_EQ(intra_op_threads(), 1);
+  Tensor serial = matmul(a, b);
+  set_intra_op_threads(4);
+  Tensor parallel = matmul(a, b);
+  set_intra_op_threads(1);
+  expect_bitwise(parallel, serial);
+}
+
+TEST(GemmCoreTest, IntraOpThreadsClampsToOne) {
+  set_intra_op_threads(0);
+  EXPECT_EQ(intra_op_threads(), 1);
+  set_intra_op_threads(-3);
+  EXPECT_EQ(intra_op_threads(), 1);
+}
+
+// After the first forward/backward step, the conv layer's workspace arena is
+// warm: subsequent steps may only allocate the Tensors they return (output,
+// grad input; each Tensor is one shape + one data vector allocation).
+TEST(WorkspaceArenaTest, ConvStepsAllocateOnlyReturnedTensors) {
+  std::mt19937 mt(51);
+  Rng rng(51);
+  Conv2D conv(3, 8, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  Tensor input = random_tensor({4, 3, 9, 9}, mt);
+
+  // Warm-up step grows the arena to its steady-state size.
+  Tensor out = conv.forward(input, /*training=*/true);
+  Tensor grad_out = random_tensor(out.shape(), mt);
+  Tensor grad_in = conv.backward(grad_out);
+
+  // Measure how many allocations constructing the returned tensors costs.
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  {
+    Tensor probe_out(out.shape());
+    Tensor probe_in(grad_in.shape());
+  }
+  g_count_allocs.store(false);
+  const std::int64_t budget = g_alloc_count.load();
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  Tensor out2 = conv.forward(input, /*training=*/true);
+  g_count_allocs.store(false);
+  const std::int64_t fwd_allocs = g_alloc_count.load();
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  Tensor grad_in2 = conv.backward(grad_out);
+  g_count_allocs.store(false);
+  const std::int64_t bwd_allocs = g_alloc_count.load();
+
+  EXPECT_LE(fwd_allocs + bwd_allocs, budget)
+      << "conv steady-state steps must not heap-allocate beyond the "
+         "returned output tensors (fwd=" << fwd_allocs
+      << ", bwd=" << bwd_allocs << ", budget=" << budget << ")";
+}
+
+}  // namespace
+}  // namespace edgetune

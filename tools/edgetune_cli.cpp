@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
       .define("eta", "2", "successive-halving reduction factor")
       .define("trial-workers", "1",
               "concurrent trial evaluations per rung (1 = serial)")
+      .define("intra-op-threads", "1",
+              "threads per GEMM/conv operator; keep trial-workers * "
+              "intra-op-threads <= cores")
       .define("inference-workers", "2",
               "inference tuning server worker threads")
       .define("proxy-samples", "500", "synthetic proxy dataset size")
@@ -131,6 +134,8 @@ int main(int argc, char** argv) {
   options.hyperband.eta = flags.get_double("eta");
   options.hyperband.max_brackets = 2;
   options.trial_workers = static_cast<int>(flags.get_int("trial-workers"));
+  options.intra_op_threads =
+      static_cast<int>(flags.get_int("intra-op-threads"));
   options.inference.workers =
       static_cast<int>(flags.get_int("inference-workers"));
   options.runner.proxy_samples = flags.get_int("proxy-samples");
