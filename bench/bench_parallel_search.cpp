@@ -3,16 +3,27 @@
 // HyperBand evaluates every trial of a rung independently, so a rung is an
 // embarrassingly parallel batch. This harness measures the real wall-clock
 // speedup of parallel_batch_eval over the serial adapter on a HyperBand
-// search whose evaluation cost is dominated by per-trial latency, then
-// verifies the engine's core contract: a parallel run with the same seed
-// reports the identical best config and objective as the serial run.
+// search whose evaluation cost is dominated by per-trial latency, then runs
+// every end-to-end system (edgetune, tpe, hyperpower, hierarchical) at 1 and
+// 4 trial workers and compares simulated tuning makespans. All end-to-end
+// numbers are *simulated* time (DESIGN.md "Virtual time"), so the table is
+// deterministic per seed and host-independent; only the rung microbench
+// measures real wall clock.
+//
+// Usage: bench_parallel_search [--json <path>]  (tools/run_parallel_bench
+// wraps this and writes BENCH_parallel.json into the repo root).
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <thread>
 
 #include "bench/bench_util.hpp"
+#include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "search/algorithms.hpp"
+#include "tuning/baselines.hpp"
 
 using namespace edgetune;
 using namespace edgetune::bench;
@@ -56,17 +67,78 @@ TimedRun run_hyperband(const BatchEvalFn& eval) {
   return run;
 }
 
+// --- End-to-end systems at 1 vs 4 trial workers ----------------------------
+
+using SystemFn = std::function<Result<TuningReport>(EdgeTuneOptions)>;
+
+struct SystemRow {
+  std::string name;
+  bool ok = false;
+  TuningReport serial, parallel;
+  double serial_wall_s = 0, parallel_wall_s = 0;
+  [[nodiscard]] double speedup() const {
+    return parallel.tuning_runtime_s > 0
+               ? serial.tuning_runtime_s / parallel.tuning_runtime_s
+               : 0;
+  }
+  [[nodiscard]] bool same_best() const {
+    return serial.best_config == parallel.best_config;
+  }
+};
+
+SystemRow run_system(std::string name, const EdgeTuneOptions& options,
+                     const SystemFn& run) {
+  SystemRow row;
+  row.name = std::move(name);
+  EdgeTuneOptions serial_options = options;
+  serial_options.trial_workers = 1;
+  auto start = std::chrono::steady_clock::now();
+  Result<TuningReport> serial = run(serial_options);
+  row.serial_wall_s = seconds_since(start);
+  EdgeTuneOptions parallel_options = options;
+  parallel_options.trial_workers = 4;
+  start = std::chrono::steady_clock::now();
+  Result<TuningReport> parallel = run(parallel_options);
+  row.parallel_wall_s = seconds_since(start);
+  if (!serial.ok() || !parallel.ok()) return row;
+  row.ok = true;
+  row.serial = std::move(serial).value();
+  row.parallel = std::move(parallel).value();
+  return row;
+}
+
+Json row_to_json(const SystemRow& row) {
+  JsonObject obj;
+  obj.emplace("system", row.name);
+  obj.emplace("ok", row.ok);
+  obj.emplace("serial_sim_s", row.serial.tuning_runtime_s);
+  obj.emplace("parallel_sim_s", row.parallel.tuning_runtime_s);
+  obj.emplace("speedup", row.speedup());
+  obj.emplace("same_best_config", row.same_best());
+  obj.emplace("trials", row.serial.trials.size());
+  obj.emplace("serial_wall_s", row.serial_wall_s);
+  obj.emplace("parallel_wall_s", row.parallel_wall_s);
+  return Json(std::move(obj));
+}
+
 }  // namespace
 
-int main() {
-  header("parallel-search", "HyperBand rung execution: 4 workers vs serial",
-         "parallel >= 2x faster; identical best config and objective");
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  header("parallel-search",
+         "rung execution and end-to-end systems: 4 workers vs serial",
+         "rung >= 2x real wall clock; hyperpower/hierarchical >= 2x "
+         "simulated makespan");
 
   const TimedRun serial = run_hyperband(serial_batch_eval(EvalFn(slow_objective)));
   ThreadPool pool(4);
   const TimedRun parallel =
       run_hyperband(parallel_batch_eval(EvalFn(slow_objective), pool));
-  const double speedup = serial.wall_s / parallel.wall_s;
+  const double rung_speedup = serial.wall_s / parallel.wall_s;
 
   TextTable table({"mode", "workers", "trials", "wall [s]", "best objective"});
   table.add_row({"serial", "1", std::to_string(serial.result.trials.size()),
@@ -76,14 +148,15 @@ int main() {
                  fmt(parallel.wall_s, 3),
                  fmt(parallel.result.best_objective, 5)});
   std::printf("%s", table.render().c_str());
-  std::printf("speedup: %.2fx\n", speedup);
+  std::printf("speedup: %.2fx\n", rung_speedup);
   std::printf("serial   best: %s\n",
               config_to_string(serial.result.best_config).c_str());
   std::printf("parallel best: %s\n",
               config_to_string(parallel.result.best_config).c_str());
 
   std::printf("\n");
-  shape_check("4 workers give >= 2x rung wall-clock speedup", speedup >= 2.0);
+  shape_check("4 workers give >= 2x rung wall-clock speedup",
+              rung_speedup >= 2.0);
   shape_check("same seed: identical best config",
               config_to_string(serial.result.best_config) ==
                   config_to_string(parallel.result.best_config));
@@ -92,26 +165,92 @@ int main() {
   shape_check("same seed: identical trial count",
               serial.result.trials.size() == parallel.result.trials.size());
 
-  // End-to-end: the full tuning server with trial_workers=4 must agree
-  // with the serial run and report a smaller simulated makespan.
-  EdgeTuneOptions options = bench_options(WorkloadKind::kNlp);
-  options.hyperband = {1, 4, 2, 1};
-  options.runner.proxy_samples = 240;
-  Result<TuningReport> tune_serial = EdgeTune(options).run();
-  options.trial_workers = 4;
-  Result<TuningReport> tune_parallel = EdgeTune(options).run();
-  if (tune_serial.ok() && tune_parallel.ok()) {
-    std::printf("\nEdgeTune simulated runtime: serial %s min, 4 workers %s min\n",
-                fmt(tune_serial.value().tuning_runtime_s / 60.0).c_str(),
-                fmt(tune_parallel.value().tuning_runtime_s / 60.0).c_str());
-    shape_check("EdgeTune: same best config at 1 and 4 trial workers",
-                config_to_string(tune_serial.value().best_config) ==
-                    config_to_string(tune_parallel.value().best_config));
-    shape_check("EdgeTune: 4 workers shrink the simulated makespan",
-                tune_parallel.value().tuning_runtime_s <
-                    tune_serial.value().tuning_runtime_s);
-  } else {
-    shape_check("EdgeTune runs completed", false);
+  // --- End-to-end: each system at --trial-workers 1 vs 4. HyperBand/BOHB
+  // rungs, the TPE constant-liar batch, and the hierarchical tier-2 grid all
+  // route through the same batch engine, so every system must benefit.
+  // edgetune keeps its byte-identical-trajectory contract (rungs are
+  // proposed before evaluation); tpe/hyperpower trade trajectory for width
+  // (constant-liar lies stand in for unfinished trials), so their best
+  // config may legitimately differ across widths.
+  EdgeTuneOptions edgetune_options = bench_options(WorkloadKind::kNlp);
+  edgetune_options.hyperband = {1, 4, 2, 1};
+  edgetune_options.runner.proxy_samples = 240;
+
+  EdgeTuneOptions tpe_options = bench_options(WorkloadKind::kNlp);
+  tpe_options.search_algorithm = "tpe";
+
+  // Hierarchical: detection has the widest spread of per-trial costs, which
+  // is exactly where FIFO list scheduling of the tier-2 grid pays off.
+  EdgeTuneOptions hier_options = bench_options(WorkloadKind::kDetection);
+  hier_options.hyperband = {1, 8, 2, 0};
+  hier_options.runner.proxy_samples = 300;
+
+  const std::vector<SystemRow> rows = {
+      run_system("edgetune", edgetune_options,
+                 [](EdgeTuneOptions o) { return EdgeTune(std::move(o)).run(); }),
+      run_system("tpe", tpe_options,
+                 [](EdgeTuneOptions o) { return EdgeTune(std::move(o)).run(); }),
+      run_system("hyperpower", bench_options(WorkloadKind::kNlp),
+                 [](EdgeTuneOptions o) {
+                   return run_hyperpower_baseline(std::move(o), 800.0);
+                 }),
+      run_system("hierarchical", hier_options,
+                 [](EdgeTuneOptions o) { return run_hierarchical(std::move(o)); }),
+  };
+
+  std::printf("\n");
+  TextTable systems({"system", "trials", "serial sim [s]", "4-worker sim [s]",
+                     "speedup", "same best"});
+  for (const SystemRow& row : rows) {
+    systems.add_row({row.name, std::to_string(row.serial.trials.size()),
+                     fmt(row.serial.tuning_runtime_s),
+                     fmt(row.parallel.tuning_runtime_s),
+                     fmt(row.speedup()) + "x", row.same_best() ? "yes" : "no"});
+  }
+  std::printf("%s\n", systems.render().c_str());
+
+  for (const SystemRow& row : rows) {
+    shape_check(row.name + ": both runs completed", row.ok);
+  }
+  const auto find_row = [&](const char* name) -> const SystemRow& {
+    for (const SystemRow& row : rows) {
+      if (row.name == name) return row;
+    }
+    std::abort();
+  };
+  shape_check("edgetune: same best config at 1 and 4 trial workers",
+              find_row("edgetune").same_best());
+  shape_check("edgetune: 4 workers shrink the simulated makespan",
+              find_row("edgetune").speedup() > 1.0);
+  shape_check("tpe: 4 workers shrink the simulated makespan",
+              find_row("tpe").speedup() > 1.0);
+  shape_check("hyperpower: >= 2x simulated makespan speedup",
+              find_row("hyperpower").speedup() >= 2.0);
+  shape_check("hierarchical: same best config at 1 and 4 trial workers",
+              find_row("hierarchical").same_best());
+  shape_check("hierarchical: >= 2x simulated makespan speedup",
+              find_row("hierarchical").speedup() >= 2.0);
+
+  if (!json_path.empty()) {
+    JsonObject root;
+    root.emplace("bench", "parallel-search");
+    {
+      JsonObject rung;
+      rung.emplace("serial_wall_s", serial.wall_s);
+      rung.emplace("parallel_wall_s", parallel.wall_s);
+      rung.emplace("speedup", rung_speedup);
+      root.emplace("rung", Json(std::move(rung)));
+    }
+    JsonArray systems_json;
+    for (const SystemRow& row : rows) systems_json.push_back(row_to_json(row));
+    root.emplace("systems", Json(std::move(systems_json)));
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << Json(std::move(root)).dump_pretty() << "\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

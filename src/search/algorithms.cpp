@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <string>
 
 #include "common/thread_pool.hpp"
 
@@ -171,15 +172,27 @@ SearchResult HyperBand::optimize_batch(const BatchEvalFn& eval, Rng& rng) {
 
 SearchResult TpeSearch::optimize_batch(const BatchEvalFn& eval, Rng& rng) {
   SearchResult result;
-  for (int i = 0; i < num_trials_; ++i) {
-    Config config = suggestor_.suggest(rng);
-    // Every suggestion depends on the previous observation: batches stay
-    // size one, keeping TPE strictly sequential by construction.
-    const std::vector<double> objectives =
-        eval({EvalRequest{i, config, max_resource_}});
-    const double objective = objective_at(objectives, 0);
-    result.record(config, max_resource_, objective);
-    suggestor_.observe({config, max_resource_, objective});
+  const int width = std::max(1, batch_size_);
+  int next_trial = 0;  // global submission index across all rounds
+  while (next_trial < num_trials_) {
+    const int round = std::min(width, num_trials_ - next_trial);
+    // Constant-liar round: the suggestor proposes `round` configs treating
+    // its earlier proposals as pending observations, so the whole round is
+    // one independent batch a parallel evaluator can spread over workers.
+    // With width 1 this is suggest();eval();observe() — the serial TPE loop.
+    std::vector<Config> configs = suggestor_.suggest_batch(round, rng);
+    std::vector<EvalRequest> batch;
+    batch.reserve(configs.size());
+    for (Config& config : configs) {
+      batch.push_back({next_trial++, std::move(config), max_resource_});
+    }
+    const std::vector<double> objectives = eval(batch);
+    // Commit in submission order; each observe() retracts its pending lie.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double objective = objective_at(objectives, i);
+      result.record(batch[i].config, max_resource_, objective);
+      suggestor_.observe({batch[i].config, max_resource_, objective});
+    }
   }
   return result;
 }
@@ -201,7 +214,23 @@ std::unique_ptr<SearchAlgorithm> make_hyperband(SearchSpace space,
 
 Result<std::unique_ptr<SearchAlgorithm>> make_search_algorithm(
     const std::string& name, SearchSpace space, HyperBandOptions options,
-    int random_trials) {
+    int random_trials, int batch_size) {
+  if (name == "hyperband" || name == "bohb") {
+    // The bracket count is floor(log(max/min)/log(eta)): a non-positive min
+    // or an inverted range makes that NaN/negative and the search silently
+    // runs zero brackets. Reject here, where every entry point funnels.
+    if (options.min_resource <= 0) {
+      return Status::invalid_argument(
+          "hyperband min_resource must be > 0, got " +
+          std::to_string(options.min_resource));
+    }
+    if (options.max_resource < options.min_resource) {
+      return Status::invalid_argument(
+          "hyperband max_resource (" + std::to_string(options.max_resource) +
+          ") must be >= min_resource (" +
+          std::to_string(options.min_resource) + ")");
+    }
+  }
   if (name == "grid") {
     return std::unique_ptr<SearchAlgorithm>(
         std::make_unique<GridSearch>(std::move(space), options.max_resource));
@@ -218,7 +247,8 @@ Result<std::unique_ptr<SearchAlgorithm>> make_search_algorithm(
   }
   if (name == "tpe") {
     return std::unique_ptr<SearchAlgorithm>(std::make_unique<TpeSearch>(
-        std::move(space), options.max_resource, random_trials));
+        std::move(space), options.max_resource, random_trials, TpeOptions{},
+        batch_size));
   }
   return Status::not_found("unknown search algorithm: " + name);
 }

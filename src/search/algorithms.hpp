@@ -147,17 +147,21 @@ class HyperBand : public SearchAlgorithm {
   std::unique_ptr<Suggestor> suggestor_;
 };
 
-/// Sequential Bayesian optimization: N TPE-suggested trials at full budget
-/// (the HyperPower baseline's search core). Inherently sequential — every
-/// suggestion depends on all previous observations — so batches are always
-/// size one and a parallel evaluator gains nothing here.
+/// Bayesian optimization: N TPE-suggested trials at full budget (the
+/// HyperPower baseline's search core). With `batch_size` 1 every suggestion
+/// depends on all previous observations and the search is byte-identical to
+/// the historical serial TPE. With `batch_size` > 1 each round proposes that
+/// many configs via the suggestor's constant-liar batch strategy and submits
+/// them as ONE batch, so a parallel evaluator keeps that many trial workers
+/// busy (Ray Tune's batched-suggestion model).
 class TpeSearch : public SearchAlgorithm {
  public:
   TpeSearch(SearchSpace space, double max_resource, int num_trials,
-            TpeOptions tpe = {})
+            TpeOptions tpe = {}, int batch_size = 1)
       : space_(space),
         max_resource_(max_resource),
         num_trials_(num_trials),
+        batch_size_(batch_size),
         suggestor_(std::move(space), tpe) {}
 
   SearchResult optimize_batch(const BatchEvalFn& eval, Rng& rng) override;
@@ -167,6 +171,7 @@ class TpeSearch : public SearchAlgorithm {
   SearchSpace space_;
   double max_resource_;
   int num_trials_;
+  int batch_size_;
   TpeSuggestor suggestor_;
 };
 
@@ -177,10 +182,15 @@ std::unique_ptr<SearchAlgorithm> make_bohb(SearchSpace space,
 std::unique_ptr<SearchAlgorithm> make_hyperband(SearchSpace space,
                                                 HyperBandOptions options);
 
-/// Factory by name: "grid", "random", "hyperband", "bohb" (§3.1: the user
-/// picks the algorithm for each server independently).
+/// Factory by name: "grid", "random", "hyperband", "bohb", "tpe" (§3.1: the
+/// user picks the algorithm for each server independently). Validates
+/// `options` resource bounds for the HyperBand-family algorithms (the
+/// bracket count is log(max/min) — a non-positive min or inverted range
+/// would silently yield an empty search). `batch_size` is the number of
+/// configs model-based algorithms propose per evaluation batch (TPE's
+/// constant-liar width; callers pass their trial-worker count).
 Result<std::unique_ptr<SearchAlgorithm>> make_search_algorithm(
     const std::string& name, SearchSpace space, HyperBandOptions options,
-    int random_trials = 16);
+    int random_trials = 16, int batch_size = 1);
 
 }  // namespace edgetune

@@ -8,7 +8,42 @@
 namespace edgetune {
 
 void TpeSuggestor::observe(const Observation& obs) {
+  // Retract the constant-liar placeholder this result fulfils, if any: the
+  // lie was a stand-in for exactly this in-flight config.
+  const auto lie = std::find_if(
+      pending_.begin(), pending_.end(),
+      [&](const Observation& p) { return p.config == obs.config; });
+  if (lie != pending_.end()) pending_.erase(lie);
   history_.push_back(obs);
+}
+
+Observation TpeSuggestor::lie_for(const Config& config) const {
+  Observation lie;
+  lie.config = config;
+  // CL-min: lie with the best objective seen so far, at the highest fidelity
+  // observed, so the pending point joins the "good" pool and repels the next
+  // draw in the batch. Values are irrelevant while history is below
+  // min_observations (suggest() falls back to random sampling there).
+  lie.objective = std::numeric_limits<double>::infinity();
+  for (const Observation& obs : history_) {
+    lie.objective = std::min(lie.objective, obs.objective);
+    lie.resource = std::max(lie.resource, obs.resource);
+  }
+  if (history_.empty()) lie.objective = 0.0;
+  return lie;
+}
+
+std::vector<Config> TpeSuggestor::suggest_batch(int n, Rng& rng) {
+  std::vector<Config> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) {
+    Config config = suggest(rng);
+    // Every suggestion is an in-flight trial until its observe() arrives;
+    // later draws in this batch see it as a pending (lied) observation.
+    pending_.push_back(lie_for(config));
+    out.push_back(std::move(config));
+  }
+  return out;
 }
 
 double TpeSuggestor::sample_kde(const ParamSpec& spec,
@@ -69,28 +104,37 @@ double TpeSuggestor::log_density(const ParamSpec& spec,
 }
 
 Config TpeSuggestor::suggest(Rng& rng) {
-  if (history_.size() < static_cast<std::size_t>(options_.min_observations)) {
+  // Pending constant-liar placeholders count as observations: that is how a
+  // batch's earlier (in-flight) proposals repel its later draws. With no
+  // batch in flight this is exactly the seed's history-only path.
+  std::vector<const Observation*> observations;
+  observations.reserve(history_.size() + pending_.size());
+  for (const auto& obs : history_) observations.push_back(&obs);
+  for (const auto& obs : pending_) observations.push_back(&obs);
+
+  if (observations.size() <
+      static_cast<std::size_t>(options_.min_observations)) {
     return space_.sample(rng);
   }
   // Use observations from the highest budget that has enough data (BOHB's
   // rule: model the most informative fidelity).
   double best_resource = 0;
   std::size_t best_count = 0;
-  for (const auto& obs : history_) {
+  for (const Observation* obs : observations) {
     std::size_t count = 0;
-    for (const auto& other : history_) {
-      if (other.resource >= obs.resource) ++count;
+    for (const Observation* other : observations) {
+      if (other->resource >= obs->resource) ++count;
     }
     if (count >= static_cast<std::size_t>(options_.min_observations) &&
-        obs.resource > best_resource) {
-      best_resource = obs.resource;
+        obs->resource > best_resource) {
+      best_resource = obs->resource;
       best_count = count;
     }
   }
   std::vector<const Observation*> pool;
-  for (const auto& obs : history_) {
-    if (best_count == 0 || obs.resource >= best_resource) {
-      pool.push_back(&obs);
+  for (const Observation* obs : observations) {
+    if (best_count == 0 || obs->resource >= best_resource) {
+      pool.push_back(obs);
     }
   }
   std::sort(pool.begin(), pool.end(),
@@ -101,22 +145,37 @@ Config TpeSuggestor::suggest(Rng& rng) {
       2, static_cast<std::size_t>(options_.gamma *
                                   static_cast<double>(pool.size())));
 
+  // The good/bad split per parameter depends only on the pool, not on the
+  // candidate: computed once, outside the candidates loop. (The seed
+  // rebuilt these vectors for every candidate — O(candidates x params x
+  // pool) of identical work; the RNG draw order below is unchanged, so
+  // results are bit-identical.)
+  struct Split {
+    const ParamSpec* spec;
+    std::vector<double> good, bad;
+  };
+  std::vector<Split> splits;
+  splits.reserve(space_.params().size());
+  for (const auto& spec : space_.params()) {
+    Split split{&spec, {}, {}};
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      auto it = pool[i]->config.find(spec.name);
+      if (it == pool[i]->config.end()) continue;
+      (i < n_good ? split.good : split.bad).push_back(it->second);
+    }
+    splits.push_back(std::move(split));
+  }
+
   Config best_candidate;
   double best_score = -std::numeric_limits<double>::infinity();
   for (int c = 0; c < options_.candidates; ++c) {
     Config candidate;
     double score = 0.0;
-    for (const auto& spec : space_.params()) {
-      std::vector<double> good, bad;
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        auto it = pool[i]->config.find(spec.name);
-        if (it == pool[i]->config.end()) continue;
-        (i < n_good ? good : bad).push_back(it->second);
-      }
-      const double value = sample_kde(spec, good, rng);
-      candidate[spec.name] = value;
-      score += log_density(spec, good, value) -
-               log_density(spec, bad, value);
+    for (const Split& split : splits) {
+      const double value = sample_kde(*split.spec, split.good, rng);
+      candidate[split.spec->name] = value;
+      score += log_density(*split.spec, split.good, value) -
+               log_density(*split.spec, split.bad, value);
     }
     if (score > best_score) {
       best_score = score;

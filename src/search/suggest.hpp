@@ -4,6 +4,7 @@
 // proposes the candidate maximizing their ratio.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "search/param.hpp"
@@ -20,6 +21,16 @@ class Suggestor {
  public:
   virtual ~Suggestor() = default;
   virtual Config suggest(Rng& rng) = 0;
+  /// Proposes `n` configs for concurrent evaluation. The base implementation
+  /// draws `n` independent suggestions; model-based suggestors override it to
+  /// decorrelate the batch (see TpeSuggestor's constant-liar strategy).
+  /// Callers must eventually observe() one result per suggested config.
+  virtual std::vector<Config> suggest_batch(int n, Rng& rng) {
+    std::vector<Config> out;
+    out.reserve(static_cast<std::size_t>(std::max(0, n)));
+    for (int i = 0; i < n; ++i) out.push_back(suggest(rng));
+    return out;
+  }
   virtual void observe(const Observation& obs) { (void)obs; }
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -48,11 +59,23 @@ class TpeSuggestor : public Suggestor {
       : space_(std::move(space)), options_(options) {}
 
   Config suggest(Rng& rng) override;
+  /// Constant-liar batch proposal (Ginsbourger et al.'s CL-min, the strategy
+  /// Ray Tune uses to keep trial workers busy under model-based search):
+  /// after each draw a *pending* observation is registered at the current
+  /// best objective, so the next draw in the batch models the proposed point
+  /// as already evaluated and is pushed elsewhere. Pending lies never enter
+  /// `history_`; observe() retracts the matching lie when the real result
+  /// arrives. With n == 1 the RNG stream is identical to suggest().
+  std::vector<Config> suggest_batch(int n, Rng& rng) override;
   void observe(const Observation& obs) override;
   [[nodiscard]] std::string name() const override { return "tpe"; }
 
   [[nodiscard]] std::size_t num_observations() const noexcept {
     return history_.size();
+  }
+  /// In-flight constant-liar placeholders awaiting their real observe().
+  [[nodiscard]] std::size_t num_pending() const noexcept {
+    return pending_.size();
   }
 
  private:
@@ -62,10 +85,14 @@ class TpeSuggestor : public Suggestor {
   /// log-density of `x` under the KDE over `values` for `spec`.
   double log_density(const ParamSpec& spec, const std::vector<double>& values,
                      double x) const;
+  /// The constant-liar placeholder for a just-proposed config: current best
+  /// objective at the highest observed fidelity.
+  [[nodiscard]] Observation lie_for(const Config& config) const;
 
   SearchSpace space_;
   TpeOptions options_;
   std::vector<Observation> history_;
+  std::vector<Observation> pending_;  // constant-liar placeholders
 };
 
 }  // namespace edgetune

@@ -2,8 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "common/thread_pool.hpp"
 
 namespace edgetune {
+
+namespace {
+
+/// Tier-2 grid over num_gpus for the hierarchical baseline: powers of two up
+/// to the train device's GPU count, plus the count itself — the same values
+/// the onefold space explores (model_search_space()), so the two systems
+/// compare like for like on any device, not just 8-GPU servers.
+std::vector<double> tier2_gpu_grid(int max_gpus) {
+  std::vector<double> grid;
+  for (int gpus = 1; gpus <= max_gpus; gpus *= 2) {
+    grid.push_back(gpus);
+  }
+  if (!grid.empty() && grid.back() != max_gpus) {
+    grid.push_back(max_gpus);
+  }
+  return grid;
+}
+
+}  // namespace
 
 Result<TuningReport> run_tune_baseline(EdgeTuneOptions options) {
   options.inference_aware = false;
@@ -62,39 +84,100 @@ Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
   TuningReport report = std::move(report1);
   report.system = "hierarchical";
 
-  std::vector<double> gpu_options = {1, 2, 4, 8};
-  const int max_gpus = options.train_device.num_gpus;
-  double best_objective = std::numeric_limits<double>::infinity();
-  Config best_config = report.best_config;
-  for (double gpus : gpu_options) {
-    if (gpus > max_gpus) continue;
+  // The whole tier-2 grid is one EvalRequest batch through the shared
+  // BatchEvalFn path: its members are independent (the same winning
+  // hyperparameters at different num_gpus), so with trial_workers > 1 they
+  // run concurrently on a pool exactly like a HyperBand rung — previously
+  // this was a serial for-loop that bought nothing from --trial-workers.
+  struct Tier2Eval {
+    Status status = Status::ok();
+    TrialOutcome outcome;
+    InferenceRecommendation rec;
+    double objective = std::numeric_limits<double>::infinity();
+  };
+  std::vector<EvalRequest> batch;
+  for (double gpus : tier2_gpu_grid(options.train_device.num_gpus)) {
     Config config = report.best_config;
     config["num_gpus"] = gpus;
-    ET_ASSIGN_OR_RETURN(TrialOutcome outcome,
-                        runner.run(config, full_budget));
-    ET_ASSIGN_OR_RETURN(ArchSpec arch, runner.arch_for(config));
-    ET_ASSIGN_OR_RETURN(InferenceRecommendation rec,
-                        tuner2.inference_server().tune(arch));
-    const double objective =
-        tuning_objective(options.tuning_metric, outcome, rec,
-                         options.inference_aware);
-    report.tuning_runtime_s += outcome.train_time_s;
-    report.tuning_energy_j += outcome.train_energy_j + rec.tuning_energy_j;
+    batch.push_back({static_cast<int>(batch.size()), std::move(config),
+                     options.hyperband.max_resource});
+  }
+  std::vector<Tier2Eval> evals(batch.size());
+
+  const TrialEvalFn eval_one = [&](const EvalRequest& request) -> double {
+    Tier2Eval& out = evals[static_cast<std::size_t>(request.trial_index)];
+    Result<TrialOutcome> outcome = runner.run(request.config, full_budget);
+    if (!outcome.ok()) {
+      out.status = outcome.status();
+      return out.objective;
+    }
+    Result<ArchSpec> arch = runner.arch_for(request.config);
+    if (!arch.ok()) {
+      out.status = arch.status();
+      return out.objective;
+    }
+    Result<InferenceRecommendation> rec =
+        tuner2.inference_server().tune(arch.value());
+    if (!rec.ok()) {
+      out.status = rec.status();
+      return out.objective;
+    }
+    out.outcome = std::move(outcome).value();
+    out.rec = std::move(rec).value();
+    out.objective = tuning_objective(options.tuning_metric, out.outcome,
+                                     out.rec, options.inference_aware);
+    return out.objective;
+  };
+
+  const int workers = std::max(1, options.trial_workers);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1 && batch.size() > 1) {
+    pool = std::make_unique<ThreadPool>(workers);
+  }
+  const BatchEvalFn batch_eval = pool ? parallel_batch_eval(eval_one, *pool)
+                                      : serial_batch_eval(eval_one);
+  batch_eval(batch);
+
+  // Commit in submission order. Tier-2 wall clock is the makespan of FIFO
+  // list scheduling over `workers` (with 1 worker: the plain sum), and each
+  // trial is charged its full span: training time PLUS the tail of the
+  // inference tuning that outlives it — the stall the model server charges
+  // via inference_stall_s. The seed added only train_time_s, silently
+  // dropping that stall and flattering the hierarchical baseline.
+  std::vector<double> worker_load(static_cast<std::size_t>(workers), 0.0);
+  double best_objective = std::numeric_limits<double>::infinity();
+  Config best_config = report.best_config;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Tier2Eval& eval = evals[i];
+    if (!eval.status.is_ok()) return eval.status;
+    const double stall_s =
+        std::max(0.0, eval.rec.tuning_time_s - eval.outcome.train_time_s);
+    *std::min_element(worker_load.begin(), worker_load.end()) +=
+        eval.outcome.train_time_s + stall_s;
+    report.tuning_energy_j +=
+        eval.outcome.train_energy_j + eval.rec.tuning_energy_j;
     TrialLog log;
     log.id = static_cast<int>(report.trials.size());
-    log.config = config;
+    log.config = batch[i].config;
     log.resource = options.hyperband.max_resource;
     log.budget = full_budget;
-    log.accuracy = outcome.accuracy;
-    log.duration_s = outcome.train_time_s;
-    log.energy_j = outcome.train_energy_j;
-    log.objective = objective;
+    log.accuracy = eval.outcome.accuracy;
+    log.duration_s = eval.outcome.train_time_s;
+    log.energy_j = eval.outcome.train_energy_j;
+    log.objective = eval.objective;
+    log.inference_cached = eval.rec.from_cache;
+    log.inference_tuning_s = eval.rec.tuning_time_s;
+    log.inference_stall_s = stall_s;
     report.trials.push_back(std::move(log));
-    if (objective < best_objective) {
-      best_objective = objective;
-      best_config = config;
-      report.inference = rec;
+    if (eval.objective < best_objective) {
+      best_objective = eval.objective;
+      best_config = batch[i].config;
+      report.inference = std::move(eval.rec);
     }
+  }
+  if (!worker_load.empty()) {
+    report.tuning_runtime_s +=
+        *std::max_element(worker_load.begin(), worker_load.end());
   }
   report.best_config = best_config;
   report.best_objective = best_objective;

@@ -27,7 +27,12 @@ Result<TuningReport> run_hyperpower_baseline(EdgeTuneOptions options,
 
 /// Hierarchical tuning (§4.1, Fig 9): first tune hyperparameters with fixed
 /// system parameters, then tune system parameters for the winning
-/// hyperparameters. Report aggregates both tiers.
+/// hyperparameters. The tier-2 num_gpus grid (powers of two up to the train
+/// device's GPU count, plus the count itself — mirroring the onefold space)
+/// is submitted as ONE evaluation batch, so it spreads across
+/// `options.trial_workers` like a HyperBand rung. Report aggregates both
+/// tiers; tier-2 trials are charged training time plus any inference-tuning
+/// stall, exactly like onefold trials.
 Result<TuningReport> run_hierarchical(EdgeTuneOptions options);
 
 /// Evaluates a report's winning architecture at an explicit inference

@@ -72,7 +72,8 @@ Result<TuningReport> EdgeTune::run() {
   ET_ASSIGN_OR_RETURN(
       std::unique_ptr<SearchAlgorithm> algorithm,
       make_search_algorithm(options_.search_algorithm, space,
-                            options_.hyperband, options_.random_trials));
+                            options_.hyperband, options_.random_trials,
+                            /*batch_size=*/std::max(1, options_.trial_workers)));
 
   TuningReport report;
   report.system = options_.inference_aware ? "edgetune" : "tune";
@@ -106,8 +107,15 @@ Result<TuningReport> EdgeTune::run() {
     double wall_s = 0;  // this trial's simulated span (duration + stall)
   };
 
-  const auto eval_one = [&](const Config& config,
-                            double resource) -> TrialEval {
+  // `incumbent_override` >= 0 freezes the HyperPower unpromising-kill
+  // incumbent for this evaluation; < 0 reads the live atomic. The parallel
+  // path passes a snapshot taken at batch start so concurrent trials are
+  // only compared against results that had completed when they started —
+  // completion order inside a batch then cannot change the simulated
+  // accounting, keeping same-seed parallel runs deterministic. The serial
+  // path reads live, byte-identical to the historical loop.
+  const auto eval_one = [&](const Config& config, double resource,
+                            double incumbent_override) -> TrialEval {
     TrialEval out;
     // Target-accuracy early stop: skip remaining scheduled trials for free.
     // Checked per trial, so a serial run still skips the rest of a rung;
@@ -168,7 +176,10 @@ Result<TuningReport> EdgeTune::run() {
     // HyperPower-mode early termination (§6: "early termination of the
     // training at the objective evaluation"): a trial whose learning curve
     // is clearly below the incumbent is killed partway through.
-    const double incumbent = best_accuracy.load(std::memory_order_acquire);
+    const double incumbent =
+        incumbent_override >= 0
+            ? incumbent_override
+            : best_accuracy.load(std::memory_order_acquire);
     const bool unpromising = options_.power_cap_w > 0 && incumbent > 0 &&
                              trial.accuracy < 0.9 * incumbent;
 
@@ -218,17 +229,18 @@ Result<TuningReport> EdgeTune::run() {
       [&](const std::vector<EvalRequest>& batch) -> std::vector<double> {
     std::vector<TrialEval> evals(batch.size());
     if (pool && batch.size() > 1) {
+      const double incumbent = best_accuracy.load(std::memory_order_acquire);
       std::vector<std::future<void>> pending;
       pending.reserve(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        pending.push_back(pool->submit([&, i] {
-          evals[i] = eval_one(batch[i].config, batch[i].resource);
+        pending.push_back(pool->submit([&, incumbent, i] {
+          evals[i] = eval_one(batch[i].config, batch[i].resource, incumbent);
         }));
       }
       for (std::future<void>& f : pending) f.get();
     } else {
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        evals[i] = eval_one(batch[i].config, batch[i].resource);
+        evals[i] = eval_one(batch[i].config, batch[i].resource, -1.0);
       }
     }
 

@@ -32,8 +32,12 @@ struct EdgeTuneOptions {
   /// set) run on a shared worker pool; same-seed parallel and serial runs
   /// report the identical best config and objective. Simulated wall-clock is
   /// accounted as the makespan of the rung over this many workers (with 1
-  /// worker that reduces to the plain sum). TPE stays sequential regardless:
-  /// each suggestion depends on the previous observation.
+  /// worker that reduces to the plain sum). TPE proposes this many configs
+  /// per round via constant-liar batch suggestion, so model-based search
+  /// also keeps every worker busy; at 1 it is byte-identical to the
+  /// historical serial TPE, while wider batches trade some suggestion
+  /// quality for wall clock (the suggestions themselves then differ from
+  /// the serial run's, deterministically per seed).
   int trial_workers = 1;
 
   /// Threads the GEMM/conv kernel substrate may use INSIDE one operator

@@ -2,8 +2,10 @@
 // hierarchical tuning, report invariants, reproducibility, pipelining.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <vector>
 
 #include "common/stopwatch.hpp"
 #include "tuning/baselines.hpp"
@@ -195,6 +197,55 @@ TEST(HierarchicalTest, OnefoldExploresJointSpaceHierarchicalDoesNot) {
     }
   }
   EXPECT_TRUE(varied);
+}
+
+TEST(HierarchicalTest, Tier2GridMatchesTrainDeviceGpus) {
+  // The tier-2 grid is derived from the train device, not hardcoded
+  // {1,2,4,8}: powers of two up to the GPU count, plus the count itself.
+  EdgeTuneOptions options = small_options(42);
+  options.train_device.num_gpus = 3;
+  Result<TuningReport> result = run_hierarchical(options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  std::vector<double> grid;
+  for (const TrialLog& t : result.value().trials) {
+    if (t.config.count("num_gpus")) grid.push_back(t.config.at("num_gpus"));
+  }
+  EXPECT_EQ(grid, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(HierarchicalTest, Tier2AccountsInferenceStall) {
+  // Regression: tier-2 trials used to be charged train_time_s only, silently
+  // dropping the inference-tuning stall every other path pays. Disable the
+  // cache so each tier-2 evaluation re-tunes (stalls are then nonzero: the
+  // pinned-hyperparameter trials train faster than the 2.4 s emulated grid
+  // search) and check the report decomposes exactly.
+  EdgeTuneOptions options = small_options(61);
+  options.inference.use_cache = false;
+  Result<TuningReport> hier = run_hierarchical(options);
+  ASSERT_TRUE(hier.ok()) << hier.status().to_string();
+
+  // Tier 1 alone, reproduced with the same seed and options.
+  EdgeTuneOptions tier1_options = options;
+  tier1_options.tune_system_params = false;
+  Result<TuningReport> tier1 = EdgeTune(tier1_options).run();
+  ASSERT_TRUE(tier1.ok()) << tier1.status().to_string();
+
+  const std::size_t tier1_trials = tier1.value().trials.size();
+  ASSERT_GT(hier.value().trials.size(), tier1_trials);
+  double tier2_span = 0;
+  bool saw_stall = false;
+  for (std::size_t i = tier1_trials; i < hier.value().trials.size(); ++i) {
+    const TrialLog& t = hier.value().trials[i];
+    EXPECT_GT(t.inference_tuning_s, 0) << "trial " << t.id;
+    EXPECT_DOUBLE_EQ(t.inference_stall_s,
+                     std::max(0.0, t.inference_tuning_s - t.duration_s))
+        << "trial " << t.id;
+    if (t.inference_stall_s > 0) saw_stall = true;
+    tier2_span += t.duration_s + t.inference_stall_s;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_NEAR(hier.value().tuning_runtime_s,
+              tier1.value().tuning_runtime_s + tier2_span, 1e-6);
 }
 
 TEST(PipeliningTest, InferenceTuningOverlapsTraining) {

@@ -206,6 +206,131 @@ TEST(TpeSuggestorTest, SuggestionsStayInDomain) {
   }
 }
 
+TEST(TpeBatchTest, BatchSizeOneMatchesHistoricalSerialLoop) {
+  // The historical serial TPE loop, written out longhand against the
+  // suggestor: TpeSearch with batch size 1 must reproduce it bit-for-bit —
+  // the same RNG draws, so the exact same configs in the same order.
+  SearchSpace space = quadratic_space();
+  Rng rng_manual(21);
+  TpeSuggestor suggestor(space);
+  std::vector<Config> manual;
+  for (int i = 0; i < 24; ++i) {
+    Config config = suggestor.suggest(rng_manual);
+    const double objective = quadratic(config, 1);
+    suggestor.observe({config, 1.0, objective});
+    manual.push_back(std::move(config));
+  }
+
+  Rng rng_batched(21);
+  TpeSearch search(space, 1, 24, {}, /*batch_size=*/1);
+  SearchResult result = search.optimize(quadratic, rng_batched);
+  ASSERT_EQ(result.trials.size(), manual.size());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_EQ(result.trials[i].config, manual[i]) << "trial " << i;
+  }
+}
+
+TEST(TpeBatchTest, ConstantLiarRegistersAndRetractsLies) {
+  SearchSpace space = quadratic_space();
+  TpeSuggestor suggestor(space);
+  Rng rng(22);
+  for (int i = 0; i < 20; ++i) {
+    Config config = space.sample(rng);
+    suggestor.observe({config, 1.0, quadratic(config, 1)});
+  }
+  ASSERT_EQ(suggestor.num_observations(), 20u);
+
+  std::vector<Config> batch = suggestor.suggest_batch(4, rng);
+  ASSERT_EQ(batch.size(), 4u);
+  // Lies are pending placeholders: they steer later draws in the batch but
+  // never enter the observation history.
+  EXPECT_EQ(suggestor.num_observations(), 20u);
+  EXPECT_EQ(suggestor.num_pending(), 4u);
+
+  // Each real result retracts exactly its own lie.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    suggestor.observe({batch[i], 1.0, quadratic(batch[i], 1)});
+    EXPECT_EQ(suggestor.num_pending(), 3u - i);
+  }
+  EXPECT_EQ(suggestor.num_pending(), 0u);
+  EXPECT_EQ(suggestor.num_observations(), 24u);
+}
+
+TEST(TpeBatchTest, BatchedSearchSubmitsFullRounds) {
+  // 10 trials at width 4 must arrive as batches of 4, 4, 2 with globally
+  // increasing trial indices — that is what lets a parallel evaluator keep
+  // all workers busy.
+  std::vector<std::size_t> batch_sizes;
+  int expected_index = 0;
+  bool indices_ok = true;
+  const BatchEvalFn eval = [&](const std::vector<EvalRequest>& batch) {
+    batch_sizes.push_back(batch.size());
+    std::vector<double> objectives;
+    for (const EvalRequest& request : batch) {
+      if (request.trial_index != expected_index++) indices_ok = false;
+      objectives.push_back(quadratic(request.config, request.resource));
+    }
+    return objectives;
+  };
+  TpeSearch search(quadratic_space(), 1, 10, {}, /*batch_size=*/4);
+  Rng rng(23);
+  SearchResult result = search.optimize_batch(eval, rng);
+  EXPECT_EQ(result.trials.size(), 10u);
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+  EXPECT_EQ(batch_sizes[1], 4u);
+  EXPECT_EQ(batch_sizes[2], 2u);
+  EXPECT_TRUE(indices_ok);
+}
+
+TEST(TpeBatchTest, SameSeedSameTrajectoryAtAnyBatchSize) {
+  for (const int width : {2, 3, 4, 7}) {
+    Rng rng_a(24), rng_b(24);
+    SearchResult a = TpeSearch(quadratic_space(), 1, 21, {}, width)
+                         .optimize(quadratic, rng_a);
+    SearchResult b = TpeSearch(quadratic_space(), 1, 21, {}, width)
+                         .optimize(quadratic, rng_b);
+    ASSERT_EQ(a.trials.size(), b.trials.size()) << "width " << width;
+    EXPECT_EQ(a.best_config, b.best_config) << "width " << width;
+    for (std::size_t i = 0; i < a.trials.size(); ++i) {
+      EXPECT_EQ(a.trials[i].config, b.trials[i].config)
+          << "width " << width << " trial " << i;
+    }
+  }
+}
+
+TEST(TpeBatchTest, BatchedSearchStillConverges) {
+  // Constant-liar batching trades some suggestion quality for parallelism;
+  // it must still beat noise on a smooth objective.
+  TpeSearch search(quadratic_space(), 1, 48, {}, /*batch_size=*/4);
+  Rng rng(10);
+  SearchResult result = search.optimize(quadratic, rng);
+  EXPECT_EQ(result.trials.size(), 48u);
+  EXPECT_LT(result.best_objective, 0.4);
+}
+
+TEST(SearchFactoryTest, RejectsInvalidHyperbandResources) {
+  for (const char* name : {"hyperband", "bohb"}) {
+    const HyperBandOptions zero_min{0, 16, 2, 0};
+    EXPECT_EQ(
+        make_search_algorithm(name, quadratic_space(), zero_min).status().code(),
+        StatusCode::kInvalidArgument)
+        << name;
+    const HyperBandOptions inverted{4, 2, 2, 0};
+    EXPECT_EQ(
+        make_search_algorithm(name, quadratic_space(), inverted).status().code(),
+        StatusCode::kInvalidArgument)
+        << name;
+  }
+  // Algorithms that never take the log of max/min are unaffected.
+  const HyperBandOptions inverted{4, 2, 2, 0};
+  for (const char* name : {"grid", "random", "tpe"}) {
+    EXPECT_TRUE(
+        make_search_algorithm(name, quadratic_space(), inverted).ok())
+        << name;
+  }
+}
+
 TEST(SearchFactoryTest, KnownAndUnknownNames) {
   HyperBandOptions options{1, 4, 2, 0};
   for (const char* name : {"grid", "random", "hyperband", "bohb", "tpe"}) {

@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
       .define("max-resource", "8", "HyperBand max budget units")
       .define("eta", "2", "successive-halving reduction factor")
       .define("trial-workers", "1",
-              "concurrent trial evaluations per rung (1 = serial)")
+              "concurrent trial evaluations per rung / TPE constant-liar "
+              "batch width (1 = serial; applies to every algorithm and to "
+              "the hierarchical tier-2 grid)")
       .define("intra-op-threads", "1",
               "threads per GEMM/conv operator; keep trial-workers * "
               "intra-op-threads <= cores")
