@@ -3,11 +3,11 @@
 // communication among the model and inference server is thus the key").
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace edgetune {
 
@@ -21,9 +21,9 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Blocks while full. Returns false if the channel was closed.
-  bool send(T value) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+  bool send(T value) EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!(closed_ || !full_locked())) not_full_.wait(mutex_);
     if (closed_) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -31,8 +31,8 @@ class Channel {
   }
 
   /// Non-blocking send. Returns false when full or closed.
-  bool try_send(T value) {
-    std::lock_guard lock(mutex_);
+  bool try_send(T value) EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || full_locked()) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -40,9 +40,9 @@ class Channel {
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> receive() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  std::optional<T> receive() EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!(closed_ || !queue_.empty())) not_empty_.wait(mutex_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -51,8 +51,8 @@ class Channel {
   }
 
   /// Non-blocking receive.
-  std::optional<T> try_receive() {
-    std::lock_guard lock(mutex_);
+  std::optional<T> try_receive() EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -61,34 +61,34 @@ class Channel {
   }
 
   /// Closes the channel: senders fail, receivers drain then get nullopt.
-  void close() {
-    std::lock_guard lock(mutex_);
+  void close() EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool closed() const EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  [[nodiscard]] bool full_locked() const {
+  [[nodiscard]] bool full_locked() const EDGETUNE_REQUIRES(mutex_) {
     return capacity_ != 0 && queue_.size() >= capacity_;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> queue_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> queue_ EDGETUNE_GUARDED_BY(mutex_);
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ EDGETUNE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace edgetune

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace edgetune {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+// Serializes writes to stderr so concurrent log lines never interleave.
+// stderr itself is the guarded resource; there is no member to mark
+// EDGETUNE_GUARDED_BY, hence the lint escape.
+Mutex g_emit_mutex;  // NOLINT(guarded-by)
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -37,7 +41,7 @@ LogLevel log_level() noexcept {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[edgetune %s] %s\n", level_tag(level),
                message.c_str());
 }

@@ -1,0 +1,143 @@
+// Portable Clang Thread Safety Analysis annotations (DESIGN §5.3).
+//
+// Under clang, `-Wthread-safety` proves the repo's lock discipline at
+// compile time: every member the annotations mark EDGETUNE_GUARDED_BY a
+// mutex may only be touched while that mutex is held, functions marked
+// EDGETUNE_REQUIRES must be called with it held, and EDGETUNE_EXCLUDES
+// encodes the PR-1 invariant that no lock is held across user callbacks
+// (e.g. `optimize()` evaluation functions). GCC has no such analysis; every
+// macro expands to nothing there, so the annotated code stays portable.
+//
+// The analysis only understands types that carry capability attributes, so
+// this header also provides drop-in `Mutex` / `MutexLock` / `CondVar`
+// wrappers over the std primitives. Use them instead of raw std::mutex in
+// concurrent code — `tools/edgetune_lint` enforces that every mutex member
+// has at least one EDGETUNE_GUARDED_BY user.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EDGETUNE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EDGETUNE_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define EDGETUNE_CAPABILITY(x) EDGETUNE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define EDGETUNE_SCOPED_CAPABILITY EDGETUNE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Marks a data member as protected by the given mutex: reads and writes
+/// are only legal while it is held.
+#define EDGETUNE_GUARDED_BY(x) EDGETUNE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like EDGETUNE_GUARDED_BY, but guards the data a pointer member points to.
+#define EDGETUNE_PT_GUARDED_BY(x) EDGETUNE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the listed capabilities held (and does
+/// not release them).
+#define EDGETUNE_REQUIRES(...) \
+  EDGETUNE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define EDGETUNE_ACQUIRE(...) \
+  EDGETUNE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (they must be held on
+/// entry).
+#define EDGETUNE_RELEASE(...) \
+  EDGETUNE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when it returns the given
+/// value: EDGETUNE_TRY_ACQUIRE(true) / EDGETUNE_TRY_ACQUIRE(true, mutex).
+#define EDGETUNE_TRY_ACQUIRE(...) \
+  EDGETUNE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The listed capabilities must NOT be held when the function is called.
+/// This is how the no-lock-across-callback invariant is written down: a
+/// method that invokes user code (an EvalFn, an optimize() callback) is
+/// EDGETUNE_EXCLUDES(its mutexes), so holding one at a call site is a
+/// compile error under clang.
+#define EDGETUNE_EXCLUDES(...) \
+  EDGETUNE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define EDGETUNE_RETURN_CAPABILITY(x) \
+  EDGETUNE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only for
+/// code the analysis cannot express (and say why in a comment).
+#define EDGETUNE_NO_THREAD_SAFETY_ANALYSIS \
+  EDGETUNE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace edgetune {
+
+class CondVar;
+
+/// std::mutex carrying the capability attribute so clang can track it.
+class EDGETUNE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EDGETUNE_ACQUIRE() { mutex_.lock(); }
+  void unlock() EDGETUNE_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() EDGETUNE_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  // The wrapped native mutex IS the capability; there is no guarded
+  // sibling member to annotate here.
+  std::mutex mutex_;  // NOLINT(guarded-by)
+};
+
+/// RAII lock over Mutex (the annotated std::lock_guard / std::unique_lock).
+class EDGETUNE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) EDGETUNE_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() EDGETUNE_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex. wait() takes the Mutex directly
+/// (annotated EDGETUNE_REQUIRES) instead of a predicate lambda: callers
+/// loop `while (!cond) cv.wait(mutex);` inside their own annotated scope,
+/// which the analysis can check — a captured predicate body it could not.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires it before
+  /// returning. The caller must hold `mutex` (e.g. via MutexLock).
+  void wait(Mutex& mutex) EDGETUNE_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release() the
+    // unique_lock so ownership stays with the caller's MutexLock.
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace edgetune

@@ -16,7 +16,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -26,12 +26,12 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(tasks_.empty() && active_ == 0)) idle_cv_.wait(mutex_);
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size() + active_;
 }
 
@@ -39,16 +39,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!(stopping_ || !tasks_.empty())) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
       ++active_;
     }
-    task();
+    task();  // mutex_ released: tasks may re-enter submit()
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }

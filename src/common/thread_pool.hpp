@@ -2,13 +2,13 @@
 // trials on this pool while the Model Tuning Server keeps training (Fig 6).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace edgetune {
 
@@ -22,13 +22,14 @@ class ThreadPool {
 
   /// Enqueues a task; returns a future for its result.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+      EDGETUNE_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         // Refuse after shutdown: surface as a broken promise.
         return result;
@@ -40,27 +41,29 @@ class ThreadPool {
   }
 
   /// Blocks until every queued task has finished.
-  void wait_idle();
+  void wait_idle() EDGETUNE_EXCLUDES(mutex_);
 
   /// Drains queued tasks and joins the workers. After shutdown, submit()
   /// refuses new work: the returned future surfaces a broken promise
   /// (std::future_error) instead of hanging forever. Idempotent; also called
   /// by the destructor. Not safe to call concurrently with itself.
-  void shutdown();
+  void shutdown() EDGETUNE_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const EDGETUNE_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  // Runs tasks with mutex_ RELEASED (the no-lock-across-callback invariant:
+  // a task may submit() to this very pool without deadlocking).
+  void worker_loop() EDGETUNE_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // immutable after the constructor
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ EDGETUNE_GUARDED_BY(mutex_);
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::size_t active_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ EDGETUNE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace edgetune

@@ -4,9 +4,9 @@
 #include <cassert>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace edgetune {
@@ -37,12 +37,12 @@ constexpr std::int64_t kNC = 1024;
 // outweighs the kernel; run inline.
 constexpr double kParallelMinFlops = 2e6;
 
-std::mutex g_pool_mutex;
-int g_intra_op_threads = 1;
-std::shared_ptr<ThreadPool> g_intra_op_pool;
+Mutex g_pool_mutex;
+int g_intra_op_threads EDGETUNE_GUARDED_BY(g_pool_mutex) = 1;
+std::shared_ptr<ThreadPool> g_intra_op_pool EDGETUNE_GUARDED_BY(g_pool_mutex);
 
-std::shared_ptr<ThreadPool> acquire_pool() {
-  std::lock_guard lock(g_pool_mutex);
+std::shared_ptr<ThreadPool> acquire_pool() EDGETUNE_EXCLUDES(g_pool_mutex) {
+  MutexLock lock(g_pool_mutex);
   if (g_intra_op_threads <= 1) return nullptr;
   if (!g_intra_op_pool) {
     g_intra_op_pool =
@@ -262,12 +262,12 @@ void process_row_block(const PanelContext& ctx, std::int64_t ic,
 }  // namespace
 
 int intra_op_threads() noexcept {
-  std::lock_guard lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   return g_intra_op_threads;
 }
 
 void set_intra_op_threads(int n) {
-  std::lock_guard lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   g_intra_op_threads = std::max(1, n);
   // Drop the old pool; in-flight GEMMs keep it alive via their shared_ptr
   // and it is torn down when the last of them finishes.
@@ -276,7 +276,7 @@ void set_intra_op_threads(int n) {
 
 void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, const float* b, float* c, bool accumulate,
-          const GemmEpilogue* epilogue) {
+          const GemmEpilogue* epilogue) EDGETUNE_EXCLUDES(g_pool_mutex) {
   assert(m > 0 && n > 0 && k > 0);
   std::shared_ptr<ThreadPool> pool;
   if (m > kMC && 2.0 * static_cast<double>(m) * static_cast<double>(n) *

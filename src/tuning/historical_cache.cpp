@@ -73,7 +73,7 @@ std::string HistoricalCache::key(const std::string& arch_id,
 std::optional<InferenceRecommendation> HistoricalCache::lookup(
     const std::string& arch_id, const std::string& device,
     MetricOfInterest objective) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key(arch_id, device, objective));
   if (it == entries_.end()) {
     ++misses_;
@@ -86,7 +86,7 @@ std::optional<InferenceRecommendation> HistoricalCache::lookup(
 }
 
 HistoricalCache::~HistoricalCache() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (path_.empty() || dirty_ == 0) return;
   if (Status status = save_locked(); !status.is_ok()) {
     ET_LOG_WARN << "final historical-cache flush failed: "
@@ -98,7 +98,7 @@ Status HistoricalCache::store(const std::string& arch_id,
                               const std::string& device,
                               MetricOfInterest objective,
                               const InferenceRecommendation& rec) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_[key(arch_id, device, objective)] = rec;
   if (path_.empty()) return Status::ok();
   // Batched persistence: rewriting the whole database on every insert cost
@@ -109,22 +109,22 @@ Status HistoricalCache::store(const std::string& arch_id,
 }
 
 std::size_t HistoricalCache::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t HistoricalCache::hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t HistoricalCache::misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 Status HistoricalCache::save() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (path_.empty() || dirty_ == 0) return Status::ok();
   return save_locked();
 }

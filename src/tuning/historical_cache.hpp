@@ -5,10 +5,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "tuning/metrics.hpp"
 
 namespace edgetune {
@@ -34,34 +34,35 @@ class HistoricalCache {
   /// not share an entry.
   [[nodiscard]] std::optional<InferenceRecommendation> lookup(
       const std::string& arch_id, const std::string& device,
-      MetricOfInterest objective) const;
+      MetricOfInterest objective) const EDGETUNE_EXCLUDES(mutex_);
 
   /// Stores (overwrites) a recommendation and persists when file-backed.
   Status store(const std::string& arch_id, const std::string& device,
                MetricOfInterest objective,
-               const InferenceRecommendation& rec);
+               const InferenceRecommendation& rec) EDGETUNE_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t hits() const;
-  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t hits() const EDGETUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t misses() const EDGETUNE_EXCLUDES(mutex_);
 
   /// Flushes pending writes to the backing file (no-op when in-memory or
   /// when nothing changed since the last flush).
-  Status save() const;
+  Status save() const EDGETUNE_EXCLUDES(mutex_);
 
  private:
   static std::string key(const std::string& arch_id,
                          const std::string& device,
                          MetricOfInterest objective);
-  Status save_locked() const;
+  Status save_locked() const EDGETUNE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::string path_;  // empty => in-memory
-  std::size_t flush_every_ = 16;
-  mutable std::size_t dirty_ = 0;  // stores since the last flush
-  std::map<std::string, InferenceRecommendation> entries_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable Mutex mutex_;
+  std::string path_;  // empty => in-memory; immutable after construction
+  std::size_t flush_every_ = 16;  // immutable after construction
+  mutable std::size_t dirty_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, InferenceRecommendation> entries_
+      EDGETUNE_GUARDED_BY(mutex_);
+  mutable std::size_t hits_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t misses_ EDGETUNE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace edgetune

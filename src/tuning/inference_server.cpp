@@ -60,7 +60,7 @@ Result<InferenceRecommendation> InferenceTuningServer::tune(
   std::promise<Result<InferenceRecommendation>> promise;
   std::shared_future<Result<InferenceRecommendation>> pending;
   {
-    std::lock_guard lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     auto it = inflight_.find(arch.id);
     if (it != inflight_.end()) {
       pending = it->second;
@@ -99,7 +99,7 @@ Result<InferenceRecommendation> InferenceTuningServer::tune(
     if (!stored.is_ok()) result = stored;
   }
   {
-    std::lock_guard lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     inflight_.erase(arch.id);
   }
   promise.set_value(result);

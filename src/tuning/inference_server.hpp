@@ -12,10 +12,10 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "device/cost_model.hpp"
 #include "search/algorithms.hpp"
@@ -45,10 +45,15 @@ class InferenceTuningServer {
 
   /// Asynchronous tuning request; overlaps the caller's training trial.
   [[nodiscard]] std::future<Result<InferenceRecommendation>> submit(
-      const ArchSpec& arch);
+      const ArchSpec& arch) EDGETUNE_EXCLUDES(inflight_mutex_);
 
-  /// Synchronous tuning (same path, current thread).
-  [[nodiscard]] Result<InferenceRecommendation> tune(const ArchSpec& arch);
+  /// Synchronous tuning (same path, current thread). EXCLUDES encodes the
+  /// PR-1 invariant: the search below runs user-visible evaluation
+  /// callbacks, so no lock may be held entering it (a joiner blocking on
+  /// the leader's future while holding inflight_mutex_ would deadlock every
+  /// other request).
+  [[nodiscard]] Result<InferenceRecommendation> tune(const ArchSpec& arch)
+      EDGETUNE_EXCLUDES(inflight_mutex_);
 
   /// Evaluates one explicit inference configuration on the edge emulator.
   [[nodiscard]] Result<CostEstimate> evaluate(const ArchSpec& arch,
@@ -86,8 +91,10 @@ class InferenceTuningServer {
   }
 
  private:
+  // Runs the actual search — optimize() callbacks execute inside, so the
+  // in-flight lock must be released (no mutex held across user callbacks).
   [[nodiscard]] Result<InferenceRecommendation> tune_uncached(
-      const ArchSpec& arch);
+      const ArchSpec& arch) EDGETUNE_EXCLUDES(inflight_mutex_);
 
   CostModel cost_model_;
   InferenceServerOptions options_;
@@ -103,10 +110,10 @@ class InferenceTuningServer {
   // future. Leaders store to the historical cache BEFORE erasing their entry,
   // so a request that misses both the cache and this map under the lock is
   // guaranteed to become a leader, not re-run a finished search.
-  std::mutex inflight_mutex_;
+  Mutex inflight_mutex_;
   std::unordered_map<std::string,
                      std::shared_future<Result<InferenceRecommendation>>>
-      inflight_;
+      inflight_ EDGETUNE_GUARDED_BY(inflight_mutex_);
 };
 
 }  // namespace edgetune

@@ -28,7 +28,7 @@ TuningJobServer::~TuningJobServer() {
 JobId TuningJobServer::submit(JobRequest request) {
   JobId id;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     id = next_id_++;
     jobs_.emplace(id, Job{});
   }
@@ -40,7 +40,7 @@ JobId TuningJobServer::submit(JobRequest request) {
 
 void TuningJobServer::run_job(JobId id, JobRequest request) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_[id].state = JobState::kRunning;
   }
   if (trial_workers_per_job_ > 0 && request.options.trial_workers <= 1) {
@@ -60,7 +60,7 @@ void TuningJobServer::run_job(JobId id, JobRequest request) {
     return Status::invalid_argument("unknown job system");
   }();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     Job& job = jobs_[id];
     job.state = result.ok() ? JobState::kDone : JobState::kFailed;
     job.result = std::move(result);
@@ -69,7 +69,7 @@ void TuningJobServer::run_job(JobId id, JobRequest request) {
 }
 
 Result<JobState> TuningJobServer::state(JobId id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::not_found("unknown job " + std::to_string(id));
@@ -78,20 +78,22 @@ Result<JobState> TuningJobServer::state(JobId id) const {
 }
 
 Result<TuningReport> TuningJobServer::wait(JobId id) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::not_found("unknown job " + std::to_string(id));
   }
-  done_cv_.wait(lock, [&] {
-    const JobState s = jobs_[id].state;
-    return s == JobState::kDone || s == JobState::kFailed;
-  });
-  return jobs_[id].result;
+  // `it` stays valid across the waits: std::map iterators are stable, and
+  // finished jobs are never erased.
+  while (it->second.state != JobState::kDone &&
+         it->second.state != JobState::kFailed) {
+    done_cv_.wait(mutex_);
+  }
+  return it->second.result;
 }
 
 std::vector<JobId> TuningJobServer::jobs() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<JobId> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(id);
@@ -99,7 +101,7 @@ std::vector<JobId> TuningJobServer::jobs() const {
 }
 
 std::size_t TuningJobServer::unfinished() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const auto& [id, job] : jobs_) {
     if (job.state == JobState::kQueued || job.state == JobState::kRunning) {

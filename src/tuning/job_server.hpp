@@ -4,10 +4,9 @@
 // and exposes state polling and blocking waits per job.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "tuning/baselines.hpp"
 
@@ -40,19 +39,20 @@ class TuningJobServer {
   TuningJobServer& operator=(const TuningJobServer&) = delete;
 
   /// Enqueues a job; returns immediately with its id.
-  JobId submit(JobRequest request);
+  JobId submit(JobRequest request) EDGETUNE_EXCLUDES(mutex_);
 
   /// Current state; kQueued for unknown ids is an error.
-  [[nodiscard]] Result<JobState> state(JobId id) const;
+  [[nodiscard]] Result<JobState> state(JobId id) const
+      EDGETUNE_EXCLUDES(mutex_);
 
   /// Blocks until the job finishes; returns its report or failure status.
-  [[nodiscard]] Result<TuningReport> wait(JobId id);
+  [[nodiscard]] Result<TuningReport> wait(JobId id) EDGETUNE_EXCLUDES(mutex_);
 
   /// Ids of all jobs ever submitted, in submission order.
-  [[nodiscard]] std::vector<JobId> jobs() const;
+  [[nodiscard]] std::vector<JobId> jobs() const EDGETUNE_EXCLUDES(mutex_);
 
   /// Jobs not yet finished.
-  [[nodiscard]] std::size_t unfinished() const;
+  [[nodiscard]] std::size_t unfinished() const EDGETUNE_EXCLUDES(mutex_);
 
  private:
   struct Job {
@@ -60,13 +60,15 @@ class TuningJobServer {
     Result<TuningReport> result{Status::unavailable("not finished")};
   };
 
-  void run_job(JobId id, JobRequest request);
+  // Runs the whole tuning job — user-scale work — so it must hold no lock
+  // beyond the brief state transitions at entry and exit.
+  void run_job(JobId id, JobRequest request) EDGETUNE_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::map<JobId, Job> jobs_;
-  JobId next_id_ = 1;
-  int trial_workers_per_job_ = 0;
+  mutable Mutex mutex_;
+  CondVar done_cv_;
+  std::map<JobId, Job> jobs_ EDGETUNE_GUARDED_BY(mutex_);
+  JobId next_id_ EDGETUNE_GUARDED_BY(mutex_) = 1;
+  int trial_workers_per_job_ = 0;  // immutable after construction
   ThreadPool pool_;
 };
 

@@ -3,13 +3,35 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 
 namespace edgetune {
+
+namespace {
+
+/// First evaluation failure across concurrent trials (first-writer-wins).
+class ErrorSlot {
+ public:
+  void note(const Status& status) EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (first_.is_ok()) first_ = status;
+  }
+
+  [[nodiscard]] Status first() const EDGETUNE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return first_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  Status first_ EDGETUNE_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 EdgeTuneOptions::EdgeTuneOptions()
     : train_device(device_titan_server()), edge_device(device_rpi3b()) {}
@@ -89,11 +111,9 @@ Result<TuningReport> EdgeTune::run() {
   std::unique_ptr<ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
 
-  std::mutex error_mutex;
-  Status eval_error;
+  ErrorSlot eval_error;
   const auto note_error = [&](const Status& status) {
-    std::lock_guard lock(error_mutex);
-    if (eval_error.is_ok()) eval_error = status;
+    eval_error.note(status);
   };
   std::atomic<bool> target_reached{false};
   std::atomic<double> best_accuracy{0.0};  // incumbent; killed trials excluded
@@ -269,9 +289,10 @@ Result<TuningReport> EdgeTune::run() {
   SearchResult result = algorithm->optimize_batch(batch_eval, rng);
   report.best_accuracy = best_accuracy.load();
   if (!std::isfinite(result.best_objective)) {
-    return eval_error.is_ok()
+    const Status first_error = eval_error.first();
+    return first_error.is_ok()
                ? Status::internal("tuning produced no finite objective")
-               : eval_error;
+               : first_error;
   }
   report.best_config = result.best_config;
   report.best_objective = result.best_objective;

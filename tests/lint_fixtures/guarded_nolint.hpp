@@ -1,0 +1,15 @@
+// Fixture: annotated sibling satisfies the rule; second mutex is NOLINTed.
+#pragma once
+#include <mutex>
+
+#define EDGETUNE_GUARDED_BY(x)
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable std::mutex mutex_;
+  int count_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::mutex io_mutex_;  // NOLINT(guarded-by): guards stderr, not a member
+};

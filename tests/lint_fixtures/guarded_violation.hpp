@@ -1,0 +1,13 @@
+// Fixture: mutex member with no EDGETUNE_GUARDED_BY user — guarded-by must
+// flag the declaration line.
+#pragma once
+#include <mutex>
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable std::mutex mutex_;
+  int count_ = 0;
+};

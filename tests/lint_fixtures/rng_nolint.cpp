@@ -1,0 +1,6 @@
+// Fixture: same call, suppressed with an explanatory NOLINT.
+#include <cstdlib>
+
+int roll() {
+  return std::rand() % 6;  // NOLINT(rng-determinism): fixture exercises escape
+}

@@ -1,0 +1,6 @@
+// Fixture: seeds from std::rand — rng-determinism must flag line 5.
+#include <cstdlib>
+
+int roll() {
+  return std::rand() % 6;
+}

@@ -1,0 +1,4 @@
+// Fixture: suppressed include under src/.
+#include <iostream>  // NOLINT(iostream-in-lib): fixture exercises escape
+
+void shout() { std::cout << "hi\n"; }

@@ -1,0 +1,4 @@
+// Fixture: lives under a src/ segment, so iostream-in-lib must flag line 3.
+#include <iostream>
+
+void shout() { std::cout << "hi\n"; }

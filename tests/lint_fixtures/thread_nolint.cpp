@@ -1,0 +1,9 @@
+// Fixture: suppressed raw thread. hardware_concurrency is always allowed.
+#include <thread>
+
+unsigned probe() { return std::thread::hardware_concurrency(); }
+
+void fire_and_forget() {
+  std::thread worker([] {});  // NOLINT(thread-outside-pool): fixture escape
+  worker.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: raw thread construction — thread-outside-pool must flag line 6.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.join();
+}

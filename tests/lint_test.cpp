@@ -1,0 +1,140 @@
+// Drives the edgetune_lint binary over the fixture snippets in
+// tests/lint_fixtures/ — one violating and one NOLINT-suppressed case per
+// rule — and asserts the real tree lints clean (the same invocation the CI
+// lint job runs).
+//
+// The thread-safety side of this PR's static layer is compile-time only and
+// clang-only, so it cannot be exercised from a gtest binary: CI's
+// clang-thread-safety job builds with -Werror=thread-safety and then
+// deliberately strips one EDGETUNE_REQUIRES (save_locked's, in
+// historical_cache.hpp) and asserts the rebuild FAILS — the negative test
+// the acceptance criteria ask for lives there (.github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef EDGETUNE_LINT_BIN
+#error "CMake must define EDGETUNE_LINT_BIN (path to the lint binary)"
+#endif
+#ifndef EDGETUNE_SOURCE_DIR
+#error "CMake must define EDGETUNE_SOURCE_DIR (repo root)"
+#endif
+
+const std::string kLintBin = EDGETUNE_LINT_BIN;
+const std::string kSourceDir = EDGETUNE_SOURCE_DIR;
+const std::string kFixtures = kSourceDir + "/tests/lint_fixtures";
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `edgetune_lint <args>`, capturing stderr (findings) + exit code.
+LintRun run_lint(const std::string& args) {
+  const std::string capture = ::testing::TempDir() + "/lint_capture.txt";
+  const std::string command =
+      kLintBin + " " + args + " > " + capture + " 2>&1";
+  const int raw = std::system(command.c_str());
+  LintRun run;
+  run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  run.output = buffer.str();
+  return run;
+}
+
+std::string fixture(const std::string& name) { return kFixtures + "/" + name; }
+
+// --- Every rule, both ways -------------------------------------------------
+
+struct RuleCase {
+  const char* rule;
+  const char* violation;  // path relative to lint_fixtures/
+  const char* suppressed;
+};
+
+class LintRuleTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(LintRuleTest, ViolationExitsNonZeroAndNamesTheRule) {
+  const RuleCase& c = GetParam();
+  const LintRun run = run_lint(fixture(c.violation));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find(std::string("[") + c.rule + "]"),
+            std::string::npos)
+      << "expected a [" << c.rule << "] finding, got:\n"
+      << run.output;
+}
+
+TEST_P(LintRuleTest, NolintEscapeSuppresses) {
+  const RuleCase& c = GetParam();
+  const LintRun run = run_lint(fixture(c.suppressed));
+  EXPECT_EQ(run.exit_code, 0) << "NOLINT case should be clean, got:\n"
+                              << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintRuleTest,
+    ::testing::Values(
+        RuleCase{"rng-determinism", "rng_violation.cpp", "rng_nolint.cpp"},
+        RuleCase{"thread-outside-pool", "thread_violation.cpp",
+                 "thread_nolint.cpp"},
+        RuleCase{"guarded-by", "guarded_violation.hpp", "guarded_nolint.hpp"},
+        RuleCase{"iostream-in-lib", "src/iostream_violation.cpp",
+                 "src/iostream_nolint.cpp"},
+        RuleCase{"fp-contract-allowlist", "tensor_bad", "tensor_nolint"}),
+    [](const ::testing::TestParamInfo<RuleCase>& info) {
+      std::string name = info.param.rule;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// fp-contract-allowlist is bidirectional: an allowlisted file that LOSES its
+// -ffp-contract flag (someone "simplifying" the tensor CMakeLists) is also a
+// finding — that drift would silently break the kNT bitwise contract.
+TEST(LintTest, FpContractMissingFlagIsFlagged) {
+  const LintRun run = run_lint(fixture("tensor_missing"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[fp-contract-allowlist]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("gemm_unfused.cpp"), std::string::npos)
+      << run.output;
+}
+
+// The CI invocation: the real tree must stay clean. If this fails, either
+// fix the new violation or add a justified `// NOLINT(rule)` where the rule
+// genuinely cannot apply (see CONTRIBUTING "Static analysis").
+TEST(LintTest, RealTreeIsClean) {
+  const LintRun run = run_lint(kSourceDir + "/src " + kSourceDir + "/tools " +
+                               kSourceDir + "/bench");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// The annotated concurrent TUs must keep their mutexes paired with
+// EDGETUNE_GUARDED_BY members — spot-check the guarded-by rule sees real
+// headers, not just fixtures.
+TEST(LintTest, AnnotatedHeadersStayClean) {
+  for (const char* header :
+       {"/src/common/thread_pool.hpp", "/src/common/channel.hpp",
+        "/src/tuning/historical_cache.hpp", "/src/tuning/inference_server.hpp",
+        "/src/tuning/job_server.hpp", "/src/common/thread_annotations.hpp"}) {
+    const LintRun run = run_lint(kSourceDir + header);
+    EXPECT_EQ(run.exit_code, 0) << header << ":\n" << run.output;
+  }
+}
+
+TEST(LintTest, UsageAndMissingPathAreUsageErrors) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint(kFixtures + "/does_not_exist").exit_code, 2);
+}
+
+}  // namespace

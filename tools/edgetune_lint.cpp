@@ -1,0 +1,436 @@
+// edgetune_lint: repo-invariant static checker (no libclang — a tokenizing
+// line scanner). Enforces the determinism and concurrency rules no
+// off-the-shelf tool knows about:
+//
+//   rng-determinism      bans std::rand / srand / random_device /
+//                        std RNG engines outside src/common/rng.* — every
+//                        stochastic component must route through the
+//                        bit-stable edgetune::Rng (CONTRIBUTING).
+//   thread-outside-pool  bans std::thread construction outside ThreadPool:
+//                        raw threads bypass wait_idle()/shutdown() and the
+//                        trial-worker accounting.
+//   fp-contract-allowlist every source under src/tensor/ compiled with a
+//                        non-default -ffp-contract must be in the allowlist
+//                        below (and allowlisted files must actually carry
+//                        the flag) — protects the PR-2 bitwise GEMM
+//                        contract from silent flag drift.
+//   guarded-by           a mutex member/global must have at least one
+//                        EDGETUNE_GUARDED_BY(<name>) user in the same file,
+//                        so new shared state lands annotated and clang's
+//                        -Wthread-safety keeps proving the lock discipline.
+//   iostream-in-lib      bans #include <iostream> in src/ library code;
+//                        libraries report through Status/log, and iostream
+//                        drags in static init order + global locale state.
+//
+// A finding on a line carrying `// NOLINT(rule-id)` (or bare `// NOLINT`)
+// is suppressed; the comment should say why. Exit code: 0 clean, 1 findings,
+// 2 usage/IO error.
+//
+// Usage: edgetune_lint <file-or-dir>...   (directories scan recursively)
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Small string helpers (the scanner works on raw lines).
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Normalized, '/'-separated path for suffix/segment matching.
+std::string norm_path(const fs::path& p) {
+  std::string out = p.lexically_normal().generic_string();
+  return out;
+}
+
+bool path_has_segment(const std::string& path, const std::string& segment) {
+  return path == segment || contains(path, "/" + segment + "/") ||
+         ends_with(path, "/" + segment) ||
+         path.rfind(segment + "/", 0) == 0;
+}
+
+/// Splits a line into C-identifier tokens (letters, digits, '_').
+std::vector<std::string> identifiers(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      cur.push_back(c);
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// True when `line` ends in a `// NOLINT` / `// NOLINT(rule, ...)` comment
+/// naming `rule` (or naming no rule at all).
+bool nolint_suppressed(const std::string& line, const std::string& rule) {
+  const std::size_t pos = line.find("NOLINT");
+  if (pos == std::string::npos) return false;
+  const std::size_t open = line.find('(', pos);
+  if (open == std::string::npos) return true;  // bare NOLINT: all rules
+  const std::size_t close = line.find(')', open);
+  if (close == std::string::npos) return true;
+  const std::string rules = line.substr(open + 1, close - open - 1);
+  std::stringstream ss(rules);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               item.end());
+    if (item == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+
+// rng-determinism: these identifiers may only appear in src/common/rng.*.
+// (Split literals keep the linter from flagging its own rule table.)
+const std::vector<std::string>& banned_rng_tokens() {
+  static const std::vector<std::string> tokens = {
+      "ra" "nd",           // std::rand / ::rand
+      "sra" "nd",          // seeding the C RNG
+      "random_" "device",  // nondeterministic seeds
+      "mt" "19937",        // raw std engines bypass the bit-stable Rng
+      "mt" "19937_64",
+      "minstd_ra" "nd",
+      "minstd_ra" "nd0",
+      "default_random_" "engine",
+      "random_" "shuffle",
+  };
+  return tokens;
+}
+
+bool rng_exempt(const std::string& path) {
+  return ends_with(path, "common/rng.hpp") || ends_with(path, "common/rng.cpp");
+}
+
+// thread-outside-pool: std::thread may only appear in the ThreadPool TU.
+bool thread_exempt(const std::string& path) {
+  return ends_with(path, "common/thread_pool.hpp") ||
+         ends_with(path, "common/thread_pool.cpp");
+}
+
+// fp-contract-allowlist: sources under src/tensor/ allowed to set a
+// non-default -ffp-contract, and required to keep it. gemm_unfused.cpp IS
+// the kNT bitwise contract: it must compile with -ffp-contract=off.
+const std::set<std::string>& fp_contract_allowlist() {
+  static const std::set<std::string> files = {"gemm_unfused.cpp"};
+  return files;
+}
+
+// iostream-in-lib applies to library code only (src/), not tools/benches.
+bool in_library(const std::string& path) {
+  return path_has_segment(path, "src");
+}
+
+/// True for lines that declare a named mutex variable (member or global):
+///   [mutable] [std::]{Mutex|mutex} name_;
+/// after stripping comments. Returns the variable name via `name`.
+bool parse_mutex_decl(const std::string& line, std::string* name) {
+  std::string code = line.substr(0, line.find("//"));
+  std::vector<std::string> toks = identifiers(code);
+  // Drop qualifiers that may precede the type.
+  std::size_t i = 0;
+  while (i < toks.size() &&
+         (toks[i] == "mutable" || toks[i] == "static" || toks[i] == "std")) {
+    ++i;
+  }
+  if (i + 1 >= toks.size()) return false;
+  if (toks[i] != "Mutex" && toks[i] != "mutex") return false;
+  // Reject non-declarations: "std::mutex&", template args, using decls.
+  if (contains(code, "&") || contains(code, "(") || contains(code, "<") ||
+      contains(code, "using") || contains(code, "typedef")) {
+    return false;
+  }
+  // Declaration must end with ';' and have exactly one trailing identifier.
+  std::string tail = code;
+  tail.erase(std::remove_if(tail.begin(), tail.end(),
+                            [](unsigned char c) { return std::isspace(c); }),
+             tail.end());
+  if (tail.empty() || tail.back() != ';') return false;
+  if (i + 2 != toks.size()) return false;
+  *name = toks[i + 1];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanners.
+
+void scan_source(const std::string& display_path, const fs::path& real_path,
+                 std::vector<Finding>* findings) {
+  std::ifstream in(real_path);
+  if (!in.good()) {
+    findings->push_back({display_path, 0, "io", "cannot open file"});
+    return;
+  }
+
+  struct MutexDecl {
+    std::string name;
+    std::size_t line;
+  };
+  std::vector<MutexDecl> mutexes;
+  std::set<std::string> guarded;  // names seen in EDGETUNE_GUARDED_BY(...)
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block_comment = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+
+    // Track /* */ so commented-out code is not flagged. (Line comments are
+    // handled per rule; string literals are deliberately scanned — a banned
+    // token inside one is near-always a shell command or codegen.)
+    std::string code = line;
+    if (in_block_comment) {
+      const std::size_t close = code.find("*/");
+      if (close == std::string::npos) continue;
+      code = code.substr(close + 2);
+      in_block_comment = false;
+    }
+    for (std::size_t open = code.find("/*"); open != std::string::npos;
+         open = code.find("/*")) {
+      const std::size_t close = code.find("*/", open + 2);
+      if (close == std::string::npos) {
+        code = code.substr(0, open);
+        in_block_comment = true;
+        break;
+      }
+      code = code.substr(0, open) + code.substr(close + 2);
+    }
+
+    const std::string before_comment = code.substr(0, code.find("//"));
+    const std::vector<std::string> toks = identifiers(before_comment);
+    const auto has_token = [&](const std::string& t) {
+      return std::find(toks.begin(), toks.end(), t) != toks.end();
+    };
+
+    // --- rng-determinism
+    if (!rng_exempt(display_path)) {
+      for (const std::string& banned : banned_rng_tokens()) {
+        if (has_token(banned) && !nolint_suppressed(line, "rng-determinism")) {
+          findings->push_back(
+              {display_path, lineno, "rng-determinism",
+               "'" + banned + "' outside common/rng.*: use edgetune::Rng "
+               "with an explicit seed (bit-stable streams)"});
+        }
+      }
+    }
+
+    // --- thread-outside-pool
+    if (!thread_exempt(display_path) && has_token("thread") &&
+        contains(before_comment, "std::" "thread") &&
+        !contains(before_comment, "std::" "thread::") &&
+        !nolint_suppressed(line, "thread-outside-pool")) {
+      findings->push_back(
+          {display_path, lineno, "thread-outside-pool",
+           "raw std::" "thread outside ThreadPool: submit work to a pool "
+           "instead (shutdown/wait_idle discipline)"});
+    }
+
+    // --- iostream-in-lib
+    if (in_library(display_path) && contains(before_comment, "#include") &&
+        contains(before_comment, "<iostream>") &&
+        !nolint_suppressed(line, "iostream-in-lib")) {
+      findings->push_back({display_path, lineno, "iostream-in-lib",
+                           "#include <iostream> in library code: report "
+                           "through Status/ET_LOG, print in tools/"});
+    }
+
+    // --- guarded-by bookkeeping
+    std::string mutex_name;
+    if (parse_mutex_decl(line, &mutex_name)) {
+      if (!nolint_suppressed(line, "guarded-by")) {
+        mutexes.push_back({mutex_name, lineno});
+      }
+    }
+    for (std::size_t pos = before_comment.find("EDGETUNE_GUARDED_BY(");
+         pos != std::string::npos;
+         pos = before_comment.find("EDGETUNE_GUARDED_BY(", pos + 1)) {
+      const std::size_t open = before_comment.find('(', pos);
+      const std::size_t close = before_comment.find(')', open);
+      if (open == std::string::npos || close == std::string::npos) break;
+      std::string arg = before_comment.substr(open + 1, close - open - 1);
+      arg.erase(std::remove_if(arg.begin(), arg.end(),
+                               [](unsigned char c) { return std::isspace(c); }),
+                arg.end());
+      guarded.insert(arg);
+    }
+  }
+
+  // --- guarded-by verdicts (file scope: every mutex needs >= 1 annotated
+  // user, or an explanatory NOLINT on its declaration).
+  for (const MutexDecl& m : mutexes) {
+    if (guarded.count(m.name) != 0) continue;
+    findings->push_back(
+        {display_path, m.line, "guarded-by",
+         "mutex '" + m.name + "' has no EDGETUNE_GUARDED_BY(" + m.name +
+             ") member in this file: annotate the state it protects "
+             "(common/thread_annotations.hpp)"});
+  }
+}
+
+/// fp-contract-allowlist over a tensor CMakeLists.txt: files that
+/// set_source_files_properties ... COMPILE_OPTIONS "-ffp-contract=..." must
+/// match the allowlist exactly, in both directions.
+void scan_tensor_cmake(const std::string& display_path,
+                       const fs::path& real_path,
+                       std::vector<Finding>* findings) {
+  std::ifstream in(real_path);
+  if (!in.good()) {
+    findings->push_back({display_path, 0, "io", "cannot open file"});
+    return;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  std::set<std::string> flagged;      // sources given an -ffp-contract flag
+  std::map<std::string, std::size_t> flagged_line;
+  bool suppressed = false;
+
+  // Parse set_source_files_properties(<files...> PROPERTIES ...) statements,
+  // which may span lines; associate them with -ffp-contract when present.
+  std::string stmt;
+  std::size_t stmt_line = 0;
+  bool stmt_nolint = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (contains(line, "set_source_files_properties")) {
+      stmt.clear();
+      stmt_line = lineno;
+      stmt_nolint = false;
+    }
+    if (stmt_line != 0) {
+      stmt += line + "\n";
+      stmt_nolint = stmt_nolint ||
+                    nolint_suppressed(line, "fp-contract-allowlist");
+      if (contains(line, ")")) {
+        if (contains(stmt, "-ffp-contract")) {
+          // Tokens between '(' and PROPERTIES are the source files.
+          const std::size_t open = stmt.find('(');
+          const std::size_t props = stmt.find("PROPERTIES");
+          if (open != std::string::npos && props != std::string::npos) {
+            std::stringstream ss(stmt.substr(open + 1, props - open - 1));
+            std::string file;
+            while (ss >> file) {
+              flagged.insert(file);
+              flagged_line[file] = stmt_line;
+              suppressed = suppressed || stmt_nolint;
+              if (stmt_nolint) flagged.erase(file);
+            }
+          }
+        }
+        stmt.clear();
+        stmt_line = 0;
+      }
+    }
+  }
+
+  for (const std::string& file : flagged) {
+    if (fp_contract_allowlist().count(file) == 0) {
+      findings->push_back(
+          {display_path, flagged_line[file], "fp-contract-allowlist",
+           "'" + file + "' sets a non-default -ffp-contract but is not in "
+           "the edgetune_lint allowlist: FP contraction is part of the "
+           "bitwise GEMM contract (DESIGN §5.1)"});
+    }
+  }
+  if (!suppressed) {
+    for (const std::string& file : fp_contract_allowlist()) {
+      if (flagged.count(file) == 0) {
+        findings->push_back(
+            {display_path, 0, "fp-contract-allowlist",
+             "allowlisted '" + file + "' no longer sets -ffp-contract in " +
+                 display_path + ": the kNT bitwise contract depends on it"});
+      }
+    }
+  }
+}
+
+bool lintable_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool tensor_cmake(const std::string& display_path) {
+  return ends_with(display_path, "tensor/CMakeLists.txt");
+}
+
+void scan_path(const fs::path& root, std::vector<Finding>* findings) {
+  std::vector<fs::path> files;
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  } else {
+    files.push_back(root);
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    const std::string display = norm_path(p);
+    if (lintable_source(p)) {
+      scan_source(display, p, findings);
+    } else if (tensor_cmake(display)) {
+      scan_tensor_cmake(display, p, findings);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: edgetune_lint <file-or-dir>...\n"
+                 "rules: rng-determinism thread-outside-pool "
+                 "fp-contract-allowlist guarded-by iostream-in-lib\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "edgetune_lint: no such path: %s\n", argv[i]);
+      return 2;
+    }
+    scan_path(root, &findings);
+  }
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "edgetune_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
