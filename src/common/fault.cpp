@@ -1,0 +1,160 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace edgetune {
+
+namespace {
+
+std::uint64_t hash_view(std::string_view s) noexcept {
+  return stable_hash64(s.data(), s.size());
+}
+
+}  // namespace
+
+Result<StatusCode> status_code_from_name(const std::string& name) {
+  static constexpr struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"internal", StatusCode::kInternal},
+      {"unavailable", StatusCode::kUnavailable},
+      {"cancelled", StatusCode::kCancelled},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"already_exists", StatusCode::kAlreadyExists},
+      {"io", StatusCode::kIo},
+  };
+  for (const auto& entry : kCodes) {
+    if (name == entry.name) return entry.code;
+  }
+  return Status::invalid_argument("unknown status code '" + name +
+                                  "' (want e.g. unavailable, "
+                                  "deadline_exceeded, io, internal)");
+}
+
+Result<FaultSpec> parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  bool saw_rate = false;
+  for (const std::string& raw : split(text, ',')) {
+    const std::string field = trim(raw);
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::invalid_argument("fault spec field '" + field +
+                                      "' is not key=value");
+    }
+    const std::string key = trim(field.substr(0, eq));
+    const std::string value = trim(field.substr(eq + 1));
+    if (key == "site") {
+      spec.site = value;
+    } else if (key == "rate") {
+      char* end = nullptr;
+      spec.rate = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || spec.rate < 0 ||
+          spec.rate > 1) {
+        return Status::invalid_argument("fault rate '" + value +
+                                        "' must be a number in [0, 1]");
+      }
+      saw_rate = true;
+    } else if (key == "fail_first") {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || n < 0) {
+        return Status::invalid_argument("fault fail_first '" + value +
+                                        "' must be a non-negative integer");
+      }
+      spec.fail_first = static_cast<int>(n);
+    } else if (key == "code") {
+      ET_ASSIGN_OR_RETURN(spec.code, status_code_from_name(value));
+    } else {
+      return Status::invalid_argument(
+          "unknown fault spec field '" + key +
+          "' (want site, rate, fail_first, code)");
+    }
+  }
+  if (spec.site.empty()) {
+    return Status::invalid_argument("fault spec '" + text +
+                                    "' is missing site=");
+  }
+  if (!saw_rate && spec.fail_first == 0) {
+    return Status::invalid_argument("fault spec for site '" + spec.site +
+                                    "' needs rate= or fail_first=");
+  }
+  return spec;
+}
+
+Result<std::vector<FaultSpec>> parse_fault_plan(const std::string& text) {
+  std::vector<FaultSpec> plan;
+  for (const std::string& part : split(text, ';')) {
+    if (trim(part).empty()) continue;
+    ET_ASSIGN_OR_RETURN(FaultSpec spec, parse_fault_spec(part));
+    plan.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+FaultInjector::Site::Site(FaultSpec s)
+    : spec(std::move(s)), site_hash(stable_hash64(spec.site)) {}
+
+FaultInjector::FaultInjector(std::uint64_t seed, std::vector<FaultSpec> plan)
+    : seed_(seed) {
+  sites_.reserve(plan.size());
+  for (FaultSpec& spec : plan) sites_.emplace_back(std::move(spec));
+}
+
+FaultInjector::FaultInjector(const FaultInjector& other)
+    : seed_(other.seed_), sites_(other.sites_) {}
+
+FaultInjector& FaultInjector::operator=(const FaultInjector& other) {
+  seed_ = other.seed_;
+  sites_ = other.sites_;
+  return *this;
+}
+
+Status FaultInjector::fire(std::string_view site, std::string_view key,
+                           int attempt) const {
+  if (sites_.empty()) return Status::ok();
+  return fire(site, hash_view(key), attempt);
+}
+
+Status FaultInjector::fire(std::string_view site, std::uint64_t key_hash,
+                           int attempt) const {
+  if (sites_.empty()) return Status::ok();
+  const std::uint64_t site_hash = hash_view(site);
+  for (const Site& s : sites_) {
+    if (s.site_hash != site_hash || s.spec.site != site) continue;
+    bool inject = false;
+    if (s.spec.fail_first > 0) {
+      inject = attempt < s.spec.fail_first;
+    } else if (s.spec.rate > 0) {
+      // Per-(site, key) stream; distinct attempts draw from distinct points
+      // of it so a retried attempt gets an independent decision.
+      Rng rng(seed_ ^ site_hash ^ key_hash ^
+              (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt + 1)));
+      inject = rng.uniform() < s.spec.rate;
+    }
+    if (inject) {
+      s.injected.fetch_add(1, std::memory_order_relaxed);
+      return Status(s.spec.code,
+                    "injected fault at " + s.spec.site + " (attempt " +
+                        std::to_string(attempt) + ")");
+    }
+  }
+  return Status::ok();
+}
+
+std::int64_t FaultInjector::injected(std::string_view site) const noexcept {
+  for (const Site& s : sites_) {
+    if (s.spec.site == site) return s.injected.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the trial pipeline (DESIGN §5.4).
+//
+// A FaultInjector holds a small plan of named fault *sites* — places in the
+// pipeline that have opted into injection (trial execution, inference
+// measurement, cache persistence) — each with an injection rate or a
+// fail-first-N count and the StatusCode to inject. Decisions are a pure
+// function of (seed, site, key, attempt): the injector derives a private RNG
+// stream from `seed ^ stable_hash64(site) ^ stable_hash64(key)` (the PR-1
+// per-arch pattern), so the SAME faults fire for the SAME work items no
+// matter how many trial workers run, in what order they are scheduled, or
+// whether a request is retried by a different thread. That makes
+// parallel ≡ serial determinism testable *under failure*.
+//
+// Disabled injectors (the default) cost one empty-vector branch per check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// Well-known fault sites. A site string is free-form — these are the ones
+/// the library fires today.
+namespace fault_site {
+inline constexpr const char* kTrialTrain = "trial.train";
+inline constexpr const char* kInferenceMeasure = "inference.measure";
+inline constexpr const char* kCachePersist = "cache.persist";
+}  // namespace fault_site
+
+/// One configured fault: where, how often (or how many leading attempts),
+/// and what error to inject.
+struct FaultSpec {
+  std::string site;
+  /// Injection probability per (key, attempt) decision, in [0, 1]. Ignored
+  /// when fail_first > 0.
+  double rate = 0;
+  /// Fail the first N attempts of every key at this site (then succeed) —
+  /// the canonical transient fault for exercising retry paths.
+  int fail_first = 0;
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+/// Parses one spec of the form
+///   site=trial.train,rate=0.1,code=unavailable
+///   site=inference.measure,fail_first=2,code=deadline_exceeded
+/// Unknown fields, missing site, or rate outside [0, 1] are errors.
+Result<FaultSpec> parse_fault_spec(const std::string& text);
+
+/// Parses a ';'-separated list of specs (one --inject-fault flag can carry a
+/// whole plan). Empty input is an empty plan.
+Result<std::vector<FaultSpec>> parse_fault_plan(const std::string& text);
+
+/// Inverse of status_code_name, over lower-case names ("unavailable",
+/// "deadline_exceeded", "io", ...). "ok" is rejected: injecting success is
+/// not a fault.
+Result<StatusCode> status_code_from_name(const std::string& name);
+
+class FaultInjector {
+ public:
+  /// Disabled: fire() always returns OK.
+  FaultInjector() = default;
+  FaultInjector(std::uint64_t seed, std::vector<FaultSpec> plan);
+
+  FaultInjector(const FaultInjector& other);
+  FaultInjector& operator=(const FaultInjector& other);
+
+  [[nodiscard]] bool enabled() const noexcept { return !sites_.empty(); }
+
+  /// One injection decision for `attempt` (0-based) of the work item `key`
+  /// at `site`. Returns OK (no fault) or the configured error Status. Pure in
+  /// (seed, site, key, attempt) — thread-safe, no decision ordering state.
+  [[nodiscard]] Status fire(std::string_view site, std::string_view key,
+                            int attempt = 0) const;
+
+  /// Convenience for callers whose natural key is already a hash.
+  [[nodiscard]] Status fire(std::string_view site, std::uint64_t key_hash,
+                            int attempt = 0) const;
+
+  /// Number of faults injected at `site` since construction (0 for sites not
+  /// in the plan). Observability + test hook.
+  [[nodiscard]] std::int64_t injected(std::string_view site) const noexcept;
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    std::uint64_t site_hash = 0;
+    mutable std::atomic<std::int64_t> injected{0};
+
+    explicit Site(FaultSpec s);
+    Site(const Site& other)
+        : spec(other.spec),
+          site_hash(other.site_hash),
+          injected(other.injected.load(std::memory_order_relaxed)) {}
+    Site& operator=(const Site& other) {
+      spec = other.spec;
+      site_hash = other.site_hash;
+      injected.store(other.injected.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  std::uint64_t seed_ = 0;
+  std::vector<Site> sites_;
+};
+
+}  // namespace edgetune

@@ -1,0 +1,36 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace edgetune {
+
+bool retryable_code(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double retry_backoff_s(const RetryPolicy& policy, std::uint64_t seed,
+                       int next_attempt) {
+  if (next_attempt < 1) next_attempt = 1;
+  const double multiplier = std::max(1.0, policy.backoff_multiplier);
+  double base = std::max(0.0, policy.initial_backoff_s) *
+                std::pow(multiplier, next_attempt - 1);
+  if (policy.max_backoff_s > 0) base = std::min(base, policy.max_backoff_s);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0 || base == 0) return base;
+  // Dedicated stream per (seed, attempt): the draw is independent of any
+  // other RNG consumer, so adding retries never perturbs the search stream.
+  Rng rng(seed ^ (0xd1b54a32d192ed03ULL *
+                  static_cast<std::uint64_t>(next_attempt)));
+  return base * (1.0 - jitter + 2.0 * jitter * rng.uniform());
+}
+
+}  // namespace edgetune

@@ -1,0 +1,81 @@
+// Retry with deterministic exponential backoff over *simulated* time
+// (DESIGN §5.4). The tuning pipeline never sleeps for real: backoff between
+// attempts is an amount of simulated seconds the caller charges to the
+// trial's accounting (SimClock semantics), so a retried run finishes as fast
+// as a clean one in wall time while its report honestly prices the waiting.
+//
+// Only transient codes are retried (kUnavailable, kDeadlineExceeded — the
+// taxonomy production RPC stacks use); everything else fails fast. Jitter is
+// seeded, a pure function of (seed, attempt), so same-seed runs charge
+// identical backoff at any --trial-workers count.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries — the bit-identical
+  /// fast path: retry_call degenerates to one plain invocation).
+  int max_attempts = 1;
+  /// Simulated backoff before the first retry; doubles (times multiplier)
+  /// per subsequent retry, capped at max_backoff_s.
+  double initial_backoff_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 30.0;
+  /// Uniform jitter as a fraction of the base backoff: the charged backoff
+  /// is base * (1 - jitter + 2 * jitter * u), u drawn from the seeded
+  /// stream. 0 disables jitter.
+  double jitter = 0.1;
+  /// Per-attempt deadline in simulated seconds (0 = unlimited). Enforced by
+  /// callers that know their attempt's simulated duration: an attempt that
+  /// ran longer counts as kDeadlineExceeded (and is therefore retryable).
+  double attempt_deadline_s = 0;
+};
+
+/// Transient-code taxonomy: true for codes worth retrying.
+[[nodiscard]] bool retryable_code(StatusCode code) noexcept;
+
+/// Simulated backoff charged before attempt `next_attempt` (1-based retry
+/// index: 1 = the first retry). Deterministic in (policy, seed, next_attempt).
+[[nodiscard]] double retry_backoff_s(const RetryPolicy& policy,
+                                     std::uint64_t seed, int next_attempt);
+
+/// What a retry_call spent: attempts actually made, simulated backoff
+/// charged between them, and the first error seen (OK if none).
+struct RetryStats {
+  int attempts = 0;
+  double backoff_s = 0;
+  Status first_error;
+};
+
+/// Runs `fn(attempt)` (attempt is 0-based) until it succeeds, a
+/// non-retryable error occurs, or policy.max_attempts is exhausted. Returns
+/// the last attempt's Result. Backoff between attempts is charged to
+/// `stats->backoff_s` (simulated seconds — never a real sleep); `stats` may
+/// be null.
+template <typename T, typename Fn>
+Result<T> retry_call(const RetryPolicy& policy, std::uint64_t seed, Fn&& fn,
+                     RetryStats* stats = nullptr) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  RetryStats local;
+  for (int attempt = 0;; ++attempt) {
+    Result<T> result = fn(attempt);
+    local.attempts = attempt + 1;
+    if (result.ok()) {
+      if (stats != nullptr) *stats = std::move(local);
+      return result;
+    }
+    if (local.first_error.is_ok()) local.first_error = result.status();
+    if (attempt + 1 >= max_attempts || !retryable_code(result.status().code())) {
+      if (stats != nullptr) *stats = std::move(local);
+      return result;
+    }
+    local.backoff_s += retry_backoff_s(policy, seed, attempt + 1);
+  }
+}
+
+}  // namespace edgetune

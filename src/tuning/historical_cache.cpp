@@ -54,9 +54,20 @@ HistoricalCache::HistoricalCache(std::string path, std::size_t flush_every)
   buffer << in.rdbuf();
   Result<Json> parsed = Json::parse(buffer.str());
   if (!parsed.ok() || !parsed.value().is_object()) {
-    ET_LOG_WARN << "historical cache at " << path_
-                << " is unreadable; starting empty ("
-                << parsed.status().to_string() << ")";
+    // Quarantine, don't clobber: the next flush would overwrite whatever is
+    // in the file, destroying the evidence (and any salvageable entries).
+    in.close();
+    const std::string quarantine = path_ + ".corrupt";
+    if (std::rename(path_.c_str(), quarantine.c_str()) == 0) {
+      ET_LOG_WARN << "historical cache at " << path_
+                  << " is unreadable; quarantined to " << quarantine
+                  << ", starting empty (" << parsed.status().to_string()
+                  << ")";
+    } else {
+      ET_LOG_WARN << "historical cache at " << path_
+                  << " is unreadable and could not be quarantined; "
+                  << "starting empty (" << parsed.status().to_string() << ")";
+    }
     return;
   }
   for (const auto& [key, value] : parsed.value().as_object()) {
@@ -88,10 +99,7 @@ std::optional<InferenceRecommendation> HistoricalCache::lookup(
 HistoricalCache::~HistoricalCache() {
   MutexLock lock(mutex_);
   if (path_.empty() || dirty_ == 0) return;
-  if (Status status = save_locked(); !status.is_ok()) {
-    ET_LOG_WARN << "final historical-cache flush failed: "
-                << status.to_string();
-  }
+  persist_best_effort_locked();
 }
 
 Status HistoricalCache::store(const std::string& arch_id,
@@ -103,9 +111,27 @@ Status HistoricalCache::store(const std::string& arch_id,
   if (path_.empty()) return Status::ok();
   // Batched persistence: rewriting the whole database on every insert cost
   // O(n²) I/O across a run. Dirty entries are safe in memory until the next
-  // periodic flush (or the final one in the destructor).
-  if (++dirty_ < flush_every_) return Status::ok();
-  return save_locked();
+  // periodic flush (or the final one in the destructor). A failed flush
+  // degrades to memory-only for this batch — the entry IS stored, later
+  // lookups hit it, and the next flush retries the whole file — instead of
+  // converting a successful inference tune into an error for its caller.
+  if (++dirty_ >= flush_every_) persist_best_effort_locked();
+  return Status::ok();
+}
+
+void HistoricalCache::persist_best_effort_locked() const {
+  Status status = save_locked();
+  if (status.is_ok()) return;
+  ++persist_failures_;
+  if (!persist_warned_) {
+    persist_warned_ = true;
+    ET_LOG_WARN << "historical-cache flush to " << path_
+                << " failed; continuing memory-only (" << status.to_string()
+                << "); further failures logged at debug";
+  } else {
+    ET_LOG_DEBUG << "historical-cache flush to " << path_
+                 << " failed again: " << status.to_string();
+  }
 }
 
 std::size_t HistoricalCache::size() const {
@@ -123,6 +149,11 @@ std::size_t HistoricalCache::misses() const {
   return misses_;
 }
 
+std::size_t HistoricalCache::persist_failures() const {
+  MutexLock lock(mutex_);
+  return persist_failures_;
+}
+
 Status HistoricalCache::save() const {
   MutexLock lock(mutex_);
   if (path_.empty() || dirty_ == 0) return Status::ok();
@@ -130,6 +161,12 @@ Status HistoricalCache::save() const {
 }
 
 Status HistoricalCache::save_locked() const {
+  const std::size_t flush_number = flushes_++;
+  if (Status injected = injector_.fire(fault_site::kCachePersist, path_,
+                                       static_cast<int>(flush_number));
+      !injected.is_ok()) {
+    return injected;
+  }
   JsonObject root;
   for (const auto& [key, rec] : entries_) {
     root.emplace(key, rec_to_json(rec));

@@ -2,12 +2,20 @@
 // (architecture id, inference objective), so an architecture is never
 // re-tuned — "with the cost of a small storage overhead". Thread-safe;
 // optionally file-backed (JSON) so results survive across tuning jobs.
+//
+// Persistence is best-effort (DESIGN §5.4): the in-memory map is always
+// authoritative, a failed flush degrades the cache to memory-only semantics
+// for that flush (warn-once log + persist_failures() counter) instead of
+// failing the tuning request that happened to trigger it, and a corrupt
+// database file found at load is quarantined to `<path>.corrupt` rather
+// than silently clobbered by the next flush.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
 
+#include "common/fault.hpp"
 #include "common/thread_annotations.hpp"
 #include "tuning/metrics.hpp"
 
@@ -36,7 +44,10 @@ class HistoricalCache {
       const std::string& arch_id, const std::string& device,
       MetricOfInterest objective) const EDGETUNE_EXCLUDES(mutex_);
 
-  /// Stores (overwrites) a recommendation and persists when file-backed.
+  /// Stores (overwrites) a recommendation; persists when file-backed. The
+  /// returned Status reflects the in-memory store only — always OK today: a
+  /// persistence failure is counted and logged (once), never propagated, so
+  /// a flaky disk cannot turn a successful tune into an error.
   Status store(const std::string& arch_id, const std::string& device,
                MetricOfInterest objective,
                const InferenceRecommendation& rec) EDGETUNE_EXCLUDES(mutex_);
@@ -44,25 +55,40 @@ class HistoricalCache {
   [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t hits() const EDGETUNE_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t misses() const EDGETUNE_EXCLUDES(mutex_);
+  /// Flush attempts that failed (I/O error or injected cache.persist fault).
+  /// The cache kept serving from memory each time.
+  [[nodiscard]] std::size_t persist_failures() const EDGETUNE_EXCLUDES(mutex_);
 
   /// Flushes pending writes to the backing file (no-op when in-memory or
-  /// when nothing changed since the last flush).
+  /// when nothing changed since the last flush). Unlike store(), reports the
+  /// real outcome to callers that explicitly ask for durability.
   Status save() const EDGETUNE_EXCLUDES(mutex_);
+
+  /// Installs a fault injector consulted at the cache.persist site before
+  /// every flush (testing / chaos runs). Call before sharing the cache
+  /// across threads.
+  void set_fault_injector(FaultInjector injector) { injector_ = std::move(injector); }
 
  private:
   static std::string key(const std::string& arch_id,
                          const std::string& device,
                          MetricOfInterest objective);
   Status save_locked() const EDGETUNE_REQUIRES(mutex_);
+  /// save_locked + degrade-on-failure bookkeeping (store/destructor path).
+  void persist_best_effort_locked() const EDGETUNE_REQUIRES(mutex_);
 
   mutable Mutex mutex_;
   std::string path_;  // empty => in-memory; immutable after construction
   std::size_t flush_every_ = 16;  // immutable after construction
+  FaultInjector injector_;        // immutable after set_fault_injector
   mutable std::size_t dirty_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t flushes_ EDGETUNE_GUARDED_BY(mutex_) = 0;
   std::map<std::string, InferenceRecommendation> entries_
       EDGETUNE_GUARDED_BY(mutex_);
   mutable std::size_t hits_ EDGETUNE_GUARDED_BY(mutex_) = 0;
   mutable std::size_t misses_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t persist_failures_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable bool persist_warned_ EDGETUNE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace edgetune

@@ -20,10 +20,13 @@ InferenceTuningServer::InferenceTuningServer(DeviceProfile edge_device,
                                              InferenceServerOptions options)
     : cost_model_(std::move(edge_device)),
       options_(std::move(options)),
+      injector_(options_.seed, options_.faults),
       cache_(options_.cache_path.empty()
                  ? std::make_unique<HistoricalCache>()
                  : std::make_unique<HistoricalCache>(options_.cache_path)),
-      pool_(static_cast<std::size_t>(std::max(1, options_.workers))) {}
+      pool_(static_cast<std::size_t>(std::max(1, options_.workers))) {
+  if (injector_.enabled()) cache_->set_fault_injector(injector_);
+}
 
 SearchSpace InferenceTuningServer::search_space() const {
   SearchSpace space;
@@ -55,60 +58,99 @@ Result<InferenceRecommendation> InferenceTuningServer::tune(
   // Single-flight: if an identical search is already running, wait for it
   // instead of burning a second worker on the same architecture. The cache
   // lookup happens under the inflight lock so each request probes exactly
-  // once: leaders count one miss (and later one store — misses() stays equal
-  // to the entry count), joiners never touch the cache at all.
-  std::promise<Result<InferenceRecommendation>> promise;
-  std::shared_future<Result<InferenceRecommendation>> pending;
-  {
-    MutexLock lock(inflight_mutex_);
-    auto it = inflight_.find(arch.id);
-    if (it != inflight_.end()) {
-      pending = it->second;
-    } else {
-      // A leader stores to the cache BEFORE erasing its inflight entry, so
-      // a lookup under this lock is authoritative: either the search is
-      // still pending (found above) or its result is already visible here.
-      if (auto cached = cache_->lookup(arch.id, cost_model_.profile().name,
-                                       options_.objective)) {
-        // Cache hits cost neither simulated time nor energy (§3.4).
-        InferenceRecommendation rec = *cached;
-        rec.tuning_time_s = 0;
-        rec.tuning_energy_j = 0;
-        return rec;
+  // once per pass: leaders count one miss (and later one store — with no
+  // failures, misses() stays equal to the entry count), joiners never touch
+  // the cache at all. The loop is the failure path: a joiner whose leader
+  // failed re-probes from the top instead of inheriting the error — the
+  // cache may have been populated by a newer flight meanwhile, or this
+  // request becomes the new leader and runs its own (retried) search. Each
+  // failed flight retires permanently before its error is published, so
+  // every pass either terminates or joins a strictly newer flight — with
+  // finitely many concurrent requests the loop cannot spin forever.
+  for (;;) {
+    std::promise<Result<InferenceRecommendation>> promise;
+    std::shared_future<Result<InferenceRecommendation>> pending;
+    {
+      MutexLock lock(inflight_mutex_);
+      auto it = inflight_.find(arch.id);
+      if (it != inflight_.end()) {
+        pending = it->second;
+      } else {
+        // A leader stores to the cache BEFORE erasing its inflight entry, so
+        // a lookup under this lock is authoritative: either the search is
+        // still pending (found above) or its result is already visible here.
+        if (auto cached = cache_->lookup(arch.id, cost_model_.profile().name,
+                                         options_.objective)) {
+          // Cache hits cost neither simulated time nor energy (§3.4).
+          InferenceRecommendation rec = *cached;
+          rec.tuning_time_s = 0;
+          rec.tuning_energy_j = 0;
+          return rec;
+        }
+        inflight_.emplace(arch.id, promise.get_future().share());
       }
-      inflight_.emplace(arch.id, promise.get_future().share());
     }
-  }
-  if (pending.valid()) {
-    single_flight_joins_.fetch_add(1, std::memory_order_relaxed);
-    ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, pending.get());
-    // The joiner paid nothing: the one search's cost is reported by the
-    // leader (and the cache, for later requests).
-    rec.from_cache = true;
-    rec.tuning_time_s = 0;
-    rec.tuning_energy_j = 0;
-    return rec;
-  }
+    if (pending.valid()) {
+      single_flight_joins_.fetch_add(1, std::memory_order_relaxed);
+      Result<InferenceRecommendation> joined = pending.get();
+      if (!joined.ok()) {
+        single_flight_reprobes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // The joiner paid nothing: the one search's cost is reported by the
+      // leader (and the cache, for later requests).
+      InferenceRecommendation rec = std::move(joined).value();
+      rec.from_cache = true;
+      rec.tuning_time_s = 0;
+      rec.tuning_energy_j = 0;
+      return rec;
+    }
 
-  // Leader path: run the search, publish to the cache, then retire the
-  // in-flight entry and wake the joiners.
-  Result<InferenceRecommendation> result = tune_uncached(arch);
-  if (result.ok()) {
-    Status stored = cache_->store(arch.id, cost_model_.profile().name,
-                                  options_.objective, result.value());
-    if (!stored.is_ok()) result = stored;
+    // Leader path: run the search, publish to the cache, then retire the
+    // in-flight entry and wake the joiners. Cache-persistence failures
+    // degrade inside the cache (memory stays authoritative), so a flaky
+    // disk cannot fail this request or its joiners.
+    Result<InferenceRecommendation> result = tune_uncached(arch);
+    if (result.ok()) {
+      // Always OK: the in-memory store cannot fail and persistence errors
+      // degrade inside the cache. Must not early-return here regardless —
+      // the inflight entry below has to retire or joiners would hang.
+      Status stored = cache_->store(arch.id, cost_model_.profile().name,
+                                    options_.objective, result.value());
+      static_cast<void>(stored);
+    }
+    {
+      MutexLock lock(inflight_mutex_);
+      inflight_.erase(arch.id);
+    }
+    promise.set_value(result);
+    return result;
   }
-  {
-    MutexLock lock(inflight_mutex_);
-    inflight_.erase(arch.id);
-  }
-  promise.set_value(result);
-  return result;
 }
 
 Result<InferenceRecommendation> InferenceTuningServer::tune_uncached(
     const ArchSpec& arch) {
   uncached_runs_.fetch_add(1, std::memory_order_relaxed);
+  RetryStats stats;
+  Result<InferenceRecommendation> result =
+      retry_call<InferenceRecommendation>(
+          options_.retry, options_.seed ^ stable_hash64(arch.id),
+          [&](int attempt) { return tune_attempt(arch, attempt); }, &stats);
+  // Backoff between attempts is simulated waiting, charged to the tuning
+  // bill exactly like emulator time (never a real sleep).
+  if (result.ok() && stats.backoff_s > 0) {
+    result.value().tuning_time_s += stats.backoff_s;
+  }
+  return result;
+}
+
+Result<InferenceRecommendation> InferenceTuningServer::tune_attempt(
+    const ArchSpec& arch, int attempt) {
+  if (Status injected =
+          injector_.fire(fault_site::kInferenceMeasure, arch.id, attempt);
+      !injected.is_ok()) {
+    return injected;
+  }
   SearchSpace space = search_space();
   HyperBandOptions hb;
   hb.min_resource = 1;

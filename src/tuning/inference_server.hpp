@@ -15,6 +15,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/fault.hpp"
+#include "common/retry.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "device/cost_model.hpp"
@@ -36,6 +38,14 @@ struct InferenceServerOptions {
   std::string cache_path;          // empty => in-memory cache
   /// Ablation switch: false re-tunes every request (no historical reuse).
   bool use_cache = true;
+  /// Deterministic fault plan (sites inference.measure / cache.persist fire
+  /// here). Empty = injection off, zero-cost.
+  std::vector<FaultSpec> faults;
+  /// Retry policy for uncached tuning runs. Transient failures (injected or
+  /// real) are retried with seeded-jitter exponential backoff; the backoff
+  /// is charged to the recommendation's simulated tuning_time_s, never a
+  /// real sleep. Default max_attempts=1 is the bit-identical fast path.
+  RetryPolicy retry;
 };
 
 class InferenceTuningServer {
@@ -89,27 +99,51 @@ class InferenceTuningServer {
   [[nodiscard]] std::int64_t single_flight_joins() const noexcept {
     return single_flight_joins_.load(std::memory_order_relaxed);
   }
+  /// Number of joins that observed their leader fail and went back to
+  /// re-probe (cache, a newer flight, or leadership) instead of inheriting
+  /// the leader's error.
+  [[nodiscard]] std::int64_t single_flight_reprobes() const noexcept {
+    return single_flight_reprobes_.load(std::memory_order_relaxed);
+  }
+  /// The injector consulted at this server's fault sites (test hook for
+  /// injected-fault counters).
+  [[nodiscard]] const FaultInjector& fault_injector() const noexcept {
+    return injector_;
+  }
 
  private:
-  // Runs the actual search — optimize() callbacks execute inside, so the
-  // in-flight lock must be released (no mutex held across user callbacks).
+  // Retry shell around tune_attempt: transient failures back off in
+  // simulated time and re-run; the charged backoff lands in the returned
+  // recommendation's tuning_time_s.
   [[nodiscard]] Result<InferenceRecommendation> tune_uncached(
       const ArchSpec& arch) EDGETUNE_EXCLUDES(inflight_mutex_);
 
+  // Runs one actual search attempt — optimize() callbacks execute inside, so
+  // the in-flight lock must be released (no mutex held across user
+  // callbacks).
+  [[nodiscard]] Result<InferenceRecommendation> tune_attempt(
+      const ArchSpec& arch, int attempt) EDGETUNE_EXCLUDES(inflight_mutex_);
+
   CostModel cost_model_;
   InferenceServerOptions options_;
+  FaultInjector injector_;
   std::unique_ptr<HistoricalCache> cache_;
   ThreadPool pool_;
   std::atomic<int> active_tunes_{0};
   std::atomic<int> peak_tunes_{0};
   std::atomic<std::int64_t> uncached_runs_{0};
   std::atomic<std::int64_t> single_flight_joins_{0};
+  std::atomic<std::int64_t> single_flight_reprobes_{0};
 
   // Single-flight dedup: at most one search per architecture is in flight;
   // concurrent requests for the same architecture wait on the leader's
   // future. Leaders store to the historical cache BEFORE erasing their entry,
   // so a request that misses both the cache and this map under the lock is
-  // guaranteed to become a leader, not re-run a finished search.
+  // guaranteed to become a leader, not re-run a finished search. A leader
+  // that FAILS also erases its entry before publishing the error, and
+  // joiners that observe a failed flight loop back to re-probe (and possibly
+  // lead their own retried search) — a transient leader error is never
+  // fanned out to its joiners.
   Mutex inflight_mutex_;
   std::unordered_map<std::string,
                      std::shared_future<Result<InferenceRecommendation>>>

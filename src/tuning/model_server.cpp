@@ -5,6 +5,9 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/gemm.hpp"
@@ -58,8 +61,13 @@ EdgeTune::EdgeTune(EdgeTuneOptions options)
         if (o.runner.seed == TrialRunnerOptions{}.seed) {
           o.runner.seed = o.seed;
         }
+        // One --inject-fault plan covers the whole pipeline: forward it to
+        // the inference server's sites unless that server was configured
+        // with its own plan explicitly.
+        if (o.inference.faults.empty()) o.inference.faults = o.faults;
         return o;
       }()),
+      fault_injector_(options_.seed, options_.faults),
       runner_(options_.runner),
       inference_server_(options_.edge_device, options_.inference) {
   // Process-wide: the kernel substrate has one pool shared by every layer.
@@ -121,10 +129,10 @@ Result<TuningReport> EdgeTune::run() {
   // What one evaluation produced, staged until batch commit.
   struct TrialEval {
     double objective = std::numeric_limits<double>::infinity();
-    bool logged = false;  // skipped / failed trials leave no log entry
+    bool logged = false;  // only target-accuracy skips leave no log entry
     TrialLog log;
     double inference_energy_j = 0;
-    double wall_s = 0;  // this trial's simulated span (duration + stall)
+    double wall_s = 0;  // simulated span (duration + stall + retry backoff)
   };
 
   // `incumbent_override` >= 0 freezes the HyperPower unpromising-kill
@@ -155,10 +163,54 @@ Result<TuningReport> EdgeTune::run() {
       inference_future = inference_server_.submit(arch.value());
     }
 
-    Result<TrialOutcome> outcome = runner_.run(config, budget);
+    // Fault/retry identity of this trial. Content-keyed (config + resource),
+    // NOT order-keyed: injected faults and backoff jitter are then pure
+    // functions of the seed and the work item, identical at any
+    // --trial-workers count and any completion order.
+    const std::string trial_key =
+        config_to_string(config) + "|r=" + format_double(resource, 6);
+    const std::uint64_t trial_seed = options_.seed ^ stable_hash64(trial_key);
+
+    TrialLog& log = out.log;
+    log.config = config;
+    log.resource = resource;
+    log.budget = budget;
+
+    RetryStats retry;
+    Result<TrialOutcome> outcome = retry_call<TrialOutcome>(
+        options_.trial_retry, trial_seed,
+        [&](int attempt) -> Result<TrialOutcome> {
+          if (Status injected = fault_injector_.fire(fault_site::kTrialTrain,
+                                                     trial_key, attempt);
+              !injected.is_ok()) {
+            return injected;
+          }
+          Result<TrialOutcome> run = runner_.run(config, budget);
+          const double deadline = options_.trial_retry.attempt_deadline_s;
+          if (run.ok() && deadline > 0 &&
+              run.value().train_time_s > deadline) {
+            return Status::deadline_exceeded(
+                "trial exceeded per-attempt deadline (" +
+                format_double(run.value().train_time_s, 1) + "s > " +
+                format_double(deadline, 1) + "s simulated)");
+          }
+          return run;
+        },
+        &retry);
+    log.attempts = retry.attempts;
+    log.retry_backoff_s = retry.backoff_s;
+
     if (!outcome.ok()) {
+      // Permanent failure (retries exhausted or a non-retryable code):
+      // a first-class log entry with the final status. The search sees an
+      // infinite objective and moves on; the failure-budget check in run()
+      // decides whether the job as a whole survives.
       note_error(outcome.status());
       if (inference_future.valid()) inference_future.wait();
+      log.status = outcome.status();
+      log.objective = std::numeric_limits<double>::infinity();
+      out.logged = true;
+      out.wall_s = retry.backoff_s;  // attempts failed at t=0, only backoff
       return out;
     }
     const TrialOutcome& trial = outcome.value();
@@ -167,7 +219,17 @@ Result<TuningReport> EdgeTune::run() {
     if (options_.inference_aware) {
       Result<InferenceRecommendation> rec_result = inference_future.get();
       if (!rec_result.ok()) {
+        // The trial trained but its inference tune failed permanently
+        // (single-flight joiners re-probe and inference retries happen
+        // inside the server, so this is rare). Charge the training cost.
         note_error(rec_result.status());
+        log.status = rec_result.status();
+        log.accuracy = trial.accuracy;
+        log.duration_s = trial.train_time_s;
+        log.energy_j = trial.train_energy_j;
+        log.objective = std::numeric_limits<double>::infinity();
+        out.logged = true;
+        out.wall_s = trial.train_time_s + retry.backoff_s;
         return out;
       }
       rec = std::move(rec_result).value();
@@ -176,10 +238,6 @@ Result<TuningReport> EdgeTune::run() {
     // --- Accounting (simulated time/energy). The inference server runs
     // pipelined with the trial; only the excess beyond the trial duration
     // stalls the model server (§3.3).
-    TrialLog& log = out.log;
-    log.config = config;
-    log.resource = resource;
-    log.budget = budget;
     log.accuracy = trial.accuracy;
     log.duration_s = trial.train_time_s;
     log.energy_j = trial.train_energy_j;
@@ -227,7 +285,7 @@ Result<TuningReport> EdgeTune::run() {
     out.objective = objective;
     out.logged = true;
     out.inference_energy_j = rec.tuning_energy_j;
-    out.wall_s = log.duration_s + log.inference_stall_s;
+    out.wall_s = log.duration_s + log.inference_stall_s + retry.backoff_s;
 
     if (!power_capped) {
       // A power-capped trial was killed at ~30% progress: its accuracy is
@@ -278,6 +336,9 @@ Result<TuningReport> EdgeTune::run() {
       eval.log.id = static_cast<int>(report.trials.size());
       *std::min_element(worker_load.begin(), worker_load.end()) += eval.wall_s;
       report.tuning_energy_j += eval.log.energy_j + eval.inference_energy_j;
+      if (eval.log.failed()) ++report.failed_trials;
+      if (eval.log.attempts > 1) ++report.retried_trials;
+      report.retry_backoff_s += eval.log.retry_backoff_s;
       report.trials.push_back(std::move(eval.log));
     }
     report.tuning_runtime_s +=
@@ -288,11 +349,28 @@ Result<TuningReport> EdgeTune::run() {
   Rng rng(options_.seed);
   SearchResult result = algorithm->optimize_batch(batch_eval, rng);
   report.best_accuracy = best_accuracy.load();
+  report.first_error = eval_error.first();
   if (!std::isfinite(result.best_objective)) {
-    const Status first_error = eval_error.first();
-    return first_error.is_ok()
+    return report.first_error.is_ok()
                ? Status::internal("tuning produced no finite objective")
-               : first_error;
+               : report.first_error;
+  }
+  // Failure budget: graceful degradation tolerated isolated permanent
+  // failures above; a failure fraction beyond the budget means the run's
+  // conclusions can't be trusted, so surface the aggregated error instead
+  // of a report.
+  if (report.failed_trials > 0 && !report.trials.empty()) {
+    const double failed_fraction =
+        static_cast<double>(report.failed_trials) /
+        static_cast<double>(report.trials.size());
+    if (failed_fraction > options_.max_trial_failure_fraction) {
+      return Status(report.first_error.code(),
+                    std::to_string(report.failed_trials) + " of " +
+                        std::to_string(report.trials.size()) +
+                        " trials failed (budget " +
+                        format_double(options_.max_trial_failure_fraction, 2) +
+                        "); first error: " + report.first_error.to_string());
+    }
   }
   report.best_config = result.best_config;
   report.best_objective = result.best_objective;

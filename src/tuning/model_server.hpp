@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "budget/budget.hpp"
+#include "common/fault.hpp"
+#include "common/retry.hpp"
 #include "tuning/inference_server.hpp"
 #include "tuning/trial_runner.hpp"
 
@@ -70,6 +72,30 @@ struct EdgeTuneOptions {
   /// 0 disables the cap.
   double power_cap_w = 0;
 
+  // --- Reliability (DESIGN §5.4). Defaults are the bit-identical fast
+  // path: no injection, no retries, never abort on isolated failures.
+
+  /// Deterministic fault plan (--inject-fault). Fires at trial.train in the
+  /// model server and is forwarded to the inference server's sites
+  /// (inference.measure, cache.persist) unless options.inference.faults was
+  /// set explicitly. Decisions are pure in (seed, site, key, attempt), so
+  /// injected faults are identical under any trial_workers count.
+  std::vector<FaultSpec> faults;
+
+  /// Retry policy for training trials. Transient failures (kUnavailable,
+  /// kDeadlineExceeded) re-run the trial after seeded-jitter exponential
+  /// backoff charged to *simulated* time; other codes fail the trial
+  /// permanently. max_attempts=1 (default) never retries.
+  RetryPolicy trial_retry;
+
+  /// Failure budget: abort the run with the aggregated error once more than
+  /// this fraction of executed trials failed permanently. The default 1.0
+  /// degrades gracefully — the search continues past isolated permanent
+  /// failures (they are logged, counted, and excluded from the incumbent)
+  /// and only an all-trials-failed run errors out. 0 aborts on the first
+  /// failed trial.
+  double max_trial_failure_fraction = 1.0;
+
   DeviceProfile train_device;  // defaults to the Titan server
   DeviceProfile edge_device;   // defaults to the Raspberry Pi 3 B+
   /// Additional edge devices to produce deployment recommendations for
@@ -85,7 +111,9 @@ struct EdgeTuneOptions {
   EdgeTuneOptions();
 };
 
-/// One line of the tuning log (feeds Fig 12's per-trial series).
+/// One line of the tuning log (feeds Fig 12's per-trial series). Failed
+/// trials are first-class entries: status carries the final error, attempts
+/// and retry_backoff_s record what the retry layer spent before giving up.
 struct TrialLog {
   int id = 0;
   Config config;
@@ -98,6 +126,11 @@ struct TrialLog {
   bool inference_cached = false;
   double inference_tuning_s = 0;  // inference-server time for this trial
   double inference_stall_s = 0;   // time the model server waited (Fig 6)
+  Status status;                  // OK, or why the trial failed permanently
+  int attempts = 1;               // executions incl. retries (>= 1)
+  double retry_backoff_s = 0;     // simulated backoff charged between them
+
+  [[nodiscard]] bool failed() const noexcept { return !status.is_ok(); }
 };
 
 struct TuningReport {
@@ -113,6 +146,14 @@ struct TuningReport {
   std::vector<TrialLog> trials;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+
+  // Reliability accounting (DESIGN §5.4). All zero/OK on a clean run, and
+  // then omitted from the serialized report so clean reports stay
+  // byte-identical with pre-reliability builds.
+  std::int64_t failed_trials = 0;   // permanently failed (logged) trials
+  std::int64_t retried_trials = 0;  // trials that needed > 1 attempt
+  double retry_backoff_s = 0;       // total simulated backoff charged
+  Status first_error;               // first trial failure seen, if any
 };
 
 class EdgeTune {
@@ -134,6 +175,7 @@ class EdgeTune {
 
  private:
   EdgeTuneOptions options_;
+  FaultInjector fault_injector_;  // fires at trial.train
   TrialRunner runner_;
   InferenceTuningServer inference_server_;
 };

@@ -1,7 +1,10 @@
 #include "tuning/report_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
+
+#include "common/fault.hpp"
 
 namespace edgetune {
 
@@ -20,6 +23,25 @@ Config config_from_json(const Json* json) {
     if (value.is_number()) config[name] = value.as_number();
   }
   return config;
+}
+
+// Serialized codes use the lower-case flag spelling ("unavailable"), the
+// form status_code_from_name parses back.
+std::string status_code_flag_name(StatusCode code) {
+  std::string name = status_code_name(code);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+// Reads an error object ({"code": ..., "message": ...}); absent => OK.
+Status status_from_json(const Json* json) {
+  if (json == nullptr || !json->is_object()) return Status::ok();
+  Result<StatusCode> code =
+      status_code_from_name(json->get_string("code", "internal"));
+  return Status(code.ok() ? code.value() : StatusCode::kInternal,
+                json->get_string("message", ""));
 }
 
 Json inference_to_json(const InferenceRecommendation& rec) {
@@ -62,6 +84,24 @@ Json report_to_json(const TuningReport& report) {
   root.emplace("tuning_energy_j", report.tuning_energy_j);
   root.emplace("cache_hits", report.cache_hits);
   root.emplace("cache_misses", report.cache_misses);
+  // Reliability fields are emitted only when a run actually failed or
+  // retried something: clean-run reports stay byte-identical with
+  // pre-reliability builds.
+  if (report.failed_trials > 0) {
+    root.emplace("failed_trials", report.failed_trials);
+  }
+  if (report.retried_trials > 0) {
+    root.emplace("retried_trials", report.retried_trials);
+  }
+  if (report.retry_backoff_s > 0) {
+    root.emplace("retry_backoff_s", report.retry_backoff_s);
+  }
+  if (!report.first_error.is_ok()) {
+    JsonObject error;
+    error.emplace("code", status_code_flag_name(report.first_error.code()));
+    error.emplace("message", report.first_error.message());
+    root.emplace("first_error", std::move(error));
+  }
   if (!report.per_device.empty()) {
     JsonObject per_device;
     for (const auto& [device, rec] : report.per_device) {
@@ -86,6 +126,16 @@ Json report_to_json(const TuningReport& report) {
     trial.emplace("inference_cached", t.inference_cached);
     trial.emplace("inference_tuning_s", t.inference_tuning_s);
     trial.emplace("inference_stall_s", t.inference_stall_s);
+    if (t.attempts != 1) trial.emplace("attempts", t.attempts);
+    if (t.retry_backoff_s > 0) {
+      trial.emplace("retry_backoff_s", t.retry_backoff_s);
+    }
+    if (!t.status.is_ok()) {
+      JsonObject status;
+      status.emplace("code", status_code_flag_name(t.status.code()));
+      status.emplace("message", t.status.message());
+      trial.emplace("status", std::move(status));
+    }
     trials.push_back(Json(std::move(trial)));
   }
   root.emplace("trials", std::move(trials));
@@ -109,6 +159,12 @@ Result<TuningReport> report_from_json(const Json& json) {
       static_cast<std::size_t>(json.get_number("cache_hits", 0));
   report.cache_misses =
       static_cast<std::size_t>(json.get_number("cache_misses", 0));
+  report.failed_trials =
+      static_cast<std::int64_t>(json.get_number("failed_trials", 0));
+  report.retried_trials =
+      static_cast<std::int64_t>(json.get_number("retried_trials", 0));
+  report.retry_backoff_s = json.get_number("retry_backoff_s", 0);
+  report.first_error = status_from_json(json.find("first_error"));
   if (const Json* per_device = json.find("per_device");
       per_device != nullptr && per_device->is_object()) {
     for (const auto& [device, rec] : per_device->as_object()) {
@@ -131,6 +187,9 @@ Result<TuningReport> report_from_json(const Json& json) {
       log.inference_cached = t.get_bool("inference_cached", false);
       log.inference_tuning_s = t.get_number("inference_tuning_s", 0);
       log.inference_stall_s = t.get_number("inference_stall_s", 0);
+      log.attempts = static_cast<int>(t.get_number("attempts", 1));
+      log.retry_backoff_s = t.get_number("retry_backoff_s", 0);
+      log.status = status_from_json(t.find("status"));
       report.trials.push_back(std::move(log));
     }
   }

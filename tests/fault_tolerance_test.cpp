@@ -1,0 +1,456 @@
+// Tests for the reliability layer (DESIGN §5.4): deterministic fault
+// injection, the retry/backoff/deadline policy, first-class failed trials in
+// the tuning report, the failure budget, and best-effort cache persistence.
+// The TSan-covered concurrent cases (leader-fails-joiners-retry, parallel ==
+// serial under injection) live in concurrency_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/fault.hpp"
+#include "common/retry.hpp"
+#include "tuning/historical_cache.hpp"
+#include "tuning/model_server.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+namespace {
+
+// --- FaultSpec / plan parsing ----------------------------------------------
+
+TEST(FaultSpecTest, ParsesRateSpec) {
+  Result<FaultSpec> spec =
+      parse_fault_spec("site=trial.train,rate=0.1,code=unavailable");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().site, "trial.train");
+  EXPECT_DOUBLE_EQ(spec.value().rate, 0.1);
+  EXPECT_EQ(spec.value().fail_first, 0);
+  EXPECT_EQ(spec.value().code, StatusCode::kUnavailable);
+}
+
+TEST(FaultSpecTest, ParsesFailFirstSpecWithSpaces) {
+  Result<FaultSpec> spec = parse_fault_spec(
+      " site = inference.measure , fail_first = 2 , code = deadline_exceeded ");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().site, "inference.measure");
+  EXPECT_EQ(spec.value().fail_first, 2);
+  EXPECT_EQ(spec.value().code, StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_fault_spec("rate=0.5").ok());             // missing site
+  EXPECT_FALSE(parse_fault_spec("site=x").ok());               // no rate/first
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=1.5").ok());      // out of range
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=-0.1").ok());     // out of range
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=abc").ok());      // not a number
+  EXPECT_FALSE(parse_fault_spec("site=x,fail_first=-1").ok());
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=0.5,color=red").ok());
+  EXPECT_FALSE(parse_fault_spec("site=x,rate").ok());          // not key=value
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=0.5,code=ok").ok());
+  EXPECT_FALSE(parse_fault_spec("site=x,rate=0.5,code=bogus").ok());
+}
+
+TEST(FaultSpecTest, ParsesSemicolonSeparatedPlan) {
+  Result<std::vector<FaultSpec>> plan = parse_fault_plan(
+      "site=trial.train,rate=0.2;site=cache.persist,fail_first=1,code=io");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  ASSERT_EQ(plan.value().size(), 2u);
+  EXPECT_EQ(plan.value()[0].site, "trial.train");
+  EXPECT_EQ(plan.value()[1].code, StatusCode::kIo);
+
+  Result<std::vector<FaultSpec>> empty = parse_fault_plan("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+
+  EXPECT_FALSE(parse_fault_plan("site=a,rate=0.1;bogus").ok());
+}
+
+TEST(FaultSpecTest, StatusCodeNamesRoundTrip) {
+  for (const char* name :
+       {"invalid_argument", "not_found", "out_of_range", "failed_precondition",
+        "internal", "unavailable", "cancelled", "deadline_exceeded",
+        "already_exists", "io"}) {
+    Result<StatusCode> code = status_code_from_name(name);
+    ASSERT_TRUE(code.ok()) << name;
+  }
+  EXPECT_FALSE(status_code_from_name("ok").ok());  // success is not a fault
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+std::vector<FaultSpec> one_site(const std::string& site, double rate,
+                                int fail_first = 0) {
+  FaultSpec spec;
+  spec.site = site;
+  spec.rate = rate;
+  spec.fail_first = fail_first;
+  return {spec};
+}
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.fire(fault_site::kTrialTrain, "any").is_ok());
+  EXPECT_EQ(off.injected(fault_site::kTrialTrain), 0);
+}
+
+TEST(FaultInjectorTest, DecisionsArePureInSeedSiteKeyAttempt) {
+  FaultInjector a(42, one_site(fault_site::kTrialTrain, 0.5));
+  FaultInjector b(42, one_site(fault_site::kTrialTrain, 0.5));
+  for (int key = 0; key < 64; ++key) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const std::string k = "trial-" + std::to_string(key);
+      EXPECT_EQ(a.fire(fault_site::kTrialTrain, k, attempt).is_ok(),
+                b.fire(fault_site::kTrialTrain, k, attempt).is_ok())
+          << k << " attempt " << attempt;
+    }
+  }
+  // And repeated fire()s of the same decision agree with themselves: no
+  // hidden ordering state.
+  const bool first = a.fire(fault_site::kTrialTrain, "probe").is_ok();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.fire(fault_site::kTrialTrain, "probe").is_ok(), first);
+  }
+}
+
+TEST(FaultInjectorTest, RateBoundsAndCounter) {
+  FaultInjector always(7, one_site("s", 1.0));
+  FaultInjector never(7, one_site("s", 0.0, /*fail_first=*/0));
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    Status s = always.fire("s", key);
+    EXPECT_FALSE(s.is_ok());
+    if (!s.is_ok()) ++fired;
+    EXPECT_TRUE(never.fire("s", key).is_ok());
+  }
+  EXPECT_EQ(always.injected("s"), fired);
+  EXPECT_EQ(never.injected("s"), 0);
+  // A mid-rate plan fires sometimes, not always — sanity, not statistics.
+  FaultInjector half(7, one_site("s", 0.5));
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!half.fire("s", "k" + std::to_string(i)).is_ok()) ++hits;
+  }
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 200);
+}
+
+TEST(FaultInjectorTest, FailFirstFailsLeadingAttemptsThenSucceeds) {
+  FaultInjector inj(3, one_site("s", 0, /*fail_first=*/2));
+  Status a0 = inj.fire("s", "key", 0);
+  Status a1 = inj.fire("s", "key", 1);
+  EXPECT_EQ(a0.code(), StatusCode::kUnavailable);  // default injected code
+  EXPECT_FALSE(a1.is_ok());
+  EXPECT_TRUE(inj.fire("s", "key", 2).is_ok());
+  EXPECT_TRUE(inj.fire("s", "key", 3).is_ok());
+  // Unknown sites are never in the plan: no-ops.
+  EXPECT_TRUE(inj.fire("other.site", "key", 0).is_ok());
+  EXPECT_EQ(inj.injected("other.site"), 0);
+}
+
+// --- Retry policy -----------------------------------------------------------
+
+TEST(RetryTest, RetryableCodeTaxonomy) {
+  EXPECT_TRUE(retryable_code(StatusCode::kUnavailable));
+  EXPECT_TRUE(retryable_code(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(retryable_code(StatusCode::kOk));
+  EXPECT_FALSE(retryable_code(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(retryable_code(StatusCode::kInternal));
+  EXPECT_FALSE(retryable_code(StatusCode::kIo));
+  EXPECT_FALSE(retryable_code(StatusCode::kNotFound));
+  EXPECT_FALSE(retryable_code(StatusCode::kCancelled));
+}
+
+TEST(RetryTest, BackoffScheduleIsDeterministicExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.5;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 4.0;
+  policy.jitter = 0.1;
+  for (int retry = 1; retry <= 8; ++retry) {
+    const double a = retry_backoff_s(policy, 11, retry);
+    const double b = retry_backoff_s(policy, 11, retry);
+    EXPECT_DOUBLE_EQ(a, b) << "same (policy, seed, retry) must charge the "
+                              "same simulated backoff";
+    const double base =
+        std::min(policy.max_backoff_s, 0.5 * std::pow(2.0, retry - 1));
+    EXPECT_GE(a, base * (1 - policy.jitter) - 1e-12) << "retry " << retry;
+    EXPECT_LE(a, base * (1 + policy.jitter) + 1e-12) << "retry " << retry;
+  }
+  // Different seeds jitter differently (almost surely).
+  EXPECT_NE(retry_backoff_s(policy, 1, 1), retry_backoff_s(policy, 2, 1));
+  // Zero jitter is the exact schedule.
+  policy.jitter = 0;
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, 9, 1), 0.5);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, 9, 2), 1.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, 9, 3), 2.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, 9, 5), 4.0);  // capped
+}
+
+TEST(RetryTest, RetryCallSucceedsFirstTryWithoutBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  Result<int> r = retry_call<int>(
+      policy, 1, [](int) -> Result<int> { return 42; }, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0);
+  EXPECT_TRUE(stats.first_error.is_ok());
+}
+
+TEST(RetryTest, RetryCallRecoversFromTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0;
+  RetryStats stats;
+  Result<int> r = retry_call<int>(
+      policy, 1,
+      [](int attempt) -> Result<int> {
+        if (attempt < 2) return Status::unavailable("transient");
+        return attempt;
+      },
+      &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0.5 + 1.0);  // two retries, exact schedule
+  EXPECT_EQ(stats.first_error.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryTest, RetryCallFailsFastOnPermanentCodes) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  int calls = 0;
+  Result<int> r = retry_call<int>(
+      policy, 1,
+      [&](int) -> Result<int> {
+        ++calls;
+        return Status::internal("bug, not weather");
+      },
+      &stats);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0);
+}
+
+TEST(RetryTest, RetryCallExhaustsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  int calls = 0;
+  Result<int> r = retry_call<int>(
+      policy, 1,
+      [&](int) -> Result<int> {
+        ++calls;
+        return Status::unavailable("still down");
+      },
+      &stats);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.backoff_s, 0);  // charged even though the call failed
+}
+
+// --- End-to-end: failed trials in the report -------------------------------
+
+EdgeTuneOptions faulty_options(const std::string& plan) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 240;
+  options.inference.algorithm = "grid";
+  options.seed = 5;
+  Result<std::vector<FaultSpec>> faults = parse_fault_plan(plan);
+  EXPECT_TRUE(faults.ok()) << faults.status().to_string();
+  options.faults = faults.value();
+  return options;
+}
+
+TEST(FaultToleranceTest, PermanentFaultsBecomeFirstClassFailedTrials) {
+  // internal is non-retryable: every injected trial fails on attempt 0 and
+  // must appear in the report with its status, not vanish or kill the run
+  // (the default failure budget degrades gracefully).
+  EdgeTuneOptions options =
+      faulty_options("site=trial.train,rate=0.3,code=internal");
+  options.trial_retry.max_attempts = 3;  // irrelevant for non-retryable codes
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const TuningReport& r = report.value();
+  EXPECT_GT(r.failed_trials, 0);
+  EXPECT_EQ(r.retried_trials, 0);
+  EXPECT_EQ(r.first_error.code(), StatusCode::kInternal);
+  std::int64_t failed_seen = 0;
+  for (const TrialLog& t : r.trials) {
+    if (!t.failed()) continue;
+    ++failed_seen;
+    EXPECT_EQ(t.status.code(), StatusCode::kInternal);
+    EXPECT_EQ(t.attempts, 1);
+    EXPECT_TRUE(std::isinf(t.objective));
+  }
+  EXPECT_EQ(failed_seen, r.failed_trials);
+  // The winner is a real (non-failed) trial.
+  EXPECT_TRUE(std::isfinite(r.best_objective));
+}
+
+TEST(FaultToleranceTest, TransientFaultsAreRetriedAndCharged) {
+  EdgeTuneOptions options =
+      faulty_options("site=trial.train,rate=0.3,code=unavailable");
+  options.trial_retry.max_attempts = 4;
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const TuningReport& r = report.value();
+  EXPECT_GT(r.retried_trials, 0);
+  EXPECT_GT(r.retry_backoff_s, 0);
+  double backoff_sum = 0;
+  for (const TrialLog& t : r.trials) {
+    backoff_sum += t.retry_backoff_s;
+    if (t.attempts > 1 && !t.failed()) {
+      EXPECT_GT(t.retry_backoff_s, 0);
+      EXPECT_GT(t.accuracy, 0);  // recovered: a real result
+    }
+  }
+  EXPECT_DOUBLE_EQ(backoff_sum, r.retry_backoff_s);
+}
+
+TEST(FaultToleranceTest, ZeroFailureBudgetAbortsWithAggregatedError) {
+  EdgeTuneOptions options =
+      faulty_options("site=trial.train,rate=0.3,code=internal");
+  options.max_trial_failure_fraction = 0;
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("trials failed"),
+            std::string::npos)
+      << report.status().to_string();
+}
+
+TEST(FaultToleranceTest, CleanRunReportsNoReliabilityFields) {
+  // The acceptance criterion behind conditional serialization: a clean run's
+  // JSON must not mention the reliability fields at all (byte-identity with
+  // pre-reliability reports).
+  EdgeTuneOptions options = faulty_options("");
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().failed_trials, 0);
+  EXPECT_EQ(report.value().retried_trials, 0);
+  const std::string json = report_to_json(report.value()).dump_pretty();
+  EXPECT_EQ(json.find("failed_trials"), std::string::npos);
+  EXPECT_EQ(json.find("retried_trials"), std::string::npos);
+  EXPECT_EQ(json.find("retry_backoff_s"), std::string::npos);
+  EXPECT_EQ(json.find("first_error"), std::string::npos);
+  EXPECT_EQ(json.find("attempts"), std::string::npos);
+  EXPECT_EQ(json.find("\"status\""), std::string::npos);
+}
+
+TEST(FaultToleranceTest, ReportReliabilityFieldsRoundTripThroughJson) {
+  TuningReport report;
+  report.system = "edgetune";
+  report.failed_trials = 2;
+  report.retried_trials = 3;
+  report.retry_backoff_s = 1.75;
+  report.first_error = Status::unavailable("injected fault at trial.train");
+  TrialLog failed;
+  failed.id = 0;
+  failed.status = Status::deadline_exceeded("too slow");
+  failed.attempts = 4;
+  failed.retry_backoff_s = 1.25;
+  failed.objective = std::numeric_limits<double>::infinity();
+  report.trials.push_back(failed);
+
+  Result<TuningReport> parsed =
+      report_from_json(report_to_json(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().failed_trials, 2);
+  EXPECT_EQ(parsed.value().retried_trials, 3);
+  EXPECT_DOUBLE_EQ(parsed.value().retry_backoff_s, 1.75);
+  EXPECT_EQ(parsed.value().first_error.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parsed.value().first_error.message(),
+            "injected fault at trial.train");
+  ASSERT_EQ(parsed.value().trials.size(), 1u);
+  const TrialLog& t = parsed.value().trials[0];
+  EXPECT_TRUE(t.failed());
+  EXPECT_EQ(t.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(t.status.message(), "too slow");
+  EXPECT_EQ(t.attempts, 4);
+  EXPECT_DOUBLE_EQ(t.retry_backoff_s, 1.25);
+}
+
+// --- Cache: best-effort persistence and corrupt-file quarantine -------------
+
+InferenceRecommendation sample_rec() {
+  InferenceRecommendation rec;
+  rec.config["inf_batch"] = 8;
+  rec.latency_s = 0.02;
+  rec.throughput_sps = 400;
+  return rec;
+}
+
+TEST(CachePersistenceTest, PersistFailureDegradesToMemoryOnly) {
+  const std::string path = ::testing::TempDir() + "/degrade_cache.json";
+  std::remove(path.c_str());
+  {
+    HistoricalCache cache(path, /*flush_every=*/1);
+    FaultInjector inj(5, one_site(fault_site::kCachePersist, 1.0));
+    cache.set_fault_injector(inj);
+    // Every flush fails, yet store() stays OK and memory serves lookups.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(cache
+                      .store("arch" + std::to_string(i), "rpi3b",
+                             MetricOfInterest::kEnergy, sample_rec())
+                      .is_ok());
+    }
+    EXPECT_TRUE(
+        cache.lookup("arch0", "rpi3b", MetricOfInterest::kEnergy).has_value());
+    EXPECT_GE(cache.persist_failures(), 3u);
+    // save() is the explicit-durability API: it DOES report the failure.
+    EXPECT_FALSE(cache.save().is_ok());
+  }
+  // Nothing ever reached disk.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(CachePersistenceTest, CorruptFileIsQuarantinedNotClobbered) {
+  const std::string path = ::testing::TempDir() + "/corrupt_cache.json";
+  const std::string quarantine = path + ".corrupt";
+  std::remove(quarantine.c_str());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{ this is not json";
+  }
+  {
+    HistoricalCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);  // starts empty...
+    // ...and the evidence was moved aside, not silently overwritten.
+    std::ifstream moved(quarantine);
+    ASSERT_TRUE(moved.good());
+    std::string contents;
+    std::getline(moved, contents);
+    EXPECT_EQ(contents, "{ this is not json");
+    EXPECT_TRUE(cache
+                    .store("archQ", "rpi3b", MetricOfInterest::kEnergy,
+                           sample_rec())
+                    .is_ok());
+    EXPECT_TRUE(cache.save().is_ok());
+  }
+  // The next generation loads the fresh, valid database.
+  HistoricalCache reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.lookup("archQ", "rpi3b", MetricOfInterest::kEnergy)
+                  .has_value());
+  std::remove(path.c_str());
+  std::remove(quarantine.c_str());
+}
+
+}  // namespace
+}  // namespace edgetune

@@ -1,0 +1,8 @@
+// Fixture: suppressed real sleep under src/.
+#include <chrono>
+#include <thread>
+
+void nap() {
+  std::this_thread::sleep_for(  // NOLINT(real-sleep-in-lib): fixture escape
+      std::chrono::milliseconds(5));
+}

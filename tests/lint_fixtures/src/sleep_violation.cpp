@@ -1,0 +1,6 @@
+// Fixture: lives under a src/ segment, so real-sleep-in-lib must flag the
+// sleep_for call (library waiting is simulated time, DESIGN §5.4).
+#include <chrono>
+#include <thread>
+
+void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }

@@ -89,6 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
         RuleCase{"guarded-by", "guarded_violation.hpp", "guarded_nolint.hpp"},
         RuleCase{"iostream-in-lib", "src/iostream_violation.cpp",
                  "src/iostream_nolint.cpp"},
+        RuleCase{"real-sleep-in-lib", "src/sleep_violation.cpp",
+                 "src/sleep_nolint.cpp"},
         RuleCase{"fp-contract-allowlist", "tensor_bad", "tensor_nolint"}),
     [](const ::testing::TestParamInfo<RuleCase>& info) {
       std::string name = info.param.rule;

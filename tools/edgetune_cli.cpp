@@ -11,6 +11,7 @@
 //   edgetune --workload NLP --edge-device i7 --report out.json
 #include <cstdio>
 
+#include "common/fault.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "tuning/baselines.hpp"
@@ -92,6 +93,16 @@ int main(int argc, char** argv) {
       .define("save-model", "",
               "retrain the winner at full budget and checkpoint here")
       .define("pareto", "false", "print the Pareto front of the trial log")
+      .define("inject-fault", "",
+              "deterministic fault plan, ';'-separated specs like "
+              "site=trial.train,rate=0.1,code=unavailable (sites: "
+              "trial.train, inference.measure, cache.persist)")
+      .define("trial-attempts", "1",
+              "max executions per trial incl. retries of transient failures "
+              "(backoff charged to simulated time)")
+      .define("max-trial-failures", "1.0",
+              "abort once more than this fraction of trials failed "
+              "permanently (1.0 = degrade gracefully, 0 = fail fast)")
       .define("seed", "7", "master seed")
       .define("help", "false", "print this help");
 
@@ -143,6 +154,17 @@ int main(int argc, char** argv) {
   options.runner.proxy_samples = flags.get_int("proxy-samples");
   options.target_accuracy = flags.get_double("target-accuracy");
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  Result<std::vector<FaultSpec>> faults =
+      parse_fault_plan(flags.get("inject-fault"));
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.status().to_string().c_str());
+    return 2;
+  }
+  options.faults = std::move(faults).value();
+  options.trial_retry.max_attempts =
+      static_cast<int>(flags.get_int("trial-attempts"));
+  options.inference.retry.max_attempts = options.trial_retry.max_attempts;
+  options.max_trial_failure_fraction = flags.get_double("max-trial-failures");
   if (const std::string& extras = flags.get("extra-devices");
       !extras.empty()) {
     for (const std::string& name : split(extras, ',')) {

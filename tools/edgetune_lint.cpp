@@ -21,6 +21,12 @@
 //   iostream-in-lib      bans #include <iostream> in src/ library code;
 //                        libraries report through Status/log, and iostream
 //                        drags in static init order + global locale state.
+//   real-sleep-in-lib    bans sleep_for / sleep_until / usleep in src/
+//                        outside common/thread_pool.*: library waiting is
+//                        SIMULATED time (DESIGN §5.4) — retry backoff and
+//                        stalls are charged to the simulated clock, and a
+//                        real sleep would silently break parallel == serial
+//                        determinism and slow the tests.
 //
 // A finding on a line carrying `// NOLINT(rule-id)` (or bare `// NOLINT`)
 // is suppressed; the comment should say why. Exit code: 0 clean, 1 findings,
@@ -154,6 +160,19 @@ bool in_library(const std::string& path) {
   return path_has_segment(path, "src");
 }
 
+// real-sleep-in-lib: real blocking sleeps may only appear in the ThreadPool
+// TU (its idle wait). Everything else in src/ accounts waiting in simulated
+// time. (Split literals keep the linter from flagging its own table.)
+const std::vector<std::string>& banned_sleep_tokens() {
+  static const std::vector<std::string> tokens = {
+      "sleep_" "for",    // std::this_thread::sleep_for
+      "sleep_" "until",  // std::this_thread::sleep_until
+      "usl" "eep",       // POSIX microsecond sleep
+      "nanosl" "eep",    // POSIX nanosecond sleep
+  };
+  return tokens;
+}
+
 /// True for lines that declare a named mutex variable (member or global):
 ///   [mutable] [std::]{Mutex|mutex} name_;
 /// after stripping comments. Returns the variable name via `name`.
@@ -265,6 +284,20 @@ void scan_source(const std::string& display_path, const fs::path& real_path,
       findings->push_back({display_path, lineno, "iostream-in-lib",
                            "#include <iostream> in library code: report "
                            "through Status/ET_LOG, print in tools/"});
+    }
+
+    // --- real-sleep-in-lib
+    if (in_library(display_path) && !thread_exempt(display_path)) {
+      for (const std::string& banned : banned_sleep_tokens()) {
+        if (has_token(banned) &&
+            !nolint_suppressed(line, "real-sleep-in-lib")) {
+          findings->push_back(
+              {display_path, lineno, "real-sleep-in-lib",
+               "'" + banned + "' in library code: waiting is simulated time "
+               "(charge it to the report, DESIGN §5.4); real sleeps belong "
+               "only in common/thread_pool.*"});
+        }
+      }
     }
 
     // --- guarded-by bookkeeping
@@ -412,7 +445,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: edgetune_lint <file-or-dir>...\n"
                  "rules: rng-determinism thread-outside-pool "
-                 "fp-contract-allowlist guarded-by iostream-in-lib\n");
+                 "fp-contract-allowlist guarded-by iostream-in-lib "
+                 "real-sleep-in-lib\n");
     return 2;
   }
   std::vector<Finding> findings;
