@@ -1,0 +1,180 @@
+// Distributed fleet overhead (DESIGN §5.5).
+//
+// The fleet's promise is "same bytes, more machines": sharding trial
+// measurement across worker processes must not change the report, and its
+// wire overhead must be negligible next to a trial measurement. This
+// harness measures the two layers separately:
+//   1. microbench: length-prefixed frame round-trips over loopback, and
+//      EvalRequest/TrialMeasurement JSON marshal round-trips — the full
+//      per-trial wire cost;
+//   2. end-to-end: one EdgeTune search run serially vs. on an in-process
+//      coordinator with two worker threads, checking byte parity of the
+//      reports and reporting the real wall-clock ratio.
+// All report numbers stay simulated time; only the overhead measurements
+// here are real wall clock (and therefore host-dependent).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "net/frame.hpp"
+#include "net/messages.hpp"
+#include "net/socket.hpp"
+#include "tuning/fleet.hpp"
+#include "tuning/report_io.hpp"
+
+using namespace edgetune;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct LoopbackPair {
+  TcpListener listener;
+  TcpStream client;
+  TcpStream server;
+  bool ok = false;
+};
+
+LoopbackPair make_pair_or_die() {
+  LoopbackPair pair;
+  Result<TcpListener> listener = TcpListener::listen(0);
+  if (!listener.ok()) return pair;
+  pair.listener = std::move(listener).value();
+  Result<TcpStream> client =
+      TcpStream::connect("127.0.0.1", pair.listener.port());
+  if (!client.ok()) return pair;
+  pair.client = std::move(client).value();
+  Result<TcpStream> server = pair.listener.accept();
+  if (!server.ok()) return pair;
+  pair.server = std::move(server).value();
+  pair.ok = true;
+  return pair;
+}
+
+/// Frames/s for `iters` alternating write/read round-trips of `payload`.
+/// Alternating keeps this single-threaded: each frame fits the socket
+/// buffer, so the write never blocks on the unread read side.
+double frame_round_trips_per_s(int iters, const std::string& payload) {
+  LoopbackPair pair = make_pair_or_die();
+  if (!pair.ok) return 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (!write_frame(pair.client, 5, payload).is_ok()) return 0;
+    Result<Frame> frame = read_frame(pair.server);
+    if (!frame.ok() || frame.value().payload.size() != payload.size()) {
+      return 0;
+    }
+  }
+  return iters / seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("fleet", "distributed tuning fleet overhead (DESIGN §5.5)",
+                "wire cost per trial << measurement cost; "
+                "fleet report byte-identical to serial");
+
+  // --- 1. Wire microbenches ------------------------------------------------
+  EdgeTuneOptions options = bench::bench_options(WorkloadKind::kNlp);
+  EdgeTune tuner(options);
+  Rng rng(7);
+  EvalRequest request;
+  request.trial_index = 0;
+  request.config = tuner.model_search_space().sample(rng);
+  request.resource = options.hyperband.max_resource;
+  const TrialMeasurement measurement = tuner.measure_one(request);
+  const std::string result_payload =
+      trial_measurement_to_json(measurement).dump();
+
+  constexpr int kFrameIters = 20000;
+  const double small_fps =
+      frame_round_trips_per_s(kFrameIters, std::string(64, 'x'));
+  const double result_fps = frame_round_trips_per_s(kFrameIters,
+                                                    result_payload);
+
+  constexpr int kMarshalIters = 20000;
+  const auto marshal_start = std::chrono::steady_clock::now();
+  bool marshal_ok = true;
+  for (int i = 0; i < kMarshalIters; ++i) {
+    Result<TrialMeasurement> back = trial_measurement_from_json(
+        trial_measurement_to_json(measurement));
+    marshal_ok = marshal_ok && back.ok() &&
+                 back.value().outcome.accuracy == measurement.outcome.accuracy;
+  }
+  const double marshal_per_s = kMarshalIters / seconds_since(marshal_start);
+
+  TextTable wire({"operation", "per second", "us each"});
+  const auto row = [&](const char* op, double per_s) {
+    wire.add_row({op, bench::fmt(per_s, 0),
+                  bench::fmt(per_s > 0 ? 1e6 / per_s : 0, 2)});
+  };
+  row("64 B frame round-trip", small_fps);
+  row("RESULT frame round-trip", result_fps);
+  row("measurement marshal round-trip", marshal_per_s);
+  std::printf("%s", wire.render().c_str());
+  std::printf("RESULT payload size: %zu bytes\n\n", result_payload.size());
+
+  // --- 2. End-to-end: serial vs. 2-worker fleet ----------------------------
+  const auto serial_start = std::chrono::steady_clock::now();
+  Result<TuningReport> serial = EdgeTune(options).run();
+  const double serial_wall_s = seconds_since(serial_start);
+  if (!serial.ok()) {
+    std::printf("serial run failed: %s\n", serial.status().to_string().c_str());
+    return 1;
+  }
+
+  constexpr int kWorkers = 2;
+  FleetOptions fleet_options;
+  auto fleet = std::make_shared<FleetCoordinator>(
+      fleet_options, measurement_fingerprint(options));
+  if (!fleet->start().is_ok()) {
+    std::printf("fleet coordinator failed to start\n");
+    return 1;
+  }
+  std::vector<std::thread> crew;  // NOLINT(thread-outside-pool)
+  for (int i = 0; i < kWorkers; ++i) {
+    crew.emplace_back([&options, port = fleet->port()] {
+      (void)run_fleet_worker("127.0.0.1", port, options);
+    });
+  }
+  (void)fleet->wait_for_workers(kWorkers, 30);
+  const auto fleet_start = std::chrono::steady_clock::now();
+  EdgeTuneOptions fleet_run = options;
+  fleet_run.fleet = fleet;
+  Result<TuningReport> distributed = EdgeTune(std::move(fleet_run)).run();
+  const double fleet_wall_s = seconds_since(fleet_start);
+  fleet->shutdown();
+  for (std::thread& worker : crew) worker.join();  // NOLINT(thread-outside-pool)
+  if (!distributed.ok()) {
+    std::printf("fleet run failed: %s\n",
+                distributed.status().to_string().c_str());
+    return 1;
+  }
+
+  TextTable e2e({"mode", "wall [s]", "trials", "simulated tuning [m]"});
+  e2e.add_row({"serial", bench::fmt(serial_wall_s, 2),
+               std::to_string(serial.value().trials.size()),
+               bench::fmt(serial.value().tuning_runtime_s / 60.0, 2)});
+  e2e.add_row({"fleet x" + std::to_string(kWorkers),
+               bench::fmt(fleet_wall_s, 2),
+               std::to_string(distributed.value().trials.size()),
+               bench::fmt(distributed.value().tuning_runtime_s / 60.0, 2)});
+  std::printf("%s", e2e.render().c_str());
+
+  const std::string serial_dump = report_to_json(serial.value()).dump();
+  const std::string fleet_dump = report_to_json(distributed.value()).dump();
+  bench::shape_check("wire ops are cheap (>10k frame round-trips/s)",
+                     small_fps > 10000 && marshal_ok);
+  bench::shape_check("fleet report byte-identical to serial",
+                     fleet_dump == serial_dump);
+  return fleet_dump == serial_dump ? 0 : 1;
+}

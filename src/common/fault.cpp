@@ -95,6 +95,15 @@ Result<std::vector<FaultSpec>> parse_fault_plan(const std::string& text) {
   for (const std::string& part : split(text, ';')) {
     if (trim(part).empty()) continue;
     ET_ASSIGN_OR_RETURN(FaultSpec spec, parse_fault_spec(part));
+    for (const FaultSpec& existing : plan) {
+      if (existing.site == spec.site) {
+        return Status::invalid_argument(
+            "duplicate fault spec for site \"" + spec.site +
+            "\": a plan may hold one spec per site (which of two specs "
+            "fired used to depend silently on their order); merge them "
+            "into a single spec");
+      }
+    }
     plan.push_back(std::move(spec));
   }
   return plan;

@@ -30,6 +30,12 @@ namespace fault_site {
 inline constexpr const char* kTrialTrain = "trial.train";
 inline constexpr const char* kInferenceMeasure = "inference.measure";
 inline constexpr const char* kCachePersist = "cache.persist";
+/// Fired by a fleet worker before evaluating a dispatched trial, keyed by
+/// the trial's content key with the coordinator's dispatch attempt as the
+/// attempt number: the worker drops its connection instead of answering
+/// (tuning/fleet.hpp). Per-trial and content-keyed, so an injected plan
+/// fires identically at any fleet size.
+inline constexpr const char* kWorkerDrop = "worker.drop";
 }  // namespace fault_site
 
 /// One configured fault: where, how often (or how many leading attempts),
@@ -52,7 +58,10 @@ struct FaultSpec {
 Result<FaultSpec> parse_fault_spec(const std::string& text);
 
 /// Parses a ';'-separated list of specs (one --inject-fault flag can carry a
-/// whole plan). Empty input is an empty plan.
+/// whole plan). Empty input is an empty plan. Two specs for the same site
+/// are rejected with kInvalidArgument: which duplicate fired used to depend
+/// silently on spec order, so the plan the user thought they injected could
+/// differ from the plan that ran.
 Result<std::vector<FaultSpec>> parse_fault_plan(const std::string& text);
 
 /// Inverse of status_code_name, over lower-case names ("unavailable",

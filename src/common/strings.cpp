@@ -1,6 +1,7 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -45,6 +46,17 @@ std::string trim(const std::string& text) {
 bool starts_with(const std::string& text, const std::string& prefix) {
   return text.size() >= prefix.size() &&
          text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool parse_int(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = value;
+  return true;
 }
 
 std::string format_double(double value, int decimals) {

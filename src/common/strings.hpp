@@ -12,6 +12,11 @@ std::string join(const std::vector<std::string>& parts,
 std::string trim(const std::string& text);
 bool starts_with(const std::string& text, const std::string& prefix);
 
+/// Strict base-10 integer parse: the whole string must be one number.
+/// Returns false (leaving *out untouched) on empty, partial, or
+/// out-of-range input.
+bool parse_int(const std::string& text, int* out);
+
 /// printf-style double formatting with a fixed number of decimals.
 std::string format_double(double value, int decimals);
 

@@ -15,6 +15,7 @@
 // has at least one EDGETUNE_GUARDED_BY user.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -131,6 +132,20 @@ class CondVar {
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed wait with the same ownership contract as wait(). Returns false
+  /// when the wait timed out, true when notified (or woken spuriously)
+  /// first — callers re-check their predicate either way. Real time, so use
+  /// it only for liveness decisions (detecting lost peers, bounding
+  /// shutdown), never for anything that feeds simulated accounting.
+  bool wait_for_seconds(Mutex& mutex, double seconds)
+      EDGETUNE_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::duration<double>(seconds));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -1,0 +1,54 @@
+#include "net/frame.hpp"
+
+namespace edgetune {
+
+Status write_frame(TcpStream& stream, std::uint8_t type,
+                   std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::invalid_argument("frame payload too large: " +
+                                    std::to_string(payload.size()) + " bytes");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buffer;
+  buffer.reserve(5 + payload.size());
+  buffer.push_back(static_cast<char>((len >> 24) & 0xff));
+  buffer.push_back(static_cast<char>((len >> 16) & 0xff));
+  buffer.push_back(static_cast<char>((len >> 8) & 0xff));
+  buffer.push_back(static_cast<char>(len & 0xff));
+  buffer.push_back(static_cast<char>(type));
+  buffer.append(payload);
+  return stream.write_all(buffer.data(), buffer.size());
+}
+
+Result<Frame> read_frame(TcpStream& stream) {
+  unsigned char header[5];
+  if (Status status = stream.read_exact(header, sizeof(header));
+      !status.is_ok()) {
+    return status;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > kMaxFramePayload) {
+    // Unavailable, not invalid_argument: on the wire this means the peer is
+    // corrupt or speaking another protocol — the caller should drop the
+    // connection and reschedule, exactly like a lost worker.
+    return Status::unavailable("frame length prefix " + std::to_string(len) +
+                               " exceeds the " +
+                               std::to_string(kMaxFramePayload) +
+                               "-byte frame limit");
+  }
+  Frame frame;
+  frame.type = header[4];
+  frame.payload.resize(len);
+  if (len > 0) {
+    if (Status status = stream.read_exact(frame.payload.data(), len);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  return frame;
+}
+
+}  // namespace edgetune

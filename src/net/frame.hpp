@@ -1,0 +1,37 @@
+// Length-prefixed framing for the fleet protocol (DESIGN §5.5):
+//
+//   [u32 payload length, big-endian][u8 message type][payload bytes]
+//
+// The length covers the payload only (not the type byte). Anything
+// malformed on the wire — a truncated frame, a length prefix above
+// kMaxFramePayload, a closed peer — fails with kUnavailable before any
+// payload allocation, so a corrupt or hostile peer can neither hang nor
+// balloon the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace edgetune {
+
+/// Upper bound on one frame's payload. Generous for EvalRequest batches and
+/// marshaled measurements (a few KB each); tiny next to memory.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Writes one frame (header + payload, single buffer, one write_all).
+Status write_frame(TcpStream& stream, std::uint8_t type,
+                   std::string_view payload);
+
+/// Reads one frame. Oversized length prefixes are rejected BEFORE reading
+/// (or allocating) the payload; truncation and EOF map to kUnavailable.
+Result<Frame> read_frame(TcpStream& stream);
+
+}  // namespace edgetune

@@ -1,0 +1,87 @@
+#include "net/messages.hpp"
+
+namespace edgetune {
+
+namespace {
+
+bool known_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MessageType::kHello) &&
+         type <= static_cast<std::uint8_t>(MessageType::kError);
+}
+
+}  // namespace
+
+Json hello_to_json(const HelloMessage& hello) {
+  JsonObject body;
+  body.emplace("protocol_version", hello.protocol_version);
+  body.emplace("options_fingerprint", hello.options_fingerprint);
+  return Json(std::move(body));
+}
+
+Result<HelloMessage> hello_from_json(const Json& body) {
+  if (!body.is_object() || body.find("protocol_version") == nullptr ||
+      body.find("options_fingerprint") == nullptr) {
+    return Status::unavailable("malformed HELLO body");
+  }
+  HelloMessage hello;
+  hello.protocol_version =
+      static_cast<int>(body.get_number("protocol_version", 0));
+  hello.options_fingerprint = body.get_string("options_fingerprint", "");
+  return hello;
+}
+
+Json welcome_to_json(const WelcomeMessage& welcome) {
+  JsonObject body;
+  body.emplace("worker_id", welcome.worker_id);
+  return Json(std::move(body));
+}
+
+Result<WelcomeMessage> welcome_from_json(const Json& body) {
+  if (!body.is_object() || body.find("worker_id") == nullptr) {
+    return Status::unavailable("malformed WELCOME body");
+  }
+  WelcomeMessage welcome;
+  welcome.worker_id = static_cast<int>(body.get_number("worker_id", 0));
+  return welcome;
+}
+
+Json pull_to_json(const PullMessage& pull) {
+  JsonObject body;
+  body.emplace("max_trials", pull.max_trials);
+  return Json(std::move(body));
+}
+
+Result<PullMessage> pull_from_json(const Json& body) {
+  if (!body.is_object() || body.find("max_trials") == nullptr) {
+    return Status::unavailable("malformed PULL body");
+  }
+  PullMessage pull;
+  pull.max_trials = static_cast<int>(body.get_number("max_trials", 0));
+  if (pull.max_trials < 1) return Status::unavailable("malformed PULL body");
+  return pull;
+}
+
+Status write_message(TcpStream& stream, MessageType type, const Json& body) {
+  return write_frame(stream, static_cast<std::uint8_t>(type), body.dump());
+}
+
+Result<Message> read_message(TcpStream& stream) {
+  ET_ASSIGN_OR_RETURN(Frame frame, read_frame(stream));
+  if (!known_type(frame.type)) {
+    return Status::unavailable("unknown fleet message type " +
+                               std::to_string(frame.type));
+  }
+  Result<Json> body = Json::parse(frame.payload);
+  if (!body.ok() || !body.value().is_object()) {
+    // Garbage payload: treat the peer as gone rather than crash or guess.
+    return Status::unavailable("undecodable fleet message body (" +
+                               std::to_string(frame.payload.size()) +
+                               " bytes)");
+  }
+  Message message;
+  message.type = static_cast<MessageType>(frame.type);
+  message.body = std::move(body).value();
+  return message;
+}
+
+}  // namespace edgetune

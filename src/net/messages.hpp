@@ -1,0 +1,81 @@
+// Fleet protocol messages (DESIGN §5.5). A coordinator listens; workers
+// connect and PULL work:
+//
+//   worker                coordinator
+//     | -- HELLO ------------> |   protocol version + options fingerprint
+//     | <------------ WELCOME |   (or ERROR + close on mismatch)
+//     | -- PULL -------------> |
+//     | <-------------- BATCH |   dispatched trials (or GOODBYE: drain out)
+//     | -- RESULT -----------> |   one per trial, streamed as they finish
+//     | -- PULL -------------> |   ...
+//
+// Message bodies are JSON objects carried in one frame each (net/frame.hpp).
+// This layer knows nothing of tuning types: BATCH entries and RESULT bodies
+// are opaque Json marshaled by tuning/fleet.cpp via the report_io helpers,
+// which keeps edgetune_net free of a dependency cycle on edgetune_core.
+// Malformed bodies (non-JSON, wrong shape) decode to kUnavailable: the
+// connection is dropped and the work rescheduled, like any lost worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "net/frame.hpp"
+
+namespace edgetune {
+
+/// Bumped on any wire-incompatible change; HELLO carries it and the
+/// coordinator refuses mismatches.
+inline constexpr int kFleetProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kPull = 3,
+  kBatch = 4,
+  kResult = 5,
+  kGoodbye = 6,
+  kError = 7,
+};
+
+/// A decoded frame: type tag plus parsed JSON body (an object; empty object
+/// for bodyless types like GOODBYE).
+struct Message {
+  MessageType type = MessageType::kError;
+  Json body;
+};
+
+/// Worker's opening handshake. The fingerprint hashes every option that
+/// feeds measurement (workload, seed, budget, devices, faults, retry,
+/// inference options): a worker launched with different flags would produce
+/// different — silently wrong — measurements, so the coordinator refuses it.
+struct HelloMessage {
+  int protocol_version = kFleetProtocolVersion;
+  std::string options_fingerprint;  // hex of a stable 64-bit hash
+};
+
+struct WelcomeMessage {
+  int worker_id = 0;
+};
+
+struct PullMessage {
+  int max_trials = 1;
+};
+
+Json hello_to_json(const HelloMessage& hello);
+Result<HelloMessage> hello_from_json(const Json& body);
+Json welcome_to_json(const WelcomeMessage& welcome);
+Result<WelcomeMessage> welcome_from_json(const Json& body);
+Json pull_to_json(const PullMessage& pull);
+Result<PullMessage> pull_from_json(const Json& body);
+
+/// Writes one message (frame type byte = MessageType, payload = dumped
+/// body).
+Status write_message(TcpStream& stream, MessageType type, const Json& body);
+
+/// Reads one message; unknown type bytes and unparsable bodies are
+/// kUnavailable (drop the connection, reschedule the work).
+Result<Message> read_message(TcpStream& stream);
+
+}  // namespace edgetune

@@ -1,0 +1,96 @@
+// Blocking IPv4 TCP socket wrappers for the distributed tuning fleet
+// (DESIGN §5.5). Deliberately minimal: the fleet runs coordinator and
+// workers on one host (or a trusted LAN), so there is no TLS, no
+// non-blocking I/O, and no address-family generality — just loopback
+// listen/connect, full-buffer read/write loops, and receive timeouts so a
+// hung peer surfaces as kUnavailable instead of wedging its caller.
+//
+// Every failure mode maps to Status: connection errors, timeouts, EOF, and
+// short transfers all come back as kUnavailable — the same transient code
+// the RetryPolicy machinery (common/retry.hpp) already reschedules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// One connected stream. Move-only owner of the file descriptor.
+class TcpStream {
+ public:
+  /// Invalid (not connected) stream; valid() is false.
+  TcpStream() = default;
+  /// Adopts an already-connected descriptor (accept path).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Blocking connect to host:port (host is a dotted quad or "localhost").
+  static Result<TcpStream> connect(const std::string& host, int port);
+
+  /// Receive timeout for subsequent reads; 0 restores blocking forever.
+  /// A read that times out fails with kUnavailable.
+  Status set_receive_timeout(double seconds);
+
+  /// Writes exactly `len` bytes (loops over partial writes).
+  Status write_all(const void* data, std::size_t len);
+
+  /// Reads exactly `len` bytes; EOF, error, or timeout is kUnavailable.
+  Status read_exact(void* data, std::size_t len);
+
+  /// Half-close + close. Safe to call twice. A concurrent reader on the
+  /// same stream object is NOT supported (close() from another thread while
+  /// read_exact blocks must go through shutdown_both() instead).
+  void close();
+
+  /// Shuts down both directions without releasing the descriptor: a reader
+  /// blocked in read_exact (possibly on another thread) returns
+  /// kUnavailable. The descriptor itself stays owned until close() or
+  /// destruction, so no fd-reuse race.
+  void shutdown_both();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A loopback listener. Move-only owner of the listening descriptor.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:port and listens. port 0 picks an ephemeral port —
+  /// read the actual one from port().
+  static Result<TcpListener> listen(int port);
+
+  /// Blocking accept. Fails with kUnavailable after shutdown_listener().
+  Result<TcpStream> accept();
+
+  /// Wakes a blocked accept() (which then fails) without releasing the
+  /// descriptor; lets another thread stop the accept loop race-free.
+  void shutdown_listener();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace edgetune

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "tuning/billing.hpp"
 
 namespace edgetune {
 
@@ -92,6 +93,7 @@ Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
   struct Tier2Eval {
     Status status = Status::ok();
     TrialOutcome outcome;
+    std::string arch_id;
     InferenceRecommendation rec;
     double objective = std::numeric_limits<double>::infinity();
   };
@@ -116,6 +118,7 @@ Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
       out.status = arch.status();
       return out.objective;
     }
+    out.arch_id = arch.value().id;
     Result<InferenceRecommendation> rec =
         tuner2.inference_server().tune(arch.value());
     if (!rec.ok()) {
@@ -137,6 +140,35 @@ Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
   const BatchEvalFn batch_eval = pool ? parallel_batch_eval(eval_one, *pool)
                                       : serial_batch_eval(eval_one);
   batch_eval(batch);
+
+  // Re-assign the single-flight tuning bill by content before committing:
+  // the grid members all share one architecture (arch_for depends only on
+  // the pinned model hyperparameters), so with trial_workers > 1 whichever
+  // member happened to win the flight used to carry the whole bill — the
+  // report then differed run to run and from the serial walk. After
+  // resolution the earliest member pays, exactly like the serial run where
+  // it probes the cache first, misses, and leads the one real search. With
+  // the cache disabled there are no flights to share: every member ran its
+  // own search and keeps its own observed bill.
+  if (options.inference.use_cache) {
+    std::vector<FlightMember> members(evals.size());
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      const Tier2Eval& eval = evals[i];
+      FlightMember& member = members[i];
+      member.arch_id = eval.arch_id;
+      member.trained = eval.status.is_ok();
+      member.has_rec = eval.status.is_ok();
+      member.observed_tuning_s = eval.rec.tuning_time_s;
+      member.observed_tuning_energy_j = eval.rec.tuning_energy_j;
+    }
+    const std::vector<BillingShare> shares = resolve_flight_billing(members);
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      if (!evals[i].status.is_ok()) continue;
+      evals[i].rec.from_cache = shares[i].from_cache;
+      evals[i].rec.tuning_time_s = shares[i].tuning_time_s;
+      evals[i].rec.tuning_energy_j = shares[i].tuning_energy_j;
+    }
+  }
 
   // Commit in submission order. Tier-2 wall clock is the makespan of FIFO
   // list scheduling over `workers` (with 1 worker: the plain sum), and each

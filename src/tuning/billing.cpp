@@ -1,0 +1,47 @@
+#include "tuning/billing.hpp"
+
+#include <map>
+
+namespace edgetune {
+
+std::vector<BillingShare> resolve_flight_billing(
+    const std::vector<FlightMember>& members) {
+  std::vector<BillingShare> shares(members.size());
+
+  struct Group {
+    std::size_t first = 0;  // earliest member index — the serial leader
+    double cost_s = 0;
+    double cost_j = 0;
+  };
+  std::map<std::string, Group> groups;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const FlightMember& m = members[i];
+    if (!m.has_rec || m.arch_id.empty()) continue;
+    auto [it, inserted] = groups.emplace(m.arch_id, Group{i, 0, 0});
+    Group& g = it->second;
+    if (i < g.first) g.first = i;
+    // At most one member observed the flight's real cost; max() recovers it
+    // no matter which member that was.
+    if (m.observed_tuning_s > g.cost_s) g.cost_s = m.observed_tuning_s;
+    if (m.observed_tuning_energy_j > g.cost_j) {
+      g.cost_j = m.observed_tuning_energy_j;
+    }
+  }
+
+  for (const auto& [arch_id, g] : groups) {
+    // A serial run charges the group's first-submitted member — it probes
+    // the cache first, misses, and leads the one real search. If that
+    // member's training failed, the serial walk discards its recommendation
+    // and the cost never reaches the report; later members are plain cache
+    // hits. Replicate both cases exactly.
+    if (g.cost_s <= 0 && g.cost_j <= 0) continue;  // flight was a cache hit
+    const FlightMember& leader = members[g.first];
+    if (!leader.trained) continue;
+    shares[g.first].from_cache = false;
+    shares[g.first].tuning_time_s = g.cost_s;
+    shares[g.first].tuning_energy_j = g.cost_j;
+  }
+  return shares;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,61 @@
+// Deterministic single-flight billing (DESIGN §5.5).
+//
+// The inference server dedupes concurrent tuning requests for one
+// architecture into a single flight; exactly one requester observes the
+// flight's cost (nonzero tuning_time_s on its recommendation). WHICH
+// requester that is depends on thread scheduling, so charging the observer
+// made same-seed parallel reports differ run to run — and differ from the
+// serial run, where the first-submitted requester is always the one that
+// misses the cache and pays.
+//
+// resolve_flight_billing() re-assigns the observed cost by CONTENT: within
+// each batch, trials are grouped by architecture and the whole group's cost
+// is charged to the member the serial walk would have charged — the
+// earliest-committed member, provided it trained successfully (a serial run
+// discards the recommendation of a trial whose training failed, so its cost
+// never reaches the report). Every other member is reported as a cache hit
+// with zero cost, exactly like a serial joiner. The resolution is a pure
+// function of the batch's contents, so any execution — serial, local pool,
+// or a remote fleet — produces byte-identical accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgetune {
+
+/// One batch member's observation, in batch commit order. Members whose
+/// architecture could not even be derived are not flight members: pass
+/// has_rec = false and an empty arch_id; they receive the default share.
+struct FlightMember {
+  std::string arch_id;
+  /// Training succeeded — the member's log carries inference fields at all.
+  bool trained = false;
+  /// The inference flight produced a recommendation for this member.
+  bool has_rec = false;
+  /// Cost fields as observed on the member's recommendation (nonzero only
+  /// on the scheduling-dependent flight leader; zero on joiners and cache
+  /// hits).
+  double observed_tuning_s = 0;
+  double observed_tuning_energy_j = 0;
+};
+
+/// What the member's trial log should report after resolution.
+struct BillingShare {
+  bool from_cache = true;
+  double tuning_time_s = 0;
+  double tuning_energy_j = 0;
+};
+
+/// Resolves billing for one committed batch; returns one share per member,
+/// in input order. Within each arch group the group's cost (max over the
+/// members' observations — at most one is nonzero) is charged to the
+/// earliest member iff that member trained successfully; everyone else is a
+/// zero-cost cache hit. A group whose flight was itself a cache hit
+/// (observed cost zero everywhere: the architecture was tuned in an earlier
+/// batch or preloaded from the persistent cache) stays all-hit.
+std::vector<BillingShare> resolve_flight_billing(
+    const std::vector<FlightMember>& members);
+
+}  // namespace edgetune

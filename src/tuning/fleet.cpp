@@ -1,0 +1,576 @@
+#include "tuning/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "net/messages.hpp"
+#include "search/param.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+
+namespace {
+
+/// Poll quantum for the coordinator's liveness loops. Real time; only
+/// controls how promptly losses are noticed, never any reported number.
+constexpr double kTickSeconds = 0.05;
+
+Json retry_policy_to_json(const RetryPolicy& retry) {
+  JsonObject obj;
+  obj.emplace("max_attempts", retry.max_attempts);
+  obj.emplace("initial_backoff_s", retry.initial_backoff_s);
+  obj.emplace("backoff_multiplier", retry.backoff_multiplier);
+  obj.emplace("max_backoff_s", retry.max_backoff_s);
+  obj.emplace("jitter", retry.jitter);
+  obj.emplace("attempt_deadline_s", retry.attempt_deadline_s);
+  return Json(std::move(obj));
+}
+
+Json fault_plan_to_json(const std::vector<FaultSpec>& plan) {
+  JsonArray arr;
+  arr.reserve(plan.size());
+  for (const FaultSpec& spec : plan) {
+    JsonObject obj;
+    obj.emplace("site", spec.site);
+    obj.emplace("rate", spec.rate);
+    obj.emplace("fail_first", spec.fail_first);
+    obj.emplace("code", static_cast<int>(spec.code));
+    arr.push_back(Json(std::move(obj)));
+  }
+  return Json(std::move(arr));
+}
+
+Json device_to_json(const DeviceProfile& device) {
+  JsonObject obj;
+  obj.emplace("name", device.name);
+  obj.emplace("max_cores", device.max_cores);
+  obj.emplace("base_freq_ghz", device.base_freq_ghz);
+  obj.emplace("flops_per_cycle_per_core", device.flops_per_cycle_per_core);
+  obj.emplace("mem_bandwidth_gbs", device.mem_bandwidth_gbs);
+  obj.emplace("ram_bytes", device.ram_bytes);
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+std::string trial_content_key(const EvalRequest& request) {
+  return config_to_string(request.config) + "|r=" +
+         format_double(request.resource, 6);
+}
+
+std::string measurement_fingerprint(const EdgeTuneOptions& options) {
+  JsonObject fp;
+  fp.emplace("workload", static_cast<int>(options.workload));
+  fp.emplace("budget_policy", options.budget_policy);
+  // Seeds are 64-bit; a JSON double would drop bits past 2^53.
+  fp.emplace("seed", std::to_string(options.seed));
+  fp.emplace("intra_op_threads", options.intra_op_threads);
+  fp.emplace("inference_aware", options.inference_aware);
+  fp.emplace("trial_retry", retry_policy_to_json(options.trial_retry));
+  fp.emplace("faults", fault_plan_to_json(options.faults));
+  fp.emplace("train_device", device_to_json(options.train_device));
+  fp.emplace("edge_device", device_to_json(options.edge_device));
+  {
+    JsonObject runner;
+    runner.emplace("proxy_samples", options.runner.proxy_samples);
+    runner.emplace("validation_fraction", options.runner.validation_fraction);
+    runner.emplace("seed", std::to_string(options.runner.seed));
+    runner.emplace("momentum", options.runner.momentum);
+    fp.emplace("runner", Json(std::move(runner)));
+  }
+  {
+    // inference.workers is scheduling, not content; cache_path is rejected
+    // in fleet mode. Everything else shapes the recommendation.
+    JsonObject inf;
+    inf.emplace("objective", static_cast<int>(options.inference.objective));
+    inf.emplace("algorithm", options.inference.algorithm);
+    inf.emplace("max_batch", options.inference.max_batch);
+    inf.emplace("max_memory_bytes", options.inference.max_memory_bytes);
+    inf.emplace("seed", std::to_string(options.inference.seed));
+    inf.emplace("use_cache", options.inference.use_cache);
+    inf.emplace("retry", retry_policy_to_json(options.inference.retry));
+    inf.emplace("faults", fault_plan_to_json(options.inference.faults));
+    fp.emplace("inference", Json(std::move(inf)));
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(
+                    stable_hash64(Json(std::move(fp)).dump())));
+  return std::string(hex);
+}
+
+// --- FleetCoordinator -------------------------------------------------------
+
+FleetCoordinator::FleetCoordinator(FleetOptions options,
+                                   std::string fingerprint)
+    : options_(std::move(options)), fingerprint_(std::move(fingerprint)) {}
+
+FleetCoordinator::~FleetCoordinator() { shutdown(); }
+
+Status FleetCoordinator::start() {
+  ET_ASSIGN_OR_RETURN(listener_, TcpListener::listen(options_.port));
+  {
+    MutexLock lock(mutex_);
+    started_ = true;
+  }
+  accept_thread_ =                       // one long-lived service thread, not
+      std::thread([this] {               // NOLINT(thread-outside-pool)
+        accept_loop();                   // pooled work
+      });
+  ET_LOG_INFO << "fleet coordinator listening on 127.0.0.1:" << port();
+  return Status::ok();
+}
+
+Status FleetCoordinator::wait_for_workers(int count, double timeout_s) {
+  MutexLock lock(mutex_);
+  double waited_s = 0;
+  while (total_joined_ < count && !shutting_down_) {
+    if (waited_s >= timeout_s) {
+      return Status::deadline_exceeded(
+          "only " + std::to_string(total_joined_) + " of " +
+          std::to_string(count) + " fleet workers connected within " +
+          format_double(timeout_s, 1) + "s");
+    }
+    if (!state_cv_.wait_for_seconds(mutex_, kTickSeconds)) {
+      waited_s += kTickSeconds;
+    }
+  }
+  return Status::ok();
+}
+
+int FleetCoordinator::connected_workers() const {
+  MutexLock lock(mutex_);
+  return connected_;
+}
+
+bool FleetCoordinator::has_queued_work() const {
+  if (slots_ == nullptr) return false;
+  for (const Slot& slot : *slots_) {
+    if (slot.state == SlotState::kQueued) return true;
+  }
+  return false;
+}
+
+void FleetCoordinator::fail_remaining(const std::string& why) {
+  if (slots_ == nullptr) return;
+  for (Slot& slot : *slots_) {
+    if (slot.state == SlotState::kDone) continue;
+    slot.result = TrialMeasurement{};
+    slot.result.train_status = Status::unavailable(why);
+    slot.result.attempts = std::max(1, slot.dispatches);
+    slot.state = SlotState::kDone;
+  }
+  remaining_ = 0;
+}
+
+void FleetCoordinator::requeue(const std::vector<Grant>& grants,
+                               const std::string& why) {
+  for (const Grant& grant : grants) {
+    if (grant.generation != generation_ || slots_ == nullptr) continue;
+    Slot& slot = (*slots_)[grant.index];
+    // Only the grant that currently owns the slot may return it: the state
+    // and dispatch-count check rejects a stale grant whose trial was
+    // already re-dispatched (or finished) elsewhere.
+    if (slot.state != SlotState::kDispatched ||
+        slot.dispatches != grant.attempt + 1) {
+      continue;
+    }
+    if (slot.dispatches >= options_.max_dispatch_attempts) {
+      slot.result = TrialMeasurement{};
+      slot.result.train_status = Status::unavailable(
+          "fleet worker lost after " + std::to_string(slot.dispatches) +
+          " dispatch attempts (" + why + ")");
+      slot.result.attempts = slot.dispatches;
+      slot.state = SlotState::kDone;
+      --remaining_;
+    } else {
+      slot.state = SlotState::kQueued;
+    }
+  }
+  work_cv_.notify_all();
+  state_cv_.notify_all();
+}
+
+std::vector<TrialMeasurement> FleetCoordinator::measure_batch(
+    const std::vector<EvalRequest>& batch) {
+  std::vector<TrialMeasurement> out(batch.size());
+  if (batch.empty()) return out;
+  std::vector<Slot> slots(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) slots[i].request = batch[i];
+
+  MutexLock lock(mutex_);
+  ++generation_;
+  slots_ = &slots;
+  remaining_ = batch.size();
+  work_cv_.notify_all();
+  double no_worker_s = 0;
+  while (remaining_ > 0) {
+    if (shutting_down_) {
+      fail_remaining("fleet coordinator shut down mid-batch");
+      break;
+    }
+    if (connected_ == 0) {
+      if (no_worker_s >= options_.no_worker_grace_s) {
+        ET_LOG_WARN << "fleet: no workers connected for "
+                    << format_double(no_worker_s, 1) << "s with "
+                    << remaining_ << " trials pending — failing them";
+        fail_remaining("no fleet workers available");
+        break;
+      }
+      if (!state_cv_.wait_for_seconds(mutex_, kTickSeconds)) {
+        no_worker_s += kTickSeconds;
+      }
+    } else {
+      no_worker_s = 0;
+      (void)state_cv_.wait_for_seconds(mutex_, kTickSeconds);
+    }
+  }
+  slots_ = nullptr;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i] = std::move(slots[i].result);
+  }
+  return out;
+}
+
+void FleetCoordinator::accept_loop() {
+  int consecutive_failures = 0;
+  for (;;) {
+    Result<TcpStream> conn = listener_.accept();
+    MutexLock lock(mutex_);
+    if (shutting_down_) return;
+    if (!conn.ok()) {
+      // Transient accept errors happen (aborted handshakes); a persistent
+      // storm means the listener is broken — stop rather than spin.
+      if (++consecutive_failures >= 100) {
+        ET_LOG_ERROR << "fleet accept loop giving up: "
+                     << conn.status().to_string();
+        return;
+      }
+      continue;
+    }
+    consecutive_failures = 0;
+    connection_threads_.push_back(              // one thread per worker
+        std::thread([this, s = std::move(conn).value()]() mutable {  // NOLINT(thread-outside-pool)
+          serve_connection(std::move(s));
+        }));
+  }
+}
+
+void FleetCoordinator::serve_connection(TcpStream stream) {
+  (void)stream.set_receive_timeout(options_.worker_timeout_s);
+
+  // Handshake: HELLO must come first and must match our protocol version
+  // and options fingerprint, else the worker would silently measure
+  // something different from what this run accounts.
+  Result<Message> first = read_message(stream);
+  if (!first.ok() || first.value().type != MessageType::kHello) return;
+  Result<HelloMessage> hello = hello_from_json(first.value().body);
+  if (!hello.ok()) return;
+  std::string refusal;
+  if (hello.value().protocol_version != kFleetProtocolVersion) {
+    refusal = "fleet protocol version mismatch: worker speaks v" +
+              std::to_string(hello.value().protocol_version) +
+              ", coordinator v" + std::to_string(kFleetProtocolVersion);
+  } else if (hello.value().options_fingerprint != fingerprint_) {
+    refusal =
+        "options fingerprint mismatch: the worker was launched with "
+        "different measurement flags than the coordinator";
+  }
+  if (!refusal.empty()) {
+    ET_LOG_WARN << "fleet: refusing worker — " << refusal;
+    JsonObject err;
+    err.emplace("message", refusal);
+    (void)write_message(stream, MessageType::kError, Json(std::move(err)));
+    return;
+  }
+
+  int worker_id = 0;
+  {
+    MutexLock lock(mutex_);
+    if (shutting_down_) return;
+    worker_id = next_worker_id_++;
+    ++connected_;
+    ++total_joined_;
+    live_streams_.push_back(&stream);
+    state_cv_.notify_all();
+  }
+  ET_LOG_INFO << "fleet: worker " << worker_id << " joined";
+
+  std::vector<Grant> outstanding;
+  std::string why = "connection lost";
+  WelcomeMessage welcome;
+  welcome.worker_id = worker_id;
+  bool session_ok =
+      write_message(stream, MessageType::kWelcome, welcome_to_json(welcome))
+          .is_ok();
+  while (session_ok) {
+    Result<Message> msg = read_message(stream);
+    if (!msg.ok()) {
+      why = msg.status().message();
+      break;
+    }
+    if (msg.value().type == MessageType::kPull) {
+      Result<PullMessage> pull = pull_from_json(msg.value().body);
+      if (!pull.ok()) {
+        why = "malformed PULL";
+        break;
+      }
+      const int want =
+          std::min(pull.value().max_trials, options_.max_pull_trials);
+      JsonArray trials;
+      bool goodbye = false;
+      {
+        MutexLock lock(mutex_);
+        while (!shutting_down_ && !has_queued_work()) work_cv_.wait(mutex_);
+        if (shutting_down_) {
+          goodbye = true;
+        } else {
+          for (std::size_t i = 0;
+               i < slots_->size() && static_cast<int>(trials.size()) < want;
+               ++i) {
+            Slot& slot = (*slots_)[i];
+            if (slot.state != SlotState::kQueued) continue;
+            const int attempt = slot.dispatches++;
+            slot.state = SlotState::kDispatched;
+            Grant grant;
+            grant.generation = generation_;
+            grant.index = i;
+            grant.attempt = attempt;
+            outstanding.push_back(grant);
+            JsonObject t;
+            t.emplace("index", i);
+            t.emplace("attempt", attempt);
+            t.emplace("request", eval_request_to_json(slot.request));
+            trials.push_back(Json(std::move(t)));
+          }
+        }
+      }
+      if (goodbye) {
+        (void)write_message(stream, MessageType::kGoodbye,
+                            Json(JsonObject{}));
+        why = "shutdown";
+        break;
+      }
+      JsonObject body;
+      body.emplace("trials", std::move(trials));
+      if (!write_message(stream, MessageType::kBatch, Json(std::move(body)))
+               .is_ok()) {
+        why = "dispatch write failed";
+        break;
+      }
+    } else if (msg.value().type == MessageType::kResult) {
+      const Json& body = msg.value().body;
+      const Json* payload = body.find("measurement");
+      Result<TrialMeasurement> measurement =
+          payload != nullptr
+              ? trial_measurement_from_json(*payload)
+              : Result<TrialMeasurement>(
+                    Status::unavailable("RESULT without measurement"));
+      if (!measurement.ok()) {
+        why = "garbled RESULT: " + measurement.status().message();
+        break;
+      }
+      const auto index = static_cast<std::size_t>(body.get_number("index", 0));
+      const int attempt = static_cast<int>(body.get_number("attempt", -1));
+      MutexLock lock(mutex_);
+      // Commit against our own grant record, never the worker's say-so: a
+      // RESULT matching no live grant (stale generation, already
+      // re-dispatched) is dropped — first result wins, and measurements
+      // are pure, so any duplicate would have been identical anyway.
+      for (auto it = outstanding.begin(); it != outstanding.end(); ++it) {
+        if (it->index != index || it->attempt != attempt) continue;
+        if (it->generation == generation_ && slots_ != nullptr) {
+          Slot& slot = (*slots_)[it->index];
+          if (slot.state == SlotState::kDispatched &&
+              slot.dispatches == attempt + 1) {
+            slot.result = std::move(measurement).value();
+            slot.state = SlotState::kDone;
+            --remaining_;
+            state_cv_.notify_all();
+          }
+        }
+        outstanding.erase(it);
+        break;
+      }
+    } else {
+      why = "unexpected message type";
+      break;
+    }
+  }
+
+  {
+    MutexLock lock(mutex_);
+    live_streams_.erase(
+        std::remove(live_streams_.begin(), live_streams_.end(), &stream),
+        live_streams_.end());
+    --connected_;
+    requeue(outstanding, why);
+    state_cv_.notify_all();
+  }
+  if (why != "shutdown") {
+    ET_LOG_INFO << "fleet: worker " << worker_id << " left (" << why << ")";
+  }
+}
+
+void FleetCoordinator::shutdown() {
+  {
+    MutexLock lock(mutex_);
+    shutting_down_ = true;
+    work_cv_.notify_all();
+    state_cv_.notify_all();
+    for (TcpStream* stream : live_streams_) stream->shutdown_both();
+  }
+  if (listener_.valid()) listener_.shutdown_listener();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;  // NOLINT(thread-outside-pool)
+  {
+    MutexLock lock(mutex_);
+    connections.swap(connection_threads_);
+  }
+  for (std::thread& thread : connections) {  // NOLINT(thread-outside-pool)
+    if (thread.joinable()) thread.join();
+  }
+}
+
+// --- Worker -----------------------------------------------------------------
+
+namespace {
+
+Result<TcpStream> connect_with_retries(const std::string& host, int port,
+                                       int attempts) {
+  Status last = Status::unavailable("no connect attempts made");
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      // Real wait between real connection attempts — startup/teardown
+      // plumbing, never simulated time.
+      std::this_thread::sleep_for(  // NOLINT(real-sleep-in-lib)
+          std::chrono::milliseconds(200));
+    }
+    Result<TcpStream> stream = TcpStream::connect(host, port);
+    if (stream.ok()) return stream;
+    last = stream.status();
+  }
+  return last;
+}
+
+}  // namespace
+
+Status run_fleet_worker(const std::string& host, int port,
+                        EdgeTuneOptions options) {
+  options.fleet.reset();
+  if (!options.inference_aware) {
+    return Status::invalid_argument(
+        "fleet workers require inference-aware tuning (--system edgetune)");
+  }
+  const std::string fingerprint = measurement_fingerprint(options);
+  FaultInjector drops(options.seed, options.faults);
+  EdgeTune tuner(std::move(options));
+
+  int sessions = 0;
+  for (;;) {
+    // The first connect gets a generous budget (the coordinator may still
+    // be starting up); reconnects a short one — after at least one session,
+    // a vanished coordinator is a normal end of work, not an error.
+    Result<TcpStream> conn =
+        connect_with_retries(host, port, sessions == 0 ? 50 : 10);
+    if (!conn.ok()) {
+      if (sessions > 0) return Status::ok();
+      return conn.status();
+    }
+    TcpStream stream = std::move(conn).value();
+    ++sessions;
+
+    HelloMessage hello;
+    hello.options_fingerprint = fingerprint;
+    if (!write_message(stream, MessageType::kHello, hello_to_json(hello))
+             .is_ok()) {
+      continue;
+    }
+    Result<Message> reply = read_message(stream);
+    if (!reply.ok()) continue;
+    if (reply.value().type == MessageType::kError) {
+      return Status::failed_precondition(
+          "coordinator refused this worker: " +
+          reply.value().body.get_string("message", "(no reason given)"));
+    }
+    if (reply.value().type != MessageType::kWelcome) {
+      return Status::unavailable("unexpected handshake reply");
+    }
+    Result<WelcomeMessage> welcome = welcome_from_json(reply.value().body);
+    const int worker_id = welcome.ok() ? welcome.value().worker_id : 0;
+    ET_LOG_INFO << "fleet worker " << worker_id << " connected to " << host
+                << ":" << port;
+
+    bool drop = false;
+    bool goodbye = false;
+    while (!drop) {
+      PullMessage pull;
+      pull.max_trials = 1;
+      if (!write_message(stream, MessageType::kPull, pull_to_json(pull))
+               .is_ok()) {
+        break;
+      }
+      Result<Message> msg = read_message(stream);
+      if (!msg.ok()) break;
+      if (msg.value().type == MessageType::kGoodbye) {
+        goodbye = true;
+        break;
+      }
+      if (msg.value().type != MessageType::kBatch) break;
+      const Json* trials = msg.value().body.find("trials");
+      if (trials == nullptr || !trials->is_array()) break;
+      for (const Json& t : trials->as_array()) {
+        const auto index = static_cast<std::size_t>(t.get_number("index", 0));
+        const int attempt = static_cast<int>(t.get_number("attempt", 0));
+        const Json* request_json = t.find("request");
+        Result<EvalRequest> request =
+            request_json != nullptr
+                ? eval_request_from_json(*request_json)
+                : Result<EvalRequest>(
+                      Status::unavailable("dispatch without request"));
+        if (!request.ok()) {
+          drop = true;
+          break;
+        }
+        // The deterministic loss model: a worker.drop decision for this
+        // (trial, dispatch attempt) severs the connection before the trial
+        // runs. The coordinator re-queues it with attempt + 1, so a
+        // fail_first=1 plan loses every trial exactly once — at any fleet
+        // size, since the decision is pure in (seed, key, attempt).
+        if (Status injected = drops.fire(
+                fault_site::kWorkerDrop, trial_content_key(request.value()),
+                attempt);
+            !injected.is_ok()) {
+          ET_LOG_WARN << "fleet worker " << worker_id
+                      << ": injected drop before trial (attempt " << attempt
+                      << ") — reconnecting";
+          drop = true;
+          break;
+        }
+        TrialMeasurement measurement = tuner.measure_one(request.value());
+        JsonObject result;
+        result.emplace("index", index);
+        result.emplace("attempt", attempt);
+        result.emplace("measurement", trial_measurement_to_json(measurement));
+        if (!write_message(stream, MessageType::kResult,
+                           Json(std::move(result)))
+                 .is_ok()) {
+          drop = true;
+          break;
+        }
+      }
+    }
+    stream.close();
+    if (goodbye) {
+      ET_LOG_INFO << "fleet worker " << worker_id << " done";
+      return Status::ok();
+    }
+  }
+}
+
+}  // namespace edgetune

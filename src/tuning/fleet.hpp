@@ -1,0 +1,159 @@
+// The distributed tuning fleet (DESIGN §5.5): one coordinator shards trial
+// MEASUREMENT across worker processes while keeping every accounting
+// DECISION — billing, incumbent, target stop, cache counters, wall clock —
+// on its own search thread. Measurements are content-pure (measure_one), so
+// a fleet run's report is byte-identical to the single-process serial run
+// with the same options and seed, at any fleet size, even across injected
+// worker losses.
+//
+// Worker loss reuses the PR-5 fault model: a dropped, hung, or garbled
+// connection surfaces as kUnavailable; the coordinator re-queues the
+// trials that worker held (dispatch attempt + 1) onto survivors, and only
+// after max_dispatch_attempts losses does a trial fail — as a first-class
+// kUnavailable trial the existing failure-budget machinery judges. The
+// deterministic `worker.drop` fault site is keyed by trial content and the
+// coordinator's dispatch attempt, so an injected loss plan fires
+// identically at any fleet size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "net/socket.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+struct FleetOptions {
+  /// Port to listen on (loopback). 0 picks an ephemeral port; read the
+  /// actual one from FleetCoordinator::port() after start().
+  int port = 0;
+  /// A live connection silent for this long is a lost worker: its
+  /// outstanding trials are re-queued. Real time; never enters the report.
+  double worker_timeout_s = 30;
+  /// With trials pending and ZERO workers connected for this long, the
+  /// coordinator stops waiting and fails the remaining trials with
+  /// kUnavailable instead of hanging forever.
+  double no_worker_grace_s = 10;
+  /// Times one trial may be dispatched across worker losses before it is
+  /// failed with kUnavailable.
+  int max_dispatch_attempts = 3;
+  /// Cap on trials granted per PULL, whatever the worker asks for.
+  int max_pull_trials = 16;
+};
+
+/// Content identity of a trial (config + resource): the key every fault,
+/// retry, and worker-drop decision hashes. Shared by EdgeTune::measure_one
+/// and the worker loop so decisions are pure in the work item — identical
+/// at any --trial-workers count and any fleet size.
+std::string trial_content_key(const EvalRequest& request);
+
+/// Stable hex fingerprint over every option that feeds measurement
+/// (workload, seed, devices, budget policy, retry/fault plans, inference
+/// options...). Workers present it in HELLO; the coordinator refuses a
+/// mismatch, because a worker launched with different flags would return
+/// silently different measurements. Scheduling-only options (trial_workers,
+/// fleet/role flags, inference.workers) are deliberately excluded: they may
+/// differ between the coordinator and worker invocations.
+std::string measurement_fingerprint(const EdgeTuneOptions& options);
+
+/// Accepts workers and dispatches EvalRequest batches to them. Create it,
+/// start() it, hand it to EdgeTuneOptions::fleet, and run() measures every
+/// batch remotely. Thread-safe; measure_batch is called from the search
+/// thread only.
+class FleetCoordinator {
+ public:
+  FleetCoordinator(FleetOptions options, std::string fingerprint);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Binds the port and starts the accept loop.
+  Status start() EDGETUNE_EXCLUDES(mutex_);
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const noexcept { return listener_.port(); }
+
+  /// Blocks until `count` workers have completed the handshake (counting
+  /// ones that later left), or fails with kDeadlineExceeded.
+  Status wait_for_workers(int count, double timeout_s)
+      EDGETUNE_EXCLUDES(mutex_);
+
+  /// Measures one batch on the fleet; returns measurements in batch order.
+  /// Never blocks forever: trials a worker lost are re-dispatched, and
+  /// trials no worker could run come back with train_status kUnavailable.
+  [[nodiscard]] std::vector<TrialMeasurement> measure_batch(
+      const std::vector<EvalRequest>& batch) EDGETUNE_EXCLUDES(mutex_);
+
+  /// Sends GOODBYE to idle workers, unblocks everything, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void shutdown() EDGETUNE_EXCLUDES(mutex_);
+
+  /// Workers currently connected (post-handshake).
+  [[nodiscard]] int connected_workers() const EDGETUNE_EXCLUDES(mutex_);
+
+ private:
+  enum class SlotState { kQueued, kDispatched, kDone };
+  struct Slot {
+    EvalRequest request;
+    int dispatches = 0;  // dispatch attempts so far
+    SlotState state = SlotState::kQueued;
+    TrialMeasurement result;
+  };
+  /// One granted trial: generation ties it to a measure_batch call so a
+  /// stale RESULT can never corrupt a later batch.
+  struct Grant {
+    std::uint64_t generation = 0;
+    std::size_t index = 0;
+    int attempt = 0;
+  };
+
+  void accept_loop();
+  void serve_connection(TcpStream stream);
+  /// Returns a lost connection's trials to the queue (or fails them once
+  /// their dispatch attempts are exhausted).
+  void requeue(const std::vector<Grant>& grants, const std::string& why)
+      EDGETUNE_REQUIRES(mutex_);
+  [[nodiscard]] bool has_queued_work() const EDGETUNE_REQUIRES(mutex_);
+  /// Fails every unfinished slot of the current batch with kUnavailable.
+  void fail_remaining(const std::string& why) EDGETUNE_REQUIRES(mutex_);
+
+  const FleetOptions options_;
+  const std::string fingerprint_;
+  TcpListener listener_;
+  std::thread accept_thread_;  // NOLINT(thread-outside-pool)
+
+  mutable Mutex mutex_;
+  CondVar work_cv_;   // new work queued, or shutdown
+  CondVar state_cv_;  // a slot finished / a worker joined or left
+  bool started_ EDGETUNE_GUARDED_BY(mutex_) = false;
+  bool shutting_down_ EDGETUNE_GUARDED_BY(mutex_) = false;
+  int connected_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  int total_joined_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  int next_worker_id_ EDGETUNE_GUARDED_BY(mutex_) = 1;
+  /// Live connections' streams, for shutdown_both() at shutdown. Entries
+  /// are registered/unregistered by their owning connection thread under
+  /// mutex_ before the stream object dies, so no pointer dangles.
+  std::vector<TcpStream*> live_streams_ EDGETUNE_GUARDED_BY(mutex_);
+  // Per-worker service threads, joined in shutdown() — long-lived I/O
+  // servers, not pooled work items.
+  std::vector<std::thread> connection_threads_  // NOLINT(thread-outside-pool)
+      EDGETUNE_GUARDED_BY(mutex_);
+  std::uint64_t generation_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::vector<Slot>* slots_ EDGETUNE_GUARDED_BY(mutex_) = nullptr;
+  std::size_t remaining_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+};
+
+/// Runs one fleet worker: connects to the coordinator (with retries),
+/// handshakes, then pulls trials and streams back measurements until the
+/// coordinator says GOODBYE or goes away. A `worker.drop` fault firing for
+/// a dispatched trial drops the connection on purpose (then reconnects),
+/// exercising the coordinator's loss handling deterministically.
+Status run_fleet_worker(const std::string& host, int port,
+                        EdgeTuneOptions options);
+
+}  // namespace edgetune

@@ -149,6 +149,11 @@ std::size_t HistoricalCache::misses() const {
   return misses_;
 }
 
+void HistoricalCache::record_external_hit() const {
+  MutexLock lock(mutex_);
+  ++hits_;
+}
+
 std::size_t HistoricalCache::persist_failures() const {
   MutexLock lock(mutex_);
   return persist_failures_;

@@ -55,6 +55,13 @@ class HistoricalCache {
   [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t hits() const EDGETUNE_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t misses() const EDGETUNE_EXCLUDES(mutex_);
+
+  /// Counts a hit that was satisfied outside lookup(): a single-flight
+  /// joiner receives the leader's result directly instead of probing, but a
+  /// serial execution of the same requests WOULD have probed and hit — so
+  /// the joiner reports one here, keeping hits()/misses() a pure function
+  /// of the request content rather than of scheduling.
+  void record_external_hit() const EDGETUNE_EXCLUDES(mutex_);
   /// Flush attempts that failed (I/O error or injected cache.persist fault).
   /// The cache kept serving from memory each time.
   [[nodiscard]] std::size_t persist_failures() const EDGETUNE_EXCLUDES(mutex_);

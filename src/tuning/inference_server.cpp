@@ -98,7 +98,11 @@ Result<InferenceRecommendation> InferenceTuningServer::tune(
         continue;
       }
       // The joiner paid nothing: the one search's cost is reported by the
-      // leader (and the cache, for later requests).
+      // leader (and the cache, for later requests). A serial execution of
+      // the same requests would have probed the cache after the leader's
+      // store and hit — count that hit, so the cache counters stay a pure
+      // function of request content, not of scheduling.
+      cache_->record_external_hit();
       InferenceRecommendation rec = std::move(joined).value();
       rec.from_cache = true;
       rec.tuning_time_s = 0;

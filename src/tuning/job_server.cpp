@@ -47,6 +47,13 @@ void TuningJobServer::run_job(JobId id, JobRequest request) {
     request.options.trial_workers = trial_workers_per_job_;
   }
   Result<TuningReport> result = [&]() -> Result<TuningReport> {
+    // A fleet coordinator only drives the EdgeTune pipeline's batch
+    // evaluator; a baseline job holding one would silently measure locally
+    // while the caller believes it sharded. Refuse instead.
+    if (request.options.fleet && request.system != JobSystem::kEdgeTune) {
+      return Status::invalid_argument(
+          "fleet execution is only supported for EdgeTune jobs");
+    }
     switch (request.system) {
       case JobSystem::kEdgeTune:
         return EdgeTune(request.options).run();

@@ -1,40 +1,19 @@
 #include "tuning/model_server.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <map>
 
 #include "common/log.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
-#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/gemm.hpp"
+#include "tuning/billing.hpp"
+#include "tuning/fleet.hpp"
 
 namespace edgetune {
-
-namespace {
-
-/// First evaluation failure across concurrent trials (first-writer-wins).
-class ErrorSlot {
- public:
-  void note(const Status& status) EDGETUNE_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    if (first_.is_ok()) first_ = status;
-  }
-
-  [[nodiscard]] Status first() const EDGETUNE_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    return first_;
-  }
-
- private:
-  mutable Mutex mutex_;
-  Status first_ EDGETUNE_GUARDED_BY(mutex_);
-};
-
-}  // namespace
 
 EdgeTuneOptions::EdgeTuneOptions()
     : train_device(device_titan_server()), edge_device(device_rpi3b()) {}
@@ -95,7 +74,79 @@ SearchSpace EdgeTune::model_search_space() const {
   return space;
 }
 
+TrialMeasurement EdgeTune::measure_one(const EvalRequest& request) {
+  TrialMeasurement m;
+  Result<std::unique_ptr<BudgetPolicy>> policy =
+      make_budget_policy(options_.budget_policy);
+  if (!policy.ok()) {
+    m.setup_status = policy.status();
+    return m;
+  }
+  const TrialBudget budget = policy.value()->at(request.resource);
+
+  // Kick off inference tuning *before* the training trial so the two
+  // overlap (Alg. 1 lines 5-6; Fig 6).
+  std::future<Result<InferenceRecommendation>> inference_future;
+  if (options_.inference_aware) {
+    Result<ArchSpec> arch = runner_.arch_for(request.config);
+    if (!arch.ok()) {
+      m.setup_status = arch.status();
+      return m;
+    }
+    m.arch_id = arch.value().id;
+    m.inference_attempted = true;
+    inference_future = inference_server_.submit(arch.value());
+  }
+
+  // Fault/retry identity of this trial. Content-keyed (config + resource),
+  // NOT order-keyed: injected faults and backoff jitter are then pure
+  // functions of the seed and the work item, identical at any
+  // --trial-workers count, any completion order, and on any fleet worker.
+  const std::string trial_key = trial_content_key(request);
+  const std::uint64_t trial_seed = options_.seed ^ stable_hash64(trial_key);
+
+  RetryStats retry;
+  Result<TrialOutcome> outcome = retry_call<TrialOutcome>(
+      options_.trial_retry, trial_seed,
+      [&](int attempt) -> Result<TrialOutcome> {
+        if (Status injected = fault_injector_.fire(fault_site::kTrialTrain,
+                                                   trial_key, attempt);
+            !injected.is_ok()) {
+          return injected;
+        }
+        Result<TrialOutcome> run = runner_.run(request.config, budget);
+        const double deadline = options_.trial_retry.attempt_deadline_s;
+        if (run.ok() && deadline > 0 && run.value().train_time_s > deadline) {
+          return Status::deadline_exceeded(
+              "trial exceeded per-attempt deadline (" +
+              format_double(run.value().train_time_s, 1) + "s > " +
+              format_double(deadline, 1) + "s simulated)");
+        }
+        return run;
+      },
+      &retry);
+  m.attempts = retry.attempts;
+  m.retry_backoff_s = retry.backoff_s;
+  m.train_status = outcome.ok() ? Status::ok() : outcome.status();
+  if (outcome.ok()) m.outcome = std::move(outcome).value();
+
+  // Harvest the pipelined inference result even when training failed: the
+  // accounting walk needs every member's observation to re-assign the
+  // flight's cost by content (billing.hpp) — the scheduling-dependent
+  // flight leader may well be a trial whose training failed.
+  if (inference_future.valid()) {
+    Result<InferenceRecommendation> rec = inference_future.get();
+    m.inference_status = rec.ok() ? Status::ok() : rec.status();
+    if (rec.ok()) m.rec = std::move(rec).value();
+  }
+  return m;
+}
+
 Result<TuningReport> EdgeTune::run() {
+  if (options_.fleet && !options_.inference_aware) {
+    return Status::invalid_argument(
+        "fleet execution requires inference-aware tuning (--system edgetune)");
+  }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<BudgetPolicy> policy,
                       make_budget_policy(options_.budget_policy));
   SearchSpace space = model_search_space();
@@ -109,237 +160,269 @@ Result<TuningReport> EdgeTune::run() {
   report.system = options_.inference_aware ? "edgetune" : "tune";
   if (options_.power_cap_w > 0) report.system = "hyperpower";
 
-  // --- Parallel trial-execution engine. Trials within one batch (a
-  // HyperBand rung, or a grid/random candidate set) are independent and run
-  // concurrently on a shared pool. Everything a trial touches is either
-  // per-trial local, immutable (runner_), internally synchronized
-  // (inference_server_), or one of the atomics below; the report itself is
-  // only mutated at batch commit, on the search thread.
+  // --- Measure/account split (DESIGN §5.5). Measuring a trial (the retried
+  // training run plus the pipelined inference request) is expensive,
+  // thread-safe, and content-pure, so trials of one batch (a HyperBand rung
+  // or a grid/random candidate set) run on a local pool or a remote fleet
+  // in any order. Every accounting DECISION — billing, incumbent,
+  // target-accuracy stop, error ordering, cache counters, wall clock — is
+  // made afterwards in a single-threaded commit walk over the batch in
+  // submission order, so the report is a pure function of (options, seed):
+  // byte-identical serial, parallel, and distributed.
   const int workers = std::max(1, options_.trial_workers);
   std::unique_ptr<ThreadPool> pool;
-  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  if (workers > 1 && !options_.fleet) pool = std::make_unique<ThreadPool>(workers);
 
-  ErrorSlot eval_error;
-  const auto note_error = [&](const Status& status) {
-    eval_error.note(status);
+  struct CommitState {
+    bool target_reached = false;
+    double best_accuracy = 0;  // incumbent; killed trials excluded
+    // Serial-replay cache counters: what the historical cache would have
+    // seen had the batches executed serially. Independent of scheduling and
+    // of where measurements ran; equal to the live counters on a serial run.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    Status first_error;  // first failure in commit order
+    // Canonical per-architecture recommendation in cache-hit form (what a
+    // serial run's final cache probe returns): lets a fleet coordinator
+    // report the winner without ever having tuned locally.
+    std::map<std::string, InferenceRecommendation> canonical;
+  } state;
+  const auto note_error = [&state](const Status& status) {
+    if (state.first_error.is_ok()) state.first_error = status;
   };
-  std::atomic<bool> target_reached{false};
-  std::atomic<double> best_accuracy{0.0};  // incumbent; killed trials excluded
-
-  // What one evaluation produced, staged until batch commit.
-  struct TrialEval {
-    double objective = std::numeric_limits<double>::infinity();
-    bool logged = false;  // only target-accuracy skips leave no log entry
-    TrialLog log;
-    double inference_energy_j = 0;
-    double wall_s = 0;  // simulated span (duration + stall + retry backoff)
+  const auto power_capped = [this](const TrialOutcome& trial) {
+    return options_.power_cap_w > 0 && trial.train_time_s > 0 &&
+           trial.train_energy_j / trial.train_time_s > options_.power_cap_w;
   };
-
-  // `incumbent_override` >= 0 freezes the HyperPower unpromising-kill
-  // incumbent for this evaluation; < 0 reads the live atomic. The parallel
-  // path passes a snapshot taken at batch start so concurrent trials are
-  // only compared against results that had completed when they started —
-  // completion order inside a batch then cannot change the simulated
-  // accounting, keeping same-seed parallel runs deterministic. The serial
-  // path reads live, byte-identical to the historical loop.
-  const auto eval_one = [&](const Config& config, double resource,
-                            double incumbent_override) -> TrialEval {
-    TrialEval out;
-    // Target-accuracy early stop: skip remaining scheduled trials for free.
-    // Checked per trial, so a serial run still skips the rest of a rung;
-    // parallel trials already in flight run to completion.
-    if (target_reached.load(std::memory_order_acquire)) return out;
-    const TrialBudget budget = policy->at(resource);
-
-    // Kick off inference tuning *before* the training trial so the two
-    // overlap (Alg. 1 lines 5-6; Fig 6).
-    std::future<Result<InferenceRecommendation>> inference_future;
-    if (options_.inference_aware) {
-      Result<ArchSpec> arch = runner_.arch_for(config);
-      if (!arch.ok()) {
-        note_error(arch.status());
-        return out;
-      }
-      inference_future = inference_server_.submit(arch.value());
-    }
-
-    // Fault/retry identity of this trial. Content-keyed (config + resource),
-    // NOT order-keyed: injected faults and backoff jitter are then pure
-    // functions of the seed and the work item, identical at any
-    // --trial-workers count and any completion order.
-    const std::string trial_key =
-        config_to_string(config) + "|r=" + format_double(resource, 6);
-    const std::uint64_t trial_seed = options_.seed ^ stable_hash64(trial_key);
-
-    TrialLog& log = out.log;
-    log.config = config;
-    log.resource = resource;
-    log.budget = budget;
-
-    RetryStats retry;
-    Result<TrialOutcome> outcome = retry_call<TrialOutcome>(
-        options_.trial_retry, trial_seed,
-        [&](int attempt) -> Result<TrialOutcome> {
-          if (Status injected = fault_injector_.fire(fault_site::kTrialTrain,
-                                                     trial_key, attempt);
-              !injected.is_ok()) {
-            return injected;
-          }
-          Result<TrialOutcome> run = runner_.run(config, budget);
-          const double deadline = options_.trial_retry.attempt_deadline_s;
-          if (run.ok() && deadline > 0 &&
-              run.value().train_time_s > deadline) {
-            return Status::deadline_exceeded(
-                "trial exceeded per-attempt deadline (" +
-                format_double(run.value().train_time_s, 1) + "s > " +
-                format_double(deadline, 1) + "s simulated)");
-          }
-          return run;
-        },
-        &retry);
-    log.attempts = retry.attempts;
-    log.retry_backoff_s = retry.backoff_s;
-
-    if (!outcome.ok()) {
-      // Permanent failure (retries exhausted or a non-retryable code):
-      // a first-class log entry with the final status. The search sees an
-      // infinite objective and moves on; the failure-budget check in run()
-      // decides whether the job as a whole survives.
-      note_error(outcome.status());
-      if (inference_future.valid()) inference_future.wait();
-      log.status = outcome.status();
-      log.objective = std::numeric_limits<double>::infinity();
-      out.logged = true;
-      out.wall_s = retry.backoff_s;  // attempts failed at t=0, only backoff
-      return out;
-    }
-    const TrialOutcome& trial = outcome.value();
-
-    InferenceRecommendation rec;
-    if (options_.inference_aware) {
-      Result<InferenceRecommendation> rec_result = inference_future.get();
-      if (!rec_result.ok()) {
-        // The trial trained but its inference tune failed permanently
-        // (single-flight joiners re-probe and inference retries happen
-        // inside the server, so this is rare). Charge the training cost.
-        note_error(rec_result.status());
-        log.status = rec_result.status();
-        log.accuracy = trial.accuracy;
-        log.duration_s = trial.train_time_s;
-        log.energy_j = trial.train_energy_j;
-        log.objective = std::numeric_limits<double>::infinity();
-        out.logged = true;
-        out.wall_s = trial.train_time_s + retry.backoff_s;
-        return out;
-      }
-      rec = std::move(rec_result).value();
-    }
-
-    // --- Accounting (simulated time/energy). The inference server runs
-    // pipelined with the trial; only the excess beyond the trial duration
-    // stalls the model server (§3.3).
-    log.accuracy = trial.accuracy;
-    log.duration_s = trial.train_time_s;
-    log.energy_j = trial.train_energy_j;
-    log.inference_cached = rec.from_cache;
-    log.inference_tuning_s = rec.tuning_time_s;
-    log.inference_stall_s =
-        std::max(0.0, rec.tuning_time_s - trial.train_time_s);
-
-    bool power_capped = false;
-    if (options_.power_cap_w > 0 && trial.train_time_s > 0) {
-      const double avg_power_w = trial.train_energy_j / trial.train_time_s;
-      power_capped = avg_power_w > options_.power_cap_w;
-    }
-    // HyperPower-mode early termination (§6: "early termination of the
-    // training at the objective evaluation"): a trial whose learning curve
-    // is clearly below the incumbent is killed partway through.
-    const double incumbent =
-        incumbent_override >= 0
-            ? incumbent_override
-            : best_accuracy.load(std::memory_order_acquire);
-    const bool unpromising = options_.power_cap_w > 0 && incumbent > 0 &&
-                             trial.accuracy < 0.9 * incumbent;
-
-    double objective = std::numeric_limits<double>::infinity();
-    switch (options_.objective_mode) {
-      case ObjectiveMode::kRatio:
-        objective = tuning_objective(options_.tuning_metric, trial, rec,
-                                     options_.inference_aware);
-        break;
-      case ObjectiveMode::kAccuracyOnly:
-        objective = 1.0 - trial.accuracy;
-        break;
-    }
-    if (power_capped) {
-      // Over-cap trials are terminated almost immediately.
-      objective = std::numeric_limits<double>::infinity();
-      log.duration_s *= 0.3;
-      log.energy_j *= 0.3;
-      log.inference_stall_s = 0;
-    } else if (unpromising) {
-      log.duration_s *= 0.4;
-      log.energy_j *= 0.4;
-    }
-    log.objective = objective;
-    out.objective = objective;
-    out.logged = true;
-    out.inference_energy_j = rec.tuning_energy_j;
-    out.wall_s = log.duration_s + log.inference_stall_s + retry.backoff_s;
-
-    if (!power_capped) {
-      // A power-capped trial was killed at ~30% progress: its accuracy is
-      // hypothetical, so it must neither become the incumbent nor trigger
-      // the target-accuracy early stop.
-      double seen = best_accuracy.load(std::memory_order_relaxed);
-      while (trial.accuracy > seen &&
-             !best_accuracy.compare_exchange_weak(seen, trial.accuracy)) {
-      }
-      if (options_.target_accuracy > 0 &&
-          trial.accuracy >= options_.target_accuracy) {
-        target_reached.store(true, std::memory_order_release);
-      }
-    }
-    return out;
+  // Does this measurement trigger the target-accuracy stop? Mirrors the
+  // success path of the commit walk: only a fully successful trial counts,
+  // and a power-capped trial's accuracy is hypothetical (it was killed at
+  // ~30% progress), so it must neither become the incumbent nor stop the
+  // run.
+  const auto triggers_target = [&](const TrialMeasurement& m) {
+    if (options_.target_accuracy <= 0) return false;
+    if (!m.setup_status.is_ok() || !m.train_status.is_ok()) return false;
+    if (m.inference_attempted && !m.inference_status.is_ok()) return false;
+    if (power_capped(m.outcome)) return false;
+    return m.outcome.accuracy >= options_.target_accuracy;
   };
 
   const BatchEvalFn batch_eval =
       [&](const std::vector<EvalRequest>& batch) -> std::vector<double> {
-    std::vector<TrialEval> evals(batch.size());
-    if (pool && batch.size() > 1) {
-      const double incumbent = best_accuracy.load(std::memory_order_acquire);
-      std::vector<std::future<void>> pending;
-      pending.reserve(batch.size());
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        pending.push_back(pool->submit([&, incumbent, i] {
-          evals[i] = eval_one(batch[i].config, batch[i].resource, incumbent);
-        }));
-      }
-      for (std::future<void>& f : pending) f.get();
-    } else {
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        evals[i] = eval_one(batch[i].config, batch[i].resource, -1.0);
+    // --- Measure.
+    std::vector<TrialMeasurement> meas(batch.size());
+    if (!state.target_reached) {
+      if (options_.fleet) {
+        meas = options_.fleet->measure_batch(batch);
+      } else if (pool && batch.size() > 1) {
+        std::vector<std::future<void>> pending;
+        pending.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          pending.push_back(
+              pool->submit([&, i] { meas[i] = measure_one(batch[i]); }));
+        }
+        for (std::future<void>& f : pending) f.get();
+      } else {
+        // Serial fast path: measuring in commit order lets trials behind a
+        // target-accuracy trigger skip at zero cost. The commit walk below
+        // recomputes the same prefix, so parallel and fleet runs (which
+        // measure eagerly) account the identical trial set.
+        bool reached = false;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (reached) continue;
+          meas[i] = measure_one(batch[i]);
+          if (triggers_target(meas[i])) reached = true;
+        }
       }
     }
 
-    // Commit in submission order, single-threaded: the trial log is append-
-    // ordered no matter which worker finished first, and the batch's wall
-    // clock is the makespan of FIFO list scheduling over `workers` — the
-    // max over concurrent trials, not their sum (with 1 worker this reduces
-    // to the plain serial sum).
+    // --- Account, step 1: the serially-executed prefix. Trials a serial
+    // run would never have reached (target already hit) are discarded
+    // unread, wherever they were measured.
+    std::vector<char> executed(batch.size(), 0);
+    {
+      bool reached = state.target_reached;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (reached) continue;
+        executed[i] = 1;
+        if (triggers_target(meas[i])) reached = true;
+      }
+      state.target_reached = reached;
+    }
+
+    // --- Account, step 2: content-based single-flight billing (the PR 6
+    // headline fix) and the flight-group map the replay counters need. With
+    // the cache disabled there are no flights: every request ran its own
+    // search and reports its own observation.
+    const bool flights = options_.inference.use_cache;
+    std::vector<FlightMember> members(batch.size());
+    struct Group {
+      std::size_t first;  // earliest executed member — the serial leader
+      double cost_s;
+    };
+    std::map<std::string, Group> groups;
+    if (flights) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (executed[i] == 0) continue;
+        const TrialMeasurement& m = meas[i];
+        FlightMember& member = members[i];
+        member.arch_id = m.arch_id;
+        member.trained = m.setup_status.is_ok() && m.train_status.is_ok();
+        member.has_rec = m.inference_attempted && m.inference_status.is_ok();
+        if (member.has_rec) {
+          // An architecture committed in an earlier batch is a cache hit in
+          // the serial replay no matter what this measurement observed:
+          // fleet workers keep independent caches, so a re-encounter (a
+          // HyperBand promotion, say) may have been freshly tuned on a
+          // worker that had not seen it yet. The serial run already paid
+          // for it once; zero the observation.
+          const bool seen_before = state.canonical.count(m.arch_id) > 0;
+          member.observed_tuning_s = seen_before ? 0 : m.rec.tuning_time_s;
+          member.observed_tuning_energy_j =
+              seen_before ? 0 : m.rec.tuning_energy_j;
+          auto [it, inserted] = groups.emplace(m.arch_id, Group{i, 0});
+          if (member.observed_tuning_s > it->second.cost_s) {
+            it->second.cost_s = member.observed_tuning_s;
+          }
+        }
+      }
+    }
+    const std::vector<BillingShare> shares = resolve_flight_billing(members);
+
+    // --- Account, step 3: emit logs and totals in submission order. The
+    // batch's wall clock is the makespan of FIFO list scheduling over
+    // `workers` — the max over concurrent trials, not their sum (with 1
+    // worker this reduces to the plain serial sum).
     std::vector<double> worker_load(static_cast<std::size_t>(workers), 0.0);
-    std::vector<double> objectives;
-    objectives.reserve(batch.size());
-    for (TrialEval& eval : evals) {
-      objectives.push_back(eval.objective);
-      if (!eval.logged) continue;
-      eval.log.id = static_cast<int>(report.trials.size());
-      *std::min_element(worker_load.begin(), worker_load.end()) += eval.wall_s;
-      report.tuning_energy_j += eval.log.energy_j + eval.inference_energy_j;
-      if (eval.log.failed()) ++report.failed_trials;
-      if (eval.log.attempts > 1) ++report.retried_trials;
-      report.retry_backoff_s += eval.log.retry_backoff_s;
-      report.trials.push_back(std::move(eval.log));
+    std::vector<double> objectives(batch.size(),
+                                   std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (executed[i] == 0) continue;
+      const TrialMeasurement& m = meas[i];
+      if (!m.setup_status.is_ok()) {
+        note_error(m.setup_status);
+        continue;  // no log entry; the objective stays infinite
+      }
+      // Replay the serial cache-counter walk: the first member of a paying
+      // flight group misses, every other member hits, and a failed flight
+      // is one miss per member (each becomes its own re-probing leader).
+      if (flights && m.inference_attempted) {
+        if (!m.inference_status.is_ok()) {
+          ++state.cache_misses;
+        } else {
+          const Group& group = groups.at(m.arch_id);
+          if (group.cost_s > 0 && group.first == i) {
+            ++state.cache_misses;
+          } else {
+            ++state.cache_hits;
+          }
+          if (state.canonical.find(m.arch_id) == state.canonical.end()) {
+            InferenceRecommendation canonical = m.rec;
+            canonical.from_cache = true;
+            canonical.tuning_time_s = 0;
+            canonical.tuning_energy_j = 0;
+            state.canonical.emplace(m.arch_id, std::move(canonical));
+          }
+        }
+      }
+
+      TrialLog log;
+      log.config = batch[i].config;
+      log.resource = batch[i].resource;
+      log.budget = policy->at(batch[i].resource);
+      log.attempts = m.attempts;
+      log.retry_backoff_s = m.retry_backoff_s;
+      double wall_s = 0;
+      double inference_energy_j = 0;
+      if (!m.train_status.is_ok()) {
+        // Permanent failure (retries exhausted or a non-retryable code): a
+        // first-class log entry with the final status. The search sees an
+        // infinite objective and moves on; the failure-budget check in
+        // run() decides whether the job as a whole survives.
+        note_error(m.train_status);
+        log.status = m.train_status;
+        log.objective = std::numeric_limits<double>::infinity();
+        wall_s = m.retry_backoff_s;  // attempts failed at t=0, only backoff
+      } else if (m.inference_attempted && !m.inference_status.is_ok()) {
+        // The trial trained but its inference tune failed permanently
+        // (single-flight joiners re-probe and inference retries happen
+        // inside the server, so this is rare). Charge the training cost.
+        note_error(m.inference_status);
+        log.status = m.inference_status;
+        log.accuracy = m.outcome.accuracy;
+        log.duration_s = m.outcome.train_time_s;
+        log.energy_j = m.outcome.train_energy_j;
+        log.objective = std::numeric_limits<double>::infinity();
+        wall_s = m.outcome.train_time_s + m.retry_backoff_s;
+      } else {
+        const TrialOutcome& trial = m.outcome;
+        // What this trial reports for the inference side: its billed share
+        // of the flight's cost, not whatever it happened to observe.
+        BillingShare share;
+        if (!m.inference_attempted) {
+          share.from_cache = false;  // no request: default-recommendation log
+        } else if (flights) {
+          share = shares[i];
+        } else {
+          share = BillingShare{m.rec.from_cache, m.rec.tuning_time_s,
+                               m.rec.tuning_energy_j};
+        }
+        // Simulated time/energy: the inference server runs pipelined with
+        // the trial; only the excess beyond the trial duration stalls the
+        // model server (§3.3).
+        log.accuracy = trial.accuracy;
+        log.duration_s = trial.train_time_s;
+        log.energy_j = trial.train_energy_j;
+        log.inference_cached = share.from_cache;
+        log.inference_tuning_s = share.tuning_time_s;
+        log.inference_stall_s =
+            std::max(0.0, share.tuning_time_s - trial.train_time_s);
+
+        const bool capped = power_capped(trial);
+        // HyperPower-mode early termination (§6: "early termination of the
+        // training at the objective evaluation"): a trial whose learning
+        // curve is clearly below the incumbent is killed partway through.
+        // The incumbent is the serial-walk live value — commit order, not
+        // completion order — so parallel runs kill exactly the trials a
+        // serial run kills.
+        const bool unpromising = options_.power_cap_w > 0 &&
+                                 state.best_accuracy > 0 &&
+                                 trial.accuracy < 0.9 * state.best_accuracy;
+        double objective = std::numeric_limits<double>::infinity();
+        switch (options_.objective_mode) {
+          case ObjectiveMode::kRatio:
+            objective = tuning_objective(options_.tuning_metric, trial, m.rec,
+                                         options_.inference_aware);
+            break;
+          case ObjectiveMode::kAccuracyOnly:
+            objective = 1.0 - trial.accuracy;
+            break;
+        }
+        if (capped) {
+          // Over-cap trials are terminated almost immediately.
+          objective = std::numeric_limits<double>::infinity();
+          log.duration_s *= 0.3;
+          log.energy_j *= 0.3;
+          log.inference_stall_s = 0;
+        } else if (unpromising) {
+          log.duration_s *= 0.4;
+          log.energy_j *= 0.4;
+        }
+        log.objective = objective;
+        objectives[i] = objective;
+        inference_energy_j = share.tuning_energy_j;
+        wall_s = log.duration_s + log.inference_stall_s + m.retry_backoff_s;
+        if (!capped && trial.accuracy > state.best_accuracy) {
+          state.best_accuracy = trial.accuracy;
+        }
+      }
+      log.id = static_cast<int>(report.trials.size());
+      *std::min_element(worker_load.begin(), worker_load.end()) += wall_s;
+      report.tuning_energy_j += log.energy_j + inference_energy_j;
+      if (log.failed()) ++report.failed_trials;
+      if (log.attempts > 1) ++report.retried_trials;
+      report.retry_backoff_s += log.retry_backoff_s;
+      report.trials.push_back(std::move(log));
     }
     report.tuning_runtime_s +=
         *std::max_element(worker_load.begin(), worker_load.end());
@@ -348,8 +431,8 @@ Result<TuningReport> EdgeTune::run() {
 
   Rng rng(options_.seed);
   SearchResult result = algorithm->optimize_batch(batch_eval, rng);
-  report.best_accuracy = best_accuracy.load();
-  report.first_error = eval_error.first();
+  report.best_accuracy = state.best_accuracy;
+  report.first_error = state.first_error;
   if (!std::isfinite(result.best_objective)) {
     return report.first_error.is_ok()
                ? Status::internal("tuning produced no finite objective")
@@ -380,7 +463,21 @@ Result<TuningReport> EdgeTune::run() {
   // hit; baselines pay for it here since they never tuned inference.
   ET_ASSIGN_OR_RETURN(ArchSpec best_arch,
                       runner_.arch_for(report.best_config));
-  ET_ASSIGN_OR_RETURN(report.inference, inference_server_.tune(best_arch));
+  if (options_.fleet) {
+    // The coordinator never tuned locally: report the canonical record from
+    // the committed trials — exactly what a serial run's final cache probe
+    // returns. The winning config's trial was fully successful (a finite
+    // objective requires it), so the record exists.
+    auto it = state.canonical.find(best_arch.id);
+    if (it == state.canonical.end()) {
+      return Status::internal(
+          "fleet run holds no recommendation for winning architecture " +
+          best_arch.id);
+    }
+    report.inference = it->second;
+  } else {
+    ET_ASSIGN_OR_RETURN(report.inference, inference_server_.tune(best_arch));
+  }
 
   // Cross-device recommendations for the winner (§1's multi-device story).
   for (const DeviceProfile& device : options_.extra_edge_devices) {
@@ -392,8 +489,18 @@ Result<TuningReport> EdgeTune::run() {
     report.per_device.emplace(device.name, std::move(rec));
   }
 
-  report.cache_hits = inference_server_.cache().hits();
-  report.cache_misses = inference_server_.cache().misses();
+  // Report the serial-replay counters, closed out with the final probe
+  // above: deterministic at any --trial-workers count and any fleet size,
+  // and equal to the live cache counters on a serial run.
+  if (options_.inference.use_cache) {
+    if (report.inference.from_cache) {
+      ++state.cache_hits;
+    } else {
+      ++state.cache_misses;
+    }
+  }
+  report.cache_hits = state.cache_hits;
+  report.cache_misses = state.cache_misses;
   return report;
 }
 

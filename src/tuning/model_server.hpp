@@ -4,6 +4,7 @@
 // the Inference Tuning Server and folds them into the ratio objective.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "budget/budget.hpp"
@@ -13,6 +14,8 @@
 #include "tuning/trial_runner.hpp"
 
 namespace edgetune {
+
+class FleetCoordinator;  // tuning/fleet.hpp
 
 /// How the model server scores a trial.
 enum class ObjectiveMode {
@@ -106,9 +109,37 @@ struct EdgeTuneOptions {
   InferenceServerOptions inference;
   TrialRunnerOptions runner;
 
+  /// When set, trial measurements are dispatched to this coordinator's
+  /// remote fleet workers instead of local pool threads (DESIGN §5.5). All
+  /// accounting still happens here, on the search thread: measurements are
+  /// content-pure, so a fleet run's report is byte-identical to the local
+  /// serial run. `trial_workers` keeps its meaning as the SIMULATED
+  /// worker count used for wall-clock accounting — real fleet size never
+  /// leaks into the report.
+  std::shared_ptr<FleetCoordinator> fleet;
+
   std::uint64_t seed = 1;
 
   EdgeTuneOptions();
+};
+
+/// The raw, content-pure result of measuring one trial: everything the
+/// batch-commit accounting walk needs, nothing it decides. Produced on the
+/// search thread (serial), a local pool thread, or a remote fleet worker —
+/// identical for identical (options, request) wherever and whenever it ran,
+/// which is what lets one authority (the coordinator / search thread) own
+/// all cost accounting (DESIGN §5.5).
+struct TrialMeasurement {
+  Status setup_status;  // budget-policy / architecture derivation failure
+  std::string arch_id;  // empty iff setup failed
+  Status train_status;  // final training outcome after retries
+  int attempts = 1;
+  double retry_backoff_s = 0;
+  TrialOutcome outcome;  // valid iff train_status is OK
+  /// Inference tuning was requested (inference_aware and setup succeeded).
+  bool inference_attempted = false;
+  Status inference_status;      // flight outcome (meaningful iff attempted)
+  InferenceRecommendation rec;  // raw observation, valid iff status is OK
 };
 
 /// One line of the tuning log (feeds Fig 12's per-trial series). Failed
@@ -162,6 +193,14 @@ class EdgeTune {
 
   /// Runs the complete tuning job (Alg. 1).
   [[nodiscard]] Result<TuningReport> run();
+
+  /// Measures one trial: the retried training run plus the pipelined
+  /// inference-tuning request, with NO accounting decisions. Thread-safe and
+  /// content-pure — the result depends only on the constructor options and
+  /// the request, never on scheduling — so local pool threads and remote
+  /// fleet workers are interchangeable. run() folds measurements into the
+  /// report in a single-threaded commit walk.
+  [[nodiscard]] TrialMeasurement measure_one(const EvalRequest& request);
 
   /// The onefold model-server search space for this workload (§5.1 ranges).
   [[nodiscard]] SearchSpace model_search_space() const;

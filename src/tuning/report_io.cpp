@@ -57,6 +57,15 @@ Json inference_to_json(const InferenceRecommendation& rec) {
   return Json(std::move(obj));
 }
 
+// Encodes a status as {"code", "message"}; OK statuses are simply omitted
+// from the enclosing object, matching status_from_json's absent => OK.
+Json status_to_json(const Status& status) {
+  JsonObject obj;
+  obj.emplace("code", status_code_flag_name(status.code()));
+  obj.emplace("message", status.message());
+  return Json(std::move(obj));
+}
+
 InferenceRecommendation inference_from_json(const Json* json) {
   InferenceRecommendation rec;
   if (json == nullptr) return rec;
@@ -210,6 +219,78 @@ Result<TuningReport> load_report(const std::string& path) {
   buffer << in.rdbuf();
   ET_ASSIGN_OR_RETURN(Json json, Json::parse(buffer.str()));
   return report_from_json(json);
+}
+
+Json eval_request_to_json(const EvalRequest& request) {
+  JsonObject obj;
+  obj.emplace("trial_index", request.trial_index);
+  obj.emplace("config", config_to_json(request.config));
+  obj.emplace("resource", request.resource);
+  return Json(std::move(obj));
+}
+
+Result<EvalRequest> eval_request_from_json(const Json& json) {
+  if (!json.is_object() || json.find("config") == nullptr) {
+    return Status::unavailable("malformed EvalRequest on the wire");
+  }
+  EvalRequest request;
+  request.trial_index = static_cast<int>(json.get_number("trial_index", 0));
+  request.config = config_from_json(json.find("config"));
+  request.resource = json.get_number("resource", 0);
+  return request;
+}
+
+Json trial_measurement_to_json(const TrialMeasurement& measurement) {
+  JsonObject obj;
+  if (!measurement.setup_status.is_ok()) {
+    obj.emplace("setup_status", status_to_json(measurement.setup_status));
+  }
+  obj.emplace("arch_id", measurement.arch_id);
+  if (!measurement.train_status.is_ok()) {
+    obj.emplace("train_status", status_to_json(measurement.train_status));
+  }
+  obj.emplace("attempts", measurement.attempts);
+  obj.emplace("retry_backoff_s", measurement.retry_backoff_s);
+  JsonObject outcome;
+  outcome.emplace("accuracy", measurement.outcome.accuracy);
+  outcome.emplace("train_time_s", measurement.outcome.train_time_s);
+  outcome.emplace("train_energy_j", measurement.outcome.train_energy_j);
+  outcome.emplace("arch_id", measurement.outcome.arch_id);
+  obj.emplace("outcome", std::move(outcome));
+  obj.emplace("inference_attempted", measurement.inference_attempted);
+  if (measurement.inference_attempted) {
+    if (!measurement.inference_status.is_ok()) {
+      obj.emplace("inference_status",
+                  status_to_json(measurement.inference_status));
+    }
+    obj.emplace("rec", inference_to_json(measurement.rec));
+  }
+  return Json(std::move(obj));
+}
+
+Result<TrialMeasurement> trial_measurement_from_json(const Json& json) {
+  if (!json.is_object() || json.find("arch_id") == nullptr) {
+    return Status::unavailable("malformed TrialMeasurement on the wire");
+  }
+  TrialMeasurement m;
+  m.setup_status = status_from_json(json.find("setup_status"));
+  m.arch_id = json.get_string("arch_id", "");
+  m.train_status = status_from_json(json.find("train_status"));
+  m.attempts = static_cast<int>(json.get_number("attempts", 1));
+  m.retry_backoff_s = json.get_number("retry_backoff_s", 0);
+  if (const Json* outcome = json.find("outcome");
+      outcome != nullptr && outcome->is_object()) {
+    m.outcome.accuracy = outcome->get_number("accuracy", 0);
+    m.outcome.train_time_s = outcome->get_number("train_time_s", 0);
+    m.outcome.train_energy_j = outcome->get_number("train_energy_j", 0);
+    m.outcome.arch_id = outcome->get_string("arch_id", "");
+  }
+  m.inference_attempted = json.get_bool("inference_attempted", false);
+  if (m.inference_attempted) {
+    m.inference_status = status_from_json(json.find("inference_status"));
+    m.rec = inference_from_json(json.find("rec"));
+  }
+  return m;
 }
 
 Status save_trials_csv(const TuningReport& report, const std::string& path) {

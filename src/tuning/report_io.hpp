@@ -24,4 +24,18 @@ Result<TuningReport> load_report(const std::string& path);
 /// for spreadsheet/plotting workflows.
 Status save_trials_csv(const TuningReport& report, const std::string& path);
 
+// --- Fleet wire marshaling (DESIGN §5.5). EvalRequests travel coordinator
+// -> worker inside BATCH frames; TrialMeasurements travel back in RESULT
+// frames. Numbers round-trip exactly (%.17g), so a measurement marshaled
+// through the wire is bit-identical to one taken in-process — the basis of
+// the fleet's byte-parity guarantee.
+
+Json eval_request_to_json(const EvalRequest& request);
+/// Malformed input decodes to kUnavailable: the coordinator treats an
+/// undecodable worker like a lost one and reschedules the trial.
+Result<EvalRequest> eval_request_from_json(const Json& json);
+
+Json trial_measurement_to_json(const TrialMeasurement& measurement);
+Result<TrialMeasurement> trial_measurement_from_json(const Json& json);
+
 }  // namespace edgetune

@@ -274,6 +274,24 @@ TEST(StringsTest, FormatDouble) {
   EXPECT_EQ(format_double(-1.0, 0), "-1");
 }
 
+TEST(StringsTest, ParseIntIsStrict) {
+  int value = -1;
+  EXPECT_TRUE(parse_int("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(parse_int("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(parse_int("0", &value));
+  EXPECT_EQ(value, 0);
+
+  value = 123;
+  EXPECT_FALSE(parse_int("", &value));
+  EXPECT_FALSE(parse_int("12x", &value));   // trailing junk
+  EXPECT_FALSE(parse_int(" 12", &value));   // leading space
+  EXPECT_FALSE(parse_int("1.5", &value));   // not an integer
+  EXPECT_FALSE(parse_int("99999999999999", &value));  // out of range
+  EXPECT_EQ(value, 123);  // failures leave *out untouched
+}
+
 TEST(StringsTest, HumanCount) {
   EXPECT_EQ(human_count(1500), "1.50 K");
   EXPECT_EQ(human_count(2.5e9), "2.50 G");

@@ -12,6 +12,7 @@
 #include "tuning/baselines.hpp"
 #include "tuning/job_server.hpp"
 #include "tuning/model_server.hpp"
+#include "tuning/report_io.hpp"
 
 namespace edgetune {
 namespace {
@@ -293,6 +294,29 @@ TEST(ParallelSearchTest, HierarchicalParallelMatchesSerial) {
   }
   EXPECT_LE(parallel.value().tuning_runtime_s,
             serial.value().tuning_runtime_s + 1e-9);
+}
+
+TEST(ParallelSearchTest, RepeatedHierarchicalRunsAreByteIdentical) {
+  // The headline bug this PR fixes: with --trial-workers 4 the hierarchical
+  // tier-2 grid shares one architecture across its whole batch, and the
+  // single-flight tuning bill used to land on whichever trial won the
+  // inference flight — a scheduling race, so repeated runs disagreed in
+  // duration/billing fields even though every objective matched. Billing is
+  // now resolved by content (earliest executed member pays), so ten runs at
+  // four workers must serialize to EXACTLY the same bytes, durations and
+  // cache flags included.
+  const std::string first = [] {
+    Result<TuningReport> report = run_hierarchical(small_tuning_options(4));
+    EXPECT_TRUE(report.ok()) << report.status().to_string();
+    return report.ok() ? report_to_json(report.value()).dump()
+                       : std::string("<failed>");
+  }();
+  for (int run = 1; run < 10; ++run) {
+    Result<TuningReport> report = run_hierarchical(small_tuning_options(4));
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_EQ(report_to_json(report.value()).dump(), first)
+        << "hierarchical report diverged on repeat run " << run;
+  }
 }
 
 TEST(ParallelSearchTest, ConcurrentInferenceSubmitsOverlap) {

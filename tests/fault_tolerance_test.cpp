@@ -69,6 +69,25 @@ TEST(FaultSpecTest, ParsesSemicolonSeparatedPlan) {
   EXPECT_FALSE(parse_fault_plan("site=a,rate=0.1;bogus").ok());
 }
 
+TEST(FaultSpecTest, RejectsDuplicateSiteSpecs) {
+  // Two specs for one site used to both load; which one fired depended
+  // silently on plan order. A plan now holds at most one spec per site.
+  Result<std::vector<FaultSpec>> plan = parse_fault_plan(
+      "site=trial.train,rate=0.2;site=trial.train,fail_first=1");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("duplicate fault spec for site"),
+            std::string::npos)
+      << plan.status().message();
+  EXPECT_NE(plan.status().message().find("trial.train"), std::string::npos)
+      << plan.status().message();
+
+  // Same site across DIFFERENT fault domains is fine — only within one plan.
+  Result<std::vector<FaultSpec>> distinct = parse_fault_plan(
+      "site=trial.train,rate=0.2;site=worker.drop,fail_first=1");
+  EXPECT_TRUE(distinct.ok()) << distinct.status().to_string();
+}
+
 TEST(FaultSpecTest, StatusCodeNamesRoundTrip) {
   for (const char* name :
        {"invalid_argument", "not_found", "out_of_range", "failed_precondition",

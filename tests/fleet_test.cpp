@@ -1,0 +1,521 @@
+// Tests for the distributed tuning fleet (DESIGN §5.5): wire framing and
+// its failure modes, the fleet message marshaling, the options fingerprint,
+// coordinator loss handling (requeue onto survivors, attempt exhaustion,
+// no-worker grace), and the headline property — a fleet run's report is
+// byte-identical to the single-process serial run, even across injected
+// worker drops.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "net/frame.hpp"
+#include "net/messages.hpp"
+#include "net/socket.hpp"
+#include "tuning/fleet.hpp"
+#include "tuning/model_server.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+namespace {
+
+/// A connected loopback socket pair: write on one end, read on the other.
+struct SocketPair {
+  TcpListener listener;
+  TcpStream client;
+  TcpStream server;
+};
+
+SocketPair make_socket_pair() {
+  SocketPair pair;
+  Result<TcpListener> listener = TcpListener::listen(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().to_string();
+  pair.listener = std::move(listener).value();
+  Result<TcpStream> client =
+      TcpStream::connect("127.0.0.1", pair.listener.port());
+  EXPECT_TRUE(client.ok()) << client.status().to_string();
+  pair.client = std::move(client).value();
+  Result<TcpStream> server = pair.listener.accept();
+  EXPECT_TRUE(server.ok()) << server.status().to_string();
+  pair.server = std::move(server).value();
+  return pair;
+}
+
+// --- Framing ---------------------------------------------------------------
+
+TEST(FrameTest, RoundTripOverLoopback) {
+  SocketPair pair = make_socket_pair();
+  const std::string payload = "{\"hello\":\"fleet\"}";
+  ASSERT_TRUE(write_frame(pair.client, 42, payload).is_ok());
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+  EXPECT_EQ(frame.value().type, 42);
+  EXPECT_EQ(frame.value().payload, payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(write_frame(pair.client, 7, "").is_ok());
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+  EXPECT_EQ(frame.value().type, 7);
+  EXPECT_TRUE(frame.value().payload.empty());
+}
+
+TEST(FrameTest, TruncatedFrameIsUnavailable) {
+  // Header promises 100 payload bytes; the peer sends 3 and hangs up.
+  SocketPair pair = make_socket_pair();
+  const std::uint8_t header[5] = {0, 0, 0, 100, 1};
+  ASSERT_TRUE(pair.client.write_all(header, sizeof header).is_ok());
+  ASSERT_TRUE(pair.client.write_all("abc", 3).is_ok());
+  pair.client.close();
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, TruncatedHeaderIsUnavailable) {
+  SocketPair pair = make_socket_pair();
+  const std::uint8_t partial[2] = {0, 0};
+  ASSERT_TRUE(pair.client.write_all(partial, sizeof partial).is_ok());
+  pair.client.close();
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, OversizedLengthPrefixRejectedBeforePayload) {
+  // A hostile length prefix (4 GiB) must be refused from the header alone —
+  // no allocation, no attempt to read the payload. The peer deliberately
+  // sends nothing after the header: if the reader tried to consume the
+  // payload it would block until the receive timeout instead of failing
+  // immediately.
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(pair.server.set_receive_timeout(5.0).is_ok());
+  const std::uint8_t header[5] = {0xFF, 0xFF, 0xFF, 0xFF, 1};
+  ASSERT_TRUE(pair.client.write_all(header, sizeof header).is_ok());
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(frame.status().message().find("exceeds"), std::string::npos)
+      << frame.status().message();
+}
+
+TEST(FrameTest, ClosedPeerIsUnavailable) {
+  SocketPair pair = make_socket_pair();
+  pair.client.close();
+  Result<Frame> frame = read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+// --- Messages --------------------------------------------------------------
+
+TEST(MessageTest, GarbagePayloadIsUnavailable) {
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(
+      write_frame(pair.client,
+                  static_cast<std::uint8_t>(MessageType::kHello),
+                  "this is not json {{{").is_ok());
+  Result<Message> msg = read_message(pair.server);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, UnknownTypeByteIsUnavailable) {
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(write_frame(pair.client, 99, "{}").is_ok());
+  Result<Message> msg = read_message(pair.server);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, NonObjectBodyIsUnavailable) {
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(
+      write_frame(pair.client,
+                  static_cast<std::uint8_t>(MessageType::kPull),
+                  "[1,2,3]").is_ok());
+  Result<Message> msg = read_message(pair.server);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, HandshakeMessagesRoundTrip) {
+  HelloMessage hello;
+  hello.options_fingerprint = "00ff00ff00ff00ff";
+  Result<HelloMessage> hello2 = hello_from_json(hello_to_json(hello));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2.value().protocol_version, kFleetProtocolVersion);
+  EXPECT_EQ(hello2.value().options_fingerprint, hello.options_fingerprint);
+
+  WelcomeMessage welcome;
+  welcome.worker_id = 17;
+  Result<WelcomeMessage> welcome2 =
+      welcome_from_json(welcome_to_json(welcome));
+  ASSERT_TRUE(welcome2.ok());
+  EXPECT_EQ(welcome2.value().worker_id, 17);
+
+  PullMessage pull;
+  pull.max_trials = 4;
+  Result<PullMessage> pull2 = pull_from_json(pull_to_json(pull));
+  ASSERT_TRUE(pull2.ok());
+  EXPECT_EQ(pull2.value().max_trials, 4);
+}
+
+// --- Marshaling ------------------------------------------------------------
+
+TEST(MarshalTest, EvalRequestRoundTripsExactly) {
+  EvalRequest request;
+  request.trial_index = 13;
+  request.config = {{"lr", 0.1 + 0.2}, {"layers", 3.0}, {"dropout", 1e-17}};
+  request.resource = 2.0 / 3.0;
+  Result<EvalRequest> back = eval_request_from_json(eval_request_to_json(request));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().trial_index, request.trial_index);
+  EXPECT_EQ(back.value().config, request.config);  // bit-exact doubles
+  EXPECT_EQ(back.value().resource, request.resource);
+}
+
+TEST(MarshalTest, TrialMeasurementRoundTripsExactly) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.runner.proxy_samples = 240;
+  options.inference.algorithm = "grid";
+  options.seed = 5;
+  EdgeTune tuner(options);
+  EvalRequest request;
+  request.trial_index = 0;
+  Rng rng(7);
+  request.config = tuner.model_search_space().sample(rng);
+  request.resource = 4;
+
+  const TrialMeasurement original = tuner.measure_one(request);
+  Result<TrialMeasurement> back =
+      trial_measurement_from_json(trial_measurement_to_json(original));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  const TrialMeasurement& m = back.value();
+  EXPECT_EQ(m.setup_status.code(), original.setup_status.code());
+  EXPECT_EQ(m.train_status.code(), original.train_status.code());
+  EXPECT_EQ(m.arch_id, original.arch_id);
+  EXPECT_EQ(m.attempts, original.attempts);
+  EXPECT_EQ(m.retry_backoff_s, original.retry_backoff_s);  // bit-exact
+  EXPECT_EQ(m.outcome.accuracy, original.outcome.accuracy);
+  EXPECT_EQ(m.outcome.train_time_s, original.outcome.train_time_s);
+  EXPECT_EQ(m.outcome.train_energy_j, original.outcome.train_energy_j);
+  EXPECT_EQ(m.inference_attempted, original.inference_attempted);
+  EXPECT_EQ(m.inference_status.code(), original.inference_status.code());
+  EXPECT_EQ(m.rec.config, original.rec.config);
+  EXPECT_EQ(m.rec.latency_s, original.rec.latency_s);
+  EXPECT_EQ(m.rec.throughput_sps, original.rec.throughput_sps);
+  EXPECT_EQ(m.rec.tuning_time_s, original.rec.tuning_time_s);
+  EXPECT_EQ(m.rec.tuning_energy_j, original.rec.tuning_energy_j);
+}
+
+TEST(MarshalTest, MalformedMeasurementIsUnavailable) {
+  Json garbage = Json(JsonArray{});
+  EXPECT_FALSE(trial_measurement_from_json(garbage).ok());
+  EXPECT_FALSE(eval_request_from_json(garbage).ok());
+}
+
+// --- Content keys and fingerprints -----------------------------------------
+
+TEST(FleetIdentityTest, TrialContentKeyIgnoresTrialIndex) {
+  EvalRequest a;
+  a.trial_index = 0;
+  a.config = {{"lr", 0.5}};
+  a.resource = 4;
+  EvalRequest b = a;
+  b.trial_index = 99;  // scheduling identity, not content
+  EXPECT_EQ(trial_content_key(a), trial_content_key(b));
+  b.resource = 8;
+  EXPECT_NE(trial_content_key(a), trial_content_key(b));
+}
+
+TEST(FleetIdentityTest, FingerprintCoversMeasurementOptionsOnly) {
+  EdgeTuneOptions options;
+  options.seed = 5;
+  const std::string base = measurement_fingerprint(options);
+  EXPECT_EQ(base.size(), 16u);  // 64-bit hex
+
+  EdgeTuneOptions same = options;
+  same.trial_workers = 8;       // scheduling: simulated worker count
+  same.inference.workers = 3;   // scheduling: local pipeline width
+  EXPECT_EQ(measurement_fingerprint(same), base);
+
+  EdgeTuneOptions reseeded = options;
+  reseeded.seed = 6;
+  EXPECT_NE(measurement_fingerprint(reseeded), base);
+
+  EdgeTuneOptions refitted = options;
+  refitted.runner.proxy_samples += 1;
+  EXPECT_NE(measurement_fingerprint(refitted), base);
+
+  EdgeTuneOptions refaulted = options;
+  Result<std::vector<FaultSpec>> plan =
+      parse_fault_plan("site=trial.train,fail_first=1");
+  ASSERT_TRUE(plan.ok());
+  refaulted.faults = plan.value();
+  EXPECT_NE(measurement_fingerprint(refaulted), base);
+}
+
+// --- Coordinator loss handling ---------------------------------------------
+
+EdgeTuneOptions fleet_options() {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.hyperband = {1, 4, 2, 1};
+  options.runner.proxy_samples = 240;
+  options.inference.algorithm = "grid";
+  options.seed = 5;
+  return options;
+}
+
+FleetOptions fast_coordinator_options() {
+  FleetOptions fleet;
+  fleet.port = 0;
+  fleet.no_worker_grace_s = 0.3;
+  return fleet;
+}
+
+TEST(FleetCoordinatorTest, NoWorkersFailsBatchInsteadOfHanging) {
+  const EdgeTuneOptions options = fleet_options();
+  FleetCoordinator coordinator(fast_coordinator_options(),
+                               measurement_fingerprint(options));
+  ASSERT_TRUE(coordinator.start().is_ok());
+
+  std::vector<EvalRequest> batch(2);
+  batch[0].trial_index = 0;
+  batch[0].config = {{"lr", 0.5}};
+  batch[0].resource = 4;
+  batch[1] = batch[0];
+  batch[1].trial_index = 1;
+  const std::vector<TrialMeasurement> results =
+      coordinator.measure_batch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  for (const TrialMeasurement& m : results) {
+    EXPECT_EQ(m.train_status.code(), StatusCode::kUnavailable)
+        << m.train_status.to_string();
+  }
+  coordinator.shutdown();
+}
+
+TEST(FleetCoordinatorTest, WorkerRefusedOnFingerprintMismatch) {
+  const EdgeTuneOptions options = fleet_options();
+  FleetCoordinator coordinator(fast_coordinator_options(),
+                               "0000000000000000");  // nothing matches this
+  ASSERT_TRUE(coordinator.start().is_ok());
+  const Status status =
+      run_fleet_worker("127.0.0.1", coordinator.port(), options);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.to_string();
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos)
+      << status.message();
+  coordinator.shutdown();
+}
+
+TEST(FleetCoordinatorTest, WorkerRefusedOnProtocolVersionMismatch) {
+  const EdgeTuneOptions options = fleet_options();
+  FleetCoordinator coordinator(fast_coordinator_options(),
+                               measurement_fingerprint(options));
+  ASSERT_TRUE(coordinator.start().is_ok());
+
+  Result<TcpStream> conn = TcpStream::connect("127.0.0.1", coordinator.port());
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  TcpStream stream = std::move(conn).value();
+  HelloMessage hello;
+  hello.protocol_version = 99;
+  hello.options_fingerprint = measurement_fingerprint(options);
+  ASSERT_TRUE(
+      write_message(stream, MessageType::kHello, hello_to_json(hello))
+          .is_ok());
+  Result<Message> reply = read_message(stream);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_NE(reply.value().body.get_string("message", "").find("version"),
+            std::string::npos);
+  coordinator.shutdown();
+}
+
+/// Connects as a protocol-correct worker, pulls up to `pull` trials, then
+/// vanishes without returning a single result. Returns how many trials it
+/// was granted (-1 on any protocol error).
+int pull_and_vanish(int port, const std::string& fingerprint, int pull) {
+  Result<TcpStream> conn = TcpStream::connect("127.0.0.1", port);
+  if (!conn.ok()) return -1;
+  TcpStream stream = std::move(conn).value();
+  HelloMessage hello;
+  hello.options_fingerprint = fingerprint;
+  if (!write_message(stream, MessageType::kHello, hello_to_json(hello))
+           .is_ok()) {
+    return -1;
+  }
+  Result<Message> welcome = read_message(stream);
+  if (!welcome.ok() || welcome.value().type != MessageType::kWelcome) {
+    return -1;
+  }
+  PullMessage request;
+  request.max_trials = pull;
+  if (!write_message(stream, MessageType::kPull, pull_to_json(request))
+           .is_ok()) {
+    return -1;
+  }
+  Result<Message> batch = read_message(stream);
+  if (!batch.ok() || batch.value().type != MessageType::kBatch) return -1;
+  const Json* trials = batch.value().body.find("trials");
+  if (trials == nullptr || !trials->is_array()) return -1;
+  stream.close();  // mid-batch disconnect: all granted trials still pending
+  return static_cast<int>(trials->as_array().size());
+}
+
+TEST(FleetCoordinatorTest, MidBatchDisconnectRequeuesOntoSurvivor) {
+  const EdgeTuneOptions options = fleet_options();
+  const std::string fingerprint = measurement_fingerprint(options);
+  FleetOptions fleet = fast_coordinator_options();
+  fleet.no_worker_grace_s = 10;  // the survivor needs time to boot
+  FleetCoordinator coordinator(fleet, fingerprint);
+  ASSERT_TRUE(coordinator.start().is_ok());
+
+  // Build a small real batch from the model search space.
+  EdgeTune tuner(options);
+  Rng rng(7);
+  std::vector<EvalRequest> batch(3);
+  for (int i = 0; i < 3; ++i) {
+    batch[i].trial_index = i;
+    batch[i].config = tuner.model_search_space().sample(rng);
+    batch[i].resource = 4;
+  }
+
+  std::vector<TrialMeasurement> results;
+  std::thread search([&] { results = coordinator.measure_batch(batch); });
+
+  // A faulty worker grabs the whole batch and dies without reporting.
+  const int granted = pull_and_vanish(coordinator.port(), fingerprint, 16);
+  EXPECT_EQ(granted, 3);
+
+  // A healthy worker then joins and must complete every requeued trial.
+  std::thread survivor([&] {
+    const Status status =
+        run_fleet_worker("127.0.0.1", coordinator.port(), options);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  });
+
+  search.join();
+  coordinator.shutdown();
+  survivor.join();
+
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].train_status.is_ok())
+        << results[i].train_status.to_string();
+    // Measurements are content-pure: the survivor's answer must equal a
+    // local one for the identical request.
+    const TrialMeasurement local = tuner.measure_one(batch[i]);
+    EXPECT_EQ(results[i].arch_id, local.arch_id);
+    EXPECT_EQ(results[i].outcome.accuracy, local.outcome.accuracy);
+    EXPECT_EQ(results[i].outcome.train_time_s, local.outcome.train_time_s);
+  }
+}
+
+TEST(FleetCoordinatorTest, RepeatedLossesExhaustDispatchAttempts) {
+  const EdgeTuneOptions options = fleet_options();
+  const std::string fingerprint = measurement_fingerprint(options);
+  FleetOptions fleet = fast_coordinator_options();
+  fleet.max_dispatch_attempts = 2;
+  fleet.no_worker_grace_s = 10;  // losses, not absence, must end this batch
+  FleetCoordinator coordinator(fleet, fingerprint);
+  ASSERT_TRUE(coordinator.start().is_ok());
+
+  std::vector<EvalRequest> batch(2);
+  batch[0].trial_index = 0;
+  batch[0].config = {{"lr", 0.5}};
+  batch[0].resource = 4;
+  batch[1] = batch[0];
+  batch[1].trial_index = 1;
+
+  std::vector<TrialMeasurement> results;
+  std::thread search([&] { results = coordinator.measure_batch(batch); });
+  // Two vanishing workers burn both dispatch attempts for both trials.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(pull_and_vanish(coordinator.port(), fingerprint, 16), 2);
+  }
+  search.join();
+  coordinator.shutdown();
+
+  ASSERT_EQ(results.size(), 2u);
+  for (const TrialMeasurement& m : results) {
+    EXPECT_EQ(m.train_status.code(), StatusCode::kUnavailable)
+        << m.train_status.to_string();
+    EXPECT_EQ(m.attempts, 2);
+    EXPECT_NE(m.train_status.message().find("dispatch attempts"),
+              std::string::npos)
+        << m.train_status.message();
+  }
+}
+
+// --- End-to-end byte parity ------------------------------------------------
+
+/// Runs the full EdgeTune search on an in-process fleet of `workers` worker
+/// threads and returns the dumped report JSON.
+std::string run_on_fleet(const EdgeTuneOptions& base, int workers) {
+  FleetOptions fleet_opts;
+  fleet_opts.port = 0;
+  auto fleet = std::make_shared<FleetCoordinator>(
+      fleet_opts, measurement_fingerprint(base));
+  EXPECT_TRUE(fleet->start().is_ok());
+
+  std::vector<std::thread> crew;
+  crew.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    crew.emplace_back([&base, port = fleet->port()] {
+      const Status status = run_fleet_worker("127.0.0.1", port, base);
+      EXPECT_TRUE(status.is_ok()) << status.to_string();
+    });
+  }
+  EXPECT_TRUE(fleet->wait_for_workers(workers, 30).is_ok());
+
+  EdgeTuneOptions options = base;
+  options.fleet = fleet;
+  Result<TuningReport> report = EdgeTune(std::move(options)).run();
+  fleet->shutdown();
+  for (std::thread& thread : crew) thread.join();
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  if (!report.ok()) return "<fleet run failed>";
+  return report_to_json(report.value()).dump();
+}
+
+TEST(FleetParityTest, FleetReportIsByteIdenticalToSerial) {
+  const EdgeTuneOptions options = fleet_options();
+  Result<TuningReport> serial = EdgeTune(options).run();
+  ASSERT_TRUE(serial.ok()) << serial.status().to_string();
+  const std::string serial_dump = report_to_json(serial.value()).dump();
+  EXPECT_EQ(run_on_fleet(options, 2), serial_dump);
+}
+
+TEST(FleetParityTest, InjectedWorkerDropsKeepByteParity) {
+  // Every trial's first dispatch is dropped by the worker that drew it; the
+  // coordinator re-dispatches, the retry succeeds, and the report still
+  // equals the serial run's — worker loss may cost wall-clock, never bits.
+  EdgeTuneOptions options = fleet_options();
+  Result<std::vector<FaultSpec>> plan =
+      parse_fault_plan("site=worker.drop,fail_first=1");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  options.faults.insert(options.faults.end(), plan.value().begin(),
+                        plan.value().end());
+
+  // worker.drop never fires in-process, so the serial report is the same
+  // with or without the plan — but run it WITH the plan so the options
+  // fingerprints (and any fault accounting) agree exactly.
+  Result<TuningReport> serial = EdgeTune(options).run();
+  ASSERT_TRUE(serial.ok()) << serial.status().to_string();
+  const std::string serial_dump = report_to_json(serial.value()).dump();
+  EXPECT_EQ(run_on_fleet(options, 2), serial_dump);
+}
+
+}  // namespace
+}  // namespace edgetune

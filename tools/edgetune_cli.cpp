@@ -11,12 +11,15 @@
 //   edgetune --workload NLP --edge-device i7 --report out.json
 #include <cstdio>
 
+#include <memory>
+
 #include "common/fault.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "tuning/baselines.hpp"
 #include "device/profile_io.hpp"
 #include "tuning/finalize.hpp"
+#include "tuning/fleet.hpp"
 #include "tuning/pareto.hpp"
 #include "tuning/report_io.hpp"
 
@@ -103,6 +106,18 @@ int main(int argc, char** argv) {
       .define("max-trial-failures", "1.0",
               "abort once more than this fraction of trials failed "
               "permanently (1.0 = degrade gracefully, 0 = fail fast)")
+      .define("coordinator", "",
+              "run as fleet coordinator: listen on this port and dispatch "
+              "trial measurement to connected workers (requires --system "
+              "edgetune)")
+      .define("worker", "",
+              "run as fleet worker: connect to a coordinator at host:port "
+              "and measure dispatched trials (pass the same tuning flags as "
+              "the coordinator)")
+      .define("fleet-workers", "2",
+              "coordinator: workers to wait for before tuning starts")
+      .define("fleet-timeout", "60",
+              "coordinator: seconds to wait for --fleet-workers to connect")
       .define("seed", "7", "master seed")
       .define("help", "false", "print this help");
 
@@ -147,6 +162,13 @@ int main(int argc, char** argv) {
   options.hyperband.eta = flags.get_double("eta");
   options.hyperband.max_brackets = 2;
   options.trial_workers = static_cast<int>(flags.get_int("trial-workers"));
+  if (options.trial_workers < 1) {
+    std::fprintf(stderr,
+                 "--trial-workers must be >= 1 (got %d); 1 runs trials "
+                 "serially\n",
+                 options.trial_workers);
+    return 2;
+  }
   options.intra_op_threads =
       static_cast<int>(flags.get_int("intra-op-threads"));
   options.inference.workers =
@@ -178,6 +200,88 @@ int main(int argc, char** argv) {
   }
 
   const std::string system = flags.get("system");
+
+  // --- Fleet roles (DESIGN §5.5). A worker never tunes: it serves
+  // measurements to a coordinator. A coordinator tunes as usual but ships
+  // every batch to its workers; the report it writes is byte-identical to
+  // the single-process serial run with the same flags.
+  const std::string coordinator_port = flags.get("coordinator");
+  const std::string worker_target = flags.get("worker");
+  if (!coordinator_port.empty() && !worker_target.empty()) {
+    std::fprintf(stderr,
+                 "--coordinator and --worker are mutually exclusive: one "
+                 "process plays one fleet role\n");
+    return 2;
+  }
+  if (!coordinator_port.empty() || !worker_target.empty()) {
+    if (system != "edgetune") {
+      std::fprintf(stderr,
+                   "fleet mode requires --system edgetune (the baselines "
+                   "measure locally)\n");
+      return 2;
+    }
+    if (!flags.get("cache-file").empty()) {
+      std::fprintf(stderr,
+                   "--cache-file is not supported in fleet mode: workers "
+                   "keep independent in-memory caches and the report does "
+                   "not depend on them\n");
+      return 2;
+    }
+  }
+  if (!worker_target.empty()) {
+    const std::size_t colon = worker_target.rfind(':');
+    int port = 0;
+    if (colon == std::string::npos ||
+        !parse_int(worker_target.substr(colon + 1), &port) || port < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "--worker expects host:port, got \"%s\"\n",
+                   worker_target.c_str());
+      return 2;
+    }
+    Status status =
+        run_fleet_worker(worker_target.substr(0, colon), port, options);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "fleet worker failed: %s\n",
+                   status.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  std::shared_ptr<FleetCoordinator> fleet;
+  if (!coordinator_port.empty()) {
+    int port = 0;
+    if (!parse_int(coordinator_port, &port) || port < 0 || port > 65535) {
+      std::fprintf(stderr,
+                   "--coordinator expects a port (0 = ephemeral), got "
+                   "\"%s\"\n",
+                   coordinator_port.c_str());
+      return 2;
+    }
+    FleetOptions fleet_options;
+    fleet_options.port = port;
+    fleet = std::make_shared<FleetCoordinator>(
+        fleet_options, measurement_fingerprint(options));
+    if (Status status = fleet->start(); !status.is_ok()) {
+      std::fprintf(stderr, "coordinator failed to start: %s\n",
+                   status.to_string().c_str());
+      return 1;
+    }
+    std::printf("fleet coordinator on 127.0.0.1:%d\n", fleet->port());
+    const int expected = static_cast<int>(flags.get_int("fleet-workers"));
+    if (expected < 1) {
+      std::fprintf(stderr, "--fleet-workers must be >= 1 (got %d)\n",
+                   expected);
+      return 2;
+    }
+    if (Status status = fleet->wait_for_workers(
+            expected, flags.get_double("fleet-timeout"));
+        !status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    options.fleet = fleet;
+  }
+
   Result<TuningReport> report = [&]() -> Result<TuningReport> {
     if (system == "edgetune") return EdgeTune(options).run();
     if (system == "tune") return run_tune_baseline(options);
@@ -187,6 +291,7 @@ int main(int argc, char** argv) {
     if (system == "hierarchical") return run_hierarchical(options);
     return Status::invalid_argument("unknown --system " + system);
   }();
+  if (fleet) fleet->shutdown();
   if (!report.ok()) {
     std::fprintf(stderr, "tuning failed: %s\n",
                  report.status().to_string().c_str());
