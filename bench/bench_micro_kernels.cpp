@@ -12,6 +12,7 @@
 #include "nn/optimizer.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tuning/routine_tuner.hpp"
 
 namespace edgetune {
 namespace {
@@ -100,6 +101,60 @@ BENCHMARK(BM_ConvLoweredGemm)
     ->Args({256, 32, 144})    // mid block, stride 2
     ->Args({1024, 64, 576})   // deep block: 64 filters over 3x3x64
     ->Args({512, 10, 256});   // classifier-style tall-skinny
+
+// Every registered GEMM routine over the conv-lowered shape set: the raw
+// material behind the routine tuner's per-shape-class choices (DESIGN §5.6).
+// Rows are named BM_GemmRoutine<name>/rows/out_c/patch so the tuned
+// assignment can be checked against the fixed default per shape class.
+void RoutineShapeBench(benchmark::State& state, GemmRoutineId id) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t out_c = state.range(1);
+  const std::int64_t patch = state.range(2);
+  Rng rng(2);
+  Tensor cols = Tensor::randn({rows, patch}, rng);
+  Tensor w = Tensor::randn({out_c, patch}, rng);
+  Tensor out({rows, out_c});
+  for (auto _ : state) {
+    gemm_with_routine(id, GemmLayout::kNT, rows, out_c, patch, cols.data(),
+                      w.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * out_c * patch);
+}
+
+const bool kRoutineBenchesRegistered = [] {
+  for (const GemmRoutineInfo& info : gemm_routine_registry()) {
+    auto* bench = benchmark::RegisterBenchmark(
+        (std::string("BM_GemmRoutine<") + info.name + ">").c_str(),
+        RoutineShapeBench, info.id);
+    bench->Args({1024, 16, 27})
+        ->Args({256, 32, 144})
+        ->Args({1024, 64, 576})
+        ->Args({512, 10, 256});
+  }
+  return true;
+}();
+
+// The whole-network assignment question: DP with layout-conversion edge
+// costs vs per-op greedy vs the fixed blocked default, on the M5 speech
+// fixture (5 GEMM shape classes) over the Raspberry Pi profile. Counters
+// carry the predicted latencies; the recorded row documents
+// dp_ms < greedy_ms < fixed_blocked_ms on this arch.
+void BM_RoutineAssignment(benchmark::State& state) {
+  Rng rng(3);
+  ArchSpec arch = build_m5({}, rng).value().arch;
+  AnalyticRoutineTimer timer(device_rpi3b());
+  RoutineAssignment assignment;
+  for (auto _ : state) {
+    RoutineTuner tuner(timer, nullptr);
+    assignment = tuner.assign(routine_ops_for_arch(arch, 16));
+    benchmark::DoNotOptimize(assignment.ops.data());
+  }
+  state.counters["dp_ms"] = assignment.total_s * 1e3;
+  state.counters["greedy_ms"] = assignment.greedy_s * 1e3;
+  state.counters["fixed_blocked_ms"] = assignment.fixed_blocked_s * 1e3;
+}
+BENCHMARK(BM_RoutineAssignment);
 
 void BM_Conv2dForwardFused(benchmark::State& state) {
   Rng rng(3);

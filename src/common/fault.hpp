@@ -30,6 +30,9 @@ namespace fault_site {
 inline constexpr const char* kTrialTrain = "trial.train";
 inline constexpr const char* kInferenceMeasure = "inference.measure";
 inline constexpr const char* kCachePersist = "cache.persist";
+/// Fired before every RoutineProfileStore flush (tuning/routine_tuner.hpp),
+/// mirroring cache.persist for the kernel-routine profile database.
+inline constexpr const char* kRoutinePersist = "routine.persist";
 /// Fired by a fleet worker before evaluating a dispatched trial, keyed by
 /// the trial's content key with the coordinator's dispatch attempt as the
 /// attempt number: the worker drops its connection instead of answering

@@ -1,6 +1,13 @@
+// Blocked GEMM engine + the routine dispatch point. The engine is one
+// implementation parameterized by GemmRoutineInfo (cache tiling, microtile
+// rows, thread mode); the registry in gemm_routines.cpp instantiates it as
+// several routines, and gemm() executes whichever routine is current. The
+// default routine (kBlocked) runs the exact loop structure and constants the
+// pre-registry substrate had, so default behaviour is unchanged bit for bit.
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <future>
 #include <memory>
@@ -20,26 +27,34 @@ void micro_kernel_unfused(std::int64_t kc, std::int64_t fused_tail,
                           const float* __restrict__ pa,
                           const float* __restrict__ pb,
                           float* __restrict__ acc);
+// Same contract for the 16-row microtile; gemm_routines_unfused.cpp.
+void micro_kernel_unfused_wide(std::int64_t kc, std::int64_t fused_tail,
+                               const float* __restrict__ pa,
+                               const float* __restrict__ pb,
+                               float* __restrict__ acc);
+// Loop-nest routine, gemm_routines.cpp (kNT body in the unfused TU).
+void naive_gemm(GemmLayout layout, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* a, const float* b, float* c,
+                bool accumulate, const GemmEpilogue* epilogue);
 }  // namespace detail
 
 namespace {
 
-// Cache blocking (floats): a KC x NR B-sliver (~16 KB) lives in L1 across a
-// whole row block, an MC x KC A-block (~64 KB) in L2, an NC-wide B panel in
-// L3. The MR x NR microtile holds 8 vector accumulators of 16 lanes.
-constexpr std::int64_t kMR = 8;
+// Microtile geometry: MR is a routine parameter (8 or 16 rows), NR is fixed
+// at one 16-lane vector. Cache blocking (MC/KC/NC) comes from the routine's
+// GemmTiling; for the default routine an MC x KC A-block (~64 KB) sits in
+// L2, a KC x NR B-sliver (~16 KB) in L1, an NC-wide B panel in L3.
 constexpr std::int64_t kNR = 16;
-constexpr std::int64_t kMC = 64;
-constexpr std::int64_t kKC = 256;
-constexpr std::int64_t kNC = 1024;
 
 // Below this many FLOPs (2mnk) the fork/join overhead of the intra-op pool
-// outweighs the kernel; run inline.
+// outweighs the kernel; run inline (GemmThreadMode::kAuto).
 constexpr double kParallelMinFlops = 2e6;
 
 Mutex g_pool_mutex;
 int g_intra_op_threads EDGETUNE_GUARDED_BY(g_pool_mutex) = 1;
 std::shared_ptr<ThreadPool> g_intra_op_pool EDGETUNE_GUARDED_BY(g_pool_mutex);
+
+std::atomic<std::size_t> g_pool_dispatches{0};
 
 std::shared_ptr<ThreadPool> acquire_pool() EDGETUNE_EXCLUDES(g_pool_mutex) {
   MutexLock lock(g_pool_mutex);
@@ -58,27 +73,28 @@ thread_local std::vector<float> tl_pack_b;
 
 /// Packs an mc x kc block of op(A) starting at logical row i0, depth pc into
 /// MR-row slivers laid out [kk*MR + r], zero-padding partial slivers.
+template <int MR>
 void pack_a(GemmLayout layout, const float* a, std::int64_t m, std::int64_t k,
             std::int64_t i0, std::int64_t pc, std::int64_t mc,
             std::int64_t kc, float* buf) {
-  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
-    const std::int64_t mr = std::min(kMR, mc - ir);
-    float* dst = buf + (ir / kMR) * (kc * kMR);
+  for (std::int64_t ir = 0; ir < mc; ir += MR) {
+    const std::int64_t mr = std::min<std::int64_t>(MR, mc - ir);
+    float* dst = buf + (ir / MR) * (kc * MR);
     if (layout == GemmLayout::kTN) {
       // A stored [k, m]: a kk-slice of op(A) rows is contiguous in storage.
       for (std::int64_t kk = 0; kk < kc; ++kk) {
         const float* src = a + (pc + kk) * m + i0 + ir;
-        float* d = dst + kk * kMR;
+        float* d = dst + kk * MR;
         for (std::int64_t r = 0; r < mr; ++r) d[r] = src[r];
-        for (std::int64_t r = mr; r < kMR; ++r) d[r] = 0.0f;
+        for (std::int64_t r = mr; r < MR; ++r) d[r] = 0.0f;
       }
     } else {  // kNN / kNT: A stored [m, k]
       for (std::int64_t r = 0; r < mr; ++r) {
         const float* src = a + (i0 + ir + r) * k + pc;
-        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = src[kk];
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * MR + r] = src[kk];
       }
-      for (std::int64_t r = mr; r < kMR; ++r) {
-        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = 0.0f;
+      for (std::int64_t r = mr; r < MR; ++r) {
+        for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * MR + r] = 0.0f;
       }
     }
   }
@@ -116,7 +132,7 @@ void pack_b(GemmLayout layout, const float* b, std::int64_t k, std::int64_t n,
 // rather than a scalar triple loop: left to itself GCC vectorizes the scalar
 // form across the ROW dimension and spends the inner loop shuffling the
 // transposed accumulator tile (vpermt2ps-bound, ~4x slower than the naive
-// ikj loop). The explicit row vectors pin the layout: 8 resident vector
+// ikj loop). The explicit row vectors pin the layout: resident vector
 // accumulators, one broadcast-FMA per row per depth step, no shuffles.
 // Element-wise the operation order is unchanged — still one fused
 // multiply-add per product in ascending-k order, so results stay bitwise
@@ -124,7 +140,7 @@ void pack_b(GemmLayout layout, const float* b, std::int64_t k, std::int64_t n,
 typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
                                    aligned(alignof(float))));
 
-/// acc[MR][NR] += A-sliver . B-sliver over kc depth steps. One fused
+/// acc[8][NR] += A-sliver . B-sliver over kc depth steps. One fused
 /// multiply-add per product in ascending-k order — the determinism contract
 /// for kNN/kTN. The kNT layout routes through micro_kernel_unfused instead.
 void micro_kernel(std::int64_t kc, const float* __restrict__ pa,
@@ -138,7 +154,7 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ pa,
   VecNR c6 = *reinterpret_cast<const VecNR*>(acc + 6 * kNR);
   VecNR c7 = *reinterpret_cast<const VecNR*>(acc + 7 * kNR);
   for (std::int64_t kk = 0; kk < kc; ++kk) {
-    const float* a = pa + kk * kMR;
+    const float* a = pa + kk * 8;
     const VecNR bv = *reinterpret_cast<const VecNR*>(pb + kk * kNR);
     c0 += a[0] * bv;
     c1 += a[1] * bv;
@@ -159,11 +175,72 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ pa,
   *reinterpret_cast<VecNR*>(acc + 7 * kNR) = c7;
 }
 
+/// The 16-row variant behind the "blocked_wide" routine: 16 resident vector
+/// accumulators means 16 broadcast-FMAs per B-sliver load — double the
+/// arithmetic intensity of the 8-row tile on compute-bound shapes. Same
+/// explicit-vector style (and same per-element contract) as micro_kernel.
+void micro_kernel_wide(std::int64_t kc, const float* __restrict__ pa,
+                       const float* __restrict__ pb, float* __restrict__ acc) {
+  VecNR c0 = *reinterpret_cast<const VecNR*>(acc + 0 * kNR);
+  VecNR c1 = *reinterpret_cast<const VecNR*>(acc + 1 * kNR);
+  VecNR c2 = *reinterpret_cast<const VecNR*>(acc + 2 * kNR);
+  VecNR c3 = *reinterpret_cast<const VecNR*>(acc + 3 * kNR);
+  VecNR c4 = *reinterpret_cast<const VecNR*>(acc + 4 * kNR);
+  VecNR c5 = *reinterpret_cast<const VecNR*>(acc + 5 * kNR);
+  VecNR c6 = *reinterpret_cast<const VecNR*>(acc + 6 * kNR);
+  VecNR c7 = *reinterpret_cast<const VecNR*>(acc + 7 * kNR);
+  VecNR c8 = *reinterpret_cast<const VecNR*>(acc + 8 * kNR);
+  VecNR c9 = *reinterpret_cast<const VecNR*>(acc + 9 * kNR);
+  VecNR c10 = *reinterpret_cast<const VecNR*>(acc + 10 * kNR);
+  VecNR c11 = *reinterpret_cast<const VecNR*>(acc + 11 * kNR);
+  VecNR c12 = *reinterpret_cast<const VecNR*>(acc + 12 * kNR);
+  VecNR c13 = *reinterpret_cast<const VecNR*>(acc + 13 * kNR);
+  VecNR c14 = *reinterpret_cast<const VecNR*>(acc + 14 * kNR);
+  VecNR c15 = *reinterpret_cast<const VecNR*>(acc + 15 * kNR);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = pa + kk * 16;
+    const VecNR bv = *reinterpret_cast<const VecNR*>(pb + kk * kNR);
+    c0 += a[0] * bv;
+    c1 += a[1] * bv;
+    c2 += a[2] * bv;
+    c3 += a[3] * bv;
+    c4 += a[4] * bv;
+    c5 += a[5] * bv;
+    c6 += a[6] * bv;
+    c7 += a[7] * bv;
+    c8 += a[8] * bv;
+    c9 += a[9] * bv;
+    c10 += a[10] * bv;
+    c11 += a[11] * bv;
+    c12 += a[12] * bv;
+    c13 += a[13] * bv;
+    c14 += a[14] * bv;
+    c15 += a[15] * bv;
+  }
+  *reinterpret_cast<VecNR*>(acc + 0 * kNR) = c0;
+  *reinterpret_cast<VecNR*>(acc + 1 * kNR) = c1;
+  *reinterpret_cast<VecNR*>(acc + 2 * kNR) = c2;
+  *reinterpret_cast<VecNR*>(acc + 3 * kNR) = c3;
+  *reinterpret_cast<VecNR*>(acc + 4 * kNR) = c4;
+  *reinterpret_cast<VecNR*>(acc + 5 * kNR) = c5;
+  *reinterpret_cast<VecNR*>(acc + 6 * kNR) = c6;
+  *reinterpret_cast<VecNR*>(acc + 7 * kNR) = c7;
+  *reinterpret_cast<VecNR*>(acc + 8 * kNR) = c8;
+  *reinterpret_cast<VecNR*>(acc + 9 * kNR) = c9;
+  *reinterpret_cast<VecNR*>(acc + 10 * kNR) = c10;
+  *reinterpret_cast<VecNR*>(acc + 11 * kNR) = c11;
+  *reinterpret_cast<VecNR*>(acc + 12 * kNR) = c12;
+  *reinterpret_cast<VecNR*>(acc + 13 * kNR) = c13;
+  *reinterpret_cast<VecNR*>(acc + 14 * kNR) = c14;
+  *reinterpret_cast<VecNR*>(acc + 15 * kNR) = c15;
+}
+
+template <int MR>
 void load_tile(float* acc, const float* c, std::int64_t n, std::int64_t i0,
                std::int64_t j0, std::int64_t mr, std::int64_t nr,
                bool from_zero) {
   if (from_zero) {
-    std::fill(acc, acc + kMR * kNR, 0.0f);
+    std::fill(acc, acc + MR * kNR, 0.0f);
     return;
   }
   for (std::int64_t r = 0; r < mr; ++r) {
@@ -172,7 +249,7 @@ void load_tile(float* acc, const float* c, std::int64_t n, std::int64_t i0,
     for (std::int64_t j = 0; j < nr; ++j) row[j] = src[j];
     for (std::int64_t j = nr; j < kNR; ++j) row[j] = 0.0f;
   }
-  for (std::int64_t r = mr; r < kMR; ++r) {
+  for (std::int64_t r = mr; r < MR; ++r) {
     std::fill(acc + r * kNR, acc + (r + 1) * kNR, 0.0f);
   }
 }
@@ -227,68 +304,84 @@ struct PanelContext {
 
 /// Computes the (ic, mc) row block of C against the shared packed B panel.
 /// Row blocks are disjoint in C, so tasks need no synchronization.
+template <int MR>
 void process_row_block(const PanelContext& ctx, std::int64_t ic,
                        std::int64_t mc) {
-  const std::int64_t slivers = (mc + kMR - 1) / kMR;
-  tl_pack_a.resize(static_cast<std::size_t>(slivers * ctx.kc * kMR));
+  const std::int64_t slivers = (mc + MR - 1) / MR;
+  tl_pack_a.resize(static_cast<std::size_t>(slivers * ctx.kc * MR));
   float* packa = tl_pack_a.data();
-  pack_a(ctx.layout, ctx.a, ctx.m, ctx.k, ic, ctx.pc, mc, ctx.kc, packa);
+  pack_a<MR>(ctx.layout, ctx.a, ctx.m, ctx.k, ic, ctx.pc, mc, ctx.kc, packa);
   const GemmEpilogue* epi = ctx.last ? ctx.epi : nullptr;
   const bool unfused = ctx.layout == GemmLayout::kNT;
   // Historical kNT semantics fuse the last k % 4 depth steps (see
-  // gemm_unfused.cpp). kKC is a multiple of 4, so the tail can only fall in
-  // the final k-block.
-  static_assert(kKC % 4 == 0);
+  // gemm_unfused.cpp). Every registered tiling has kc % 4 == 0 (asserted in
+  // blocked_gemm), so the tail can only fall in the final k-block.
   const std::int64_t fused_tail = (unfused && ctx.last) ? ctx.kc % 4 : 0;
-  alignas(64) float acc[kMR * kNR];
+  alignas(64) float acc[MR * kNR];
   for (std::int64_t jr = 0; jr < ctx.nc; jr += kNR) {
     const std::int64_t nr = std::min(kNR, ctx.nc - jr);
     const float* bs = ctx.packb + (jr / kNR) * (ctx.kc * kNR);
-    for (std::int64_t ir = 0; ir < mc; ir += kMR) {
-      const std::int64_t mr = std::min(kMR, mc - ir);
-      load_tile(acc, ctx.c, ctx.n, ic + ir, ctx.jc + jr, mr, nr,
-                ctx.from_zero);
-      const float* as = packa + (ir / kMR) * (ctx.kc * kMR);
-      if (unfused) {
-        detail::micro_kernel_unfused(ctx.kc, fused_tail, as, bs, acc);
+    for (std::int64_t ir = 0; ir < mc; ir += MR) {
+      const std::int64_t mr = std::min<std::int64_t>(MR, mc - ir);
+      load_tile<MR>(acc, ctx.c, ctx.n, ic + ir, ctx.jc + jr, mr, nr,
+                    ctx.from_zero);
+      const float* as = packa + (ir / MR) * (ctx.kc * MR);
+      if constexpr (MR == 8) {
+        if (unfused) {
+          detail::micro_kernel_unfused(ctx.kc, fused_tail, as, bs, acc);
+        } else {
+          micro_kernel(ctx.kc, as, bs, acc);
+        }
       } else {
-        micro_kernel(ctx.kc, as, bs, acc);
+        static_assert(MR == 16, "microkernels exist for MR 8 and 16 only");
+        if (unfused) {
+          detail::micro_kernel_unfused_wide(ctx.kc, fused_tail, as, bs, acc);
+        } else {
+          micro_kernel_wide(ctx.kc, as, bs, acc);
+        }
       }
       store_tile(acc, ctx.c, ctx.n, ic + ir, ctx.jc + jr, mr, nr, epi);
     }
   }
 }
 
-}  // namespace
-
-int intra_op_threads() noexcept {
-  MutexLock lock(g_pool_mutex);
-  return g_intra_op_threads;
-}
-
-void set_intra_op_threads(int n) {
-  MutexLock lock(g_pool_mutex);
-  g_intra_op_threads = std::max(1, n);
-  // Drop the old pool; in-flight GEMMs keep it alive via their shared_ptr
-  // and it is torn down when the last of them finishes.
-  g_intra_op_pool.reset();
-}
-
-void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
-          const float* a, const float* b, float* c, bool accumulate,
-          const GemmEpilogue* epilogue) EDGETUNE_EXCLUDES(g_pool_mutex) {
-  assert(m > 0 && n > 0 && k > 0);
-  std::shared_ptr<ThreadPool> pool;
-  if (m > kMC && 2.0 * static_cast<double>(m) * static_cast<double>(n) *
-                         static_cast<double>(k) >=
-                     kParallelMinFlops) {
-    pool = acquire_pool();
+/// The blocked engine, shared by every blocked routine: loop structure is
+/// identical to the pre-registry substrate with the cache tiling and thread
+/// gate supplied by the routine description.
+template <int MR>
+void blocked_gemm(const GemmRoutineInfo& routine, GemmLayout layout,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, const float* b, float* c, bool accumulate,
+                  const GemmEpilogue* epilogue)
+    EDGETUNE_EXCLUDES(g_pool_mutex) {
+  const GemmTiling& t = routine.tiling;
+  // The kNT fused tail must stay in the final k-block: see process_row_block.
+  assert(t.kc % 4 == 0);
+  bool want_pool = false;
+  switch (routine.threads) {
+    case GemmThreadMode::kNever:
+      break;
+    case GemmThreadMode::kAuto:
+      want_pool = m > t.mc && 2.0 * static_cast<double>(m) *
+                                      static_cast<double>(n) *
+                                      static_cast<double>(k) >=
+                                  kParallelMinFlops;
+      break;
+    case GemmThreadMode::kAlways:
+      want_pool = m > t.mc;
+      break;
+    case GemmThreadMode::kCutoff:
+      want_pool = m > t.mc && m * n >= kGemmSmallShapeCells;
+      break;
   }
+  std::shared_ptr<ThreadPool> pool;
+  if (want_pool) pool = acquire_pool();
+  if (pool) g_pool_dispatches.fetch_add(1, std::memory_order_relaxed);
 
-  for (std::int64_t jc = 0; jc < n; jc += kNC) {
-    const std::int64_t nc = std::min(kNC, n - jc);
-    for (std::int64_t pc = 0; pc < k; pc += kKC) {
-      const std::int64_t kc = std::min(kKC, k - pc);
+  for (std::int64_t jc = 0; jc < n; jc += t.nc) {
+    const std::int64_t nc = std::min(t.nc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += t.kc) {
+      const std::int64_t kc = std::min(t.kc, k - pc);
       const std::int64_t b_slivers = (nc + kNR - 1) / kNR;
       tl_pack_b.resize(static_cast<std::size_t>(b_slivers * kc * kNR));
       pack_b(layout, b, k, n, pc, jc, kc, nc, tl_pack_b.data());
@@ -311,20 +404,66 @@ void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
 
       if (pool) {
         std::vector<std::future<void>> pending;
-        pending.reserve(static_cast<std::size_t>((m + kMC - 1) / kMC));
-        for (std::int64_t ic = 0; ic < m; ic += kMC) {
-          const std::int64_t mc = std::min(kMC, m - ic);
-          pending.push_back(
-              pool->submit([&ctx, ic, mc] { process_row_block(ctx, ic, mc); }));
+        pending.reserve(static_cast<std::size_t>((m + t.mc - 1) / t.mc));
+        for (std::int64_t ic = 0; ic < m; ic += t.mc) {
+          const std::int64_t mc = std::min(t.mc, m - ic);
+          pending.push_back(pool->submit(
+              [&ctx, ic, mc] { process_row_block<MR>(ctx, ic, mc); }));
         }
         for (std::future<void>& f : pending) f.get();
       } else {
-        for (std::int64_t ic = 0; ic < m; ic += kMC) {
-          process_row_block(ctx, ic, std::min(kMC, m - ic));
+        for (std::int64_t ic = 0; ic < m; ic += t.mc) {
+          process_row_block<MR>(ctx, ic, std::min(t.mc, m - ic));
         }
       }
     }
   }
+}
+
+}  // namespace
+
+int intra_op_threads() noexcept {
+  MutexLock lock(g_pool_mutex);
+  return g_intra_op_threads;
+}
+
+void set_intra_op_threads(int n) {
+  MutexLock lock(g_pool_mutex);
+  g_intra_op_threads = std::max(1, n);
+  // Drop the old pool; in-flight GEMMs keep it alive via their shared_ptr
+  // and it is torn down when the last of them finishes.
+  g_intra_op_pool.reset();
+}
+
+std::size_t gemm_pool_dispatches() noexcept {
+  return g_pool_dispatches.load(std::memory_order_relaxed);
+}
+
+void gemm_with_routine(GemmRoutineId routine, GemmLayout layout,
+                       std::int64_t m, std::int64_t n, std::int64_t k,
+                       const float* a, const float* b, float* c,
+                       bool accumulate, const GemmEpilogue* epilogue) {
+  assert(m > 0 && n > 0 && k > 0);
+  if (routine == GemmRoutineId::kNaiveIkj) {
+    detail::naive_gemm(layout, m, n, k, a, b, c, accumulate, epilogue);
+    return;
+  }
+  const std::vector<GemmRoutineInfo>& registry = gemm_routine_registry();
+  const std::size_t idx = static_cast<std::size_t>(routine);
+  assert(idx < registry.size());
+  const GemmRoutineInfo& info = registry[idx];
+  if (info.microtile_rows == 16) {
+    blocked_gemm<16>(info, layout, m, n, k, a, b, c, accumulate, epilogue);
+  } else {
+    blocked_gemm<8>(info, layout, m, n, k, a, b, c, accumulate, epilogue);
+  }
+}
+
+void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate,
+          const GemmEpilogue* epilogue) {
+  gemm_with_routine(current_gemm_routine(), layout, m, n, k, a, b, c,
+                    accumulate, epilogue);
 }
 
 }  // namespace edgetune

@@ -1,19 +1,24 @@
-// Blocked GEMM core: the single compute kernel behind matmul/matmul_tn/
-// matmul_nt and the im2col convolutions. Cache-tiled (MC/KC/NC) with a
-// register-blocked MR x NR microkernel, packed A/B panels, an optional fused
-// epilogue (bias add + NCHW scatter), and intra-op parallelism over row
-// blocks of C.
+// GEMM routine layer: the compute kernels behind matmul/matmul_tn/matmul_nt
+// and the im2col convolutions. Since PR 7 the kernel is not one fixed code
+// path but a REGISTRY of routines — the SoftNeuro idea that the routine per
+// op is itself a tunable. Every routine implements the same contract behind
+// one dispatch point (`gemm`): cache-tiled blocked variants (MC/KC/NC and
+// microtile geometry differ), loop-nest variants, and threading variants.
 //
-// Determinism contract: every output element is accumulated in ascending-k
-// order, exactly like the naive reference loops it replaced — kNN/kTN with
-// one fused multiply-add per product, kNT with each product rounded to float
-// before the add except the final k % 4 depth steps, which contract to fused
-// multiply-adds (the exact form the old scalar-reduction matmul_nt compiled
-// to: vectorized rounded body, contracted scalar epilogue; see
-// gemm_unfused.cpp). Parallelism partitions C by rows (no split-K
-// reduction), so results are bitwise identical at any `intra_op_threads`
-// setting.
+// Determinism contract, PER ROUTINE: every output element is accumulated in
+// ascending-k order, exactly like the naive reference loops the substrate
+// replaced — kNN/kTN with one fused multiply-add per product, kNT with each
+// product rounded to float before the add except the final k % 4 depth
+// steps, which contract to fused multiply-adds (the exact form the old
+// scalar-reduction matmul_nt compiled to; see gemm_unfused.cpp /
+// gemm_routines_unfused.cpp). Parallel routines partition C by rows (no
+// split-K reduction), so each routine's results are bitwise identical at any
+// `intra_op_threads` setting. Because every registered routine honours the
+// same per-layout contract, they all coincide bit-for-bit (tested): routine
+// selection changes speed, never results.
 #pragma once
+
+#include <cstddef>
 
 #include "tensor/tensor.hpp"
 
@@ -57,8 +62,96 @@ struct GemmEpilogue {
 /// epilogue. `c` must hold m*n floats; when k exceeds one cache block it is
 /// used as the accumulation scratch even if the epilogue redirects the final
 /// store. With accumulate=false its initial contents are ignored.
+///
+/// THE dispatch point of the routine layer: executes the process-wide
+/// current routine (default kBlocked, bit- and behaviour-identical to the
+/// pre-registry substrate). matmul/matmul_tn/matmul_nt and the conv/linear/
+/// RNN lowering in src/nn all funnel through here, so one set_gemm_routine()
+/// call retargets the whole network.
 void gemm(GemmLayout layout, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, const float* b, float* c, bool accumulate = false,
           const GemmEpilogue* epilogue = nullptr);
+
+// --- Routine registry --------------------------------------------------------
+
+/// Identifiers are stable across releases (profiles persist them by name,
+/// not by index). kBlocked is the default and reproduces the pre-registry
+/// substrate exactly.
+enum class GemmRoutineId : int {
+  kBlocked = 0,          // MR8xNR16 microtile, MC64/KC256/NC1024, auto-thread
+  kNaiveIkj = 1,         // loop nest, no packing, single-threaded
+  kBlockedThreads = 2,   // blocked tiles, pool for every multi-row-block GEMM
+  kBlockedThreadsCutoff = 3,  // ...but single-threaded below a rows*cols cutoff
+  kBlockedSmallL2 = 4,   // MC32/KC128/NC512: A block sized for ~small L2
+  kBlockedLargeL2 = 5,   // MC256/KC512/NC4096: A block sized for large L2
+  kBlockedWide = 6,      // MR16xNR16 microtile, MC128: compute-dense packing
+};
+
+/// How a routine decides to use the intra-op pool (the pool itself only
+/// exists when intra_op_threads > 1; every mode is inline at 1 thread).
+enum class GemmThreadMode {
+  kNever,   // always inline
+  kAuto,    // m > mc and 2mnk >= a FLOP floor (the historical default gate)
+  kAlways,  // m > mc — pays fork/join overhead even for tiny panels
+  kCutoff,  // m > mc and m*n >= kGemmSmallShapeCells (see below)
+};
+
+/// Cache blocking in floats: an MC x KC A block should sit in L2, a KC x NR
+/// B sliver in L1, an NC-wide B panel in L3. kc must be a multiple of 4 so
+/// the kNT fused tail stays in the final k-block (see gemm_unfused.cpp).
+struct GemmTiling {
+  std::int64_t mc = 0;
+  std::int64_t kc = 0;
+  std::int64_t nc = 0;
+};
+
+/// Below this many output cells (m*n), GemmThreadMode::kCutoff routines run
+/// inline: fork/join on the intra-op pool costs more than the kernel (the
+/// Threads4 regression rows in BENCH_kernels.json).
+inline constexpr std::int64_t kGemmSmallShapeCells = 32768;
+
+/// Static description of one registered routine. `layout` tags the
+/// activation layout the routine consumes/produces in the SIMULATED
+/// deployment model ("rowmajor", "tile64", ...): the routine tuner's DP
+/// charges a conversion edge cost when adjacent ops pick routines with
+/// different tags (DESIGN §5.6). The local executable kernels all take
+/// row-major operands — the tag prices the layout a real blocked deployment
+/// would keep between ops.
+struct GemmRoutineInfo {
+  GemmRoutineId id = GemmRoutineId::kBlocked;
+  const char* name = "";    // stable key used in profiles and reports
+  const char* layout = "";  // activation-layout tag for DP edge costs
+  GemmThreadMode threads = GemmThreadMode::kNever;
+  int microtile_rows = 8;   // MR (microtile cols are always 16)
+  GemmTiling tiling;        // {0,0,0} for non-blocked routines
+  const char* summary = "";
+};
+
+/// All registered routines, ordered by id (index == static_cast<int>(id)).
+[[nodiscard]] const std::vector<GemmRoutineInfo>& gemm_routine_registry();
+
+/// Lookup by stable name ("blocked", "naive", ...); nullptr when unknown.
+[[nodiscard]] const GemmRoutineInfo* find_gemm_routine(
+    const std::string& name);
+
+/// Process-wide routine executed by gemm() (default GemmRoutineId::kBlocked).
+/// Like set_intra_op_threads this is a process-wide knob: safe to call while
+/// other threads run GEMMs (they finish under whichever routine they read),
+/// but determinism tooling should set it once up front.
+[[nodiscard]] GemmRoutineId current_gemm_routine() noexcept;
+void set_gemm_routine(GemmRoutineId id);
+
+/// Runs one GEMM under an explicit routine, ignoring the process-wide
+/// selection — the routine profiler's measurement hook.
+void gemm_with_routine(GemmRoutineId routine, GemmLayout layout,
+                       std::int64_t m, std::int64_t n, std::int64_t k,
+                       const float* a, const float* b, float* c,
+                       bool accumulate = false,
+                       const GemmEpilogue* epilogue = nullptr);
+
+/// Times the intra-op pool was actually engaged by a GEMM (fork/join
+/// happened). Monotonic process-wide counter; lets tests observe the
+/// small-shape cutoff without timing anything.
+[[nodiscard]] std::size_t gemm_pool_dispatches() noexcept;
 
 }  // namespace edgetune

@@ -1,0 +1,147 @@
+// The routine registry and the non-blocked (loop-nest) routines. The
+// blocked engine itself lives in gemm.cpp; this TU owns the catalogue the
+// routine tuner (src/tuning/routine_tuner.*) selects from and the
+// process-wide "current routine" knob behind gemm()'s dispatch.
+//
+// Determinism: the naive kernels here follow the same per-layout contract as
+// the blocked engine — kNN/kTN one std::fmaf per product in ascending-k
+// order, kNT rounded products with a fused k % 4 tail (that body lives in
+// gemm_routines_unfused.cpp, compiled -ffp-contract=off). Epilogues are
+// applied as a post-pass over the finished accumulator, which is bitwise
+// equal to the blocked engine's fused final-k-block store: in both cases
+// bias is a single float add after the complete dot product.
+#include "tensor/gemm.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+namespace edgetune {
+
+namespace detail {
+// gemm_routines_unfused.cpp (-ffp-contract=off): the kNT loop nest.
+void naive_gemm_nt_unfused(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const float* a, const float* b, float* c,
+                           bool accumulate);
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> g_current_routine{static_cast<int>(GemmRoutineId::kBlocked)};
+
+/// Bias/scatter post-pass over a finished [m, n] result — the unfused
+/// equivalent of the blocked engine's store_tile epilogue path.
+void apply_epilogue(const float* c, std::int64_t m, std::int64_t n,
+                    const GemmEpilogue& epi) {
+  const float* bias = epi.bias;
+  if (epi.scatter_spatial > 0) {
+    const std::int64_t spatial = epi.scatter_spatial;
+    for (std::int64_t r = 0; r < m; ++r) {
+      const std::int64_t batch = r / spatial;
+      const std::int64_t p = r - batch * spatial;
+      float* base = epi.out + batch * n * spatial + p;
+      const float* row = c + r * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        base[j * spatial] = bias ? row[j] + bias[j] : row[j];
+      }
+    }
+    return;
+  }
+  float* out = epi.out ? epi.out : const_cast<float*>(c);
+  for (std::int64_t r = 0; r < m; ++r) {
+    const float* row = c + r * n;
+    float* dst = out + r * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      dst[j] = bias ? row[j] + bias[j] : row[j];
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+// The pre-substrate loop nest, minus the old zero-skip branch (removed in
+// PR 2; it broke vectorization and made dense/sparse inputs diverge in
+// speed). ikj order keeps the j loop contiguous, so GCC turns the fmaf row
+// update into broadcast-FMA vectors — for L1/L2-resident shapes this is the
+// blocked microkernel without any packing overhead, which is exactly the
+// regime where the routine tuner picks it.
+void naive_gemm(GemmLayout layout, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* a, const float* b, float* c,
+                bool accumulate, const GemmEpilogue* epilogue) {
+  if (layout == GemmLayout::kNT) {
+    detail::naive_gemm_nt_unfused(m, n, k, a, b, c, accumulate);
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      if (!accumulate) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      }
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        // kTN stores A as [k, m]; kNN as [m, k].
+        const float av =
+            layout == GemmLayout::kTN ? a[kk * m + i] : a[i * k + kk];
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] = std::fmaf(av, brow[j], crow[j]);
+        }
+      }
+    }
+  }
+  if (epilogue != nullptr) apply_epilogue(c, m, n, *epilogue);
+}
+
+}  // namespace detail
+
+const std::vector<GemmRoutineInfo>& gemm_routine_registry() {
+  // Index must equal static_cast<int>(id): gemm_with_routine() and the
+  // routine tuner index straight into this table. Tiling kc values are all
+  // multiples of 4 (kNT fused-tail invariant, asserted in blocked_gemm).
+  static const std::vector<GemmRoutineInfo> kRegistry = {
+      {GemmRoutineId::kBlocked, "blocked", "tile64", GemmThreadMode::kAuto, 8,
+       {64, 256, 1024},
+       "MR8xNR16 microtile, MC64/KC256/NC1024, FLOP-gated threading "
+       "(the pre-registry substrate; default)"},
+      {GemmRoutineId::kNaiveIkj, "naive", "rowmajor", GemmThreadMode::kNever,
+       1, {0, 0, 0},
+       "ikj loop nest, no packing or tiling; wins when operands sit in L1/L2"},
+      {GemmRoutineId::kBlockedThreads, "blocked_mt", "tile64",
+       GemmThreadMode::kAlways, 8, {64, 256, 1024},
+       "blocked tiles, intra-op pool for every multi-row-block GEMM"},
+      {GemmRoutineId::kBlockedThreadsCutoff, "blocked_mt_cutoff", "tile64",
+       GemmThreadMode::kCutoff, 8, {64, 256, 1024},
+       "blocked_mt with a small-shape cutoff: inline below "
+       "kGemmSmallShapeCells output cells"},
+      {GemmRoutineId::kBlockedSmallL2, "blocked_l2small", "tile32",
+       GemmThreadMode::kAuto, 8, {32, 128, 512},
+       "MC32/KC128/NC512: A block ~16 KB for small-L2 devices"},
+      {GemmRoutineId::kBlockedLargeL2, "blocked_l2large", "tile256",
+       GemmThreadMode::kAuto, 8, {256, 512, 4096},
+       "MC256/KC512/NC4096: A block ~512 KB, fewer scratch passes at large k"},
+      {GemmRoutineId::kBlockedWide, "blocked_wide", "tile128w",
+       GemmThreadMode::kAuto, 16, {128, 256, 1024},
+       "MR16xNR16 microtile, MC128: 16 broadcast-FMAs per B load on "
+       "compute-bound shapes"},
+  };
+  return kRegistry;
+}
+
+const GemmRoutineInfo* find_gemm_routine(const std::string& name) {
+  for (const GemmRoutineInfo& info : gemm_routine_registry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+GemmRoutineId current_gemm_routine() noexcept {
+  return static_cast<GemmRoutineId>(
+      g_current_routine.load(std::memory_order_relaxed));
+}
+
+void set_gemm_routine(GemmRoutineId id) {
+  assert(static_cast<std::size_t>(id) < gemm_routine_registry().size());
+  g_current_routine.store(static_cast<int>(id), std::memory_order_relaxed);
+}
+
+}  // namespace edgetune

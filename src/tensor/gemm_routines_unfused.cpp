@@ -1,0 +1,124 @@
+// kNT bodies for the routine layer. Like gemm_unfused.cpp this translation
+// unit is compiled with -ffp-contract=off (see CMakeLists.txt, enforced by
+// edgetune_lint's fp-contract-allowlist rule): the historical matmul_nt
+// semantics round each product to float before the ascending-k add, with
+// only the final k % 4 depth steps contracted to fused multiply-adds. Two
+// kernels live here:
+//   micro_kernel_unfused_wide — the 16-row microtile for "blocked_wide"
+//   naive_gemm_nt_unfused     — the loop-nest routine's kNT path
+#include <cmath>
+#include <cstdint>
+
+namespace edgetune {
+namespace detail {
+
+constexpr std::int64_t kMRW = 16;
+constexpr std::int64_t kNR = 16;
+
+// Same explicit row-vector layout as gemm.cpp's micro_kernel_wide (see the
+// note there: the scalar triple loop vectorizes badly). With contraction
+// off, each `c += a * bv` lowers to a separate vector multiply and add — the
+// rounding the historical matmul_nt performed on its vectorized body.
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
+                                   aligned(alignof(float))));
+
+void micro_kernel_unfused_wide(std::int64_t kc, std::int64_t fused_tail,
+                               const float* __restrict__ pa,
+                               const float* __restrict__ pb,
+                               float* __restrict__ acc) {
+  const std::int64_t body = kc - fused_tail;
+  VecNR c0 = *reinterpret_cast<const VecNR*>(acc + 0 * kNR);
+  VecNR c1 = *reinterpret_cast<const VecNR*>(acc + 1 * kNR);
+  VecNR c2 = *reinterpret_cast<const VecNR*>(acc + 2 * kNR);
+  VecNR c3 = *reinterpret_cast<const VecNR*>(acc + 3 * kNR);
+  VecNR c4 = *reinterpret_cast<const VecNR*>(acc + 4 * kNR);
+  VecNR c5 = *reinterpret_cast<const VecNR*>(acc + 5 * kNR);
+  VecNR c6 = *reinterpret_cast<const VecNR*>(acc + 6 * kNR);
+  VecNR c7 = *reinterpret_cast<const VecNR*>(acc + 7 * kNR);
+  VecNR c8 = *reinterpret_cast<const VecNR*>(acc + 8 * kNR);
+  VecNR c9 = *reinterpret_cast<const VecNR*>(acc + 9 * kNR);
+  VecNR c10 = *reinterpret_cast<const VecNR*>(acc + 10 * kNR);
+  VecNR c11 = *reinterpret_cast<const VecNR*>(acc + 11 * kNR);
+  VecNR c12 = *reinterpret_cast<const VecNR*>(acc + 12 * kNR);
+  VecNR c13 = *reinterpret_cast<const VecNR*>(acc + 13 * kNR);
+  VecNR c14 = *reinterpret_cast<const VecNR*>(acc + 14 * kNR);
+  VecNR c15 = *reinterpret_cast<const VecNR*>(acc + 15 * kNR);
+  for (std::int64_t kk = 0; kk < body; ++kk) {
+    const float* a = pa + kk * kMRW;
+    const VecNR bv = *reinterpret_cast<const VecNR*>(pb + kk * kNR);
+    c0 += a[0] * bv;
+    c1 += a[1] * bv;
+    c2 += a[2] * bv;
+    c3 += a[3] * bv;
+    c4 += a[4] * bv;
+    c5 += a[5] * bv;
+    c6 += a[6] * bv;
+    c7 += a[7] * bv;
+    c8 += a[8] * bv;
+    c9 += a[9] * bv;
+    c10 += a[10] * bv;
+    c11 += a[11] * bv;
+    c12 += a[12] * bv;
+    c13 += a[13] * bv;
+    c14 += a[14] * bv;
+    c15 += a[15] * bv;
+  }
+  *reinterpret_cast<VecNR*>(acc + 0 * kNR) = c0;
+  *reinterpret_cast<VecNR*>(acc + 1 * kNR) = c1;
+  *reinterpret_cast<VecNR*>(acc + 2 * kNR) = c2;
+  *reinterpret_cast<VecNR*>(acc + 3 * kNR) = c3;
+  *reinterpret_cast<VecNR*>(acc + 4 * kNR) = c4;
+  *reinterpret_cast<VecNR*>(acc + 5 * kNR) = c5;
+  *reinterpret_cast<VecNR*>(acc + 6 * kNR) = c6;
+  *reinterpret_cast<VecNR*>(acc + 7 * kNR) = c7;
+  *reinterpret_cast<VecNR*>(acc + 8 * kNR) = c8;
+  *reinterpret_cast<VecNR*>(acc + 9 * kNR) = c9;
+  *reinterpret_cast<VecNR*>(acc + 10 * kNR) = c10;
+  *reinterpret_cast<VecNR*>(acc + 11 * kNR) = c11;
+  *reinterpret_cast<VecNR*>(acc + 12 * kNR) = c12;
+  *reinterpret_cast<VecNR*>(acc + 13 * kNR) = c13;
+  *reinterpret_cast<VecNR*>(acc + 14 * kNR) = c14;
+  *reinterpret_cast<VecNR*>(acc + 15 * kNR) = c15;
+  // Fused scalar epilogue: at most 3 depth steps, still ascending-k after
+  // the body. std::fmaf keeps the contraction explicit under
+  // -ffp-contract=off.
+  for (std::int64_t kk = body; kk < kc; ++kk) {
+    const float* a = pa + kk * kMRW;
+    const float* b = pb + kk * kNR;
+    for (std::int64_t r = 0; r < kMRW; ++r) {
+      float* row = acc + r * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        row[j] = std::fmaf(a[r], b[j], row[j]);
+      }
+    }
+  }
+}
+
+// The loop-nest routine's kNT path: one scalar dot product per output
+// element, rounded adds for the first k - k%4 steps, fmaf for the tail —
+// per-element the identical operation sequence the blocked engine performs
+// across its k-blocks (float values round-trip through the C scratch
+// losslessly between blocks).
+void naive_gemm_nt_unfused(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const float* a, const float* b, float* c,
+                           bool accumulate) {
+  const std::int64_t body = k - (k % 4);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = accumulate ? crow[j] : 0.0f;
+      for (std::int64_t kk = 0; kk < body; ++kk) {
+        acc += arow[kk] * brow[kk];  // rounded product under contract=off
+      }
+      for (std::int64_t kk = body; kk < k; ++kk) {
+        acc = std::fmaf(arow[kk], brow[kk], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace edgetune

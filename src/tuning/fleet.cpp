@@ -71,6 +71,10 @@ std::string measurement_fingerprint(const EdgeTuneOptions& options) {
   fp.emplace("seed", std::to_string(options.seed));
   fp.emplace("intra_op_threads", options.intra_op_threads);
   fp.emplace("inference_aware", options.inference_aware);
+  // The routine pass runs post-search on the coordinator, keyed by the edge
+  // device (already fingerprinted below); covering the flag itself keeps a
+  // mixed fleet from half-expecting a routines report section.
+  fp.emplace("routine_tuning", options.routine_tuning);
   fp.emplace("trial_retry", retry_policy_to_json(options.trial_retry));
   fp.emplace("faults", fault_plan_to_json(options.faults));
   fp.emplace("train_device", device_to_json(options.train_device));

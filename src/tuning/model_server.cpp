@@ -489,6 +489,30 @@ Result<TuningReport> EdgeTune::run() {
     report.per_device.emplace(device.name, std::move(rec));
   }
 
+  // Kernel-routine pass (DESIGN §5.6): profile the GEMM routine registry on
+  // the edge device's analytic cost model and DP-assign routines across the
+  // winning architecture at its recommended inference batch. Runs after the
+  // search (on its result, never inside trial measurement) and is a pure
+  // function of (edge device, winning arch, batch), so it cannot perturb
+  // trials and is identical at any trial_workers count or fleet size.
+  if (options_.routine_tuning) {
+    std::unique_ptr<RoutineProfileStore> profile_store;
+    if (!options_.routine_profile_path.empty()) {
+      profile_store =
+          std::make_unique<RoutineProfileStore>(options_.routine_profile_path);
+      profile_store->set_fault_injector(fault_injector_);
+    }
+    std::int64_t inference_batch = 1;
+    if (auto it = report.inference.config.find("inf_batch");
+        it != report.inference.config.end() && it->second >= 1) {
+      inference_batch = std::llround(it->second);
+    }
+    AnalyticRoutineTimer timer(options_.edge_device);
+    report.routines = tune_routines_for_arch(best_arch, inference_batch,
+                                             timer, profile_store.get());
+    report.routines_enabled = true;
+  }
+
   // Report the serial-replay counters, closed out with the final probe
   // above: deterministic at any --trial-workers count and any fleet size,
   // and equal to the live cache counters on a serial run.

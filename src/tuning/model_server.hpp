@@ -11,6 +11,7 @@
 #include "common/fault.hpp"
 #include "common/retry.hpp"
 #include "tuning/inference_server.hpp"
+#include "tuning/routine_tuner.hpp"
 #include "tuning/trial_runner.hpp"
 
 namespace edgetune {
@@ -106,6 +107,19 @@ struct EdgeTuneOptions {
   /// devices"). Filled into TuningReport::per_device for the winning
   /// architecture.
   std::vector<DeviceProfile> extra_edge_devices;
+
+  /// Kernel-routine tuning (DESIGN §5.6): after the search picks its
+  /// winner, profile the registered GEMM routines per (edge device, shape
+  /// class) and DP-assign one routine per op of the winning architecture at
+  /// the recommended inference batch. Deterministic (analytic timings, pure
+  /// in the device profile), so repeated runs at any trial_workers count
+  /// report the identical assignment. Off (default) adds nothing to the
+  /// report — byte-identical to builds without the routine layer.
+  bool routine_tuning = false;
+  /// Optional RoutineProfileStore path (--routine-profile): profiled
+  /// timings persist across runs with the HistoricalCache discipline.
+  std::string routine_profile_path;
+
   InferenceServerOptions inference;
   TrialRunnerOptions runner;
 
@@ -177,6 +191,13 @@ struct TuningReport {
   std::vector<TrialLog> trials;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+
+  /// Kernel-routine assignment for the winning architecture on the edge
+  /// device (DESIGN §5.6). Populated — and serialized — only when
+  /// EdgeTuneOptions::routine_tuning was set, so routine-less reports stay
+  /// byte-identical with older builds.
+  bool routines_enabled = false;
+  RoutineAssignment routines;
 
   // Reliability accounting (DESIGN §5.4). All zero/OK on a clean run, and
   // then omitted from the serialized report so clean reports stay

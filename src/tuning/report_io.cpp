@@ -118,6 +118,31 @@ Json report_to_json(const TuningReport& report) {
     }
     root.emplace("per_device", std::move(per_device));
   }
+  // Routine-tuning section, only when the pass ran (--tune-routines):
+  // routine-less reports stay byte-identical with pre-routine builds.
+  if (report.routines_enabled) {
+    const RoutineAssignment& r = report.routines;
+    JsonObject routines;
+    routines.emplace("device", r.device);
+    routines.emplace("total_s", r.total_s);
+    routines.emplace("conversion_s", r.conversion_s);
+    routines.emplace("greedy_s", r.greedy_s);
+    routines.emplace("fixed_blocked_s", r.fixed_blocked_s);
+    routines.emplace("profile_hits", r.profile_hits);
+    routines.emplace("profile_misses", r.profile_misses);
+    JsonArray ops;
+    ops.reserve(r.ops.size());
+    for (const RoutineOpAssignment& op : r.ops) {
+      JsonObject o;
+      o.emplace("layer", op.layer_kind);
+      o.emplace("shape_class", op.shape_class);
+      o.emplace("routine", op.routine);
+      o.emplace("predicted_s", op.predicted_s);
+      ops.push_back(Json(std::move(o)));
+    }
+    routines.emplace("ops", std::move(ops));
+    root.emplace("routines", std::move(routines));
+  }
 
   JsonArray trials;
   trials.reserve(report.trials.size());
@@ -178,6 +203,31 @@ Result<TuningReport> report_from_json(const Json& json) {
       per_device != nullptr && per_device->is_object()) {
     for (const auto& [device, rec] : per_device->as_object()) {
       report.per_device.emplace(device, inference_from_json(&rec));
+    }
+  }
+  if (const Json* routines = json.find("routines");
+      routines != nullptr && routines->is_object()) {
+    report.routines_enabled = true;
+    RoutineAssignment& r = report.routines;
+    r.device = routines->get_string("device", "");
+    r.total_s = routines->get_number("total_s", 0);
+    r.conversion_s = routines->get_number("conversion_s", 0);
+    r.greedy_s = routines->get_number("greedy_s", 0);
+    r.fixed_blocked_s = routines->get_number("fixed_blocked_s", 0);
+    r.profile_hits =
+        static_cast<std::size_t>(routines->get_number("profile_hits", 0));
+    r.profile_misses =
+        static_cast<std::size_t>(routines->get_number("profile_misses", 0));
+    if (const Json* ops = routines->find("ops");
+        ops != nullptr && ops->is_array()) {
+      for (const Json& op : ops->as_array()) {
+        RoutineOpAssignment entry;
+        entry.layer_kind = op.get_string("layer", "");
+        entry.shape_class = op.get_string("shape_class", "");
+        entry.routine = op.get_string("routine", "");
+        entry.predicted_s = op.get_number("predicted_s", 0);
+        r.ops.push_back(std::move(entry));
+      }
     }
   }
   if (const Json* trials = json.find("trials");

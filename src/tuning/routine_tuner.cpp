@@ -1,0 +1,563 @@
+#include "tuning/routine_tuner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace edgetune {
+
+namespace {
+
+std::int64_t pow2_floor(std::int64_t v) {
+  if (v <= 1) return 1;
+  return static_cast<std::int64_t>(
+      std::bit_floor(static_cast<std::uint64_t>(v)));
+}
+
+const char* layout_tag(GemmLayout layout) {
+  switch (layout) {
+    case GemmLayout::kNN:
+      return "nn";
+    case GemmLayout::kTN:
+      return "tn";
+    case GemmLayout::kNT:
+      return "nt";
+  }
+  return "nn";
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Conversion-factor table shared by every timer. Asymmetric on purpose:
+/// packing activations INTO a tiled layout is a strided scatter (read +
+/// write, cache-hostile) while unpacking is a streaming gather, and a
+/// tile-to-tile repack does both. This asymmetry is what separates DP from
+/// per-op greedy: greedy happily picks a routine whose cheap op time is
+/// eaten twice by the conversions around it.
+double conversion_factor(const std::string& from, const std::string& to) {
+  if (from == to) return 0.0;
+  const bool from_rm = from == "rowmajor";
+  const bool to_rm = to == "rowmajor";
+  if (from_rm && !to_rm) return 2.0;   // pack
+  if (!from_rm && to_rm) return 1.0;   // unpack
+  return 2.5;                          // tile-to-tile repack
+}
+
+}  // namespace
+
+std::string routine_shape_class(const RoutineOp& op) {
+  std::ostringstream out;
+  out << layout_tag(op.layout) << "/m" << pow2_floor(op.m) << "/n"
+      << pow2_floor(op.n) << "/k" << pow2_floor(op.k);
+  return out.str();
+}
+
+RoutineOp routine_class_representative(const RoutineOp& op) {
+  RoutineOp rep = op;
+  rep.m = pow2_floor(op.m);
+  rep.n = pow2_floor(op.n);
+  rep.k = pow2_floor(op.k);
+  rep.calls = 1;
+  return rep;
+}
+
+std::vector<RoutineOp> routine_ops_for_arch(const ArchSpec& arch,
+                                            std::int64_t batch) {
+  const std::int64_t b = std::max<std::int64_t>(1, batch);
+  std::vector<RoutineOp> ops;
+  for (const LayerInfo& layer : arch.layers) {
+    // ArchSpec layers are described at batch == 1; scale the GEMM row
+    // dimension (and RNN per-step calls are batch-independent). Inference
+    // lowers every one of these through gemm() with the kNT layout (weights
+    // stored [n, k]): conv via im2col, linear directly, RNNs per step.
+    if (layer.kind == "conv2d" || layer.kind == "conv1d") {
+      const Shape& out = layer.output_shape;  // {1, outC, spatial...}
+      std::int64_t spatial = 1;
+      for (std::size_t d = 2; d < out.size(); ++d) spatial *= out[d];
+      const std::int64_t n = out.at(1);
+      if (spatial < 1 || n < 1) continue;
+      const double rows1 = static_cast<double>(spatial);
+      const std::int64_t k = std::max<std::int64_t>(
+          1, std::llround(layer.flops_forward /
+                          (2.0 * rows1 * static_cast<double>(n))));
+      ops.push_back({layer.kind, GemmLayout::kNT, b * spatial, n, k, 1});
+    } else if (layer.kind == "linear") {
+      const std::int64_t n = layer.output_shape.at(1);
+      if (n < 1) continue;
+      const std::int64_t k = std::max<std::int64_t>(
+          1,
+          std::llround(layer.flops_forward / (2.0 * static_cast<double>(n))));
+      ops.push_back({layer.kind, GemmLayout::kNT, b, n, k, 1});
+    } else if (layer.kind == "rnn") {
+      // Two GEMMs per step (input and recurrent projection); per-step
+      // flops = 2*(embed*hidden + hidden*hidden) recovers embed.
+      const std::int64_t hidden = layer.output_shape.at(1);
+      const std::int64_t steps = std::max<std::int64_t>(
+          1, std::llround(layer.kernel_launches / 2.0));
+      if (hidden < 1) continue;
+      const double per_step =
+          layer.flops_forward / (2.0 * static_cast<double>(steps));
+      const std::int64_t embed = std::max<std::int64_t>(
+          1, std::llround(per_step / static_cast<double>(hidden) -
+                          static_cast<double>(hidden)));
+      ops.push_back({layer.kind, GemmLayout::kNT, b, hidden, embed, steps});
+      ops.push_back({layer.kind, GemmLayout::kNT, b, hidden, hidden, steps});
+    }
+  }
+  return ops;
+}
+
+// --- Timers ------------------------------------------------------------------
+
+double RoutineTimer::layout_conversion_s(const std::string& from,
+                                         const std::string& to,
+                                         double bytes) const {
+  // Nominal 4 GB/s conversion bandwidth for timers without a device model.
+  return conversion_factor(from, to) * bytes / 4e9;
+}
+
+double AnalyticRoutineTimer::time_op(const GemmRoutineInfo& routine,
+                                     const RoutineOp& op) const {
+  const double m = static_cast<double>(op.m);
+  const double n = static_cast<double>(op.n);
+  const double k = static_cast<double>(op.k);
+  const double flops = 2.0 * m * n * k;  // one call
+  const double peak = device_.flops_per_cycle_per_core *
+                      device_.base_freq_ghz * 1e9;  // single core
+  const double bw = device_.mem_bandwidth_gbs * 1e9;
+  const double overhead_s = device_.per_layer_overhead_s;
+
+  if (routine.id == GemmRoutineId::kNaiveIkj) {
+    // Loop nest: no packing or padding. kNN/kTN vectorize the fmaf row
+    // update; kNT is a scalar dot (rounded adds serialize the reduction).
+    const double eff = op.layout == GemmLayout::kNT ? 0.08 : 0.72;
+    const double b_bytes = k * n * 4.0;
+    double traffic;
+    if (b_bytes <= device_.cache_bytes) {
+      traffic = (m * k + k * n + m * n) * 4.0;  // stream each operand once
+    } else {
+      traffic = m * k * 4.0 + m * b_bytes + m * n * 4.0;  // B per row
+    }
+    return flops / (peak * eff) + traffic / bw + overhead_s;
+  }
+
+  const GemmTiling& t = routine.tiling;
+  const double mr = static_cast<double>(routine.microtile_rows);
+  // Zero-padded partial microtiles burn real FLOPs.
+  const double pad =
+      (std::ceil(m / mr) * mr / m) * (std::ceil(n / 16.0) * 16.0 / n);
+  // Wide microtiles amortize B-sliver loads over more FMAs.
+  double eff = routine.microtile_rows == 16 ? 0.88 : 0.80;
+  // A-block + B-sliver + C-tile working set vs the device cache.
+  const double ws_bytes =
+      static_cast<double>(t.mc * t.kc + t.kc * 16 + t.mc * 16) * 4.0;
+  if (ws_bytes > device_.cache_bytes) eff *= device_.cache_bytes / ws_bytes;
+  double compute_s = flops * pad / (peak * eff);
+
+  // Packing traffic (read + write): A repacked once per column panel, B
+  // packed once; plus C scratch passes for every extra k-block.
+  const double a_bytes = m * k * 4.0 * static_cast<double>(ceil_div(op.n, t.nc));
+  const double b_bytes = k * n * 4.0;
+  const double k_passes = static_cast<double>(ceil_div(op.k, t.kc));
+  const double c_bytes = (2.0 * k_passes - 1.0) * m * n * 4.0;
+  const double traffic_s = (2.0 * (a_bytes + b_bytes) + c_bytes) / bw;
+
+  // Thread gate, mirroring blocked_gemm's modes on this device's cores.
+  double fork_s = 0.0;
+  bool threaded = false;
+  switch (routine.threads) {
+    case GemmThreadMode::kNever:
+      break;
+    case GemmThreadMode::kAuto:
+      threaded = op.m > t.mc && flops >= 2e6;
+      break;
+    case GemmThreadMode::kAlways:
+      threaded = op.m > t.mc;
+      break;
+    case GemmThreadMode::kCutoff:
+      threaded = op.m > t.mc && op.m * op.n >= kGemmSmallShapeCells;
+      break;
+  }
+  if (threaded && device_.max_cores > 1) {
+    const double cores = std::min<double>(
+        device_.max_cores, static_cast<double>(ceil_div(op.m, t.mc)));
+    compute_s *= (1.0 - device_.serial_fraction) / cores +
+                 device_.serial_fraction;
+    fork_s = device_.per_layer_overhead_s * cores;  // fork/join per call
+  }
+  return compute_s + traffic_s + fork_s + overhead_s;
+}
+
+double AnalyticRoutineTimer::layout_conversion_s(const std::string& from,
+                                                 const std::string& to,
+                                                 double bytes) const {
+  return conversion_factor(from, to) * bytes /
+         (device_.mem_bandwidth_gbs * 1e9);
+}
+
+double MeasuredRoutineTimer::time_op(const GemmRoutineInfo& routine,
+                                     const RoutineOp& op) const {
+  const std::size_t a_elems = static_cast<std::size_t>(op.m * op.k);
+  const std::size_t b_elems = static_cast<std::size_t>(op.k * op.n);
+  const std::size_t c_elems = static_cast<std::size_t>(op.m * op.n);
+  std::vector<float> a(a_elems), b(b_elems), c(c_elems);
+  for (std::size_t i = 0; i < a_elems; ++i) {
+    a[i] = static_cast<float>((i % 23) + 1) * 0.25f;
+  }
+  for (std::size_t i = 0; i < b_elems; ++i) {
+    b[i] = static_cast<float>((i % 19) + 1) * 0.125f;
+  }
+  gemm_with_routine(routine.id, op.layout, op.m, op.n, op.k, a.data(),
+                    b.data(), c.data());  // warm caches and scratch
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repetitions_; ++rep) {
+    Stopwatch timer;
+    gemm_with_routine(routine.id, op.layout, op.m, op.n, op.k, a.data(),
+                      b.data(), c.data());
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
+
+// --- Persistent profile ------------------------------------------------------
+
+namespace {
+
+Json timings_to_json(const RoutineTimings& timings) {
+  JsonObject obj;
+  for (const auto& [routine, seconds] : timings) obj.emplace(routine, seconds);
+  return Json(std::move(obj));
+}
+
+RoutineTimings timings_from_json(const Json& json) {
+  RoutineTimings timings;
+  if (!json.is_object()) return timings;
+  for (const auto& [routine, seconds] : json.as_object()) {
+    if (seconds.is_number()) timings[routine] = seconds.as_number();
+  }
+  return timings;
+}
+
+}  // namespace
+
+RoutineProfileStore::RoutineProfileStore(std::string path,
+                                         std::size_t flush_every)
+    : path_(std::move(path)),
+      flush_every_(std::max<std::size_t>(1, flush_every)) {
+  std::ifstream in(path_);
+  if (!in.good()) return;  // fresh profile
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> parsed = Json::parse(buffer.str());
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    // Quarantine, don't clobber: the next flush would overwrite whatever is
+    // in the file, destroying the evidence (and any salvageable timings).
+    in.close();
+    const std::string quarantine = path_ + ".corrupt";
+    if (std::rename(path_.c_str(), quarantine.c_str()) == 0) {
+      ET_LOG_WARN << "routine profile at " << path_
+                  << " is unreadable; quarantined to " << quarantine
+                  << ", starting empty (" << parsed.status().to_string()
+                  << ")";
+    } else {
+      ET_LOG_WARN << "routine profile at " << path_
+                  << " is unreadable and could not be quarantined; "
+                  << "starting empty (" << parsed.status().to_string() << ")";
+    }
+    return;
+  }
+  for (const auto& [key, value] : parsed.value().as_object()) {
+    entries_.emplace(key, timings_from_json(value));
+  }
+}
+
+RoutineProfileStore::~RoutineProfileStore() {
+  MutexLock lock(mutex_);
+  if (path_.empty() || dirty_ == 0) return;
+  persist_best_effort_locked();
+}
+
+std::string RoutineProfileStore::key(const std::string& device_id,
+                                     const std::string& shape_class) {
+  return device_id + "|" + shape_class;
+}
+
+std::optional<RoutineTimings> RoutineProfileStore::lookup(
+    const std::string& device_id, const std::string& shape_class) const {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key(device_id, shape_class));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+Status RoutineProfileStore::store(const std::string& device_id,
+                                  const std::string& shape_class,
+                                  const RoutineTimings& timings) {
+  MutexLock lock(mutex_);
+  entries_[key(device_id, shape_class)] = timings;
+  if (path_.empty()) return Status::ok();
+  if (++dirty_ >= flush_every_) persist_best_effort_locked();
+  return Status::ok();
+}
+
+void RoutineProfileStore::persist_best_effort_locked() const {
+  Status status = save_locked();
+  if (status.is_ok()) return;
+  ++persist_failures_;
+  if (!persist_warned_) {
+    persist_warned_ = true;
+    ET_LOG_WARN << "routine-profile flush to " << path_
+                << " failed; continuing memory-only (" << status.to_string()
+                << "); further failures logged at debug";
+  } else {
+    ET_LOG_DEBUG << "routine-profile flush to " << path_
+                 << " failed again: " << status.to_string();
+  }
+}
+
+std::size_t RoutineProfileStore::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t RoutineProfileStore::hits() const {
+  MutexLock lock(mutex_);
+  return hits_;
+}
+
+std::size_t RoutineProfileStore::misses() const {
+  MutexLock lock(mutex_);
+  return misses_;
+}
+
+std::size_t RoutineProfileStore::persist_failures() const {
+  MutexLock lock(mutex_);
+  return persist_failures_;
+}
+
+Status RoutineProfileStore::save() const {
+  MutexLock lock(mutex_);
+  if (path_.empty() || dirty_ == 0) return Status::ok();
+  return save_locked();
+}
+
+Status RoutineProfileStore::save_locked() const {
+  const std::size_t flush_number = flushes_++;
+  if (Status injected = injector_.fire(fault_site::kRoutinePersist, path_,
+                                       static_cast<int>(flush_number));
+      !injected.is_ok()) {
+    return injected;
+  }
+  JsonObject root;
+  for (const auto& [key, timings] : entries_) {
+    root.emplace(key, timings_to_json(timings));
+  }
+  // Write-to-temp + rename, like HistoricalCache: a crash mid-write leaves
+  // the previous profile intact instead of a truncated one.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return Status::io("cannot write routine profile to " + tmp);
+    }
+    out << Json(std::move(root)).dump_pretty() << '\n';
+    if (!out.good()) {
+      return Status::io("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::io("cannot rename " + tmp + " to " + path_);
+  }
+  dirty_ = 0;
+  return Status::ok();
+}
+
+// --- Assignment --------------------------------------------------------------
+
+RoutineTimings RoutineTuner::profile(const RoutineOp& op) {
+  const std::string cls = routine_shape_class(op);
+  if (store_ != nullptr) {
+    if (std::optional<RoutineTimings> cached =
+            store_->lookup(timer_.device_id(), cls)) {
+      ++hits_;
+      return *cached;
+    }
+  }
+  const RoutineOp rep = routine_class_representative(op);
+  RoutineTimings timings;
+  for (const GemmRoutineInfo& routine : gemm_routine_registry()) {
+    timings[routine.name] = timer_.time_op(routine, rep);
+  }
+  ++misses_;
+  if (store_ != nullptr) {
+    // Best-effort by design; the in-memory copy below is authoritative.
+    (void)store_->store(timer_.device_id(), cls, timings);
+  }
+  return timings;
+}
+
+double RoutineTuner::op_seconds(const RoutineTimings& timings,
+                                const GemmRoutineInfo& routine,
+                                const RoutineOp& op) const {
+  auto it = timings.find(routine.name);
+  if (it == timings.end()) {
+    // Profile predates this routine (older file): price it directly.
+    return timer_.time_op(routine, op) * static_cast<double>(op.calls);
+  }
+  const RoutineOp rep = routine_class_representative(op);
+  const double scale = (static_cast<double>(op.m) * static_cast<double>(op.n) *
+                        static_cast<double>(op.k)) /
+                       (static_cast<double>(rep.m) * static_cast<double>(rep.n) *
+                        static_cast<double>(rep.k));
+  return it->second * scale * static_cast<double>(op.calls);
+}
+
+RoutineAssignment RoutineTuner::assign(const std::vector<RoutineOp>& ops) {
+  RoutineAssignment result;
+  result.device = timer_.device_id();
+  const std::vector<GemmRoutineInfo>& registry = gemm_routine_registry();
+  const std::size_t num_r = registry.size();
+  if (ops.empty()) return result;
+
+  hits_ = 0;
+  misses_ = 0;
+  std::vector<std::vector<double>> cost(ops.size(),
+                                        std::vector<double>(num_r, 0.0));
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const RoutineTimings timings = profile(ops[i]);
+    for (std::size_t r = 0; r < num_r; ++r) {
+      cost[i][r] = op_seconds(timings, registry[r], ops[i]);
+    }
+  }
+  result.profile_hits = hits_;
+  result.profile_misses = misses_;
+
+  // Activations enter and leave the network row-major; between ops the
+  // conversion is priced on the producer's output bytes.
+  auto entry_conv = [&](std::size_t r) {
+    const double in_bytes =
+        4.0 * static_cast<double>(ops.front().m) * static_cast<double>(ops.front().k);
+    return timer_.layout_conversion_s("rowmajor", registry[r].layout, in_bytes);
+  };
+  auto edge_conv = [&](std::size_t i, std::size_t r_from, std::size_t r_to) {
+    return timer_.layout_conversion_s(registry[r_from].layout,
+                                      registry[r_to].layout,
+                                      ops[i].output_bytes());
+  };
+  auto exit_conv = [&](std::size_t r) {
+    return timer_.layout_conversion_s(registry[r].layout, "rowmajor",
+                                      ops.back().output_bytes());
+  };
+
+  // DP over (op, routine) states. Ties break to the lower routine index
+  // (strict < against the incumbent while scanning ascending), so the
+  // assignment is deterministic.
+  std::vector<std::vector<double>> best(ops.size(),
+                                        std::vector<double>(num_r, 0.0));
+  std::vector<std::vector<std::size_t>> parent(
+      ops.size(), std::vector<std::size_t>(num_r, 0));
+  for (std::size_t r = 0; r < num_r; ++r) {
+    best[0][r] = entry_conv(r) + cost[0][r];
+  }
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    for (std::size_t r = 0; r < num_r; ++r) {
+      double incumbent = std::numeric_limits<double>::infinity();
+      std::size_t arg = 0;
+      for (std::size_t p = 0; p < num_r; ++p) {
+        const double candidate = best[i - 1][p] + edge_conv(i - 1, p, r);
+        if (candidate < incumbent) {
+          incumbent = candidate;
+          arg = p;
+        }
+      }
+      best[i][r] = incumbent + cost[i][r];
+      parent[i][r] = arg;
+    }
+  }
+  double dp_total = std::numeric_limits<double>::infinity();
+  std::size_t dp_last = 0;
+  for (std::size_t r = 0; r < num_r; ++r) {
+    const double candidate = best[ops.size() - 1][r] + exit_conv(r);
+    if (candidate < dp_total) {
+      dp_total = candidate;
+      dp_last = r;
+    }
+  }
+  std::vector<std::size_t> choice(ops.size(), 0);
+  choice[ops.size() - 1] = dp_last;
+  for (std::size_t i = ops.size() - 1; i > 0; --i) {
+    choice[i - 1] = parent[i][choice[i]];
+  }
+
+  // Totals for a fixed per-op choice vector under the same edge model.
+  auto path_total = [&](const std::vector<std::size_t>& pick,
+                        double* conversions) {
+    double conv = entry_conv(pick.front());
+    double total = conv + cost[0][pick.front()];
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      const double e = edge_conv(i - 1, pick[i - 1], pick[i]);
+      conv += e;
+      total += e + cost[i][pick[i]];
+    }
+    const double x = exit_conv(pick.back());
+    conv += x;
+    total += x;
+    if (conversions != nullptr) *conversions = conv;
+    return total;
+  };
+
+  result.total_s = path_total(choice, &result.conversion_s);
+  assert(std::abs(result.total_s - dp_total) <=
+         1e-9 * std::max(1.0, dp_total));
+
+  // Per-op greedy baseline: argmin op cost, blind to conversions.
+  std::vector<std::size_t> greedy(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    double incumbent = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < num_r; ++r) {
+      if (cost[i][r] < incumbent) {
+        incumbent = cost[i][r];
+        greedy[i] = r;
+      }
+    }
+  }
+  result.greedy_s = path_total(greedy, nullptr);
+
+  // Everything on the default routine (today's deployment).
+  std::vector<std::size_t> blocked(ops.size(),
+                                   static_cast<std::size_t>(GemmRoutineId::kBlocked));
+  result.fixed_blocked_s = path_total(blocked, nullptr);
+
+  result.ops.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    result.ops.push_back({ops[i].layer_kind, routine_shape_class(ops[i]),
+                          registry[choice[i]].name, cost[i][choice[i]]});
+  }
+  return result;
+}
+
+RoutineAssignment tune_routines_for_arch(const ArchSpec& arch,
+                                         std::int64_t batch,
+                                         const RoutineTimer& timer,
+                                         RoutineProfileStore* store) {
+  RoutineTuner tuner(timer, store);
+  return tuner.assign(routine_ops_for_arch(arch, batch));
+}
+
+}  // namespace edgetune

@@ -1,0 +1,262 @@
+// Per-device kernel routine tuning (SoftNeuro-style, DESIGN §5.6). Three
+// pieces:
+//
+//  1. A profiler that times every registered GEMM routine on the shape
+//     CLASSES an architecture dispatches (layout + power-of-two buckets of
+//     m/n/k), through a RoutineTimer — analytic (the device cost model's
+//     roofline, deterministic, works for devices we only simulate) or
+//     measured (real gemm_with_routine timings on the host).
+//  2. A RoutineProfileStore that persists those timings per (device id,
+//     shape class) with the HistoricalCache discipline: batched flushes,
+//     atomic tmp+rename, corrupt-file quarantine, best-effort persistence
+//     behind the routine.persist fault site.
+//  3. A dynamic program that assigns one routine per GEMM op across a whole
+//     ArchSpec, minimizing predicted end-to-end latency INCLUDING the
+//     layout-conversion edge cost between adjacent ops — the term per-op
+//     greedy ignores, and the reason greedy is a lower bound only on paper.
+//
+// Everything here is deterministic: analytic timings are pure functions of
+// (device profile, shape), buckets and DP tie-breaks are fixed, so repeated
+// runs — at any trial_workers count — produce identical assignments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/status.hpp"
+#include "common/thread_annotations.hpp"
+#include "device/profile.hpp"
+#include "models/arch.hpp"
+#include "tensor/gemm.hpp"
+
+namespace edgetune {
+
+/// One GEMM dispatch site of a network, batch included.
+struct RoutineOp {
+  std::string layer_kind;  // "conv2d", "linear", "rnn", ...
+  GemmLayout layout = GemmLayout::kNT;
+  std::int64_t m = 0, n = 0, k = 0;
+  std::int64_t calls = 1;  // dispatches per forward (RNNs: per step)
+
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k) * static_cast<double>(calls);
+  }
+  /// Activation bytes this op writes (the layout-conversion edge weight).
+  [[nodiscard]] double output_bytes() const {
+    return 4.0 * static_cast<double>(m) * static_cast<double>(n);
+  }
+};
+
+/// Profile key: layout tag + power-of-two buckets of m/n/k, e.g.
+/// "nt/m1024/n16/k32". Ops in one class share profiled timings (scaled by
+/// their FLOP ratio), so a profile stays small and transfers across batch
+/// sizes and nearby shapes.
+[[nodiscard]] std::string routine_shape_class(const RoutineOp& op);
+
+/// The representative op a class is profiled on: each dimension rounded
+/// down to its bucket's power of two. Pure function of the class.
+[[nodiscard]] RoutineOp routine_class_representative(const RoutineOp& op);
+
+/// Extracts the GEMM dispatch sites of an architecture at a given inference
+/// batch, in layer order. Non-GEMM layers (pooling, activations, ...) carry
+/// no routine choice and are skipped.
+[[nodiscard]] std::vector<RoutineOp> routine_ops_for_arch(
+    const ArchSpec& arch, std::int64_t batch);
+
+/// Seconds per routine name for one profiled shape class.
+using RoutineTimings = std::map<std::string, double>;
+
+// --- Timers ------------------------------------------------------------------
+
+/// Source of per-(routine, op) timings. Implementations must be pure
+/// functions of (device, routine, op) for the determinism contract above;
+/// MeasuredRoutineTimer is the deliberate exception for offline bench use.
+class RoutineTimer {
+ public:
+  virtual ~RoutineTimer() = default;
+  /// Stable identity of the device being timed — the profile cache key and
+  /// the fleet options-fingerprint component.
+  [[nodiscard]] virtual std::string device_id() const = 0;
+  /// Predicted/measured seconds for ONE call of `op` under `routine`.
+  [[nodiscard]] virtual double time_op(const GemmRoutineInfo& routine,
+                                       const RoutineOp& op) const = 0;
+  /// Seconds to convert `bytes` of activations between two routines'
+  /// layout tags. Asymmetric by design: packing into a tiled layout costs
+  /// more than unpacking it, and tile-to-tile repacks cost most.
+  [[nodiscard]] virtual double layout_conversion_s(const std::string& from,
+                                                   const std::string& to,
+                                                   double bytes) const;
+};
+
+/// Deterministic roofline-style model over a DeviceProfile: single-core
+/// SIMD peak scaled by a per-routine efficiency (microtile padding waste,
+/// cache fit of the working set, packing and scratch traffic at the
+/// device's memory bandwidth, Amdahl + fork overhead for threaded
+/// routines). Absolute numbers are only relatively plausible — like the
+/// rest of the device emulator, ratios are what matter.
+class AnalyticRoutineTimer : public RoutineTimer {
+ public:
+  explicit AnalyticRoutineTimer(DeviceProfile device)
+      : device_(std::move(device)) {}
+
+  [[nodiscard]] std::string device_id() const override {
+    return device_.name;
+  }
+  [[nodiscard]] double time_op(const GemmRoutineInfo& routine,
+                               const RoutineOp& op) const override;
+  /// Conversions run at the device's memory bandwidth.
+  [[nodiscard]] double layout_conversion_s(const std::string& from,
+                                           const std::string& to,
+                                           double bytes) const override;
+
+ private:
+  DeviceProfile device_;
+};
+
+/// Wall-clock timings of gemm_with_routine on the build host (best of
+/// `repetitions` runs over real buffers). Only for offline profiling /
+/// benches: NOT deterministic, never used on the tuner's report path.
+class MeasuredRoutineTimer : public RoutineTimer {
+ public:
+  explicit MeasuredRoutineTimer(int repetitions = 3)
+      : repetitions_(repetitions < 1 ? 1 : repetitions) {}
+
+  [[nodiscard]] std::string device_id() const override { return "host"; }
+  [[nodiscard]] double time_op(const GemmRoutineInfo& routine,
+                               const RoutineOp& op) const override;
+
+ private:
+  int repetitions_;
+};
+
+// --- Persistent profile ------------------------------------------------------
+
+/// Per-(device id, shape class) routine timings, persisted with the
+/// HistoricalCache discipline (see file header). Thread-safe.
+class RoutineProfileStore {
+ public:
+  /// In-memory only.
+  RoutineProfileStore() = default;
+  /// File-backed: loads `path` if it exists; a corrupt file is quarantined
+  /// to `<path>.corrupt` rather than clobbered. Writes are batched every
+  /// `flush_every` stores and flushed on destruction via tmp+rename.
+  explicit RoutineProfileStore(std::string path, std::size_t flush_every = 16);
+  ~RoutineProfileStore();
+
+  RoutineProfileStore(const RoutineProfileStore&) = delete;
+  RoutineProfileStore& operator=(const RoutineProfileStore&) = delete;
+
+  [[nodiscard]] std::optional<RoutineTimings> lookup(
+      const std::string& device_id, const std::string& shape_class) const
+      EDGETUNE_EXCLUDES(mutex_);
+
+  /// Stores (overwrites) the timings for one shape class. Like
+  /// HistoricalCache::store, the returned Status reflects the in-memory
+  /// store only; persistence failures are counted, logged once, and never
+  /// propagated.
+  Status store(const std::string& device_id, const std::string& shape_class,
+               const RoutineTimings& timings) EDGETUNE_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t hits() const EDGETUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t misses() const EDGETUNE_EXCLUDES(mutex_);
+  /// Flush attempts that failed (I/O error or injected routine.persist
+  /// fault); the store kept serving from memory each time.
+  [[nodiscard]] std::size_t persist_failures() const
+      EDGETUNE_EXCLUDES(mutex_);
+
+  /// Flushes pending writes; reports the real outcome (callers explicitly
+  /// asking for durability).
+  Status save() const EDGETUNE_EXCLUDES(mutex_);
+
+  /// Installs a fault injector consulted at the routine.persist site before
+  /// every flush. Call before sharing the store across threads.
+  void set_fault_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+ private:
+  static std::string key(const std::string& device_id,
+                         const std::string& shape_class);
+  Status save_locked() const EDGETUNE_REQUIRES(mutex_);
+  void persist_best_effort_locked() const EDGETUNE_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::string path_;              // empty => in-memory
+  std::size_t flush_every_ = 16;  // immutable after construction
+  FaultInjector injector_;        // immutable after set_fault_injector
+  mutable std::size_t dirty_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t flushes_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, RoutineTimings> entries_ EDGETUNE_GUARDED_BY(mutex_);
+  mutable std::size_t hits_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t misses_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t persist_failures_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  mutable bool persist_warned_ EDGETUNE_GUARDED_BY(mutex_) = false;
+};
+
+// --- Assignment --------------------------------------------------------------
+
+/// One op's chosen routine in a network-wide assignment.
+struct RoutineOpAssignment {
+  std::string layer_kind;
+  std::string shape_class;
+  std::string routine;      // registry name
+  double predicted_s = 0;   // op compute time under the chosen routine
+};
+
+/// Whole-network routine assignment with its predicted latencies. greedy_s
+/// and fixed_blocked_s are computed under the SAME cost model (conversions
+/// included), so total_s <= greedy_s <= ... is comparable.
+struct RoutineAssignment {
+  std::string device;   // timer device id the profile was keyed by
+  std::vector<RoutineOpAssignment> ops;
+  double total_s = 0;          // DP optimum, conversions included
+  double conversion_s = 0;     // layout-conversion share of total_s
+  double greedy_s = 0;         // per-op argmin assignment, conversions included
+  double fixed_blocked_s = 0;  // every op on the default blocked routine
+  std::size_t profile_hits = 0;    // shape classes served from the store
+  std::size_t profile_misses = 0;  // shape classes profiled fresh
+};
+
+/// Profiles shape classes (through an optional persistent store) and runs
+/// the DP assignment. Not thread-safe; create one per pass.
+class RoutineTuner {
+ public:
+  /// `store` may be null (profile everything fresh, in memory). Both
+  /// references must outlive the tuner.
+  RoutineTuner(const RoutineTimer& timer, RoutineProfileStore* store)
+      : timer_(timer), store_(store) {}
+
+  /// Timings for `op`'s shape class: store lookup first, else profile the
+  /// class representative under every registered routine and store that.
+  [[nodiscard]] RoutineTimings profile(const RoutineOp& op);
+
+  /// DP over ops x routines: state (op i, routine r), transition cost =
+  /// op-time(i, r) + conversion(tag(r_prev) -> tag(r)); boundary
+  /// conversions from/to row-major at the network edges. Ties break to the
+  /// lower routine index, so the assignment is deterministic.
+  [[nodiscard]] RoutineAssignment assign(const std::vector<RoutineOp>& ops);
+
+ private:
+  /// Per-op seconds under `routine`: class timing scaled by the op's FLOP
+  /// ratio to the class representative, times `calls`.
+  [[nodiscard]] double op_seconds(const RoutineTimings& timings,
+                                  const GemmRoutineInfo& routine,
+                                  const RoutineOp& op) const;
+
+  const RoutineTimer& timer_;
+  RoutineProfileStore* store_ = nullptr;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Convenience: extract ops, profile, and assign for one arch on one device.
+[[nodiscard]] RoutineAssignment tune_routines_for_arch(
+    const ArchSpec& arch, std::int64_t batch, const RoutineTimer& timer,
+    RoutineProfileStore* store);
+
+}  // namespace edgetune

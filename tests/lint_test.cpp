@@ -112,6 +112,20 @@ TEST(LintTest, FpContractMissingFlagIsFlagged) {
       << run.output;
 }
 
+// The routine registry's unfused TU is allowlisted too, and policed
+// independently: losing ITS -ffp-contract=off is a finding even while the
+// original gemm_unfused.cpp keeps the flag.
+TEST(LintTest, FpContractRoutineTuIsPolicedIndependently) {
+  const LintRun run = run_lint(fixture("tensor_routine_missing"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[fp-contract-allowlist]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("gemm_routines_unfused.cpp"), std::string::npos)
+      << run.output;
+  const LintRun suppressed = run_lint(fixture("tensor_routine_nolint"));
+  EXPECT_EQ(suppressed.exit_code, 0) << suppressed.output;
+}
+
 // The CI invocation: the real tree must stay clean. If this fails, either
 // fix the new violation or add a justified `// NOLINT(rule)` where the rule
 // genuinely cannot apply (see CONTRIBUTING "Static analysis").

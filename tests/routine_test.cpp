@@ -1,0 +1,481 @@
+// Tests for the tunable kernel-routine layer (DESIGN §5.6): registry
+// sanity, the bitwise-equality contract every routine owes the default
+// blocked kernel (per layout, including epilogues, accumulation, and any
+// intra-op thread count), the small-shape threading cutoff, the persistent
+// RoutineProfileStore (round-trip, corrupt-file quarantine, best-effort
+// persistence under injected faults), and the DP assignment: never worse
+// than per-op greedy or the fixed default, strictly better on a fixture
+// with asymmetric layout-conversion costs, and deterministic — including
+// when served from a warmed profile.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hpp"
+#include "common/json.hpp"
+#include "device/cost_model.hpp"
+#include "models/models.hpp"
+#include "tensor/gemm.hpp"
+#include "tuning/report_io.hpp"
+#include "tuning/routine_tuner.hpp"
+
+namespace edgetune {
+namespace {
+
+std::vector<float> random_buffer(std::int64_t count, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> buffer(static_cast<std::size_t>(count));
+  for (float& v : buffer) v = dist(rng);
+  return buffer;
+}
+
+void expect_bitwise_equal(const std::vector<float>& expected,
+                          const std::vector<float>& actual,
+                          const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    std::uint32_t eb, ab;
+    std::memcpy(&eb, &expected[i], sizeof(eb));
+    std::memcpy(&ab, &actual[i], sizeof(ab));
+    ASSERT_EQ(eb, ab) << context << " at index " << i << ": " << expected[i]
+                      << " vs " << actual[i];
+  }
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) {
+    path = (std::filesystem::temp_directory_path() /
+            ("edgetune_routine_test_" + name + "_" +
+             std::to_string(::getpid())))
+               .string();
+    cleanup();
+  }
+  ~TempFile() { cleanup(); }
+  void cleanup() const {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::filesystem::remove(path + ".tmp", ec);
+    std::filesystem::remove(path + ".corrupt", ec);
+  }
+};
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(RoutineRegistryTest, IndexedByIdWithUniqueNames) {
+  const std::vector<GemmRoutineInfo>& registry = gemm_routine_registry();
+  ASSERT_GE(registry.size(), 7u);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(registry[i].id), i);
+    EXPECT_NE(registry[i].name, nullptr);
+    EXPECT_STRNE(registry[i].name, "");
+    EXPECT_NE(registry[i].layout, nullptr);
+    EXPECT_STRNE(registry[i].layout, "");
+    names.emplace_back(registry[i].name);
+    EXPECT_EQ(find_gemm_routine(registry[i].name), &registry[i]);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+  EXPECT_EQ(find_gemm_routine("no_such_routine"), nullptr);
+}
+
+TEST(RoutineRegistryTest, DefaultRoutineIsBlocked) {
+  EXPECT_EQ(current_gemm_routine(), GemmRoutineId::kBlocked);
+  const GemmRoutineInfo* blocked = find_gemm_routine("blocked");
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_EQ(blocked->id, GemmRoutineId::kBlocked);
+}
+
+// --- Bitwise equality contract ----------------------------------------------
+
+struct GemmCase {
+  GemmLayout layout;
+  std::int64_t m, n, k;
+};
+
+// Odd shapes on purpose: partial microtiles in both directions and k both
+// below and above every routine's cache block (kc spans 256..4096).
+const GemmCase kGemmCases[] = {
+    {GemmLayout::kNN, 7, 5, 3},      {GemmLayout::kNN, 37, 29, 300},
+    {GemmLayout::kNN, 65, 17, 1100}, {GemmLayout::kTN, 7, 5, 3},
+    {GemmLayout::kTN, 33, 41, 513},  {GemmLayout::kNT, 7, 5, 3},
+    {GemmLayout::kNT, 37, 29, 300},  {GemmLayout::kNT, 129, 19, 4200},
+};
+
+std::vector<float> run_routine(GemmRoutineId id, const GemmCase& c,
+                               bool accumulate, bool with_epilogue,
+                               const std::vector<float>& a,
+                               const std::vector<float>& b,
+                               const std::vector<float>& bias) {
+  std::vector<float> out =
+      random_buffer(c.m * c.n, 99);  // same garbage for every routine
+  GemmEpilogue epi;
+  epi.bias = bias.data();
+  gemm_with_routine(id, c.layout, c.m, c.n, c.k, a.data(), b.data(),
+                    out.data(), accumulate, with_epilogue ? &epi : nullptr);
+  return out;
+}
+
+TEST(RoutineContractTest, EveryRoutineMatchesBlockedBitwise) {
+  const std::vector<GemmRoutineInfo>& registry = gemm_routine_registry();
+  for (const GemmCase& c : kGemmCases) {
+    const std::vector<float> a = random_buffer(c.m * c.k, 11);
+    const std::vector<float> b = random_buffer(c.n * c.k, 22);
+    const std::vector<float> bias = random_buffer(c.n, 33);
+    for (bool accumulate : {false, true}) {
+      for (bool with_epilogue : {false, true}) {
+        const std::vector<float> want = run_routine(
+            GemmRoutineId::kBlocked, c, accumulate, with_epilogue, a, b, bias);
+        for (const GemmRoutineInfo& info : registry) {
+          if (info.id == GemmRoutineId::kBlocked) continue;
+          const std::vector<float> got =
+              run_routine(info.id, c, accumulate, with_epilogue, a, b, bias);
+          expect_bitwise_equal(
+              want, got,
+              std::string(info.name) + " layout=" +
+                  std::to_string(int(c.layout)) +
+                  " m=" + std::to_string(c.m) + " n=" + std::to_string(c.n) +
+                  " k=" + std::to_string(c.k) +
+                  (accumulate ? " accumulate" : "") +
+                  (with_epilogue ? " epilogue" : ""));
+        }
+      }
+    }
+  }
+}
+
+TEST(RoutineContractTest, ScatterEpilogueMatchesBlockedBitwise) {
+  // Conv-style store: rows = batch * spatial, scattered to [batch, n,
+  // spatial]. 6 batches x 25 spatial positions, 16 filters, k = 77.
+  const std::int64_t spatial = 25, batch = 6, n = 16, k = 77;
+  const std::int64_t m = batch * spatial;
+  const std::vector<float> a = random_buffer(m * k, 44);
+  const std::vector<float> b = random_buffer(n * k, 55);
+  const std::vector<float> bias = random_buffer(n, 66);
+  auto run = [&](GemmRoutineId id) {
+    std::vector<float> scratch(static_cast<std::size_t>(m * n));
+    std::vector<float> out(static_cast<std::size_t>(m * n), -1.0f);
+    GemmEpilogue epi;
+    epi.bias = bias.data();
+    epi.out = out.data();
+    epi.scatter_spatial = spatial;
+    gemm_with_routine(id, GemmLayout::kNT, m, n, k, a.data(), b.data(),
+                      scratch.data(), false, &epi);
+    return out;
+  };
+  const std::vector<float> want = run(GemmRoutineId::kBlocked);
+  for (const GemmRoutineInfo& info : gemm_routine_registry()) {
+    expect_bitwise_equal(want, run(info.id),
+                         std::string("scatter ") + info.name);
+  }
+}
+
+TEST(RoutineContractTest, EveryRoutineDeterministicAcrossThreadCounts) {
+  const GemmCase c{GemmLayout::kNT, 210, 48, 700};  // several row blocks
+  const std::vector<float> a = random_buffer(c.m * c.k, 12);
+  const std::vector<float> b = random_buffer(c.n * c.k, 13);
+  const std::vector<float> bias = random_buffer(c.n, 14);
+  for (const GemmRoutineInfo& info : gemm_routine_registry()) {
+    set_intra_op_threads(1);
+    const std::vector<float> want =
+        run_routine(info.id, c, false, true, a, b, bias);
+    for (int threads : {2, 4}) {
+      set_intra_op_threads(threads);
+      const std::vector<float> got =
+          run_routine(info.id, c, false, true, a, b, bias);
+      expect_bitwise_equal(
+          want, got,
+          std::string(info.name) + " threads=" + std::to_string(threads));
+    }
+    set_intra_op_threads(1);
+  }
+}
+
+TEST(RoutineContractTest, CutoffRoutineSkipsPoolForSmallShapes) {
+  set_intra_op_threads(4);
+  const std::int64_t k = 64;
+  // Small: 64 x 64 = 4096 cells, under kGemmSmallShapeCells.
+  {
+    const std::vector<float> a = random_buffer(64 * k, 1);
+    const std::vector<float> b = random_buffer(64 * k, 2);
+    std::vector<float> out(64 * 64);
+    const std::size_t before = gemm_pool_dispatches();
+    gemm_with_routine(GemmRoutineId::kBlockedThreadsCutoff, GemmLayout::kNT,
+                      64, 64, k, a.data(), b.data(), out.data());
+    EXPECT_EQ(gemm_pool_dispatches(), before)
+        << "small shape must run inline";
+  }
+  // Large: 512 x 512 cells, over the cutoff -> pool must engage.
+  {
+    const std::vector<float> a = random_buffer(512 * k, 3);
+    const std::vector<float> b = random_buffer(512 * k, 4);
+    std::vector<float> out(512 * 512);
+    const std::size_t before = gemm_pool_dispatches();
+    gemm_with_routine(GemmRoutineId::kBlockedThreadsCutoff, GemmLayout::kNT,
+                      512, 512, k, a.data(), b.data(), out.data());
+    EXPECT_GT(gemm_pool_dispatches(), before)
+        << "large shape must use the pool";
+  }
+  set_intra_op_threads(1);
+}
+
+// --- Shape classes -----------------------------------------------------------
+
+TEST(RoutineShapeClassTest, BucketsArePowerOfTwoFloors) {
+  RoutineOp op{"conv2d", GemmLayout::kNT, 1000, 65, 576, 1};
+  EXPECT_EQ(routine_shape_class(op), "nt/m512/n64/k512");
+  const RoutineOp rep = routine_class_representative(op);
+  EXPECT_EQ(rep.m, 512);
+  EXPECT_EQ(rep.n, 64);
+  EXPECT_EQ(rep.k, 512);
+  EXPECT_EQ(rep.calls, 1);
+  // Same class for every op inside the bucket, different outside it.
+  RoutineOp same = op;
+  same.m = 512;
+  EXPECT_EQ(routine_shape_class(same), routine_shape_class(op));
+  RoutineOp other = op;
+  other.m = 4096;
+  EXPECT_NE(routine_shape_class(other), routine_shape_class(op));
+}
+
+TEST(RoutineShapeClassTest, ArchExtractionCoversGemmLayers) {
+  Rng rng(3);
+  ArchSpec arch = build_resnet({.depth = 18}, rng).value().arch;
+  const std::vector<RoutineOp> ops = routine_ops_for_arch(arch, 16);
+  ASSERT_FALSE(ops.empty());
+  for (const RoutineOp& op : ops) {
+    EXPECT_GT(op.m, 0);
+    EXPECT_GT(op.n, 0);
+    EXPECT_GT(op.k, 0);
+    EXPECT_GE(op.calls, 1);
+  }
+  // Larger batch means more GEMM rows, never fewer ops.
+  EXPECT_EQ(routine_ops_for_arch(arch, 32).size(), ops.size());
+}
+
+// --- Profile store -----------------------------------------------------------
+
+RoutineTimings sample_timings() {
+  return {{"blocked", 1e-3}, {"naive", 5e-3}, {"blocked_wide", 0.8e-3}};
+}
+
+TEST(RoutineProfileStoreTest, RoundTripsThroughDisk) {
+  TempFile file("roundtrip");
+  {
+    RoutineProfileStore store(file.path, /*flush_every=*/1);
+    EXPECT_TRUE(store.store("rpi3b", "nt/m512/n64/k512", sample_timings())
+                    .is_ok());
+    EXPECT_TRUE(store.save().is_ok());
+  }
+  RoutineProfileStore reloaded(file.path);
+  const auto timings = reloaded.lookup("rpi3b", "nt/m512/n64/k512");
+  ASSERT_TRUE(timings.has_value());
+  EXPECT_EQ(*timings, sample_timings());
+  EXPECT_EQ(reloaded.size(), 1u);
+  // Different device id is a different key.
+  EXPECT_FALSE(reloaded.lookup("i7", "nt/m512/n64/k512").has_value());
+}
+
+TEST(RoutineProfileStoreTest, QuarantinesCorruptFileInsteadOfClobbering) {
+  TempFile file("corrupt");
+  {
+    std::ofstream out(file.path);
+    out << "{ this is not json";
+  }
+  RoutineProfileStore store(file.path, /*flush_every=*/1);
+  EXPECT_EQ(store.size(), 0u);  // started empty, did not crash
+  EXPECT_TRUE(std::filesystem::exists(file.path + ".corrupt"))
+      << "corrupt input must be preserved for inspection";
+  // The store still works and can persist over the old path.
+  EXPECT_TRUE(store.store("host", "nn/m64/n64/k64", sample_timings()).is_ok());
+  EXPECT_TRUE(store.save().is_ok());
+  RoutineProfileStore reloaded(file.path);
+  EXPECT_TRUE(reloaded.lookup("host", "nn/m64/n64/k64").has_value());
+}
+
+TEST(RoutineProfileStoreTest, PersistFailuresAreBestEffort) {
+  TempFile file("faulty");
+  RoutineProfileStore store(file.path, /*flush_every=*/1);
+  FaultSpec spec;
+  spec.site = fault_site::kRoutinePersist;
+  spec.rate = 1.0;
+  spec.code = StatusCode::kUnavailable;
+  store.set_fault_injector(FaultInjector(7, {spec}));
+  // Every store still succeeds in memory; the flush failures are counted.
+  EXPECT_TRUE(store.store("host", "nt/m64/n64/k64", sample_timings()).is_ok());
+  EXPECT_TRUE(store.store("host", "nt/m128/n64/k64", sample_timings()).is_ok());
+  EXPECT_TRUE(store.lookup("host", "nt/m64/n64/k64").has_value());
+  EXPECT_GE(store.persist_failures(), 2u);
+  EXPECT_FALSE(store.save().is_ok()) << "explicit save must report the fault";
+  EXPECT_FALSE(std::filesystem::exists(file.path));
+}
+
+TEST(RoutineProfileStoreTest, ConcurrentStoresAndLookups) {
+  RoutineProfileStore store;  // in-memory
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string cls = "nt/m" + std::to_string(64 << (i % 4)) +
+                                "/n64/k" + std::to_string(t + 1);
+        ASSERT_TRUE(store.store("host", cls, sample_timings()).is_ok());
+        ASSERT_TRUE(store.lookup("host", cls).has_value());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.size(), 16u);  // 4 classes x 4 distinct k per thread
+}
+
+// --- Assignment --------------------------------------------------------------
+
+TEST(RoutineTunerTest, ProfileHitsStoreOnSecondQuery) {
+  RoutineProfileStore store;
+  AnalyticRoutineTimer timer(device_rpi3b());
+  RoutineTuner tuner(timer, &store);
+  RoutineOp op{"conv2d", GemmLayout::kNT, 512, 64, 512, 1};
+  const RoutineTimings first = tuner.profile(op);
+  ASSERT_EQ(first.size(), gemm_routine_registry().size());
+  EXPECT_EQ(store.misses(), 1u);
+  const RoutineTimings second = tuner.profile(op);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(RoutineTunerTest, DpNeverWorseThanGreedyOrFixedBlocked) {
+  AnalyticRoutineTimer timer(device_rpi3b());
+  Rng rng(3);
+  const ArchSpec arches[] = {
+      build_resnet({.depth = 18}, rng).value().arch,
+      build_alexnet({}, rng).value().arch,
+      build_m5({}, rng).value().arch,
+      build_text_rnn({}, rng).value().arch,
+  };
+  for (const ArchSpec& arch : arches) {
+    for (std::int64_t batch : {1, 4, 16, 64}) {
+      RoutineTuner tuner(timer, nullptr);
+      const RoutineAssignment a = tuner.assign(routine_ops_for_arch(arch, batch));
+      const double slack = 1e-12 * std::max(1.0, a.greedy_s);
+      EXPECT_LE(a.total_s, a.greedy_s + slack);
+      EXPECT_LE(a.total_s, a.fixed_blocked_s + slack);
+      EXPECT_GE(a.conversion_s, 0.0);
+      EXPECT_LE(a.conversion_s, a.total_s);
+    }
+  }
+}
+
+// A timer built to punish greedy: routine layouts alternate as the per-op
+// winners, but conversions between different tags dwarf the per-op gains, so
+// the optimum keeps one tag end-to-end. Greedy (blind to conversions) flips
+// tags at every edge.
+class AsymmetricTimer : public RoutineTimer {
+ public:
+  [[nodiscard]] std::string device_id() const override { return "fixture"; }
+  [[nodiscard]] double time_op(const GemmRoutineInfo& routine,
+                               const RoutineOp& op) const override {
+    // blocked_l2small is the per-op argmin on odd ops, blocked_wide on even
+    // ops, by a hair; everything else is far worse.
+    const bool odd = (op.m / 64) % 2 == 1;
+    if (std::strcmp(routine.name, "blocked_l2small") == 0)
+      return odd ? 1.0 : 1.01;
+    if (std::strcmp(routine.name, "blocked_wide") == 0)
+      return odd ? 1.01 : 1.0;
+    return 2.0;
+  }
+  [[nodiscard]] double layout_conversion_s(const std::string& from,
+                                           const std::string& to,
+                                           double /*bytes*/) const override {
+    return from == to ? 0.0 : 0.5;  // >> the 0.01 per-op spread
+  }
+};
+
+TEST(RoutineTunerTest, DpStrictlyBeatsGreedyOnAsymmetricFixture) {
+  std::vector<RoutineOp> ops;
+  for (int i = 0; i < 6; ++i) {
+    // Alternate odd/even row buckets so greedy's winners alternate tags.
+    ops.push_back({"conv2d", GemmLayout::kNT, (i % 2 == 0) ? 128 : 64, 64,
+                   256, 1});
+  }
+  AsymmetricTimer timer;
+  RoutineTuner tuner(timer, nullptr);
+  const RoutineAssignment a = tuner.assign(ops);
+  EXPECT_LT(a.total_s, a.greedy_s)
+      << "greedy must pay the alternating-tag conversions";
+  EXPECT_LT(a.total_s, a.fixed_blocked_s);
+  // The optimum sticks to ONE tag across all ops.
+  for (const RoutineOpAssignment& op : a.ops) {
+    EXPECT_EQ(op.routine, a.ops.front().routine);
+  }
+}
+
+TEST(RoutineTunerTest, AssignmentDeterministicAndStableThroughProfileCache) {
+  Rng rng(3);
+  ArchSpec arch = build_m5({}, rng).value().arch;
+  AnalyticRoutineTimer timer(device_rpi3b());
+  auto run = [&](RoutineProfileStore* store) {
+    RoutineTuner tuner(timer, store);
+    return tuner.assign(routine_ops_for_arch(arch, 16));
+  };
+  const RoutineAssignment fresh = run(nullptr);
+  const RoutineAssignment again = run(nullptr);
+  RoutineProfileStore store;
+  const RoutineAssignment cold = run(&store);  // fills the store
+  const RoutineAssignment warm = run(&store);  // served from it
+  EXPECT_GT(warm.profile_hits, 0u);
+  EXPECT_EQ(warm.profile_misses, 0u);
+  for (const RoutineAssignment* other : {&again, &cold, &warm}) {
+    ASSERT_EQ(other->ops.size(), fresh.ops.size());
+    EXPECT_EQ(other->total_s, fresh.total_s);
+    EXPECT_EQ(other->greedy_s, fresh.greedy_s);
+    for (std::size_t i = 0; i < fresh.ops.size(); ++i) {
+      EXPECT_EQ(other->ops[i].routine, fresh.ops[i].routine);
+      EXPECT_EQ(other->ops[i].predicted_s, fresh.ops[i].predicted_s);
+    }
+  }
+}
+
+// --- Report serialization ----------------------------------------------------
+
+TEST(RoutineReportTest, SectionAbsentWhenDisabledAndRoundTripsWhenEnabled) {
+  TuningReport report;
+  report.system = "edgetune";
+  const Json clean = report_to_json(report);
+  EXPECT_EQ(clean.find("routines"), nullptr)
+      << "routine-less reports must stay byte-identical with older builds";
+
+  report.routines_enabled = true;
+  report.routines.device = "rpi3b";
+  report.routines.total_s = 0.013;
+  report.routines.conversion_s = 0.002;
+  report.routines.greedy_s = 0.014;
+  report.routines.fixed_blocked_s = 0.015;
+  report.routines.profile_hits = 2;
+  report.routines.profile_misses = 1;
+  report.routines.ops.push_back(
+      {"conv2d", "nt/m512/n64/k512", "blocked_wide", 0.011});
+  const Json json = report_to_json(report);
+  ASSERT_NE(json.find("routines"), nullptr);
+  const Result<TuningReport> parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const TuningReport& back = parsed.value();
+  ASSERT_TRUE(back.routines_enabled);
+  EXPECT_EQ(back.routines.device, "rpi3b");
+  EXPECT_EQ(back.routines.total_s, 0.013);
+  EXPECT_EQ(back.routines.greedy_s, 0.014);
+  ASSERT_EQ(back.routines.ops.size(), 1u);
+  EXPECT_EQ(back.routines.ops[0].routine, "blocked_wide");
+  EXPECT_EQ(back.routines.ops[0].shape_class, "nt/m512/n64/k512");
+}
+
+}  // namespace
+}  // namespace edgetune

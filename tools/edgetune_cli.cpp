@@ -59,6 +59,23 @@ void print_report(const TuningReport& report, const EdgeTuneOptions& options) {
     std::printf("peak memory          : %.1f MB\n",
                 report.inference.peak_memory_bytes / 1e6);
   }
+  // Printed only when the routine pass ran: with --tune-routines off the
+  // CLI output stays byte-identical to pre-routine builds.
+  if (report.routines_enabled) {
+    const RoutineAssignment& r = report.routines;
+    std::printf("-- routine assignment (%s) --\n", r.device.c_str());
+    for (const RoutineOpAssignment& op : r.ops) {
+      std::printf("%-8s %-18s : %s (%.4f ms)\n", op.layer_kind.c_str(),
+                  op.shape_class.c_str(), op.routine.c_str(),
+                  op.predicted_s * 1e3);
+    }
+    std::printf("predicted latency    : %.4f ms (conversions %.4f ms)\n",
+                r.total_s * 1e3, r.conversion_s * 1e3);
+    std::printf("vs per-op greedy     : %.4f ms\n", r.greedy_s * 1e3);
+    std::printf("vs fixed blocked     : %.4f ms\n", r.fixed_blocked_s * 1e3);
+    std::printf("routine profile      : %zu hits / %zu misses\n",
+                r.profile_hits, r.profile_misses);
+  }
 }
 
 }  // namespace
@@ -90,6 +107,12 @@ int main(int argc, char** argv) {
       .define("target-accuracy", "0", "stop once reached (0 = off)")
       .define("power-cap", "800", "HyperPower power cap [W]")
       .define("cache-file", "", "persistent historical cache path")
+      .define("tune-routines", "false",
+              "profile GEMM routines per (edge device, shape class) and "
+              "DP-assign one per op of the winning architecture (DESIGN "
+              "§5.6)")
+      .define("routine-profile", "",
+              "persistent routine-profile path (requires --tune-routines)")
       .define("report", "", "write the full JSON report here")
       .define("extra-devices", "",
               "comma-separated extra edge devices to recommend for")
@@ -187,6 +210,14 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("trial-attempts"));
   options.inference.retry.max_attempts = options.trial_retry.max_attempts;
   options.max_trial_failure_fraction = flags.get_double("max-trial-failures");
+  options.routine_tuning = flags.get_bool("tune-routines");
+  options.routine_profile_path = flags.get("routine-profile");
+  if (!options.routine_profile_path.empty() && !options.routine_tuning) {
+    std::fprintf(stderr,
+                 "--routine-profile has no effect without --tune-routines; "
+                 "pass both (or neither)\n");
+    return 2;
+  }
   if (const std::string& extras = flags.get("extra-devices");
       !extras.empty()) {
     for (const std::string& name : split(extras, ',')) {
