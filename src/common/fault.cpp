@@ -30,6 +30,7 @@ Result<StatusCode> status_code_from_name(const std::string& name) {
       {"deadline_exceeded", StatusCode::kDeadlineExceeded},
       {"already_exists", StatusCode::kAlreadyExists},
       {"io", StatusCode::kIo},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
   };
   for (const auto& entry : kCodes) {
     if (name == entry.name) return entry.code;

@@ -26,6 +26,8 @@ const char* status_code_name(StatusCode code) noexcept {
       return "ALREADY_EXISTS";
     case StatusCode::kIo:
       return "IO";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

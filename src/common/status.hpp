@@ -22,6 +22,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kAlreadyExists,
   kIo,
+  kResourceExhausted,
 };
 
 /// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -64,6 +65,9 @@ class Status {
   }
   static Status io(std::string msg) {
     return {StatusCode::kIo, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
 
   [[nodiscard]] bool is_ok() const noexcept {

@@ -7,6 +7,7 @@
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 
 namespace edgetune {
 
@@ -44,35 +45,105 @@ InferenceRecommendation rec_from_json(const Json& json) {
   return rec;
 }
 
-}  // namespace
-
-HistoricalCache::HistoricalCache(std::string path, std::size_t flush_every)
-    : path_(std::move(path)), flush_every_(std::max<std::size_t>(1, flush_every)) {
-  std::ifstream in(path_);
-  if (!in.good()) return;  // fresh database
+/// Loads a database file into `out`. Returns false when the file exists but
+/// cannot be parsed (the caller quarantines it); true otherwise (missing
+/// file = fresh database).
+bool load_database_file(const std::string& path,
+                        std::map<std::string, InferenceRecommendation>* out) {
+  std::ifstream in(path);
+  if (!in.good()) return true;  // fresh database
   std::ostringstream buffer;
   buffer << in.rdbuf();
   Result<Json> parsed = Json::parse(buffer.str());
   if (!parsed.ok() || !parsed.value().is_object()) {
+    in.close();
     // Quarantine, don't clobber: the next flush would overwrite whatever is
     // in the file, destroying the evidence (and any salvageable entries).
-    in.close();
-    const std::string quarantine = path_ + ".corrupt";
-    if (std::rename(path_.c_str(), quarantine.c_str()) == 0) {
-      ET_LOG_WARN << "historical cache at " << path_
+    const std::string quarantine = path + ".corrupt";
+    if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+      ET_LOG_WARN << "historical cache at " << path
                   << " is unreadable; quarantined to " << quarantine
                   << ", starting empty (" << parsed.status().to_string()
                   << ")";
     } else {
-      ET_LOG_WARN << "historical cache at " << path_
+      ET_LOG_WARN << "historical cache at " << path
                   << " is unreadable and could not be quarantined; "
                   << "starting empty (" << parsed.status().to_string() << ")";
     }
-    return;
+    return false;
   }
   for (const auto& [key, value] : parsed.value().as_object()) {
-    entries_.emplace(key, rec_from_json(value));
+    (*out)[key] = rec_from_json(value);
   }
+  return true;
+}
+
+/// The cache key starts with the architecture id ("arch|device|objective"),
+/// so shard routing of a loaded entry only needs the prefix.
+std::string arch_of_key(const std::string& key) {
+  return key.substr(0, key.find('|'));
+}
+
+std::string shard_file(const std::string& base, std::size_t index,
+                       std::size_t count) {
+  return base + ".shard" + std::to_string(index) + "of" +
+         std::to_string(count);
+}
+
+}  // namespace
+
+HistoricalCache::HistoricalCache(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+HistoricalCache::HistoricalCache(std::string path, std::size_t flush_every,
+                                 std::size_t shards)
+    : path_(std::move(path)),
+      flush_every_(std::max<std::size_t>(1, flush_every)) {
+  const std::size_t count = std::max<std::size_t>(1, shards);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // One shard keeps the classic single-file layout so existing cache
+    // files (and byte-identical reports) are preserved; N > 1 stripes the
+    // persistence too, one file per shard.
+    shard->path = count == 1 ? path_ : shard_file(path_, i, count);
+    shards_.push_back(std::move(shard));
+  }
+  load_shard_files();
+}
+
+void HistoricalCache::load_shard_files() {
+  // A legacy single-file database at the base path migrates into the
+  // stripes: load it first and route every entry by architecture id, then
+  // let per-shard files override (they are newer). The legacy file itself
+  // is left in place — migration is read-only, so rolling back to a
+  // 1-shard (or pre-shard) binary still finds its data.
+  if (shards_.size() > 1) {
+    std::map<std::string, InferenceRecommendation> legacy;
+    if (load_database_file(path_, &legacy)) {
+      for (auto& [key, rec] : legacy) {
+        Shard& shard = shard_for(arch_of_key(key));
+        MutexLock lock(shard.mutex);
+        shard.entries[key] = std::move(rec);
+      }
+    }
+  }
+  for (auto& shard : shards_) {
+    std::map<std::string, InferenceRecommendation> loaded;
+    if (!load_database_file(shard->path, &loaded)) continue;
+    MutexLock lock(shard->mutex);
+    for (auto& [key, rec] : loaded) shard->entries[key] = std::move(rec);
+  }
+}
+
+HistoricalCache::Shard& HistoricalCache::shard_for(
+    const std::string& arch_id) const {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[stable_hash64(arch_id) % shards_.size()];
 }
 
 std::string HistoricalCache::key(const std::string& arch_id,
@@ -84,30 +155,35 @@ std::string HistoricalCache::key(const std::string& arch_id,
 std::optional<InferenceRecommendation> HistoricalCache::lookup(
     const std::string& arch_id, const std::string& device,
     MetricOfInterest objective) const {
-  MutexLock lock(mutex_);
-  auto it = entries_.find(key(arch_id, device, objective));
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& shard = shard_for(arch_id);
+  MutexLock lock(shard.mutex);
+  auto it = shard.entries.find(key(arch_id, device, objective));
+  if (it == shard.entries.end()) {
+    ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
+  ++shard.hits;
   InferenceRecommendation rec = it->second;
   rec.from_cache = true;
   return rec;
 }
 
 HistoricalCache::~HistoricalCache() {
-  MutexLock lock(mutex_);
-  if (path_.empty() || dirty_ == 0) return;
-  persist_best_effort_locked();
+  if (path_.empty()) return;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    if (shard->dirty == 0) continue;
+    persist_best_effort_locked(*shard);
+  }
 }
 
 Status HistoricalCache::store(const std::string& arch_id,
                               const std::string& device,
                               MetricOfInterest objective,
                               const InferenceRecommendation& rec) {
-  MutexLock lock(mutex_);
-  entries_[key(arch_id, device, objective)] = rec;
+  Shard& shard = shard_for(arch_id);
+  MutexLock lock(shard.mutex);
+  shard.entries[key(arch_id, device, objective)] = rec;
   if (path_.empty()) return Status::ok();
   // Batched persistence: rewriting the whole database on every insert cost
   // O(n²) I/O across a run. Dirty entries are safe in memory until the next
@@ -115,70 +191,112 @@ Status HistoricalCache::store(const std::string& arch_id,
   // degrades to memory-only for this batch — the entry IS stored, later
   // lookups hit it, and the next flush retries the whole file — instead of
   // converting a successful inference tune into an error for its caller.
-  if (++dirty_ >= flush_every_) persist_best_effort_locked();
+  if (++shard.dirty >= flush_every_) persist_best_effort_locked(shard);
   return Status::ok();
 }
 
-void HistoricalCache::persist_best_effort_locked() const {
-  Status status = save_locked();
-  if (status.is_ok()) return;
-  ++persist_failures_;
-  if (!persist_warned_) {
-    persist_warned_ = true;
-    ET_LOG_WARN << "historical-cache flush to " << path_
+void HistoricalCache::persist_best_effort_locked(Shard& s) const {
+  Status status = save_shard_locked(s);
+  if (status.is_ok()) {
+    // Degrade loudly, recover loudly: a cache that warned once and then
+    // silently healed looked permanently broken in the logs (and a re-break
+    // after that was swallowed entirely) — report the recovery and re-arm
+    // the warning latch.
+    if (s.persist_warned) {
+      ET_LOG_WARN << "historical-cache persistence to " << s.path
+                  << " recovered after " << s.consecutive_failures
+                  << " failed flush(es)";
+      s.persist_warned = false;
+    }
+    s.consecutive_failures = 0;
+    return;
+  }
+  ++s.persist_failures;
+  ++s.consecutive_failures;
+  if (!s.persist_warned) {
+    s.persist_warned = true;
+    ET_LOG_WARN << "historical-cache flush to " << s.path
                 << " failed; continuing memory-only (" << status.to_string()
                 << "); further failures logged at debug";
   } else {
-    ET_LOG_DEBUG << "historical-cache flush to " << path_
+    ET_LOG_DEBUG << "historical-cache flush to " << s.path
                  << " failed again: " << status.to_string();
   }
 }
 
 std::size_t HistoricalCache::size() const {
-  MutexLock lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 std::size_t HistoricalCache::hits() const {
-  MutexLock lock(mutex_);
-  return hits_;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += shard->hits;
+  }
+  return total;
 }
 
 std::size_t HistoricalCache::misses() const {
-  MutexLock lock(mutex_);
-  return misses_;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += shard->misses;
+  }
+  return total;
 }
 
-void HistoricalCache::record_external_hit() const {
-  MutexLock lock(mutex_);
-  ++hits_;
+void HistoricalCache::record_external_hit(const std::string& arch_id) const {
+  Shard& shard = shard_for(arch_id);
+  MutexLock lock(shard.mutex);
+  ++shard.hits;
 }
 
 std::size_t HistoricalCache::persist_failures() const {
-  MutexLock lock(mutex_);
-  return persist_failures_;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += shard->persist_failures;
+  }
+  return total;
 }
 
 Status HistoricalCache::save() const {
-  MutexLock lock(mutex_);
-  if (path_.empty() || dirty_ == 0) return Status::ok();
-  return save_locked();
+  if (path_.empty()) return Status::ok();
+  Status first_error;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    if (shard->dirty == 0) continue;
+    if (Status status = save_shard_locked(*shard);
+        !status.is_ok() && first_error.is_ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
 }
 
-Status HistoricalCache::save_locked() const {
-  const std::size_t flush_number = flushes_++;
-  if (Status injected = injector_.fire(fault_site::kCachePersist, path_,
+Status HistoricalCache::save_shard_locked(Shard& s) const {
+  // Fault identity is (shard file, per-shard flush index): injected
+  // cache.persist outcomes are a pure function of the shard's own write
+  // stream, unchanged by how many other shards exist or interleave.
+  const std::size_t flush_number = s.flushes++;
+  if (Status injected = injector_.fire(fault_site::kCachePersist, s.path,
                                        static_cast<int>(flush_number));
       !injected.is_ok()) {
     return injected;
   }
   JsonObject root;
-  for (const auto& [key, rec] : entries_) {
+  for (const auto& [key, rec] : s.entries) {
     root.emplace(key, rec_to_json(rec));
   }
   // Write-to-temp + rename: truncating the database in place meant a crash
   // mid-write destroyed every previously persisted result.
-  const std::string tmp = path_ + ".tmp";
+  const std::string tmp = s.path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out.good()) {
@@ -189,11 +307,11 @@ Status HistoricalCache::save_locked() const {
       return Status::io("short write to " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+  if (std::rename(tmp.c_str(), s.path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    return Status::io("cannot rename " + tmp + " to " + path_);
+    return Status::io("cannot rename " + tmp + " to " + s.path);
   }
-  dirty_ = 0;
+  s.dirty = 0;
   return Status::ok();
 }
 

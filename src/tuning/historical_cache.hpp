@@ -3,17 +3,30 @@
 // re-tuned — "with the cost of a small storage overhead". Thread-safe;
 // optionally file-backed (JSON) so results survive across tuning jobs.
 //
+// Lock striping (DESIGN §5.7): the database is split into N shards keyed by
+// `stable_hash64(arch_id) % N`, each with its own mutex, entry map, counters,
+// and — when file-backed — its own persistence file, so thousands of
+// concurrent jobs from many tenants share results without a global mutex.
+// N == 1 (the default) is byte-identical to the historical single-file
+// layout: one file at `path`, one lock. For N > 1 the shard files are
+// `<path>.shard<i>of<N>`; a legacy single file found at `path` is loaded and
+// distributed across the shards on construction (the legacy file itself is
+// left untouched), so existing caches keep working after resharding.
+//
 // Persistence is best-effort (DESIGN §5.4): the in-memory map is always
-// authoritative, a failed flush degrades the cache to memory-only semantics
-// for that flush (warn-once log + persist_failures() counter) instead of
-// failing the tuning request that happened to trigger it, and a corrupt
-// database file found at load is quarantined to `<path>.corrupt` rather
-// than silently clobbered by the next flush.
+// authoritative, a failed flush degrades the affected shard to memory-only
+// semantics for that flush (warn-once log + persist_failures() counter)
+// instead of failing the tuning request that happened to trigger it, a later
+// successful flush logs a one-line recovery notice and re-arms the warning,
+// and a corrupt database file found at load is quarantined to
+// `<path>.corrupt` rather than silently clobbered by the next flush.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "common/thread_annotations.hpp"
@@ -23,15 +36,16 @@ namespace edgetune {
 
 class HistoricalCache {
  public:
-  /// In-memory only.
-  HistoricalCache() = default;
-  /// File-backed: loads `path` if it exists. Writes are batched — the file
-  /// is rewritten after every `flush_every` stores and on destruction, not
-  /// on every insert (store() used to cost O(n) I/O each, O(n²) per run) —
-  /// and each rewrite goes through a temp file + rename, so a crash
-  /// mid-write leaves the previous database intact instead of a truncated
-  /// one.
-  explicit HistoricalCache(std::string path, std::size_t flush_every = 16);
+  /// In-memory only; `shards` stripes the lock (1 = one global lock).
+  explicit HistoricalCache(std::size_t shards = 1);
+  /// File-backed: loads `path` (and, for `shards` > 1, the per-shard files)
+  /// if present. Writes are batched — a shard's file is rewritten after
+  /// every `flush_every` stores into that shard and on destruction, not on
+  /// every insert (store() used to cost O(n) I/O each, O(n²) per run) — and
+  /// each rewrite goes through a temp file + rename, so a crash mid-write
+  /// leaves the previous database intact instead of a truncated one.
+  explicit HistoricalCache(std::string path, std::size_t flush_every = 16,
+                           std::size_t shards = 1);
   ~HistoricalCache();
 
   HistoricalCache(const HistoricalCache&) = delete;
@@ -42,60 +56,80 @@ class HistoricalCache {
   /// not share an entry.
   [[nodiscard]] std::optional<InferenceRecommendation> lookup(
       const std::string& arch_id, const std::string& device,
-      MetricOfInterest objective) const EDGETUNE_EXCLUDES(mutex_);
+      MetricOfInterest objective) const;
 
   /// Stores (overwrites) a recommendation; persists when file-backed. The
   /// returned Status reflects the in-memory store only — always OK today: a
   /// persistence failure is counted and logged (once), never propagated, so
   /// a flaky disk cannot turn a successful tune into an error.
   Status store(const std::string& arch_id, const std::string& device,
-               MetricOfInterest objective,
-               const InferenceRecommendation& rec) EDGETUNE_EXCLUDES(mutex_);
+               MetricOfInterest objective, const InferenceRecommendation& rec);
 
-  [[nodiscard]] std::size_t size() const EDGETUNE_EXCLUDES(mutex_);
-  [[nodiscard]] std::size_t hits() const EDGETUNE_EXCLUDES(mutex_);
-  [[nodiscard]] std::size_t misses() const EDGETUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
 
   /// Counts a hit that was satisfied outside lookup(): a single-flight
   /// joiner receives the leader's result directly instead of probing, but a
   /// serial execution of the same requests WOULD have probed and hit — so
   /// the joiner reports one here, keeping hits()/misses() a pure function
-  /// of the request content rather than of scheduling.
-  void record_external_hit() const EDGETUNE_EXCLUDES(mutex_);
-  /// Flush attempts that failed (I/O error or injected cache.persist fault).
-  /// The cache kept serving from memory each time.
-  [[nodiscard]] std::size_t persist_failures() const EDGETUNE_EXCLUDES(mutex_);
+  /// of the request content rather than of scheduling. Takes the arch id so
+  /// the hit lands on the shard a real probe would have touched.
+  void record_external_hit(const std::string& arch_id) const;
+  /// Flush attempts that failed (I/O error or injected cache.persist fault),
+  /// summed over shards. The cache kept serving from memory each time.
+  [[nodiscard]] std::size_t persist_failures() const;
 
-  /// Flushes pending writes to the backing file (no-op when in-memory or
+  /// Number of lock-striped shards (1 = the classic single-file cache).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Flushes pending writes to the backing file(s) (no-op when in-memory or
   /// when nothing changed since the last flush). Unlike store(), reports the
-  /// real outcome to callers that explicitly ask for durability.
-  Status save() const EDGETUNE_EXCLUDES(mutex_);
+  /// real outcome — the first shard failure — to callers that explicitly ask
+  /// for durability.
+  Status save() const;
 
   /// Installs a fault injector consulted at the cache.persist site before
   /// every flush (testing / chaos runs). Call before sharing the cache
   /// across threads.
-  void set_fault_injector(FaultInjector injector) { injector_ = std::move(injector); }
+  void set_fault_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
 
  private:
+  // One lock stripe: its own mutex, entries, persistence file, and counters.
+  // Heap-allocated (vector of unique_ptr) because Mutex is not movable.
+  struct Shard {
+    mutable Mutex mutex;
+    std::string path;  // empty => in-memory; immutable after construction
+    mutable std::size_t dirty EDGETUNE_GUARDED_BY(mutex) = 0;
+    mutable std::size_t flushes EDGETUNE_GUARDED_BY(mutex) = 0;
+    std::map<std::string, InferenceRecommendation> entries
+        EDGETUNE_GUARDED_BY(mutex);
+    mutable std::size_t hits EDGETUNE_GUARDED_BY(mutex) = 0;
+    mutable std::size_t misses EDGETUNE_GUARDED_BY(mutex) = 0;
+    mutable std::size_t persist_failures EDGETUNE_GUARDED_BY(mutex) = 0;
+    mutable std::size_t consecutive_failures EDGETUNE_GUARDED_BY(mutex) = 0;
+    mutable bool persist_warned EDGETUNE_GUARDED_BY(mutex) = false;
+  };
+
   static std::string key(const std::string& arch_id,
                          const std::string& device,
                          MetricOfInterest objective);
-  Status save_locked() const EDGETUNE_REQUIRES(mutex_);
-  /// save_locked + degrade-on-failure bookkeeping (store/destructor path).
-  void persist_best_effort_locked() const EDGETUNE_REQUIRES(mutex_);
+  /// The shard owning `arch_id` (stable_hash64(arch_id) % N, DESIGN §5.7).
+  [[nodiscard]] Shard& shard_for(const std::string& arch_id) const;
+  void load_shard_files();
+  Status save_shard_locked(Shard& s) const EDGETUNE_REQUIRES(s.mutex);
+  /// save_shard_locked + degrade-on-failure / recover-on-success
+  /// bookkeeping (store/destructor path).
+  void persist_best_effort_locked(Shard& s) const EDGETUNE_REQUIRES(s.mutex);
 
-  mutable Mutex mutex_;
-  std::string path_;  // empty => in-memory; immutable after construction
+  std::string path_;              // base path; empty => in-memory
   std::size_t flush_every_ = 16;  // immutable after construction
   FaultInjector injector_;        // immutable after set_fault_injector
-  mutable std::size_t dirty_ EDGETUNE_GUARDED_BY(mutex_) = 0;
-  mutable std::size_t flushes_ EDGETUNE_GUARDED_BY(mutex_) = 0;
-  std::map<std::string, InferenceRecommendation> entries_
-      EDGETUNE_GUARDED_BY(mutex_);
-  mutable std::size_t hits_ EDGETUNE_GUARDED_BY(mutex_) = 0;
-  mutable std::size_t misses_ EDGETUNE_GUARDED_BY(mutex_) = 0;
-  mutable std::size_t persist_failures_ EDGETUNE_GUARDED_BY(mutex_) = 0;
-  mutable bool persist_warned_ EDGETUNE_GUARDED_BY(mutex_) = false;
+  std::vector<std::unique_ptr<Shard>> shards_;  // fixed after construction
 };
 
 }  // namespace edgetune

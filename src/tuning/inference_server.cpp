@@ -21,11 +21,21 @@ InferenceTuningServer::InferenceTuningServer(DeviceProfile edge_device,
     : cost_model_(std::move(edge_device)),
       options_(std::move(options)),
       injector_(options_.seed, options_.faults),
-      cache_(options_.cache_path.empty()
-                 ? std::make_unique<HistoricalCache>()
-                 : std::make_unique<HistoricalCache>(options_.cache_path)),
+      cache_(options_.shared_cache
+                 ? options_.shared_cache
+                 : options_.cache_path.empty()
+                       ? std::make_shared<HistoricalCache>(
+                             std::max<std::size_t>(1, options_.cache_shards))
+                       : std::make_shared<HistoricalCache>(
+                             options_.cache_path, /*flush_every=*/16,
+                             std::max<std::size_t>(1,
+                                                   options_.cache_shards))),
       pool_(static_cast<std::size_t>(std::max(1, options_.workers))) {
-  if (injector_.enabled()) cache_->set_fault_injector(injector_);
+  // A borrowed (shared) cache keeps its owner's injector: installing this
+  // server's plan would redirect every co-tenant's cache.persist faults.
+  if (injector_.enabled() && !options_.shared_cache) {
+    cache_->set_fault_injector(injector_);
+  }
 }
 
 SearchSpace InferenceTuningServer::search_space() const {
@@ -102,7 +112,7 @@ Result<InferenceRecommendation> InferenceTuningServer::tune(
       // the same requests would have probed the cache after the leader's
       // store and hit — count that hit, so the cache counters stay a pure
       // function of request content, not of scheduling.
-      cache_->record_external_hit();
+      cache_->record_external_hit(arch.id);
       InferenceRecommendation rec = std::move(joined).value();
       rec.from_cache = true;
       rec.tuning_time_s = 0;

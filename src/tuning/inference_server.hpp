@@ -36,6 +36,15 @@ struct InferenceServerOptions {
   int workers = 2;
   std::uint64_t seed = 17;
   std::string cache_path;          // empty => in-memory cache
+  /// Lock-striped shards for the historical cache (DESIGN §5.7). 1 keeps
+  /// the classic single-file single-lock layout; N > 1 stripes both the
+  /// lock and the persistence files. Counters and reports are identical at
+  /// any shard count.
+  std::size_t cache_shards = 1;
+  /// A cache owned by someone else (the always-on TuningJobServer shares
+  /// one across all jobs of all tenants). Overrides cache_path/cache_shards;
+  /// the server never installs its fault injector on a borrowed cache.
+  std::shared_ptr<HistoricalCache> shared_cache;
   /// Ablation switch: false re-tunes every request (no historical reuse).
   bool use_cache = true;
   /// Deterministic fault plan (sites inference.measure / cache.persist fire
@@ -127,7 +136,7 @@ class InferenceTuningServer {
   CostModel cost_model_;
   InferenceServerOptions options_;
   FaultInjector injector_;
-  std::unique_ptr<HistoricalCache> cache_;
+  std::shared_ptr<HistoricalCache> cache_;
   ThreadPool pool_;
   std::atomic<int> active_tunes_{0};
   std::atomic<int> peak_tunes_{0};

@@ -1,5 +1,7 @@
 #include "tuning/job_server.hpp"
 
+#include <algorithm>
+
 namespace edgetune {
 
 const char* job_state_name(JobState state) noexcept {
@@ -17,86 +19,269 @@ const char* job_state_name(JobState state) noexcept {
 }
 
 TuningJobServer::TuningJobServer(int workers, int trial_workers_per_job)
-    : trial_workers_per_job_(trial_workers_per_job),
-      pool_(static_cast<std::size_t>(std::max(1, workers))) {}
+    : TuningJobServer([&] {
+        TuningServiceOptions options;
+        options.workers = workers;
+        options.trial_workers_per_job = trial_workers_per_job;
+        return options;
+      }()) {}
 
-TuningJobServer::~TuningJobServer() {
-  // ThreadPool's destructor drains queued tasks before joining; every
-  // submitted job therefore reaches a terminal state.
+TuningJobServer::TuningJobServer(TuningServiceOptions options)
+    : options_(std::move(options)),
+      pool_(static_cast<std::size_t>(std::max(1, options_.workers))) {
+  if (options_.shared_cache_shards > 0) {
+    shared_cache_ =
+        options_.shared_cache_path.empty()
+            ? std::make_shared<HistoricalCache>(options_.shared_cache_shards)
+            : std::make_shared<HistoricalCache>(options_.shared_cache_path,
+                                                /*flush_every=*/16,
+                                                options_.shared_cache_shards);
+  }
 }
 
-JobId TuningJobServer::submit(JobRequest request) {
-  JobId id;
+TuningJobServer::~TuningJobServer() {
   {
     MutexLock lock(mutex_);
-    id = next_id_++;
-    jobs_.emplace(id, Job{});
+    shutdown_ = true;
   }
-  pool_.submit([this, id, request = std::move(request)]() mutable {
-    run_job(id, std::move(request));
-  });
+  // Unblock run_next() tasks parked behind pause(): the pool's destructor
+  // (pool_ is the last member, so it is destroyed FIRST) drains every
+  // queued task, and each must be able to reach its job — every admitted
+  // job therefore still reaches a terminal state, paused or not.
+  resume_cv_.notify_all();
+}
+
+Result<JobId> TuningJobServer::submit(JobRequest request) {
+  const std::string tenant =
+      request.tenant.empty() ? "default" : request.tenant;
+  JobId id = 0;
+  {
+    MutexLock lock(mutex_);
+    ++counters_.submitted;
+    // Bounded admission: a server without backpressure queues unboundedly
+    // and falls over later; kResourceExhausted here is the contract that
+    // lets callers shed load at the edge instead.
+    if (options_.max_queued > 0 && queued_ >= options_.max_queued) {
+      ++counters_.rejected_queue_full;
+      return Status::resource_exhausted(
+          "admission queue is full (" + std::to_string(queued_) + "/" +
+          std::to_string(options_.max_queued) + " queued jobs)");
+    }
+    if (options_.per_tenant_quota > 0) {
+      auto it = tenant_active_.find(tenant);
+      const std::size_t active =
+          it == tenant_active_.end() ? 0 : it->second;
+      if (active >= options_.per_tenant_quota) {
+        ++counters_.rejected_tenant_quota;
+        return Status::resource_exhausted(
+            "tenant '" + tenant + "' is at its quota (" +
+            std::to_string(active) + "/" +
+            std::to_string(options_.per_tenant_quota) + " active jobs)");
+      }
+    }
+    id = next_id_++;
+    const int priority = request.priority;
+    Job job;
+    job.tenant = tenant;
+    job.priority = priority;
+    job.request = std::move(request);
+    jobs_.emplace(id, std::move(job));
+    pending_.insert({-priority, id});
+    ++queued_;
+    ++tenant_active_[tenant];
+  }
+  // One generic dispatch task per admitted job: the task picks the
+  // highest-priority PENDING job at run time, so a late high-priority
+  // submission overtakes earlier low-priority ones still in the queue.
+  pool_.submit([this] { run_next(); });
   return id;
 }
 
-void TuningJobServer::run_job(JobId id, JobRequest request) {
+void TuningJobServer::run_next() {
+  JobId id = 0;
+  JobRequest request;
+  int effective_trial_workers = 0;
   {
     MutexLock lock(mutex_);
-    jobs_[id].state = JobState::kRunning;
-  }
-  if (trial_workers_per_job_ > 0 && request.options.trial_workers <= 1) {
-    request.options.trial_workers = trial_workers_per_job_;
-  }
-  Result<TuningReport> result = [&]() -> Result<TuningReport> {
-    // A fleet coordinator only drives the EdgeTune pipeline's batch
-    // evaluator; a baseline job holding one would silently measure locally
-    // while the caller believes it sharded. Refuse instead.
-    if (request.options.fleet && request.system != JobSystem::kEdgeTune) {
-      return Status::invalid_argument(
-          "fleet execution is only supported for EdgeTune jobs");
+    while (paused_ && !shutdown_) resume_cv_.wait(mutex_);
+    if (pending_.empty()) return;  // defensive; one task per admitted job
+    auto it = pending_.begin();
+    id = it->second;
+    pending_.erase(it);
+    Job& job = jobs_.at(id);
+    request = std::move(job.request);
+    job.request = JobRequest{};  // release the queued options' memory now
+    job.state = JobState::kRunning;
+    --queued_;
+    ++running_;
+    if (request.options.trial_workers <= 1) {
+      if (options_.adaptive_trial_workers) {
+        // Self-tuning parallelism: split the trial-worker budget across
+        // the work the server can see. Deep queue -> narrow jobs (total
+        // throughput); idle -> one wide job (latency). Computed at
+        // dispatch, under the same lock as the depth it reads.
+        const auto depth = static_cast<int>(queued_);
+        effective_trial_workers =
+            std::clamp(options_.trial_worker_budget / (1 + depth), 1,
+                       std::max(1, options_.trial_worker_budget));
+      } else if (options_.trial_workers_per_job > 0) {
+        effective_trial_workers = options_.trial_workers_per_job;
+      }
     }
-    switch (request.system) {
-      case JobSystem::kEdgeTune:
-        return EdgeTune(request.options).run();
-      case JobSystem::kTune:
-        return run_tune_baseline(request.options);
-      case JobSystem::kHyperPower:
-        return run_hyperpower_baseline(request.options, request.power_cap_w);
-      case JobSystem::kHierarchical:
-        return run_hierarchical(request.options);
-    }
-    return Status::invalid_argument("unknown job system");
-  }();
+    job.trial_workers = effective_trial_workers > 0
+                            ? effective_trial_workers
+                            : std::max(1, request.options.trial_workers);
+  }
+  if (effective_trial_workers > 0) {
+    request.options.trial_workers = effective_trial_workers;
+  }
+  // Multi-tenant result sharing: jobs that brought no cache of their own
+  // read and write the server-wide sharded cache, so tenant B never
+  // re-tunes an architecture tenant A already paid for. Jobs with explicit
+  // cache configuration — and fleet coordinators, whose accounting must
+  // not see foreign results — keep their own.
+  if (shared_cache_ && request.options.inference.use_cache &&
+      !request.options.fleet && !request.options.inference.shared_cache &&
+      request.options.inference.cache_path.empty()) {
+    request.options.inference.shared_cache = shared_cache_;
+  }
+  Result<TuningReport> result = execute(std::move(request));
   {
     MutexLock lock(mutex_);
-    Job& job = jobs_[id];
+    Job& job = jobs_.at(id);
     job.state = result.ok() ? JobState::kDone : JobState::kFailed;
+    if (result.ok()) {
+      ++counters_.completed;
+    } else {
+      ++counters_.failed;
+    }
     job.result = std::move(result);
+    job.finish_seq = ++finish_counter_;
+    --running_;
+    release_tenant_locked(job.tenant);
+    terminal_fifo_.push_back(id);
+    ++retained_terminal_;
+    enforce_retention_locked();
   }
   done_cv_.notify_all();
+}
+
+Result<TuningReport> TuningJobServer::execute(JobRequest request) {
+  // A fleet coordinator only drives the EdgeTune pipeline's batch
+  // evaluator; a baseline job holding one would silently measure locally
+  // while the caller believes it sharded. Refuse instead.
+  if (request.options.fleet && request.system != JobSystem::kEdgeTune) {
+    return Status::invalid_argument(
+        "fleet execution is only supported for EdgeTune jobs");
+  }
+  switch (request.system) {
+    case JobSystem::kEdgeTune:
+      return EdgeTune(request.options).run();
+    case JobSystem::kTune:
+      return run_tune_baseline(request.options);
+    case JobSystem::kHyperPower:
+      return run_hyperpower_baseline(request.options, request.power_cap_w);
+    case JobSystem::kHierarchical:
+      return run_hierarchical(request.options);
+    case JobSystem::kProbe: {
+      TuningReport report;
+      report.system = "probe";
+      return report;
+    }
+  }
+  return Status::invalid_argument("unknown job system");
+}
+
+void TuningJobServer::release_tenant_locked(const std::string& tenant) {
+  auto it = tenant_active_.find(tenant);
+  if (it == tenant_active_.end()) return;
+  if (--it->second == 0) tenant_active_.erase(it);  // keep the map bounded
+}
+
+void TuningJobServer::enforce_retention_locked() {
+  if (options_.max_retained == 0) return;
+  // Evict oldest-finished first. Ids already reaped by wait() are lazy
+  // tombstones in the fifo — skipped and dropped here. A job a waiter is
+  // currently copying out of is skipped (its waiter reaps it), so the
+  // retained count can transiently exceed the bound by the number of
+  // in-flight wait()s, never by unclaimed results.
+  std::deque<JobId> being_delivered;
+  while (retained_terminal_ > options_.max_retained &&
+         !terminal_fifo_.empty()) {
+    const JobId victim = terminal_fifo_.front();
+    terminal_fifo_.pop_front();
+    auto it = jobs_.find(victim);
+    if (it == jobs_.end()) continue;  // already reaped via wait()
+    if (it->second.waiters > 0) {
+      being_delivered.push_back(victim);
+      continue;
+    }
+    jobs_.erase(it);
+    --retained_terminal_;
+    ++counters_.evicted;
+  }
+  for (auto it = being_delivered.rbegin(); it != being_delivered.rend();
+       ++it) {
+    terminal_fifo_.push_front(*it);
+  }
 }
 
 Result<JobState> TuningJobServer::state(JobId id) const {
   MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
-    return Status::not_found("unknown job " + std::to_string(id));
+    return Status::not_found("unknown job " + std::to_string(id) +
+                             " (never submitted, already waited for, or "
+                             "evicted by the retention policy)");
   }
   return it->second.state;
+}
+
+Result<JobInfo> TuningJobServer::info(JobId id) const {
+  MutexLock lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::not_found("unknown job " + std::to_string(id) +
+                             " (never submitted, already waited for, or "
+                             "evicted by the retention policy)");
+  }
+  JobInfo info;
+  info.state = it->second.state;
+  info.tenant = it->second.tenant;
+  info.priority = it->second.priority;
+  info.trial_workers = it->second.trial_workers;
+  info.finish_seq = it->second.finish_seq;
+  return info;
 }
 
 Result<TuningReport> TuningJobServer::wait(JobId id) {
   MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
-    return Status::not_found("unknown job " + std::to_string(id));
+    return Status::not_found("unknown job " + std::to_string(id) +
+                             " (never submitted, already waited for, or "
+                             "evicted by the retention policy)");
   }
-  // `it` stays valid across the waits: std::map iterators are stable, and
-  // finished jobs are never erased.
+  // `it` stays valid across the waits: std::map erase only invalidates the
+  // erased iterator, and a job with registered waiters is neither evicted
+  // (enforce_retention_locked skips it) nor reaped by anyone but the last
+  // of those waiters.
+  ++it->second.waiters;
   while (it->second.state != JobState::kDone &&
          it->second.state != JobState::kFailed) {
     done_cv_.wait(mutex_);
   }
-  return it->second.result;
+  Result<TuningReport> result = it->second.result;  // copy: shared delivery
+  if (--it->second.waiters == 0) {
+    // Reap on delivery: the result has been handed out, so the server
+    // stops retaining it — the fix for the historical "finished jobs are
+    // never erased" leak. The id's entry in terminal_fifo_ becomes a lazy
+    // tombstone.
+    jobs_.erase(it);
+    --retained_terminal_;
+    ++counters_.reaped;
+  }
+  return result;
 }
 
 std::vector<JobId> TuningJobServer::jobs() const {
@@ -109,13 +294,29 @@ std::vector<JobId> TuningJobServer::jobs() const {
 
 std::size_t TuningJobServer::unfinished() const {
   MutexLock lock(mutex_);
-  std::size_t count = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
-      ++count;
-    }
+  return queued_ + running_;
+}
+
+TuningServiceStats TuningJobServer::stats() const {
+  MutexLock lock(mutex_);
+  TuningServiceStats stats = counters_;
+  stats.queued = queued_;
+  stats.running = running_;
+  stats.retained_terminal = retained_terminal_;
+  return stats;
+}
+
+void TuningJobServer::pause() {
+  MutexLock lock(mutex_);
+  paused_ = true;
+}
+
+void TuningJobServer::resume() {
+  {
+    MutexLock lock(mutex_);
+    paused_ = false;
   }
-  return count;
+  resume_cv_.notify_all();
 }
 
 }  // namespace edgetune

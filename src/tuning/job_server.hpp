@@ -1,10 +1,18 @@
 // TuningJobServer: the service face of EdgeTune. The paper positions
 // EdgeTune as a *tuning server* (like Vizier/SageMaker, §1) that users
-// submit jobs to; this component queues jobs, runs them on a worker pool,
-// and exposes state polling and blocking waits per job.
+// submit jobs to. This component is built to run always-on (DESIGN §5.7):
+// admission control with a bounded queue and per-tenant quotas, priority
+// scheduling, a terminal-job retention policy so a long-lived process does
+// not accumulate every result ever produced, O(1) state counters, an
+// optional server-wide sharded HistoricalCache shared by every job, and
+// optional self-adjustment of per-job trial parallelism from the observed
+// queue depth ("Towards Self-Tuning Parameter Servers" applied to our own
+// server).
 #pragma once
 
+#include <deque>
 #include <map>
+#include <set>
 
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
@@ -18,58 +26,189 @@ const char* job_state_name(JobState state) noexcept;
 
 using JobId = std::uint64_t;
 
-/// What system a submitted job runs.
-enum class JobSystem { kEdgeTune, kTune, kHyperPower, kHierarchical };
+/// What system a submitted job runs. kProbe is a no-op job that goes
+/// through the full admission/queue/retention machinery and returns an
+/// empty report — health checks and service benchmarks use it to exercise
+/// the server without paying for a tuning run.
+enum class JobSystem { kEdgeTune, kTune, kHyperPower, kHierarchical, kProbe };
 
 struct JobRequest {
   EdgeTuneOptions options;
   JobSystem system = JobSystem::kEdgeTune;
   double power_cap_w = 800.0;  // HyperPower only
+  /// Admission-control identity; empty means the "default" tenant. Quotas
+  /// count queued + running jobs per tenant.
+  std::string tenant;
+  /// Higher runs first; ties dispatch FIFO in submission order.
+  int priority = 0;
+};
+
+/// Configuration of the always-on service. The defaults reproduce the
+/// classic one-shot job-runner behavior: unbounded queue, no quotas, every
+/// result retained until waited for, fixed trial parallelism, no shared
+/// cache.
+struct TuningServiceOptions {
+  int workers = 1;
+  /// > 0 gives every job that did not ask for parallel trials itself
+  /// (options.trial_workers <= 1) that many concurrent trial evaluations.
+  int trial_workers_per_job = 0;
+  /// Admission bound on queued (not yet running) jobs; submit() beyond it
+  /// returns kResourceExhausted. 0 = unbounded.
+  std::size_t max_queued = 0;
+  /// Max queued + running jobs per tenant; 0 = unlimited.
+  std::size_t per_tenant_quota = 0;
+  /// Terminal (done/failed) results retained for wait(). Beyond this the
+  /// oldest unclaimed result is evicted (its wait() then reports
+  /// not_found). 0 = retain everything not yet waited for.
+  std::size_t max_retained = 0;
+  /// Self-tuning parallelism (DESIGN §5.7): at dispatch, a job that did not
+  /// pick its own trial_workers gets budget/(1+queue_depth) of them,
+  /// clamped to [1, budget] — wide when the server is idle, narrow (high
+  /// job throughput) when the queue is deep. Off by default: it makes a
+  /// job's makespan depend on server load, so opt in explicitly.
+  bool adaptive_trial_workers = false;
+  int trial_worker_budget = 4;
+  /// > 0 creates a server-wide HistoricalCache with that many lock-striped
+  /// shards, shared by every job that did not configure its own cache —
+  /// tenants reuse each other's inference results. 0 = no shared cache
+  /// (every job keeps its private one, the classic behavior).
+  std::size_t shared_cache_shards = 0;
+  /// Persistence path for the shared cache (empty = in-memory).
+  std::string shared_cache_path;
+};
+
+/// Monotonic counters + instantaneous gauges for observability. Counters
+/// only ever grow; gauges (queued/running/retained_terminal) are a snapshot.
+struct TuningServiceStats {
+  std::size_t submitted = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_tenant_quota = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t reaped = 0;   // results delivered via wait() and released
+  std::size_t evicted = 0;  // unclaimed results dropped by max_retained
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t retained_terminal = 0;
+};
+
+/// Per-job metadata for tests and dashboards.
+struct JobInfo {
+  JobState state = JobState::kQueued;
+  std::string tenant;
+  int priority = 0;
+  /// Effective trial_workers chosen at dispatch (0 until the job starts).
+  int trial_workers = 0;
+  /// 1-based order in which the job reached a terminal state (0 until
+  /// then) — exposes the dispatch order priorities produced.
+  std::uint64_t finish_seq = 0;
 };
 
 class TuningJobServer {
  public:
-  /// `workers` jobs run concurrently; `trial_workers_per_job` > 0 gives
-  /// every job that did not ask for parallel trials itself (options.
-  /// trial_workers <= 1) that many concurrent trial evaluations per rung.
+  /// Classic one-shot construction (see TuningServiceOptions for the
+  /// semantics of the two knobs).
   explicit TuningJobServer(int workers = 1, int trial_workers_per_job = 0);
+  explicit TuningJobServer(TuningServiceOptions options);
   ~TuningJobServer();
 
   TuningJobServer(const TuningJobServer&) = delete;
   TuningJobServer& operator=(const TuningJobServer&) = delete;
 
-  /// Enqueues a job; returns immediately with its id.
-  JobId submit(JobRequest request) EDGETUNE_EXCLUDES(mutex_);
+  /// Admits a job and returns its id, or kResourceExhausted when the queue
+  /// is full / the tenant is at quota (the job was NOT enqueued; the caller
+  /// owns backoff-and-resubmit).
+  [[nodiscard]] Result<JobId> submit(JobRequest request)
+      EDGETUNE_EXCLUDES(mutex_);
 
-  /// Current state; kQueued for unknown ids is an error.
+  /// Current state. Ids that were never submitted — or whose result has
+  /// already been reaped by wait() or evicted by the retention policy —
+  /// report not_found: the server deliberately keeps no tombstones, so a
+  /// long-lived process cannot accumulate one per job ever submitted.
   [[nodiscard]] Result<JobState> state(JobId id) const
       EDGETUNE_EXCLUDES(mutex_);
 
-  /// Blocks until the job finishes; returns its report or failure status.
+  /// Metadata for a tracked job; not_found exactly when state(id) is.
+  [[nodiscard]] Result<JobInfo> info(JobId id) const
+      EDGETUNE_EXCLUDES(mutex_);
+
+  /// Blocks until the job finishes and returns its report or failure
+  /// status, then RELEASES the retained result: the first wait() per job
+  /// wins, concurrent waiters all receive a copy, and later calls report
+  /// not_found. Unknown/evicted ids report not_found without blocking.
   [[nodiscard]] Result<TuningReport> wait(JobId id) EDGETUNE_EXCLUDES(mutex_);
 
-  /// Ids of all jobs ever submitted, in submission order.
+  /// Ids of every job the server still tracks (queued, running, or
+  /// retained terminal), in submission order. Reaped and evicted jobs are
+  /// gone — on an always-on server this is a bounded working set, not a
+  /// submission history.
   [[nodiscard]] std::vector<JobId> jobs() const EDGETUNE_EXCLUDES(mutex_);
 
-  /// Jobs not yet finished.
+  /// Jobs not yet finished (queued + running). O(1): maintained as
+  /// counters at state transitions, not a scan — pollers no longer
+  /// serialize against the whole job table.
   [[nodiscard]] std::size_t unfinished() const EDGETUNE_EXCLUDES(mutex_);
+
+  [[nodiscard]] TuningServiceStats stats() const EDGETUNE_EXCLUDES(mutex_);
+
+  /// Stops dispatching queued jobs (admission stays open; running jobs
+  /// finish). Drain/maintenance windows — and deterministic tests and
+  /// benches, which use pause() to build a queue of known depth.
+  void pause() EDGETUNE_EXCLUDES(mutex_);
+  void resume() EDGETUNE_EXCLUDES(mutex_);
+
+  /// The server-wide shared cache (null unless shared_cache_shards > 0).
+  [[nodiscard]] const HistoricalCache* shared_cache() const noexcept {
+    return shared_cache_.get();
+  }
 
  private:
   struct Job {
+    JobRequest request;  // moved out at dispatch to free the queue's memory
     JobState state = JobState::kQueued;
+    std::string tenant;
+    int priority = 0;
+    int trial_workers = 0;
+    std::uint64_t finish_seq = 0;
+    /// wait() calls currently blocked on (or copying out) this job. A job
+    /// with waiters is never evicted: the last waiter out reaps it.
+    int waiters = 0;
     Result<TuningReport> result{Status::unavailable("not finished")};
   };
 
-  // Runs the whole tuning job — user-scale work — so it must hold no lock
-  // beyond the brief state transitions at entry and exit.
-  void run_job(JobId id, JobRequest request) EDGETUNE_EXCLUDES(mutex_);
+  /// Pool task: dequeues the highest-priority pending job and runs it.
+  /// Runs the whole tuning job — user-scale work — so it must hold no lock
+  /// beyond the brief state transitions at entry and exit.
+  void run_next() EDGETUNE_EXCLUDES(mutex_);
+  static Result<TuningReport> execute(JobRequest request);
+  void enforce_retention_locked() EDGETUNE_REQUIRES(mutex_);
+  void release_tenant_locked(const std::string& tenant)
+      EDGETUNE_REQUIRES(mutex_);
+
+  const TuningServiceOptions options_;  // immutable after construction
+  std::shared_ptr<HistoricalCache> shared_cache_;  // null or immutable ptr
 
   mutable Mutex mutex_;
   CondVar done_cv_;
+  CondVar resume_cv_;
   std::map<JobId, Job> jobs_ EDGETUNE_GUARDED_BY(mutex_);
+  /// Dispatch order: {-priority, id} so begin() is the highest priority,
+  /// FIFO within it.
+  std::set<std::pair<int, JobId>> pending_ EDGETUNE_GUARDED_BY(mutex_);
+  /// Terminal jobs in finish order, for retention eviction. Lazily
+  /// compacted: reaped ids are skipped when popped.
+  std::deque<JobId> terminal_fifo_ EDGETUNE_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> tenant_active_
+      EDGETUNE_GUARDED_BY(mutex_);
   JobId next_id_ EDGETUNE_GUARDED_BY(mutex_) = 1;
-  int trial_workers_per_job_ = 0;  // immutable after construction
-  ThreadPool pool_;
+  std::uint64_t finish_counter_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::size_t queued_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  std::size_t retained_terminal_ EDGETUNE_GUARDED_BY(mutex_) = 0;
+  bool paused_ EDGETUNE_GUARDED_BY(mutex_) = false;
+  bool shutdown_ EDGETUNE_GUARDED_BY(mutex_) = false;
+  TuningServiceStats counters_ EDGETUNE_GUARDED_BY(mutex_);  // monotonic part
+  ThreadPool pool_;  // declared last: destroyed first, draining run_next()s
 };
 
 }  // namespace edgetune

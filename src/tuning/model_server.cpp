@@ -147,6 +147,13 @@ Result<TuningReport> EdgeTune::run() {
     return Status::invalid_argument(
         "fleet execution requires inference-aware tuning (--system edgetune)");
   }
+  if (options_.fleet && options_.inference.shared_cache) {
+    // Fleet workers keep independent caches and the report's counters come
+    // from the serial replay; a cache shared with other jobs would leak
+    // their results into this run's recommendations nondeterministically.
+    return Status::invalid_argument(
+        "fleet execution does not support a shared historical cache");
+  }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<BudgetPolicy> policy,
                       make_budget_policy(options_.budget_policy));
   SearchSpace space = model_search_space();
@@ -484,6 +491,7 @@ Result<TuningReport> EdgeTune::run() {
     InferenceServerOptions per_device_options = options_.inference;
     per_device_options.cache_path.clear();  // keyed per device, but keep
                                             // ad-hoc servers self-contained
+    per_device_options.shared_cache.reset();
     InferenceTuningServer extra(device, per_device_options);
     ET_ASSIGN_OR_RETURN(InferenceRecommendation rec, extra.tune(best_arch));
     report.per_device.emplace(device.name, std::move(rec));

@@ -540,8 +540,8 @@ TEST(ParallelSearchTest, JobServerAppliesTrialWorkersPerJob) {
   TuningJobServer parallel_server(1, /*trial_workers_per_job=*/4);
   JobRequest request;
   request.options = small_tuning_options(1);
-  const JobId serial_id = serial_server.submit(request);
-  const JobId parallel_id = parallel_server.submit(request);
+  const JobId serial_id = serial_server.submit(request).value();
+  const JobId parallel_id = parallel_server.submit(request).value();
   Result<TuningReport> serial = serial_server.wait(serial_id);
   Result<TuningReport> parallel = parallel_server.wait(parallel_id);
   ASSERT_TRUE(serial.ok());

@@ -1,12 +1,20 @@
-// Tests for the TuningJobServer + new-layer gradchecks + CSV export +
-// extended hyperparameter space.
+// Tests for the TuningJobServer service path (admission control, retention,
+// priorities, shared sharded cache, self-tuning parallelism) + new-layer
+// gradchecks + CSV export + extended hyperparameter space.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <thread>
+#include <utility>
 
+#include "common/fault.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/layers_basic.hpp"
 #include "nn/pool.hpp"
+#include "tuning/historical_cache.hpp"
 #include "tuning/job_server.hpp"
 #include "tuning/report_io.hpp"
 
@@ -23,36 +31,57 @@ JobRequest small_job(std::uint64_t seed = 77) {
   return request;
 }
 
+JobRequest probe_job(std::string tenant = "", int priority = 0) {
+  JobRequest request;
+  request.system = JobSystem::kProbe;
+  request.tenant = std::move(tenant);
+  request.priority = priority;
+  return request;
+}
+
+/// Polls until every admitted job reached a terminal state. Real sleeps are
+/// fine in tests (the lint rule covers src/ only) — this is exactly the
+/// cheap O(1) poll unfinished() exists for.
+void drain(const TuningJobServer& server) {
+  while (server.unfinished() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 TEST(JobServerTest, SubmitWaitReturnsReport) {
   TuningJobServer server(1);
-  JobId id = server.submit(small_job());
+  JobId id = server.submit(small_job()).value();
   Result<TuningReport> report = server.wait(id);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.value().system, "edgetune");
-  EXPECT_EQ(server.state(id).value(), JobState::kDone);
+  // wait() delivered the result and reaped it: the server retains nothing.
+  EXPECT_EQ(server.state(id).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(server.unfinished(), 0u);
+  EXPECT_TRUE(server.jobs().empty());
+  EXPECT_EQ(server.stats().reaped, 1u);
 }
 
 TEST(JobServerTest, MultipleJobsAllComplete) {
   TuningJobServer server(2);
   std::vector<JobId> ids;
   for (int i = 0; i < 4; ++i) {
-    ids.push_back(server.submit(small_job(100 + i)));
+    ids.push_back(server.submit(small_job(100 + i)).value());
   }
   EXPECT_EQ(server.jobs().size(), 4u);
   for (JobId id : ids) {
     EXPECT_TRUE(server.wait(id).ok());
   }
+  EXPECT_TRUE(server.jobs().empty());  // every result delivered and reaped
 }
 
 TEST(JobServerTest, FailedJobReportsStatus) {
   TuningJobServer server(1);
   JobRequest bad = small_job();
   bad.options.search_algorithm = "quantum";
-  JobId id = server.submit(bad);
+  JobId id = server.submit(bad).value();
   Result<TuningReport> report = server.wait(id);
   ASSERT_FALSE(report.ok());
-  EXPECT_EQ(server.state(id).value(), JobState::kFailed);
+  EXPECT_EQ(server.stats().failed, 1u);
 }
 
 TEST(JobServerTest, BaselineSystemsRun) {
@@ -62,18 +91,466 @@ TEST(JobServerTest, BaselineSystemsRun) {
   JobRequest hp = small_job(8);
   hp.system = JobSystem::kHyperPower;
   hp.options.random_trials = 4;
-  const JobId tune_id = server.submit(tune);
-  const JobId hp_id = server.submit(hp);
-  ASSERT_TRUE(server.wait(tune_id).ok());
-  EXPECT_EQ(server.wait(tune_id).value().system, "tune");
-  ASSERT_TRUE(server.wait(hp_id).ok());
-  EXPECT_EQ(server.wait(hp_id).value().system, "hyperpower");
+  const JobId tune_id = server.submit(tune).value();
+  const JobId hp_id = server.submit(hp).value();
+  Result<TuningReport> tune_report = server.wait(tune_id);
+  ASSERT_TRUE(tune_report.ok());
+  EXPECT_EQ(tune_report.value().system, "tune");
+  Result<TuningReport> hp_report = server.wait(hp_id);
+  ASSERT_TRUE(hp_report.ok());
+  EXPECT_EQ(hp_report.value().system, "hyperpower");
 }
 
 TEST(JobServerTest, UnknownIdIsNotFound) {
   TuningJobServer server(1);
   EXPECT_EQ(server.state(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.info(42).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(server.wait(42).status().code(), StatusCode::kNotFound);
+}
+
+// --- Always-on service mode (DESIGN §5.7) ----------------------------------------
+
+TEST(JobServiceTest, ProbeJobRunsThroughTheService) {
+  TuningJobServer server(1);
+  JobId id = server.submit(probe_job("health")).value();
+  Result<TuningReport> report = server.wait(id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().system, "probe");
+  EXPECT_TRUE(report.value().trials.empty());
+}
+
+TEST(JobServiceTest, WaitReapsAndSecondWaitIsNotFound) {
+  TuningJobServer server(1);
+  JobId id = server.submit(probe_job()).value();
+  ASSERT_TRUE(server.wait(id).ok());
+  EXPECT_EQ(server.wait(id).status().code(), StatusCode::kNotFound);
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.reaped, 1u);
+  EXPECT_EQ(stats.retained_terminal, 0u);
+}
+
+TEST(JobServiceTest, QueueFullIsResourceExhausted) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.max_queued = 2;
+  TuningJobServer server(options);
+  server.pause();  // nothing dequeues: the queue depth is exact
+  const JobId a = server.submit(probe_job()).value();
+  const JobId b = server.submit(probe_job()).value();
+  Result<JobId> rejected = server.submit(probe_job());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.queued, 2u);
+  server.resume();
+  EXPECT_TRUE(server.wait(a).ok());
+  EXPECT_TRUE(server.wait(b).ok());
+}
+
+TEST(JobServiceTest, TenantQuotaIsEnforcedPerTenant) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.per_tenant_quota = 2;
+  TuningJobServer server(options);
+  server.pause();
+  const JobId a1 = server.submit(probe_job("alice")).value();
+  const JobId a2 = server.submit(probe_job("alice")).value();
+  Result<JobId> a3 = server.submit(probe_job("alice"));
+  ASSERT_FALSE(a3.ok());
+  EXPECT_EQ(a3.status().code(), StatusCode::kResourceExhausted);
+  // A full quota for one tenant never blocks another.
+  const JobId b1 = server.submit(probe_job("bob")).value();
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_tenant_quota, 1u);
+  server.resume();
+  EXPECT_TRUE(server.wait(a1).ok());
+  EXPECT_TRUE(server.wait(a2).ok());
+  EXPECT_TRUE(server.wait(b1).ok());
+  // Quota counts queued + running, so a drained tenant readmits.
+  EXPECT_TRUE(server.submit(probe_job("alice")).ok());
+}
+
+TEST(JobServiceTest, PriorityOrdersDispatch) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  TuningJobServer server(options);
+  server.pause();
+  const JobId low1 = server.submit(probe_job("t", 0)).value();
+  const JobId low2 = server.submit(probe_job("t", 0)).value();
+  const JobId high = server.submit(probe_job("t", 5)).value();
+  server.resume();
+  drain(server);
+  // The late high-priority job overtook both earlier submissions; equal
+  // priorities dispatched FIFO.
+  EXPECT_EQ(server.info(high).value().finish_seq, 1u);
+  EXPECT_EQ(server.info(low1).value().finish_seq, 2u);
+  EXPECT_EQ(server.info(low2).value().finish_seq, 3u);
+  EXPECT_TRUE(server.wait(low1).ok());
+  EXPECT_TRUE(server.wait(low2).ok());
+  EXPECT_TRUE(server.wait(high).ok());
+}
+
+TEST(JobServiceTest, RetentionPolicyEvictsOldestUnclaimed) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.max_retained = 2;
+  TuningJobServer server(options);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(server.submit(probe_job()).value());
+  drain(server);
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.retained_terminal, 2u);  // memory bounded by the policy
+  EXPECT_EQ(stats.evicted, 2u);
+  // The two oldest results are gone; the two newest still deliverable.
+  EXPECT_EQ(server.state(ids[0]).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.wait(ids[1]).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.state(ids[2]).value(), JobState::kDone);
+  EXPECT_TRUE(server.wait(ids[3]).ok());
+}
+
+TEST(JobServiceTest, AdaptiveTrialWorkersFollowQueueDepth) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.adaptive_trial_workers = true;
+  options.trial_worker_budget = 4;
+  TuningJobServer server(options);
+  server.pause();
+  const JobId first = server.submit(probe_job()).value();
+  const JobId second = server.submit(probe_job()).value();
+  const JobId third = server.submit(probe_job()).value();
+  server.resume();
+  drain(server);
+  // Dispatch saw queue depths 2, 1, 0: the server narrows jobs while the
+  // queue is deep and goes wide once it drains (budget/(1+depth)).
+  EXPECT_EQ(server.info(first).value().trial_workers, 1);
+  EXPECT_EQ(server.info(second).value().trial_workers, 2);
+  EXPECT_EQ(server.info(third).value().trial_workers, 4);
+  EXPECT_TRUE(server.wait(first).ok());
+  EXPECT_TRUE(server.wait(second).ok());
+  EXPECT_TRUE(server.wait(third).ok());
+}
+
+TEST(JobServiceTest, AdaptiveNeverOverridesExplicitTrialWorkers) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.adaptive_trial_workers = true;
+  options.trial_worker_budget = 4;
+  TuningJobServer server(options);
+  JobRequest request = probe_job();
+  request.options.trial_workers = 3;  // the job chose for itself
+  JobId id = server.submit(std::move(request)).value();
+  drain(server);
+  EXPECT_EQ(server.info(id).value().trial_workers, 3);
+  EXPECT_TRUE(server.wait(id).ok());
+}
+
+TEST(JobServiceTest, SharedCacheReusesResultsAcrossTenants) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  options.shared_cache_shards = 4;
+  TuningJobServer server(options);
+  ASSERT_NE(server.shared_cache(), nullptr);
+  JobRequest first = small_job(7);
+  first.tenant = "alice";
+  JobId a = server.submit(std::move(first)).value();
+  Result<TuningReport> report_a = server.wait(a);
+  ASSERT_TRUE(report_a.ok());
+  const std::size_t misses_after_first = server.shared_cache()->misses();
+  EXPECT_GT(misses_after_first, 0u);
+  const std::size_t hits_after_first = server.shared_cache()->hits();
+  // Same architectures, different tenant: every inference tune is served
+  // from the shared cache — bob never re-pays for what alice tuned.
+  JobRequest second = small_job(7);
+  second.tenant = "bob";
+  JobId b = server.submit(std::move(second)).value();
+  Result<TuningReport> report_b = server.wait(b);
+  ASSERT_TRUE(report_b.ok());
+  EXPECT_EQ(server.shared_cache()->misses(), misses_after_first);
+  EXPECT_GT(server.shared_cache()->hits(), hits_after_first);
+  EXPECT_EQ(report_a.value().best_config, report_b.value().best_config);
+}
+
+TEST(JobServiceTest, ConcurrentWaitersAllSettleAndExactlyOneReap) {
+  TuningServiceOptions options;
+  options.workers = 1;
+  TuningJobServer server(options);
+  server.pause();
+  const JobId id = server.submit(probe_job()).value();
+  ThreadPool waiters(2);
+  auto f1 = waiters.submit([&] { return server.wait(id); });
+  auto f2 = waiters.submit([&] { return server.wait(id); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.resume();
+  Result<TuningReport> r1 = f1.get();
+  Result<TuningReport> r2 = f2.get();
+  // Concurrent waiters registered before delivery all receive the report;
+  // a straggler that raced the reap sees not_found. Either way exactly one
+  // reap happens and nothing stays retained.
+  const int ok_count = (r1.ok() ? 1 : 0) + (r2.ok() ? 1 : 0);
+  EXPECT_GE(ok_count, 1);
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.reaped, 1u);
+  EXPECT_EQ(stats.retained_terminal, 0u);
+}
+
+TEST(JobServiceTest, ConcurrentSubmitStateWaitReapStorm) {
+  TuningServiceOptions options;
+  options.workers = 2;
+  options.max_queued = 32;
+  options.max_retained = 8;
+  TuningJobServer server(options);
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 40;
+  ThreadPool clients(kClients);
+  std::vector<std::future<std::pair<int, int>>> outcomes;
+  outcomes.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    outcomes.push_back(clients.submit([&server, c] {
+      int admitted = 0;
+      int delivered = 0;
+      std::vector<JobId> mine;
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        Result<JobId> id = server.submit(
+            probe_job("tenant-" + std::to_string(c), i % 3));
+        if (!id.ok()) {
+          EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        ++admitted;
+        mine.push_back(id.value());
+        (void)server.state(mine.front());
+        (void)server.unfinished();
+        if (mine.size() % 2 == 0) {
+          Result<TuningReport> report = server.wait(mine.back());
+          if (report.ok()) {
+            ++delivered;
+          } else {
+            EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+          }
+        }
+      }
+      for (JobId id : mine) {
+        // Ids waited above reap to not_found here; unwaited ids deliver
+        // unless the retention ring evicted them first.
+        Result<TuningReport> report = server.wait(id);
+        if (report.ok()) ++delivered;
+      }
+      return std::pair<int, int>{admitted, delivered};
+    }));
+  }
+  int admitted = 0;
+  int delivered = 0;
+  for (auto& f : outcomes) {
+    auto [a, d] = f.get();
+    admitted += a;
+    delivered += d;
+  }
+  TuningServiceStats stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::size_t>(kClients * kJobsPerClient));
+  EXPECT_EQ(stats.submitted,
+            stats.rejected_queue_full + stats.rejected_tenant_quota +
+                static_cast<std::size_t>(admitted));
+  // No job lost: every admitted job reached a terminal state and every
+  // terminal result was either delivered through wait() or evicted by the
+  // retention ring — never silently dropped, never retained forever.
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(admitted));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.reaped, static_cast<std::size_t>(delivered));
+  EXPECT_EQ(stats.reaped + stats.evicted, stats.completed);
+  EXPECT_EQ(stats.retained_terminal, 0u);
+  EXPECT_EQ(server.unfinished(), 0u);
+}
+
+// --- Sharded HistoricalCache ------------------------------------------------------
+
+InferenceRecommendation rec_with(double batch) {
+  InferenceRecommendation rec;
+  rec.config = {{"inf_batch", batch}};
+  rec.throughput_sps = batch * 10.0;
+  return rec;
+}
+
+std::vector<std::string> cache_arch_ids(int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back("arch-" + std::to_string(i));
+  return out;
+}
+
+void remove_cache_files(const std::string& base, std::size_t shards) {
+  std::remove(base.c_str());
+  std::remove((base + ".corrupt").c_str());
+  for (std::size_t i = 0; i < shards; ++i) {
+    std::remove(
+        (base + ".shard" + std::to_string(i) + "of" + std::to_string(shards))
+            .c_str());
+  }
+}
+
+TEST(ShardedCacheTest, CounterParityWithSingleShard) {
+  HistoricalCache single(1);
+  HistoricalCache sharded(4);
+  EXPECT_EQ(single.shard_count(), 1u);
+  EXPECT_EQ(sharded.shard_count(), 4u);
+  // Drive both caches with the identical operation stream: counters are a
+  // function of the request content, never of the shard layout.
+  for (HistoricalCache* cache : {&single, &sharded}) {
+    for (const std::string& arch : cache_arch_ids(16)) {
+      EXPECT_FALSE(
+          cache->lookup(arch, "rpi3b", MetricOfInterest::kEnergy).has_value());
+      ASSERT_TRUE(
+          cache->store(arch, "rpi3b", MetricOfInterest::kEnergy, rec_with(8))
+              .is_ok());
+      auto hit = cache->lookup(arch, "rpi3b", MetricOfInterest::kEnergy);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_DOUBLE_EQ(hit->throughput_sps, 80.0);
+    }
+    cache->record_external_hit("arch-3");
+  }
+  EXPECT_EQ(single.size(), sharded.size());
+  EXPECT_EQ(single.hits(), sharded.hits());
+  EXPECT_EQ(single.misses(), sharded.misses());
+  EXPECT_EQ(sharded.hits(), 17u);
+  EXPECT_EQ(sharded.misses(), 16u);
+}
+
+TEST(ShardedCacheTest, ShardedPersistenceRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_sharded_cache.json")
+          .string();
+  remove_cache_files(path, 4);
+  {
+    HistoricalCache cache(path, /*flush_every=*/1, /*shards=*/4);
+    for (const std::string& arch : cache_arch_ids(12)) {
+      ASSERT_TRUE(
+          cache.store(arch, "rpi3b", MetricOfInterest::kEnergy, rec_with(4))
+              .is_ok());
+    }
+  }
+  // N > 1 writes only per-shard stripes, never the base file.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  int shard_files = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::filesystem::exists(path + ".shard" + std::to_string(i) + "of4")) {
+      ++shard_files;
+    }
+  }
+  EXPECT_GE(shard_files, 2);  // stable_hash64 spreads 12 ids over 4 stripes
+  {
+    HistoricalCache cache(path, /*flush_every=*/16, /*shards=*/4);
+    EXPECT_EQ(cache.size(), 12u);
+    for (const std::string& arch : cache_arch_ids(12)) {
+      EXPECT_TRUE(
+          cache.lookup(arch, "rpi3b", MetricOfInterest::kEnergy).has_value());
+    }
+  }
+  remove_cache_files(path, 4);
+}
+
+TEST(ShardedCacheTest, LegacySingleFileLoadsIntoShardsReadOnly) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_legacy_cache.json")
+          .string();
+  remove_cache_files(path, 4);
+  {
+    HistoricalCache cache(path);  // classic single-file layout
+    for (const std::string& arch : cache_arch_ids(8)) {
+      ASSERT_TRUE(
+          cache.store(arch, "rpi3b", MetricOfInterest::kEnergy, rec_with(2))
+              .is_ok());
+    }
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const auto legacy_size = std::filesystem::file_size(path);
+  {
+    HistoricalCache cache(path, /*flush_every=*/16, /*shards=*/4);
+    EXPECT_EQ(cache.size(), 8u);  // migrated into the stripes on load
+    for (const std::string& arch : cache_arch_ids(8)) {
+      EXPECT_TRUE(
+          cache.lookup(arch, "rpi3b", MetricOfInterest::kEnergy).has_value());
+    }
+    ASSERT_TRUE(
+        cache.store("arch-new", "rpi3b", MetricOfInterest::kEnergy, rec_with(6))
+            .is_ok());
+  }
+  // Migration is read-only: the legacy file is byte-for-byte untouched, so a
+  // pre-shard binary pointed back at it still finds its data.
+  EXPECT_EQ(std::filesystem::file_size(path), legacy_size);
+  {
+    HistoricalCache cache(path, /*flush_every=*/16, /*shards=*/4);
+    EXPECT_EQ(cache.size(), 9u);  // legacy entries + the sharded addition
+    EXPECT_TRUE(cache.lookup("arch-new", "rpi3b", MetricOfInterest::kEnergy)
+                    .has_value());
+  }
+  remove_cache_files(path, 4);
+}
+
+TEST(ShardedCacheTest, PersistFailuresMatchAcrossShardCounts) {
+  FaultSpec spec;
+  spec.site = fault_site::kCachePersist;
+  spec.rate = 1.0;
+  spec.code = StatusCode::kIo;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const std::string path = (std::filesystem::temp_directory_path() /
+                              ("edgetune_cache_fail_" +
+                               std::to_string(shards) + ".json"))
+                                 .string();
+    remove_cache_files(path, shards);
+    HistoricalCache cache(path, /*flush_every=*/1, shards);
+    cache.set_fault_injector(FaultInjector(123, {spec}));
+    for (const std::string& arch : cache_arch_ids(6)) {
+      // store() still succeeds: persistence failures degrade to memory-only.
+      ASSERT_TRUE(
+          cache.store(arch, "rpi3b", MetricOfInterest::kEnergy, rec_with(8))
+              .is_ok());
+      EXPECT_TRUE(
+          cache.lookup(arch, "rpi3b", MetricOfInterest::kEnergy).has_value());
+    }
+    // One failed flush per store at ANY shard count: the fault stream is
+    // keyed per shard file and flush index, not by global interleaving.
+    EXPECT_EQ(cache.persist_failures(), 6u);
+    remove_cache_files(path, shards);
+  }
+}
+
+TEST(ShardedCacheTest, PersistenceRecoversAfterTransientFailures) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edgetune_cache_recover.json")
+          .string();
+  remove_cache_files(path, 1);
+  FaultSpec spec;
+  spec.site = fault_site::kCachePersist;
+  spec.fail_first = 2;
+  spec.code = StatusCode::kIo;
+  {
+    HistoricalCache cache(path, /*flush_every=*/1);
+    cache.set_fault_injector(FaultInjector(9, {spec}));
+    const std::vector<std::string> arches = cache_arch_ids(3);
+    ASSERT_TRUE(cache
+                    .store(arches[0], "rpi3b", MetricOfInterest::kEnergy,
+                           rec_with(1))
+                    .is_ok());
+    ASSERT_TRUE(cache
+                    .store(arches[1], "rpi3b", MetricOfInterest::kEnergy,
+                           rec_with(2))
+                    .is_ok());
+    EXPECT_EQ(cache.persist_failures(), 2u);
+    // Third flush succeeds: the cache logs the recovery, re-arms the warn
+    // latch, and the file now holds everything that failed to flush before.
+    ASSERT_TRUE(cache
+                    .store(arches[2], "rpi3b", MetricOfInterest::kEnergy,
+                           rec_with(3))
+                    .is_ok());
+    EXPECT_EQ(cache.persist_failures(), 2u);
+  }
+  {
+    HistoricalCache reread(path);
+    EXPECT_EQ(reread.size(), 3u);
+  }
+  remove_cache_files(path, 1);
 }
 
 // --- New layers ------------------------------------------------------------------

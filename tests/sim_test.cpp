@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "sim/batching_sim.hpp"
 #include "sim/batching_tuner.hpp"
@@ -42,6 +43,35 @@ TEST(EventQueueTest, StopsAtHorizon) {
   queue.run(clock, 2.0);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, RunMovesHandlersInsteadOfCopying) {
+  // A handler that counts how often its state is copied. The queue must
+  // move handlers end to end — schedule, heap sift, and dequeue in run() —
+  // or every event pays a std::function allocation on the hot path.
+  struct CountingHandler {
+    std::shared_ptr<int> copies;
+    std::shared_ptr<int> fired;
+    CountingHandler(std::shared_ptr<int> c, std::shared_ptr<int> f)
+        : copies(std::move(c)), fired(std::move(f)) {}
+    CountingHandler(const CountingHandler& other)
+        : copies(other.copies), fired(other.fired) {
+      ++*copies;
+    }
+    CountingHandler(CountingHandler&&) noexcept = default;
+    void operator()() const { ++*fired; }
+  };
+  auto copies = std::make_shared<int>(0);
+  auto fired = std::make_shared<int>(0);
+  EventQueue queue;
+  SimClock clock;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule_at(static_cast<double>(8 - i),
+                      CountingHandler(copies, fired));
+  }
+  queue.run(clock, 10.0);
+  EXPECT_EQ(*fired, 8);
+  EXPECT_EQ(*copies, 0);
 }
 
 TEST(EventQueueTest, EventsCanScheduleEvents) {

@@ -107,6 +107,10 @@ int main(int argc, char** argv) {
       .define("target-accuracy", "0", "stop once reached (0 = off)")
       .define("power-cap", "800", "HyperPower power cap [W]")
       .define("cache-file", "", "persistent historical cache path")
+      .define("cache-shards", "1",
+              "lock-striped historical-cache shards (1 = classic single "
+              "file; N > 1 stripes the lock and persistence files; reports "
+              "are identical at any shard count)")
       .define("tune-routines", "false",
               "profile GEMM routines per (edge device, shape class) and "
               "DP-assign one per op of the winning architecture (DESIGN "
@@ -180,6 +184,13 @@ int main(int argc, char** argv) {
                                     : MetricOfInterest::kEnergy;
   options.inference.algorithm = "grid";
   options.inference.cache_path = flags.get("cache-file");
+  const long cache_shards = flags.get_int("cache-shards");
+  if (cache_shards < 1) {
+    std::fprintf(stderr, "--cache-shards must be >= 1 (got %ld)\n",
+                 cache_shards);
+    return 2;
+  }
+  options.inference.cache_shards = static_cast<std::size_t>(cache_shards);
   options.edge_device = edge.value();
   options.hyperband.max_resource = flags.get_double("max-resource");
   options.hyperband.eta = flags.get_double("eta");
