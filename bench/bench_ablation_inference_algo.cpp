@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "bench/bench_util.hpp"
+#include "models/models.hpp"
 #include "tuning/inference_server.hpp"
 
 using namespace edgetune;

@@ -7,6 +7,7 @@
 #include "common/json.hpp"
 #include "data/synthetic.hpp"
 #include "device/cost_model.hpp"
+#include "models/models.hpp"
 #include "nn/conv.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/strings.hpp"
+#include "models/models.hpp"
 #include "nn/serialize.hpp"
 #include "tuning/finalize.hpp"
 #include "tuning/pareto.hpp"

@@ -12,6 +12,7 @@
 #include "budget/budget.hpp"
 #include "data/synthetic.hpp"
 #include "device/cost_model.hpp"
+#include "models/models.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 

@@ -29,7 +29,12 @@ enum class StatusCode {
 const char* status_code_name(StatusCode code) noexcept;
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
-class Status {
+/// Class-level [[nodiscard]]: every function returning Status is
+/// no-discard without per-declaration annotation, so a dropped error is a
+/// compile warning (-Werror in CI) in every build mode; the linter's
+/// unchecked-status pass covers the configurations the compiler never
+/// sees (DESIGN §5.8).
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;  // OK
   Status(StatusCode code, std::string message)
@@ -92,7 +97,7 @@ class Status {
 /// A value or an error Status. `value()` asserts on error in debug builds;
 /// callers must check `ok()` first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

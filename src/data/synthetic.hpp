@@ -13,7 +13,7 @@
 #include <memory>
 
 #include "data/dataset.hpp"
-#include "models/models.hpp"
+#include "data/workload.hpp"
 
 namespace edgetune {
 

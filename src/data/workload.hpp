@@ -1,0 +1,29 @@
+// The paper's workload taxonomy (Table 1): four task families, each pairing
+// a synthetic dataset (src/data/synthetic.*) with a proxy model + analytic
+// ArchSpec builder (src/models/models.*). The enum lives in data/ — the
+// lowest layer that needs it — so both the dataset generators here and the
+// model builders above can name a workload without an upward include
+// (layer DAG, DESIGN §5.8).
+#pragma once
+
+namespace edgetune {
+
+/// Paper workload ids (Table 1).
+enum class WorkloadKind { kImageClassification, kSpeech, kNlp, kDetection };
+
+/// Paper-style short name: "IC", "SR", "NLP", "OD".
+inline const char* workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kImageClassification:
+      return "IC";
+    case WorkloadKind::kSpeech:
+      return "SR";
+    case WorkloadKind::kNlp:
+      return "NLP";
+    case WorkloadKind::kDetection:
+      return "OD";
+  }
+  return "??";
+}
+
+}  // namespace edgetune

@@ -11,7 +11,7 @@
 #pragma once
 
 #include "device/profile.hpp"
-#include "models/arch.hpp"
+#include "nn/arch.hpp"
 
 namespace edgetune {
 

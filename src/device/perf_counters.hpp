@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "device/profile.hpp"
-#include "models/arch.hpp"
+#include "nn/arch.hpp"
 
 namespace edgetune {
 

@@ -386,19 +386,6 @@ Result<BuiltModel> build_tiny_yolo(const YoloConfig& config, Rng& rng) {
   return built;
 }
 
-const char* workload_kind_name(WorkloadKind kind) noexcept {
-  switch (kind) {
-    case WorkloadKind::kImageClassification:
-      return "IC";
-    case WorkloadKind::kSpeech:
-      return "SR";
-    case WorkloadKind::kNlp:
-      return "NLP";
-    case WorkloadKind::kDetection:
-      return "OD";
-  }
-  return "??";
-}
 
 Result<BuiltModel> build_workload_model(WorkloadKind kind, double model_hparam,
                                         Rng& rng) {

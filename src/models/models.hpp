@@ -13,7 +13,8 @@
 #include <memory>
 #include <string>
 
-#include "models/arch.hpp"
+#include "data/workload.hpp"
+#include "nn/arch.hpp"
 #include "nn/sequential.hpp"
 
 namespace edgetune {
@@ -58,10 +59,8 @@ struct YoloConfig {
 };
 Result<BuiltModel> build_tiny_yolo(const YoloConfig& config, Rng& rng);
 
-/// Paper workload ids (Table 1).
-enum class WorkloadKind { kImageClassification, kSpeech, kNlp, kDetection };
-
-const char* workload_kind_name(WorkloadKind kind) noexcept;  // "IC", ...
+// WorkloadKind and workload_kind_name() live in data/workload.hpp (the
+// lowest layer that names workloads); re-exported here for builders' users.
 
 /// Builds the model for a workload from the single tunable model
 /// hyperparameter the paper assigns it (§5.1). `model_hparam` is interpreted

@@ -1,4 +1,4 @@
-#include "models/arch.hpp"
+#include "nn/arch.hpp"
 
 namespace edgetune {
 

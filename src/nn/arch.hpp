@@ -3,8 +3,10 @@
 // needs per-layer FLOPs/bytes, so builders emit an ArchSpec analytically
 // (no allocation) alongside the small executable proxy network.
 //
-// The info_* formulas intentionally mirror Layer::describe() implementations
-// in src/nn; tests/models_test.cpp asserts they agree on proxy-scale nets.
+// The info_* formulas intentionally mirror the Layer::describe()
+// implementations next door; tests/models_test.cpp asserts they agree on
+// proxy-scale nets. Lives in nn/ (not models/) so the device layer can
+// consume ArchSpec without an upward include (layer DAG, DESIGN §5.8).
 #pragma once
 
 #include <string>

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "budget/budget.hpp"
+#include "models/models.hpp"
 #include "tuning/model_server.hpp"
 
 namespace edgetune {

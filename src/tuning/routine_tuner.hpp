@@ -29,7 +29,7 @@
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "device/profile.hpp"
-#include "models/arch.hpp"
+#include "nn/arch.hpp"
 #include "tensor/gemm.hpp"
 
 namespace edgetune {

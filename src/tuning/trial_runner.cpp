@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "data/trainer.hpp"
+#include "models/models.hpp"
 
 namespace edgetune {
 

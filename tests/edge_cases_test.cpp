@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "data/synthetic.hpp"
 #include "device/cost_model.hpp"
+#include "models/models.hpp"
 #include "nn/conv.hpp"
 #include "nn/layers_basic.hpp"
 #include "nn/loss.hpp"
@@ -142,10 +143,10 @@ TEST(EdgeCaseTest, CacheStoreOverwrites) {
   HistoricalCache cache;
   InferenceRecommendation first;
   first.throughput_sps = 1;
-  cache.store("a", "d", MetricOfInterest::kEnergy, first);
+  ASSERT_TRUE(cache.store("a", "d", MetricOfInterest::kEnergy, first).is_ok());
   InferenceRecommendation second;
   second.throughput_sps = 2;
-  cache.store("a", "d", MetricOfInterest::kEnergy, second);
+  ASSERT_TRUE(cache.store("a", "d", MetricOfInterest::kEnergy, second).is_ok());
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_DOUBLE_EQ(
       cache.lookup("a", "d", MetricOfInterest::kEnergy)->throughput_sps, 2);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "models/models.hpp"
 #include "tuning/baselines.hpp"
 #include "tuning/model_server.hpp"
 

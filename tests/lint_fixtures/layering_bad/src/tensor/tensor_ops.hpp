@@ -1,0 +1,4 @@
+// Fixture: a tensor-layer header reaching UP into device/ (level 3 > 1).
+#pragma once
+
+#include "device/cost_model.hpp"

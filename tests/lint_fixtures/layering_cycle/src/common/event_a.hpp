@@ -1,0 +1,5 @@
+// Fixture: mutual includes — a file-level cycle inside a single layer,
+// which the layer table alone cannot catch.
+#pragma once
+
+#include "common/event_b.hpp"

@@ -1,0 +1,4 @@
+// Fixture: the back edge closing the include cycle.
+#pragma once
+
+#include "common/event_a.hpp"

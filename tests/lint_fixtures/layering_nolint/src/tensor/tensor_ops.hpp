@@ -1,0 +1,4 @@
+// Fixture: the same upward include, waived with a justified NOLINT.
+#pragma once
+
+#include "device/cost_model.hpp"  // NOLINT(layer-order): fixture waiver

@@ -1,0 +1,9 @@
+// Fixture: this TU acquires mu_account_a then mu_account_b...
+namespace fixture {
+
+void transfer_a_to_b() {
+  MutexLock guard_a(mu_account_a);
+  MutexLock guard_b(mu_account_b);
+}
+
+}  // namespace fixture

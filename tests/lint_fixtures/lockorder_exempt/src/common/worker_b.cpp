@@ -1,0 +1,10 @@
+// Fixture: ...while this TU acquires the same pair in the OPPOSITE order —
+// a classic cross-TU AB/BA deadlock no single-file analysis can see.
+namespace fixture {
+
+void transfer_b_to_a() {
+  MutexLock guard_b(mu_account_b);
+  MutexLock guard_a(mu_account_a);
+}
+
+}  // namespace fixture

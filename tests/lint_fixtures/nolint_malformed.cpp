@@ -1,0 +1,3 @@
+// Fixture: a NOLINT marker missing its ')' is itself a finding and must
+// NOT waive the rule it names — both findings are expected here.
+int entropy() { return std::rand(); }  // NOLINT(rng-determinism

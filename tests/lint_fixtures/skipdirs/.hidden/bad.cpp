@@ -1,0 +1,2 @@
+// Fixture: a violation inside a skipped directory — must never be reported.
+int entropy() { return std::rand(); }

@@ -1,0 +1,3 @@
+// Fixture: the sibling build/, build-debug/ and .hidden/ directories each
+// contain a violation, but scan_path must never descend into them.
+int fixture_ok();

@@ -1,0 +1,6 @@
+// Fixture: the same discard, waived with a justified NOLINT.
+Status save_report(const char* path);
+
+void caller() {
+  save_report("out.json");  // NOLINT(unchecked-status): fire-and-forget fixture
+}

@@ -1,0 +1,7 @@
+// Fixture: a Status-returning call discarded as a bare expression
+// statement — the error is silently dropped.
+Status save_report(const char* path);
+
+void caller() {
+  save_report("out.json");
+}

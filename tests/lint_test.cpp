@@ -91,7 +91,10 @@ INSTANTIATE_TEST_SUITE_P(
                  "src/iostream_nolint.cpp"},
         RuleCase{"real-sleep-in-lib", "src/sleep_violation.cpp",
                  "src/sleep_nolint.cpp"},
-        RuleCase{"fp-contract-allowlist", "tensor_bad", "tensor_nolint"}),
+        RuleCase{"fp-contract-allowlist", "tensor_bad", "tensor_nolint"},
+        RuleCase{"layer-order", "layering_bad", "layering_nolint"},
+        RuleCase{"unchecked-status", "status_violation.cpp",
+                 "status_nolint.cpp"}),
     [](const ::testing::TestParamInfo<RuleCase>& info) {
       std::string name = info.param.rule;
       for (char& c : name) {
@@ -124,6 +127,114 @@ TEST(LintTest, FpContractRoutineTuIsPolicedIndependently) {
       << run.output;
   const LintRun suppressed = run_lint(fixture("tensor_routine_nolint"));
   EXPECT_EQ(suppressed.exit_code, 0) << suppressed.output;
+}
+
+// --- Whole-repo passes -----------------------------------------------------
+
+// The include graph cycle is reported with a full witness path naming both
+// files, and NOLINT cannot waive it (the finding says so).
+TEST(LintTest, IncludeCycleReportsWitnessPath) {
+  const LintRun run = run_lint(fixture("layering_cycle"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[include-cycle]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("event_a.hpp"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("event_b.hpp"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find(" -> "), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("not NOLINT-suppressible"), std::string::npos)
+      << run.output;
+}
+
+// Two TUs acquiring the same mutex pair in opposite orders is a potential
+// AB/BA deadlock only a CROSS-TU merge can see; the witness names both
+// locks and both acquisition sites, in text and in --json.
+TEST(LintTest, LockOrderCycleAcrossTusReportsWitness) {
+  const LintRun run = run_lint(fixture("lockorder_cycle"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[lock-order-cycle]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("mu_account_a -> mu_account_b"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("worker_a.cpp"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("worker_b.cpp"), std::string::npos) << run.output;
+
+  const LintRun json = run_lint("--json " + fixture("lockorder_cycle"));
+  EXPECT_EQ(json.exit_code, 1) << json.output;
+  EXPECT_NE(json.output.find("\"rule\": \"lock-order-cycle\""),
+            std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("mu_account_a -> mu_account_b"),
+            std::string::npos)
+      << json.output;
+}
+
+// The ordering-exception table is the ONLY sanctioned suppression for
+// lock-order findings: the same AB/BA pair plus an exception entry is clean.
+TEST(LintTest, LockOrderExceptionTableSanctionsThePair) {
+  const LintRun run = run_lint(fixture("lockorder_exempt"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// A NOLINT marker missing its ')' must become a finding itself and must NOT
+// waive the rule it names — both findings appear.
+TEST(LintTest, MalformedNolintIsAFindingNotAWaiver) {
+  const LintRun run = run_lint(fixture("nolint_malformed.cpp"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[nolint-malformed]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("[rng-determinism]"), std::string::npos)
+      << run.output;
+}
+
+// build*/, hidden directories and their contents are never scanned: the
+// skipdirs fixture plants violations inside each and must stay clean.
+TEST(LintTest, BuildAndHiddenDirsAreSkipped) {
+  const LintRun run = run_lint(fixture("skipdirs"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// --json output is machine-readable and byte-stable: golden-file compare
+// with the absolute fixture prefix normalized to @FIXTURES@.
+TEST(LintTest, JsonOutputMatchesGolden) {
+  const LintRun run = run_lint("--json " + fixture("layering_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  std::string normalized = run.output;
+  for (std::size_t pos = normalized.find(kFixtures);
+       pos != std::string::npos; pos = normalized.find(kFixtures)) {
+    normalized.replace(pos, kFixtures.size(), "@FIXTURES@");
+  }
+  std::ifstream golden(fixture("layering_bad.golden.json"));
+  ASSERT_TRUE(golden.good());
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(normalized, expected.str());
+}
+
+// --rule filters findings to the named rules; --list-rules names every pass.
+TEST(LintTest, RuleFilterAndListRules) {
+  EXPECT_EQ(run_lint("--rule layer-order " + fixture("layering_bad"))
+                .exit_code,
+            1);
+  EXPECT_EQ(run_lint("--rule unchecked-status " + fixture("layering_bad"))
+                .exit_code,
+            0);
+  EXPECT_EQ(run_lint("--rule no-such-rule " + fixture("layering_bad"))
+                .exit_code,
+            2);
+
+  const LintRun list = run_lint("--list-rules");
+  EXPECT_EQ(list.exit_code, 0);
+  for (const char* rule :
+       {"rng-determinism", "thread-outside-pool", "fp-contract-allowlist",
+        "guarded-by", "iostream-in-lib", "real-sleep-in-lib",
+        "nolint-malformed", "layer-order", "include-cycle",
+        "lock-order-cycle", "unchecked-status"}) {
+    EXPECT_NE(list.output.find(rule), std::string::npos)
+        << "missing rule in --list-rules: " << rule;
+  }
 }
 
 // The CI invocation: the real tree must stay clean. If this fails, either

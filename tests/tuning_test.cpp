@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/stopwatch.hpp"
+#include "models/models.hpp"
 #include "tuning/baselines.hpp"
 #include "tuning/model_server.hpp"
 
@@ -98,7 +99,7 @@ TEST(CacheTest, StoreAndLookup) {
 TEST(CacheTest, DeviceIsPartOfTheKey) {
   HistoricalCache cache;
   InferenceRecommendation rec;
-  cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec);
+  ASSERT_TRUE(cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec).is_ok());
   EXPECT_FALSE(
       cache.lookup("arch1", "armv7", MetricOfInterest::kEnergy).has_value());
   EXPECT_TRUE(
@@ -108,7 +109,7 @@ TEST(CacheTest, DeviceIsPartOfTheKey) {
 TEST(CacheTest, ObjectiveIsPartOfTheKey) {
   HistoricalCache cache;
   InferenceRecommendation rec;
-  cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec);
+  ASSERT_TRUE(cache.store("arch1", "rpi3b", MetricOfInterest::kEnergy, rec).is_ok());
   EXPECT_FALSE(cache.lookup("arch1", "rpi3b", MetricOfInterest::kRuntime).has_value());
   EXPECT_EQ(cache.misses(), 1u);
 }

@@ -1,38 +1,43 @@
-// edgetune_lint: repo-invariant static checker (no libclang — a tokenizing
-// line scanner). Enforces the determinism and concurrency rules no
-// off-the-shelf tool knows about:
+// edgetune_lint: whole-repo static analyzer (no libclang — a lexing
+// multi-pass scanner). Enforces the determinism, concurrency, and layering
+// rules no off-the-shelf tool knows about. Architecture (DESIGN §5.8):
 //
-//   rng-determinism      bans std::rand / srand / random_device /
-//                        std RNG engines outside src/common/rng.* — every
-//                        stochastic component must route through the
-//                        bit-stable edgetune::Rng (CONTRIBUTING).
-//   thread-outside-pool  bans std::thread construction outside ThreadPool:
-//                        raw threads bypass wait_idle()/shutdown() and the
-//                        trial-worker accounting.
-//   fp-contract-allowlist every source under src/tensor/ compiled with a
-//                        non-default -ffp-contract must be in the allowlist
-//                        below (and allowlisted files must actually carry
-//                        the flag) — protects the PR-2 bitwise GEMM
-//                        contract from silent flag drift.
-//   guarded-by           a mutex member/global must have at least one
-//                        EDGETUNE_GUARDED_BY(<name>) user in the same file,
-//                        so new shared state lands annotated and clang's
-//                        -Wthread-safety keeps proving the lock discipline.
-//   iostream-in-lib      bans #include <iostream> in src/ library code;
-//                        libraries report through Status/log, and iostream
-//                        drags in static init order + global locale state.
-//   real-sleep-in-lib    bans sleep_for / sleep_until / usleep in src/
-//                        outside common/thread_pool.*: library waiting is
-//                        SIMULATED time (DESIGN §5.4) — retry backoff and
-//                        stalls are charged to the simulated clock, and a
-//                        real sleep would silently break parallel == serial
-//                        determinism and slow the tests.
+//   pass 1  loads every TU once into a shared lexed-file model: per line,
+//           a comment-stripped code view (string-literal aware), a
+//           strings-blanked structural view, and the parsed trailing
+//           NOLINT marker. All later passes read this model; no file is
+//           opened twice.
+//   pass 2  parses every `#include "..."` edge under src/ and checks it
+//           against the frozen layer DAG below (`layer-order`), then runs
+//           a DFS over the file-level include graph and reports any cycle
+//           with its witness path (`include-cycle`).
+//   pass 3  tracks nested MutexLock / EDGETUNE_ACQUIRE / EDGETUNE_REQUIRES
+//           acquisitions by brace depth, merges the per-TU acquired-before
+//           edges into one global lock-order graph, and reports any cycle
+//           as a potential deadlock with the full witness path
+//           (`lock-order-cycle`). Suppressible only via the ordering
+//           exception table (lock_order_exceptions.txt), never NOLINT.
+//   pass 4  collects every function declared to return Status / Result<T>
+//           anywhere in the scanned tree and flags call-sites that discard
+//           the result as a bare expression-statement (`unchecked-status`)
+//           — the complement of the class-level [[nodiscard]]: it also
+//           covers code the current compiler configuration never builds.
+//   pass 5  the original repo-invariant line rules over the same model:
+//           rng-determinism, thread-outside-pool, fp-contract-allowlist,
+//           guarded-by, iostream-in-lib, real-sleep-in-lib (see the rule
+//           registry below for one-line summaries).
 //
-// A finding on a line carrying `// NOLINT(rule-id)` (or bare `// NOLINT`)
-// is suppressed; the comment should say why. Exit code: 0 clean, 1 findings,
-// 2 usage/IO error.
+// Suppression: a finding on a line whose TRAILING comment starts with
+// `NOLINT(rule-id)` (or bare `NOLINT`) is suppressed; the comment should
+// say why. A NOLINT token anywhere else (prose, string literal) is inert,
+// and a malformed marker — `NOLINT(` with no closing `)` — is itself a
+// finding (`nolint-malformed`) and waives nothing. `include-cycle` and
+// `lock-order-cycle` ignore NOLINT entirely.
 //
-// Usage: edgetune_lint <file-or-dir>...   (directories scan recursively)
+// Output: findings on stderr as `file:line: [rule] message`, or `--json`
+// on stdout for CI artifacts. Exit 0 clean, 1 findings, 2 usage/IO error.
+//
+// Usage: edgetune_lint [--json] [--rule <id>]... [--list-rules] <path>...
 
 #include <algorithm>
 #include <cctype>
@@ -43,21 +48,82 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fs = std::filesystem;
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Rule registry (--list-rules prints this table; --rule filters on the ids).
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> rules = {
+      // (Split literals keep the analyzer from flagging its own table.)
+      {"rng-determinism",
+       "no std::ra" "nd/sra" "nd/random_" "device/std <random> engines "
+       "outside common/rng.* (bit-stable seeded streams only)"},
+      {"thread-outside-pool",
+       "no std::" "thread construction outside common/thread_pool.* "
+       "(shutdown/wait_idle discipline)"},
+      {"fp-contract-allowlist",
+       "src/tensor/CMakeLists.txt gives a non-default -ffp-contract to "
+       "exactly the allowlisted TUs, both directions"},
+      {"guarded-by",
+       "every Mutex/std::mutex member has >= 1 EDGETUNE_GUARDED_BY user in "
+       "the same file"},
+      {"iostream-in-lib",
+       "no #include <iostream> in src/ library code"},
+      {"real-sleep-in-lib",
+       "no real sleeps in src/ outside common/thread_pool.* (waiting is "
+       "simulated time)"},
+      {"nolint-malformed",
+       "NOLINT( with no closing ) — a marker that would silently waive "
+       "every rule is itself a finding"},
+      {"layer-order",
+       "#include edges under src/ must point downward in the frozen layer "
+       "DAG (common -> tensor -> nn/data -> device -> models -> "
+       "budget/search/sim -> net -> tuning)"},
+      {"include-cycle",
+       "the file-level include graph under src/ must be acyclic "
+       "(witness path reported; not NOLINT-suppressible)"},
+      {"lock-order-cycle",
+       "the global acquired-before lock graph must be acyclic (potential "
+       "deadlock; suppressible only via lock_order_exceptions.txt)"},
+      {"unchecked-status",
+       "a call to a Status/Result-returning function must not be a bare "
+       "expression-statement"},
+  };
+  return rules;
+}
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : rule_registry()) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
 struct Finding {
   std::string file;
   std::size_t line = 0;
   std::string rule;
   std::string message;
+
+  bool operator<(const Finding& o) const {
+    return std::tie(file, line, rule, message) <
+           std::tie(o.file, o.line, o.rule, o.message);
+  }
 };
 
 // ---------------------------------------------------------------------------
-// Small string helpers (the scanner works on raw lines).
+// Small string helpers.
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -68,10 +134,8 @@ bool contains(const std::string& s, const std::string& needle) {
   return s.find(needle) != std::string::npos;
 }
 
-/// Normalized, '/'-separated path for suffix/segment matching.
 std::string norm_path(const fs::path& p) {
-  std::string out = p.lexically_normal().generic_string();
-  return out;
+  return p.lexically_normal().generic_string();
 }
 
 bool path_has_segment(const std::string& path, const std::string& segment) {
@@ -80,12 +144,29 @@ bool path_has_segment(const std::string& path, const std::string& segment) {
          path.rfind(segment + "/", 0) == 0;
 }
 
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string strip_spaces(std::string s) {
+  s.erase(std::remove_if(s.begin(), s.end(),
+                         [](unsigned char c) { return std::isspace(c); }),
+          s.end());
+  return s;
+}
+
+std::string ltrim(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return s.substr(i);
+}
+
 /// Splits a line into C-identifier tokens (letters, digits, '_').
 std::vector<std::string> identifiers(const std::string& line) {
   std::vector<std::string> out;
   std::string cur;
   for (char c : line) {
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+    if (ident_char(c)) {
       cur.push_back(c);
     } else if (!cur.empty()) {
       out.push_back(std::move(cur));
@@ -96,31 +177,934 @@ std::vector<std::string> identifiers(const std::string& line) {
   return out;
 }
 
-/// True when `line` ends in a `// NOLINT` / `// NOLINT(rule, ...)` comment
-/// naming `rule` (or naming no rule at all).
-bool nolint_suppressed(const std::string& line, const std::string& rule) {
-  const std::size_t pos = line.find("NOLINT");
-  if (pos == std::string::npos) return false;
-  const std::size_t open = line.find('(', pos);
-  if (open == std::string::npos) return true;  // bare NOLINT: all rules
-  const std::size_t close = line.find(')', open);
-  if (close == std::string::npos) return true;
-  const std::string rules = line.substr(open + 1, close - open - 1);
-  std::stringstream ss(rules);
+// ---------------------------------------------------------------------------
+// Pass 1: the shared lexed-file model.
+
+/// Parsed trailing `NOLINT` marker of one line (absent by default).
+struct NolintMarker {
+  bool present = false;    // trailing comment starts with NOLINT
+  bool malformed = false;  // `NOLINT(` with no closing `)`
+  bool bare = false;       // `NOLINT` with no rule list: all rules
+  std::vector<std::string> rules;
+};
+
+struct LineModel {
+  std::string raw;     // the line as read
+  std::string code;    // comments stripped, string literals kept
+  std::string blank;   // comments stripped AND string contents blanked
+  std::string comment; // trailing //-comment text (or #-comment in CMake)
+  NolintMarker nolint;
+};
+
+enum class FileKind { kSource, kCMake };
+
+struct FileModel {
+  std::string display;  // normalized path as given on the command line
+  FileKind kind = FileKind::kSource;
+  std::vector<LineModel> lines;  // 0-based; finding lines are 1-based
+};
+
+/// Parses a trailing comment into a NolintMarker. Only a comment whose
+/// text STARTS with `NOLINT` counts — `// see NOLINT docs` is prose.
+NolintMarker parse_nolint(const std::string& comment) {
+  NolintMarker marker;
+  const std::string text = ltrim(comment);
+  if (text.rfind("NOLINT", 0) != 0) return marker;
+  const std::string rest = text.substr(6);
+  if (!rest.empty() && ident_char(rest[0])) return marker;  // NOLINTxyz
+  marker.present = true;
+  if (rest.empty() || rest[0] != '(') {
+    marker.bare = true;  // bare NOLINT: suppresses every rule on the line
+    return marker;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    marker.malformed = true;  // would-be blanket waiver: finding, no effect
+    return marker;
+  }
+  std::stringstream ss(rest.substr(1, close - 1));
   std::string item;
   while (std::getline(ss, item, ',')) {
-    item.erase(std::remove_if(item.begin(), item.end(),
-                              [](unsigned char c) { return std::isspace(c); }),
-               item.end());
-    if (item == rule) return true;
+    item = strip_spaces(item);
+    if (!item.empty()) marker.rules.push_back(item);
+  }
+  return marker;
+}
+
+bool suppressed(const LineModel& line, const std::string& rule) {
+  const NolintMarker& m = line.nolint;
+  if (!m.present || m.malformed) return false;
+  if (m.bare) return true;
+  return std::find(m.rules.begin(), m.rules.end(), rule) != m.rules.end();
+}
+
+/// Lexes one C++ line: strips /* */ (tracking state across lines) and the
+/// trailing // comment with string/char-literal awareness, and produces the
+/// strings-blanked structural view. Preprocessor lines keep their quoted
+/// text in `blank` so `#include "x"` stays parseable.
+void lex_cpp_line(const std::string& raw, bool* in_block_comment,
+                  LineModel* out) {
+  std::string code, blank, comment;
+  const bool preprocessor = !ltrim(raw).empty() && ltrim(raw)[0] == '#';
+  enum class St { kNormal, kString, kChar };
+  St st = St::kNormal;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (*in_block_comment) {
+      if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (st == St::kString || st == St::kChar) {
+      code.push_back(c);
+      const char quote = st == St::kString ? '"' : '\'';
+      if (c == '\\' && i + 1 < raw.size()) {
+        code.push_back(raw[i + 1]);
+        blank += preprocessor ? std::string{c, raw[i + 1]} : "  ";
+        ++i;
+        continue;
+      }
+      if (c == quote) {
+        st = St::kNormal;
+        blank.push_back(c);
+      } else {
+        blank.push_back(preprocessor ? c : ' ');
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+      comment = raw.substr(i + 2);
+      break;
+    }
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+      *in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') st = St::kString;
+    if (c == '\'') st = St::kChar;
+    code.push_back(c);
+    blank.push_back(c);
+  }
+  out->raw = raw;
+  out->code = std::move(code);
+  out->blank = std::move(blank);
+  out->comment = comment;
+  out->nolint = parse_nolint(comment);
+}
+
+/// Lexes one CMake line: `#` starts the comment (outside quotes).
+void lex_cmake_line(const std::string& raw, LineModel* out) {
+  std::string code, comment;
+  bool in_string = false;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '"') in_string = !in_string;
+    if (c == '#' && !in_string) {
+      comment = raw.substr(i + 1);
+      break;
+    }
+    code.push_back(c);
+  }
+  out->raw = raw;
+  out->code = code;
+  out->blank = std::move(code);
+  out->comment = comment;
+  out->nolint = parse_nolint(comment);
+}
+
+bool load_file(const std::string& display, const fs::path& real, FileKind kind,
+               FileModel* model, std::vector<Finding>* findings) {
+  std::ifstream in(real);
+  if (!in.good()) {
+    findings->push_back({display, 0, "io", "cannot open file"});
+    return false;
+  }
+  model->display = display;
+  model->kind = kind;
+  std::string raw;
+  bool in_block_comment = false;
+  while (std::getline(in, raw)) {
+    LineModel line;
+    if (kind == FileKind::kSource) {
+      lex_cpp_line(raw, &in_block_comment, &line);
+    } else {
+      lex_cmake_line(raw, &line);
+    }
+    model->lines.push_back(std::move(line));
+  }
+  return true;
+}
+
+/// Emits the `nolint-malformed` findings for one file (not suppressible —
+/// a marker that failed to parse must never waive anything, including
+/// itself).
+void check_nolint_markers(const FileModel& file,
+                          std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (file.lines[i].nolint.malformed) {
+      findings->push_back(
+          {file.display, i + 1, "nolint-malformed",
+           "malformed NOLINT marker (no closing ')'): it suppresses "
+           "nothing — write a trailing // NOLINT(rule-id) with a reason"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: include-layer DAG + include cycles.
+//
+// The frozen layer table. An #include edge under src/ may point sideways
+// (same level) or downward (lower level); an upward edge is a finding.
+// Sideways edges stay honest because the file-level cycle check below
+// catches any mutual dependency a level cannot.
+
+struct LayerEntry {
+  const char* dir;
+  int level;
+};
+
+const std::vector<LayerEntry>& layer_table() {
+  static const std::vector<LayerEntry> table = {
+      {"common", 0}, {"tensor", 1}, {"nn", 2},  {"data", 2},
+      {"device", 3}, {"models", 4}, {"budget", 5}, {"search", 5},
+      {"sim", 5},    {"net", 6},    {"tuning", 7},
+  };
+  return table;
+}
+
+int layer_level(const std::string& dir) {
+  for (const LayerEntry& e : layer_table()) {
+    if (dir == e.dir) return e.level;
+  }
+  return -1;  // not a layered directory
+}
+
+/// Path of `display` relative to its innermost `src/` segment, or "" when
+/// the file is not under one (tools/, bench/, tests/ are unlayered).
+std::string src_relative(const std::string& display) {
+  const std::size_t pos = display.rfind("/src/");
+  if (pos != std::string::npos) return display.substr(pos + 5);
+  if (display.rfind("src/", 0) == 0) return display.substr(4);
+  return "";
+}
+
+std::string first_component(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+/// Extracts the quoted include target of a line, or "" if none.
+std::string quoted_include(const LineModel& line) {
+  const std::string code = ltrim(line.blank);
+  if (code.rfind("#", 0) != 0) return "";
+  const std::size_t inc = code.find("include");
+  if (inc == std::string::npos) return "";
+  const std::size_t open = code.find('"', inc);
+  if (open == std::string::npos) return "";
+  const std::size_t close = code.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return code.substr(open + 1, close - open - 1);
+}
+
+struct IncludeEdge {
+  std::string from;  // src-relative path of the including file
+  std::string to;    // include target as written
+  std::string file;  // display path (for findings)
+  std::size_t line = 0;
+};
+
+void pass_layering(const std::vector<FileModel>& files,
+                   std::vector<Finding>* findings) {
+  std::vector<IncludeEdge> edges;
+  for (const FileModel& file : files) {
+    if (file.kind != FileKind::kSource) continue;
+    const std::string self = src_relative(file.display);
+    if (self.empty()) continue;
+    const std::string self_dir = first_component(self);
+    const int self_level = layer_level(self_dir);
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      const std::string target = quoted_include(file.lines[i]);
+      if (target.empty()) continue;
+      edges.push_back({self, target, file.display, i + 1});
+      const int target_level = layer_level(first_component(target));
+      if (self_level < 0 || target_level < 0) continue;
+      if (target_level > self_level &&
+          !suppressed(file.lines[i], "layer-order")) {
+        findings->push_back(
+            {file.display, i + 1, "layer-order",
+             "upward include: '" + self_dir + "' (level " +
+                 std::to_string(self_level) + ") must not include '" +
+                 target + "' (level " + std::to_string(target_level) +
+                 ") — the layer DAG is common -> tensor -> nn/data -> "
+                 "device -> models -> budget/search/sim -> net -> tuning"});
+      }
+    }
+  }
+
+  // File-level include cycles (DFS, witness path). Nodes are src-relative
+  // paths; only edges between scanned files participate.
+  std::set<std::string> nodes;
+  for (const FileModel& file : files) {
+    const std::string self = src_relative(file.display);
+    if (!self.empty()) nodes.insert(self);
+  }
+  std::map<std::string, std::vector<const IncludeEdge*>> graph;
+  for (const IncludeEdge& e : edges) {
+    if (nodes.count(e.to) != 0) graph[e.from].push_back(&e);
+  }
+  std::set<std::string> done;       // fully explored
+  std::set<std::string> on_stack;   // current DFS path
+  std::set<std::string> reported;   // canonical cycle keys
+  std::vector<const IncludeEdge*> path;
+
+  // Iterative DFS with an explicit stack of (node, next-edge-index).
+  for (const std::string& root : nodes) {
+    if (done.count(root) != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack{{root, 0}};
+    on_stack.insert(root);
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<const IncludeEdge*>& out = graph[node];
+      if (next >= out.size()) {
+        on_stack.erase(node);
+        done.insert(node);
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+      const IncludeEdge* edge = out[next++];
+      if (on_stack.count(edge->to) != 0) {
+        // Back edge: unwind the witness cycle from path + this edge.
+        std::vector<const IncludeEdge*> cycle;
+        bool in_cycle = false;
+        for (const IncludeEdge* e : path) {
+          if (e->from == edge->to) in_cycle = true;
+          if (in_cycle) cycle.push_back(e);
+        }
+        cycle.push_back(edge);
+        std::string key;  // canonical: sorted member set
+        std::set<std::string> members;
+        for (const IncludeEdge* e : cycle) members.insert(e->from);
+        for (const std::string& m : members) key += m + "|";
+        if (reported.insert(key).second) {
+          std::string witness = edge->to;
+          for (const IncludeEdge* e : cycle) {
+            witness += " -> " + e->to + " (" + e->file + ":" +
+                       std::to_string(e->line) + ")";
+          }
+          findings->push_back(
+              {edge->file, edge->line, "include-cycle",
+               "include cycle: " + witness +
+                   " — break the cycle (forward-declare or split the "
+                   "header); not NOLINT-suppressible"});
+        }
+        continue;
+      }
+      if (done.count(edge->to) != 0) continue;
+      on_stack.insert(edge->to);
+      path.push_back(edge);
+      stack.emplace_back(edge->to, 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: cross-TU lock-order graph.
+//
+// Lexical model: a `MutexLock guard(expr);` declaration holds `expr` until
+// its scope closes; a function annotated EDGETUNE_ACQUIRE(expr) /
+// EDGETUNE_REQUIRES(expr) holds `expr` for its whole body. Every
+// acquisition nested while other locks are held contributes held -> new
+// edges, merged across all TUs by normalized lock-expression text (so the
+// same member reached from both sides of a .hpp/.cpp split unifies; two
+// classes sharing a member name over-unify, which is conservative — a
+// sanctioned order goes in the exception table). A cycle in the merged
+// graph is a potential deadlock and is reported with the full witness path.
+
+struct LockEdge {
+  std::string held;      // lock already held
+  std::string acquired;  // lock acquired while holding `held`
+  std::string file;      // witness: where `acquired` was taken
+  std::size_t line = 0;
+};
+
+std::string normalize_lock_expr(std::string expr) {
+  expr = strip_spaces(expr);
+  // `this->mutex_` == `mutex_`; `p->mutex` == `p.mutex`; `&m` == `m`.
+  std::size_t pos;
+  while ((pos = expr.find("this->")) != std::string::npos) {
+    expr.erase(pos, 6);
+  }
+  while ((pos = expr.find("->")) != std::string::npos) {
+    expr.replace(pos, 2, ".");
+  }
+  while (!expr.empty() && (expr[0] == '&' || expr[0] == '*')) {
+    expr.erase(0, 1);
+  }
+  return expr;
+}
+
+/// Splits an annotation argument list on top-level commas.
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Finds `token` in `code` at identifier boundaries, from `from`.
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from = 0) {
+  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+/// Extracts the balanced `(...)` argument text starting at `open` (which
+/// must point at '('). Returns false when the parens never balance on the
+/// line (annotations and MutexLock declarations are single-line in this
+/// codebase; a spill is simply not recorded).
+bool balanced_paren_args(const std::string& code, std::size_t open,
+                         std::string* args, std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        *args = code.substr(open + 1, i - open - 1);
+        *close = i;
+        return true;
+      }
+    }
   }
   return false;
 }
 
-// ---------------------------------------------------------------------------
-// Rules.
+void pass_lock_order(const std::vector<FileModel>& files,
+                     const std::set<std::pair<std::string, std::string>>&
+                         exception_pairs,
+                     std::vector<Finding>* findings) {
+  struct Held {
+    std::string name;
+    int depth;  // brace depth at acquisition: popped when depth < this
+  };
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
 
-// rng-determinism: these identifiers may only appear in src/common/rng.*.
+  for (const FileModel& file : files) {
+    if (file.kind != FileKind::kSource) continue;
+    std::vector<Held> held;
+    std::vector<std::string> pending;  // ACQUIRE/REQUIRES awaiting body '{'
+    int depth = 0;
+
+    auto acquire = [&](const std::string& name, int at_depth,
+                       std::size_t lineno) {
+      for (const Held& h : held) {
+        const auto key = std::make_pair(h.name, name);
+        if (edges.count(key) == 0) {
+          edges[key] = {h.name, name, file.display, lineno};
+        }
+      }
+      held.push_back({name, at_depth});
+    };
+
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+      const std::string& code = file.lines[li].blank;
+      if (ltrim(code).rfind("#", 0) == 0) continue;  // preprocessor
+
+      // Collect this line's acquisition sites (position -> lock names).
+      // The pattern is a guard DECLARATION `MutexLock <var>(<expr>)` — a
+      // bare `MutexLock(` is the class's own constructor machinery.
+      std::map<std::size_t, std::vector<std::string>> sites;
+      for (std::size_t pos = find_token(code, "MutexLock");
+           pos != std::string::npos;
+           pos = find_token(code, "MutexLock", pos + 1)) {
+        std::size_t i = pos + 9;  // past "MutexLock"
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i]))) {
+          ++i;
+        }
+        std::string var;
+        while (i < code.size() && ident_char(code[i])) var.push_back(code[i++]);
+        if (var.empty()) continue;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i]))) {
+          ++i;
+        }
+        if (i >= code.size() || code[i] != '(') continue;
+        std::string args;
+        std::size_t close;
+        if (!balanced_paren_args(code, i, &args, &close)) continue;
+        const std::string name = normalize_lock_expr(args);
+        if (!name.empty()) sites[pos].push_back(name);
+      }
+      for (const char* macro : {"EDGETUNE_ACQUIRE", "EDGETUNE_REQUIRES"}) {
+        for (std::size_t pos = find_token(code, macro);
+             pos != std::string::npos;
+             pos = find_token(code, macro, pos + 1)) {
+          const std::size_t open = code.find('(', pos);
+          if (open == std::string::npos) continue;
+          std::string args;
+          std::size_t close;
+          if (!balanced_paren_args(code, open, &args, &close)) continue;
+          for (const std::string& arg : split_args(args)) {
+            const std::string name = normalize_lock_expr(arg);
+            if (!name.empty()) pending.push_back(name);
+          }
+        }
+      }
+
+      // Walk the line: braces change depth, MutexLock sites acquire at the
+      // current depth, a body '{' materializes pending annotation locks,
+      // and a ';' at signature level discards them (declaration only).
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto site = sites.find(i);
+        if (site != sites.end()) {
+          for (const std::string& name : site->second) {
+            acquire(name, depth, li + 1);
+          }
+        }
+        if (code[i] == '{') {
+          ++depth;
+          for (const std::string& name : pending) {
+            acquire(name, depth, li + 1);
+          }
+          pending.clear();
+        } else if (code[i] == '}') {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) held.pop_back();
+        } else if (code[i] == ';' && pending.size() > 0 &&
+                   sites.count(i) == 0) {
+          // `Status f() EDGETUNE_REQUIRES(m);` — declaration, no body.
+          pending.clear();
+        }
+      }
+    }
+  }
+
+  // Ordering-exception table: a sanctioned pair may interleave both ways
+  // (some external argument — phase separation, single-threaded section —
+  // rules out the deadlock). Drop both directions.
+  for (auto it = edges.begin(); it != edges.end();) {
+    const auto fwd = std::make_pair(it->first.first, it->first.second);
+    const auto rev = std::make_pair(it->first.second, it->first.first);
+    if (exception_pairs.count(fwd) != 0 || exception_pairs.count(rev) != 0) {
+      it = edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Cycle detection over the merged graph (DFS with witness path).
+  std::map<std::string, std::vector<const LockEdge*>> graph;
+  std::set<std::string> nodes;
+  for (const auto& [key, edge] : edges) {
+    graph[edge.held].push_back(&edge);
+    nodes.insert(edge.held);
+    nodes.insert(edge.acquired);
+  }
+  std::set<std::string> done, on_stack, reported;
+  std::vector<const LockEdge*> path;
+  for (const std::string& root : nodes) {
+    if (done.count(root) != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack{{root, 0}};
+    on_stack.insert(root);
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<const LockEdge*>& out = graph[node];
+      if (next >= out.size()) {
+        on_stack.erase(node);
+        done.insert(node);
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+      const LockEdge* edge = out[next++];
+      if (on_stack.count(edge->acquired) != 0) {
+        std::vector<const LockEdge*> cycle;
+        bool in_cycle = false;
+        for (const LockEdge* e : path) {
+          if (e->held == edge->acquired) in_cycle = true;
+          if (in_cycle) cycle.push_back(e);
+        }
+        cycle.push_back(edge);
+        std::set<std::string> members;
+        for (const LockEdge* e : cycle) members.insert(e->held);
+        std::string key;
+        for (const std::string& m : members) key += m + "|";
+        if (reported.insert(key).second) {
+          std::string witness = edge->acquired;
+          for (const LockEdge* e : cycle) {
+            witness += " -> " + e->acquired + " (" + e->file + ":" +
+                       std::to_string(e->line) + ")";
+          }
+          findings->push_back(
+              {cycle.front()->file, cycle.front()->line, "lock-order-cycle",
+               "potential deadlock, lock-order cycle: " + witness +
+                   " — pick one global order, or record the sanctioned "
+                   "pair in lock_order_exceptions.txt (NOLINT does not "
+                   "apply)"});
+        }
+        continue;
+      }
+      if (done.count(edge->acquired) != 0) continue;
+      on_stack.insert(edge->acquired);
+      path.push_back(edge);
+      stack.emplace_back(edge->acquired, 0);
+    }
+  }
+}
+
+/// Loads `lock_order_exceptions.txt`: one `first second` pair per line,
+/// `#` comments. Returns false on a parse error (reported as a finding).
+bool load_lock_exceptions(
+    const fs::path& path,
+    std::set<std::pair<std::string, std::string>>* pairs,
+    std::vector<Finding>* findings) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    findings->push_back({norm_path(path), 0, "io", "cannot open file"});
+    return false;
+  }
+  std::string raw;
+  std::size_t lineno = 0;
+  bool ok = true;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = raw.substr(0, raw.find('#'));
+    std::stringstream ss(line);
+    std::string first, second, extra;
+    if (!(ss >> first)) continue;  // blank / comment-only
+    if (!(ss >> second) || (ss >> extra)) {
+      findings->push_back(
+          {norm_path(path), lineno, "io",
+           "lock-order exception entries are `first second` pairs"});
+      ok = false;
+      continue;
+    }
+    pairs->insert({normalize_lock_expr(first), normalize_lock_expr(second)});
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: unchecked Status / Result<T>.
+
+const std::set<std::string>& status_decl_qualifiers() {
+  static const std::set<std::string> quals = {
+      "static", "virtual", "inline", "constexpr", "explicit",
+      "friend", "nodiscard", "maybe_unused", "edgetune"};
+  return quals;
+}
+
+/// Tokens that open a statement rather than a declaration: a line like
+/// `return helper(x);` must not be read as `helper` declared to return
+/// type `return`.
+const std::set<std::string>& statement_keywords() {
+  static const std::set<std::string> kws = {
+      "return", "if", "while", "for", "switch", "case", "default",
+      "delete", "new", "throw", "goto", "else", "do", "break",
+      "continue", "co_return", "co_await", "co_yield", "using",
+      "typedef", "namespace", "class", "struct", "enum", "union",
+      "public", "private", "protected", "sizeof"};
+  return kws;
+}
+
+/// Collects names of functions declared (or defined) to return Status or
+/// Result<T> from one structural line: `[quals] Status [Class::]name(`.
+void collect_status_functions(const FileModel& file,
+                              std::set<std::string>* names) {
+  bool prev_ends_statement = true;
+  for (const LineModel& line : file.lines) {
+    const std::string code = ltrim(line.blank);
+    const bool starts_statement = prev_ends_statement;
+    if (!code.empty()) {
+      const char last = code.back();
+      // A `template <...>` header line does not interrupt the following
+      // declaration's statement-start status.
+      prev_ends_statement =
+          last == ';' || last == '{' || last == '}' || last == ':' ||
+          (last == '>' && code.rfind("template", 0) == 0);
+    }
+    if (!starts_statement || code.empty() || code[0] == '#') continue;
+
+    // Tokenize the prefix: skip qualifiers, expect Status/Result.
+    std::size_t i = 0;
+    auto read_ident = [&]() {
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              code.compare(i, 2, "::") == 0 ||
+              code.compare(i, 2, "[[") == 0 ||
+              code.compare(i, 2, "]]") == 0)) {
+        i += code[i] == ':' || code[i] == '[' || code[i] == ']' ? 2 : 1;
+      }
+      std::string ident;
+      while (i < code.size() && ident_char(code[i])) ident.push_back(code[i++]);
+      return ident;
+    };
+    std::string tok = read_ident();
+    while (!tok.empty() && status_decl_qualifiers().count(tok) != 0) {
+      tok = read_ident();
+    }
+    if (tok != "Status" && tok != "Result") continue;
+    if (tok == "Result") {
+      // Skip the template argument list.
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i]))) {
+        ++i;
+      }
+      if (i >= code.size() || code[i] != '<') continue;
+      int angle = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++angle;
+        if (code[i] == '>' && --angle == 0) {
+          ++i;
+          break;
+        }
+      }
+      if (angle != 0) continue;
+    }
+    // `[Class::]name(` — the name is the last identifier before '('.
+    std::string name = read_ident();
+    while (!name.empty() && i < code.size()) {
+      if (code.compare(i, 2, "::") == 0) {
+        i += 2;
+        name = read_ident();
+        continue;
+      }
+      break;
+    }
+    if (name.empty() || name == "operator") continue;
+    if (i < code.size() && code[i] == '(') names->insert(name);
+  }
+}
+
+/// Collects function names declared with a NON-Status return type (`void
+/// wait(`, `auto submit(`, `int Class::size(`). A name present in both sets
+/// (CondVar::wait vs JobServer::wait) is ambiguous at a bare call site, so
+/// pass 4 skips it: precision over recall for a lexical tool.
+void collect_other_functions(const FileModel& file,
+                             std::set<std::string>* names) {
+  bool prev_ends_statement = true;
+  for (const LineModel& line : file.lines) {
+    const std::string code = ltrim(line.blank);
+    const bool starts_statement = prev_ends_statement;
+    if (!code.empty()) {
+      const char last = code.back();
+      prev_ends_statement =
+          last == ';' || last == '{' || last == '}' || last == ':' ||
+          (last == '>' && code.rfind("template", 0) == 0);
+    }
+    if (!starts_statement || code.empty() || code[0] == '#') continue;
+
+    std::size_t i = 0;
+    auto read_ident = [&]() {
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              code.compare(i, 2, "::") == 0 ||
+              code.compare(i, 2, "[[") == 0 ||
+              code.compare(i, 2, "]]") == 0)) {
+        i += code[i] == ':' || code[i] == '[' || code[i] == ']' ? 2 : 1;
+      }
+      std::string ident;
+      while (i < code.size() && ident_char(code[i])) ident.push_back(code[i++]);
+      return ident;
+    };
+    auto skip_angles = [&]() {
+      if (i < code.size() && code[i] == '<') {
+        int angle = 0;
+        for (; i < code.size(); ++i) {
+          if (code[i] == '<') ++angle;
+          if (code[i] == '>' && --angle == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+    };
+    std::string tok = read_ident();
+    while (!tok.empty() &&
+           (status_decl_qualifiers().count(tok) != 0 || tok == "std" ||
+            tok == "const" || tok == "unsigned" || tok == "typename")) {
+      tok = read_ident();
+    }
+    if (tok.empty() || tok == "Status" || tok == "Result") continue;
+    if (statement_keywords().count(tok) != 0) continue;
+    skip_angles();
+    while (i < code.size() &&
+           (code[i] == '&' || code[i] == '*' ||
+            std::isspace(static_cast<unsigned char>(code[i])))) {
+      ++i;
+    }
+    std::string name = read_ident();
+    while (!name.empty() && i < code.size()) {
+      if (code.compare(i, 2, "::") == 0) {
+        i += 2;
+        name = read_ident();
+        continue;
+      }
+      break;
+    }
+    if (name.empty() || name == "operator") continue;
+    if (i < code.size() && code[i] == '(') names->insert(name);
+  }
+}
+
+/// Variable names declared `std::atomic<...>` / `condition_variable`: member
+/// calls on them (`counter.store(...)`) collide lexically with Status
+/// function names but can never yield a Status.
+void collect_std_sync_vars(const FileModel& file,
+                           std::set<std::string>* vars) {
+  static const std::string kTypes[] = {"atomic", "condition_variable",
+                                       "condition_variable_any"};
+  for (const LineModel& line : file.lines) {
+    const std::string& code = line.blank;
+    for (const std::string& type : kTypes) {
+      for (std::size_t pos = find_token(code, type); pos != std::string::npos;
+           pos = find_token(code, type, pos + 1)) {
+        std::size_t i = pos + type.size();
+        if (i < code.size() && code[i] == '<') {
+          int angle = 0;
+          for (; i < code.size(); ++i) {
+            if (code[i] == '<') ++angle;
+            if (code[i] == '>' && --angle == 0) {
+              ++i;
+              break;
+            }
+          }
+          if (angle != 0) continue;
+        }
+        while (i < code.size() &&
+               (code[i] == '&' || code[i] == '*' ||
+                std::isspace(static_cast<unsigned char>(code[i])))) {
+          ++i;
+        }
+        std::string var;
+        while (i < code.size() && ident_char(code[i])) var.push_back(code[i++]);
+        if (!var.empty()) vars->insert(var);
+      }
+    }
+  }
+}
+
+/// Flags bare-expression-statement calls to collected Status functions.
+void pass_unchecked_status(const std::vector<FileModel>& files,
+                           std::vector<Finding>* findings) {
+  std::set<std::string> status_fns, other_fns, sync_vars;
+  for (const FileModel& file : files) {
+    if (file.kind == FileKind::kSource) {
+      collect_status_functions(file, &status_fns);
+      collect_other_functions(file, &other_fns);
+      collect_std_sync_vars(file, &sync_vars);
+    }
+  }
+  if (status_fns.empty()) return;
+
+  for (const FileModel& file : files) {
+    if (file.kind != FileKind::kSource) continue;
+    bool prev_ends_statement = true;
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+      const std::string code = ltrim(file.lines[li].blank);
+      const bool starts_statement = prev_ends_statement;
+      if (!code.empty()) {
+        const char last = code.back();
+        prev_ends_statement =
+            last == ';' || last == '{' || last == '}' || last == ':';
+      }
+      if (!starts_statement || code.empty() || code[0] == '#') continue;
+
+      // Match a receiver chain `a::b.c->name(` at the statement start.
+      std::size_t i = 0;
+      std::string name;
+      std::string receiver;  // last identifier before the called name
+      while (true) {
+        std::string ident;
+        while (i < code.size() && ident_char(code[i])) {
+          ident.push_back(code[i++]);
+        }
+        if (ident.empty()) break;
+        if (i < code.size() && code[i] == '(') {
+          name = ident;
+          break;
+        }
+        if (code.compare(i, 2, "::") == 0 || code.compare(i, 2, "->") == 0) {
+          receiver = ident;
+          i += 2;
+          continue;
+        }
+        if (i < code.size() && code[i] == '.') {
+          receiver = ident;
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (name.empty() || status_fns.count(name) == 0) continue;
+      // A name also declared in-tree with a non-Status return type is
+      // ambiguous at the call site; a receiver declared std::atomic /
+      // condition_variable can never yield a Status. Skip both.
+      if (other_fns.count(name) != 0) continue;
+      if (!receiver.empty() && sync_vars.count(receiver) != 0) continue;
+
+      // The statement must be exactly `chain(...);` — join lines until the
+      // parens balance, then require `;` (anything else consumes the value).
+      int depth = 0;
+      std::size_t j = i;
+      std::size_t lj = li;
+      std::string rest;
+      const std::size_t kMaxJoin = 16;
+      bool balanced = false;
+      std::string joined = code;
+      while (lj < file.lines.size() && lj - li < kMaxJoin) {
+        const std::string& seg = joined;
+        for (; j < seg.size(); ++j) {
+          if (seg[j] == '(') ++depth;
+          if (seg[j] == ')' && --depth == 0) {
+            rest = ltrim(seg.substr(j + 1));
+            balanced = true;
+            break;
+          }
+        }
+        if (balanced) break;
+        ++lj;
+        if (lj < file.lines.size()) {
+          j = joined.size();
+          joined += file.lines[lj].blank;
+        }
+      }
+      if (!balanced || rest.rfind(";", 0) != 0) continue;
+      if (suppressed(file.lines[li], "unchecked-status")) continue;
+      findings->push_back(
+          {file.display, li + 1, "unchecked-status",
+           "result of '" + name + "' (declared to return Status/Result) is "
+           "discarded as a bare statement: check it, propagate it "
+           "(ET_RETURN_IF_ERROR), or make the discard explicit"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 5: the original repo-invariant line rules.
+
 // (Split literals keep the linter from flagging its own rule table.)
 const std::vector<std::string>& banned_rng_tokens() {
   static const std::vector<std::string> tokens = {
@@ -137,35 +1121,6 @@ const std::vector<std::string>& banned_rng_tokens() {
   return tokens;
 }
 
-bool rng_exempt(const std::string& path) {
-  return ends_with(path, "common/rng.hpp") || ends_with(path, "common/rng.cpp");
-}
-
-// thread-outside-pool: std::thread may only appear in the ThreadPool TU.
-bool thread_exempt(const std::string& path) {
-  return ends_with(path, "common/thread_pool.hpp") ||
-         ends_with(path, "common/thread_pool.cpp");
-}
-
-// fp-contract-allowlist: sources under src/tensor/ allowed to set a
-// non-default -ffp-contract, and required to keep it. gemm_unfused.cpp IS
-// the kNT bitwise contract, and gemm_routines_unfused.cpp extends that
-// contract to the routine registry's naive kNT path and wide microtile:
-// both must compile with -ffp-contract=off.
-const std::set<std::string>& fp_contract_allowlist() {
-  static const std::set<std::string> files = {"gemm_unfused.cpp",
-                                              "gemm_routines_unfused.cpp"};
-  return files;
-}
-
-// iostream-in-lib applies to library code only (src/), not tools/benches.
-bool in_library(const std::string& path) {
-  return path_has_segment(path, "src");
-}
-
-// real-sleep-in-lib: real blocking sleeps may only appear in the ThreadPool
-// TU (its idle wait). Everything else in src/ accounts waiting in simulated
-// time. (Split literals keep the linter from flagging its own table.)
 const std::vector<std::string>& banned_sleep_tokens() {
   static const std::vector<std::string> tokens = {
       "sleep_" "for",    // std::this_thread::sleep_for
@@ -176,13 +1131,28 @@ const std::vector<std::string>& banned_sleep_tokens() {
   return tokens;
 }
 
-/// True for lines that declare a named mutex variable (member or global):
-///   [mutable] [std::]{Mutex|mutex} name_;
-/// after stripping comments. Returns the variable name via `name`.
-bool parse_mutex_decl(const std::string& line, std::string* name) {
-  std::string code = line.substr(0, line.find("//"));
+bool rng_exempt(const std::string& path) {
+  return ends_with(path, "common/rng.hpp") || ends_with(path, "common/rng.cpp");
+}
+
+bool thread_exempt(const std::string& path) {
+  return ends_with(path, "common/thread_pool.hpp") ||
+         ends_with(path, "common/thread_pool.cpp");
+}
+
+const std::set<std::string>& fp_contract_allowlist() {
+  static const std::set<std::string> files = {"gemm_unfused.cpp",
+                                              "gemm_routines_unfused.cpp"};
+  return files;
+}
+
+bool in_library(const std::string& path) {
+  return path_has_segment(path, "src");
+}
+
+/// True for lines declaring a named mutex member/global (see guarded-by).
+bool parse_mutex_decl(const std::string& code, std::string* name) {
   std::vector<std::string> toks = identifiers(code);
-  // Drop qualifiers that may precede the type.
   std::size_t i = 0;
   while (i < toks.size() &&
          (toks[i] == "mutable" || toks[i] == "static" || toks[i] == "std")) {
@@ -190,79 +1160,40 @@ bool parse_mutex_decl(const std::string& line, std::string* name) {
   }
   if (i + 1 >= toks.size()) return false;
   if (toks[i] != "Mutex" && toks[i] != "mutex") return false;
-  // Reject non-declarations: "std::mutex&", template args, using decls.
   if (contains(code, "&") || contains(code, "(") || contains(code, "<") ||
       contains(code, "using") || contains(code, "typedef")) {
     return false;
   }
-  // Declaration must end with ';' and have exactly one trailing identifier.
-  std::string tail = code;
-  tail.erase(std::remove_if(tail.begin(), tail.end(),
-                            [](unsigned char c) { return std::isspace(c); }),
-             tail.end());
+  std::string tail = strip_spaces(code);
   if (tail.empty() || tail.back() != ';') return false;
   if (i + 2 != toks.size()) return false;
   *name = toks[i + 1];
   return true;
 }
 
-// ---------------------------------------------------------------------------
-// Per-file scanners.
-
-void scan_source(const std::string& display_path, const fs::path& real_path,
-                 std::vector<Finding>* findings) {
-  std::ifstream in(real_path);
-  if (!in.good()) {
-    findings->push_back({display_path, 0, "io", "cannot open file"});
-    return;
-  }
-
+void pass_line_rules(const FileModel& file, std::vector<Finding>* findings) {
   struct MutexDecl {
     std::string name;
     std::size_t line;
   };
   std::vector<MutexDecl> mutexes;
-  std::set<std::string> guarded;  // names seen in EDGETUNE_GUARDED_BY(...)
-  std::string line;
-  std::size_t lineno = 0;
-  bool in_block_comment = false;
+  std::set<std::string> guarded;
 
-  while (std::getline(in, line)) {
-    ++lineno;
-
-    // Track /* */ so commented-out code is not flagged. (Line comments are
-    // handled per rule; string literals are deliberately scanned — a banned
-    // token inside one is near-always a shell command or codegen.)
-    std::string code = line;
-    if (in_block_comment) {
-      const std::size_t close = code.find("*/");
-      if (close == std::string::npos) continue;
-      code = code.substr(close + 2);
-      in_block_comment = false;
-    }
-    for (std::size_t open = code.find("/*"); open != std::string::npos;
-         open = code.find("/*")) {
-      const std::size_t close = code.find("*/", open + 2);
-      if (close == std::string::npos) {
-        code = code.substr(0, open);
-        in_block_comment = true;
-        break;
-      }
-      code = code.substr(0, open) + code.substr(close + 2);
-    }
-
-    const std::string before_comment = code.substr(0, code.find("//"));
-    const std::vector<std::string> toks = identifiers(before_comment);
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const LineModel& line = file.lines[li];
+    const std::string& code = line.code;
+    const std::vector<std::string> toks = identifiers(code);
     const auto has_token = [&](const std::string& t) {
       return std::find(toks.begin(), toks.end(), t) != toks.end();
     };
 
-    // --- rng-determinism
-    if (!rng_exempt(display_path)) {
+    // --- rng-determinism (string literals deliberately scanned: a banned
+    // token inside one is near-always a shell command or codegen).
+    if (!rng_exempt(file.display)) {
       for (const std::string& banned : banned_rng_tokens()) {
-        if (has_token(banned) && !nolint_suppressed(line, "rng-determinism")) {
+        if (has_token(banned) && !suppressed(line, "rng-determinism")) {
           findings->push_back(
-              {display_path, lineno, "rng-determinism",
+              {file.display, li + 1, "rng-determinism",
                "'" + banned + "' outside common/rng.*: use edgetune::Rng "
                "with an explicit seed (bit-stable streams)"});
         }
@@ -270,32 +1201,30 @@ void scan_source(const std::string& display_path, const fs::path& real_path,
     }
 
     // --- thread-outside-pool
-    if (!thread_exempt(display_path) && has_token("thread") &&
-        contains(before_comment, "std::" "thread") &&
-        !contains(before_comment, "std::" "thread::") &&
-        !nolint_suppressed(line, "thread-outside-pool")) {
+    if (!thread_exempt(file.display) && has_token("thread") &&
+        contains(code, "std::" "thread") &&
+        !contains(code, "std::" "thread::") &&
+        !suppressed(line, "thread-outside-pool")) {
       findings->push_back(
-          {display_path, lineno, "thread-outside-pool",
+          {file.display, li + 1, "thread-outside-pool",
            "raw std::" "thread outside ThreadPool: submit work to a pool "
            "instead (shutdown/wait_idle discipline)"});
     }
 
     // --- iostream-in-lib
-    if (in_library(display_path) && contains(before_comment, "#include") &&
-        contains(before_comment, "<iostream>") &&
-        !nolint_suppressed(line, "iostream-in-lib")) {
-      findings->push_back({display_path, lineno, "iostream-in-lib",
+    if (in_library(file.display) && contains(code, "#include") &&
+        contains(code, "<iostream>") && !suppressed(line, "iostream-in-lib")) {
+      findings->push_back({file.display, li + 1, "iostream-in-lib",
                            "#include <iostream> in library code: report "
                            "through Status/ET_LOG, print in tools/"});
     }
 
     // --- real-sleep-in-lib
-    if (in_library(display_path) && !thread_exempt(display_path)) {
+    if (in_library(file.display) && !thread_exempt(file.display)) {
       for (const std::string& banned : banned_sleep_tokens()) {
-        if (has_token(banned) &&
-            !nolint_suppressed(line, "real-sleep-in-lib")) {
+        if (has_token(banned) && !suppressed(line, "real-sleep-in-lib")) {
           findings->push_back(
-              {display_path, lineno, "real-sleep-in-lib",
+              {file.display, li + 1, "real-sleep-in-lib",
                "'" + banned + "' in library code: waiting is simulated time "
                "(charge it to the report, DESIGN §5.4); real sleeps belong "
                "only in common/thread_pool.*"});
@@ -305,88 +1234,65 @@ void scan_source(const std::string& display_path, const fs::path& real_path,
 
     // --- guarded-by bookkeeping
     std::string mutex_name;
-    if (parse_mutex_decl(line, &mutex_name)) {
-      if (!nolint_suppressed(line, "guarded-by")) {
-        mutexes.push_back({mutex_name, lineno});
-      }
+    if (parse_mutex_decl(line.blank, &mutex_name) &&
+        !suppressed(line, "guarded-by")) {
+      mutexes.push_back({mutex_name, li + 1});
     }
-    for (std::size_t pos = before_comment.find("EDGETUNE_GUARDED_BY(");
+    for (std::size_t pos = code.find("EDGETUNE_GUARDED_BY(");
          pos != std::string::npos;
-         pos = before_comment.find("EDGETUNE_GUARDED_BY(", pos + 1)) {
-      const std::size_t open = before_comment.find('(', pos);
-      const std::size_t close = before_comment.find(')', open);
+         pos = code.find("EDGETUNE_GUARDED_BY(", pos + 1)) {
+      const std::size_t open = code.find('(', pos);
+      const std::size_t close = code.find(')', open);
       if (open == std::string::npos || close == std::string::npos) break;
-      std::string arg = before_comment.substr(open + 1, close - open - 1);
-      arg.erase(std::remove_if(arg.begin(), arg.end(),
-                               [](unsigned char c) { return std::isspace(c); }),
-                arg.end());
-      guarded.insert(arg);
+      guarded.insert(strip_spaces(code.substr(open + 1, close - open - 1)));
     }
   }
 
-  // --- guarded-by verdicts (file scope: every mutex needs >= 1 annotated
-  // user, or an explanatory NOLINT on its declaration).
   for (const MutexDecl& m : mutexes) {
     if (guarded.count(m.name) != 0) continue;
     findings->push_back(
-        {display_path, m.line, "guarded-by",
+        {file.display, m.line, "guarded-by",
          "mutex '" + m.name + "' has no EDGETUNE_GUARDED_BY(" + m.name +
              ") member in this file: annotate the state it protects "
              "(common/thread_annotations.hpp)"});
   }
 }
 
-/// fp-contract-allowlist over a tensor CMakeLists.txt: files that
-/// set_source_files_properties ... COMPILE_OPTIONS "-ffp-contract=..." must
-/// match the allowlist exactly, in both directions.
-void scan_tensor_cmake(const std::string& display_path,
-                       const fs::path& real_path,
-                       std::vector<Finding>* findings) {
-  std::ifstream in(real_path);
-  if (!in.good()) {
-    findings->push_back({display_path, 0, "io", "cannot open file"});
-    return;
-  }
-  std::string line;
-  std::size_t lineno = 0;
-  std::set<std::string> flagged;      // sources given an -ffp-contract flag
+/// fp-contract-allowlist over a tensor CMakeLists.txt (same algorithm as
+/// the PR-4 scanner, ported to the file model).
+void pass_tensor_cmake(const FileModel& file, std::vector<Finding>* findings) {
+  std::set<std::string> flagged;
   std::map<std::string, std::size_t> flagged_line;
-  bool suppressed = false;
-  std::string whole;  // full text, for the is-this-TU-even-built-here gate
+  bool reverse_waived = false;
+  std::string whole;
 
-  // Parse set_source_files_properties(<files...> PROPERTIES ...) statements,
-  // which may span lines; associate them with -ffp-contract when present.
   std::string stmt;
   std::size_t stmt_line = 0;
   bool stmt_nolint = false;
-  while (std::getline(in, line)) {
-    ++lineno;
-    whole += line + "\n";
-    // A NOLINT anywhere in the file waives the reverse (missing-flag)
-    // direction for the whole file: `NOLINT(...)`'s own ')' ends the
-    // enclosing statement early, so statement-scoped state cannot see it.
-    suppressed = suppressed || nolint_suppressed(line, "fp-contract-allowlist");
-    if (contains(line, "set_source_files_properties")) {
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const LineModel& line = file.lines[li];
+    whole += line.code + "\n";
+    reverse_waived =
+        reverse_waived || suppressed(line, "fp-contract-allowlist");
+    if (contains(line.code, "set_source_files_properties")) {
       stmt.clear();
-      stmt_line = lineno;
+      stmt_line = li + 1;
       stmt_nolint = false;
     }
     if (stmt_line != 0) {
-      stmt += line + "\n";
-      stmt_nolint = stmt_nolint ||
-                    nolint_suppressed(line, "fp-contract-allowlist");
-      if (contains(line, ")")) {
+      stmt += line.code + "\n";
+      stmt_nolint = stmt_nolint || suppressed(line, "fp-contract-allowlist");
+      if (contains(line.code, ")")) {
         if (contains(stmt, "-ffp-contract")) {
-          // Tokens between '(' and PROPERTIES are the source files.
           const std::size_t open = stmt.find('(');
           const std::size_t props = stmt.find("PROPERTIES");
           if (open != std::string::npos && props != std::string::npos) {
             std::stringstream ss(stmt.substr(open + 1, props - open - 1));
-            std::string file;
-            while (ss >> file) {
-              flagged.insert(file);
-              flagged_line[file] = stmt_line;
-              if (stmt_nolint) flagged.erase(file);
+            std::string f;
+            while (ss >> f) {
+              flagged.insert(f);
+              flagged_line[f] = stmt_line;
+              if (stmt_nolint) flagged.erase(f);
             }
           }
         }
@@ -396,86 +1302,229 @@ void scan_tensor_cmake(const std::string& display_path,
     }
   }
 
-  for (const std::string& file : flagged) {
-    if (fp_contract_allowlist().count(file) == 0) {
+  for (const std::string& f : flagged) {
+    if (fp_contract_allowlist().count(f) == 0) {
       findings->push_back(
-          {display_path, flagged_line[file], "fp-contract-allowlist",
-           "'" + file + "' sets a non-default -ffp-contract but is not in "
+          {file.display, flagged_line[f], "fp-contract-allowlist",
+           "'" + f + "' sets a non-default -ffp-contract but is not in "
            "the edgetune_lint allowlist: FP contraction is part of the "
            "bitwise GEMM contract (DESIGN §5.1)"});
     }
   }
-  if (!suppressed) {
-    for (const std::string& file : fp_contract_allowlist()) {
-      // Only TUs this CMakeLists actually builds owe the flag: the
-      // allowlist names every contract TU in the repo, but a fixture (or a
-      // future split of src/tensor) need not compile all of them.
-      if (contains(whole, file) && flagged.count(file) == 0) {
+  if (!reverse_waived) {
+    for (const std::string& f : fp_contract_allowlist()) {
+      // Only TUs this CMakeLists actually builds owe the flag.
+      if (contains(whole, f) && flagged.count(f) == 0) {
         findings->push_back(
-            {display_path, 0, "fp-contract-allowlist",
-             "allowlisted '" + file + "' no longer sets -ffp-contract in " +
-                 display_path + ": the kNT bitwise contract depends on it"});
+            {file.display, 0, "fp-contract-allowlist",
+             "allowlisted '" + f + "' no longer sets -ffp-contract in " +
+                 file.display + ": the kNT bitwise contract depends on it"});
       }
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Driver: path walking, pass orchestration, output.
 
 bool lintable_source(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-bool tensor_cmake(const std::string& display_path) {
-  return ends_with(display_path, "tensor/CMakeLists.txt");
+bool tensor_cmake(const std::string& display) {
+  return ends_with(display, "tensor/CMakeLists.txt");
 }
 
-void scan_path(const fs::path& root, std::vector<Finding>* findings) {
-  std::vector<fs::path> files;
-  if (fs::is_directory(root)) {
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (entry.is_regular_file()) files.push_back(entry.path());
-    }
-  } else {
-    files.push_back(root);
+/// Directories never worth linting: VCS metadata, build trees, anything
+/// hidden. Keeps `edgetune_lint .` at the repo root from scanning
+/// generated/vendored files.
+bool skip_dir(const std::string& name) {
+  if (!name.empty() && name[0] == '.') return true;
+  if (name.rfind("build", 0) == 0) return true;
+  return name == "third_party" || name == "vendor";
+}
+
+void collect_files(const fs::path& root, std::vector<fs::path>* out) {
+  if (!fs::is_directory(root)) {
+    out->push_back(root);
+    return;
   }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& p : files) {
-    const std::string display = norm_path(p);
-    if (lintable_source(p)) {
-      scan_source(display, p, findings);
-    } else if (tensor_cmake(display)) {
-      scan_tensor_cmake(display, p, findings);
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory() && skip_dir(it->path().filename().string())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file()) out->push_back(it->path());
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
+  return out;
+}
+
+void print_json(const std::vector<Finding>& findings) {
+  std::printf("{\n  \"tool\": \"edgetune_lint\",\n  \"findings\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::printf(
+        "%s\n    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+        "\"message\": \"%s\"}",
+        i == 0 ? "" : ",", json_escape(f.file).c_str(), f.line,
+        json_escape(f.rule).c_str(), json_escape(f.message).c_str());
+  }
+  std::printf("%s],\n  \"count\": %zu\n}\n",
+              findings.empty() ? "" : "\n  ", findings.size());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: edgetune_lint [--json] [--rule <id>]... [--list-rules] "
+      "[--lock-order-exceptions <file>] <file-or-dir>...\n"
+      "directories scan recursively (build*/, hidden dirs skipped); "
+      "--list-rules prints the rule table\n");
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: edgetune_lint <file-or-dir>...\n"
-                 "rules: rng-determinism thread-outside-pool "
-                 "fp-contract-allowlist guarded-by iostream-in-lib "
-                 "real-sleep-in-lib\n");
-    return 2;
-  }
-  std::vector<Finding> findings;
+  bool json = false;
+  std::set<std::string> rule_filter;
+  std::vector<std::string> roots;
+  std::vector<fs::path> exception_files;
+
   for (int i = 1; i < argc; ++i) {
-    const fs::path root(argv[i]);
-    if (!fs::exists(root)) {
-      std::fprintf(stderr, "edgetune_lint: no such path: %s\n", argv[i]);
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_registry()) {
+        std::printf("%-22s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--rule") {
+      if (i + 1 >= argc) return usage();
+      const std::string id = argv[++i];
+      if (!known_rule(id)) {
+        std::fprintf(stderr, "edgetune_lint: unknown rule '%s'\n",
+                     id.c_str());
+        return 2;
+      }
+      rule_filter.insert(id);
+    } else if (arg == "--lock-order-exceptions") {
+      if (i + 1 >= argc) return usage();
+      exception_files.emplace_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<Finding> findings;
+
+  // Ordering-exception table: explicit flags plus the conventional file at
+  // the top of any scanned directory root.
+  std::set<std::pair<std::string, std::string>> exception_pairs;
+  for (const std::string& root : roots) {
+    const fs::path candidate = fs::path(root) / "lock_order_exceptions.txt";
+    if (fs::is_directory(root) && fs::exists(candidate)) {
+      exception_files.push_back(candidate);
+    }
+  }
+  for (const fs::path& path : exception_files) {
+    load_lock_exceptions(path, &exception_pairs, &findings);
+  }
+
+  // Pass 1: load every file once.
+  std::vector<fs::path> paths;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (!fs::exists(p)) {
+      std::fprintf(stderr, "edgetune_lint: no such path: %s\n", root.c_str());
       return 2;
     }
-    scan_path(root, &findings);
+    collect_files(p, &paths);
   }
-  for (const Finding& f : findings) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.message.c_str());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<FileModel> files;
+  for (const fs::path& p : paths) {
+    const std::string display = norm_path(p);
+    FileKind kind;
+    if (lintable_source(p)) {
+      kind = FileKind::kSource;
+    } else if (tensor_cmake(display)) {
+      kind = FileKind::kCMake;
+    } else {
+      continue;
+    }
+    FileModel model;
+    if (load_file(display, p, kind, &model, &findings)) {
+      files.push_back(std::move(model));
+    }
   }
-  if (!findings.empty()) {
-    std::fprintf(stderr, "edgetune_lint: %zu finding(s)\n", findings.size());
-    return 1;
+
+  // Passes 2-5 over the shared model.
+  for (const FileModel& file : files) {
+    check_nolint_markers(file, &findings);
+    if (file.kind == FileKind::kSource) {
+      pass_line_rules(file, &findings);
+    } else {
+      pass_tensor_cmake(file, &findings);
+    }
   }
-  return 0;
+  pass_layering(files, &findings);
+  pass_lock_order(files, exception_pairs, &findings);
+  pass_unchecked_status(files, &findings);
+
+  if (!rule_filter.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return rule_filter.count(f.rule) == 0;
+                                  }),
+                   findings.end());
+  }
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return !(a < b) && !(b < a);
+                             }),
+                 findings.end());
+
+  if (json) {
+    print_json(findings);
+  } else {
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "edgetune_lint: %zu finding(s)\n",
+                   findings.size());
+    }
+  }
+  return findings.empty() ? 0 : 1;
 }
