@@ -1,0 +1,100 @@
+#include "common/durable_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace edgetune {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string errno_detail(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// write(2) until everything is out (short writes are legal on any fd).
+Status write_all(int fd, const char* data, std::size_t len,
+                 const std::string& path) {
+  while (len > 0) {
+    const ::ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::io(errno_detail("cannot write", path));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed_crc) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed_crc ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::io(errno_detail("cannot open directory", dir));
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::io(errno_detail("cannot fsync directory", dir));
+  }
+  ::close(fd);
+  return status;
+}
+
+Status durable_write_file(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::io(errno_detail("cannot create", tmp));
+  Status status = write_all(fd, bytes.data(), bytes.size(), tmp);
+  // Data must be on disk BEFORE the rename publishes it: otherwise the
+  // rename can commit first and a power loss leaves a truncated target.
+  if (status.is_ok() && ::fsync(fd) != 0) {
+    status = Status::io(errno_detail("cannot fsync", tmp));
+  }
+  if (::close(fd) != 0 && status.is_ok()) {
+    status = Status::io(errno_detail("cannot close", tmp));
+  }
+  if (status.is_ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::io(errno_detail("cannot rename over", path));
+  }
+  if (!status.is_ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  // And the rename itself must reach disk: the directory entry is metadata
+  // the file fsync above does not cover.
+  return fsync_parent_dir(path);
+}
+
+}  // namespace edgetune

@@ -1,0 +1,46 @@
+// Crash-durable file primitives (DESIGN §5.9).
+//
+// Every persistence path in the repo (historical-cache shards, routine
+// profiles, the trial journal, report writing) goes through
+// durable_write_file: write to a temp file, fsync the file, rename over the
+// target, fsync the parent directory. The historical tmp+rename pattern
+// alone survives a crash mid-write, but NOT a power loss shortly after the
+// rename — without the fsyncs the filesystem may commit the rename before
+// the data blocks, leaving a zero-length or garbage "database" behind. The
+// `raw-persistence` lint rule flags ofstream+rename sequences that bypass
+// this helper.
+//
+// crc32 is the record checksum of the trial journal (tuning/journal.hpp):
+// the standard reflected CRC-32 (polynomial 0xEDB88320, the zlib/PNG one),
+// table-driven, no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace edgetune {
+
+/// CRC-32 (reflected, poly 0xEDB88320, init/final xor 0xFFFFFFFF) of
+/// `len` bytes. Pass a previous result as `seed_crc` to checksum a stream
+/// incrementally; the default starts a fresh checksum.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed_crc = 0) noexcept;
+
+/// Atomically and durably replaces `path` with `bytes`:
+///   write `path`.tmp → fsync it → rename onto `path` → fsync parent dir.
+/// After an OK return the new content survives both a process crash and a
+/// power loss; on error the previous content of `path` is untouched (the
+/// temp file is cleaned up best-effort).
+[[nodiscard]] Status durable_write_file(const std::string& path,
+                                        const std::string& bytes);
+
+/// fsyncs the directory containing `path` ("." when `path` has no slash),
+/// making a previously fsynced rename/create of that entry itself durable.
+/// Exposed for the append-only journal, which syncs its parent once at
+/// creation rather than per append.
+[[nodiscard]] Status fsync_parent_dir(const std::string& path);
+
+}  // namespace edgetune

@@ -160,6 +160,13 @@ Status FaultInjector::fire(std::string_view site, std::uint64_t key_hash,
   return Status::ok();
 }
 
+int FaultInjector::fail_first(std::string_view site) const noexcept {
+  for (const Site& s : sites_) {
+    if (s.spec.site == site) return s.spec.fail_first;
+  }
+  return 0;
+}
+
 std::int64_t FaultInjector::injected(std::string_view site) const noexcept {
   for (const Site& s : sites_) {
     if (s.spec.site == site) return s.injected.load(std::memory_order_relaxed);

@@ -39,6 +39,20 @@ inline constexpr const char* kRoutinePersist = "routine.persist";
 /// (tuning/fleet.hpp). Per-trial and content-keyed, so an injected plan
 /// fires identically at any fleet size.
 inline constexpr const char* kWorkerDrop = "worker.drop";
+/// Fired before every trial-journal record write / batched fsync
+/// (tuning/journal.hpp), keyed by the record index — the journal's commit
+/// order is scheduling-independent, so injected journal faults are
+/// identical at any worker count. Both are best-effort sites: a failure
+/// degrades durability, never the run.
+inline constexpr const char* kJournalAppend = "journal.append";
+inline constexpr const char* kJournalFsync = "journal.fsync";
+/// Deterministic kill point for crash testing: with
+/// `site=crash.after_commit,fail_first=N`, the model server hard-aborts
+/// the process (exit code 137) immediately after committing its Nth trial
+/// (tuning/model_server.cpp). Unlike every other site, this is read via
+/// fail_first(), not fire(): N is a commit INDEX, not a leading-attempts
+/// count.
+inline constexpr const char* kCrashAfterCommit = "crash.after_commit";
 }  // namespace fault_site
 
 /// One configured fault: where, how often (or how many leading attempts),
@@ -96,6 +110,13 @@ class FaultInjector {
   /// Number of faults injected at `site` since construction (0 for sites not
   /// in the plan). Observability + test hook.
   [[nodiscard]] std::int64_t injected(std::string_view site) const noexcept;
+
+  /// The configured fail_first count for `site` (0 when the site is absent
+  /// or rate-based). For count-threshold sites like crash.after_commit the
+  /// caller owns the counter and fires the site once when it trips —
+  /// fire()'s "fail the first N attempts of a key" semantics would trigger
+  /// at attempt 0, not at the Nth commit.
+  [[nodiscard]] int fail_first(std::string_view site) const noexcept;
 
  private:
   struct Site {

@@ -1,0 +1,51 @@
+#include "common/shutdown.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <atomic>
+
+namespace edgetune {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void shutdown_signal_handler(int signal) {
+  int expected = 0;
+  if (!g_shutdown_signal.compare_exchange_strong(
+          expected, signal, std::memory_order_relaxed)) {
+    // Second signal: the graceful path is taking too long (or is stuck) —
+    // honor the operator's insistence. _Exit is async-signal-safe.
+    std::_Exit(128 + signal);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void request_shutdown(int signal) noexcept {
+  g_shutdown_signal.store(signal, std::memory_order_relaxed);
+}
+
+void clear_shutdown() noexcept {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace edgetune

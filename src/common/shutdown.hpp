@@ -1,0 +1,34 @@
+// Cooperative SIGINT/SIGTERM shutdown (DESIGN §5.9).
+//
+// Process mains (the CLI, service hosts) install the handlers once; long
+// loops in the library poll shutdown_requested() and wind down cleanly:
+// stop admitting new work, flush the journal and caches through the normal
+// destructor path, and exit with 128+signal so a supervisor can distinguish
+// "interrupted, resume me" from real failures. A second signal while the
+// first is still draining hard-exits immediately (the conventional
+// double-Ctrl-C escape hatch).
+//
+// The flag is a plain process-wide atomic — async-signal-safe to set,
+// lock-free to poll, and settable directly by tests via request_shutdown().
+#pragma once
+
+namespace edgetune {
+
+/// Installs SIGINT and SIGTERM handlers that record the signal and, on a
+/// second delivery, _Exit(128+signal) immediately. Idempotent.
+void install_shutdown_signal_handlers();
+
+/// True once a shutdown signal was delivered (or request_shutdown called).
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The first shutdown signal received, or 0. 128+shutdown_signal() is the
+/// conventional exit code for "terminated by that signal".
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// Test/library hook: marks shutdown as requested as if `signal` had been
+/// delivered. clear_shutdown() re-arms everything (tests only — a real
+/// process stays shut down).
+void request_shutdown(int signal) noexcept;
+void clear_shutdown() noexcept;
+
+}  // namespace edgetune

@@ -65,6 +65,13 @@ Result<TuningReport> run_hyperpower_baseline(EdgeTuneOptions options,
 }
 
 Result<TuningReport> run_hierarchical(EdgeTuneOptions options) {
+  if (!options.journal_path.empty()) {
+    // Hierarchical runs TWO searches (tier 1 + tier 2); one journal path
+    // cannot record both, so refuse instead of silently journaling half.
+    return Status::invalid_argument(
+        "the trial journal is not supported for --system hierarchical "
+        "(it runs two separate searches)");
+  }
   // Tier 1: hyperparameters only, system parameters fixed at defaults.
   EdgeTuneOptions tier1 = options;
   tier1.tune_system_params = false;

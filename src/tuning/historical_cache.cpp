@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_io.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -294,23 +295,12 @@ Status HistoricalCache::save_shard_locked(Shard& s) const {
   for (const auto& [key, rec] : s.entries) {
     root.emplace(key, rec_to_json(rec));
   }
-  // Write-to-temp + rename: truncating the database in place meant a crash
-  // mid-write destroyed every previously persisted result.
-  const std::string tmp = s.path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.good()) {
-      return Status::io("cannot write historical cache to " + tmp);
-    }
-    out << Json(std::move(root)).dump_pretty() << '\n';
-    if (!out.good()) {
-      return Status::io("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), s.path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::io("cannot rename " + tmp + " to " + s.path);
-  }
+  // Durable write-to-temp + fsync + rename (common/durable_io.hpp):
+  // truncating the database in place meant a crash mid-write destroyed
+  // every previously persisted result, and an unfsynced rename could leave
+  // an empty file after power loss.
+  ET_RETURN_IF_ERROR(
+      durable_write_file(s.path, Json(std::move(root)).dump_pretty() + "\n"));
   s.dirty = 0;
   return Status::ok();
 }

@@ -1,8 +1,257 @@
 #include "tuning/job_server.hpp"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/durable_io.hpp"
+#include "common/log.hpp"
+#include "common/shutdown.hpp"
+#include "device/profile_io.hpp"
 
 namespace edgetune {
+
+namespace {
+
+// --- JobRequest manifest marshaling (DESIGN §5.9). Full fidelity: a
+// recovered job must re-run with exactly the options it was admitted with,
+// or its journal fingerprint will (correctly) refuse to resume.
+
+Json retry_to_json(const RetryPolicy& retry) {
+  JsonObject obj;
+  obj["max_attempts"] = retry.max_attempts;
+  obj["initial_backoff_s"] = retry.initial_backoff_s;
+  obj["backoff_multiplier"] = retry.backoff_multiplier;
+  obj["max_backoff_s"] = retry.max_backoff_s;
+  obj["jitter"] = retry.jitter;
+  obj["attempt_deadline_s"] = retry.attempt_deadline_s;
+  return Json(std::move(obj));
+}
+
+RetryPolicy retry_from_json(const Json& json) {
+  RetryPolicy retry;
+  retry.max_attempts =
+      static_cast<int>(json.get_number("max_attempts", retry.max_attempts));
+  retry.initial_backoff_s =
+      json.get_number("initial_backoff_s", retry.initial_backoff_s);
+  retry.backoff_multiplier =
+      json.get_number("backoff_multiplier", retry.backoff_multiplier);
+  retry.max_backoff_s = json.get_number("max_backoff_s", retry.max_backoff_s);
+  retry.jitter = json.get_number("jitter", retry.jitter);
+  retry.attempt_deadline_s =
+      json.get_number("attempt_deadline_s", retry.attempt_deadline_s);
+  return retry;
+}
+
+Json faults_to_json(const std::vector<FaultSpec>& faults) {
+  JsonArray array;
+  array.reserve(faults.size());
+  for (const FaultSpec& spec : faults) {
+    JsonObject obj;
+    obj["site"] = spec.site;
+    obj["rate"] = spec.rate;
+    obj["fail_first"] = spec.fail_first;
+    obj["code"] = static_cast<int>(spec.code);
+    array.push_back(Json(std::move(obj)));
+  }
+  return Json(std::move(array));
+}
+
+std::vector<FaultSpec> faults_from_json(const Json* json) {
+  std::vector<FaultSpec> faults;
+  if (json == nullptr || !json->is_array()) return faults;
+  for (const Json& entry : json->as_array()) {
+    FaultSpec spec;
+    spec.site = entry.get_string("site", "");
+    spec.rate = entry.get_number("rate", 0);
+    spec.fail_first = static_cast<int>(entry.get_number("fail_first", 0));
+    spec.code = static_cast<StatusCode>(
+        static_cast<int>(entry.get_number("code", 0)));
+    faults.push_back(std::move(spec));
+  }
+  return faults;
+}
+
+std::uint64_t seed_from_json(const Json& json, const std::string& key,
+                             std::uint64_t fallback) {
+  const Json* j = json.find(key);
+  if (j == nullptr || !j->is_string()) return fallback;
+  return std::strtoull(j->as_string().c_str(), nullptr, 10);
+}
+
+Json options_to_json(const EdgeTuneOptions& o) {
+  JsonObject obj;
+  obj["workload"] = static_cast<int>(o.workload);
+  obj["search_algorithm"] = o.search_algorithm;
+  obj["budget_policy"] = o.budget_policy;
+  obj["hyperband_min"] = o.hyperband.min_resource;
+  obj["hyperband_max"] = o.hyperband.max_resource;
+  obj["hyperband_eta"] = o.hyperband.eta;
+  obj["hyperband_brackets"] = o.hyperband.max_brackets;
+  obj["random_trials"] = o.random_trials;
+  obj["trial_workers"] = o.trial_workers;
+  obj["intra_op_threads"] = o.intra_op_threads;
+  obj["objective_mode"] = static_cast<int>(o.objective_mode);
+  obj["tuning_metric"] = static_cast<int>(o.tuning_metric);
+  obj["target_accuracy"] = o.target_accuracy;
+  obj["inference_aware"] = o.inference_aware;
+  obj["tune_system_params"] = o.tune_system_params;
+  obj["tune_extended_hparams"] = o.tune_extended_hparams;
+  obj["power_cap_w"] = o.power_cap_w;
+  obj["faults"] = faults_to_json(o.faults);
+  obj["trial_retry"] = retry_to_json(o.trial_retry);
+  obj["max_trial_failure_fraction"] = o.max_trial_failure_fraction;
+  obj["train_device"] = profile_to_json(o.train_device);
+  obj["edge_device"] = profile_to_json(o.edge_device);
+  JsonArray extra;
+  extra.reserve(o.extra_edge_devices.size());
+  for (const DeviceProfile& device : o.extra_edge_devices) {
+    extra.push_back(profile_to_json(device));
+  }
+  obj["extra_edge_devices"] = Json(std::move(extra));
+  obj["routine_tuning"] = o.routine_tuning;
+  obj["routine_profile_path"] = o.routine_profile_path;
+  obj["journal_path"] = o.journal_path;
+  obj["seed"] = std::to_string(o.seed);
+  JsonObject inference;
+  inference["objective"] = static_cast<int>(o.inference.objective);
+  inference["algorithm"] = o.inference.algorithm;
+  inference["max_batch"] = o.inference.max_batch;
+  inference["max_memory_bytes"] = o.inference.max_memory_bytes;
+  inference["workers"] = o.inference.workers;
+  inference["seed"] = std::to_string(o.inference.seed);
+  inference["cache_path"] = o.inference.cache_path;
+  inference["cache_shards"] = o.inference.cache_shards;
+  inference["use_cache"] = o.inference.use_cache;
+  inference["faults"] = faults_to_json(o.inference.faults);
+  inference["retry"] = retry_to_json(o.inference.retry);
+  obj["inference"] = Json(std::move(inference));
+  JsonObject runner;
+  runner["proxy_samples"] = o.runner.proxy_samples;
+  runner["validation_fraction"] = o.runner.validation_fraction;
+  runner["seed"] = std::to_string(o.runner.seed);
+  runner["momentum"] = o.runner.momentum;
+  obj["runner"] = Json(std::move(runner));
+  return Json(std::move(obj));
+}
+
+Result<EdgeTuneOptions> options_from_json(const Json& json) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("job manifest options are not an object");
+  }
+  EdgeTuneOptions o;
+  const int workload = static_cast<int>(json.get_number("workload", 0));
+  if (workload < 0 || workload > static_cast<int>(WorkloadKind::kDetection)) {
+    return Status::invalid_argument("job manifest holds unknown workload " +
+                                    std::to_string(workload));
+  }
+  o.workload = static_cast<WorkloadKind>(workload);
+  o.search_algorithm = json.get_string("search_algorithm", o.search_algorithm);
+  o.budget_policy = json.get_string("budget_policy", o.budget_policy);
+  o.hyperband.min_resource =
+      json.get_number("hyperband_min", o.hyperband.min_resource);
+  o.hyperband.max_resource =
+      json.get_number("hyperband_max", o.hyperband.max_resource);
+  o.hyperband.eta = json.get_number("hyperband_eta", o.hyperband.eta);
+  o.hyperband.max_brackets = static_cast<int>(
+      json.get_number("hyperband_brackets", o.hyperband.max_brackets));
+  o.random_trials =
+      static_cast<int>(json.get_number("random_trials", o.random_trials));
+  o.trial_workers =
+      static_cast<int>(json.get_number("trial_workers", o.trial_workers));
+  o.intra_op_threads = static_cast<int>(
+      json.get_number("intra_op_threads", o.intra_op_threads));
+  o.objective_mode = static_cast<ObjectiveMode>(static_cast<int>(
+      json.get_number("objective_mode", static_cast<int>(o.objective_mode))));
+  o.tuning_metric = static_cast<MetricOfInterest>(static_cast<int>(
+      json.get_number("tuning_metric", static_cast<int>(o.tuning_metric))));
+  o.target_accuracy = json.get_number("target_accuracy", o.target_accuracy);
+  o.inference_aware = json.get_bool("inference_aware", o.inference_aware);
+  o.tune_system_params =
+      json.get_bool("tune_system_params", o.tune_system_params);
+  o.tune_extended_hparams =
+      json.get_bool("tune_extended_hparams", o.tune_extended_hparams);
+  o.power_cap_w = json.get_number("power_cap_w", o.power_cap_w);
+  o.faults = faults_from_json(json.find("faults"));
+  if (const Json* retry = json.find("trial_retry")) {
+    o.trial_retry = retry_from_json(*retry);
+  }
+  o.max_trial_failure_fraction = json.get_number(
+      "max_trial_failure_fraction", o.max_trial_failure_fraction);
+  if (const Json* device = json.find("train_device")) {
+    ET_ASSIGN_OR_RETURN(o.train_device, profile_from_json(*device));
+  }
+  if (const Json* device = json.find("edge_device")) {
+    ET_ASSIGN_OR_RETURN(o.edge_device, profile_from_json(*device));
+  }
+  if (const Json* extra = json.find("extra_edge_devices");
+      extra != nullptr && extra->is_array()) {
+    for (const Json& device : extra->as_array()) {
+      ET_ASSIGN_OR_RETURN(DeviceProfile profile, profile_from_json(device));
+      o.extra_edge_devices.push_back(std::move(profile));
+    }
+  }
+  o.routine_tuning = json.get_bool("routine_tuning", o.routine_tuning);
+  o.routine_profile_path =
+      json.get_string("routine_profile_path", o.routine_profile_path);
+  o.journal_path = json.get_string("journal_path", o.journal_path);
+  o.seed = seed_from_json(json, "seed", o.seed);
+  if (const Json* inference = json.find("inference")) {
+    InferenceServerOptions& i = o.inference;
+    i.objective = static_cast<MetricOfInterest>(static_cast<int>(
+        inference->get_number("objective", static_cast<int>(i.objective))));
+    i.algorithm = inference->get_string("algorithm", i.algorithm);
+    i.max_batch = static_cast<std::int64_t>(
+        inference->get_number("max_batch", static_cast<double>(i.max_batch)));
+    i.max_memory_bytes =
+        inference->get_number("max_memory_bytes", i.max_memory_bytes);
+    i.workers = static_cast<int>(inference->get_number("workers", i.workers));
+    i.seed = seed_from_json(*inference, "seed", i.seed);
+    i.cache_path = inference->get_string("cache_path", i.cache_path);
+    i.cache_shards = static_cast<std::size_t>(inference->get_number(
+        "cache_shards", static_cast<double>(i.cache_shards)));
+    i.use_cache = inference->get_bool("use_cache", i.use_cache);
+    i.faults = faults_from_json(inference->find("faults"));
+    if (const Json* retry = inference->find("retry")) {
+      i.retry = retry_from_json(*retry);
+    }
+  }
+  if (const Json* runner = json.find("runner")) {
+    o.runner.proxy_samples = static_cast<std::int64_t>(runner->get_number(
+        "proxy_samples", static_cast<double>(o.runner.proxy_samples)));
+    o.runner.validation_fraction = runner->get_number(
+        "validation_fraction", o.runner.validation_fraction);
+    o.runner.seed = seed_from_json(*runner, "seed", o.runner.seed);
+    o.runner.momentum = runner->get_number("momentum", o.runner.momentum);
+  }
+  return o;
+}
+
+/// True when the service can manage crash durability for this job: the
+/// journal layer supports its system and it brought no conflicting
+/// journal/cache/fleet configuration of its own.
+bool journalable(const JobRequest& request) {
+  if (request.system == JobSystem::kProbe ||
+      request.system == JobSystem::kHierarchical) {
+    return false;
+  }
+  return request.options.journal_path.empty() && !request.options.fleet &&
+         !request.options.resume &&
+         request.options.inference.cache_path.empty() &&
+         request.options.inference.shared_cache == nullptr;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
 
 const char* job_state_name(JobState state) noexcept {
   switch (state) {
@@ -16,6 +265,38 @@ const char* job_state_name(JobState state) noexcept {
       return "failed";
   }
   return "?";
+}
+
+Json job_request_to_json(const JobRequest& request) {
+  JsonObject obj;
+  obj["system"] = static_cast<int>(request.system);
+  obj["power_cap_w"] = request.power_cap_w;
+  obj["tenant"] = request.tenant;
+  obj["priority"] = request.priority;
+  obj["options"] = options_to_json(request.options);
+  return Json(std::move(obj));
+}
+
+Result<JobRequest> job_request_from_json(const Json& json) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("job manifest is not a JSON object");
+  }
+  JobRequest request;
+  const int system = static_cast<int>(json.get_number("system", 0));
+  if (system < 0 || system > static_cast<int>(JobSystem::kProbe)) {
+    return Status::invalid_argument("job manifest holds unknown system " +
+                                    std::to_string(system));
+  }
+  request.system = static_cast<JobSystem>(system);
+  request.power_cap_w = json.get_number("power_cap_w", request.power_cap_w);
+  request.tenant = json.get_string("tenant", "");
+  request.priority = static_cast<int>(json.get_number("priority", 0));
+  const Json* options = json.find("options");
+  if (options == nullptr) {
+    return Status::invalid_argument("job manifest is missing options");
+  }
+  ET_ASSIGN_OR_RETURN(request.options, options_from_json(*options));
+  return request;
 }
 
 TuningJobServer::TuningJobServer(int workers, int trial_workers_per_job)
@@ -37,6 +318,76 @@ TuningJobServer::TuningJobServer(TuningServiceOptions options)
                                                 /*flush_every=*/16,
                                                 options_.shared_cache_shards);
   }
+  if (!options_.journal_dir.empty()) {
+    ::mkdir(options_.journal_dir.c_str(), 0755);  // EEXIST is the usual case
+    recover_journaled_jobs();
+  }
+}
+
+void TuningJobServer::recover_journaled_jobs() {
+  // Scan for job-<seq>.manifest.json files, sorted by name so recovered
+  // jobs re-enter the queue in their original admission order.
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(options_.journal_dir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.size() > 14 && name.rfind(".manifest.json") ==
+                                  name.size() - 14) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<JobId> recovered;
+  {
+    MutexLock lock(mutex_);
+    for (const std::string& name : names) {
+      const std::string manifest_path = options_.journal_dir + "/" + name;
+      // Keep journal_seq_ past every sequence on disk, parseable or not.
+      if (name.rfind("job-", 0) == 0) {
+        const std::uint64_t seq =
+            std::strtoull(name.c_str() + 4, nullptr, 10);
+        if (seq >= journal_seq_) journal_seq_ = seq + 1;
+      }
+      std::ifstream in(manifest_path);
+      std::ostringstream buffer;
+      if (in.good()) buffer << in.rdbuf();
+      Result<Json> parsed = Json::parse(buffer.str());
+      Result<JobRequest> request =
+          parsed.ok() ? job_request_from_json(parsed.value())
+                      : Result<JobRequest>(parsed.status());
+      if (!request.ok()) {
+        // Left in place as evidence: a manifest the server itself durably
+        // wrote should never be unreadable.
+        ET_LOG_WARN << "journal_dir manifest " << manifest_path
+                    << " is unreadable, skipping: "
+                    << request.status().to_string();
+        continue;
+      }
+      // Resume exactly when the crashed incarnation got far enough to
+      // write journal records; otherwise start the journal fresh.
+      request.value().options.resume =
+          file_exists(request.value().options.journal_path);
+      const JobId id = next_id_++;
+      Job job;
+      job.tenant = request.value().tenant.empty() ? "default"
+                                                  : request.value().tenant;
+      job.priority = request.value().priority;
+      job.manifest_path = manifest_path;
+      job.job_journal_path = request.value().options.journal_path;
+      job.request = std::move(request).value();
+      pending_.insert({-job.priority, id});
+      ++queued_;
+      ++tenant_active_[job.tenant];
+      ++counters_.recovered;
+      jobs_.emplace(id, std::move(job));
+      recovered.push_back(id);
+    }
+  }
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    pool_.submit([this] { run_next(); });
+  }
 }
 
 TuningJobServer::~TuningJobServer() {
@@ -52,9 +403,16 @@ TuningJobServer::~TuningJobServer() {
 }
 
 Result<JobId> TuningJobServer::submit(JobRequest request) {
+  if (shutdown_requested()) {
+    // Graceful shutdown: admission closes first so the queue drains (or is
+    // journaled for the next incarnation) instead of growing.
+    return Status::unavailable("server is shutting down; admission is closed");
+  }
   const std::string tenant =
       request.tenant.empty() ? "default" : request.tenant;
   JobId id = 0;
+  std::string manifest_path;
+  std::string manifest_text;
   {
     MutexLock lock(mutex_);
     ++counters_.submitted;
@@ -84,11 +442,36 @@ Result<JobId> TuningJobServer::submit(JobRequest request) {
     Job job;
     job.tenant = tenant;
     job.priority = priority;
+    if (!options_.journal_dir.empty() && journalable(request)) {
+      // Service-managed crash durability: give the job a journal beside a
+      // durable manifest of its full request. The manifest is written
+      // before this submit() returns, so an admitted job survives a crash
+      // from the caller's first moment of believing it was admitted.
+      const std::uint64_t seq = journal_seq_++;
+      const std::string stem =
+          options_.journal_dir + "/job-" + std::to_string(seq);
+      manifest_path = stem + ".manifest.json";
+      request.options.journal_path = stem + ".journal";
+      job.manifest_path = manifest_path;
+      job.job_journal_path = request.options.journal_path;
+      manifest_text = job_request_to_json(request).dump_pretty() + "\n";
+    }
     job.request = std::move(request);
     jobs_.emplace(id, std::move(job));
     pending_.insert({-priority, id});
     ++queued_;
     ++tenant_active_[tenant];
+  }
+  if (!manifest_path.empty()) {
+    // Best-effort, like every durability feature: a job whose manifest
+    // could not be written still runs (and still journals in-process); it
+    // just will not survive a service restart.
+    if (Status written = durable_write_file(manifest_path, manifest_text);
+        !written.is_ok()) {
+      ET_LOG_WARN << "job manifest write failed (job will not survive a "
+                     "restart): "
+                  << written.message();
+    }
   }
   // One generic dispatch task per admitted job: the task picks the
   // highest-priority PENDING job at run time, so a late high-priority
@@ -140,12 +523,17 @@ void TuningJobServer::run_next() {
   // re-tunes an architecture tenant A already paid for. Jobs with explicit
   // cache configuration — and fleet coordinators, whose accounting must
   // not see foreign results — keep their own.
+  // Journaled jobs are excluded too: resume parity requires a run-private
+  // cache (EdgeTune refuses the combination outright).
   if (shared_cache_ && request.options.inference.use_cache &&
       !request.options.fleet && !request.options.inference.shared_cache &&
-      request.options.inference.cache_path.empty()) {
+      request.options.inference.cache_path.empty() &&
+      request.options.journal_path.empty()) {
     request.options.inference.shared_cache = shared_cache_;
   }
   Result<TuningReport> result = execute(std::move(request));
+  std::string cleanup_manifest;
+  std::string cleanup_journal;
   {
     MutexLock lock(mutex_);
     Job& job = jobs_.at(id);
@@ -155,6 +543,17 @@ void TuningJobServer::run_next() {
     } else {
       ++counters_.failed;
     }
+    // A shutdown-cancelled job is unfinished, not failed-for-good: its
+    // manifest and journal stay on disk so the next incarnation re-admits
+    // and resumes it. Every other terminal job releases its files.
+    const bool keep_files =
+        !result.ok() && result.status().code() == StatusCode::kCancelled;
+    if (!keep_files) {
+      cleanup_manifest = std::move(job.manifest_path);
+      cleanup_journal = std::move(job.job_journal_path);
+      job.manifest_path.clear();
+      job.job_journal_path.clear();
+    }
     job.result = std::move(result);
     job.finish_seq = ++finish_counter_;
     --running_;
@@ -163,6 +562,8 @@ void TuningJobServer::run_next() {
     ++retained_terminal_;
     enforce_retention_locked();
   }
+  if (!cleanup_manifest.empty()) std::remove(cleanup_manifest.c_str());
+  if (!cleanup_journal.empty()) std::remove(cleanup_journal.c_str());
   done_cv_.notify_all();
 }
 

@@ -14,6 +14,7 @@
 #include <map>
 #include <set>
 
+#include "common/json.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "tuning/baselines.hpp"
@@ -75,7 +76,26 @@ struct TuningServiceOptions {
   std::size_t shared_cache_shards = 0;
   /// Persistence path for the shared cache (empty = in-memory).
   std::string shared_cache_path;
+  /// Per-job crash durability (DESIGN §5.9). When set, every admitted
+  /// tuning job durably writes a manifest (its full JobRequest) under this
+  /// directory and runs with a write-ahead trial journal beside it; a
+  /// restarted server re-admits every manifest still on disk and resumes
+  /// its journal, so admitted-but-unfinished jobs survive a crash or a
+  /// supervised restart. Manifest and journal are deleted when the job
+  /// reaches a terminal state (except shutdown-cancelled jobs, which are
+  /// kept for the next incarnation). Probe jobs, fleet jobs, hierarchical
+  /// jobs, and jobs that configured their own journal or cache are run
+  /// as-is, without service-managed durability.
+  std::string journal_dir;
 };
+
+/// Full-fidelity JSON encoding of a JobRequest — the journal_dir manifest
+/// format. Numbers round-trip exactly (%.17g), seeds travel as decimal
+/// strings (full uint64 range). Unserializable runtime state (a fleet
+/// coordinator, a borrowed shared cache) is refused by job_request_to_json
+/// callers: such jobs are never journaled.
+Json job_request_to_json(const JobRequest& request);
+Result<JobRequest> job_request_from_json(const Json& json);
 
 /// Monotonic counters + instantaneous gauges for observability. Counters
 /// only ever grow; gauges (queued/running/retained_terminal) are a snapshot.
@@ -87,6 +107,8 @@ struct TuningServiceStats {
   std::size_t failed = 0;
   std::size_t reaped = 0;   // results delivered via wait() and released
   std::size_t evicted = 0;  // unclaimed results dropped by max_retained
+  /// Jobs re-admitted from journal_dir manifests at construction.
+  std::size_t recovered = 0;
   std::size_t queued = 0;
   std::size_t running = 0;
   std::size_t retained_terminal = 0;
@@ -167,6 +189,11 @@ class TuningJobServer {
     JobRequest request;  // moved out at dispatch to free the queue's memory
     JobState state = JobState::kQueued;
     std::string tenant;
+    /// Service-managed durability files (journal_dir jobs only): deleted at
+    /// the terminal transition, kept when the job was shutdown-cancelled so
+    /// the next incarnation re-admits it.
+    std::string manifest_path;
+    std::string job_journal_path;
     int priority = 0;
     int trial_workers = 0;
     std::uint64_t finish_seq = 0;
@@ -181,6 +208,9 @@ class TuningJobServer {
   /// beyond the brief state transitions at entry and exit.
   void run_next() EDGETUNE_EXCLUDES(mutex_);
   static Result<TuningReport> execute(JobRequest request);
+  /// Re-admits every manifest under options_.journal_dir (constructor
+  /// only, before any dispatch task exists).
+  void recover_journaled_jobs();
   void enforce_retention_locked() EDGETUNE_REQUIRES(mutex_);
   void release_tenant_locked(const std::string& tenant)
       EDGETUNE_REQUIRES(mutex_);
@@ -201,6 +231,9 @@ class TuningJobServer {
   std::map<std::string, std::size_t> tenant_active_
       EDGETUNE_GUARDED_BY(mutex_);
   JobId next_id_ EDGETUNE_GUARDED_BY(mutex_) = 1;
+  /// Filename sequence for journal_dir manifests; seeded past the largest
+  /// sequence found on disk so recovered and new jobs never collide.
+  std::uint64_t journal_seq_ EDGETUNE_GUARDED_BY(mutex_) = 1;
   std::uint64_t finish_counter_ EDGETUNE_GUARDED_BY(mutex_) = 0;
   std::size_t queued_ EDGETUNE_GUARDED_BY(mutex_) = 0;
   std::size_t running_ EDGETUNE_GUARDED_BY(mutex_) = 0;

@@ -1,0 +1,384 @@
+#include "tuning/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+
+#include "common/durable_io.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "device/profile_io.hpp"
+#include "tuning/fleet.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+
+namespace {
+
+constexpr const char* kMagic = "edgetune-journal";
+constexpr int kVersion = 1;
+/// Frame sanity cap: a length prefix beyond this is garbage (a torn length
+/// word), not a record — real payloads are a few hundred bytes.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+std::string errno_text() {
+  return std::strerror(errno) != nullptr ? std::strerror(errno) : "unknown";
+}
+
+/// EINTR-safe full write at the current file offset.
+Status write_all_fd(int fd, const char* data, std::size_t len,
+                    const std::string& path) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::io("journal " + path + ": write failed: " + errno_text());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+void put_u32_be(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t get_u32_be(const char* p) noexcept {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+/// Frames one payload: [len][crc][payload].
+std::string frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  put_u32_be(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32_be(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+Json header_json(const EdgeTuneOptions& options) {
+  JsonObject obj;
+  obj["magic"] = kMagic;
+  obj["version"] = kVersion;
+  obj["fingerprint"] = journal_fingerprint(options);
+  // Decimal string, not a JSON number: seeds use the full uint64 range and
+  // doubles hold only 2^53 (same convention as measurement_fingerprint).
+  obj["seed"] = std::to_string(options.seed);
+  return Json(std::move(obj));
+}
+
+/// Splits `bytes` into the payloads of every intact record. Recovery is
+/// torn-tail tolerant BY CONSTRUCTION: parsing stops at the first frame that
+/// is short, oversized, or fails its CRC, and `*good_end` is the offset just
+/// past the last intact record — a crash mid-append loses at most the record
+/// being written.
+std::vector<std::string> split_records(const std::string& bytes,
+                                       std::size_t* good_end) {
+  std::vector<std::string> payloads;
+  std::size_t off = 0;
+  while (off + 8 <= bytes.size()) {
+    const std::uint32_t len = get_u32_be(bytes.data() + off);
+    if (len > kMaxRecordBytes || off + 8 + len > bytes.size()) break;
+    const std::uint32_t want = get_u32_be(bytes.data() + off + 4);
+    if (crc32(bytes.data() + off + 8, len) != want) break;
+    payloads.emplace_back(bytes.data() + off + 8, len);
+    off += 8 + len;
+  }
+  *good_end = off;
+  return payloads;
+}
+
+Status validate_header(const std::string& payload,
+                       const EdgeTuneOptions& options,
+                       const std::string& path) {
+  Result<Json> parsed = Json::parse(payload);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return Status::failed_precondition("journal " + path +
+                                       ": header record is not valid JSON");
+  }
+  const Json& h = parsed.value();
+  if (h.get_string("magic", "") != kMagic) {
+    return Status::failed_precondition("journal " + path +
+                                       ": not an edgetune trial journal");
+  }
+  const int version = static_cast<int>(h.get_number("version", 0));
+  if (version != kVersion) {
+    return Status::failed_precondition(
+        "journal " + path + ": version " + std::to_string(version) +
+        " is not the supported version " + std::to_string(kVersion));
+  }
+  const std::string want_fp = journal_fingerprint(options);
+  const std::string got_fp = h.get_string("fingerprint", "");
+  const std::string want_seed = std::to_string(options.seed);
+  const std::string got_seed = h.get_string("seed", "");
+  if (got_fp != want_fp || got_seed != want_seed) {
+    return Status::failed_precondition(
+        "journal " + path + ": header (fingerprint " + got_fp + ", seed " +
+        got_seed + ") does not match this run (fingerprint " + want_fp +
+        ", seed " + want_seed +
+        "): resuming under different options or seed would splice two "
+        "different searches into one report; re-run with the original "
+        "flags, or delete the journal to start over");
+  }
+  return Status::ok();
+}
+
+Result<JournalRecord> decode_record(const std::string& payload,
+                                    std::size_t index,
+                                    const std::string& path) {
+  Result<Json> parsed = Json::parse(payload);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return Status::failed_precondition("journal " + path + ": record " +
+                                       std::to_string(index) +
+                                       " is not valid JSON");
+  }
+  const Json* key = parsed.value().find("key");
+  const Json* m = parsed.value().find("m");
+  if (key == nullptr || !key->is_string() || m == nullptr) {
+    return Status::failed_precondition("journal " + path + ": record " +
+                                       std::to_string(index) +
+                                       " is missing key/measurement");
+  }
+  JournalRecord record;
+  record.key = key->as_string();
+  ET_ASSIGN_OR_RETURN(record.measurement, trial_measurement_from_json(*m));
+  return record;
+}
+
+/// Reads the whole file through fd. Size is unknown in advance only for
+/// special files; journals are regular, but a simple read loop covers both.
+Result<std::string> read_file_fd(int fd, const std::string& path) {
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::io("journal " + path + ": read failed: " + errno_text());
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  return bytes;
+}
+
+/// Shared recovery: open, read, validate header, decode intact records.
+/// `good_end` lets resume() truncate the torn tail it stopped at.
+Result<std::vector<JournalRecord>> recover(int fd, const std::string& path,
+                                           const EdgeTuneOptions& options,
+                                           std::size_t* good_end) {
+  ET_ASSIGN_OR_RETURN(const std::string bytes, read_file_fd(fd, path));
+  std::vector<std::string> payloads = split_records(bytes, good_end);
+  if (payloads.empty()) {
+    return Status::failed_precondition(
+        "journal " + path +
+        ": no intact header record (empty or torn at the very start); "
+        "delete it to start over");
+  }
+  ET_RETURN_IF_ERROR(validate_header(payloads.front(), options, path));
+  std::vector<JournalRecord> records;
+  records.reserve(payloads.size() - 1);
+  for (std::size_t i = 1; i < payloads.size(); ++i) {
+    ET_ASSIGN_OR_RETURN(JournalRecord record,
+                        decode_record(payloads[i], i - 1, path));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string journal_fingerprint(const EdgeTuneOptions& options) {
+  // Everything measurement_fingerprint covers, plus the search/report-side
+  // options it excludes on purpose (a fleet worker may differ in them; a
+  // resumed run must not). trial_workers is report-shaping: it drives TPE's
+  // constant-liar batching and the makespan accounting.
+  //
+  // Journal-layer fault sites are excluded first: crash.after_commit kills
+  // the process and journal.append/journal.fsync perturb journal IO — none
+  // of them change what a trial measures, and the whole point of a crash
+  // drill is to resume WITHOUT the kill switch still armed.
+  // Canonicalize first: raw options and the constructor-normalized form the
+  // model server actually runs with must fingerprint identically, or a
+  // journal written inside run() would refuse its own flags read back by a
+  // tool (normalize_options is idempotent, so running it again is safe).
+  EdgeTuneOptions measured = normalize_options(options);
+  const auto strip_journal_sites = [](std::vector<FaultSpec>& plan) {
+    plan.erase(
+        std::remove_if(plan.begin(), plan.end(),
+                       [](const FaultSpec& spec) {
+                         return spec.site == fault_site::kCrashAfterCommit ||
+                                spec.site == fault_site::kJournalAppend ||
+                                spec.site == fault_site::kJournalFsync;
+                       }),
+        plan.end());
+  };
+  strip_journal_sites(measured.faults);
+  // EdgeTune's option normalization mirrors an empty inference fault plan
+  // from the trial-level one, so the crash spec leaks in there too.
+  strip_journal_sites(measured.inference.faults);
+  JsonObject obj;
+  obj["measurement"] = measurement_fingerprint(measured);
+  obj["search_algorithm"] = options.search_algorithm;
+  obj["hyperband_min"] = options.hyperband.min_resource;
+  obj["hyperband_max"] = options.hyperband.max_resource;
+  obj["hyperband_eta"] = options.hyperband.eta;
+  obj["hyperband_brackets"] = options.hyperband.max_brackets;
+  obj["random_trials"] = options.random_trials;
+  obj["trial_workers"] = options.trial_workers;
+  obj["objective_mode"] = static_cast<int>(options.objective_mode);
+  obj["tuning_metric"] = static_cast<int>(options.tuning_metric);
+  obj["target_accuracy"] = options.target_accuracy;
+  obj["tune_system_params"] = options.tune_system_params;
+  obj["tune_extended_hparams"] = options.tune_extended_hparams;
+  obj["power_cap_w"] = options.power_cap_w;
+  obj["max_trial_failure_fraction"] = options.max_trial_failure_fraction;
+  obj["routine_tuning"] = options.routine_tuning;
+  obj["routine_profile_path"] = options.routine_profile_path;
+  JsonArray extra;
+  extra.reserve(options.extra_edge_devices.size());
+  for (const DeviceProfile& device : options.extra_edge_devices) {
+    extra.push_back(profile_to_json(device));
+  }
+  obj["extra_edge_devices"] = Json(std::move(extra));
+  // Full device profiles: measurement_fingerprint's device summary omits a
+  // few fields (e.g. num_gpus) that a custom device file could change.
+  obj["train_device"] = profile_to_json(options.train_device);
+  obj["edge_device"] = profile_to_json(options.edge_device);
+
+  const std::string text = Json(std::move(obj)).dump();
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    stable_hash64(text.data(), text.size())));
+  return std::string(buf);
+}
+
+TrialJournal::TrialJournal(int fd, std::string path, std::size_t records,
+                           FaultInjector injector)
+    : fd_(fd),
+      path_(std::move(path)),
+      records_(records),
+      injector_(std::move(injector)) {}
+
+TrialJournal::~TrialJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<TrialJournal>> TrialJournal::create(
+    const std::string& path, const EdgeTuneOptions& options,
+    const FaultInjector& injector) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::io("journal " + path + ": open failed: " + errno_text());
+  }
+  std::unique_ptr<TrialJournal> journal(
+      new TrialJournal(fd, path, 0, injector));
+  const std::string header = frame(header_json(options).dump());
+  ET_RETURN_IF_ERROR(write_all_fd(fd, header.data(), header.size(), path));
+  // The header is durable before any trial runs: a journal that exists
+  // always identifies its run, so a resume can never misread whose records
+  // it is replaying.
+  if (::fsync(fd) != 0) {
+    return Status::io("journal " + path + ": fsync failed: " + errno_text());
+  }
+  ET_RETURN_IF_ERROR(fsync_parent_dir(path));
+  return journal;
+}
+
+Result<std::unique_ptr<TrialJournal>> TrialJournal::resume(
+    const std::string& path, const EdgeTuneOptions& options,
+    const FaultInjector& injector, std::vector<JournalRecord>* replay) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::not_found("journal " + path +
+                             ": open failed: " + errno_text() +
+                             " (resume requires an existing journal)");
+  }
+  std::size_t good_end = 0;
+  Result<std::vector<JournalRecord>> records =
+      recover(fd, path, options, &good_end);
+  if (!records.ok()) {
+    ::close(fd);
+    return records.status();
+  }
+  // Drop the torn tail so appends continue a clean record sequence.
+  if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    const std::string detail = errno_text();
+    ::close(fd);
+    return Status::io("journal " + path +
+                      ": truncating torn tail failed: " + detail);
+  }
+  *replay = std::move(records.value());
+  return std::unique_ptr<TrialJournal>(
+      new TrialJournal(fd, path, replay->size(), injector));
+}
+
+Result<std::vector<JournalRecord>> TrialJournal::read_all(
+    const std::string& path, const EdgeTuneOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::not_found("journal " + path +
+                             ": open failed: " + errno_text());
+  }
+  std::size_t good_end = 0;
+  Result<std::vector<JournalRecord>> records =
+      recover(fd, path, options, &good_end);
+  ::close(fd);
+  return records;
+}
+
+Status TrialJournal::append_trial(const std::string& key,
+                            const TrialMeasurement& measurement) {
+  ET_RETURN_IF_ERROR(injector_.fire(fault_site::kJournalAppend,
+                                    std::to_string(records_)));
+  JsonObject obj;
+  obj["key"] = key;
+  obj["m"] = trial_measurement_to_json(measurement);
+  const std::string framed = frame(Json(std::move(obj)).dump());
+  ET_RETURN_IF_ERROR(write_all_fd(fd_, framed.data(), framed.size(), path_));
+  ++records_;
+  if (++unsynced_ >= kFsyncEvery) {
+    // Best-effort batched durability: an fsync failure costs power-loss
+    // protection for recent records, never the run (warned + counted; the
+    // records themselves are already in the page cache).
+    const Status synced = sync();
+    if (!synced.is_ok()) {
+      if (fsync_failures_ == 1) {
+        ET_LOG_WARN << "journal " << path_
+                    << ": batched fsync failed (continuing unsynced): "
+                    << synced.message();
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status TrialJournal::sync() {
+  unsynced_ = 0;
+  const std::size_t index = sync_index_++;
+  Status status =
+      injector_.fire(fault_site::kJournalFsync, std::to_string(index));
+  if (status.is_ok() && ::fsync(fd_) != 0) {
+    status = Status::io("journal " + path_ +
+                        ": fsync failed: " + errno_text());
+  }
+  if (!status.is_ok()) ++fsync_failures_;
+  return status;
+}
+
+}  // namespace edgetune

@@ -1,0 +1,122 @@
+// The write-ahead trial journal (DESIGN §5.9).
+//
+// An append-only, CRC-checksummed record log of every trial the model
+// server COMMITS, written before the trial's accounting is applied. Because
+// the report is a pure function of (options, seed) and measurements are
+// content-pure (DESIGN §5.5), a crashed run can be resumed exactly: replay
+// the journaled measurements through the same commit walk, re-measure only
+// the missing tail, and the final report is byte-identical to the
+// uninterrupted run.
+//
+// On-disk format — a header record followed by trial records, all framed
+//
+//   [u32 BE payload length][u32 BE CRC-32 of payload][payload JSON]
+//
+// with the same %.17g JSON number marshaling as report_io / net/messages,
+// so doubles round-trip bit-exactly. The header carries a fingerprint over
+// every report-shaping option plus the seed; resuming against different
+// options is refused (kFailedPrecondition) instead of silently producing a
+// franken-report. Recovery is torn-tail tolerant: the first record with a
+// short frame or CRC mismatch ends the journal — everything before it
+// replays, the tail is truncated, and appends continue from there.
+//
+// Appends hit the page cache immediately (raw write(2), no userspace
+// buffering), so records survive a process kill the instant append()
+// returns; fsync — which only matters for power loss — is batched every
+// kFsyncEvery records. Both paths carry fault sites (journal.append /
+// journal.fsync) keyed by record index, which is scheduling-independent:
+// injected journal faults are identical at any --trial-workers count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "tuning/model_server.hpp"
+
+namespace edgetune {
+
+/// Exit code of the deterministic crash.after_commit kill point (and of a
+/// SIGKILLed process): distinct from 1 (failure) and 2 (usage) so crash
+/// harnesses can tell "aborted as planned" from "actually broke".
+inline constexpr int kCrashExitCode = 137;
+
+/// One committed trial: its content key (trial_content_key of the request,
+/// validated against the resumed search's own sequence during replay) and
+/// the raw measurement.
+struct JournalRecord {
+  std::string key;
+  TrialMeasurement measurement;
+};
+
+/// Stable hex fingerprint over every option that shapes the report: the
+/// measurement fingerprint (fleet.hpp) plus the search/report-side options
+/// it deliberately excludes (algorithm, HyperBand shape, trial_workers,
+/// objective mode, target accuracy, power cap, extra devices, ...). Two
+/// runs with equal journal fingerprints and seeds commit the identical
+/// trial sequence, which is exactly what replay assumes.
+std::string journal_fingerprint(const EdgeTuneOptions& options);
+
+class TrialJournal {
+ public:
+  ~TrialJournal();
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+  /// Starts a fresh journal at `path` (truncating any previous one) and
+  /// durably writes the header record before returning: a journal that
+  /// exists always identifies its run.
+  static Result<std::unique_ptr<TrialJournal>> create(
+      const std::string& path, const EdgeTuneOptions& options,
+      const FaultInjector& injector);
+
+  /// Opens an existing journal for resume: validates the header against
+  /// `options` (fingerprint + seed mismatch → kFailedPrecondition), reads
+  /// every intact record into `*replay`, truncates a torn tail, and
+  /// positions the journal to append after the last good record.
+  static Result<std::unique_ptr<TrialJournal>> resume(
+      const std::string& path, const EdgeTuneOptions& options,
+      const FaultInjector& injector, std::vector<JournalRecord>* replay);
+
+  /// Read-only variant of resume's recovery (no truncation, no append
+  /// position): the records an on-disk journal would replay. Test and
+  /// tooling hook.
+  static Result<std::vector<JournalRecord>> read_all(
+      const std::string& path, const EdgeTuneOptions& options);
+
+  /// Appends one committed trial. The record is in the OS page cache when
+  /// this returns (kill-safe); every kFsyncEvery appends it is also
+  /// fsynced (power-loss-safe). An error means the record was NOT written —
+  /// the caller must stop appending (a journal with holes would refuse to
+  /// replay) but may well keep tuning: journaling is best-effort.
+  [[nodiscard]] Status append_trial(const std::string& key,
+                              const TrialMeasurement& measurement);
+
+  /// Forces an fsync now (end of run, shutdown signal, crash site).
+  [[nodiscard]] Status sync();
+
+  /// Records in the journal right now (replayed + appended).
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+  /// fsync failures so far (best-effort: counted and warned, never fatal).
+  [[nodiscard]] std::size_t fsync_failures() const noexcept {
+    return fsync_failures_;
+  }
+
+  /// Batched-fsync cadence, exposed for tests that target journal.fsync.
+  static constexpr std::size_t kFsyncEvery = 8;
+
+ private:
+  TrialJournal(int fd, std::string path, std::size_t records,
+               FaultInjector injector);
+
+  int fd_;
+  std::string path_;
+  std::size_t records_;            // next record index == fault key
+  std::size_t unsynced_ = 0;       // appends since the last fsync
+  std::size_t sync_index_ = 0;     // journal.fsync fault key
+  std::size_t fsync_failures_ = 0;
+  FaultInjector injector_;
+};
+
+}  // namespace edgetune

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 
 #include "common/log.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "common/shutdown.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tuning/billing.hpp"
 #include "tuning/fleet.hpp"
+#include "tuning/journal.hpp"
 
 namespace edgetune {
 
@@ -32,25 +35,33 @@ ParamSpec workload_model_hparam_spec(WorkloadKind kind) {
   return ParamSpec::real("model_hparam", 0, 1);
 }
 
+EdgeTuneOptions normalize_options(EdgeTuneOptions options) {
+  EdgeTuneOptions o = std::move(options);
+  o.runner.workload = o.workload;
+  o.runner.train_device = o.train_device;
+  if (o.runner.seed == TrialRunnerOptions{}.seed) {
+    o.runner.seed = o.seed;
+  }
+  // One --inject-fault plan covers the whole pipeline: forward it to
+  // the inference server's sites unless that server was configured
+  // with its own plan explicitly.
+  if (o.inference.faults.empty()) o.inference.faults = o.faults;
+  return o;
+}
+
 EdgeTune::EdgeTune(EdgeTuneOptions options)
-    : options_([&] {
-        EdgeTuneOptions o = std::move(options);
-        o.runner.workload = o.workload;
-        o.runner.train_device = o.train_device;
-        if (o.runner.seed == TrialRunnerOptions{}.seed) {
-          o.runner.seed = o.seed;
-        }
-        // One --inject-fault plan covers the whole pipeline: forward it to
-        // the inference server's sites unless that server was configured
-        // with its own plan explicitly.
-        if (o.inference.faults.empty()) o.inference.faults = o.faults;
-        return o;
-      }()),
+    : options_(normalize_options(std::move(options))),
       fault_injector_(options_.seed, options_.faults),
       runner_(options_.runner),
       inference_server_(options_.edge_device, options_.inference) {
   // Process-wide: the kernel substrate has one pool shared by every layer.
   set_intra_op_threads(options_.intra_op_threads);
+}
+
+EdgeTune::~EdgeTune() = default;
+
+std::size_t EdgeTune::journal_fsync_failures() const noexcept {
+  return journal_ ? journal_->fsync_failures() : 0;
 }
 
 SearchSpace EdgeTune::model_search_space() const {
@@ -154,6 +165,51 @@ Result<TuningReport> EdgeTune::run() {
     return Status::invalid_argument(
         "fleet execution does not support a shared historical cache");
   }
+  const bool journaling = !options_.journal_path.empty();
+  if (!journaling && options_.resume) {
+    return Status::invalid_argument(
+        "resume requires a journal path (--journal)");
+  }
+  if (journaling && options_.fleet) {
+    return Status::invalid_argument(
+        "the trial journal is not supported in fleet mode; run the "
+        "journaled job single-process (fleet measurement is already "
+        "loss-tolerant on its own)");
+  }
+  if (journaling && (!options_.inference.cache_path.empty() ||
+                     options_.inference.shared_cache != nullptr)) {
+    // A crashed run's persistent/shared cache mutations would survive into
+    // the resumed run: a re-measured tail trial could hit an entry the
+    // uninterrupted run paid a miss for, breaking byte parity.
+    return Status::invalid_argument(
+        "the trial journal requires a run-private in-memory cache "
+        "(drop --cache-file / the shared service cache)");
+  }
+  journal_.reset();
+  replay_.clear();
+  replay_cursor_ = 0;
+  journal_replayed_ = 0;
+  journal_measured_ = 0;
+  journal_append_failures_ = 0;
+  journal_error_ = Status::ok();
+  journal_disabled_ = false;
+  interrupted_ = false;
+  if (journaling) {
+    if (options_.resume) {
+      ET_ASSIGN_OR_RETURN(journal_,
+                          TrialJournal::resume(options_.journal_path, options_,
+                                               fault_injector_, &replay_));
+    } else {
+      ET_ASSIGN_OR_RETURN(journal_,
+                          TrialJournal::create(options_.journal_path, options_,
+                                               fault_injector_));
+    }
+  }
+  // Deterministic kill point: commit index to hard-abort at (0 = disabled).
+  const int crash_after =
+      fault_injector_.fail_first(fault_site::kCrashAfterCommit);
+  std::size_t commits = 0;
+
   ET_ASSIGN_OR_RETURN(std::unique_ptr<BudgetPolicy> policy,
                       make_budget_policy(options_.budget_policy));
   SearchSpace space = model_search_space();
@@ -218,13 +274,53 @@ Result<TuningReport> EdgeTune::run() {
       [&](const std::vector<EvalRequest>& batch) -> std::vector<double> {
     // --- Measure.
     std::vector<TrialMeasurement> meas(batch.size());
+    std::vector<char> replayed(batch.size(), 0);
+    if (shutdown_requested()) interrupted_ = true;
+    if (interrupted_ || !journal_error_.is_ok()) {
+      // A shutdown signal or a journal replay error poisons the rest of the
+      // search: return all-infinite objectives without measuring so the
+      // algorithm winds down, and let run() surface the real status.
+      return std::vector<double>(batch.size(),
+                                 std::numeric_limits<double>::infinity());
+    }
+    // Serial measurement honors a shutdown signal between trials; commits
+    // from this cut onward are abandoned (never accounted, never
+    // journaled), so a resumed run re-measures exactly from the cut.
+    std::size_t measured_upto = batch.size();
     if (!state.target_reached) {
+      // Replay prefix (resume): trials the crashed run already committed
+      // are served from the journal instead of re-measured. Commit order is
+      // deterministic and committed trials form a prefix of each batch, so
+      // the journal's record sequence must equal this search's own request
+      // sequence — validated per record via the content key.
+      bool reached = false;
+      for (std::size_t i = 0;
+           i < batch.size() && replay_cursor_ < replay_.size() && !reached;
+           ++i) {
+        const JournalRecord& record = replay_[replay_cursor_];
+        const std::string key = trial_content_key(batch[i]);
+        if (record.key != key) {
+          journal_error_ = Status::failed_precondition(
+              "journal " + options_.journal_path + ": record " +
+              std::to_string(replay_cursor_) + " holds trial '" + record.key +
+              "' where this search schedules '" + key +
+              "': the journal was written by a different run");
+          return std::vector<double>(batch.size(),
+                                     std::numeric_limits<double>::infinity());
+        }
+        meas[i] = record.measurement;
+        replayed[i] = 1;
+        ++replay_cursor_;
+        ++journal_replayed_;
+        if (triggers_target(meas[i])) reached = true;
+      }
       if (options_.fleet) {
         meas = options_.fleet->measure_batch(batch);
       } else if (pool && batch.size() > 1) {
         std::vector<std::future<void>> pending;
         pending.reserve(batch.size());
         for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (replayed[i] != 0) continue;
           pending.push_back(
               pool->submit([&, i] { meas[i] = measure_one(batch[i]); }));
         }
@@ -234,14 +330,23 @@ Result<TuningReport> EdgeTune::run() {
         // target-accuracy trigger skip at zero cost. The commit walk below
         // recomputes the same prefix, so parallel and fleet runs (which
         // measure eagerly) account the identical trial set.
-        bool reached = false;
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (reached) continue;
+          if (replayed[i] != 0 || reached) continue;
+          if (shutdown_requested()) {
+            interrupted_ = true;
+            measured_upto = i;
+            break;
+          }
           meas[i] = measure_one(batch[i]);
           if (triggers_target(meas[i])) reached = true;
         }
       }
     }
+    // Pool and fleet paths measure the whole batch; a signal that arrived
+    // meanwhile still stops the search here, after everything measured was
+    // committed — the journal then holds the full batch and resume replays
+    // it without re-measuring.
+    if (shutdown_requested()) interrupted_ = true;
 
     // --- Account, step 1: the serially-executed prefix. Trials a serial
     // run would never have reached (target already hit) are discarded
@@ -251,6 +356,7 @@ Result<TuningReport> EdgeTune::run() {
       bool reached = state.target_reached;
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (reached) continue;
+        if (i >= measured_upto) break;
         executed[i] = 1;
         if (triggers_target(meas[i])) reached = true;
       }
@@ -306,6 +412,43 @@ Result<TuningReport> EdgeTune::run() {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (executed[i] == 0) continue;
       const TrialMeasurement& m = meas[i];
+      // Journal the committed trial BEFORE its accounting is applied: after
+      // a crash anywhere past this append, a resumed run replays the
+      // identical measurement instead of re-measuring. An append failure
+      // disables journaling for the rest of the run — the journal stays a
+      // valid resumable prefix (holes would poison replay) and tuning
+      // itself never fails over durability.
+      if (journal_ && replayed[i] == 0) {
+        ++journal_measured_;
+        if (!journal_disabled_) {
+          const Status appended =
+              journal_->append_trial(trial_content_key(batch[i]), m);
+          if (!appended.is_ok()) {
+            journal_disabled_ = true;
+            ++journal_append_failures_;
+            ET_LOG_WARN << "trial journal disabled for the rest of the run: "
+                        << appended.message();
+          }
+        }
+      }
+      ++commits;
+      if (crash_after > 0 && commits == static_cast<std::size_t>(crash_after)) {
+        // Deterministic kill point (crash.after_commit): hard-abort the
+        // whole process after the Nth commit. Replayed commits count, so
+        // "kill at N" composes with resume the way an operator expects.
+        const Status fired = fault_injector_.fire(
+            fault_site::kCrashAfterCommit, std::to_string(commits), 0);
+        if (journal_) {
+          const Status synced = journal_->sync();
+          if (!synced.is_ok()) {
+            ET_LOG_WARN << "journal sync before crash-point abort failed: "
+                        << synced.message();
+          }
+        }
+        ET_LOG_WARN << "crash.after_commit: hard-aborting after commit "
+                    << commits << " (" << fired.message() << ")";
+        std::_Exit(kCrashExitCode);
+      }
       if (!m.setup_status.is_ok()) {
         note_error(m.setup_status);
         continue;  // no log entry; the objective stays infinite
@@ -438,6 +581,26 @@ Result<TuningReport> EdgeTune::run() {
 
   Rng rng(options_.seed);
   SearchResult result = algorithm->optimize_batch(batch_eval, rng);
+  if (interrupted_) {
+    if (journal_) {
+      const Status synced = journal_->sync();
+      if (!synced.is_ok()) {
+        ET_LOG_WARN << "journal sync on shutdown failed: " << synced.message();
+      }
+    }
+    return Status::cancelled(
+        std::string("tuning interrupted by shutdown signal") +
+        (journal_ ? "; resume from the journal to continue" : ""));
+  }
+  if (!journal_error_.is_ok()) return journal_error_;
+  if (journal_ && replay_cursor_ < replay_.size()) {
+    return Status::failed_precondition(
+        "journal " + options_.journal_path + " holds " +
+        std::to_string(replay_.size()) +
+        " records but this search committed only " +
+        std::to_string(replay_cursor_) +
+        " trials: the journal was written by a different run");
+  }
   report.best_accuracy = state.best_accuracy;
   report.first_error = state.first_error;
   if (!std::isfinite(result.best_objective)) {
@@ -482,6 +645,14 @@ Result<TuningReport> EdgeTune::run() {
           best_arch.id);
     }
     report.inference = it->second;
+  } else if (journal_replayed_ > 0 && options_.inference.use_cache &&
+             state.canonical.count(best_arch.id) > 0) {
+    // A resumed run's live cache never saw the replayed trials, so the
+    // final probe could MISS where the uninterrupted run HIT. The canonical
+    // record is byte-identical to what a serial run's final cache probe
+    // returns (the fleet branch above rides the same equivalence), so
+    // serving it restores parity.
+    report.inference = state.canonical.at(best_arch.id);
   } else {
     ET_ASSIGN_OR_RETURN(report.inference, inference_server_.tune(best_arch));
   }
@@ -533,6 +704,14 @@ Result<TuningReport> EdgeTune::run() {
   }
   report.cache_hits = state.cache_hits;
   report.cache_misses = state.cache_misses;
+  if (journal_) {
+    // Close out durability for the tail records below the batched-fsync
+    // threshold. Best-effort, like every journal degradation.
+    const Status synced = journal_->sync();
+    if (!synced.is_ok()) {
+      ET_LOG_WARN << "final journal sync failed: " << synced.message();
+    }
+  }
   return report;
 }
 

@@ -17,6 +17,8 @@
 namespace edgetune {
 
 class FleetCoordinator;  // tuning/fleet.hpp
+class TrialJournal;      // tuning/journal.hpp
+struct JournalRecord;    // tuning/journal.hpp
 
 /// How the model server scores a trial.
 enum class ObjectiveMode {
@@ -120,6 +122,19 @@ struct EdgeTuneOptions {
   /// timings persist across runs with the HistoricalCache discipline.
   std::string routine_profile_path;
 
+  /// Write-ahead trial journal (DESIGN §5.9). When set, every committed
+  /// trial is appended to this file BEFORE its accounting is applied, so a
+  /// crashed or killed run can be resumed exactly. Incompatible with fleet
+  /// execution and with persistent/shared historical caches: a crashed
+  /// run's cache mutations would leak into the resumed run's measurements
+  /// and break the byte-parity guarantee.
+  std::string journal_path;
+  /// Resume from the existing journal at journal_path: already-journaled
+  /// trials are replayed instead of re-measured (the header's options
+  /// fingerprint and seed must match), only the missing tail is measured,
+  /// and the final report is byte-identical to the uninterrupted run's.
+  bool resume = false;
+
   InferenceServerOptions inference;
   TrialRunnerOptions runner;
 
@@ -208,9 +223,17 @@ struct TuningReport {
   Status first_error;               // first trial failure seen, if any
 };
 
+/// The canonical form EdgeTune's constructor works from: the runner
+/// inherits the workload/train-device/seed, and a single --inject-fault
+/// plan is mirrored to the inference server unless it has its own.
+/// Idempotent — journal_fingerprint canonicalizes through this too, so raw
+/// and constructor-normalized options fingerprint identically.
+EdgeTuneOptions normalize_options(EdgeTuneOptions options);
+
 class EdgeTune {
  public:
   explicit EdgeTune(EdgeTuneOptions options);
+  ~EdgeTune();  // out of line: TrialJournal is incomplete here
 
   /// Runs the complete tuning job (Alg. 1).
   [[nodiscard]] Result<TuningReport> run();
@@ -233,11 +256,40 @@ class EdgeTune {
     return inference_server_;
   }
 
+  /// Journal accounting, valid after run() with journal_path set. Replayed
+  /// counts trials served from the journal; measured counts trials freshly
+  /// measured AND committed this run — so a resume after a crash at commit
+  /// k of T reports replayed == k and measured == T - k (eagerly-measured-
+  /// but-discarded parallel trials are excluded: committed work is the
+  /// scheduling-independent quantity).
+  [[nodiscard]] std::size_t journal_replayed() const noexcept {
+    return journal_replayed_;
+  }
+  [[nodiscard]] std::size_t journal_measured() const noexcept {
+    return journal_measured_;
+  }
+  /// Best-effort journal degradations (counted and warned, never fatal).
+  [[nodiscard]] std::size_t journal_append_failures() const noexcept {
+    return journal_append_failures_;
+  }
+  [[nodiscard]] std::size_t journal_fsync_failures() const noexcept;
+
  private:
   EdgeTuneOptions options_;
   FaultInjector fault_injector_;  // fires at trial.train
   TrialRunner runner_;
   InferenceTuningServer inference_server_;
+
+  // Journal/resume state, owned by run()'s single-threaded commit walk.
+  std::unique_ptr<TrialJournal> journal_;
+  std::vector<JournalRecord> replay_;
+  std::size_t replay_cursor_ = 0;
+  std::size_t journal_replayed_ = 0;
+  std::size_t journal_measured_ = 0;
+  std::size_t journal_append_failures_ = 0;
+  Status journal_error_;
+  bool journal_disabled_ = false;
+  bool interrupted_ = false;
 };
 
 /// Per-workload model-hyperparameter spec (§5.1): layers / embed dim /

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_io.hpp"
 #include "common/fault.hpp"
 
 namespace edgetune {
@@ -256,10 +257,9 @@ Result<TuningReport> report_from_json(const Json& json) {
 }
 
 Status save_report(const TuningReport& report, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.good()) return Status::io("cannot open " + path + " for writing");
-  out << report_to_json(report).dump_pretty() << '\n';
-  return out.good() ? Status::ok() : Status::io("short write to " + path);
+  // Durable (common/durable_io.hpp): a crash while archiving a finished run
+  // must not leave a truncated report where a good one stood.
+  return durable_write_file(path, report_to_json(report).dump_pretty() + "\n");
 }
 
 Result<TuningReport> load_report(const std::string& path) {

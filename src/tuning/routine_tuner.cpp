@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/durable_io.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
@@ -367,23 +368,11 @@ Status RoutineProfileStore::save_locked() const {
   for (const auto& [key, timings] : entries_) {
     root.emplace(key, timings_to_json(timings));
   }
-  // Write-to-temp + rename, like HistoricalCache: a crash mid-write leaves
-  // the previous profile intact instead of a truncated one.
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.good()) {
-      return Status::io("cannot write routine profile to " + tmp);
-    }
-    out << Json(std::move(root)).dump_pretty() << '\n';
-    if (!out.good()) {
-      return Status::io("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::io("cannot rename " + tmp + " to " + path_);
-  }
+  // Durable write-to-temp + fsync + rename, like HistoricalCache: a crash
+  // mid-write leaves the previous profile intact, and the rename is only
+  // published once the new bytes are on stable storage.
+  ET_RETURN_IF_ERROR(
+      durable_write_file(path_, Json(std::move(root)).dump_pretty() + "\n"));
   dirty_ = 0;
   return Status::ok();
 }

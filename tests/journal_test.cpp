@@ -1,0 +1,467 @@
+// Crash-durability tests for the write-ahead trial journal (DESIGN §5.9):
+// header fingerprint refusal, torn-tail recovery over a bit-flip and
+// short-write corpus, deterministic replay, the kill-index sweep (a journal
+// truncated after k of T commits resumes to the byte-identical report while
+// re-measuring exactly T-k trials, at trial-workers 1 and 4), best-effort
+// append/fsync fault behavior, and job-server restart re-admission from
+// journal_dir manifests.
+//
+// The sweep here rewrites journal prefixes in-process (a crash after commit
+// k leaves exactly the first k records — create+append_trial reproduces
+// that file byte-for-byte minus fsync timing, which is not on disk anyway).
+// The REAL kill path — SIGKILL mid-run via the crash.after_commit fault
+// site, exit 137, resume in a fresh process — is exercised end-to-end by
+// tools/run_crash_torture and the CI crash-smoke job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "tuning/baselines.hpp"
+#include "tuning/job_server.hpp"
+#include "tuning/journal.hpp"
+#include "tuning/model_server.hpp"
+#include "tuning/report_io.hpp"
+
+namespace edgetune {
+namespace {
+
+EdgeTuneOptions small_options(std::uint64_t seed = 3) {
+  EdgeTuneOptions options;
+  options.workload = WorkloadKind::kNlp;
+  options.search_algorithm = "random";
+  options.random_trials = 5;
+  options.runner.proxy_samples = 300;
+  options.inference.algorithm = "grid";
+  options.seed = seed;
+  return options;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TrialMeasurement sample_measurement(int i) {
+  TrialMeasurement m;
+  m.arch_id = "arch-" + std::to_string(i);
+  m.outcome.accuracy = 0.5 + 0.01 * i;
+  m.outcome.train_time_s = 10.0 + i;
+  m.outcome.train_energy_j = 100.0 + i;
+  m.outcome.arch_id = m.arch_id;
+  return m;
+}
+
+/// Writes a journal with `n` synthetic records and returns its raw bytes.
+std::string build_journal(const std::string& path,
+                          const EdgeTuneOptions& options, int n) {
+  FaultInjector no_faults;
+  Result<std::unique_ptr<TrialJournal>> journal =
+      TrialJournal::create(path, options, no_faults);
+  EXPECT_TRUE(journal.ok()) << journal.status().to_string();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(journal.value()
+                    ->append_trial("key-" + std::to_string(i),
+                                   sample_measurement(i))
+                    .is_ok());
+  }
+  journal.value().reset();  // close
+  return read_bytes(path);
+}
+
+// --- Header fingerprint / seed refusal -------------------------------------
+
+TEST(JournalTest, ResumeRefusesMismatchedSeed) {
+  const std::string path = temp_path("fp_seed.journal");
+  build_journal(path, small_options(3), 2);
+  std::vector<JournalRecord> replay;
+  FaultInjector no_faults;
+  Result<std::unique_ptr<TrialJournal>> resumed =
+      TrialJournal::resume(path, small_options(4), no_faults, &replay);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().to_string().find("seed"), std::string::npos);
+}
+
+TEST(JournalTest, ResumeRefusesMismatchedOptions) {
+  const std::string path = temp_path("fp_opts.journal");
+  build_journal(path, small_options(), 2);
+  EdgeTuneOptions other = small_options();
+  other.random_trials = 7;  // a different search commits different trials
+  std::vector<JournalRecord> replay;
+  FaultInjector no_faults;
+  Result<std::unique_ptr<TrialJournal>> resumed =
+      TrialJournal::resume(path, other, no_faults, &replay);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().to_string().find("fingerprint"),
+            std::string::npos);
+}
+
+// The crash/journal fault sites must NOT shape the fingerprint: a crash
+// drill records with the kill switch armed and resumes without it.
+TEST(JournalTest, JournalFaultSitesDoNotChangeFingerprint) {
+  EdgeTuneOptions plain = small_options();
+  EdgeTuneOptions armed = small_options();
+  armed.faults.push_back({std::string(fault_site::kCrashAfterCommit),
+                          0.0, 3, StatusCode::kUnavailable});
+  armed.inference.faults = armed.faults;
+  EXPECT_EQ(journal_fingerprint(plain), journal_fingerprint(armed));
+
+  EdgeTuneOptions real_fault = small_options();
+  real_fault.faults.push_back({std::string(fault_site::kTrialTrain), 0.0, 1,
+                               StatusCode::kUnavailable});
+  EXPECT_NE(journal_fingerprint(plain), journal_fingerprint(real_fault));
+}
+
+// --- Torn-tail recovery -----------------------------------------------------
+
+TEST(JournalTest, ShortWriteCorpusNeverCrashesAndKeepsIntactPrefix) {
+  const std::string path = temp_path("torn.journal");
+  const EdgeTuneOptions options = small_options();
+  const std::string full = build_journal(path, options, 3);
+
+  Result<std::vector<JournalRecord>> all =
+      TrialJournal::read_all(path, options);
+  ASSERT_TRUE(all.ok()) << all.status().to_string();
+  ASSERT_EQ(all.value().size(), 3u);
+
+  // Every possible crash point mid-write: truncate to each prefix length.
+  // Recovery must never error on a well-formed header — it returns the
+  // intact record prefix — and must refuse only a torn header.
+  std::size_t last_count = 0;
+  for (std::size_t len = full.size(); len > 0; --len) {
+    write_bytes(path, full.substr(0, len - 1));
+    Result<std::vector<JournalRecord>> records =
+        TrialJournal::read_all(path, options);
+    if (records.ok()) {
+      EXPECT_LE(records.value().size(), 3u);
+      EXPECT_LE(records.value().size(), last_count == 0
+                                            ? records.value().size()
+                                            : last_count);
+      last_count = records.value().size();
+      for (std::size_t i = 0; i < records.value().size(); ++i) {
+        EXPECT_EQ(records.value()[i].key, "key-" + std::to_string(i));
+      }
+    } else {
+      // Only acceptable once the header itself is torn.
+      EXPECT_EQ(records.status().code(), StatusCode::kFailedPrecondition);
+    }
+  }
+}
+
+TEST(JournalTest, BitFlipCorpusDropsFromTheFlippedRecordOn) {
+  const std::string path = temp_path("flip.journal");
+  const EdgeTuneOptions options = small_options();
+  const std::string full = build_journal(path, options, 3);
+
+  // Flip one bit at a stride through the file: the CRC must stop replay at
+  // (or before) the corrupted record, never return garbage decoded data.
+  for (std::size_t pos = 0; pos < full.size(); pos += 7) {
+    std::string corrupt = full;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    write_bytes(path, corrupt);
+    Result<std::vector<JournalRecord>> records =
+        TrialJournal::read_all(path, options);
+    if (records.ok()) {
+      EXPECT_LE(records.value().size(), 3u);
+      for (std::size_t i = 0; i < records.value().size(); ++i) {
+        EXPECT_EQ(records.value()[i].key, "key-" + std::to_string(i));
+      }
+    } else {
+      EXPECT_EQ(records.status().code(), StatusCode::kFailedPrecondition);
+    }
+  }
+}
+
+TEST(JournalTest, ResumeTruncatesTornTailAndAppendsCleanly) {
+  const std::string path = temp_path("truncate.journal");
+  const EdgeTuneOptions options = small_options();
+  const std::string full = build_journal(path, options, 3);
+
+  // Tear the last record mid-payload, resume, append a replacement: the
+  // journal must end up with 2 intact originals + 1 new record.
+  write_bytes(path, full.substr(0, full.size() - 5));
+  std::vector<JournalRecord> replay;
+  FaultInjector no_faults;
+  Result<std::unique_ptr<TrialJournal>> resumed =
+      TrialJournal::resume(path, options, no_faults, &replay);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().to_string();
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(resumed.value()->records(), 2u);
+  ASSERT_TRUE(
+      resumed.value()->append_trial("key-new", sample_measurement(9)).is_ok());
+  resumed.value().reset();
+
+  Result<std::vector<JournalRecord>> records =
+      TrialJournal::read_all(path, options);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[2].key, "key-new");
+}
+
+// --- Replay determinism: measurements round-trip exactly --------------------
+
+TEST(JournalTest, RecordsRoundTripThroughReadAll) {
+  const std::string path = temp_path("roundtrip.journal");
+  const EdgeTuneOptions options = small_options();
+  build_journal(path, options, 4);
+  Result<std::vector<JournalRecord>> records =
+      TrialJournal::read_all(path, options);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const JournalRecord& r = records.value()[static_cast<std::size_t>(i)];
+    const TrialMeasurement want = sample_measurement(i);
+    EXPECT_EQ(r.key, "key-" + std::to_string(i));
+    EXPECT_EQ(trial_measurement_to_json(r.measurement).dump(),
+              trial_measurement_to_json(want).dump());
+  }
+}
+
+// --- The kill-index sweep ---------------------------------------------------
+
+struct SweepCase {
+  int trial_workers;
+};
+
+class JournalSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+// For every kill index k in {1..T}: a journal holding exactly the first k
+// committed trials resumes to the byte-identical report while re-measuring
+// exactly T-k trials (replaying k). This is the PR's acceptance property.
+TEST_P(JournalSweepTest, EveryKillIndexResumesByteIdentical) {
+  const int workers = GetParam().trial_workers;
+  EdgeTuneOptions options = small_options();
+  options.trial_workers = workers;
+
+  // Uninterrupted baseline, no journal.
+  Result<TuningReport> baseline = EdgeTune(options).run();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().to_string();
+  const std::string want = report_to_json(baseline.value()).dump();
+
+  // Uninterrupted journaled run: same report, and the full record log.
+  const std::string full_path =
+      temp_path("sweep_full_w" + std::to_string(workers) + ".journal");
+  EdgeTuneOptions journaled = options;
+  journaled.journal_path = full_path;
+  {
+    EdgeTune tuner(journaled);
+    Result<TuningReport> report = tuner.run();
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    EXPECT_EQ(report_to_json(report.value()).dump(), want)
+        << "journaling itself must not change the report";
+    EXPECT_EQ(tuner.journal_replayed(), 0u);
+  }
+  Result<std::vector<JournalRecord>> all =
+      TrialJournal::read_all(full_path, options);
+  ASSERT_TRUE(all.ok()) << all.status().to_string();
+  const std::vector<JournalRecord>& records = all.value();
+  const std::size_t total = records.size();
+  ASSERT_GE(total, 2u);
+
+  FaultInjector no_faults;
+  for (std::size_t k = 1; k <= total; ++k) {
+    // A crash after commit k leaves exactly the first k records.
+    const std::string k_path = temp_path(
+        "sweep_k" + std::to_string(k) + "_w" + std::to_string(workers) +
+        ".journal");
+    {
+      Result<std::unique_ptr<TrialJournal>> prefix =
+          TrialJournal::create(k_path, options, no_faults);
+      ASSERT_TRUE(prefix.ok());
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_TRUE(prefix.value()
+                        ->append_trial(records[i].key, records[i].measurement)
+                        .is_ok());
+      }
+    }
+    EdgeTuneOptions resume_options = options;
+    resume_options.journal_path = k_path;
+    resume_options.resume = true;
+    EdgeTune tuner(resume_options);
+    Result<TuningReport> report = tuner.run();
+    ASSERT_TRUE(report.ok()) << "k=" << k << ": "
+                             << report.status().to_string();
+    EXPECT_EQ(report_to_json(report.value()).dump(), want)
+        << "resume after kill index " << k << " diverged";
+    EXPECT_EQ(tuner.journal_replayed(), k) << "k=" << k;
+    EXPECT_EQ(tuner.journal_measured(), total - k)
+        << "k=" << k << ": must re-measure exactly the missing tail";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workers, JournalSweepTest,
+    ::testing::Values(SweepCase{1}, SweepCase{4}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "trial_workers_" + std::to_string(info.param.trial_workers);
+    });
+
+// --- Best-effort journaling under injected IO faults ------------------------
+
+TEST(JournalTest, AppendFaultDisablesJournalingButTuningSucceeds) {
+  EdgeTuneOptions options = small_options();
+  options.journal_path = temp_path("append_fault.journal");
+  options.faults.push_back({std::string(fault_site::kJournalAppend), 0.0, 1,
+                            StatusCode::kIo});
+  Result<TuningReport> baseline = EdgeTune(small_options()).run();
+  ASSERT_TRUE(baseline.ok());
+
+  EdgeTune tuner(options);
+  Result<TuningReport> report = tuner.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report_to_json(report.value()).dump(),
+            report_to_json(baseline.value()).dump())
+      << "journaling is best-effort: an append failure must not change "
+         "the tuning result";
+  EXPECT_EQ(tuner.journal_append_failures(), 1u)
+      << "the first failure disables the journal; no further appends";
+}
+
+TEST(JournalTest, FsyncFaultIsCountedNotFatal) {
+  EdgeTuneOptions options = small_options();
+  options.journal_path = temp_path("fsync_fault.journal");
+  options.faults.push_back({std::string(fault_site::kJournalFsync), 0.0, 1,
+                            StatusCode::kIo});
+  EdgeTune tuner(options);
+  Result<TuningReport> report = tuner.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GE(tuner.journal_fsync_failures(), 1u);
+  // The journal is still complete and resumable: fsync failures only lose
+  // the power-loss guarantee, not the kill-safety one.
+  Result<std::vector<JournalRecord>> records =
+      TrialJournal::read_all(options.journal_path, small_options());
+  ASSERT_TRUE(records.ok()) << records.status().to_string();
+  EXPECT_EQ(records.value().size(), tuner.journal_measured());
+}
+
+// --- run() validations ------------------------------------------------------
+
+TEST(JournalTest, ResumeWithoutJournalPathIsRefused) {
+  EdgeTuneOptions options = small_options();
+  options.resume = true;
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JournalTest, JournalWithPersistentCacheIsRefused) {
+  EdgeTuneOptions options = small_options();
+  options.journal_path = temp_path("refused.journal");
+  options.inference.cache_path = temp_path("cache.json");
+  Result<TuningReport> report = EdgeTune(options).run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JournalTest, HierarchicalWithJournalIsRefused) {
+  EdgeTuneOptions options = small_options();
+  options.journal_path = temp_path("hier.journal");
+  Result<TuningReport> report = run_hierarchical(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Job-server restart re-admission ----------------------------------------
+
+TEST(JournalTest, JobServerRecoversManifestedJobAfterRestart) {
+  const std::string dir = temp_path("svc_journal_dir");
+  std::filesystem::create_directories(dir);
+
+  // A manifest left behind by a crashed incarnation: the job was admitted
+  // (manifest durably written) but never finished (journal holds a prefix
+  // of its trials — here a full journaled run stands in for it; recovery
+  // replays everything and just finalizes).
+  JobRequest request;
+  request.options = small_options();
+  request.options.journal_path = dir + "/job-1.journal";
+  request.tenant = "restarted";
+  {
+    EdgeTuneOptions journaled = request.options;
+    EdgeTune tuner(journaled);
+    Result<TuningReport> report = tuner.run();
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+  }
+  write_bytes(dir + "/job-1.manifest.json",
+              job_request_to_json(request).dump_pretty() + "\n");
+
+  TuningServiceOptions service;
+  service.workers = 1;
+  service.journal_dir = dir;
+  TuningJobServer server(service);
+  EXPECT_EQ(server.stats().recovered, 1u);
+  const std::vector<JobId> ids = server.jobs();
+  ASSERT_EQ(ids.size(), 1u);
+  Result<TuningReport> report = server.wait(ids[0]);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+
+  // Byte parity with a plain run of the same options.
+  Result<TuningReport> plain = EdgeTune(small_options()).run();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(report_to_json(report.value()).dump(),
+            report_to_json(plain.value()).dump());
+
+  // Terminal job: durability files are gone.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/job-1.manifest.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/job-1.journal"));
+}
+
+TEST(JournalTest, JobServerWritesManifestForSubmittedJobs) {
+  const std::string dir = temp_path("svc_manifest_dir");
+  std::filesystem::create_directories(dir);
+  TuningServiceOptions service;
+  service.workers = 1;
+  service.journal_dir = dir;
+  TuningJobServer server(service);
+
+  JobRequest request;
+  request.options = small_options();
+  Result<JobId> id = server.submit(request);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  Result<TuningReport> report = server.wait(id.value());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  // Completed cleanly: nothing left to recover.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/job-1.manifest.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/job-1.journal"));
+}
+
+TEST(JournalTest, JobRequestJsonRoundTripsExactly) {
+  JobRequest request;
+  request.options = small_options(0xDEADBEEFDEADBEEFull);
+  request.options.trial_workers = 3;
+  request.options.journal_path = "/tmp/x.journal";
+  request.options.faults.push_back(
+      {std::string(fault_site::kTrialTrain), 0.25, 2, StatusCode::kIo});
+  request.system = JobSystem::kTune;
+  request.power_cap_w = 123.5;
+  request.tenant = "t0";
+  request.priority = 4;
+
+  Result<JobRequest> back = job_request_from_json(job_request_to_json(request));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(job_request_to_json(back.value()).dump(),
+            job_request_to_json(request).dump());
+  EXPECT_EQ(back.value().options.seed, request.options.seed);
+  EXPECT_EQ(journal_fingerprint(back.value().options),
+            journal_fingerprint(request.options));
+}
+
+}  // namespace
+}  // namespace edgetune

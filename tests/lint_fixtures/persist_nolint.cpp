@@ -1,0 +1,13 @@
+// Same TU-level ofstream + rename() pattern, escaped with a justified
+// NOLINT at the rename (the swap site the rule anchors on).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+bool save_scratch(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp);
+  out << text;
+  out.close();
+  return std::rename(tmp.c_str(), path.c_str()) == 0;  // NOLINT(raw-persistence) scratch file, torn content acceptable
+}

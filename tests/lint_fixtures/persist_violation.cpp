@@ -1,0 +1,14 @@
+// Hand-rolled write-temp-then-swap persistence: atomic against reader
+// crashes but not writer crashes (no fsync before the rename) — the
+// pattern durable_write_file exists to replace.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+bool save_table(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp);
+  out << text;
+  out.close();
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}

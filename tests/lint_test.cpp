@@ -94,7 +94,9 @@ INSTANTIATE_TEST_SUITE_P(
         RuleCase{"fp-contract-allowlist", "tensor_bad", "tensor_nolint"},
         RuleCase{"layer-order", "layering_bad", "layering_nolint"},
         RuleCase{"unchecked-status", "status_violation.cpp",
-                 "status_nolint.cpp"}),
+                 "status_nolint.cpp"},
+        RuleCase{"raw-persistence", "persist_violation.cpp",
+                 "persist_nolint.cpp"}),
     [](const ::testing::TestParamInfo<RuleCase>& info) {
       std::string name = info.param.rule;
       for (char& c : name) {
@@ -231,7 +233,7 @@ TEST(LintTest, RuleFilterAndListRules) {
        {"rng-determinism", "thread-outside-pool", "fp-contract-allowlist",
         "guarded-by", "iostream-in-lib", "real-sleep-in-lib",
         "nolint-malformed", "layer-order", "include-cycle",
-        "lock-order-cycle", "unchecked-status"}) {
+        "lock-order-cycle", "unchecked-status", "raw-persistence"}) {
     EXPECT_NE(list.output.find(rule), std::string::npos)
         << "missing rule in --list-rules: " << rule;
   }

@@ -15,11 +15,13 @@
 
 #include "common/fault.hpp"
 #include "common/flags.hpp"
+#include "common/shutdown.hpp"
 #include "common/strings.hpp"
 #include "tuning/baselines.hpp"
 #include "device/profile_io.hpp"
 #include "tuning/finalize.hpp"
 #include "tuning/fleet.hpp"
+#include "tuning/journal.hpp"
 #include "tuning/pareto.hpp"
 #include "tuning/report_io.hpp"
 
@@ -118,6 +120,14 @@ int main(int argc, char** argv) {
       .define("routine-profile", "",
               "persistent routine-profile path (requires --tune-routines)")
       .define("report", "", "write the full JSON report here")
+      .define("journal", "",
+              "write-ahead trial journal path (DESIGN §5.9): every "
+              "committed trial is logged before its accounting applies, so "
+              "a crashed or killed run can be resumed exactly")
+      .define("resume", "false",
+              "resume from an existing --journal: already-journaled trials "
+              "replay instead of re-measuring, and the final report is "
+              "byte-identical to the uninterrupted run")
       .define("extra-devices", "",
               "comma-separated extra edge devices to recommend for")
       .define("save-model", "",
@@ -243,6 +253,28 @@ int main(int argc, char** argv) {
 
   const std::string system = flags.get("system");
 
+  options.journal_path = flags.get("journal");
+  options.resume = flags.get_bool("resume");
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <path>\n");
+    return 2;
+  }
+  if (!options.journal_path.empty()) {
+    if (system == "hierarchical") {
+      std::fprintf(stderr,
+                   "--journal is not supported for --system hierarchical "
+                   "(it runs two separate searches)\n");
+      return 2;
+    }
+    if (!flags.get("cache-file").empty()) {
+      std::fprintf(stderr,
+                   "--journal requires a run-private in-memory cache: a "
+                   "crashed run's persistent cache mutations would break "
+                   "resume byte-parity; drop --cache-file\n");
+      return 2;
+    }
+  }
+
   // --- Fleet roles (DESIGN §5.5). A worker never tunes: it serves
   // measurements to a coordinator. A coordinator tunes as usual but ships
   // every batch to its workers; the report it writes is byte-identical to
@@ -256,6 +288,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!coordinator_port.empty() || !worker_target.empty()) {
+    if (!options.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "--journal is not supported in fleet mode; run the "
+                   "journaled job single-process\n");
+      return 2;
+    }
     if (system != "edgetune") {
       std::fprintf(stderr,
                    "fleet mode requires --system edgetune (the baselines "
@@ -324,8 +362,20 @@ int main(int argc, char** argv) {
     options.fleet = fleet;
   }
 
+  // Graceful SIGINT/SIGTERM: the search stops at the next batch boundary,
+  // the journal is flushed, and the process exits 128+signal so a
+  // supervisor can tell "interrupted, resume me" from failure (1) and
+  // usage (2). A second signal hard-exits immediately.
+  install_shutdown_signal_handlers();
+
+  // The tuner outlives run() for --system edgetune so the journal replay /
+  // re-measure counters survive into the summary below.
+  std::unique_ptr<EdgeTune> tuner;
   Result<TuningReport> report = [&]() -> Result<TuningReport> {
-    if (system == "edgetune") return EdgeTune(options).run();
+    if (system == "edgetune") {
+      tuner = std::make_unique<EdgeTune>(options);
+      return tuner->run();
+    }
     if (system == "tune") return run_tune_baseline(options);
     if (system == "hyperpower") {
       return run_hyperpower_baseline(options, flags.get_double("power-cap"));
@@ -335,9 +385,18 @@ int main(int argc, char** argv) {
   }();
   if (fleet) fleet->shutdown();
   if (!report.ok()) {
+    if (report.status().code() == StatusCode::kCancelled &&
+        shutdown_requested()) {
+      std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+      return 128 + shutdown_signal();
+    }
     std::fprintf(stderr, "tuning failed: %s\n",
                  report.status().to_string().c_str());
     return 1;
+  }
+  if (tuner != nullptr && !options.journal_path.empty()) {
+    std::fprintf(stderr, "journal: replayed %zu, measured %zu\n",
+                 tuner->journal_replayed(), tuner->journal_measured());
   }
 
   print_report(report.value(), options);

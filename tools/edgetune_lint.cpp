@@ -24,8 +24,10 @@
 //           covers code the current compiler configuration never builds.
 //   pass 5  the original repo-invariant line rules over the same model:
 //           rng-determinism, thread-outside-pool, fp-contract-allowlist,
-//           guarded-by, iostream-in-lib, real-sleep-in-lib (see the rule
-//           registry below for one-line summaries).
+//           guarded-by, iostream-in-lib, real-sleep-in-lib, plus the
+//           TU-level raw-persistence rule (ofstream + rename() in one TU
+//           outside common/durable_io.*) — see the rule registry below
+//           for one-line summaries.
 //
 // Suppression: a finding on a line whose TRAILING comment starts with
 // `NOLINT(rule-id)` (or bare `NOLINT`) is suppressed; the comment should
@@ -99,6 +101,10 @@ const std::vector<RuleInfo>& rule_registry() {
       {"unchecked-status",
        "a call to a Status/Result-returning function must not be a bare "
        "expression-statement"},
+      {"raw-persistence",
+       "no hand-rolled ofstream + rename() persistence outside "
+       "common/durable_io.* — route writes through durable_write_file "
+       "(tmp file + fsync + atomic rename + directory fsync)"},
   };
   return rules;
 }
@@ -1258,6 +1264,58 @@ void pass_line_rules(const FileModel& file, std::vector<Finding>* findings) {
   }
 }
 
+// --- raw-persistence: a TU that opens an ofstream AND rename()s a file is
+// doing write-temp-then-swap persistence by hand. That idiom is atomic
+// against crashes of the READER but not of the WRITER (no fsync: after a
+// power cut the renamed file can be empty), which is exactly why
+// durable_write_file exists. The signal is deliberately TU-level — the two
+// calls are usually lines apart in the same save routine — and the finding
+// anchors at the rename, where the swap happens.
+
+bool durable_io_exempt(const std::string& path) {
+  return ends_with(path, "common/durable_io.hpp") ||
+         ends_with(path, "common/durable_io.cpp");
+}
+
+void pass_raw_persistence(const FileModel& file,
+                          std::vector<Finding>* findings) {
+  if (durable_io_exempt(file.display)) return;
+  std::size_t ofstream_line = 0;  // 1-based; 0 = not seen
+  std::vector<std::size_t> rename_lines;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    // The blanked view: 'ofstream' in a log message or a shell string is
+    // not a file write.
+    const std::string& code = file.lines[li].blank;
+    if (ofstream_line == 0 &&
+        find_token(code, "ofstream") != std::string::npos) {
+      ofstream_line = li + 1;
+    }
+    for (std::size_t pos = find_token(code, "rename");
+         pos != std::string::npos; pos = find_token(code, "rename", pos + 1)) {
+      std::size_t i = pos + 6;  // past "rename"
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i]))) {
+        ++i;
+      }
+      if (i < code.size() && code[i] == '(') {
+        rename_lines.push_back(li + 1);
+        break;
+      }
+    }
+  }
+  if (ofstream_line == 0) return;
+  for (std::size_t lineno : rename_lines) {
+    if (suppressed(file.lines[lineno - 1], "raw-persistence")) continue;
+    findings->push_back(
+        {file.display, lineno, "raw-persistence",
+         "hand-rolled persistence: this TU opens an ofstream (line " +
+             std::to_string(ofstream_line) +
+             ") and rename()s a file into place — use durable_write_file "
+             "(common/durable_io.hpp) so the write survives a crash AND a "
+             "power cut (tmp + fsync + rename + dir fsync)"});
+  }
+}
+
 /// fp-contract-allowlist over a tensor CMakeLists.txt (same algorithm as
 /// the PR-4 scanner, ported to the file model).
 void pass_tensor_cmake(const FileModel& file, std::vector<Finding>* findings) {
@@ -1492,6 +1550,7 @@ int main(int argc, char** argv) {
     check_nolint_markers(file, &findings);
     if (file.kind == FileKind::kSource) {
       pass_line_rules(file, &findings);
+      pass_raw_persistence(file, &findings);
     } else {
       pass_tensor_cmake(file, &findings);
     }
